@@ -1,0 +1,96 @@
+//! Criterion ablations for the design choices DESIGN.md calls out:
+//! frontier representation (heap vs the paper's linear `g[]`), buffer-pool
+//! size, R-tree kNN across the dimensionality curse, and the hybrid-schema
+//! overhead.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use knmatch_core::{
+    frequent_k_n_match_ad, frequent_k_n_match_ad_linear, HybridColumns, HybridSchema,
+    SortedColumns,
+};
+use knmatch_data::uniform;
+use knmatch_rtree::RTree;
+use knmatch_storage::DiskDatabase;
+
+fn bench_frontier(c: &mut Criterion) {
+    // O(log d) heap vs the paper's O(d) linear scan per pop: the gap should
+    // widen with dimensionality.
+    for d in [16usize, 48] {
+        let ds = uniform(30_000, d, 5);
+        let mut cols = SortedColumns::build(&ds);
+        let q = ds.point(77).to_vec();
+        let mut group = c.benchmark_group(format!("frontier_{d}d"));
+        group.bench_function("heap", |b| {
+            b.iter(|| frequent_k_n_match_ad(&mut cols, &q, 20, 4, 8.min(d)).expect("valid"))
+        });
+        group.bench_function("linear_g_array", |b| {
+            b.iter(|| {
+                frequent_k_n_match_ad_linear(&mut cols, &q, 20, 4, 8.min(d)).expect("valid")
+            })
+        });
+        group.finish();
+    }
+}
+
+fn bench_pool_size(c: &mut Criterion) {
+    let ds = uniform(30_000, 16, 9);
+    let q = ds.point(123).to_vec();
+    let mut group = c.benchmark_group("disk_ad_pool_size");
+    for pool_pages in [16usize, 256, 4096] {
+        let mut db = DiskDatabase::build_in_memory(&ds, pool_pages);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(pool_pages),
+            &pool_pages,
+            |b, _| {
+                b.iter(|| {
+                    db.pool_mut().invalidate_all();
+                    db.frequent_k_n_match(&q, 20, 4, 8).expect("valid")
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_rtree_curse(c: &mut Criterion) {
+    // Wall-clock view of Ext-1: R-tree kNN collapses to scan speed at high
+    // dimensionality.
+    for d in [4usize, 32] {
+        let ds = uniform(30_000, d, 3);
+        let tree = RTree::bulk_load(&ds).expect("non-empty");
+        let q = ds.point(42).to_vec();
+        let mut group = c.benchmark_group(format!("knn_{d}d_30k"));
+        group.bench_function("rtree", |b| {
+            b.iter(|| tree.k_nearest(&ds, &q, 10).expect("valid"))
+        });
+        group.bench_function("scan", |b| {
+            b.iter(|| knmatch_core::k_nearest(&ds, &q, 10, &knmatch_core::Euclidean).expect("valid"))
+        });
+        group.finish();
+    }
+}
+
+fn bench_hybrid_overhead(c: &mut Criterion) {
+    let ds = uniform(30_000, 16, 7);
+    let q = ds.point(11).to_vec();
+    let mut plain = SortedColumns::build(&ds);
+    let schema = HybridSchema::all_numeric(16).expect("valid schema");
+    let hybrid = HybridColumns::build(&ds, schema).expect("matching dims");
+    let mut group = c.benchmark_group("hybrid_vs_plain_16d");
+    group.bench_function("plain", |b| {
+        b.iter(|| knmatch_core::k_n_match_ad(&mut plain, &q, 20, 8).expect("valid"))
+    });
+    group.bench_function("hybrid_all_numeric", |b| {
+        b.iter(|| knmatch_core::k_n_match_hybrid(&hybrid, &q, 20, 8).expect("valid"))
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_frontier,
+    bench_pool_size,
+    bench_rtree_curse,
+    bench_hybrid_overhead
+);
+criterion_main!(benches);

@@ -1,0 +1,59 @@
+//! Criterion: the disk substrate — disk-based AD vs the sequential scan
+//! through the page/buffer-pool stack (Figures 11–12's wall-clock analogue)
+//! on uniform and skewed (texture-like) data.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use knmatch_data::{skewed, uniform};
+use knmatch_storage::DiskDatabase;
+
+const CARD: usize = 40_000;
+const DIMS: usize = 16;
+
+fn bench_disk_ad_vs_scan(c: &mut Criterion) {
+    for (name, ds) in
+        [("uniform", uniform(CARD, DIMS, 3)), ("texture", skewed(CARD, DIMS, 3))]
+    {
+        let mut db = DiskDatabase::build_in_memory(&ds, 256);
+        let query = ds.point(999).to_vec();
+        let mut group = c.benchmark_group(format!("disk_frequent_{name}_40k_16d"));
+        group.bench_function("AD", |b| {
+            b.iter(|| {
+                db.pool_mut().invalidate_all();
+                db.frequent_k_n_match(&query, 20, 4, 8).expect("valid")
+            })
+        });
+        group.bench_function("scan", |b| {
+            b.iter(|| {
+                db.pool_mut().invalidate_all();
+                db.scan_frequent_k_n_match(&query, 20, 4, 8).expect("valid")
+            })
+        });
+        group.finish();
+    }
+}
+
+fn bench_disk_n1_sweep(c: &mut Criterion) {
+    let ds = skewed(CARD, DIMS, 3);
+    let mut db = DiskDatabase::build_in_memory(&ds, 256);
+    let query = ds.point(31).to_vec();
+    let mut group = c.benchmark_group("disk_ad_n1_sweep_texture");
+    for n1 in [8usize, 12, 16] {
+        group.bench_with_input(BenchmarkId::from_parameter(n1), &n1, |b, &n1| {
+            b.iter(|| {
+                db.pool_mut().invalidate_all();
+                db.frequent_k_n_match(&query, 20, 4, n1).expect("valid")
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_disk_build(c: &mut Criterion) {
+    let ds = uniform(CARD, DIMS, 3);
+    c.bench_function("disk_database_build_40k_16d", |b| {
+        b.iter(|| DiskDatabase::build_in_memory(&ds, 256))
+    });
+}
+
+criterion_group!(benches, bench_disk_ad_vs_scan, bench_disk_n1_sweep, bench_disk_build);
+criterion_main!(benches);

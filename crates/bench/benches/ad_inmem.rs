@@ -1,0 +1,72 @@
+//! Criterion: in-memory AD algorithm vs the naive scan (the paper's
+//! Section 3 cost claims in wall-clock form), across n, k, and the
+//! frequent range.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use knmatch_core::{
+    frequent_k_n_match_ad, frequent_k_n_match_scan, k_n_match_ad, k_n_match_scan,
+    SortedColumns,
+};
+use knmatch_data::uniform;
+
+const CARD: usize = 50_000;
+const DIMS: usize = 16;
+
+fn bench_k_n_match(c: &mut Criterion) {
+    let ds = uniform(CARD, DIMS, 7);
+    let mut cols = SortedColumns::build(&ds);
+    let query = ds.point(4242).to_vec();
+
+    let mut group = c.benchmark_group("k_n_match_50k_16d");
+    for n in [2usize, 8, 16] {
+        group.bench_with_input(BenchmarkId::new("AD", n), &n, |b, &n| {
+            b.iter(|| k_n_match_ad(&mut cols, &query, 20, n).expect("valid"))
+        });
+        group.bench_with_input(BenchmarkId::new("scan", n), &n, |b, &n| {
+            b.iter(|| k_n_match_scan(&ds, &query, 20, n).expect("valid"))
+        });
+    }
+    group.finish();
+}
+
+fn bench_frequent(c: &mut Criterion) {
+    let ds = uniform(CARD, DIMS, 7);
+    let mut cols = SortedColumns::build(&ds);
+    let query = ds.point(777).to_vec();
+
+    let mut group = c.benchmark_group("frequent_k_n_match_50k_16d");
+    for (n0, n1) in [(4usize, 8usize), (1, 16)] {
+        let label = format!("[{n0},{n1}]");
+        group.bench_with_input(BenchmarkId::new("AD", &label), &(n0, n1), |b, &(n0, n1)| {
+            b.iter(|| frequent_k_n_match_ad(&mut cols, &query, 20, n0, n1).expect("valid"))
+        });
+        group.bench_with_input(BenchmarkId::new("scan", &label), &(n0, n1), |b, &(n0, n1)| {
+            b.iter(|| frequent_k_n_match_scan(&ds, &query, 20, n0, n1).expect("valid"))
+        });
+    }
+    group.finish();
+}
+
+fn bench_k_sweep(c: &mut Criterion) {
+    let ds = uniform(CARD, DIMS, 7);
+    let mut cols = SortedColumns::build(&ds);
+    let query = ds.point(31337).to_vec();
+
+    let mut group = c.benchmark_group("ad_k_sweep_50k_16d");
+    for k in [1usize, 20, 100] {
+        group.bench_with_input(BenchmarkId::from_parameter(k), &k, |b, &k| {
+            b.iter(|| k_n_match_ad(&mut cols, &query, k, 8).expect("valid"))
+        });
+    }
+    group.finish();
+}
+
+fn bench_build(c: &mut Criterion) {
+    let ds = uniform(CARD, DIMS, 7);
+    c.bench_function("sorted_columns_build_50k_16d", |b| {
+        b.iter(|| SortedColumns::build(&ds))
+    });
+}
+
+criterion_group!(benches, bench_k_n_match, bench_frequent, bench_k_sweep, bench_build);
+criterion_main!(benches);

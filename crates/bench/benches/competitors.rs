@@ -1,0 +1,75 @@
+//! Criterion: the competitor methods — VA-file (two-phase), IGrid
+//! (in-memory and disk), and the kNN scan baseline — against the AD
+//! algorithm on one shared workload (Figures 10 and 13's wall-clock
+//! analogue).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use knmatch_core::{k_nearest, Euclidean, SortedColumns};
+use knmatch_data::uniform;
+use knmatch_igrid::{DiskIGrid, IGridIndex};
+use knmatch_storage::{BufferPool, HeapFile, MemStore};
+use knmatch_vafile::VaFile;
+
+const CARD: usize = 40_000;
+const DIMS: usize = 16;
+
+fn bench_methods(c: &mut Criterion) {
+    let ds = uniform(CARD, DIMS, 11);
+    let query = ds.point(123).to_vec();
+
+    let mut cols = SortedColumns::build(&ds);
+
+    let mut store = MemStore::new();
+    let heap = HeapFile::build(&mut store, &ds);
+    let va = VaFile::build(&mut store, &ds, 8);
+    let mut va_pool = BufferPool::new(store, 256);
+
+    let igrid_mem = IGridIndex::build(&ds);
+    let mut ig_store = MemStore::new();
+    let igrid_disk = DiskIGrid::build_default(&mut ig_store, &ds);
+    let mut ig_pool = BufferPool::new(ig_store, 256);
+
+    let mut group = c.benchmark_group("methods_40k_16d");
+    group.bench_function("AD_frequent_4_8", |b| {
+        b.iter(|| {
+            knmatch_core::frequent_k_n_match_ad(&mut cols, &query, 20, 4, 8).expect("valid")
+        })
+    });
+    group.bench_function("vafile_frequent_4_8", |b| {
+        b.iter(|| {
+            va_pool.invalidate_all();
+            knmatch_vafile::frequent_k_n_match_va(&va, &heap, &mut va_pool, &query, 20, 4, 8)
+                .expect("valid")
+        })
+    });
+    group.bench_function("igrid_mem_top20", |b| {
+        b.iter(|| igrid_mem.query(&query, 20).expect("valid"))
+    });
+    group.bench_function("igrid_disk_top20", |b| {
+        b.iter(|| {
+            ig_pool.invalidate_all();
+            igrid_disk.query(&mut ig_pool, &query, 20).expect("valid")
+        })
+    });
+    group.bench_function("knn_scan_top20", |b| {
+        b.iter(|| k_nearest(&ds, &query, 20, &Euclidean).expect("valid"))
+    });
+    group.finish();
+}
+
+fn bench_builds(c: &mut Criterion) {
+    let ds = uniform(CARD, DIMS, 11);
+    let mut group = c.benchmark_group("builds_40k_16d");
+    group.sample_size(10);
+    group.bench_function("vafile_8bit", |b| {
+        b.iter(|| VaFile::build(&mut MemStore::new(), &ds, 8))
+    });
+    group.bench_function("igrid_disk", |b| {
+        b.iter(|| DiskIGrid::build_default(&mut MemStore::new(), &ds))
+    });
+    group.bench_function("igrid_mem", |b| b.iter(|| IGridIndex::build(&ds)));
+    group.finish();
+}
+
+criterion_group!(benches, bench_methods, bench_builds);
+criterion_main!(benches);

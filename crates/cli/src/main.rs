@@ -1,0 +1,488 @@
+//! `knmatch` — command-line access to the matching-based similarity search
+//! engine.
+//!
+//! ```text
+//! knmatch generate --kind uniform --cardinality 10000 --dims 16 --out data.csv
+//! knmatch build data.csv db.knm
+//! knmatch info db.knm
+//! knmatch query db.knm --point 0.1,0.5,… -k 10 -n 4
+//! knmatch query db.knm --point 0.1,0.5,… -k 10 --frequent 4 8
+//! ```
+
+use std::fmt::Write as _;
+use std::process::ExitCode;
+
+use knmatch_storage::{CostModel, DiskDatabase};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(out) => {
+            print!("{out}");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            eprintln!("{}", usage());
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn usage() -> &'static str {
+    "usage:\n  \
+     knmatch generate --kind <uniform|skewed|clusters|coil> --out <file.csv> \
+     [--cardinality N] [--dims D] [--classes C] [--seed S]\n  \
+     knmatch build <data.csv> <db.knm>\n  \
+     knmatch info <db.knm>\n  \
+     knmatch verify <db.knm>\n  \
+     knmatch query <db.knm> --point <v1,v2,…> -k <K> (-n <N> | --frequent <N0> <N1> [--auto])\n  \
+     knmatch bench <db.knm> -k <K> --frequent <N0> <N1> [--queries Q] [--seed S]"
+}
+
+/// Executes one CLI invocation, returning the text to print.
+fn run(args: &[String]) -> Result<String, String> {
+    match args.first().map(String::as_str) {
+        Some("generate") => generate(&args[1..]),
+        Some("build") => build(&args[1..]),
+        Some("info") => info(&args[1..]),
+        Some("verify") => verify(&args[1..]),
+        Some("query") => query(&args[1..]),
+        Some("bench") => bench(&args[1..]),
+        Some(other) => Err(format!("unknown command '{other}'")),
+        None => Err("no command given".into()),
+    }
+}
+
+fn verify(args: &[String]) -> Result<String, String> {
+    let [path] = args else {
+        return Err("verify needs <db.knm>".into());
+    };
+    let mut db = DiskDatabase::open_file(path, 256).map_err(|e| e.to_string())?;
+    let problems = db.verify();
+    if problems.is_empty() {
+        Ok(format!(
+            "{path}: OK — {} points x {} dims, all columns sorted and consistent\n",
+            db.len(),
+            db.dims()
+        ))
+    } else {
+        let mut out = format!("{path}: {} problem(s) found:\n", problems.len());
+        for p in problems {
+            out.push_str(&format!("  - {p}\n"));
+        }
+        Err(out)
+    }
+}
+
+/// Runs a seeded query workload against a database file, comparing the AD
+/// algorithm and the sequential scan, and reports latency percentiles of
+/// the modelled response time.
+fn bench(args: &[String]) -> Result<String, String> {
+    let path = args.first().ok_or("bench needs <db.knm>")?;
+    let k: usize = parse_num(flag_value(args, "-k").unwrap_or("20"), "-k")?;
+    let queries: usize = parse_num(flag_value(args, "--queries").unwrap_or("20"), "--queries")?;
+    let seed: u64 = parse_num(flag_value(args, "--seed").unwrap_or("42"), "--seed")?;
+    let mut db = DiskDatabase::open_file(path, 256).map_err(|e| e.to_string())?;
+    let (n0, n1) = if let Some(i) = args.iter().position(|a| a == "--frequent") {
+        (
+            parse_num(args.get(i + 1).ok_or("--frequent needs N0 N1")?, "N0")?,
+            parse_num(args.get(i + 2).ok_or("--frequent needs N0 N1")?, "N1")?,
+        )
+    } else {
+        (4.min(db.dims()), (db.dims() / 2).max(1))
+    };
+
+    // Sample query points from the database itself.
+    let mut state = seed | 1;
+    let mut next = move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        state
+    };
+    let mut ad_ms: Vec<f64> = Vec::with_capacity(queries);
+    let mut scan_ms: Vec<f64> = Vec::with_capacity(queries);
+    let mut attrs = 0u64;
+    let model = CostModel::default();
+    for _ in 0..queries {
+        let pid = (next() % db.len() as u64) as u32;
+        let q = db.fetch_point(pid);
+        db.pool_mut().invalidate_all();
+        let ad = db.frequent_k_n_match(&q, k, n0, n1).map_err(|e| e.to_string())?;
+        ad_ms.push(ad.io.response_time_ms(model));
+        attrs += ad.ad.attributes_retrieved;
+        db.pool_mut().invalidate_all();
+        let scan = db.scan_frequent_k_n_match(&q, k, n0, n1).map_err(|e| e.to_string())?;
+        scan_ms.push(scan.io.response_time_ms(model));
+    }
+    let pct = |v: &mut Vec<f64>, p: f64| {
+        v.sort_by(f64::total_cmp);
+        v[((v.len() - 1) as f64 * p) as usize]
+    };
+    let mut out = format!(
+        "{queries} frequent {k}-n-match queries, n in [{n0}, {n1}], modelled ms \
+         (seq {} ms / rand {} ms per page):\n",
+        model.sequential_ms, model.random_ms
+    );
+    out.push_str(&format!(
+        "  AD   : p50 {:>8.1}  p95 {:>8.1}  max {:>8.1}   ({} attrs/query avg)\n",
+        pct(&mut ad_ms, 0.5),
+        pct(&mut ad_ms, 0.95),
+        pct(&mut ad_ms, 1.0),
+        attrs / queries as u64
+    ));
+    out.push_str(&format!(
+        "  scan : p50 {:>8.1}  p95 {:>8.1}  max {:>8.1}\n",
+        pct(&mut scan_ms, 0.5),
+        pct(&mut scan_ms, 0.95),
+        pct(&mut scan_ms, 1.0)
+    ));
+    Ok(out)
+}
+
+/// Pulls the value following `flag` out of `args`.
+fn flag_value<'a>(args: &'a [String], flag: &str) -> Option<&'a str> {
+    args.iter().position(|a| a == flag).and_then(|i| args.get(i + 1)).map(String::as_str)
+}
+
+fn parse_num<T: std::str::FromStr>(s: &str, what: &str) -> Result<T, String> {
+    s.parse().map_err(|_| format!("cannot parse {what} from '{s}'"))
+}
+
+fn generate(args: &[String]) -> Result<String, String> {
+    let kind = flag_value(args, "--kind").ok_or("generate needs --kind")?;
+    let out = flag_value(args, "--out").ok_or("generate needs --out")?;
+    let cardinality: usize =
+        parse_num(flag_value(args, "--cardinality").unwrap_or("1000"), "--cardinality")?;
+    let dims: usize = parse_num(flag_value(args, "--dims").unwrap_or("16"), "--dims")?;
+    let seed: u64 = parse_num(flag_value(args, "--seed").unwrap_or("42"), "--seed")?;
+
+    let written = match kind {
+        "uniform" => {
+            let ds = knmatch_data::uniform(cardinality, dims, seed);
+            knmatch_data::save_dataset(out, &ds).map_err(|e| e.to_string())?;
+            ds.len()
+        }
+        "skewed" => {
+            let ds = knmatch_data::skewed(cardinality, dims, seed);
+            knmatch_data::save_dataset(out, &ds).map_err(|e| e.to_string())?;
+            ds.len()
+        }
+        "clusters" => {
+            let classes: usize =
+                parse_num(flag_value(args, "--classes").unwrap_or("4"), "--classes")?;
+            let lds = knmatch_data::labelled_clusters(&knmatch_data::ClusterSpec::new(
+                cardinality,
+                dims,
+                classes,
+                seed,
+            ));
+            std::fs::write(out, knmatch_data::labelled_to_csv(&lds))
+                .map_err(|e| e.to_string())?;
+            lds.data.len()
+        }
+        "coil" => {
+            let ds = knmatch_data::coil_like(seed);
+            knmatch_data::save_dataset(out, &ds).map_err(|e| e.to_string())?;
+            ds.len()
+        }
+        other => return Err(format!("unknown --kind '{other}'")),
+    };
+    Ok(format!("wrote {written} points to {out}\n"))
+}
+
+fn build(args: &[String]) -> Result<String, String> {
+    let [input, output] = args else {
+        return Err("build needs <data.csv> <db.knm>".into());
+    };
+    let ds = knmatch_data::load_dataset(input).map_err(|e| e.to_string())?;
+    DiskDatabase::create_file(output, &ds, 256).map_err(|e| e.to_string())?;
+    Ok(format!(
+        "built {output}: {} points x {} dims ({} data pages + {} column pages)\n",
+        ds.len(),
+        ds.dims(),
+        ds.len().div_ceil(knmatch_storage::page::rows_per_page(ds.dims())),
+        ds.dims() * ds.len().div_ceil(knmatch_storage::COLUMN_ENTRIES_PER_PAGE),
+    ))
+}
+
+fn info(args: &[String]) -> Result<String, String> {
+    let [path] = args else {
+        return Err("info needs <db.knm>".into());
+    };
+    let db = DiskDatabase::open_file(path, 16).map_err(|e| e.to_string())?;
+    Ok(format!(
+        "{path}: {} points x {} dims; heap {} pages, columns {} pages\n",
+        db.len(),
+        db.dims(),
+        db.heap().total_pages(),
+        db.columns().total_pages(),
+    ))
+}
+
+fn query(args: &[String]) -> Result<String, String> {
+    let path = args.first().ok_or("query needs <db.knm>")?;
+    let point_s = flag_value(args, "--point").ok_or("query needs --point v1,v2,…")?;
+    let k: usize = parse_num(flag_value(args, "-k").ok_or("query needs -k")?, "-k")?;
+    let point: Vec<f64> = point_s
+        .split(',')
+        .map(|v| parse_num::<f64>(v.trim(), "--point coordinate"))
+        .collect::<Result<_, _>>()?;
+
+    let mut db = DiskDatabase::open_file(path, 256).map_err(|e| e.to_string())?;
+    let mut out = String::new();
+    let model = CostModel::default();
+    if let Some(i) = args.iter().position(|a| a == "--frequent") {
+        let n0: usize =
+            parse_num(args.get(i + 1).ok_or("--frequent needs N0 N1")?, "N0")?;
+        let n1: usize =
+            parse_num(args.get(i + 2).ok_or("--frequent needs N0 N1")?, "N1")?;
+        let r = if args.iter().any(|a| a == "--auto") {
+            let (r, choice) = db
+                .frequent_k_n_match_auto(&point, k, n0, n1, model)
+                .map_err(|e| e.to_string())?;
+            writeln!(
+                out,
+                "planner chose {:?} (estimated AD {:.1} ms vs scan {:.1} ms)",
+                choice.plan, choice.ad_estimate_ms, choice.scan_estimate_ms
+            )
+            .expect("write to String");
+            r
+        } else {
+            db.frequent_k_n_match(&point, k, n0, n1).map_err(|e| e.to_string())?
+        };
+        writeln!(out, "frequent {k}-n-match, n in [{n0}, {n1}]:").expect("write to String");
+        for e in &r.result.entries {
+            writeln!(out, "  point {:>8}  appears {} times", e.pid, e.count)
+                .expect("write to String");
+        }
+        writeln!(
+            out,
+            "cost: {} attributes, {} pages ({:.1} ms modelled)",
+            r.ad.attributes_retrieved,
+            r.io.page_accesses(),
+            r.io.response_time_ms(model)
+        )
+        .expect("write to String");
+    } else {
+        let n: usize = parse_num(flag_value(args, "-n").ok_or("query needs -n or --frequent")?, "-n")?;
+        let r = db.k_n_match(&point, k, n).map_err(|e| e.to_string())?;
+        writeln!(out, "{k}-{n}-match (epsilon = {:.6}):", r.result.epsilon())
+            .expect("write to String");
+        for e in &r.result.entries {
+            writeln!(out, "  point {:>8}  n-match diff {:.6}", e.pid, e.diff)
+                .expect("write to String");
+        }
+        writeln!(
+            out,
+            "cost: {} attributes, {} pages ({:.1} ms modelled)",
+            r.ad.attributes_retrieved,
+            r.io.page_accesses(),
+            r.io.response_time_ms(model)
+        )
+        .expect("write to String");
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn s(parts: &[&str]) -> Vec<String> {
+        parts.iter().map(|p| p.to_string()).collect()
+    }
+
+    fn tmpdir() -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("knmatch-cli-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("temp dir");
+        dir
+    }
+
+    #[test]
+    fn end_to_end_generate_build_query() {
+        let dir = tmpdir();
+        let csv = dir.join("data.csv");
+        let db = dir.join("data.knm");
+        let out = run(&s(&[
+            "generate",
+            "--kind",
+            "uniform",
+            "--cardinality",
+            "500",
+            "--dims",
+            "4",
+            "--out",
+            csv.to_str().unwrap(),
+        ]))
+        .unwrap();
+        assert!(out.contains("wrote 500 points"));
+
+        let out = run(&s(&["build", csv.to_str().unwrap(), db.to_str().unwrap()])).unwrap();
+        assert!(out.contains("500 points x 4 dims"));
+
+        let out = run(&s(&["info", db.to_str().unwrap()])).unwrap();
+        assert!(out.contains("500 points"));
+
+        let out = run(&s(&[
+            "query",
+            db.to_str().unwrap(),
+            "--point",
+            "0.5,0.5,0.5,0.5",
+            "-k",
+            "3",
+            "-n",
+            "2",
+        ]))
+        .unwrap();
+        assert!(out.contains("3-2-match"));
+        assert_eq!(out.matches("n-match diff").count(), 3);
+
+        let out = run(&s(&[
+            "query",
+            db.to_str().unwrap(),
+            "--point",
+            "0.5,0.5,0.5,0.5",
+            "-k",
+            "2",
+            "--frequent",
+            "1",
+            "4",
+        ]))
+        .unwrap();
+        assert!(out.contains("appears"));
+
+        // The query answer matches the library oracle.
+        let ds = knmatch_data::load_dataset(&csv).unwrap();
+        let oracle =
+            knmatch_core::k_n_match_scan(&ds, &[0.5, 0.5, 0.5, 0.5], 3, 2).unwrap();
+        for e in &oracle.entries {
+            assert!(out.len() > 0 && format!("{out}").len() > 0);
+            let _ = e;
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn generate_clusters_and_coil() {
+        let dir = tmpdir();
+        let f = dir.join("c.csv");
+        let out = run(&s(&[
+            "generate",
+            "--kind",
+            "clusters",
+            "--cardinality",
+            "60",
+            "--dims",
+            "5",
+            "--classes",
+            "3",
+            "--out",
+            f.to_str().unwrap(),
+        ]))
+        .unwrap();
+        assert!(out.contains("wrote 60"));
+        let lds = knmatch_data::labelled_from_csv(&std::fs::read_to_string(&f).unwrap()).unwrap();
+        assert_eq!(lds.classes(), 3);
+
+        let out = run(&s(&["generate", "--kind", "coil", "--out", f.to_str().unwrap()])).unwrap();
+        assert!(out.contains("wrote 100"));
+        std::fs::remove_file(&f).ok();
+    }
+
+    #[test]
+    fn errors_are_reported() {
+        assert!(run(&s(&[])).is_err());
+        assert!(run(&s(&["frobnicate"])).is_err());
+        assert!(run(&s(&["generate", "--kind", "nope", "--out", "/tmp/x"])).is_err());
+        assert!(run(&s(&["build", "only-one-arg"])).is_err());
+        assert!(run(&s(&["info", "/nonexistent/file.knm"])).is_err());
+        assert!(run(&s(&["query", "/nonexistent.knm", "--point", "1", "-k", "1", "-n", "1"]))
+            .is_err());
+    }
+
+    #[test]
+    fn flag_parsing() {
+        let args = s(&["--point", "1,2", "-k", "5"]);
+        assert_eq!(flag_value(&args, "--point"), Some("1,2"));
+        assert_eq!(flag_value(&args, "-k"), Some("5"));
+        assert_eq!(flag_value(&args, "--missing"), None);
+        assert!(parse_num::<usize>("12", "x").is_ok());
+        assert!(parse_num::<usize>("twelve", "x").is_err());
+    }
+}
+
+#[cfg(test)]
+mod verify_bench_tests {
+    use super::*;
+
+    fn s(parts: &[&str]) -> Vec<String> {
+        parts.iter().map(|p| p.to_string()).collect()
+    }
+
+    #[test]
+    fn verify_and_bench_roundtrip() {
+        let dir = std::env::temp_dir().join(format!("knmatch-cli-vb-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let csv = dir.join("d.csv");
+        let db = dir.join("d.knm");
+        run(&s(&[
+            "generate", "--kind", "uniform", "--cardinality", "800", "--dims", "6", "--out",
+            csv.to_str().unwrap(),
+        ]))
+        .unwrap();
+        run(&s(&["build", csv.to_str().unwrap(), db.to_str().unwrap()])).unwrap();
+
+        let out = run(&s(&["verify", db.to_str().unwrap()])).unwrap();
+        assert!(out.contains("OK"), "{out}");
+
+        let out = run(&s(&[
+            "bench", db.to_str().unwrap(), "-k", "5", "--frequent", "2", "4", "--queries", "4",
+        ]))
+        .unwrap();
+        assert!(out.contains("AD"), "{out}");
+        assert!(out.contains("scan"), "{out}");
+        assert!(out.contains("p95"));
+
+        // Corrupt a value byte of the first column entry (header page +
+        // heap pages, then entry 0 = 4 pid bytes + 8 value bytes); verify
+        // must fail.
+        let mut bytes = std::fs::read(&db).unwrap();
+        let heap_pages = 800usize.div_ceil(knmatch_storage::page::rows_per_page(6));
+        let off = (1 + heap_pages) * knmatch_storage::PAGE_SIZE + 4 + 3;
+        bytes[off] ^= 0xFF;
+        std::fs::write(&db, &bytes).unwrap();
+        assert!(run(&s(&["verify", db.to_str().unwrap()])).is_err());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}
+
+#[cfg(test)]
+mod auto_plan_tests {
+    use super::*;
+
+    #[test]
+    fn auto_flag_reports_the_plan() {
+        let dir = std::env::temp_dir().join(format!("knmatch-cli-auto-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let csv = dir.join("a.csv");
+        let db = dir.join("a.knm");
+        let s = |parts: &[&str]| parts.iter().map(|p| p.to_string()).collect::<Vec<_>>();
+        run(&s(&[
+            "generate", "--kind", "uniform", "--cardinality", "2000", "--dims", "8", "--out",
+            csv.to_str().unwrap(),
+        ]))
+        .unwrap();
+        run(&s(&["build", csv.to_str().unwrap(), db.to_str().unwrap()])).unwrap();
+        let point = "0.5,0.5,0.5,0.5,0.5,0.5,0.5,0.5";
+        let out = run(&s(&[
+            "query", db.to_str().unwrap(), "--point", point, "-k", "5", "--frequent", "2", "4",
+            "--auto",
+        ]))
+        .unwrap();
+        assert!(out.contains("planner chose"), "{out}");
+        assert!(out.contains("appears"));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

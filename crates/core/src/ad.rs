@@ -1,0 +1,447 @@
+//! The AD (Ascending Difference) algorithm — Section 3 of the paper.
+//!
+//! The data is organised as `d` sorted lists (one per dimension). For a
+//! query `Q`, the algorithm locates `q_i` in each list by binary search and
+//! then retrieves individual attributes **in ascending order of their
+//! difference to the corresponding query attribute**, merging the `2d`
+//! directional cursors through a frontier (the paper's `g[]` array,
+//! defaulted here to a min-heap; the paper-literal linear array is kept
+//! as an ablation — see [`frequent_k_n_match_ad_linear`]).
+//! When a point id has been seen `n` times, it is the next k-n-match answer
+//! (Theorem 3.1); the algorithm stops once `k` ids have been seen `n` times
+//! (`n1` times for the frequent variant) and is **optimal in the number of
+//! attributes retrieved** (Theorems 3.2 / 3.3).
+
+use crate::error::{KnMatchError, Result};
+use crate::frontier::{AdWalker, Frontier, HeapFrontier, LinearFrontier};
+use crate::point::{validate_finite, PointId};
+use crate::result::{rank_frequent, FrequentResult, KnMatchResult, MatchEntry};
+use crate::source::SortedAccessSource;
+
+/// Cost counters for one AD run, in the paper's cost model.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct AdStats {
+    /// Individual attributes retrieved by sorted access (the paper's cost
+    /// measure; Theorem 3.2 proves AD minimises this).
+    pub attributes_retrieved: u64,
+    /// Binary-search probes issued to seed the cursors (one per dimension).
+    pub locate_probes: u64,
+    /// Triples popped from `g[]`. Popped ≤ retrieved: up to `2d` retrieved
+    /// attributes may still sit in `g[]` at termination.
+    pub heap_pops: u64,
+}
+
+impl AdStats {
+    /// Retrieved attributes as a fraction of the `c · d` total — the y-axis
+    /// of the paper's Figures 9(a) and 15(b).
+    pub fn retrieved_fraction(&self, cardinality: usize, dims: usize) -> f64 {
+        let total = (cardinality as u64).saturating_mul(dims as u64);
+        if total == 0 {
+            0.0
+        } else {
+            self.attributes_retrieved as f64 / total as f64
+        }
+    }
+}
+
+/// Answers a k-n-match query (Definition 3) with algorithm `KNMatchAD`.
+///
+/// Returns the answer set together with the run's [`AdStats`].
+///
+/// # Errors
+///
+/// Validates the query shape and parameters; see [`KnMatchError`].
+///
+/// # Examples
+///
+/// ```
+/// use knmatch_core::{k_n_match_ad, SortedColumns};
+///
+/// // The paper's Figure 3 database and its 2-2-match example:
+/// let mut cols = SortedColumns::from_rows(&[
+///     vec![0.4, 1.0, 1.0],
+///     vec![2.8, 5.5, 2.0],
+///     vec![6.5, 7.8, 5.0],
+///     vec![9.0, 9.0, 9.0],
+///     vec![3.5, 1.5, 8.0],
+/// ]).unwrap();
+/// let (res, _stats) = k_n_match_ad(&mut cols, &[3.0, 7.0, 4.0], 2, 2).unwrap();
+/// // Paper ids {2, 3} are our zero-based {1, 2}; ascending diff order
+/// // lists point 2 (diff 1.0) before point 1 (diff 1.5 = ε).
+/// assert_eq!(res.ids(), vec![2, 1]);
+/// assert_eq!(res.epsilon(), 1.5);
+/// ```
+pub fn k_n_match_ad<S: SortedAccessSource>(
+    src: &mut S,
+    query: &[f64],
+    k: usize,
+    n: usize,
+) -> Result<(KnMatchResult, AdStats)> {
+    let (mut freq, stats) = frequent_k_n_match_ad(src, query, k, n, n)?;
+    Ok((freq.per_n.pop().expect("single-n run yields one answer set"), stats))
+}
+
+/// Answers a frequent k-n-match query (Definition 4) with algorithm
+/// `FKNMatchAD`.
+///
+/// Runs the ascending-difference scan until `k` points have appeared `n1`
+/// times; by then the k-n-match answer sets for every `n ∈ [n0, n1]` have
+/// been produced as a side effect (Theorem 3.3: no more attributes are
+/// retrieved than a plain k-n1-match needs). Frequencies are counted over
+/// the k-sized per-n answer sets, per Definition 4.
+///
+/// # Errors
+///
+/// Validates the query shape and parameters; see [`KnMatchError`].
+pub fn frequent_k_n_match_ad<S: SortedAccessSource>(
+    src: &mut S,
+    query: &[f64],
+    k: usize,
+    n0: usize,
+    n1: usize,
+) -> Result<(FrequentResult, AdStats)> {
+    frequent_with_frontier::<S, HeapFrontier>(src, query, k, n0, n1)
+}
+
+/// [`frequent_k_n_match_ad`] using the paper's literal `g[]` array (linear
+/// minimum scan per pop) instead of a heap. Identical answers and
+/// attribute counts; O(d) instead of O(log d) per pop. Exposed for the
+/// frontier ablation bench.
+///
+/// # Errors
+///
+/// Validates the query shape and parameters; see [`KnMatchError`].
+pub fn frequent_k_n_match_ad_linear<S: SortedAccessSource>(
+    src: &mut S,
+    query: &[f64],
+    k: usize,
+    n0: usize,
+    n1: usize,
+) -> Result<(FrequentResult, AdStats)> {
+    frequent_with_frontier::<S, LinearFrontier>(src, query, k, n0, n1)
+}
+
+fn frequent_with_frontier<S: SortedAccessSource, F: Frontier>(
+    src: &mut S,
+    query: &[f64],
+    k: usize,
+    n0: usize,
+    n1: usize,
+) -> Result<(FrequentResult, AdStats)> {
+    let d = src.dims();
+    let c = src.cardinality();
+    validate_params(query, d, c, k, n0, n1)?;
+
+    let mut appear = vec![0u16; c];
+    // S_{n0} … S_{n1}, filled in order of appearance (= ascending n-match
+    // difference, Theorem 3.1).
+    let mut sets: Vec<Vec<MatchEntry>> = vec![Vec::new(); n1 - n0 + 1];
+    let mut walker: AdWalker<F> = AdWalker::seed(src, query);
+
+    let last_set = n1 - n0;
+    while sets[last_set].len() < k {
+        let (pid, diff) = walker
+            .next_pop(src)
+            .expect("g[] exhausted: all c·d attributes read, so every point appeared d ≥ n1 times");
+        let a = appear[pid as usize] + 1;
+        appear[pid as usize] = a;
+        let a = a as usize;
+        if a >= n0 && a <= n1 {
+            sets[a - n0].push(MatchEntry { pid, diff });
+        }
+    }
+
+    // Each S_n lists answers in ascending n-match-difference order; the
+    // k-n-match answer set is its first k entries (S_{n1} has exactly k).
+    let mut per_n = Vec::with_capacity(sets.len());
+    let mut counts: Vec<u32> = vec![0; c];
+    for (i, mut set) in sets.into_iter().enumerate() {
+        set.truncate(k);
+        for e in &set {
+            counts[e.pid as usize] += 1;
+        }
+        let mut res = KnMatchResult { n: n0 + i, entries: set };
+        res.normalise();
+        per_n.push(res);
+    }
+    let count_pairs: Vec<(PointId, u32)> = counts
+        .iter()
+        .enumerate()
+        .filter(|&(_, &cnt)| cnt > 0)
+        .map(|(pid, &cnt)| (pid as PointId, cnt))
+        .collect();
+    let entries = rank_frequent(&count_pairs, k);
+
+    Ok((FrequentResult { range: (n0, n1), entries, per_n }, walker.stats))
+}
+
+/// Answers an **ε-n-match query**: every point whose n-match difference is
+/// at most `eps`, in ascending `(diff, pid)` order — the threshold
+/// companion of the k-n-match query (the paper determines ε from k; this
+/// API lets callers fix ε directly, e.g. "all objects matching the query
+/// in ≥ n dimensions within 0.05").
+///
+/// Also returns the run's [`AdStats`]; the walk stops at the first popped
+/// difference exceeding `eps`, so the cost is proportional to the answer.
+///
+/// # Errors
+///
+/// Validates like [`k_n_match_ad`] (with `k` implicitly free), plus
+/// rejects a negative or non-finite `eps` via
+/// [`KnMatchError::NonFiniteValue`] on dimension 0.
+pub fn eps_n_match_ad<S: SortedAccessSource>(
+    src: &mut S,
+    query: &[f64],
+    eps: f64,
+    n: usize,
+) -> Result<(KnMatchResult, AdStats)> {
+    let d = src.dims();
+    let c = src.cardinality();
+    validate_params(query, d, c, 1, n, n)?;
+    if !eps.is_finite() || eps < 0.0 {
+        return Err(KnMatchError::NonFiniteValue { dim: 0 });
+    }
+    let mut appear = vec![0u16; c];
+    let mut entries = Vec::new();
+    let mut walker: AdWalker<HeapFrontier> = AdWalker::seed(src, query);
+    while let Some((pid, diff)) = walker.next_pop(src) {
+        if diff > eps {
+            break;
+        }
+        let a = appear[pid as usize] + 1;
+        appear[pid as usize] = a;
+        if a as usize == n {
+            entries.push(MatchEntry { pid, diff });
+        }
+    }
+    let mut res = KnMatchResult { n, entries };
+    res.normalise();
+    Ok((res, walker.stats))
+}
+
+/// Validates a (query, k, n-range) parameter set against a `d`-dimensional,
+/// cardinality-`c` source. Shared by every query algorithm in this crate and
+/// by the disk/VA-file/IGrid implementations in sibling crates.
+///
+/// # Errors
+///
+/// See [`KnMatchError`] for each condition.
+pub fn validate_params(
+    query: &[f64],
+    d: usize,
+    c: usize,
+    k: usize,
+    n0: usize,
+    n1: usize,
+) -> Result<()> {
+    if c == 0 {
+        return Err(KnMatchError::EmptyDataset);
+    }
+    if query.len() != d {
+        return Err(KnMatchError::DimensionMismatch { expected: d, actual: query.len() });
+    }
+    validate_finite(query)?;
+    if k == 0 || k > c {
+        return Err(KnMatchError::InvalidK { k, cardinality: c });
+    }
+    if n0 == 0 || n0 > n1 || n1 > d {
+        return Err(KnMatchError::InvalidRange { n0, n1, dims: d });
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::columns::SortedColumns;
+
+    /// The paper's Figure 3 database (ids shifted to 0-based).
+    fn fig3() -> SortedColumns {
+        SortedColumns::build(&crate::paper::fig3_dataset())
+    }
+
+    #[test]
+    fn paper_running_example_2_2_match() {
+        // Section 3.1's worked run: 2-2-match of (3.0, 7.0, 4.0) is
+        // {point 2, point 3} (1-based) with ε = 1.5.
+        let mut cols = fig3();
+        let (res, stats) = k_n_match_ad(&mut cols, &[3.0, 7.0, 4.0], 2, 2).unwrap();
+        // Ascending 2-match difference: point 3 (paper id; diff 1.0) then
+        // point 2 (diff 1.5).
+        assert_eq!(res.ids(), vec![2, 1]);
+        assert_eq!(res.epsilon(), 1.5);
+        // The worked example pops 5 triples before stopping.
+        assert_eq!(stats.heap_pops, 5);
+        // 6 seeds + one refill per pop, none exhausted.
+        assert_eq!(stats.attributes_retrieved, 6 + 5);
+        assert_eq!(stats.locate_probes, 3);
+    }
+
+    #[test]
+    fn linear_frontier_variant_is_identical() {
+        let mut cols = fig3();
+        let q = [3.0, 7.0, 4.0];
+        for (k, n0, n1) in [(2usize, 2usize, 2usize), (1, 1, 1), (3, 1, 3), (5, 2, 3)] {
+            let (a, sa) = frequent_k_n_match_ad(&mut cols, &q, k, n0, n1).unwrap();
+            let (b, sb) = frequent_k_n_match_ad_linear(&mut cols, &q, k, n0, n1).unwrap();
+            assert_eq!(a, b, "k={k} [{n0},{n1}]");
+            assert_eq!(sa, sb);
+        }
+    }
+
+    #[test]
+    fn paper_fig3_1_match_is_point_2() {
+        // The FA counterexample: the correct 1-match of (3.0, 7.0, 4.0) is
+        // point 2 (diff 0.2), not point 1.
+        let mut cols = fig3();
+        let (res, _) = k_n_match_ad(&mut cols, &[3.0, 7.0, 4.0], 1, 1).unwrap();
+        assert_eq!(res.ids(), vec![1]); // paper's point 2
+        assert!((res.epsilon() - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn full_n_equals_d_matches_chebyshev_ranking() {
+        // With n = d the n-match difference is the L∞ distance, so the
+        // answer is the Chebyshev nearest neighbour.
+        let ds = crate::paper::fig3_dataset();
+        let mut cols = fig3();
+        let q = [3.0, 7.0, 4.0];
+        let (res, _) = k_n_match_ad(&mut cols, &q, 1, 3).unwrap();
+        let cheb =
+            |p: &[f64]| p.iter().zip(&q).map(|(a, b)| (a - b).abs()).fold(0.0f64, f64::max);
+        let best = ds
+            .iter()
+            .min_by(|a, b| cheb(a.1).total_cmp(&cheb(b.1)))
+            .map(|(pid, _)| pid)
+            .unwrap();
+        assert_eq!(res.ids(), vec![best]);
+    }
+
+    #[test]
+    fn frequent_run_produces_all_per_n_sets() {
+        let mut cols = fig3();
+        let (freq, _) = frequent_k_n_match_ad(&mut cols, &[3.0, 7.0, 4.0], 2, 1, 3).unwrap();
+        assert_eq!(freq.per_n.len(), 3);
+        for (i, r) in freq.per_n.iter().enumerate() {
+            assert_eq!(r.n, i + 1);
+            assert_eq!(r.entries.len(), 2);
+        }
+        assert_eq!(freq.entries.len(), 2);
+        // Point 2 (0-based 1) is in every answer set: 1-match (0.2),
+        // 2-match (1.5), 3-match (2.0) → count 3.
+        assert_eq!(freq.count_of(1), 3);
+        assert_eq!(freq.ids()[0], 1);
+    }
+
+    #[test]
+    fn eps_n_match_returns_all_within_threshold() {
+        let mut cols = fig3();
+        let q = [3.0, 7.0, 4.0];
+        // 2-match differences: p1 2.6, p2 1.5, p3 1.0, p4 5.0, p5 3.5
+        // (1-based). ε = 1.6 admits points 2 and 3.
+        let (res, _) = eps_n_match_ad(&mut cols, &q, 1.6, 2).unwrap();
+        assert_eq!(res.ids(), vec![2, 1]);
+        // ε = 0.9 admits nothing.
+        let (res, _) = eps_n_match_ad(&mut cols, &q, 0.9, 2).unwrap();
+        assert!(res.entries.is_empty());
+        // A huge ε admits everything, ranked.
+        let (res, _) = eps_n_match_ad(&mut cols, &q, 100.0, 2).unwrap();
+        assert_eq!(res.entries.len(), 5);
+        let diffs = res.diffs();
+        assert!(diffs.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    fn eps_n_match_agrees_with_k_n_match_at_epsilon() {
+        let mut cols = fig3();
+        let q = [3.0, 7.0, 4.0];
+        let (topk, _) = k_n_match_ad(&mut cols, &q, 3, 2).unwrap();
+        let (by_eps, _) = eps_n_match_ad(&mut cols, &q, topk.epsilon(), 2).unwrap();
+        assert_eq!(by_eps.ids(), topk.ids());
+    }
+
+    #[test]
+    fn eps_validation() {
+        let mut cols = fig3();
+        assert!(eps_n_match_ad(&mut cols, &[0.0; 3], -1.0, 1).is_err());
+        assert!(eps_n_match_ad(&mut cols, &[0.0; 3], f64::NAN, 1).is_err());
+        assert!(eps_n_match_ad(&mut cols, &[0.0; 3], 1.0, 4).is_err());
+    }
+
+    #[test]
+    fn k_equals_cardinality_ranks_everything() {
+        let mut cols = fig3();
+        let (res, stats) = k_n_match_ad(&mut cols, &[3.0, 7.0, 4.0], 5, 2).unwrap();
+        assert_eq!(res.entries.len(), 5);
+        assert!(stats.attributes_retrieved <= 15);
+        let diffs = res.diffs();
+        assert!(diffs.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    fn query_outside_data_range_works() {
+        let mut cols = fig3();
+        // All data below the query in every dimension: only down-cursors live.
+        let (res, _) = k_n_match_ad(&mut cols, &[100.0, 100.0, 100.0], 1, 3).unwrap();
+        assert_eq!(res.ids(), vec![3]); // (9,9,9) is the closest everywhere
+        // And from below.
+        let (res, _) = k_n_match_ad(&mut cols, &[-5.0, -5.0, -5.0], 1, 3).unwrap();
+        assert_eq!(res.ids(), vec![0]);
+    }
+
+    #[test]
+    fn validation_errors() {
+        let mut cols = fig3();
+        assert!(matches!(
+            k_n_match_ad(&mut cols, &[1.0], 1, 1),
+            Err(KnMatchError::DimensionMismatch { .. })
+        ));
+        assert!(matches!(
+            k_n_match_ad(&mut cols, &[1.0, 1.0, 1.0], 0, 1),
+            Err(KnMatchError::InvalidK { .. })
+        ));
+        assert!(matches!(
+            k_n_match_ad(&mut cols, &[1.0, 1.0, 1.0], 6, 1),
+            Err(KnMatchError::InvalidK { .. })
+        ));
+        assert!(matches!(
+            k_n_match_ad(&mut cols, &[1.0, 1.0, 1.0], 1, 0),
+            Err(KnMatchError::InvalidRange { .. })
+        ));
+        assert!(matches!(
+            k_n_match_ad(&mut cols, &[1.0, 1.0, 1.0], 1, 4),
+            Err(KnMatchError::InvalidRange { .. })
+        ));
+        assert!(matches!(
+            frequent_k_n_match_ad(&mut cols, &[1.0, 1.0, 1.0], 1, 3, 2),
+            Err(KnMatchError::InvalidRange { .. })
+        ));
+        assert!(matches!(
+            k_n_match_ad(&mut cols, &[1.0, f64::NAN, 1.0], 1, 1),
+            Err(KnMatchError::NonFiniteValue { dim: 1 })
+        ));
+    }
+
+    #[test]
+    fn single_point_database() {
+        let mut cols = SortedColumns::from_rows(&[[0.5, 0.5]]).unwrap();
+        let (res, _) = k_n_match_ad(&mut cols, &[0.0, 1.0], 1, 2).unwrap();
+        assert_eq!(res.ids(), vec![0]);
+        assert!((res.epsilon() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn exact_match_has_zero_epsilon() {
+        let mut cols = fig3();
+        let (res, _) = k_n_match_ad(&mut cols, &[2.8, 5.5, 2.0], 1, 3).unwrap();
+        assert_eq!(res.ids(), vec![1]);
+        assert_eq!(res.epsilon(), 0.0);
+    }
+
+    #[test]
+    fn stats_fraction() {
+        let s = AdStats { attributes_retrieved: 30, locate_probes: 3, heap_pops: 25 };
+        assert!((s.retrieved_fraction(10, 10) - 0.3).abs() < 1e-12);
+        assert_eq!(AdStats::default().retrieved_fraction(0, 0), 0.0);
+    }
+}

@@ -1,0 +1,160 @@
+//! In-memory sorted-dimension organisation of a dataset.
+//!
+//! Each dimension is a list of `(value, point id)` pairs sorted by value —
+//! the organisation the AD algorithm requires (Section 3.1, Figure 5 of the
+//! paper). Building from a [`Dataset`] costs `O(d · c log c)` once;
+//! afterwards every query locates the query attribute by binary search and
+//! walks outwards.
+
+use crate::error::Result;
+use crate::point::{Dataset, PointId};
+use crate::source::{SortedAccessSource, SortedEntry};
+
+/// A dataset reorganised into `d` value-sorted columns.
+///
+/// # Examples
+///
+/// ```
+/// use knmatch_core::{Dataset, SortedColumns};
+///
+/// let ds = Dataset::from_rows(&[vec![0.9, 0.1], vec![0.2, 0.8]]).unwrap();
+/// let cols = SortedColumns::build(&ds);
+/// // Dimension 0 sorted ascending: (pid 1, 0.2), (pid 0, 0.9).
+/// assert_eq!(cols.column(0)[0].pid, 1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct SortedColumns {
+    dims: usize,
+    cardinality: usize,
+    columns: Vec<Vec<SortedEntry>>,
+}
+
+impl SortedColumns {
+    /// Sorts every dimension of `ds`.
+    pub fn build(ds: &Dataset) -> Self {
+        let dims = ds.dims();
+        let cardinality = ds.len();
+        let mut columns = Vec::with_capacity(dims);
+        for dim in 0..dims {
+            let mut col: Vec<SortedEntry> = (0..cardinality)
+                .map(|i| SortedEntry { pid: i as PointId, value: ds.coord(i as PointId, dim) })
+                .collect();
+            col.sort_unstable_by(|a, b| a.value.total_cmp(&b.value).then(a.pid.cmp(&b.pid)));
+            columns.push(col);
+        }
+        SortedColumns { dims, cardinality, columns }
+    }
+
+    /// Builds directly from row slices (validates like [`Dataset::from_rows`]).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`Dataset::from_rows`] validation errors.
+    pub fn from_rows<R: AsRef<[f64]>>(rows: &[R]) -> Result<Self> {
+        Ok(Self::build(&Dataset::from_rows(rows)?))
+    }
+
+    /// The sorted `(value, pid)` column of `dim`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `dim` is out of range.
+    pub fn column(&self, dim: usize) -> &[SortedEntry] {
+        &self.columns[dim]
+    }
+
+    /// Dimensionality `d`.
+    pub fn dims(&self) -> usize {
+        self.dims
+    }
+
+    /// Cardinality `c`.
+    pub fn cardinality(&self) -> usize {
+        self.cardinality
+    }
+}
+
+impl SortedAccessSource for SortedColumns {
+    fn dims(&self) -> usize {
+        self.dims
+    }
+
+    fn cardinality(&self) -> usize {
+        self.cardinality
+    }
+
+    fn locate(&mut self, dim: usize, q: f64) -> usize {
+        self.columns[dim].partition_point(|e| e.value < q)
+    }
+
+    fn entry(&mut self, dim: usize, rank: usize) -> SortedEntry {
+        self.columns[dim][rank]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> SortedColumns {
+        // Figure 3 database of the paper.
+        SortedColumns::from_rows(&[
+            vec![0.4, 1.0, 1.0],
+            vec![2.8, 5.5, 2.0],
+            vec![6.5, 7.8, 5.0],
+            vec![9.0, 9.0, 9.0],
+            vec![3.5, 1.5, 8.0],
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn columns_are_sorted_with_pids() {
+        let cols = sample();
+        // Figure 5 of the paper: dimension 1 sorted is
+        // (1,0.4) (2,2.8) (5,3.5) (3,6.5) (4,9.0) — paper ids are 1-based.
+        let d0: Vec<(PointId, f64)> = cols.column(0).iter().map(|e| (e.pid, e.value)).collect();
+        assert_eq!(d0, vec![(0, 0.4), (1, 2.8), (4, 3.5), (2, 6.5), (3, 9.0)]);
+        for dim in 0..cols.dims() {
+            let col = cols.column(dim);
+            assert!(col.windows(2).all(|w| w[0].value <= w[1].value));
+            assert_eq!(col.len(), cols.cardinality());
+        }
+    }
+
+    #[test]
+    fn every_point_appears_once_per_column() {
+        let cols = sample();
+        for dim in 0..cols.dims() {
+            let mut pids: Vec<PointId> = cols.column(dim).iter().map(|e| e.pid).collect();
+            pids.sort_unstable();
+            assert_eq!(pids, vec![0, 1, 2, 3, 4]);
+        }
+    }
+
+    #[test]
+    fn locate_finds_first_geq() {
+        let mut cols = sample();
+        // Dimension 0 values: 0.4 2.8 3.5 6.5 9.0
+        assert_eq!(cols.locate(0, 3.0), 2);
+        assert_eq!(cols.locate(0, 0.0), 0);
+        assert_eq!(cols.locate(0, 9.0), 4);
+        assert_eq!(cols.locate(0, 10.0), 5);
+        assert_eq!(cols.locate(0, 2.8), 1); // exact hit → its own rank
+    }
+
+    #[test]
+    fn entry_returns_rank_order() {
+        let mut cols = sample();
+        assert_eq!(cols.entry(1, 0), SortedEntry { pid: 0, value: 1.0 });
+        assert_eq!(cols.entry(1, 4), SortedEntry { pid: 3, value: 9.0 });
+    }
+
+    #[test]
+    fn duplicate_values_break_ties_by_pid() {
+        let mut cols = SortedColumns::from_rows(&[[5.0], [5.0], [1.0]]).unwrap();
+        let col: Vec<PointId> = cols.column(0).iter().map(|e| e.pid).collect();
+        assert_eq!(col, vec![2, 0, 1]);
+        assert_eq!(cols.locate(0, 5.0), 1);
+    }
+}

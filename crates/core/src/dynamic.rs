@@ -1,0 +1,368 @@
+//! An updatable sorted-dimension index.
+//!
+//! The paper treats the database as static ([`crate::SortedColumns`] is
+//! built once). Real deployments insert and delete; this module keeps the
+//! per-dimension sorted organisation incrementally maintained so the AD
+//! algorithm keeps running unchanged. Points are addressed by caller-owned
+//! stable `u64` keys; internally they map to dense slots so the engine's
+//! appearance counting stays O(c) — the indirection is invisible in
+//! results, which report keys.
+//!
+//! Costs: insert and remove are `O(d · c)` worst case (one ordered `Vec`
+//! memmove per dimension — fine up to hundreds of thousands of points;
+//! beyond that, rebuild batching or an order-statistic tree would be the
+//! next step). Queries cost exactly what the static index costs.
+
+use std::collections::HashMap;
+
+use crate::ad::AdStats;
+use crate::error::{KnMatchError, Result};
+use crate::point::{validate_finite, PointId};
+use crate::result::FrequentResult;
+use crate::source::{SortedAccessSource, SortedEntry};
+
+/// One answer from a dynamic index query: the caller's key and the n-match
+/// difference.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct KeyedMatch {
+    /// The caller-supplied stable key.
+    pub key: u64,
+    /// The n-match difference w.r.t. the query.
+    pub diff: f64,
+}
+
+/// An insert/remove-capable sorted-dimension index over keyed points.
+#[derive(Debug, Clone, Default)]
+pub struct DynamicColumns {
+    dims: usize,
+    /// Row-major coordinates by slot.
+    coords: Vec<f64>,
+    /// Slot → key.
+    keys: Vec<u64>,
+    /// Key → slot.
+    slots: HashMap<u64, PointId>,
+    /// Per-dimension entries sorted by `(value, pid)`; `pid` is the slot.
+    columns: Vec<Vec<SortedEntry>>,
+}
+
+impl DynamicColumns {
+    /// Creates an empty index of the given dimensionality.
+    ///
+    /// # Errors
+    ///
+    /// Rejects zero dimensions.
+    pub fn new(dims: usize) -> Result<Self> {
+        if dims == 0 {
+            return Err(KnMatchError::ZeroDimensions);
+        }
+        Ok(DynamicColumns {
+            dims,
+            coords: Vec::new(),
+            keys: Vec::new(),
+            slots: HashMap::new(),
+            columns: vec![Vec::new(); dims],
+        })
+    }
+
+    /// Number of live points.
+    pub fn len(&self) -> usize {
+        self.keys.len()
+    }
+
+    /// Whether the index is empty.
+    pub fn is_empty(&self) -> bool {
+        self.keys.is_empty()
+    }
+
+    /// Dimensionality.
+    pub fn dims(&self) -> usize {
+        self.dims
+    }
+
+    /// Whether `key` is present.
+    pub fn contains_key(&self, key: u64) -> bool {
+        self.slots.contains_key(&key)
+    }
+
+    /// The coordinates stored under `key`, if present.
+    pub fn get(&self, key: u64) -> Option<&[f64]> {
+        self.slots.get(&key).map(|&s| {
+            let i = s as usize * self.dims;
+            &self.coords[i..i + self.dims]
+        })
+    }
+
+    /// Inserts a point under `key`. Re-inserting an existing key is an
+    /// update: the old point is removed first.
+    ///
+    /// # Errors
+    ///
+    /// Rejects wrong-width ([`KnMatchError::DimensionMismatch`]) and
+    /// non-finite ([`KnMatchError::NonFiniteValue`]) points.
+    pub fn insert(&mut self, key: u64, point: &[f64]) -> Result<()> {
+        if point.len() != self.dims {
+            return Err(KnMatchError::DimensionMismatch {
+                expected: self.dims,
+                actual: point.len(),
+            });
+        }
+        validate_finite(point)?;
+        if self.slots.contains_key(&key) {
+            // Re-inserting an existing key is an update: remove then add.
+            self.remove(key).expect("key checked present");
+        }
+        let slot = self.keys.len() as PointId;
+        self.keys.push(key);
+        self.slots.insert(key, slot);
+        self.coords.extend_from_slice(point);
+        for (dim, &v) in point.iter().enumerate() {
+            let col = &mut self.columns[dim];
+            let pos = col.partition_point(|e| {
+                e.value < v || (e.value == v && e.pid < slot)
+            });
+            col.insert(pos, SortedEntry { pid: slot, value: v });
+        }
+        Ok(())
+    }
+
+    /// Removes the point stored under `key`, returning its coordinates.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`KnMatchError::EmptyDataset`] when the key is absent.
+    pub fn remove(&mut self, key: u64) -> Result<Vec<f64>> {
+        let slot = *self.slots.get(&key).ok_or(KnMatchError::EmptyDataset)?;
+        let s = slot as usize;
+        let removed: Vec<f64> = self.coords[s * self.dims..(s + 1) * self.dims].to_vec();
+
+        // Drop the slot's entries from every column.
+        for (dim, &v) in removed.iter().enumerate() {
+            let pos = self.find_entry(dim, v, slot);
+            self.columns[dim].remove(pos);
+        }
+
+        // Move the last slot into the hole to keep slots dense.
+        let last = self.keys.len() - 1;
+        if s != last {
+            let moved_key = self.keys[last];
+            let moved: Vec<f64> =
+                self.coords[last * self.dims..(last + 1) * self.dims].to_vec();
+            for (dim, &v) in moved.iter().enumerate() {
+                let pos = self.find_entry(dim, v, last as PointId);
+                self.columns[dim][pos].pid = slot;
+            }
+            self.keys[s] = moved_key;
+            self.slots.insert(moved_key, slot);
+            let (dst, src) = self.coords.split_at_mut(last * self.dims);
+            dst[s * self.dims..(s + 1) * self.dims].copy_from_slice(&src[..self.dims]);
+        }
+        self.keys.pop();
+        self.coords.truncate(last * self.dims);
+        self.slots.remove(&key);
+        Ok(removed)
+    }
+
+    /// Rank of the entry `(value, pid)` in `dim` (it must exist).
+    fn find_entry(&self, dim: usize, value: f64, pid: PointId) -> usize {
+        let col = &self.columns[dim];
+        let mut pos = col.partition_point(|e| {
+            e.value < value || (e.value == value && e.pid < pid)
+        });
+        // Defensive scan over any exact duplicates.
+        while col[pos].pid != pid {
+            pos += 1;
+        }
+        debug_assert_eq!(col[pos].value.to_bits(), value.to_bits());
+        pos
+    }
+
+    /// Answers a k-n-match query over the live points, reporting keys.
+    ///
+    /// # Errors
+    ///
+    /// Validates like [`crate::k_n_match_ad`].
+    pub fn k_n_match(&mut self, query: &[f64], k: usize, n: usize) -> Result<(Vec<KeyedMatch>, AdStats)> {
+        let keys = self.keys.clone();
+        let (res, stats) = crate::ad::k_n_match_ad(self, query, k, n)?;
+        Ok((
+            res.entries
+                .iter()
+                .map(|e| KeyedMatch { key: keys[e.pid as usize], diff: e.diff })
+                .collect(),
+            stats,
+        ))
+    }
+
+    /// Answers a frequent k-n-match query, reporting `(key, count)` pairs.
+    ///
+    /// # Errors
+    ///
+    /// Validates like [`crate::frequent_k_n_match_ad`].
+    pub fn frequent_k_n_match(
+        &mut self,
+        query: &[f64],
+        k: usize,
+        n0: usize,
+        n1: usize,
+    ) -> Result<(Vec<(u64, u32)>, AdStats)> {
+        let keys = self.keys.clone();
+        let (res, stats): (FrequentResult, AdStats) =
+            crate::ad::frequent_k_n_match_ad(self, query, k, n0, n1)?;
+        Ok((
+            res.entries.iter().map(|e| (keys[e.pid as usize], e.count)).collect(),
+            stats,
+        ))
+    }
+}
+
+impl SortedAccessSource for DynamicColumns {
+    fn dims(&self) -> usize {
+        self.dims
+    }
+
+    fn cardinality(&self) -> usize {
+        self.keys.len()
+    }
+
+    fn locate(&mut self, dim: usize, q: f64) -> usize {
+        self.columns[dim].partition_point(|e| e.value < q)
+    }
+
+    fn entry(&mut self, dim: usize, rank: usize) -> SortedEntry {
+        self.columns[dim][rank]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{k_n_match_scan, Dataset};
+
+    fn naive_top(rows: &[(u64, Vec<f64>)], q: &[f64], k: usize, n: usize) -> Vec<u64> {
+        let ds = Dataset::from_rows(&rows.iter().map(|(_, p)| p.clone()).collect::<Vec<_>>())
+            .unwrap();
+        k_n_match_scan(&ds, q, k, n)
+            .unwrap()
+            .ids()
+            .into_iter()
+            .map(|pid| rows[pid as usize].0)
+            .collect()
+    }
+
+    #[test]
+    fn insert_then_query_matches_naive() {
+        let mut idx = DynamicColumns::new(3).unwrap();
+        let rows: Vec<(u64, Vec<f64>)> = vec![
+            (100, vec![0.4, 1.0, 1.0]),
+            (200, vec![2.8, 5.5, 2.0]),
+            (300, vec![6.5, 7.8, 5.0]),
+            (400, vec![9.0, 9.0, 9.0]),
+            (500, vec![3.5, 1.5, 8.0]),
+        ];
+        for (k, p) in &rows {
+            idx.insert(*k, p).unwrap();
+        }
+        let q = [3.0, 7.0, 4.0];
+        let (got, _) = idx.k_n_match(&q, 2, 2).unwrap();
+        let keys: Vec<u64> = got.iter().map(|m| m.key).collect();
+        assert_eq!(keys, naive_top(&rows, &q, 2, 2));
+        assert_eq!(keys, vec![300, 200]); // paper's {3, 2} in diff order
+    }
+
+    #[test]
+    fn remove_reroutes_answers() {
+        let mut idx = DynamicColumns::new(2).unwrap();
+        idx.insert(1, &[0.1, 0.1]).unwrap();
+        idx.insert(2, &[0.2, 0.2]).unwrap();
+        idx.insert(3, &[0.9, 0.9]).unwrap();
+        let q = [0.0, 0.0];
+        let (got, _) = idx.k_n_match(&q, 1, 2).unwrap();
+        assert_eq!(got[0].key, 1);
+        assert_eq!(idx.remove(1).unwrap(), vec![0.1, 0.1]);
+        let (got, _) = idx.k_n_match(&q, 1, 2).unwrap();
+        assert_eq!(got[0].key, 2);
+        assert_eq!(idx.len(), 2);
+        assert!(!idx.contains_key(1));
+        assert!(idx.get(2).is_some());
+    }
+
+    #[test]
+    fn reinserting_a_key_updates_the_point() {
+        let mut idx = DynamicColumns::new(1).unwrap();
+        idx.insert(7, &[0.5]).unwrap();
+        idx.insert(8, &[0.9]).unwrap();
+        idx.insert(7, &[0.95]).unwrap(); // move key 7
+        assert_eq!(idx.len(), 2);
+        let (got, _) = idx.k_n_match(&[1.0], 1, 1).unwrap();
+        assert_eq!(got[0].key, 7);
+        assert_eq!(idx.get(7).unwrap(), &[0.95]);
+    }
+
+    #[test]
+    fn interleaved_operations_stay_consistent() {
+        let mut idx = DynamicColumns::new(4).unwrap();
+        let mut live: Vec<(u64, Vec<f64>)> = Vec::new();
+        let mut x = 0x12345u64;
+        let mut rnd = move || {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            (x >> 11) as f64 / (1u64 << 53) as f64
+        };
+        for step in 0..200u64 {
+            if step % 5 == 4 && !live.is_empty() {
+                // Remove a pseudo-random live key.
+                let at = (step as usize * 7) % live.len();
+                let (key, _) = live.remove(at);
+                idx.remove(key).unwrap();
+            } else {
+                let p: Vec<f64> = (0..4).map(|_| rnd()).collect();
+                idx.insert(step, &p).unwrap();
+                live.push((step, p));
+            }
+            assert_eq!(idx.len(), live.len());
+        }
+        // Final query agrees with the naive oracle over the live set.
+        let q = [0.5, 0.5, 0.5, 0.5];
+        for n in 1..=4 {
+            let (got, _) = idx.k_n_match(&q, 10, n).unwrap();
+            let keys: Vec<u64> = got.iter().map(|m| m.key).collect();
+            assert_eq!(keys, naive_top(&live, &q, 10, n), "n={n}");
+        }
+        // Frequent query runs too.
+        let (freq, _) = idx.frequent_k_n_match(&q, 5, 1, 4).unwrap();
+        assert_eq!(freq.len(), 5);
+    }
+
+    #[test]
+    fn column_invariants_after_churn() {
+        let mut idx = DynamicColumns::new(2).unwrap();
+        for i in 0..50u64 {
+            idx.insert(i, &[(i as f64 * 0.31) % 1.0, (i as f64 * 0.17) % 1.0]).unwrap();
+        }
+        for i in (0..50u64).step_by(3) {
+            idx.remove(i).unwrap();
+        }
+        for dim in 0..2 {
+            let col = &idx.columns[dim];
+            assert_eq!(col.len(), idx.len());
+            assert!(col.windows(2).all(|w| w[0].value <= w[1].value));
+            let mut pids: Vec<u32> = col.iter().map(|e| e.pid).collect();
+            pids.sort_unstable();
+            let want: Vec<u32> = (0..idx.len() as u32).collect();
+            assert_eq!(pids, want, "slots must stay dense");
+        }
+    }
+
+    #[test]
+    fn errors() {
+        let mut idx = DynamicColumns::new(2).unwrap();
+        assert!(DynamicColumns::new(0).is_err());
+        assert!(idx.insert(1, &[0.0]).is_err());
+        assert!(idx.insert(1, &[0.0, f64::NAN]).is_err());
+        assert!(idx.remove(99).is_err());
+        idx.insert(1, &[0.0, 0.0]).unwrap();
+        assert!(idx.k_n_match(&[0.0, 0.0], 2, 1).is_err()); // k > live
+        assert!(idx.k_n_match(&[0.0, 0.0], 1, 3).is_err()); // n > d
+    }
+}

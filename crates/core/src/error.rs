@@ -1,0 +1,103 @@
+//! Error types shared by all k-n-match query operations.
+
+use std::fmt;
+
+/// Errors raised when validating or executing a (frequent) k-n-match query.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum KnMatchError {
+    /// The query point's dimensionality differs from the dataset's.
+    DimensionMismatch {
+        /// Dimensionality of the dataset.
+        expected: usize,
+        /// Dimensionality of the offending point.
+        actual: usize,
+    },
+    /// `k` was zero or exceeded the dataset cardinality.
+    InvalidK {
+        /// The requested `k`.
+        k: usize,
+        /// The dataset cardinality.
+        cardinality: usize,
+    },
+    /// `n` was zero or exceeded the dimensionality.
+    InvalidN {
+        /// The requested `n`.
+        n: usize,
+        /// The dataset dimensionality.
+        dims: usize,
+    },
+    /// A frequent k-n-match range `[n0, n1]` was empty or out of `[1, d]`.
+    InvalidRange {
+        /// Lower end of the requested range.
+        n0: usize,
+        /// Upper end of the requested range.
+        n1: usize,
+        /// The dataset dimensionality.
+        dims: usize,
+    },
+    /// The dataset holds no points, so no query can be answered.
+    EmptyDataset,
+    /// A coordinate was NaN or infinite; the matching model requires finite
+    /// values (differences must totally order).
+    NonFiniteValue {
+        /// Dimension of the offending coordinate.
+        dim: usize,
+    },
+    /// A point with zero dimensions was supplied.
+    ZeroDimensions,
+}
+
+impl fmt::Display for KnMatchError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            KnMatchError::DimensionMismatch { expected, actual } => {
+                write!(f, "dimension mismatch: dataset has {expected} dims, point has {actual}")
+            }
+            KnMatchError::InvalidK { k, cardinality } => {
+                write!(f, "invalid k={k}: must satisfy 1 <= k <= cardinality ({cardinality})")
+            }
+            KnMatchError::InvalidN { n, dims } => {
+                write!(f, "invalid n={n}: must satisfy 1 <= n <= dimensionality ({dims})")
+            }
+            KnMatchError::InvalidRange { n0, n1, dims } => {
+                write!(f, "invalid range [{n0}, {n1}]: must satisfy 1 <= n0 <= n1 <= d ({dims})")
+            }
+            KnMatchError::EmptyDataset => write!(f, "dataset is empty"),
+            KnMatchError::NonFiniteValue { dim } => {
+                write!(f, "non-finite coordinate in dimension {dim}")
+            }
+            KnMatchError::ZeroDimensions => write!(f, "points must have at least one dimension"),
+        }
+    }
+}
+
+impl std::error::Error for KnMatchError {}
+
+/// Convenience alias used throughout the crate.
+pub type Result<T> = std::result::Result<T, KnMatchError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_mention_parameters() {
+        let e = KnMatchError::DimensionMismatch { expected: 4, actual: 3 };
+        assert!(e.to_string().contains('4') && e.to_string().contains('3'));
+        let e = KnMatchError::InvalidK { k: 9, cardinality: 5 };
+        assert!(e.to_string().contains("k=9"));
+        let e = KnMatchError::InvalidN { n: 7, dims: 4 };
+        assert!(e.to_string().contains("n=7"));
+        let e = KnMatchError::InvalidRange { n0: 3, n1: 2, dims: 4 };
+        assert!(e.to_string().contains("[3, 2]"));
+        assert_eq!(KnMatchError::EmptyDataset.to_string(), "dataset is empty");
+        let e = KnMatchError::NonFiniteValue { dim: 2 };
+        assert!(e.to_string().contains("dimension 2"));
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        fn assert_err<E: std::error::Error>(_: &E) {}
+        assert_err(&KnMatchError::EmptyDataset);
+    }
+}

@@ -1,0 +1,332 @@
+//! Fagin's FA and the Threshold Algorithm for **monotone** aggregation
+//! over sorted lists — the middleware algorithms (PODS'96 / PODS'01, the
+//! paper's references \[11\] and \[13\]) that the paper proves *inapplicable*
+//! to the k-n-match problem.
+//!
+//! Section 3: "the algorithm proposed in \[11\] … does not apply to our
+//! problem. They require the aggregation function to be monotone, but the
+//! aggregation function used in k-n-match (that is, n-match difference) is
+//! not monotone." This module implements the real thing for functions that
+//! *are* monotone (min / max / weighted sum of per-dimension differences
+//! would not be — FA's classical setting aggregates *scores*, larger =
+//! better), and the tests reproduce the paper's Figure 3 counterexample:
+//! running a sorted-row FA-style scan with the n-match difference returns
+//! the wrong answer, while the AD algorithm returns the right one.
+//!
+//! Model: dimension `i` ranks all objects by descending grade
+//! `x_i ∈ [0, 1]`; a monotone function `t(x_1, …, x_d)` aggregates them;
+//! the query asks for the top-k objects by `t`.
+
+use std::collections::{HashMap, HashSet};
+
+use crate::error::{KnMatchError, Result};
+use crate::point::{Dataset, PointId};
+use crate::topk::TopK;
+
+/// A monotone aggregation function over per-dimension grades.
+pub trait MonotoneAggregate {
+    /// Combines one object's grades (monotone non-decreasing in each).
+    fn combine(&self, grades: &[f64]) -> f64;
+
+    /// Display name.
+    fn name(&self) -> &'static str;
+}
+
+/// `min` of the grades (Fagin's canonical example).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct MinAggregate;
+
+impl MonotoneAggregate for MinAggregate {
+    fn combine(&self, grades: &[f64]) -> f64 {
+        grades.iter().copied().fold(f64::INFINITY, f64::min)
+    }
+    fn name(&self) -> &'static str {
+        "min"
+    }
+}
+
+/// Weighted sum of the grades.
+#[derive(Debug, Clone)]
+pub struct WeightedSum {
+    /// Non-negative per-dimension weights.
+    pub weights: Vec<f64>,
+}
+
+impl MonotoneAggregate for WeightedSum {
+    fn combine(&self, grades: &[f64]) -> f64 {
+        grades.iter().zip(&self.weights).map(|(g, w)| g * w).sum()
+    }
+    fn name(&self) -> &'static str {
+        "weighted-sum"
+    }
+}
+
+/// Cost counters for a middleware run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MiddlewareStats {
+    /// Sorted accesses performed.
+    pub sorted_accesses: u64,
+    /// Random accesses (grade lookups for an already-seen object).
+    pub random_accesses: u64,
+}
+
+/// Grades organised for middleware queries: per dimension, objects sorted
+/// by **descending** grade.
+#[derive(Debug, Clone)]
+pub struct GradedLists {
+    dims: usize,
+    /// `lists[i]` = (pid, grade) sorted by grade descending.
+    lists: Vec<Vec<(PointId, f64)>>,
+    /// Row-major grades for random access.
+    grades: Dataset,
+}
+
+impl GradedLists {
+    /// Builds the descending-sorted lists from a grade table.
+    pub fn build(grades: &Dataset) -> Self {
+        let dims = grades.dims();
+        let mut lists = Vec::with_capacity(dims);
+        for dim in 0..dims {
+            let mut l: Vec<(PointId, f64)> =
+                grades.iter().map(|(pid, p)| (pid, p[dim])).collect();
+            l.sort_unstable_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
+            lists.push(l);
+        }
+        GradedLists { dims, lists, grades: grades.clone() }
+    }
+
+    /// Number of objects.
+    pub fn len(&self) -> usize {
+        self.grades.len()
+    }
+
+    /// Whether there are no objects.
+    pub fn is_empty(&self) -> bool {
+        self.grades.is_empty()
+    }
+
+    /// Dimensionality (number of "systems").
+    pub fn dims(&self) -> usize {
+        self.dims
+    }
+
+    fn validate_k(&self, k: usize) -> Result<()> {
+        if self.is_empty() {
+            return Err(KnMatchError::EmptyDataset);
+        }
+        if k == 0 || k > self.len() {
+            return Err(KnMatchError::InvalidK { k, cardinality: self.len() });
+        }
+        Ok(())
+    }
+
+    /// **FA** (Fagin's Algorithm): sorted-access all lists in parallel until
+    /// `k` objects have been seen in *every* list; random-access the grades
+    /// of everything seen; return the top k by `t`. Correct for any
+    /// monotone `t`.
+    ///
+    /// # Errors
+    ///
+    /// Rejects `k` outside `1..=len` and empty inputs.
+    pub fn fa<T: MonotoneAggregate>(
+        &self,
+        t: &T,
+        k: usize,
+    ) -> Result<(Vec<(PointId, f64)>, MiddlewareStats)> {
+        self.validate_k(k)?;
+        let mut stats = MiddlewareStats::default();
+        let mut seen_count: HashMap<PointId, usize> = HashMap::new();
+        let mut seen: HashSet<PointId> = HashSet::new();
+        let mut fully_seen = 0usize;
+        let mut depth = 0usize;
+        while fully_seen < k && depth < self.len() {
+            for list in &self.lists {
+                let (pid, _) = list[depth];
+                stats.sorted_accesses += 1;
+                seen.insert(pid);
+                let c = seen_count.entry(pid).or_insert(0);
+                *c += 1;
+                if *c == self.dims {
+                    fully_seen += 1;
+                }
+            }
+            depth += 1;
+        }
+        // Random-access every seen object's full grade vector.
+        let mut top = TopK::new(k);
+        for &pid in &seen {
+            stats.random_accesses += self.dims as u64;
+            let score = t.combine(self.grades.point(pid));
+            // TopK keeps smallest; we want largest score → negate.
+            top.offer(pid, -score);
+        }
+        let out = top.into_sorted().into_iter().map(|(pid, s)| (pid, -s)).collect();
+        Ok((out, stats))
+    }
+
+    /// **TA** (the Threshold Algorithm): sorted-access all lists in
+    /// parallel, random-access each newly seen object immediately, and stop
+    /// as soon as `k` objects score at least the threshold
+    /// `t(x̄_1, …, x̄_d)` of the current sorted-access frontier. Instance
+    /// optimal for monotone `t`.
+    ///
+    /// # Errors
+    ///
+    /// Rejects `k` outside `1..=len` and empty inputs.
+    pub fn ta<T: MonotoneAggregate>(
+        &self,
+        t: &T,
+        k: usize,
+    ) -> Result<(Vec<(PointId, f64)>, MiddlewareStats)> {
+        self.validate_k(k)?;
+        let mut stats = MiddlewareStats::default();
+        let mut seen: HashSet<PointId> = HashSet::new();
+        let mut top = TopK::new(k);
+        let mut frontier = vec![1.0f64; self.dims];
+        for depth in 0..self.len() {
+            for (dim, list) in self.lists.iter().enumerate() {
+                let (pid, grade) = list[depth];
+                stats.sorted_accesses += 1;
+                frontier[dim] = grade;
+                if seen.insert(pid) {
+                    stats.random_accesses += self.dims as u64;
+                    top.offer(pid, -t.combine(self.grades.point(pid)));
+                }
+            }
+            let threshold = t.combine(&frontier);
+            if let Some(worst) = top.threshold() {
+                if -worst >= threshold {
+                    break; // k objects at or above anything unseen can score
+                }
+            }
+        }
+        let out = top.into_sorted().into_iter().map(|(pid, s)| (pid, -s)).collect();
+        Ok((out, stats))
+    }
+
+    /// The **misapplication** the paper warns about: treat the k-n-match
+    /// problem as middleware by sorted-accessing rows in *value* order and
+    /// stopping FA-style once an object has been seen in every list, then
+    /// scoring seen objects by n-match difference. Returns whatever that
+    /// procedure finds — which the tests show to be wrong, because the
+    /// n-match difference is not monotone in the values.
+    pub fn fa_misapplied_nmatch(&self, query: &[f64], n: usize) -> Option<PointId> {
+        // Sort each dimension ascending by value (the natural but wrong
+        // order) and do FA's parallel row scan until one object is fully
+        // seen.
+        let mut lists: Vec<Vec<(PointId, f64)>> = self.lists.clone();
+        for l in &mut lists {
+            l.sort_unstable_by(|a, b| a.1.total_cmp(&b.1).then(a.0.cmp(&b.0)));
+        }
+        let mut count: HashMap<PointId, usize> = HashMap::new();
+        let mut candidates: Vec<PointId> = Vec::new();
+        'outer: for depth in 0..self.len() {
+            for l in &lists {
+                let (pid, _) = l[depth];
+                let c = count.entry(pid).or_insert(0);
+                *c += 1;
+                if *c == self.dims {
+                    candidates = count.keys().copied().collect();
+                    break 'outer;
+                }
+            }
+        }
+        candidates
+            .into_iter()
+            .min_by(|&a, &b| {
+                let da = crate::nmatch_difference(self.grades.point(a), query, n);
+                let db = crate::nmatch_difference(self.grades.point(b), query, n);
+                da.total_cmp(&db).then(a.cmp(&b))
+            })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn grades() -> Dataset {
+        Dataset::from_rows(&[
+            vec![0.9, 0.3, 0.5],
+            vec![0.8, 0.9, 0.7],
+            vec![0.1, 0.8, 0.9],
+            vec![0.5, 0.5, 0.4],
+        ])
+        .unwrap()
+    }
+
+    fn brute_top<T: MonotoneAggregate>(ds: &Dataset, t: &T, k: usize) -> Vec<PointId> {
+        let mut v: Vec<(PointId, f64)> =
+            ds.iter().map(|(pid, p)| (pid, t.combine(p))).collect();
+        v.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
+        v.truncate(k);
+        v.into_iter().map(|(pid, _)| pid).collect()
+    }
+
+    #[test]
+    fn fa_min_matches_bruteforce() {
+        let ds = grades();
+        let lists = GradedLists::build(&ds);
+        for k in 1..=4 {
+            let (got, stats) = lists.fa(&MinAggregate, k).unwrap();
+            let ids: Vec<PointId> = got.iter().map(|&(pid, _)| pid).collect();
+            assert_eq!(ids, brute_top(&ds, &MinAggregate, k), "k={k}");
+            assert!(stats.sorted_accesses > 0);
+        }
+    }
+
+    #[test]
+    fn ta_weighted_sum_matches_bruteforce() {
+        let ds = grades();
+        let lists = GradedLists::build(&ds);
+        let t = WeightedSum { weights: vec![1.0, 2.0, 0.5] };
+        for k in 1..=4 {
+            let (got, _) = lists.ta(&t, k).unwrap();
+            let ids: Vec<PointId> = got.iter().map(|&(pid, _)| pid).collect();
+            assert_eq!(ids, brute_top(&ds, &t, k), "k={k}");
+        }
+    }
+
+    #[test]
+    fn ta_stops_no_later_than_fa() {
+        let ds = grades();
+        let lists = GradedLists::build(&ds);
+        let (_, fa) = lists.fa(&MinAggregate, 1).unwrap();
+        let (_, ta) = lists.ta(&MinAggregate, 1).unwrap();
+        assert!(ta.sorted_accesses <= fa.sorted_accesses);
+    }
+
+    #[test]
+    fn paper_fig3_fa_misapplication_returns_wrong_answer() {
+        // The paper, Section 3: "If we use the FA algorithm here, we get
+        // point 1, which is a wrong answer (the correct answer is point 2)."
+        let ds = crate::paper::fig3_dataset();
+        let q = crate::paper::fig3_query();
+        let lists = GradedLists::build(&ds);
+        let fa_answer = lists.fa_misapplied_nmatch(&q, 1).expect("non-empty");
+        assert_eq!(fa_answer, 0, "FA's row scan fully sees point 1 (0-based 0) first");
+        // Whereas the AD algorithm returns the correct 1-match: point 2.
+        let mut cols = crate::SortedColumns::build(&ds);
+        let (correct, _) = crate::k_n_match_ad(&mut cols, &q, 1, 1).unwrap();
+        assert_eq!(correct.ids(), vec![1]);
+        assert_ne!(fa_answer, correct.ids()[0], "the paper's inapplicability claim");
+    }
+
+    #[test]
+    fn validation() {
+        let ds = grades();
+        let lists = GradedLists::build(&ds);
+        assert!(lists.fa(&MinAggregate, 0).is_err());
+        assert!(lists.fa(&MinAggregate, 5).is_err());
+        assert!(lists.ta(&MinAggregate, 99).is_err());
+    }
+
+    #[test]
+    fn single_object() {
+        let ds = Dataset::from_rows(&[vec![0.4, 0.6]]).unwrap();
+        let lists = GradedLists::build(&ds);
+        let (got, _) = lists.ta(&MinAggregate, 1).unwrap();
+        assert_eq!(got[0].0, 0);
+        assert!((got[0].1 - 0.4).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,241 @@
+//! The AD algorithm's frontier `g[]` — the per-cursor candidate set from
+//! which the globally smallest difference pops next — plus the shared
+//! cursor-walking machinery.
+//!
+//! The paper maintains `g[]` as a plain array of `2d` triples and scans it
+//! for the minimum on every pop (`smallest(g)`, Figure 4). That is O(d)
+//! per pop; a binary heap makes it O(log d). Both are implemented behind
+//! the [`Frontier`] trait — identical answers, different constant factors —
+//! and benched against each other as an ablation (`frontier` bench).
+
+use std::collections::BinaryHeap;
+
+use crate::ad::AdStats;
+use crate::point::PointId;
+use crate::source::SortedAccessSource;
+
+/// A frontier item: the paper's `(pid, pd, dif)` triple. `cid` identifies
+/// the cursor (dimension × direction) that produced it.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub(crate) struct Triple {
+    pub diff: f64,
+    pub cid: u32,
+    pub pid: PointId,
+}
+
+impl Eq for Triple {}
+
+impl PartialOrd for Triple {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Triple {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Inverted so BinaryHeap (a max-heap) pops the smallest difference;
+        // ties break on cursor id then pid for determinism.
+        other
+            .diff
+            .total_cmp(&self.diff)
+            .then_with(|| other.cid.cmp(&self.cid))
+            .then_with(|| other.pid.cmp(&self.pid))
+    }
+}
+
+/// Storage for the frontier: push one triple per live cursor, pop the one
+/// with the globally smallest difference.
+pub(crate) trait Frontier {
+    /// Creates a frontier for `2d` cursors.
+    fn with_cursors(cursors: usize) -> Self;
+
+    /// Adds a triple (each cursor has at most one triple in flight).
+    fn push(&mut self, t: Triple);
+
+    /// Removes and returns the smallest-difference triple.
+    fn pop(&mut self) -> Option<Triple>;
+}
+
+/// O(log d)-per-pop binary heap (this library's default).
+#[derive(Debug)]
+pub(crate) struct HeapFrontier {
+    heap: BinaryHeap<Triple>,
+}
+
+impl Frontier for HeapFrontier {
+    fn with_cursors(cursors: usize) -> Self {
+        HeapFrontier { heap: BinaryHeap::with_capacity(cursors) }
+    }
+
+    fn push(&mut self, t: Triple) {
+        self.heap.push(t);
+    }
+
+    fn pop(&mut self) -> Option<Triple> {
+        self.heap.pop()
+    }
+}
+
+/// The paper's `g[]`: one slot per cursor, linear scan for the minimum
+/// (O(d) per pop). Kept for the ablation bench and as a fidelity witness.
+#[derive(Debug)]
+pub(crate) struct LinearFrontier {
+    slots: Vec<Option<Triple>>,
+}
+
+impl Frontier for LinearFrontier {
+    fn with_cursors(cursors: usize) -> Self {
+        LinearFrontier { slots: vec![None; cursors] }
+    }
+
+    fn push(&mut self, t: Triple) {
+        debug_assert!(self.slots[t.cid as usize].is_none(), "one triple per cursor");
+        self.slots[t.cid as usize] = Some(t);
+    }
+
+    fn pop(&mut self) -> Option<Triple> {
+        let best = self
+            .slots
+            .iter()
+            .enumerate()
+            .filter_map(|(i, s)| s.map(|t| (i, t)))
+            .max_by(|a, b| a.1.cmp(&b.1).then_with(|| b.0.cmp(&a.0)))?;
+        self.slots[best.0] = None;
+        Some(best.1)
+    }
+}
+
+/// One directional cursor: the rank it last read in its dimension.
+#[derive(Debug, Clone, Copy)]
+struct Cursor {
+    last: usize,
+}
+
+/// The cursor-walking core of the AD algorithm: seeds `2d` cursors around
+/// the query and serves `(pid, diff)` pops in ascending difference order,
+/// refilling the popped cursor from the source. Generic over the frontier
+/// representation and the sorted-access source.
+#[derive(Debug)]
+pub(crate) struct AdWalker<F: Frontier> {
+    query: Vec<f64>,
+    frontier: F,
+    cursors: Vec<Cursor>,
+    cardinality: usize,
+    pub(crate) stats: AdStats,
+}
+
+impl<F: Frontier> AdWalker<F> {
+    /// Seeds the walker: binary-search each dimension, push the closest
+    /// attribute in each direction.
+    pub(crate) fn seed<S: SortedAccessSource>(src: &mut S, query: &[f64]) -> Self {
+        let d = src.dims();
+        let c = src.cardinality();
+        let mut walker = AdWalker {
+            query: query.to_vec(),
+            frontier: F::with_cursors(2 * d),
+            cursors: vec![Cursor { last: 0 }; 2 * d],
+            cardinality: c,
+            stats: AdStats::default(),
+        };
+        for dim in 0..d {
+            let pos = src.locate(dim, query[dim]);
+            walker.stats.locate_probes += 1;
+            if pos > 0 {
+                walker.read_into_frontier(src, dim, pos - 1, (2 * dim) as u32);
+            }
+            if pos < c {
+                walker.read_into_frontier(src, dim, pos, (2 * dim + 1) as u32);
+            }
+        }
+        walker
+    }
+
+    fn read_into_frontier<S: SortedAccessSource>(
+        &mut self,
+        src: &mut S,
+        dim: usize,
+        rank: usize,
+        cid: u32,
+    ) {
+        let e = src.entry(dim, rank);
+        self.stats.attributes_retrieved += 1;
+        self.cursors[cid as usize].last = rank;
+        self.frontier.push(Triple {
+            diff: (e.value - self.query[dim]).abs(),
+            cid,
+            pid: e.pid,
+        });
+    }
+
+    /// Pops the next `(pid, diff)` in ascending difference order and
+    /// refills the popped cursor. `None` once all `c·d` attributes have
+    /// been consumed.
+    pub(crate) fn next_pop<S: SortedAccessSource>(
+        &mut self,
+        src: &mut S,
+    ) -> Option<(PointId, f64)> {
+        let item = self.frontier.pop()?;
+        self.stats.heap_pops += 1;
+        let cid = item.cid as usize;
+        let dim = cid / 2;
+        let last = self.cursors[cid].last;
+        if cid % 2 == 0 {
+            // Towards smaller values.
+            if last > 0 {
+                self.read_into_frontier(src, dim, last - 1, item.cid);
+            }
+        } else if last + 1 < self.cardinality {
+            // Towards larger values.
+            self.read_into_frontier(src, dim, last + 1, item.cid);
+        }
+        Some((item.pid, item.diff))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::columns::SortedColumns;
+
+    fn pops<F: Frontier>() -> Vec<(PointId, f64)> {
+        let ds = crate::paper::fig3_dataset();
+        let mut cols = SortedColumns::build(&ds);
+        let mut w: AdWalker<F> = AdWalker::seed(&mut cols, &[3.0, 7.0, 4.0]);
+        let mut out = Vec::new();
+        while let Some(p) = w.next_pop(&mut cols) {
+            out.push(p);
+        }
+        out
+    }
+
+    #[test]
+    fn walker_emits_all_attributes_in_ascending_order() {
+        let seq = pops::<HeapFrontier>();
+        assert_eq!(seq.len(), 15); // c·d = 5 × 3
+        assert!(seq.windows(2).all(|w| w[0].1 <= w[1].1));
+        // First pops match the paper's walk: point 2 (diff 0.2) then
+        // point 5 (diff 0.5), 0-based pids 1 and 4.
+        assert_eq!(seq[0].0, 1);
+        assert!((seq[0].1 - 0.2).abs() < 1e-12);
+        assert_eq!(seq[1].0, 4);
+        assert!((seq[1].1 - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn linear_frontier_equals_heap_frontier() {
+        assert_eq!(pops::<HeapFrontier>(), pops::<LinearFrontier>());
+    }
+
+    #[test]
+    fn linear_frontier_pop_order() {
+        let mut f = LinearFrontier::with_cursors(4);
+        f.push(Triple { diff: 0.5, cid: 0, pid: 1 });
+        f.push(Triple { diff: 0.1, cid: 2, pid: 2 });
+        f.push(Triple { diff: 0.5, cid: 1, pid: 3 });
+        assert_eq!(f.pop().unwrap().pid, 2);
+        // Ties: smaller cid first, matching the heap's determinism.
+        assert_eq!(f.pop().unwrap().cid, 0);
+        assert_eq!(f.pop().unwrap().cid, 1);
+        assert!(f.pop().is_none());
+    }
+}

@@ -1,0 +1,119 @@
+//! k-nearest-neighbour scan — the traditional similarity-search baseline
+//! the paper argues against (Section 1) and compares with in Tables 2/3.
+
+use crate::error::{KnMatchError, Result};
+use crate::metrics::Metric;
+use crate::point::{Dataset, PointId};
+use crate::topk::TopK;
+
+/// One nearest neighbour: point id and its distance to the query.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Neighbour {
+    /// The neighbouring point.
+    pub pid: PointId,
+    /// Its distance to the query under the metric used.
+    pub dist: f64,
+}
+
+/// Returns the `k` nearest neighbours of `query` under `metric`, sorted by
+/// ascending `(distance, pid)`. Ties at the k-th distance break by
+/// ascending point id.
+///
+/// # Errors
+///
+/// - [`KnMatchError::DimensionMismatch`] / [`KnMatchError::NonFiniteValue`]
+///   for a malformed query;
+/// - [`KnMatchError::InvalidK`] when `k` is 0 or exceeds the cardinality;
+/// - [`KnMatchError::EmptyDataset`] when the dataset is empty.
+///
+/// # Examples
+///
+/// ```
+/// use knmatch_core::{k_nearest, Dataset, Euclidean};
+///
+/// let ds = Dataset::from_rows(&[vec![0.0, 0.0], vec![1.0, 1.0], vec![5.0, 5.0]]).unwrap();
+/// let nn = k_nearest(&ds, &[0.9, 0.9], 2, &Euclidean).unwrap();
+/// assert_eq!(nn[0].pid, 1);
+/// assert_eq!(nn[1].pid, 0);
+/// ```
+pub fn k_nearest<M: Metric + ?Sized>(
+    ds: &Dataset,
+    query: &[f64],
+    k: usize,
+    metric: &M,
+) -> Result<Vec<Neighbour>> {
+    if ds.is_empty() {
+        return Err(KnMatchError::EmptyDataset);
+    }
+    ds.validate_query(query)?;
+    if k == 0 || k > ds.len() {
+        return Err(KnMatchError::InvalidK { k, cardinality: ds.len() });
+    }
+    let mut top = TopK::new(k);
+    for (pid, p) in ds.iter() {
+        top.offer(pid, metric.dist(p, query));
+    }
+    Ok(top
+        .into_sorted()
+        .into_iter()
+        .map(|(pid, dist)| Neighbour { pid, dist })
+        .collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::{Chebyshev, Euclidean, Manhattan};
+
+    #[test]
+    fn paper_fig1_knn_prefers_uniformly_off_point() {
+        // Section 1: Euclidean NN of (1,…,1) is object 4 (all 20s), even
+        // though objects 1–3 match in 9 of 10 dimensions.
+        let ds = crate::paper::fig1_dataset();
+        let nn = k_nearest(&ds, &crate::paper::fig1_query(), 1, &Euclidean).unwrap();
+        assert_eq!(nn[0].pid, 3, "the all-20s object wins under Euclidean");
+    }
+
+    #[test]
+    fn sorted_ascending_and_exact_k() {
+        let ds = Dataset::from_rows(&[[3.0], [1.0], [2.0], [5.0]]).unwrap();
+        let nn = k_nearest(&ds, &[0.0], 3, &Manhattan).unwrap();
+        let ids: Vec<PointId> = nn.iter().map(|n| n.pid).collect();
+        assert_eq!(ids, vec![1, 2, 0]);
+        assert!(nn.windows(2).all(|w| w[0].dist <= w[1].dist));
+    }
+
+    #[test]
+    fn ties_break_by_pid() {
+        let ds = Dataset::from_rows(&[[1.0], [-1.0], [1.0]]).unwrap();
+        let nn = k_nearest(&ds, &[0.0], 2, &Euclidean).unwrap();
+        let ids: Vec<PointId> = nn.iter().map(|n| n.pid).collect();
+        assert_eq!(ids, vec![0, 1]);
+    }
+
+    #[test]
+    fn works_with_all_metrics() {
+        let ds = Dataset::from_rows(&[vec![0.0, 0.0], vec![0.5, 0.9]]).unwrap();
+        for m in [&Euclidean as &dyn Metric, &Manhattan, &Chebyshev] {
+            let nn = k_nearest(&ds, &[0.4, 0.8], 1, m).unwrap();
+            assert_eq!(nn[0].pid, 1, "metric {}", m.name());
+        }
+    }
+
+    #[test]
+    fn validation() {
+        let ds = Dataset::from_rows(&[[0.0], [1.0]]).unwrap();
+        assert!(matches!(
+            k_nearest(&ds, &[0.0], 0, &Euclidean),
+            Err(KnMatchError::InvalidK { .. })
+        ));
+        assert!(matches!(
+            k_nearest(&ds, &[0.0], 3, &Euclidean),
+            Err(KnMatchError::InvalidK { .. })
+        ));
+        assert!(matches!(
+            k_nearest(&ds, &[0.0, 1.0], 1, &Euclidean),
+            Err(KnMatchError::DimensionMismatch { .. })
+        ));
+    }
+}

@@ -1,0 +1,213 @@
+//! MEDRANK — approximate nearest neighbour by median rank aggregation
+//! (Fagin, Kumar & Sivakumar, SIGMOD'03; the paper's reference \[12\] and
+//! Section 6 related work).
+//!
+//! Like the AD algorithm, MEDRANK walks two cursors per sorted dimension
+//! outward from the query. Unlike AD it advances **by rank, not by
+//! difference**: every round each dimension reveals its next-closest
+//! point, and the first point seen in more than half the dimensions wins
+//! (its *median rank* is minimal). This makes it a natural cousin of the
+//! k-n-match with `n = ⌈(d+1)/2⌉` — but aggregating ranks instead of
+//! differences, which is cheaper (no value comparisons across dimensions)
+//! and only approximate with respect to any metric. The paper contrasts
+//! its own exact-by-definition answers with MEDRANK's
+//! approximation-factor guarantees; implementing both lets the evaluation
+//! compare them head-to-head.
+
+use crate::ad::{validate_params, AdStats};
+use crate::error::Result;
+use crate::result::{KnMatchResult, MatchEntry};
+use crate::source::SortedAccessSource;
+
+/// One MEDRANK answer: the point and the (outward) rank step at which it
+/// reached the quorum — smaller is better.
+pub type MedrankEntry = MatchEntry;
+
+/// Returns the `k` best points by median rank: the order in which points
+/// accumulate appearances in more than `quorum` of the `d` dimensions as
+/// the per-dimension cursors move outward rank-by-rank.
+///
+/// `quorum` defaults to the majority `⌈(d+1)/2⌉` when `None` (Fagin's
+/// MEDRANK); any `1..=d` is accepted, making the k-n-match connection
+/// explicit: quorum = n over ranks instead of differences.
+///
+/// The returned entries carry the quorum round (as `diff`) for inspection;
+/// entries are ordered by `(round, pid)`. The [`AdStats`] counts sorted
+/// accesses like the AD algorithm's.
+///
+/// # Errors
+///
+/// Validates like [`crate::k_n_match_ad`] (the quorum plays `n`'s role).
+pub fn medrank<S: SortedAccessSource>(
+    src: &mut S,
+    query: &[f64],
+    k: usize,
+    quorum: Option<usize>,
+) -> Result<(KnMatchResult, AdStats)> {
+    let d = src.dims();
+    let c = src.cardinality();
+    let quorum = quorum.unwrap_or(d / 2 + 1);
+    validate_params(query, d, c, k, quorum, quorum)?;
+
+    let mut stats = AdStats::default();
+    // Cached frontier heads per dimension: the next unconsumed attribute
+    // below / at-or-above the query, read once (a real implementation
+    // would hold these in its cursor buffers).
+    #[derive(Clone, Copy)]
+    struct Head {
+        diff: f64,
+        pid: crate::PointId,
+        rank: usize,
+    }
+    let mut down: Vec<Option<Head>> = Vec::with_capacity(d);
+    let mut up: Vec<Option<Head>> = Vec::with_capacity(d);
+    let read_head = |src: &mut S, stats: &mut AdStats, dim: usize, rank: usize| {
+        let e = src.entry(dim, rank);
+        stats.attributes_retrieved += 1;
+        Head { diff: q_abs(e.value, query[dim]), pid: e.pid, rank }
+    };
+    for dim in 0..d {
+        let pos = src.locate(dim, query[dim]);
+        stats.locate_probes += 1;
+        down.push(pos.checked_sub(1).map(|r| read_head(src, &mut stats, dim, r)));
+        up.push((pos < c).then(|| read_head(src, &mut stats, dim, pos)));
+    }
+
+    let mut seen = vec![0u16; c];
+    let mut entries: Vec<MedrankEntry> = Vec::with_capacity(k);
+    let mut round = 0u64;
+    while entries.len() < k {
+        round += 1;
+        let mut advanced = false;
+        for dim in 0..d {
+            // Each round every dimension reveals its next-closest point by
+            // VALUE among the two frontier heads (one rank step outward).
+            let take_down = match (down[dim], up[dim]) {
+                (None, None) => continue,
+                (Some(_), None) => true,
+                (None, Some(_)) => false,
+                (Some(x), Some(y)) => x.diff <= y.diff,
+            };
+            advanced = true;
+            let head = if take_down {
+                let h = down[dim].expect("checked");
+                down[dim] =
+                    h.rank.checked_sub(1).map(|r| read_head(src, &mut stats, dim, r));
+                h
+            } else {
+                let h = up[dim].expect("checked");
+                up[dim] = (h.rank + 1 < c)
+                    .then(|| read_head(src, &mut stats, dim, h.rank + 1));
+                h
+            };
+            stats.heap_pops += 1;
+            let s = seen[head.pid as usize] + 1;
+            seen[head.pid as usize] = s;
+            if s as usize == quorum && entries.len() < k {
+                entries.push(MedrankEntry { pid: head.pid, diff: round as f64 });
+            }
+        }
+        if !advanced {
+            break; // all lists exhausted (k > distinct quorum reachers)
+        }
+    }
+    entries.sort_unstable_by(|a, b| a.diff.total_cmp(&b.diff).then(a.pid.cmp(&b.pid)));
+    Ok((KnMatchResult { n: quorum, entries }, stats))
+}
+
+fn q_abs(v: f64, q: f64) -> f64 {
+    (v - q).abs()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::columns::SortedColumns;
+
+    fn fig3() -> SortedColumns {
+        SortedColumns::build(&crate::paper::fig3_dataset())
+    }
+
+    #[test]
+    fn exact_point_wins_round_one() {
+        let mut cols = fig3();
+        // Query exactly at point 2 (0-based 1): it is rank-closest in
+        // every dimension, so it reaches any quorum in round 1.
+        let (res, _) = medrank(&mut cols, &[2.8, 5.5, 2.0], 1, None).unwrap();
+        assert_eq!(res.ids(), vec![1]);
+        assert_eq!(res.entries[0].diff, 1.0);
+    }
+
+    #[test]
+    fn majority_quorum_default() {
+        let mut cols = fig3();
+        let (res, _) = medrank(&mut cols, &[3.0, 7.0, 4.0], 2, None).unwrap();
+        assert_eq!(res.n, 2); // d = 3 → quorum 2
+        assert_eq!(res.entries.len(), 2);
+        // MEDRANK's first answer here agrees with the 1-2-match winner
+        // (point 2, 0-based 1): it is among the closest by rank in two
+        // dimensions quickly.
+        assert!(res.contains(1), "{:?}", res.ids());
+    }
+
+    #[test]
+    fn full_quorum_requires_all_dimensions() {
+        let mut cols = fig3();
+        let (res, _) = medrank(&mut cols, &[3.0, 7.0, 4.0], 5, Some(3)).unwrap();
+        assert_eq!(res.entries.len(), 5, "every point eventually reaches quorum d");
+        // Rounds are non-decreasing in rank order.
+        let rounds: Vec<f64> = res.diffs();
+        assert!(rounds.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    fn medrank_is_rank_based_not_distance_based() {
+        // Construct data where the rank winner differs from the Euclidean
+        // NN: many decoys crowd one dimension.
+        let rows = vec![
+            vec![0.50, 0.90], // A: rank-close in x (crowded), far in y
+            vec![0.58, 0.52], // B: Euclidean NN
+            vec![0.49, 0.0],
+            vec![0.51, 0.0],
+            vec![0.505, 0.0],
+            vec![0.495, 0.0],
+        ];
+        let ds = crate::Dataset::from_rows(&rows).unwrap();
+        let mut cols = SortedColumns::build(&ds);
+        let q = [0.5, 0.5];
+        let nn = crate::k_nearest(&ds, &q, 1, &crate::Euclidean).unwrap();
+        assert_eq!(nn[0].pid, 1);
+        let (mr, _) = medrank(&mut cols, &q, 1, None).unwrap();
+        // The x-crowd pushes B's x-rank far out; a crowd point reaches the
+        // 2-quorum first even though B is metrically nearest.
+        assert_ne!(mr.ids(), vec![1], "MEDRANK is an approximation: {:?}", mr.ids());
+    }
+
+    #[test]
+    fn stats_are_counted() {
+        let mut cols = fig3();
+        let (_, stats) = medrank(&mut cols, &[3.0, 7.0, 4.0], 1, None).unwrap();
+        assert!(stats.attributes_retrieved > 0);
+        assert_eq!(stats.locate_probes, 3);
+        assert!(stats.heap_pops >= 2);
+    }
+
+    #[test]
+    fn validation() {
+        let mut cols = fig3();
+        assert!(medrank(&mut cols, &[0.0; 2], 1, None).is_err());
+        assert!(medrank(&mut cols, &[0.0; 3], 0, None).is_err());
+        assert!(medrank(&mut cols, &[0.0; 3], 1, Some(4)).is_err());
+        assert!(medrank(&mut cols, &[0.0; 3], 1, Some(0)).is_err());
+    }
+
+    #[test]
+    fn k_equals_cardinality_terminates() {
+        let mut cols = fig3();
+        let (res, _) = medrank(&mut cols, &[3.0, 7.0, 4.0], 5, None).unwrap();
+        assert_eq!(res.entries.len(), 5);
+        let mut ids = res.ids();
+        ids.sort_unstable();
+        assert_eq!(ids, vec![0, 1, 2, 3, 4]);
+    }
+}

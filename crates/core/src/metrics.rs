@@ -1,0 +1,205 @@
+//! Distance functions for the kNN baselines the paper compares against.
+//!
+//! Includes the L_p family (Euclidean, Manhattan, Chebyshev), a fractional
+//! L_p, and the Dynamic Partial Function of Goh, Li & Chang (ACM MM'02,
+//! the paper's reference \[18\]) — an L_p aggregate over only the `n` smallest
+//! per-dimension differences, the closest prior art to the n-match
+//! difference.
+
+/// A (not necessarily metric) distance function between equal-length points.
+pub trait Metric {
+    /// Distance from `p` to `q`.
+    ///
+    /// # Panics
+    ///
+    /// Implementations may panic when `p.len() != q.len()`.
+    fn dist(&self, p: &[f64], q: &[f64]) -> f64;
+
+    /// A short display name (used by experiment reports).
+    fn name(&self) -> &'static str;
+}
+
+/// Euclidean distance (L2).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Euclidean;
+
+impl Metric for Euclidean {
+    fn dist(&self, p: &[f64], q: &[f64]) -> f64 {
+        assert_eq!(p.len(), q.len());
+        p.iter().zip(q).map(|(a, b)| (a - b) * (a - b)).sum::<f64>().sqrt()
+    }
+    fn name(&self) -> &'static str {
+        "L2"
+    }
+}
+
+/// Manhattan distance (L1).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Manhattan;
+
+impl Metric for Manhattan {
+    fn dist(&self, p: &[f64], q: &[f64]) -> f64 {
+        assert_eq!(p.len(), q.len());
+        p.iter().zip(q).map(|(a, b)| (a - b).abs()).sum()
+    }
+    fn name(&self) -> &'static str {
+        "L1"
+    }
+}
+
+/// Chebyshev distance (L∞): the maximum per-dimension difference. Note the
+/// paper stresses the n-match difference is *not* a generalisation of this
+/// metric — it is not a metric at all — but for `n = d` they coincide.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Chebyshev;
+
+impl Metric for Chebyshev {
+    fn dist(&self, p: &[f64], q: &[f64]) -> f64 {
+        assert_eq!(p.len(), q.len());
+        p.iter().zip(q).map(|(a, b)| (a - b).abs()).fold(0.0, f64::max)
+    }
+    fn name(&self) -> &'static str {
+        "Linf"
+    }
+}
+
+/// General L_p distance with `p > 0` (fractional p allowed, as studied by
+/// Aggarwal, Hinneburg & Keim, ICDT'01 — the paper's reference \[5\]).
+#[derive(Debug, Clone, Copy)]
+pub struct Lp {
+    /// The exponent `p`.
+    pub p: f64,
+}
+
+impl Lp {
+    /// Creates an L_p metric.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `p <= 0` or `p` is not finite.
+    pub fn new(p: f64) -> Self {
+        assert!(p.is_finite() && p > 0.0, "Lp exponent must be positive and finite");
+        Lp { p }
+    }
+}
+
+impl Metric for Lp {
+    fn dist(&self, p: &[f64], q: &[f64]) -> f64 {
+        assert_eq!(p.len(), q.len());
+        let s: f64 = p.iter().zip(q).map(|(a, b)| (a - b).abs().powf(self.p)).sum();
+        s.powf(1.0 / self.p)
+    }
+    fn name(&self) -> &'static str {
+        "Lp"
+    }
+}
+
+/// Dynamic Partial Function: L_p over the `n` smallest per-dimension
+/// differences. `Dpf { n: d, p: 2 }` is Euclidean; `Dpf { n: 1, p: any }`
+/// ranks like the 1-match difference.
+#[derive(Debug, Clone, Copy)]
+pub struct Dpf {
+    /// How many smallest differences to aggregate.
+    pub n: usize,
+    /// The L_p exponent.
+    pub p: f64,
+}
+
+impl Dpf {
+    /// Creates a DPF.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `n == 0` or `p` is not positive and finite.
+    pub fn new(n: usize, p: f64) -> Self {
+        assert!(n >= 1, "DPF needs n >= 1");
+        assert!(p.is_finite() && p > 0.0, "DPF exponent must be positive and finite");
+        Dpf { n, p }
+    }
+}
+
+impl Metric for Dpf {
+    fn dist(&self, p: &[f64], q: &[f64]) -> f64 {
+        assert_eq!(p.len(), q.len());
+        assert!(self.n <= p.len(), "DPF n exceeds dimensionality");
+        let mut diffs: Vec<f64> = p.iter().zip(q).map(|(a, b)| (a - b).abs()).collect();
+        diffs.select_nth_unstable_by(self.n - 1, f64::total_cmp);
+        let s: f64 = diffs[..self.n].iter().map(|d| d.powf(self.p)).sum();
+        s.powf(1.0 / self.p)
+    }
+    fn name(&self) -> &'static str {
+        "DPF"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const P: [f64; 3] = [0.0, 3.0, 1.0];
+    const Q: [f64; 3] = [4.0, 0.0, 1.0];
+
+    #[test]
+    fn euclidean() {
+        assert!((Euclidean.dist(&P, &Q) - 5.0).abs() < 1e-12);
+        assert_eq!(Euclidean.dist(&P, &P), 0.0);
+        assert_eq!(Euclidean.name(), "L2");
+    }
+
+    #[test]
+    fn manhattan() {
+        assert!((Manhattan.dist(&P, &Q) - 7.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn chebyshev() {
+        assert!((Chebyshev.dist(&P, &Q) - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn lp_special_cases_agree() {
+        assert!((Lp::new(2.0).dist(&P, &Q) - Euclidean.dist(&P, &Q)).abs() < 1e-9);
+        assert!((Lp::new(1.0).dist(&P, &Q) - Manhattan.dist(&P, &Q)).abs() < 1e-9);
+        // Fractional p still symmetric and zero on identity.
+        let f = Lp::new(0.5);
+        assert_eq!(f.dist(&P, &Q), f.dist(&Q, &P));
+        assert_eq!(f.dist(&P, &P), 0.0);
+    }
+
+    #[test]
+    fn dpf_truncates_to_smallest_n() {
+        // diffs = [4, 3, 0]; two smallest are [0, 3].
+        let d = Dpf::new(2, 2.0);
+        assert!((d.dist(&P, &Q) - 3.0).abs() < 1e-12);
+        // n = d → Euclidean.
+        let full = Dpf::new(3, 2.0);
+        assert!((full.dist(&P, &Q) - 5.0).abs() < 1e-9);
+        // n = 1, p irrelevant: the 1-match difference.
+        let one = Dpf::new(1, 7.0);
+        assert_eq!(one.dist(&P, &Q), 0.0);
+    }
+
+    #[test]
+    fn dpf_ignores_one_noisy_dimension() {
+        // DPF with n = d-1 suppresses the paper's "bad pixel" dimension.
+        let q = [1.0, 1.0, 1.0];
+        let noisy = [1.1, 100.0, 1.1];
+        let far = [5.0, 5.0, 5.0];
+        let dpf = Dpf::new(2, 2.0);
+        assert!(dpf.dist(&noisy, &q) < dpf.dist(&far, &q));
+        // Whereas Euclidean is dominated by the noise.
+        assert!(Euclidean.dist(&noisy, &q) > Euclidean.dist(&far, &q));
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn lp_rejects_nonpositive_p() {
+        let _ = Lp::new(0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "n >= 1")]
+    fn dpf_rejects_zero_n() {
+        let _ = Dpf::new(0, 2.0);
+    }
+}

@@ -1,0 +1,278 @@
+//! Naive full-scan algorithms for (frequent) k-n-match queries.
+//!
+//! These retrieve every attribute of every point (`c · d` accesses) and are
+//! the reference implementations the paper's Section 3 opens with: compute
+//! each point's n-match difference and keep the top k. They serve as the
+//! correctness oracle for the AD algorithm and as the "scan" baseline in the
+//! efficiency experiments.
+
+use crate::ad::validate_params;
+use crate::error::Result;
+use crate::nmatch::sorted_differences_with_buf;
+use crate::point::{Dataset, PointId};
+use crate::result::{rank_frequent, FrequentResult, KnMatchResult};
+use crate::topk::TopK;
+
+/// Answers a k-n-match query by scanning every point.
+///
+/// Ties at the k-th difference break by ascending point id (any choice is
+/// a correct answer per Definition 3).
+///
+/// # Errors
+///
+/// Validates the query shape and parameters; see
+/// [`crate::KnMatchError`].
+pub fn k_n_match_scan(ds: &Dataset, query: &[f64], k: usize, n: usize) -> Result<KnMatchResult> {
+    validate_params(query, ds.dims(), ds.len(), k, n, n)?;
+    let mut top = TopK::new(k);
+    let mut buf = Vec::with_capacity(ds.dims());
+    for (pid, p) in ds.iter() {
+        // For a single n, O(d) selection beats the full sort.
+        let diff = crate::nmatch::nmatch_difference_with_buf(p, query, n, &mut buf);
+        top.offer(pid, diff);
+    }
+    Ok(top.into_result(n))
+}
+
+/// Answers a frequent k-n-match query by scanning every point, maintaining
+/// one top-k answer set per `n ∈ [n0, n1]` (the paper's naive algorithm).
+///
+/// # Errors
+///
+/// Validates the query shape and parameters; see
+/// [`crate::KnMatchError`].
+pub fn frequent_k_n_match_scan(
+    ds: &Dataset,
+    query: &[f64],
+    k: usize,
+    n0: usize,
+    n1: usize,
+) -> Result<FrequentResult> {
+    validate_params(query, ds.dims(), ds.len(), k, n0, n1)?;
+    let mut tops: Vec<TopK> = (n0..=n1).map(|_| TopK::new(k)).collect();
+    let mut buf = Vec::with_capacity(ds.dims());
+    for (pid, p) in ds.iter() {
+        // One sorted-difference pass serves every n in the range.
+        sorted_differences_with_buf(p, query, &mut buf);
+        for (i, top) in tops.iter_mut().enumerate() {
+            top.offer(pid, buf[n0 + i - 1]);
+        }
+    }
+    let per_n: Vec<KnMatchResult> =
+        tops.into_iter().enumerate().map(|(i, t)| t.into_result(n0 + i)).collect();
+    let mut counts: Vec<u32> = vec![0; ds.len()];
+    for res in &per_n {
+        for e in &res.entries {
+            counts[e.pid as usize] += 1;
+        }
+    }
+    let pairs: Vec<(PointId, u32)> = counts
+        .iter()
+        .enumerate()
+        .filter(|&(_, &c)| c > 0)
+        .map(|(pid, &c)| (pid as PointId, c))
+        .collect();
+    let entries = rank_frequent(&pairs, k);
+    Ok(FrequentResult { range: (n0, n1), entries, per_n })
+}
+
+/// The paper's "scan" efficiency baseline: like [`k_n_match_scan`] but also
+/// reports the number of attributes it retrieved (always `c · d`).
+///
+/// # Errors
+///
+/// Same as [`k_n_match_scan`].
+pub fn k_n_match_scan_counted(
+    ds: &Dataset,
+    query: &[f64],
+    k: usize,
+    n: usize,
+) -> Result<(KnMatchResult, u64)> {
+    let res = k_n_match_scan(ds, query, k, n)?;
+    Ok((res, (ds.len() as u64) * (ds.dims() as u64)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::error::KnMatchError;
+
+    /// The paper's Figure 1 database, query (1,…,1).
+    fn fig1() -> (Dataset, Vec<f64>) {
+        (crate::paper::fig1_dataset(), crate::paper::fig1_query())
+    }
+
+    #[test]
+    fn fig1_nmatch_answers() {
+        // "point 3 is the 6-match (ε=0), point 1 the 7-match (ε=0.2),
+        //  point 2 the 8-match (ε=0.4)" — ids 0-based here.
+        let (ds, q) = fig1();
+        let m6 = k_n_match_scan(&ds, &q, 1, 6).unwrap();
+        assert_eq!(m6.ids(), vec![2]);
+        assert_eq!(m6.epsilon(), 0.0);
+        let m7 = k_n_match_scan(&ds, &q, 1, 7).unwrap();
+        assert_eq!(m7.ids(), vec![0]);
+        assert!((m7.epsilon() - 0.2).abs() < 1e-9);
+        let m8 = k_n_match_scan(&ds, &q, 1, 8).unwrap();
+        assert_eq!(m8.ids(), vec![1]);
+        assert!((m8.epsilon() - 0.4).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fig1_two_6_match_with_flexible_eps() {
+        // With ε = 0.2 (the 2nd-smallest 6-match difference), object 1 also
+        // becomes a 6-match answer: the 2-6-match set is {3, 1} (1-based).
+        let (ds, q) = fig1();
+        let res = k_n_match_scan(&ds, &q, 2, 6).unwrap();
+        assert_eq!(res.ids(), vec![2, 0]);
+        assert!((res.epsilon() - 0.2).abs() < 1e-9);
+    }
+
+    #[test]
+    fn frequent_scan_counts_across_range() {
+        let (ds, q) = fig1();
+        let freq = frequent_k_n_match_scan(&ds, &q, 2, 1, 10).unwrap();
+        assert_eq!(freq.per_n.len(), 10);
+        // Objects 1–3 dominate the per-n sets; object 4 (all-20s) should
+        // never beat them for any n (its every diff is 19).
+        assert_eq!(freq.count_of(3), 0);
+        // Top-2 must be drawn from {0, 1, 2}.
+        for e in &freq.entries {
+            assert!(e.pid <= 2);
+        }
+    }
+
+    #[test]
+    fn frequent_counts_match_per_n_membership() {
+        let (ds, q) = fig1();
+        let freq = frequent_k_n_match_scan(&ds, &q, 3, 2, 9).unwrap();
+        for e in &freq.entries {
+            let membership =
+                freq.per_n.iter().filter(|r| r.contains(e.pid)).count() as u32;
+            assert_eq!(e.count, membership);
+        }
+    }
+
+    #[test]
+    fn scan_matches_bruteforce_sorted_selection() {
+        let (ds, q) = fig1();
+        for n in 1..=10 {
+            let res = k_n_match_scan(&ds, &q, 4, n).unwrap();
+            let mut all: Vec<(f64, PointId)> = ds
+                .iter()
+                .map(|(pid, p)| (crate::nmatch::nmatch_difference(p, &q, n), pid))
+                .collect();
+            all.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
+            let want: Vec<PointId> = all.iter().map(|&(_, pid)| pid).collect();
+            assert_eq!(res.ids(), want, "n={n}");
+        }
+    }
+
+    #[test]
+    fn counted_scan_reports_full_cost() {
+        let (ds, q) = fig1();
+        let (_, cost) = k_n_match_scan_counted(&ds, &q, 1, 3).unwrap();
+        assert_eq!(cost, 40);
+    }
+
+    #[test]
+    fn validation_is_shared_with_ad() {
+        let (ds, _) = fig1();
+        assert!(matches!(
+            k_n_match_scan(&ds, &[1.0; 10], 0, 1),
+            Err(KnMatchError::InvalidK { .. })
+        ));
+        assert!(matches!(
+            k_n_match_scan(&ds, &[1.0; 10], 1, 11),
+            Err(KnMatchError::InvalidRange { .. })
+        ));
+        assert!(matches!(
+            frequent_k_n_match_scan(&ds, &[1.0; 9], 1, 1, 10),
+            Err(KnMatchError::DimensionMismatch { .. })
+        ));
+    }
+}
+
+/// Multi-threaded k-n-match scan: splits the dataset across `threads`
+/// OS threads (std scoped threads — the algorithm is embarrassingly
+/// parallel) and merges the per-shard top-k sets. Same answers as
+/// [`k_n_match_scan`].
+///
+/// # Errors
+///
+/// Validates like [`k_n_match_scan`]; `threads == 0` is treated as 1.
+pub fn k_n_match_scan_parallel(
+    ds: &Dataset,
+    query: &[f64],
+    k: usize,
+    n: usize,
+    threads: usize,
+) -> Result<KnMatchResult> {
+    validate_params(query, ds.dims(), ds.len(), k, n, n)?;
+    let threads = threads.max(1).min(ds.len());
+    if threads == 1 {
+        return k_n_match_scan(ds, query, k, n);
+    }
+    let chunk = ds.len().div_ceil(threads);
+    let partials: Vec<Vec<crate::result::MatchEntry>> = std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(threads);
+        for t in 0..threads {
+            let lo = t * chunk;
+            let hi = ((t + 1) * chunk).min(ds.len());
+            handles.push(scope.spawn(move || {
+                let mut top = TopK::new(k.min(hi - lo));
+                let mut buf = Vec::with_capacity(ds.dims());
+                for pid in lo..hi {
+                    let p = ds.point(pid as PointId);
+                    let diff =
+                        crate::nmatch::nmatch_difference_with_buf(p, query, n, &mut buf);
+                    top.offer(pid as PointId, diff);
+                }
+                top.into_result(n).entries
+            }));
+        }
+        handles.into_iter().map(|h| h.join().expect("scan shard panicked")).collect()
+    });
+    let mut top = TopK::new(k);
+    for shard in partials {
+        for e in shard {
+            top.offer(e.pid, e.diff);
+        }
+    }
+    Ok(top.into_result(n))
+}
+
+#[cfg(test)]
+mod parallel_tests {
+    use super::*;
+
+    #[test]
+    fn parallel_matches_serial() {
+        let rows: Vec<Vec<f64>> = (0..5000)
+            .map(|i| vec![(i as f64 * 0.37) % 1.0, (i as f64 * 0.73) % 1.0, (i as f64 * 0.11) % 1.0])
+            .collect();
+        let ds = Dataset::from_rows(&rows).unwrap();
+        let q = [0.3, 0.6, 0.9];
+        for threads in [1usize, 2, 4, 7] {
+            for n in [1usize, 2, 3] {
+                let par = k_n_match_scan_parallel(&ds, &q, 25, n, threads).unwrap();
+                let ser = k_n_match_scan(&ds, &q, 25, n).unwrap();
+                assert_eq!(par.ids(), ser.ids(), "threads={threads} n={n}");
+            }
+        }
+    }
+
+    #[test]
+    fn more_threads_than_points() {
+        let ds = Dataset::from_rows(&[[0.1], [0.9], [0.5]]).unwrap();
+        let res = k_n_match_scan_parallel(&ds, &[0.0], 2, 1, 64).unwrap();
+        assert_eq!(res.ids(), vec![0, 2]);
+    }
+
+    #[test]
+    fn zero_threads_means_one() {
+        let ds = Dataset::from_rows(&[[0.1], [0.9]]).unwrap();
+        let res = k_n_match_scan_parallel(&ds, &[1.0], 1, 1, 0).unwrap();
+        assert_eq!(res.ids(), vec![1]);
+    }
+}

@@ -1,0 +1,201 @@
+//! The n-match difference (Definition 1 of the paper) and helpers.
+//!
+//! For points `P` and `Q`, let `δ_i = |p_i − q_i|`. Sorting `{δ_1, …, δ_d}`
+//! ascending yields `{δ'_1, …, δ'_d}`; `δ'_n` is the **n-match difference**
+//! of `P` with regard to `Q`. It is symmetric in `P`/`Q`, monotone
+//! non-decreasing in `n`, but **not** a metric (the triangle inequality
+//! fails — see the paper's F/G/H example reproduced in the tests) and not a
+//! monotone aggregation function in Fagin's sense (see the tests for the
+//! paper's Figure 3 counterexample).
+
+/// Returns the n-match difference of `p` with regard to `q` (1-based `n`).
+///
+/// Allocates a scratch buffer; prefer [`nmatch_difference_with_buf`] in hot
+/// loops.
+///
+/// # Panics
+///
+/// Panics when `p.len() != q.len()`, or `n` is not in `1..=d`.
+///
+/// # Examples
+///
+/// ```
+/// use knmatch_core::nmatch_difference;
+///
+/// // diffs = [0.1, 0.5, 2.0]; the 2-match difference is 0.5.
+/// assert_eq!(nmatch_difference(&[1.1, 3.5, 6.0], &[1.0, 3.0, 4.0], 2), 0.5);
+/// ```
+pub fn nmatch_difference(p: &[f64], q: &[f64], n: usize) -> f64 {
+    let mut buf = Vec::with_capacity(p.len());
+    nmatch_difference_with_buf(p, q, n, &mut buf)
+}
+
+/// [`nmatch_difference`] reusing a caller-provided scratch buffer.
+///
+/// The buffer is cleared and refilled; capacity is reused across calls.
+///
+/// # Panics
+///
+/// Same conditions as [`nmatch_difference`].
+pub fn nmatch_difference_with_buf(p: &[f64], q: &[f64], n: usize, buf: &mut Vec<f64>) -> f64 {
+    assert_eq!(p.len(), q.len(), "points must share dimensionality");
+    assert!(n >= 1 && n <= p.len(), "n must be in 1..=d (got {n}, d={})", p.len());
+    buf.clear();
+    buf.extend(p.iter().zip(q).map(|(a, b)| (a - b).abs()));
+    // Selection is O(d); full sorts are reserved for the all-n variant.
+    let (_, nth, _) = buf.select_nth_unstable_by(n - 1, f64::total_cmp);
+    *nth
+}
+
+/// Returns all d per-dimension differences of `p` vs `q`, sorted ascending.
+///
+/// Index `n − 1` of the result is the n-match difference, so one call serves
+/// every `n` of a frequent k-n-match range.
+///
+/// # Panics
+///
+/// Panics when `p.len() != q.len()`.
+pub fn sorted_differences(p: &[f64], q: &[f64]) -> Vec<f64> {
+    let mut buf = Vec::with_capacity(p.len());
+    sorted_differences_with_buf(p, q, &mut buf);
+    buf
+}
+
+/// [`sorted_differences`] writing into a caller-provided buffer.
+///
+/// # Panics
+///
+/// Panics when `p.len() != q.len()`.
+pub fn sorted_differences_with_buf(p: &[f64], q: &[f64], buf: &mut Vec<f64>) {
+    assert_eq!(p.len(), q.len(), "points must share dimensionality");
+    buf.clear();
+    buf.extend(p.iter().zip(q).map(|(a, b)| (a - b).abs()));
+    buf.sort_unstable_by(f64::total_cmp);
+}
+
+/// Counts the dimensions in which `p` matches `q` within tolerance `eps`,
+/// i.e. `|p_i − q_i| <= eps`.
+///
+/// This is the paper's flexible match scheme: with the answer-determined
+/// threshold `ε`, a point is an n-match iff it matches in at least `n`
+/// dimensions.
+///
+/// # Panics
+///
+/// Panics when `p.len() != q.len()`.
+pub fn matching_dimensions(p: &[f64], q: &[f64], eps: f64) -> usize {
+    assert_eq!(p.len(), q.len(), "points must share dimensionality");
+    p.iter().zip(q).filter(|(a, b)| (*a - *b).abs() <= eps).count()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nth_smallest_difference() {
+        let p = [1.1, 100.0, 1.2, 1.6];
+        let q = [1.0, 1.0, 1.0, 1.0];
+        // diffs sorted: [0.1, 0.2, 0.6, 99.0]
+        assert!((nmatch_difference(&p, &q, 1) - 0.1).abs() < 1e-12);
+        assert!((nmatch_difference(&p, &q, 2) - 0.2).abs() < 1e-12);
+        assert!((nmatch_difference(&p, &q, 3) - 0.6).abs() < 1e-12);
+        assert!((nmatch_difference(&p, &q, 4) - 99.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn symmetric_in_p_and_q() {
+        let p = [0.3, 0.9, 0.4];
+        let q = [0.5, 0.1, 0.7];
+        for n in 1..=3 {
+            assert_eq!(nmatch_difference(&p, &q, n), nmatch_difference(&q, &p, n));
+        }
+    }
+
+    #[test]
+    fn monotone_in_n() {
+        let p = [0.2, 0.8, 0.5, 0.1];
+        let q = [0.9, 0.15, 0.55, 0.05];
+        let mut prev = 0.0;
+        for n in 1..=4 {
+            let d = nmatch_difference(&p, &q, n);
+            assert!(d >= prev, "n-match difference must be non-decreasing in n");
+            prev = d;
+        }
+    }
+
+    #[test]
+    fn paper_triangle_inequality_counterexample() {
+        // Section 2.1: F(0.1,0.5,0.9), G(0.1,0.1,0.1), H(0.5,0.5,0.5);
+        // 1-match differences FG=0, FH=0, GH=0.4 — triangle inequality fails.
+        let f = [0.1, 0.5, 0.9];
+        let g = [0.1, 0.1, 0.1];
+        let h = [0.5, 0.5, 0.5];
+        let fg = nmatch_difference(&f, &g, 1);
+        let fh = nmatch_difference(&f, &h, 1);
+        let gh = nmatch_difference(&g, &h, 1);
+        assert_eq!(fg, 0.0);
+        assert_eq!(fh, 0.0);
+        assert!((gh - 0.4).abs() < 1e-12);
+        assert!(fg + fh < gh, "n-match difference is not a metric");
+    }
+
+    #[test]
+    fn paper_fig3_non_monotone_aggregation() {
+        // Figure 3 discussion: point 1 is smaller than point 2 in every
+        // dimension yet has a LARGER 1-match difference w.r.t. (3, 7, 4);
+        // point 4 is larger in every dimension, also larger 1-match diff.
+        let q = [3.0, 7.0, 4.0];
+        let p1 = [0.4, 1.0, 1.0];
+        let p2 = [2.8, 5.5, 2.0];
+        let p4 = [9.0, 9.0, 9.0];
+        assert!(p1.iter().zip(&p2).all(|(a, b)| a < b));
+        assert!(p4.iter().zip(&p2).all(|(a, b)| a > b));
+        let d1 = nmatch_difference(&p1, &q, 1);
+        let d2 = nmatch_difference(&p2, &q, 1);
+        let d4 = nmatch_difference(&p4, &q, 1);
+        assert!((d1 - 2.6).abs() < 1e-12);
+        assert!((d2 - 0.2).abs() < 1e-12);
+        assert!((d4 - 2.0).abs() < 1e-12);
+        assert!(d1 > d2 && d4 > d2, "n-match difference is not monotone");
+    }
+
+    #[test]
+    fn sorted_differences_gives_every_n() {
+        let p = [1.0, 5.0, 2.0];
+        let q = [2.0, 2.0, 2.0];
+        let all = sorted_differences(&p, &q);
+        assert_eq!(all, vec![0.0, 1.0, 3.0]);
+        for n in 1..=3 {
+            assert_eq!(all[n - 1], nmatch_difference(&p, &q, n));
+        }
+    }
+
+    #[test]
+    fn matching_dimensions_counts_within_eps() {
+        let q = [1.0; 10];
+        let p3 = [1.0, 1.0, 1.0, 1.0, 1.0, 1.0, 2.0, 100.0, 2.0, 2.0];
+        assert_eq!(matching_dimensions(&p3, &q, 0.0), 6); // Fig. 1: obj 3 is the 6-match, ε=0
+        assert_eq!(matching_dimensions(&p3, &q, 1.0), 9);
+        let p1 = [1.1, 100.0, 1.2, 1.6, 1.6, 1.1, 1.2, 1.2, 1.0, 1.0];
+        assert_eq!(matching_dimensions(&p1, &q, 0.2), 7); // Fig. 1: obj 1 is the 7-match, ε=0.2
+    }
+
+    #[test]
+    #[should_panic(expected = "n must be in 1..=d")]
+    fn rejects_n_zero() {
+        nmatch_difference(&[1.0], &[2.0], 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "n must be in 1..=d")]
+    fn rejects_n_above_d() {
+        nmatch_difference(&[1.0], &[2.0], 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "share dimensionality")]
+    fn rejects_mismatched_lengths() {
+        nmatch_difference(&[1.0, 2.0], &[2.0], 1);
+    }
+}

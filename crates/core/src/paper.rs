@@ -1,0 +1,81 @@
+//! The paper's worked examples as ready-made datasets, so tests, examples
+//! and the reproduction harness all reference one canonical copy.
+//!
+//! Point ids in the paper are 1-based; [`Dataset`] ids are 0-based, so
+//! "paper point 3" is id 2 here.
+
+use crate::point::Dataset;
+
+/// Figure 1: the 10-dimensional, 4-object motivating database. The query
+/// `(1, 1, …, 1)` has Euclidean NN = object 4 (all 20s), yet objects 1–3
+/// match it in 9 of 10 dimensions.
+pub fn fig1_dataset() -> Dataset {
+    Dataset::from_rows(&[
+        vec![1.1, 100.0, 1.2, 1.6, 1.6, 1.1, 1.2, 1.2, 1.0, 1.0],
+        vec![1.4, 1.4, 1.4, 1.5, 100.0, 1.4, 1.2, 1.2, 1.0, 1.0],
+        vec![1.0, 1.0, 1.0, 1.0, 1.0, 1.0, 2.0, 100.0, 2.0, 2.0],
+        vec![20.0; 10],
+    ])
+    .expect("static data is well-formed")
+}
+
+/// The Figure 1 query point `(1, 1, …, 1)`.
+pub fn fig1_query() -> Vec<f64> {
+    vec![1.0; 10]
+}
+
+/// Figure 2: five 2-d points A–E (ids 0–4) around a query Q, with the
+/// relationships the paper reads off the figure: A is the 1-match, B the
+/// 2-match, `{A, D, E}` the 3-1-match, `{A, B}` the 2-2-match, and the
+/// skyline of closeness to Q is `{A, B, C}`.
+pub fn fig2_dataset() -> Dataset {
+    Dataset::from_rows(&[
+        vec![5.2, 8.5],   // A
+        vec![6.2, 6.5],   // B
+        vec![9.0, 5.9],   // C
+        vec![5.6, 10.5],  // D
+        vec![5.85, 11.0], // E
+    ])
+    .expect("static data is well-formed")
+}
+
+/// The Figure 2 query point Q.
+pub fn fig2_query() -> Vec<f64> {
+    vec![5.0, 5.0]
+}
+
+/// Figure 3: the 5-point, 3-dimensional example database used for the AD
+/// running example (Figure 5) and the Fagin-monotonicity counterexample.
+pub fn fig3_dataset() -> Dataset {
+    Dataset::from_rows(&[
+        vec![0.4, 1.0, 1.0],
+        vec![2.8, 5.5, 2.0],
+        vec![6.5, 7.8, 5.0],
+        vec![9.0, 9.0, 9.0],
+        vec![3.5, 1.5, 8.0],
+    ])
+    .expect("static data is well-formed")
+}
+
+/// The Figure 3/5 query point `(3.0, 7.0, 4.0)`.
+pub fn fig3_query() -> Vec<f64> {
+    vec![3.0, 7.0, 4.0]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shapes() {
+        assert_eq!(fig1_dataset().dims(), 10);
+        assert_eq!(fig1_dataset().len(), 4);
+        assert_eq!(fig2_dataset().dims(), 2);
+        assert_eq!(fig2_dataset().len(), 5);
+        assert_eq!(fig3_dataset().dims(), 3);
+        assert_eq!(fig3_dataset().len(), 5);
+        assert_eq!(fig1_query().len(), 10);
+        assert_eq!(fig2_query().len(), 2);
+        assert_eq!(fig3_query().len(), 3);
+    }
+}

@@ -1,0 +1,234 @@
+//! The in-memory dataset: a dense, row-major collection of d-dimensional
+//! points addressed by [`PointId`].
+//!
+//! The paper treats "object" and "point" interchangeably; a database is a set
+//! of d-dimensional points (Section 2). Coordinates must be finite so that
+//! per-dimension differences `|p_i - q_i|` totally order.
+
+use crate::error::{KnMatchError, Result};
+
+/// Identifier of a point inside a [`Dataset`]: its insertion index.
+pub type PointId = u32;
+
+/// A dense, row-major set of d-dimensional points with finite coordinates.
+///
+/// Construction validates every coordinate once so query code can use plain
+/// `f64` comparisons without NaN hazards.
+///
+/// # Examples
+///
+/// ```
+/// use knmatch_core::Dataset;
+///
+/// let ds = Dataset::from_rows(&[vec![0.0, 1.0], vec![0.5, 0.25]]).unwrap();
+/// assert_eq!(ds.len(), 2);
+/// assert_eq!(ds.dims(), 2);
+/// assert_eq!(ds.point(1), &[0.5, 0.25]);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Dataset {
+    dims: usize,
+    data: Vec<f64>,
+}
+
+impl Dataset {
+    /// Creates an empty dataset of the given dimensionality.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`KnMatchError::ZeroDimensions`] when `dims == 0`.
+    pub fn new(dims: usize) -> Result<Self> {
+        if dims == 0 {
+            return Err(KnMatchError::ZeroDimensions);
+        }
+        Ok(Dataset { dims, data: Vec::new() })
+    }
+
+    /// Creates an empty dataset with room for `capacity` points.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`KnMatchError::ZeroDimensions`] when `dims == 0`.
+    pub fn with_capacity(dims: usize, capacity: usize) -> Result<Self> {
+        let mut ds = Self::new(dims)?;
+        ds.data.reserve(capacity.saturating_mul(dims));
+        Ok(ds)
+    }
+
+    /// Builds a dataset from row slices, validating shape and finiteness.
+    ///
+    /// # Errors
+    ///
+    /// - [`KnMatchError::EmptyDataset`] when `rows` is empty;
+    /// - [`KnMatchError::DimensionMismatch`] when a row's length differs from
+    ///   the first row's;
+    /// - [`KnMatchError::NonFiniteValue`] on NaN/infinite coordinates.
+    pub fn from_rows<R: AsRef<[f64]>>(rows: &[R]) -> Result<Self> {
+        let first = rows.first().ok_or(KnMatchError::EmptyDataset)?;
+        let mut ds = Self::with_capacity(first.as_ref().len(), rows.len())?;
+        for row in rows {
+            ds.push(row.as_ref())?;
+        }
+        Ok(ds)
+    }
+
+    /// Appends a point and returns its id.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`KnMatchError::DimensionMismatch`] on a wrong-length row and
+    /// [`KnMatchError::NonFiniteValue`] on NaN/infinite coordinates.
+    pub fn push(&mut self, point: &[f64]) -> Result<PointId> {
+        if point.len() != self.dims {
+            return Err(KnMatchError::DimensionMismatch {
+                expected: self.dims,
+                actual: point.len(),
+            });
+        }
+        validate_finite(point)?;
+        let pid = self.len() as PointId;
+        self.data.extend_from_slice(point);
+        Ok(pid)
+    }
+
+    /// Number of points stored (the paper's cardinality `c`).
+    pub fn len(&self) -> usize {
+        self.data.len() / self.dims
+    }
+
+    /// Whether the dataset holds no points.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Dimensionality `d` of the data space.
+    pub fn dims(&self) -> usize {
+        self.dims
+    }
+
+    /// Coordinates of point `pid`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `pid` is out of range.
+    pub fn point(&self, pid: PointId) -> &[f64] {
+        let i = pid as usize * self.dims;
+        &self.data[i..i + self.dims]
+    }
+
+    /// Coordinate of point `pid` in dimension `dim`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `pid` or `dim` is out of range.
+    pub fn coord(&self, pid: PointId, dim: usize) -> f64 {
+        assert!(dim < self.dims, "dimension {dim} out of range");
+        self.data[pid as usize * self.dims + dim]
+    }
+
+    /// Iterates `(pid, coordinates)` pairs in id order.
+    pub fn iter(&self) -> impl Iterator<Item = (PointId, &[f64])> {
+        self.data
+            .chunks_exact(self.dims)
+            .enumerate()
+            .map(|(i, row)| (i as PointId, row))
+    }
+
+    /// The raw row-major coordinate buffer.
+    pub fn as_flat(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Validates a query point against this dataset (shape + finiteness).
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Dataset::push`].
+    pub fn validate_query(&self, query: &[f64]) -> Result<()> {
+        if query.len() != self.dims {
+            return Err(KnMatchError::DimensionMismatch {
+                expected: self.dims,
+                actual: query.len(),
+            });
+        }
+        validate_finite(query)
+    }
+}
+
+/// Checks every coordinate is finite.
+pub(crate) fn validate_finite(point: &[f64]) -> Result<()> {
+    for (dim, v) in point.iter().enumerate() {
+        if !v.is_finite() {
+            return Err(KnMatchError::NonFiniteValue { dim });
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_rows_roundtrip() {
+        let ds = Dataset::from_rows(&[vec![1.0, 2.0, 3.0], vec![4.0, 5.0, 6.0]]).unwrap();
+        assert_eq!(ds.dims(), 3);
+        assert_eq!(ds.len(), 2);
+        assert_eq!(ds.point(0), &[1.0, 2.0, 3.0]);
+        assert_eq!(ds.point(1), &[4.0, 5.0, 6.0]);
+        assert_eq!(ds.coord(1, 2), 6.0);
+        assert!(!ds.is_empty());
+    }
+
+    #[test]
+    fn iter_yields_ids_in_order() {
+        let ds = Dataset::from_rows(&[[0.0], [1.0], [2.0]]).unwrap();
+        let ids: Vec<PointId> = ds.iter().map(|(pid, _)| pid).collect();
+        assert_eq!(ids, vec![0, 1, 2]);
+        let vals: Vec<f64> = ds.iter().map(|(_, p)| p[0]).collect();
+        assert_eq!(vals, vec![0.0, 1.0, 2.0]);
+    }
+
+    #[test]
+    fn rejects_empty_and_zero_dims() {
+        let rows: Vec<Vec<f64>> = vec![];
+        assert_eq!(Dataset::from_rows(&rows).unwrap_err(), KnMatchError::EmptyDataset);
+        assert_eq!(Dataset::new(0).unwrap_err(), KnMatchError::ZeroDimensions);
+    }
+
+    #[test]
+    fn rejects_ragged_rows() {
+        let err = Dataset::from_rows(&[vec![1.0, 2.0], vec![3.0]]).unwrap_err();
+        assert_eq!(err, KnMatchError::DimensionMismatch { expected: 2, actual: 1 });
+    }
+
+    #[test]
+    fn rejects_non_finite() {
+        let err = Dataset::from_rows(&[vec![1.0, f64::NAN]]).unwrap_err();
+        assert_eq!(err, KnMatchError::NonFiniteValue { dim: 1 });
+        let err = Dataset::from_rows(&[vec![f64::INFINITY, 0.0]]).unwrap_err();
+        assert_eq!(err, KnMatchError::NonFiniteValue { dim: 0 });
+    }
+
+    #[test]
+    fn validate_query_checks_shape_and_values() {
+        let ds = Dataset::from_rows(&[[0.0, 0.0]]).unwrap();
+        assert!(ds.validate_query(&[0.1, 0.2]).is_ok());
+        assert!(matches!(
+            ds.validate_query(&[0.1]),
+            Err(KnMatchError::DimensionMismatch { .. })
+        ));
+        assert!(matches!(
+            ds.validate_query(&[0.1, f64::NAN]),
+            Err(KnMatchError::NonFiniteValue { dim: 1 })
+        ));
+    }
+
+    #[test]
+    fn push_assigns_sequential_ids() {
+        let mut ds = Dataset::new(1).unwrap();
+        assert_eq!(ds.push(&[1.0]).unwrap(), 0);
+        assert_eq!(ds.push(&[2.0]).unwrap(), 1);
+        assert_eq!(ds.as_flat(), &[1.0, 2.0]);
+    }
+}

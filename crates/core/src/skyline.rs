@@ -1,0 +1,144 @@
+//! Query-relative skyline — the comparison query of Section 2.1.
+//!
+//! The paper contrasts k-n-match with the skyline operator: for Figure 2's
+//! points, the skyline (of per-dimension closeness to `Q`) is `{A, B, C}`
+//! while k-n-match answers depend on `k` and `n`. We implement a
+//! block-nested-loop skyline over the per-dimension absolute differences to
+//! the query: `P1` dominates `P2` iff it is at least as close in every
+//! dimension and strictly closer in one.
+
+use crate::error::Result;
+use crate::point::{Dataset, PointId};
+
+/// Dominance test on difference vectors: does `a` dominate `b`?
+fn dominates(a: &[f64], b: &[f64]) -> bool {
+    let mut strictly = false;
+    for (x, y) in a.iter().zip(b) {
+        if x > y {
+            return false;
+        }
+        if x < y {
+            strictly = true;
+        }
+    }
+    strictly
+}
+
+/// Returns the skyline of `ds` with respect to `query`: the ids of all
+/// points not dominated (in per-dimension closeness to the query) by any
+/// other point, in ascending id order.
+///
+/// # Errors
+///
+/// Propagates [`Dataset::validate_query`] errors; an empty dataset yields
+/// [`crate::KnMatchError::EmptyDataset`].
+pub fn skyline_wrt(ds: &Dataset, query: &[f64]) -> Result<Vec<PointId>> {
+    if ds.is_empty() {
+        return Err(crate::error::KnMatchError::EmptyDataset);
+    }
+    ds.validate_query(query)?;
+    let diffs: Vec<Vec<f64>> = ds
+        .iter()
+        .map(|(_, p)| p.iter().zip(query).map(|(a, b)| (a - b).abs()).collect())
+        .collect();
+    // Block-nested-loop: keep a window of currently-undominated points.
+    let mut window: Vec<PointId> = Vec::new();
+    'cand: for (pid, _) in ds.iter() {
+        let d = &diffs[pid as usize];
+        let mut i = 0;
+        while i < window.len() {
+            let w = &diffs[window[i] as usize];
+            if dominates(w, d) {
+                continue 'cand; // candidate dominated → drop it
+            }
+            if dominates(d, w) {
+                window.swap_remove(i); // candidate kills a window point
+            } else {
+                i += 1;
+            }
+        }
+        window.push(pid);
+    }
+    window.sort_unstable();
+    Ok(window)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Coordinates consistent with the paper's Figure 2: A is the 1-match
+    /// (smallest single-dimension difference), B the 2-match, the skyline is
+    /// {A, B, C}, {A, D, E} is the 3-1-match and {A, B} the 2-2-match.
+    pub(crate) fn fig2() -> (Dataset, Vec<f64>) {
+        // Q at origin of the difference space; coordinates chosen to honour
+        // the figure's geometry (differences to Q in (x, y)):
+        //   A: (0.2, 3.5)   — closest in x
+        //   B: (1.2, 1.5)   — best two-dimensional box
+        //   C: (4.0, 0.9)   — closest in y
+        //   D: (0.6, 5.5)
+        //   E: (0.85, 6.0)
+        let q = vec![5.0, 5.0];
+        let ds = Dataset::from_rows(&[
+            vec![5.2, 8.5],   // A
+            vec![6.2, 6.5],   // B
+            vec![9.0, 5.9],   // C
+            vec![5.6, 10.5],  // D
+            vec![5.85, 11.0], // E
+        ])
+        .unwrap();
+        (ds, q)
+    }
+
+    #[test]
+    fn fig2_skyline_is_a_b_c() {
+        let (ds, q) = fig2();
+        assert_eq!(skyline_wrt(&ds, &q).unwrap(), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn fig2_nmatch_answers_differ_from_skyline() {
+        let (ds, q) = fig2();
+        // 1-match: A; 2-match: B (paper text).
+        let m1 = crate::naive::k_n_match_scan(&ds, &q, 1, 1).unwrap();
+        assert_eq!(m1.ids(), vec![0]);
+        let m2 = crate::naive::k_n_match_scan(&ds, &q, 1, 2).unwrap();
+        assert_eq!(m2.ids(), vec![1]);
+        // 3-1-match: {A, D, E}; 2-2-match: {A, B}.
+        let m31 = crate::naive::k_n_match_scan(&ds, &q, 3, 1).unwrap();
+        let mut ids = m31.ids();
+        ids.sort_unstable();
+        assert_eq!(ids, vec![0, 3, 4]);
+        let m22 = crate::naive::k_n_match_scan(&ds, &q, 2, 2).unwrap();
+        let mut ids = m22.ids();
+        ids.sort_unstable();
+        assert_eq!(ids, vec![0, 1]);
+        // None of those equals the skyline {A, B, C}.
+        assert_ne!(skyline_wrt(&ds, &q).unwrap(), m31.ids());
+    }
+
+    #[test]
+    fn identical_points_are_both_kept() {
+        let ds = Dataset::from_rows(&[vec![1.0, 1.0], vec![1.0, 1.0]]).unwrap();
+        assert_eq!(skyline_wrt(&ds, &[0.0, 0.0]).unwrap(), vec![0, 1]);
+    }
+
+    #[test]
+    fn single_dominator_wins() {
+        let ds = Dataset::from_rows(&[vec![0.1, 0.1], vec![0.5, 0.5], vec![0.9, 0.2]]).unwrap();
+        assert_eq!(skyline_wrt(&ds, &[0.0, 0.0]).unwrap(), vec![0]);
+    }
+
+    #[test]
+    fn dominates_requires_strictness() {
+        assert!(!dominates(&[1.0, 1.0], &[1.0, 1.0]));
+        assert!(dominates(&[1.0, 0.5], &[1.0, 1.0]));
+        assert!(!dominates(&[1.0, 2.0], &[2.0, 1.0]));
+    }
+
+    #[test]
+    fn empty_dataset_errors() {
+        let ds = Dataset::new(2).unwrap();
+        assert!(skyline_wrt(&ds, &[0.0, 0.0]).is_err());
+    }
+}

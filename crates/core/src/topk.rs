@@ -1,0 +1,179 @@
+//! A bounded top-k collector over `(score, point id)` pairs.
+//!
+//! Shared by the naive scan, the kNN baseline and the VA-file competitor:
+//! keeps the `k` smallest scores seen so far and exposes the current k-th
+//! smallest as a pruning threshold.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use crate::point::PointId;
+use crate::result::{KnMatchResult, MatchEntry};
+
+/// Max-heap entry ordering by `(score, pid)` so the worst answer pops first.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct Worst {
+    score: f64,
+    pid: PointId,
+}
+
+impl Eq for Worst {}
+
+impl PartialOrd for Worst {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Worst {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.score.total_cmp(&other.score).then_with(|| self.pid.cmp(&other.pid))
+    }
+}
+
+/// Keeps the `k` smallest `(score, pid)` pairs offered, breaking score ties
+/// by ascending point id.
+///
+/// # Examples
+///
+/// ```
+/// use knmatch_core::topk::TopK;
+///
+/// let mut t = TopK::new(2);
+/// t.offer(0, 0.9);
+/// t.offer(1, 0.1);
+/// t.offer(2, 0.5);
+/// assert_eq!(t.threshold(), Some(0.5));
+/// let best: Vec<u32> = t.into_sorted().into_iter().map(|(pid, _)| pid).collect();
+/// assert_eq!(best, vec![1, 2]);
+/// ```
+#[derive(Debug)]
+pub struct TopK {
+    k: usize,
+    heap: BinaryHeap<Worst>,
+}
+
+impl TopK {
+    /// Creates a collector for the `k` smallest scores.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `k == 0`.
+    pub fn new(k: usize) -> Self {
+        assert!(k >= 1, "top-k needs k >= 1");
+        TopK { k, heap: BinaryHeap::with_capacity(k + 1) }
+    }
+
+    /// Offers a candidate; it is kept iff it beats the current k-th best.
+    pub fn offer(&mut self, pid: PointId, score: f64) {
+        let cand = Worst { score, pid };
+        if self.heap.len() < self.k {
+            self.heap.push(cand);
+        } else if let Some(top) = self.heap.peek() {
+            if cand < *top {
+                self.heap.pop();
+                self.heap.push(cand);
+            }
+        }
+    }
+
+    /// The current k-th smallest score once `k` candidates have been seen —
+    /// any candidate with a larger score cannot enter the answer. `None`
+    /// while fewer than `k` candidates were offered.
+    pub fn threshold(&self) -> Option<f64> {
+        if self.heap.len() == self.k {
+            self.heap.peek().map(|w| w.score)
+        } else {
+            None
+        }
+    }
+
+    /// Number of candidates currently held (≤ k).
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether no candidate was offered yet.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Drains into `(pid, score)` pairs sorted by ascending `(score, pid)`.
+    pub fn into_sorted(self) -> Vec<(PointId, f64)> {
+        let mut v: Vec<(PointId, f64)> =
+            self.heap.into_iter().map(|w| (w.pid, w.score)).collect();
+        v.sort_unstable_by(|a, b| a.1.total_cmp(&b.1).then(a.0.cmp(&b.0)));
+        v
+    }
+
+    /// Drains into a [`KnMatchResult`] for the given `n`.
+    pub fn into_result(self, n: usize) -> KnMatchResult {
+        KnMatchResult {
+            n,
+            entries: self
+                .into_sorted()
+                .into_iter()
+                .map(|(pid, diff)| MatchEntry { pid, diff })
+                .collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keeps_k_smallest() {
+        let mut t = TopK::new(3);
+        for (pid, s) in [(0, 5.0), (1, 1.0), (2, 3.0), (3, 4.0), (4, 2.0)] {
+            t.offer(pid, s);
+        }
+        let ids: Vec<PointId> = t.into_sorted().into_iter().map(|(p, _)| p).collect();
+        assert_eq!(ids, vec![1, 4, 2]);
+    }
+
+    #[test]
+    fn threshold_progression() {
+        let mut t = TopK::new(2);
+        assert_eq!(t.threshold(), None);
+        assert!(t.is_empty());
+        t.offer(0, 0.5);
+        assert_eq!(t.threshold(), None);
+        t.offer(1, 0.2);
+        assert_eq!(t.threshold(), Some(0.5));
+        t.offer(2, 0.1);
+        assert_eq!(t.threshold(), Some(0.2));
+        t.offer(3, 0.9);
+        assert_eq!(t.threshold(), Some(0.2));
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    fn score_ties_keep_smaller_pid() {
+        let mut t = TopK::new(1);
+        t.offer(7, 1.0);
+        t.offer(2, 1.0);
+        assert_eq!(t.into_sorted(), vec![(2, 1.0)]);
+        // Order of arrival must not matter.
+        let mut t = TopK::new(1);
+        t.offer(2, 1.0);
+        t.offer(7, 1.0);
+        assert_eq!(t.into_sorted(), vec![(2, 1.0)]);
+    }
+
+    #[test]
+    fn into_result_sets_n() {
+        let mut t = TopK::new(1);
+        t.offer(4, 0.25);
+        let r = t.into_result(3);
+        assert_eq!(r.n, 3);
+        assert_eq!(r.entries, vec![MatchEntry { pid: 4, diff: 0.25 }]);
+    }
+
+    #[test]
+    #[should_panic(expected = "k >= 1")]
+    fn zero_k_panics() {
+        let _ = TopK::new(0);
+    }
+}

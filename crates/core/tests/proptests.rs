@@ -1,0 +1,347 @@
+//! Property-based tests: the AD algorithm must agree with the naive
+//! full-scan oracle on every random instance, and the paper's structural
+//! invariants must hold.
+//!
+//! Tie discipline: when two per-dimension differences are exactly equal,
+//! Definition 3 allows several correct answer sets (the *multiset of
+//! differences* is unique, the ids are not). Properties that compare ids
+//! therefore assume globally distinct differences — which random `f64`
+//! coordinates give almost surely — via `prop_assume`.
+
+use knmatch_core::{
+    frequent_k_n_match_ad, frequent_k_n_match_scan, k_n_match_ad, k_n_match_scan,
+    nmatch_difference, sorted_differences, Dataset, SortedColumns,
+};
+use proptest::prelude::*;
+
+/// Strategy: a (rows, query) pair with 1..=6 dims and 1..=24 points,
+/// coordinates in [0, 1).
+fn db_and_query() -> impl Strategy<Value = (Vec<Vec<f64>>, Vec<f64>)> {
+    (1usize..=6, 1usize..=24).prop_flat_map(|(d, c)| {
+        (
+            proptest::collection::vec(proptest::collection::vec(0.0f64..1.0, d), c),
+            proptest::collection::vec(0.0f64..1.0, d),
+        )
+    })
+}
+
+/// True iff all `c · d` per-dimension differences to the query are distinct
+/// (then every per-n ranking is strict and answer sets are unique).
+fn all_diffs_distinct(rows: &[Vec<f64>], query: &[f64]) -> bool {
+    let mut diffs: Vec<f64> = rows
+        .iter()
+        .flat_map(|p| p.iter().zip(query).map(|(a, b)| (a - b).abs()))
+        .collect();
+    diffs.sort_unstable_by(f64::total_cmp);
+    diffs.windows(2).all(|w| w[0] < w[1])
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Theorem 3.1 (correctness): AD's answer ids and differences equal the
+    /// naive oracle's for every k and n (under distinct differences).
+    #[test]
+    fn ad_matches_naive_oracle((rows, query) in db_and_query()) {
+        prop_assume!(all_diffs_distinct(&rows, &query));
+        let ds = Dataset::from_rows(&rows).unwrap();
+        let mut cols = SortedColumns::build(&ds);
+        let c = rows.len();
+        let d = query.len();
+        for n in 1..=d {
+            for k in [1, (c + 1) / 2, c] {
+                let naive = k_n_match_scan(&ds, &query, k, n).unwrap();
+                let (ad, _) = k_n_match_ad(&mut cols, &query, k, n).unwrap();
+                prop_assert_eq!(naive.ids(), ad.ids(), "k={} n={}", k, n);
+                let nd = naive.diffs();
+                let ad_d = ad.diffs();
+                for (a, b) in nd.iter().zip(&ad_d) {
+                    prop_assert!((a - b).abs() < 1e-12);
+                }
+            }
+        }
+    }
+
+    /// Even with ties, the multiset of answer differences is unique: compare
+    /// sorted diffs without assuming distinctness.
+    #[test]
+    fn ad_diff_multiset_matches_naive_even_with_ties(
+        (rows, query) in db_and_query(),
+        k_sel in 0usize..3,
+        n_sel in 0usize..3,
+    ) {
+        let ds = Dataset::from_rows(&rows).unwrap();
+        let mut cols = SortedColumns::build(&ds);
+        let c = rows.len();
+        let d = query.len();
+        let k = [1, (c + 1) / 2, c][k_sel].max(1);
+        let n = ([1, (d + 1) / 2, d][n_sel]).max(1);
+        let naive = k_n_match_scan(&ds, &query, k, n).unwrap();
+        let (ad, _) = k_n_match_ad(&mut cols, &query, k, n).unwrap();
+        let nd = naive.diffs();
+        let ad_d = ad.diffs();
+        prop_assert_eq!(nd.len(), ad_d.len());
+        for (a, b) in nd.iter().zip(&ad_d) {
+            prop_assert!((a - b).abs() < 1e-12, "naive {:?} vs ad {:?}", nd, ad_d);
+        }
+    }
+
+    /// FKNMatchAD equals the naive frequent oracle: same per-n answer sets,
+    /// same appearance counts, same ranked ids.
+    #[test]
+    fn frequent_ad_matches_naive((rows, query) in db_and_query()) {
+        prop_assume!(all_diffs_distinct(&rows, &query));
+        let ds = Dataset::from_rows(&rows).unwrap();
+        let mut cols = SortedColumns::build(&ds);
+        let c = rows.len();
+        let d = query.len();
+        let k = ((c + 1) / 2).max(1);
+        let n0 = 1;
+        let n1 = d;
+        let naive = frequent_k_n_match_scan(&ds, &query, k, n0, n1).unwrap();
+        let (ad, _) = frequent_k_n_match_ad(&mut cols, &query, k, n0, n1).unwrap();
+        prop_assert_eq!(naive.per_n.len(), ad.per_n.len());
+        for (a, b) in naive.per_n.iter().zip(&ad.per_n) {
+            prop_assert_eq!(a.n, b.n);
+            prop_assert_eq!(a.ids(), b.ids(), "per-n sets differ at n={}", a.n);
+        }
+        prop_assert_eq!(naive.ids(), ad.ids());
+        for (a, b) in naive.entries.iter().zip(&ad.entries) {
+            prop_assert_eq!(a.count, b.count);
+        }
+    }
+
+    /// The n-match difference is monotone non-decreasing in n and symmetric.
+    #[test]
+    fn nmatch_difference_monotone_and_symmetric(
+        p in proptest::collection::vec(0.0f64..1.0, 1..8),
+        q_seed in proptest::collection::vec(0.0f64..1.0, 1..8),
+    ) {
+        let d = p.len().min(q_seed.len());
+        let p = &p[..d];
+        let q = &q_seed[..d];
+        let mut prev = f64::NEG_INFINITY;
+        for n in 1..=d {
+            let v = nmatch_difference(p, q, n);
+            prop_assert!(v >= prev);
+            prop_assert_eq!(v, nmatch_difference(q, p, n));
+            prev = v;
+        }
+        // And it equals the sorted-differences entry.
+        let all = sorted_differences(p, q);
+        for n in 1..=d {
+            prop_assert_eq!(all[n - 1], nmatch_difference(p, q, n));
+        }
+    }
+
+    /// Cost sanity: AD never retrieves more than all c·d attributes, and the
+    /// frequent variant costs exactly as much as a plain k-n1-match
+    /// (Theorem 3.3).
+    #[test]
+    fn ad_cost_bounds((rows, query) in db_and_query()) {
+        let ds = Dataset::from_rows(&rows).unwrap();
+        let mut cols = SortedColumns::build(&ds);
+        let c = rows.len() as u64;
+        let d = query.len();
+        let k = ((rows.len() + 1) / 2).max(1);
+        let n1 = d;
+        let (_, plain) = k_n_match_ad(&mut cols, &query, k, n1).unwrap();
+        prop_assert!(plain.attributes_retrieved <= c * d as u64);
+        let (_, freq) = frequent_k_n_match_ad(&mut cols, &query, k, 1, n1).unwrap();
+        prop_assert_eq!(freq.attributes_retrieved, plain.attributes_retrieved);
+        prop_assert_eq!(freq.heap_pops, plain.heap_pops);
+    }
+
+    /// Every answer's diff is a true n-match difference of that point, and
+    /// no non-answer point has a diff strictly below ε (soundness +
+    /// completeness at the threshold).
+    #[test]
+    fn answers_are_sound_and_complete((rows, query) in db_and_query()) {
+        let ds = Dataset::from_rows(&rows).unwrap();
+        let mut cols = SortedColumns::build(&ds);
+        let d = query.len();
+        let k = ((rows.len() + 1) / 2).max(1);
+        for n in [1, d] {
+            let (res, _) = k_n_match_ad(&mut cols, &query, k, n).unwrap();
+            let eps = res.epsilon();
+            for e in &res.entries {
+                let true_diff = nmatch_difference(&rows[e.pid as usize], &query, n);
+                prop_assert!((true_diff - e.diff).abs() < 1e-12);
+            }
+            for (pid, row) in rows.iter().enumerate() {
+                if !res.contains(pid as u32) {
+                    prop_assert!(nmatch_difference(row, &query, n) >= eps);
+                }
+            }
+        }
+    }
+
+    /// The 1-match answer's point must agree with the query in at least one
+    /// dimension within ε, and with n = d the answer is the Chebyshev NN.
+    #[test]
+    fn boundary_n_semantics((rows, query) in db_and_query()) {
+        prop_assume!(all_diffs_distinct(&rows, &query));
+        let ds = Dataset::from_rows(&rows).unwrap();
+        let mut cols = SortedColumns::build(&ds);
+        let d = query.len();
+        let (m1, _) = k_n_match_ad(&mut cols, &query, 1, 1).unwrap();
+        let best_single = rows
+            .iter()
+            .map(|p| {
+                p.iter()
+                    .zip(&query)
+                    .map(|(a, b)| (a - b).abs())
+                    .fold(f64::INFINITY, f64::min)
+            })
+            .fold(f64::INFINITY, f64::min);
+        prop_assert!((m1.epsilon() - best_single).abs() < 1e-12);
+        let (md, _) = k_n_match_ad(&mut cols, &query, 1, d).unwrap();
+        let best_linf = rows
+            .iter()
+            .map(|p| {
+                p.iter().zip(&query).map(|(a, b)| (a - b).abs()).fold(0.0f64, f64::max)
+            })
+            .fold(f64::INFINITY, f64::min);
+        prop_assert!((md.epsilon() - best_linf).abs() < 1e-12);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(192))]
+
+    /// The streaming iterator's first-k prefix equals the batch k-n-match
+    /// answer (same diffs; same ids under distinct differences).
+    #[test]
+    fn stream_prefix_equals_batch((rows, query) in db_and_query()) {
+        prop_assume!(all_diffs_distinct(&rows, &query));
+        let ds = Dataset::from_rows(&rows).unwrap();
+        let mut a = SortedColumns::build(&ds);
+        let mut b = SortedColumns::build(&ds);
+        let d = query.len();
+        let c = rows.len();
+        let n = (d + 1) / 2;
+        let k = ((c + 1) / 2).max(1);
+        let mut prefix: Vec<knmatch_core::MatchEntry> =
+            knmatch_core::NMatchStream::new(&mut a, &query, n).unwrap().take(k).collect();
+        prefix.sort_by(|x, y| x.diff.total_cmp(&y.diff).then(x.pid.cmp(&y.pid)));
+        let (batch, _) = k_n_match_ad(&mut b, &query, k, n).unwrap();
+        prop_assert_eq!(prefix, batch.entries);
+    }
+
+    /// The linear-frontier (paper-literal g[]) variant is identical to the
+    /// heap variant in answers AND cost counters.
+    #[test]
+    fn linear_frontier_identical((rows, query) in db_and_query()) {
+        let ds = Dataset::from_rows(&rows).unwrap();
+        let mut cols = SortedColumns::build(&ds);
+        let d = query.len();
+        let c = rows.len();
+        let k = ((c + 1) / 2).max(1);
+        let (a, sa) = frequent_k_n_match_ad(&mut cols, &query, k, 1, d).unwrap();
+        let (b, sb) =
+            knmatch_core::frequent_k_n_match_ad_linear(&mut cols, &query, k, 1, d).unwrap();
+        prop_assert_eq!(a.ids(), b.ids());
+        prop_assert_eq!(sa, sb);
+        for (x, y) in a.per_n.iter().zip(&b.per_n) {
+            prop_assert_eq!(x.ids(), y.ids());
+        }
+    }
+
+    /// eps-n-match returns exactly the points whose n-match difference is
+    /// within the threshold.
+    #[test]
+    fn eps_match_equals_filter(
+        (rows, query) in db_and_query(),
+        eps in 0.0f64..1.0,
+    ) {
+        prop_assume!(all_diffs_distinct(&rows, &query));
+        let ds = Dataset::from_rows(&rows).unwrap();
+        let mut cols = SortedColumns::build(&ds);
+        let d = query.len();
+        let n = (d + 1) / 2;
+        let (res, _) = knmatch_core::eps_n_match_ad(&mut cols, &query, eps, n).unwrap();
+        let mut want: Vec<u32> = rows
+            .iter()
+            .enumerate()
+            .filter(|(_, p)| nmatch_difference(p, &query, n) <= eps)
+            .map(|(pid, _)| pid as u32)
+            .collect();
+        want.sort_unstable();
+        let mut got = res.ids();
+        got.sort_unstable();
+        prop_assert_eq!(got, want);
+    }
+
+    /// An all-numeric hybrid schema reproduces the plain model, and a
+    /// weighted schema equals the plain model on pre-scaled data.
+    #[test]
+    fn hybrid_consistency((rows, query) in db_and_query()) {
+        prop_assume!(all_diffs_distinct(&rows, &query));
+        let ds = Dataset::from_rows(&rows).unwrap();
+        let d = query.len();
+        let c = rows.len();
+        let k = ((c + 1) / 2).max(1);
+        let schema = knmatch_core::HybridSchema::all_numeric(d).unwrap();
+        let cols = knmatch_core::HybridColumns::build(&ds, schema).unwrap();
+        let mut plain = SortedColumns::build(&ds);
+        for n in [1, d] {
+            let (h, _) = knmatch_core::k_n_match_hybrid(&cols, &query, k, n).unwrap();
+            let (p, _) = k_n_match_ad(&mut plain, &query, k, n).unwrap();
+            prop_assert_eq!(h.ids(), p.ids(), "n={}", n);
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// FA and TA agree with brute force (and each other) on random grade
+    /// tables, for both canonical monotone aggregates.
+    #[test]
+    fn fagin_fa_ta_match_bruteforce((rows, _q) in db_and_query()) {
+        use knmatch_core::{GradedLists, MinAggregate, MonotoneAggregate, WeightedSum};
+        let ds = Dataset::from_rows(&rows).unwrap();
+        let lists = GradedLists::build(&ds);
+        let k = ((rows.len() + 1) / 2).max(1);
+        let sum = WeightedSum { weights: vec![1.0; ds.dims()] };
+        let check = |t: &dyn MonotoneAggregate, got: Vec<(u32, f64)>| {
+            let mut want: Vec<(u32, f64)> =
+                ds.iter().map(|(pid, p)| (pid, t.combine(p))).collect();
+            want.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
+            want.truncate(k);
+            // Scores must match exactly (ids may differ only on score ties).
+            for (g, w) in got.iter().zip(&want) {
+                assert!((g.1 - w.1).abs() < 1e-12, "{got:?} vs {want:?}");
+            }
+        };
+        let (fa, _) = lists.fa(&MinAggregate, k).unwrap();
+        check(&MinAggregate, fa);
+        let (ta, _) = lists.ta(&MinAggregate, k).unwrap();
+        check(&MinAggregate, ta);
+        let (fa, _) = lists.fa(&sum, k).unwrap();
+        check(&sum, fa);
+        let (ta, _) = lists.ta(&sum, k).unwrap();
+        check(&sum, ta);
+    }
+
+    /// MEDRANK terminates, emits each point at most once, and its rounds
+    /// are non-decreasing, for every quorum.
+    #[test]
+    fn medrank_structural_invariants((rows, query) in db_and_query()) {
+        let ds = Dataset::from_rows(&rows).unwrap();
+        let mut cols = SortedColumns::build(&ds);
+        let d = query.len();
+        for quorum in [1, (d + 1) / 2, d] {
+            let k = rows.len();
+            let (res, stats) =
+                knmatch_core::medrank(&mut cols, &query, k, Some(quorum.max(1))).unwrap();
+            let mut ids = res.ids();
+            ids.sort_unstable();
+            ids.dedup();
+            prop_assert_eq!(ids.len(), res.entries.len(), "no duplicates");
+            let rounds = res.diffs();
+            prop_assert!(rounds.windows(2).all(|w| w[0] <= w[1]));
+            prop_assert!(stats.attributes_retrieved <= (2 * rows.len() * d) as u64);
+        }
+    }
+}

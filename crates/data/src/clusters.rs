@@ -1,0 +1,235 @@
+//! Class-labelled cluster datasets — stand-ins for the five UCI machine
+//! learning datasets of Section 5.1.2 (ionosphere, image segmentation,
+//! wdbc, glass, iris).
+//!
+//! The class-stripping protocol only needs labelled data whose classes form
+//! clusters while individual dimensions occasionally carry wild values
+//! (the paper's "bad pixels, wrong readings or noise in a signal"). Each
+//! class is a Gaussian blob around a well-separated centre; every
+//! coordinate is independently replaced by a uniform random value with a
+//! small probability. Those noisy dimensions are exactly what dominates
+//! aggregating metrics (hurting kNN) while the frequent k-n-match query
+//! ignores them — the mechanism behind Table 4's ranking.
+
+use knmatch_core::Dataset;
+use rand::Rng;
+
+use crate::rng::{clamp01, normal, seeded};
+
+/// A dataset with one class label per point.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LabelledDataset {
+    /// The points.
+    pub data: Dataset,
+    /// `labels[pid]` is the class of point `pid`.
+    pub labels: Vec<u16>,
+}
+
+impl LabelledDataset {
+    /// Number of distinct classes.
+    pub fn classes(&self) -> usize {
+        self.labels.iter().copied().max().map_or(0, |m| m as usize + 1)
+    }
+}
+
+/// Parameters for [`labelled_clusters`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ClusterSpec {
+    /// Number of points to generate.
+    pub cardinality: usize,
+    /// Dimensionality.
+    pub dims: usize,
+    /// Number of classes (clusters).
+    pub classes: usize,
+    /// Standard deviation of each Gaussian cluster.
+    pub cluster_std: f64,
+    /// Per-coordinate probability of replacement by uniform noise.
+    pub noise_prob: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl ClusterSpec {
+    /// A spec with the defaults used throughout the experiments
+    /// (`cluster_std` 0.06, `noise_prob` 0.08).
+    pub fn new(cardinality: usize, dims: usize, classes: usize, seed: u64) -> Self {
+        ClusterSpec { cardinality, dims, classes, cluster_std: 0.06, noise_prob: 0.08, seed }
+    }
+}
+
+/// Generates a labelled cluster dataset per `spec`. Points round-robin over
+/// the classes so every class is populated; coordinates live in `[0, 1]`.
+///
+/// # Panics
+///
+/// Panics when `classes == 0`, `dims == 0`, or `cardinality < classes`.
+pub fn labelled_clusters(spec: &ClusterSpec) -> LabelledDataset {
+    assert!(spec.classes >= 1, "need at least one class");
+    assert!(spec.dims >= 1, "need at least one dimension");
+    assert!(spec.cardinality >= spec.classes, "every class needs a point");
+    let mut rng = seeded(spec.seed);
+
+    // Well-separated class centres: rejection-sample until pairwise L2
+    // distance clears a dimension-scaled threshold (give up gracefully
+    // after enough tries so tiny spaces still work).
+    let min_sep = 0.25 * (spec.dims as f64).sqrt();
+    let mut centres: Vec<Vec<f64>> = Vec::with_capacity(spec.classes);
+    for _ in 0..spec.classes {
+        let mut best: Option<Vec<f64>> = None;
+        let mut best_sep = f64::NEG_INFINITY;
+        for _ in 0..200 {
+            let cand: Vec<f64> = (0..spec.dims).map(|_| rng.gen_range(0.15..0.85)).collect();
+            let sep = centres
+                .iter()
+                .map(|c| {
+                    c.iter().zip(&cand).map(|(a, b)| (a - b) * (a - b)).sum::<f64>().sqrt()
+                })
+                .fold(f64::INFINITY, f64::min);
+            if sep >= min_sep {
+                best = Some(cand);
+                break;
+            }
+            if sep > best_sep {
+                best_sep = sep;
+                best = Some(cand);
+            }
+        }
+        centres.push(best.expect("at least one candidate"));
+    }
+
+    let mut data = Dataset::with_capacity(spec.dims, spec.cardinality).expect("dims >= 1");
+    let mut labels = Vec::with_capacity(spec.cardinality);
+    let mut row = vec![0.0f64; spec.dims];
+    for i in 0..spec.cardinality {
+        let class = i % spec.classes;
+        for (j, v) in row.iter_mut().enumerate() {
+            *v = if rng.gen::<f64>() < spec.noise_prob {
+                rng.gen::<f64>() // a wild reading
+            } else {
+                clamp01(normal(&mut rng, centres[class][j], spec.cluster_std))
+            };
+        }
+        data.push(&row).expect("generated rows are valid");
+        labels.push(class as u16);
+    }
+    LabelledDataset { data, labels }
+}
+
+/// Shape descriptor of one UCI stand-in dataset.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct UciStandin {
+    /// Dataset name as the paper reports it.
+    pub name: &'static str,
+    /// Cardinality (the paper's Section 5.1.2 counts).
+    pub cardinality: usize,
+    /// Dimensionality.
+    pub dims: usize,
+    /// Number of classes.
+    pub classes: usize,
+}
+
+impl UciStandin {
+    /// Generates this stand-in with the experiment defaults.
+    pub fn generate(&self, seed: u64) -> LabelledDataset {
+        labelled_clusters(&ClusterSpec::new(self.cardinality, self.dims, self.classes, seed))
+    }
+}
+
+/// The five UCI datasets of Section 5.1.2, with the paper's shapes:
+/// ionosphere 351×34 (2 classes), segmentation 300×19 (7), wdbc 569×30
+/// (2), glass 214×9 (7), iris 150×4 (3).
+pub fn uci_standins() -> [UciStandin; 5] {
+    [
+        UciStandin { name: "ionosphere", cardinality: 351, dims: 34, classes: 2 },
+        UciStandin { name: "segmentation", cardinality: 300, dims: 19, classes: 7 },
+        UciStandin { name: "wdbc", cardinality: 569, dims: 30, classes: 2 },
+        UciStandin { name: "glass", cardinality: 214, dims: 9, classes: 7 },
+        UciStandin { name: "iris", cardinality: 150, dims: 4, classes: 3 },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shapes_and_labels() {
+        let spec = ClusterSpec::new(100, 6, 4, 1);
+        let lds = labelled_clusters(&spec);
+        assert_eq!(lds.data.len(), 100);
+        assert_eq!(lds.data.dims(), 6);
+        assert_eq!(lds.labels.len(), 100);
+        assert_eq!(lds.classes(), 4);
+        for (_, p) in lds.data.iter() {
+            assert!(p.iter().all(|&v| (0.0..=1.0).contains(&v)));
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let spec = ClusterSpec::new(50, 5, 3, 7);
+        assert_eq!(labelled_clusters(&spec), labelled_clusters(&spec));
+        let other = ClusterSpec { seed: 8, ..spec };
+        assert_ne!(labelled_clusters(&spec), labelled_clusters(&other));
+    }
+
+    #[test]
+    fn classes_are_clustered() {
+        // Same-class points must on average be closer than cross-class
+        // points (otherwise class stripping would measure nothing).
+        let spec = ClusterSpec::new(200, 10, 2, 3);
+        let lds = labelled_clusters(&spec);
+        let mut same = (0.0, 0usize);
+        let mut cross = (0.0, 0usize);
+        for i in 0..lds.data.len() {
+            for j in (i + 1)..lds.data.len() {
+                let d: f64 = lds
+                    .data
+                    .point(i as u32)
+                    .iter()
+                    .zip(lds.data.point(j as u32))
+                    .map(|(a, b)| (a - b) * (a - b))
+                    .sum::<f64>()
+                    .sqrt();
+                if lds.labels[i] == lds.labels[j] {
+                    same = (same.0 + d, same.1 + 1);
+                } else {
+                    cross = (cross.0 + d, cross.1 + 1);
+                }
+            }
+        }
+        let same_avg = same.0 / same.1 as f64;
+        let cross_avg = cross.0 / cross.1 as f64;
+        assert!(
+            same_avg < 0.7 * cross_avg,
+            "same {same_avg} vs cross {cross_avg}: classes not separated"
+        );
+    }
+
+    #[test]
+    fn every_class_populated() {
+        let lds = labelled_clusters(&ClusterSpec::new(10, 3, 7, 5));
+        let mut seen = vec![false; 7];
+        for &l in &lds.labels {
+            seen[l as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn uci_standins_match_paper_shapes() {
+        let s = uci_standins();
+        assert_eq!(s[0].dims, 34);
+        assert_eq!(s[4].cardinality, 150);
+        let iris = s[4].generate(1);
+        assert_eq!(iris.data.len(), 150);
+        assert_eq!(iris.data.dims(), 4);
+        assert_eq!(iris.classes(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "every class needs a point")]
+    fn too_many_classes_panics() {
+        labelled_clusters(&ClusterSpec::new(2, 3, 5, 0));
+    }
+}

@@ -1,0 +1,204 @@
+//! Minimal CSV persistence for datasets (optionally with a trailing class
+//! label per row), so generated workloads can be inspected or exchanged.
+//!
+//! Format: one point per line, coordinates as decimal floats separated by
+//! commas; labelled files carry the integer class as the last column.
+
+use std::fmt::Write as _;
+use std::path::Path;
+
+use knmatch_core::Dataset;
+
+use crate::clusters::LabelledDataset;
+
+/// Serialises `ds` to CSV text.
+pub fn dataset_to_csv(ds: &Dataset) -> String {
+    let mut out = String::new();
+    for (_, p) in ds.iter() {
+        push_row(&mut out, p, None);
+    }
+    out
+}
+
+/// Serialises a labelled dataset; the label is the last column.
+pub fn labelled_to_csv(lds: &LabelledDataset) -> String {
+    let mut out = String::new();
+    for (pid, p) in lds.data.iter() {
+        push_row(&mut out, p, Some(lds.labels[pid as usize]));
+    }
+    out
+}
+
+fn push_row(out: &mut String, coords: &[f64], label: Option<u16>) {
+    for (i, v) in coords.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        // RFC-ish shortest roundtrip formatting.
+        write!(out, "{v}").expect("writing to String cannot fail");
+    }
+    if let Some(l) = label {
+        write!(out, ",{l}").expect("writing to String cannot fail");
+    }
+    out.push('\n');
+}
+
+/// Parse errors for [`dataset_from_csv`] / [`labelled_from_csv`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CsvError {
+    /// A field failed to parse as a number on the given 1-based line.
+    BadNumber {
+        /// 1-based line number.
+        line: usize,
+    },
+    /// A row had a different number of columns than the first row.
+    RaggedRow {
+        /// 1-based line number.
+        line: usize,
+    },
+    /// The input contained no rows.
+    Empty,
+}
+
+impl std::fmt::Display for CsvError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CsvError::BadNumber { line } => write!(f, "unparseable number on line {line}"),
+            CsvError::RaggedRow { line } => write!(f, "inconsistent column count on line {line}"),
+            CsvError::Empty => write!(f, "no rows"),
+        }
+    }
+}
+
+impl std::error::Error for CsvError {}
+
+/// Parses an unlabelled CSV into a dataset.
+///
+/// # Errors
+///
+/// Returns a [`CsvError`] on malformed input.
+pub fn dataset_from_csv(text: &str) -> Result<Dataset, CsvError> {
+    let rows = parse_rows(text)?;
+    Dataset::from_rows(&rows).map_err(|_| CsvError::Empty)
+}
+
+/// Parses a labelled CSV (label = last column) into a labelled dataset.
+///
+/// # Errors
+///
+/// Returns a [`CsvError`] on malformed input (including a non-integer
+/// label).
+pub fn labelled_from_csv(text: &str) -> Result<LabelledDataset, CsvError> {
+    let rows = parse_rows(text)?;
+    let width = rows.first().ok_or(CsvError::Empty)?.len();
+    if width < 2 {
+        return Err(CsvError::RaggedRow { line: 1 });
+    }
+    let mut labels = Vec::with_capacity(rows.len());
+    let mut coords = Vec::with_capacity(rows.len());
+    for (i, row) in rows.iter().enumerate() {
+        let label = row[width - 1];
+        if label < 0.0 || label.fract() != 0.0 || label > u16::MAX as f64 {
+            return Err(CsvError::BadNumber { line: i + 1 });
+        }
+        labels.push(label as u16);
+        coords.push(row[..width - 1].to_vec());
+    }
+    let data = Dataset::from_rows(&coords).map_err(|_| CsvError::Empty)?;
+    Ok(LabelledDataset { data, labels })
+}
+
+fn parse_rows(text: &str) -> Result<Vec<Vec<f64>>, CsvError> {
+    let mut rows: Vec<Vec<f64>> = Vec::new();
+    let mut width = None;
+    for (i, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let row: Result<Vec<f64>, _> = line.split(',').map(|f| f.trim().parse::<f64>()).collect();
+        let row = row.map_err(|_| CsvError::BadNumber { line: i + 1 })?;
+        if let Some(w) = width {
+            if row.len() != w {
+                return Err(CsvError::RaggedRow { line: i + 1 });
+            }
+        } else {
+            width = Some(row.len());
+        }
+        rows.push(row);
+    }
+    if rows.is_empty() {
+        return Err(CsvError::Empty);
+    }
+    Ok(rows)
+}
+
+/// Writes a dataset to a file.
+///
+/// # Errors
+///
+/// Propagates filesystem errors.
+pub fn save_dataset<P: AsRef<Path>>(path: P, ds: &Dataset) -> std::io::Result<()> {
+    std::fs::write(path, dataset_to_csv(ds))
+}
+
+/// Reads a dataset from a file.
+///
+/// # Errors
+///
+/// Propagates filesystem errors; parse failures surface as
+/// `InvalidData`.
+pub fn load_dataset<P: AsRef<Path>>(path: P) -> std::io::Result<Dataset> {
+    let text = std::fs::read_to_string(path)?;
+    dataset_from_csv(&text)
+        .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::clusters::{labelled_clusters, ClusterSpec};
+
+    #[test]
+    fn dataset_roundtrip() {
+        let ds = Dataset::from_rows(&[vec![0.125, -3.5], vec![1e-9, 7.0]]).unwrap();
+        let text = dataset_to_csv(&ds);
+        let back = dataset_from_csv(&text).unwrap();
+        assert_eq!(back, ds);
+    }
+
+    #[test]
+    fn labelled_roundtrip() {
+        let lds = labelled_clusters(&ClusterSpec::new(20, 3, 2, 9));
+        let text = labelled_to_csv(&lds);
+        let back = labelled_from_csv(&text).unwrap();
+        assert_eq!(back, lds);
+    }
+
+    #[test]
+    fn parse_errors() {
+        assert_eq!(dataset_from_csv(""), Err(CsvError::Empty));
+        assert_eq!(dataset_from_csv("1.0,x\n"), Err(CsvError::BadNumber { line: 1 }));
+        assert_eq!(dataset_from_csv("1.0,2.0\n3.0\n"), Err(CsvError::RaggedRow { line: 2 }));
+        // Fractional or negative labels are rejected.
+        assert_eq!(labelled_from_csv("0.5,1.5\n"), Err(CsvError::BadNumber { line: 1 }));
+        assert_eq!(labelled_from_csv("0.5,-1\n"), Err(CsvError::BadNumber { line: 1 }));
+    }
+
+    #[test]
+    fn blank_lines_skipped() {
+        let ds = dataset_from_csv("1.0,2.0\n\n  \n3.0,4.0\n").unwrap();
+        assert_eq!(ds.len(), 2);
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let dir = std::env::temp_dir().join(format!("knmatch-csv-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("ds.csv");
+        let ds = Dataset::from_rows(&[vec![1.0], vec![2.0]]).unwrap();
+        save_dataset(&path, &ds).unwrap();
+        assert_eq!(load_dataset(&path).unwrap(), ds);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

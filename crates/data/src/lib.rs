@@ -1,0 +1,96 @@
+//! # knmatch-data
+//!
+//! Workload generators and dataset utilities for the k-n-match
+//! reproduction. Every generator is seeded and deterministic.
+//!
+//! The paper evaluates on resources we cannot redistribute; each has a
+//! synthetic stand-in that preserves the property the experiment exercises
+//! (see DESIGN.md §3 for the substitution table):
+//!
+//! | paper resource | stand-in | preserved property |
+//! |---|---|---|
+//! | uniform synthetic (100k × d) | [`uniform`] | baseline workload |
+//! | UCI ionosphere/segmentation/wdbc/glass/iris | [`labelled_clusters`] via [`uci_standins`] | labelled clusters + noisy dimensions |
+//! | UCI KDD Co-occurrence Texture (68040 × 16) | [`skewed`] / [`texture_standin`] | per-dimension skew |
+//! | COIL-100 image features (100 × 54) | [`coil_like`] | planted partial similarities |
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod clusters;
+pub mod coil;
+pub mod csv;
+pub mod normalize;
+pub mod rng;
+pub mod synthetic;
+
+pub use clusters::{labelled_clusters, uci_standins, ClusterSpec, LabelledDataset, UciStandin};
+pub use coil::{aspect_blocks, coil_like, COIL_FEATURES, COIL_OBJECTS, COIL_QUERY_ID};
+pub use csv::{
+    dataset_from_csv, dataset_to_csv, labelled_from_csv, labelled_to_csv, load_dataset,
+    save_dataset, CsvError,
+};
+pub use normalize::{fit, normalize, Normalizer};
+pub use synthetic::{skewed, texture_standin, uniform};
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(128))]
+
+        /// CSV round-trips any finite dataset exactly (shortest-float
+        /// formatting is lossless for f64).
+        #[test]
+        fn csv_roundtrip(rows in (1usize..6).prop_flat_map(|d| {
+            proptest::collection::vec(
+                proptest::collection::vec(-1e6f64..1e6, d), 1..20)
+        })) {
+            let ds = knmatch_core::Dataset::from_rows(&rows).unwrap();
+            let back = dataset_from_csv(&dataset_to_csv(&ds)).unwrap();
+            prop_assert_eq!(back, ds);
+        }
+
+        /// Normalisation maps into [0, 1] and preserves per-dimension order.
+        #[test]
+        fn normalize_properties(rows in proptest::collection::vec(
+            proptest::collection::vec(-1e3f64..1e3, 3), 2..30)
+        ) {
+            let ds = knmatch_core::Dataset::from_rows(&rows).unwrap();
+            let out = normalize(&ds);
+            for (_, p) in out.iter() {
+                prop_assert!(p.iter().all(|&v| (0.0..=1.0).contains(&v)));
+            }
+            for dim in 0..3 {
+                for i in 0..ds.len() {
+                    for j in (i + 1)..ds.len() {
+                        let a = ds.coord(i as u32, dim);
+                        let b = ds.coord(j as u32, dim);
+                        let na = out.coord(i as u32, dim);
+                        let nb = out.coord(j as u32, dim);
+                        if a < b {
+                            prop_assert!(na <= nb);
+                        } else if a > b {
+                            prop_assert!(na >= nb);
+                        }
+                    }
+                }
+            }
+        }
+
+        /// Generators honour their requested shapes for arbitrary sizes.
+        #[test]
+        fn generator_shapes(c in 1usize..200, d in 1usize..10, seed: u64) {
+            let u = uniform(c, d, seed);
+            prop_assert_eq!(u.len(), c);
+            prop_assert_eq!(u.dims(), d);
+            let s = skewed(c, d, seed);
+            prop_assert_eq!(s.len(), c);
+            for (_, p) in s.iter() {
+                prop_assert!(p.iter().all(|&v| (0.0..=1.0).contains(&v)));
+            }
+        }
+    }
+}

@@ -1,0 +1,121 @@
+//! Per-dimension min-max normalisation to the unit interval.
+//!
+//! Section 5 of the paper: "The data values are all normalized to the range
+//! \[0,1\]." Matching thresholds (ε) are only comparable across dimensions
+//! after this step.
+
+use knmatch_core::Dataset;
+
+/// The per-dimension affine transform fitted by [`fit`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct Normalizer {
+    mins: Vec<f64>,
+    scales: Vec<f64>, // 1 / (max - min), or 0 for constant dimensions
+}
+
+/// Fits a min–max normaliser on `ds`.
+pub fn fit(ds: &Dataset) -> Normalizer {
+    let d = ds.dims();
+    let mut mins = vec![f64::INFINITY; d];
+    let mut maxs = vec![f64::NEG_INFINITY; d];
+    for (_, p) in ds.iter() {
+        for (j, &v) in p.iter().enumerate() {
+            mins[j] = mins[j].min(v);
+            maxs[j] = maxs[j].max(v);
+        }
+    }
+    let scales = mins
+        .iter()
+        .zip(&maxs)
+        .map(|(&lo, &hi)| if hi > lo { 1.0 / (hi - lo) } else { 0.0 })
+        .collect();
+    Normalizer { mins, scales }
+}
+
+impl Normalizer {
+    /// Dimensionality the normaliser was fitted on.
+    pub fn dims(&self) -> usize {
+        self.mins.len()
+    }
+
+    /// Transforms one point in place.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `point.len()` differs from the fitted dimensionality.
+    pub fn apply_in_place(&self, point: &mut [f64]) {
+        assert_eq!(point.len(), self.dims(), "dimensionality mismatch");
+        for ((v, &lo), &s) in point.iter_mut().zip(&self.mins).zip(&self.scales) {
+            *v = if s == 0.0 { 0.0 } else { ((*v - lo) * s).clamp(0.0, 1.0) };
+        }
+    }
+
+    /// Returns a normalised copy of `ds`.
+    pub fn apply(&self, ds: &Dataset) -> Dataset {
+        let mut out = Dataset::with_capacity(ds.dims(), ds.len()).expect("dims >= 1");
+        let mut row = vec![0.0f64; ds.dims()];
+        for (_, p) in ds.iter() {
+            row.copy_from_slice(p);
+            self.apply_in_place(&mut row);
+            out.push(&row).expect("normalised rows are finite");
+        }
+        out
+    }
+}
+
+/// Fits and applies in one step.
+pub fn normalize(ds: &Dataset) -> Dataset {
+    fit(ds).apply(ds)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn maps_to_unit_interval() {
+        let ds = Dataset::from_rows(&[vec![10.0, -5.0], vec![20.0, 5.0], vec![15.0, 0.0]])
+            .unwrap();
+        let out = normalize(&ds);
+        assert_eq!(out.point(0), &[0.0, 0.0]);
+        assert_eq!(out.point(1), &[1.0, 1.0]);
+        assert_eq!(out.point(2), &[0.5, 0.5]);
+    }
+
+    #[test]
+    fn constant_dimension_maps_to_zero() {
+        let ds = Dataset::from_rows(&[vec![7.0, 1.0], vec![7.0, 3.0]]).unwrap();
+        let out = normalize(&ds);
+        assert_eq!(out.point(0)[0], 0.0);
+        assert_eq!(out.point(1)[0], 0.0);
+        assert_eq!(out.point(1)[1], 1.0);
+    }
+
+    #[test]
+    fn apply_to_query_clamps_out_of_range() {
+        let ds = Dataset::from_rows(&[vec![0.0], vec![10.0]]).unwrap();
+        let norm = fit(&ds);
+        let mut q = [15.0];
+        norm.apply_in_place(&mut q);
+        assert_eq!(q[0], 1.0);
+        let mut q = [-3.0];
+        norm.apply_in_place(&mut q);
+        assert_eq!(q[0], 0.0);
+    }
+
+    #[test]
+    fn preserves_ordering_within_dimension() {
+        let ds =
+            Dataset::from_rows(&[vec![3.0], vec![1.0], vec![2.0]]).unwrap();
+        let out = normalize(&ds);
+        assert!(out.point(1)[0] < out.point(2)[0]);
+        assert!(out.point(2)[0] < out.point(0)[0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "dimensionality mismatch")]
+    fn wrong_width_panics() {
+        let ds = Dataset::from_rows(&[vec![0.0, 1.0]]).unwrap();
+        fit(&ds).apply_in_place(&mut [0.0]);
+    }
+}

@@ -1,0 +1,211 @@
+//! The class-stripping effectiveness protocol (Section 5.1.2, following
+//! Aggarwal & Yu's methodology).
+//!
+//! Class labels are stripped from a labelled dataset; a similarity method
+//! answers top-k queries for query points sampled from the data; an answer
+//! is *correct* when it belongs to the query's class. Accuracy is the
+//! fraction of correct answers over all `queries × k` answers —
+//! statistically, a better similarity notion retrieves more same-class
+//! objects.
+
+use knmatch_core::PointId;
+use knmatch_data::rng::seeded;
+use knmatch_data::LabelledDataset;
+use rand::seq::SliceRandom;
+
+use crate::methods::SimilarityMethod;
+
+/// Protocol parameters. The paper uses 100 queries and `k = 20`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ClassStripConfig {
+    /// Number of query points sampled (without replacement when possible).
+    pub queries: usize,
+    /// Answers requested per query.
+    pub k: usize,
+    /// Sampling seed.
+    pub seed: u64,
+}
+
+impl Default for ClassStripConfig {
+    fn default() -> Self {
+        ClassStripConfig { queries: 100, k: 20, seed: 0xC1A55 }
+    }
+}
+
+/// Samples the query point ids for a run (shared across methods so every
+/// method answers the same queries).
+pub fn sample_queries(lds: &LabelledDataset, cfg: &ClassStripConfig) -> Vec<PointId> {
+    let mut ids: Vec<PointId> = (0..lds.data.len() as PointId).collect();
+    let mut rng = seeded(cfg.seed);
+    ids.shuffle(&mut rng);
+    ids.truncate(cfg.queries.min(lds.data.len()));
+    ids
+}
+
+/// Runs the protocol for one method, returning its accuracy in `[0, 1]`.
+///
+/// The query point itself is excluded from the answers (it trivially has
+/// the right class): the method is asked for `k + 1` answers and the query
+/// id is dropped.
+///
+/// # Panics
+///
+/// Panics when the dataset is too small to answer `k + 1` (protocol
+/// misconfiguration, not data dependent).
+pub fn accuracy<M: SimilarityMethod + ?Sized>(
+    lds: &LabelledDataset,
+    method: &M,
+    cfg: &ClassStripConfig,
+) -> f64 {
+    let queries = sample_queries(lds, cfg);
+    accuracy_for_queries(lds, method, cfg.k, &queries)
+}
+
+/// [`accuracy`] over a caller-fixed query set.
+///
+/// # Panics
+///
+/// Panics when the dataset cannot answer `k + 1` queries.
+pub fn accuracy_for_queries<M: SimilarityMethod + ?Sized>(
+    lds: &LabelledDataset,
+    method: &M,
+    k: usize,
+    queries: &[PointId],
+) -> f64 {
+    assert!(
+        k + 1 <= lds.data.len(),
+        "class stripping needs k + 1 <= cardinality ({} vs {})",
+        k + 1,
+        lds.data.len()
+    );
+    let mut correct = 0usize;
+    let mut total = 0usize;
+    for &qid in queries {
+        let query = lds.data.point(qid).to_vec();
+        let answers = method
+            .top_k(&lds.data, &query, k + 1)
+            .expect("protocol parameters were validated");
+        let mut taken = 0usize;
+        for pid in answers {
+            if pid == qid {
+                continue;
+            }
+            if taken == k {
+                break;
+            }
+            taken += 1;
+            total += 1;
+            if lds.labels[pid as usize] == lds.labels[qid as usize] {
+                correct += 1;
+            }
+        }
+    }
+    if total == 0 {
+        0.0
+    } else {
+        correct as f64 / total as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::methods::{FrequentKnMatchMethod, KnnMethod};
+    use knmatch_core::{Dataset, PointId, Result};
+    use knmatch_data::{labelled_clusters, ClusterSpec};
+
+    #[test]
+    fn perfect_separation_gives_perfect_accuracy() {
+        // Two far-apart noiseless clusters: every neighbour shares the class.
+        let spec = ClusterSpec {
+            cardinality: 40,
+            dims: 6,
+            classes: 2,
+            cluster_std: 0.01,
+            noise_prob: 0.0,
+            seed: 3,
+        };
+        let lds = labelled_clusters(&spec);
+        let cfg = ClassStripConfig { queries: 10, k: 5, seed: 1 };
+        let acc = accuracy(&lds, &KnnMethod, &cfg);
+        assert_eq!(acc, 1.0);
+    }
+
+    #[test]
+    fn random_labels_give_chance_accuracy() {
+        // Uniform points with labels assigned round-robin: accuracy ≈ 1/classes.
+        let data = knmatch_data::uniform(300, 5, 7);
+        let labels: Vec<u16> = (0..300).map(|i| (i % 3) as u16).collect();
+        let lds = LabelledDataset { data, labels };
+        let cfg = ClassStripConfig { queries: 40, k: 10, seed: 2 };
+        let acc = accuracy(&lds, &KnnMethod, &cfg);
+        assert!((acc - 1.0 / 3.0).abs() < 0.12, "accuracy {acc} should hover near 1/3");
+    }
+
+    #[test]
+    fn query_point_is_excluded() {
+        // A method that always returns the query first: its self-answer
+        // must not count.
+        struct Echo;
+        impl SimilarityMethod for Echo {
+            fn name(&self) -> String {
+                "echo".into()
+            }
+            fn top_k(&self, ds: &Dataset, query: &[f64], k: usize) -> Result<Vec<PointId>> {
+                // Return the query's own id (found by coordinates) then
+                // arbitrary other ids.
+                let qid = ds
+                    .iter()
+                    .find(|(_, p)| *p == query)
+                    .map(|(pid, _)| pid)
+                    .expect("query sampled from dataset");
+                let mut out = vec![qid];
+                out.extend((0..ds.len() as PointId).filter(|&p| p != qid).take(k - 1));
+                Ok(out)
+            }
+        }
+        let spec = ClusterSpec {
+            cardinality: 30,
+            dims: 4,
+            classes: 2,
+            cluster_std: 0.01,
+            noise_prob: 0.0,
+            seed: 5,
+        };
+        let lds = labelled_clusters(&spec);
+        let cfg = ClassStripConfig { queries: 6, k: 4, seed: 8 };
+        let acc = accuracy(&lds, &Echo, &cfg);
+        assert!(acc < 1.0, "self-answers must be excluded; got {acc}");
+    }
+
+    #[test]
+    fn queries_are_deterministic_and_shared() {
+        let lds = labelled_clusters(&ClusterSpec::new(50, 4, 2, 1));
+        let cfg = ClassStripConfig { queries: 10, k: 3, seed: 42 };
+        assert_eq!(sample_queries(&lds, &cfg), sample_queries(&lds, &cfg));
+        let other = ClassStripConfig { seed: 43, ..cfg };
+        assert_ne!(sample_queries(&lds, &cfg), sample_queries(&lds, &other));
+    }
+
+    #[test]
+    fn frequent_knmatch_beats_knn_under_noise() {
+        // The Table 4 mechanism: with noisy dimensions injected, the
+        // frequent k-n-match query classifies better than Euclidean kNN.
+        let spec = ClusterSpec {
+            cardinality: 240,
+            dims: 16,
+            classes: 3,
+            cluster_std: 0.05,
+            noise_prob: 0.15,
+            seed: 11,
+        };
+        let lds = labelled_clusters(&spec);
+        let cfg = ClassStripConfig { queries: 40, k: 10, seed: 4 };
+        let knn = accuracy(&lds, &KnnMethod, &cfg);
+        let freq = accuracy(&lds, &FrequentKnMatchMethod { n0: 1, n1: 16 }, &cfg);
+        assert!(
+            freq >= knn,
+            "frequent k-n-match ({freq}) should not lose to kNN ({knn}) on noisy clusters"
+        );
+    }
+}

@@ -1,0 +1,469 @@
+//! Effectiveness experiments: Tables 2–4 and Figures 8–9 of the paper.
+
+use knmatch_core::{
+    frequent_k_n_match_ad, k_n_match_scan, k_nearest, Euclidean, PointId, SortedColumns,
+};
+use knmatch_data::{coil_like, uci_standins, LabelledDataset, COIL_QUERY_ID};
+
+use crate::class_strip::{accuracy_for_queries, sample_queries, ClassStripConfig};
+use crate::methods::{FrequentKnMatchMethod, PrebuiltIGrid};
+use crate::report::{pct, render_figure, Series, Table};
+
+/// Converts 0-based point ids to the paper's 1-based image numbers.
+fn image_ids(ids: &[PointId]) -> Vec<u32> {
+    let mut v: Vec<u32> = ids.iter().map(|&p| p + 1).collect();
+    v.sort_unstable();
+    v
+}
+
+/// Table 2: k-n-match on the COIL-like features, `k = 4`, `n = 5..=50`
+/// step 5, query image 42.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Table2 {
+    /// `(n, images returned)` rows, image ids 1-based like the paper.
+    pub rows: Vec<(usize, Vec<u32>)>,
+}
+
+/// Runs Table 2.
+pub fn table2(seed: u64) -> Table2 {
+    let ds = coil_like(seed);
+    let q = ds.point(COIL_QUERY_ID).to_vec();
+    let rows = (1..=10)
+        .map(|i| {
+            let n = 5 * i;
+            let res = k_n_match_scan(&ds, &q, 4, n).expect("valid parameters");
+            (n, image_ids(&res.ids()))
+        })
+        .collect();
+    Table2 { rows }
+}
+
+impl std::fmt::Display for Table2 {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let mut t = Table::new(
+            "Table 2: k-n-match results, k = 4, query image 42 (COIL-like stand-in)",
+            &["n", "images returned"],
+        );
+        for (n, ids) in &self.rows {
+            t.push(vec![n.to_string(), format!("{ids:?}")]);
+        }
+        write!(f, "{t}")
+    }
+}
+
+/// Table 3: kNN on the COIL-like features, `k = 10`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Table3 {
+    /// The 10 nearest images (1-based ids, ascending).
+    pub images: Vec<u32>,
+}
+
+/// Runs Table 3.
+pub fn table3(seed: u64) -> Table3 {
+    let ds = coil_like(seed);
+    let q = ds.point(COIL_QUERY_ID).to_vec();
+    let nn = k_nearest(&ds, &q, 10, &Euclidean).expect("valid parameters");
+    let ids: Vec<PointId> = nn.iter().map(|n| n.pid).collect();
+    Table3 { images: image_ids(&ids) }
+}
+
+impl std::fmt::Display for Table3 {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let mut t = Table::new(
+            "Table 3: kNN results, k = 10, query image 42 (COIL-like stand-in)",
+            &["k", "images returned"],
+        );
+        t.push(vec!["10".into(), format!("{:?}", self.images)]);
+        write!(f, "{t}")
+    }
+}
+
+/// One Table 4 row.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Table4Row {
+    /// Dataset name.
+    pub dataset: String,
+    /// Dimensionality.
+    pub dims: usize,
+    /// IGrid accuracy.
+    pub igrid: f64,
+    /// HCINN accuracy, where the paper quotes one (its code was never
+    /// available; the paper itself copies these two numbers from \[4\]).
+    pub hcinn: Option<f64>,
+    /// Frequent k-n-match accuracy, `[n0, n1] = [1, d]`.
+    pub frequent: f64,
+}
+
+/// Table 4: class-stripping accuracy of IGrid / HCINN / frequent
+/// k-n-match on the five UCI stand-ins.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Table4 {
+    /// One row per dataset.
+    pub rows: Vec<Table4Row>,
+}
+
+/// HCINN accuracies the paper quotes from reference \[4\].
+pub const HCINN_QUOTED: [(&str, f64); 2] = [("ionosphere", 0.86), ("segmentation", 0.83)];
+
+/// Runs Table 4 with the paper's protocol (100 queries, k = 20) at
+/// `queries` queries (pass 100 for the paper scale).
+pub fn table4(seed: u64, queries: usize) -> Table4 {
+    let cfg = ClassStripConfig { queries, k: 20, seed };
+    let rows = uci_standins()
+        .iter()
+        .map(|standin| {
+            let lds = standin.generate(seed ^ standin.dims as u64);
+            let qids = sample_queries(&lds, &cfg);
+            let igrid = PrebuiltIGrid::new(&lds.data);
+            let freq = FrequentKnMatchMethod { n0: 1, n1: standin.dims };
+            Table4Row {
+                dataset: standin.name.to_string(),
+                dims: standin.dims,
+                igrid: accuracy_for_queries(&lds, &igrid, cfg.k, &qids),
+                hcinn: HCINN_QUOTED
+                    .iter()
+                    .find(|(n, _)| *n == standin.name)
+                    .map(|&(_, a)| a),
+                frequent: accuracy_for_queries(&lds, &freq, cfg.k, &qids),
+            }
+        })
+        .collect();
+    Table4 { rows }
+}
+
+impl std::fmt::Display for Table4 {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let mut t = Table::new(
+            "Table 4: Accuracy of different techniques (class stripping, k = 20)",
+            &["data set (d)", "IGrid", "HCINN", "Freq. k-n-match"],
+        );
+        for r in &self.rows {
+            t.push(vec![
+                format!("{} ({})", r.dataset, r.dims),
+                pct(r.igrid),
+                r.hcinn.map_or("N.A.".into(), pct),
+                pct(r.frequent),
+            ]);
+        }
+        write!(f, "{t}")
+    }
+}
+
+/// The three datasets Figures 8–9 sweep (ionosphere, segmentation, wdbc).
+pub fn fig8_datasets(seed: u64) -> Vec<(&'static str, LabelledDataset)> {
+    uci_standins()
+        .iter()
+        .filter(|s| matches!(s.name, "ionosphere" | "segmentation" | "wdbc"))
+        .map(|s| (s.name, s.generate(seed ^ s.dims as u64)))
+        .collect()
+}
+
+/// A generic accuracy sweep result: one series per dataset.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AccuracySweep {
+    /// Figure caption.
+    pub title: String,
+    /// x-axis label.
+    pub x_label: String,
+    /// One accuracy curve per dataset.
+    pub series: Vec<Series>,
+}
+
+impl std::fmt::Display for AccuracySweep {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", render_figure(&self.title, &self.x_label, &self.series))
+    }
+}
+
+/// Figure 8(a): accuracy as a function of `n0` with `n1 = d`.
+pub fn fig8a(seed: u64, queries: usize) -> AccuracySweep {
+    let cfg = ClassStripConfig { queries, k: 20, seed };
+    let series = fig8_datasets(seed)
+        .into_iter()
+        .map(|(name, lds)| {
+            let d = lds.data.dims();
+            let qids = sample_queries(&lds, &cfg);
+            let points = n0_grid(d)
+                .into_iter()
+                .map(|n0| {
+                    let m = FrequentKnMatchMethod { n0, n1: d };
+                    (n0 as f64, accuracy_for_queries(&lds, &m, cfg.k, &qids))
+                })
+                .collect();
+            Series::new(name, points)
+        })
+        .collect();
+    AccuracySweep {
+        title: "Figure 8(a): Accuracy vs n0 (n1 = d)".into(),
+        x_label: "n0".into(),
+        series,
+    }
+}
+
+/// Figure 8(b): accuracy as a function of `n1` with `n0 = 4`.
+pub fn fig8b(seed: u64, queries: usize) -> AccuracySweep {
+    let cfg = ClassStripConfig { queries, k: 20, seed };
+    let series = fig8_datasets(seed)
+        .into_iter()
+        .map(|(name, lds)| {
+            let d = lds.data.dims();
+            let qids = sample_queries(&lds, &cfg);
+            let points = n1_grid(d)
+                .into_iter()
+                .map(|n1| {
+                    let m = FrequentKnMatchMethod { n0: 4.min(n1), n1 };
+                    (n1 as f64, accuracy_for_queries(&lds, &m, cfg.k, &qids))
+                })
+                .collect();
+            Series::new(name, points)
+        })
+        .collect();
+    AccuracySweep {
+        title: "Figure 8(b): Accuracy vs n1 (n0 = 4)".into(),
+        x_label: "n1".into(),
+        series,
+    }
+}
+
+/// Figure 9(a): percentage of attributes retrieved by the AD algorithm as
+/// a function of `n1` (`n0 = 4`, k = 20).
+pub fn fig9a(seed: u64, queries: usize) -> AccuracySweep {
+    let cfg = ClassStripConfig { queries, k: 20, seed };
+    let series = fig8_datasets(seed)
+        .into_iter()
+        .map(|(name, lds)| {
+            let d = lds.data.dims();
+            let qids = sample_queries(&lds, &cfg);
+            let mut cols = SortedColumns::build(&lds.data);
+            let points = n1_grid(d)
+                .into_iter()
+                .map(|n1| (n1 as f64, 100.0 * mean_retrieved(&mut cols, &lds, &qids, cfg.k, n1)))
+                .collect();
+            Series::new(name, points)
+        })
+        .collect();
+    AccuracySweep {
+        title: "Figure 9(a): Retrieved attributes (%) vs n1 (n0 = 4)".into(),
+        x_label: "n1".into(),
+        series,
+    }
+}
+
+/// Figure 9(b): the accuracy/performance trade-off on the ionosphere
+/// stand-in — accuracy as a function of retrieved attributes (%), with the
+/// IGrid accuracy and accessed-fraction reference point.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Fig9b {
+    /// `(retrieved %, accuracy)` for the AD algorithm across the n1 grid.
+    pub ad_curve: Vec<(f64, f64)>,
+    /// IGrid's `(accessed %, accuracy)` reference point.
+    pub igrid_point: (f64, f64),
+}
+
+/// Runs Figure 9(b).
+pub fn fig9b(seed: u64, queries: usize) -> Fig9b {
+    let cfg = ClassStripConfig { queries, k: 20, seed };
+    let (_, lds) = fig8_datasets(seed)
+        .into_iter()
+        .find(|(n, _)| *n == "ionosphere")
+        .expect("ionosphere stand-in exists");
+    let d = lds.data.dims();
+    let qids = sample_queries(&lds, &cfg);
+    let mut cols = SortedColumns::build(&lds.data);
+    let ad_curve = n1_grid(d)
+        .into_iter()
+        .map(|n1| {
+            let retrieved = 100.0 * mean_retrieved(&mut cols, &lds, &qids, cfg.k, n1);
+            let m = FrequentKnMatchMethod { n0: 4.min(n1), n1 };
+            (retrieved, accuracy_for_queries(&lds, &m, cfg.k, &qids))
+        })
+        .collect();
+    // IGrid touches one of kd equi-depth lists per dimension; measure the
+    // exact accessed fraction over the same query set.
+    let igrid = PrebuiltIGrid::new(&lds.data);
+    let igrid_acc = accuracy_for_queries(&lds, &igrid, cfg.k, &qids);
+    let idx = knmatch_igrid::IGridIndex::build(&lds.data);
+    let total = (lds.data.len() * d) as f64;
+    let mut touched = 0u64;
+    for &qid in &qids {
+        let (_, t) = idx
+            .query_with_stats(lds.data.point(qid), cfg.k)
+            .expect("protocol parameters were validated");
+        touched += t;
+    }
+    let accessed = 100.0 * touched as f64 / (qids.len() as f64 * total);
+    Fig9b { ad_curve, igrid_point: (accessed, igrid_acc) }
+}
+
+impl std::fmt::Display for Fig9b {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let mut t = Table::new(
+            "Figure 9(b): Accuracy vs retrieved attributes (ionosphere)",
+            &["retrieved %", "AD accuracy"],
+        );
+        for &(x, y) in &self.ad_curve {
+            t.push(vec![format!("{x:.1}"), pct(y)]);
+        }
+        writeln!(f, "{t}")?;
+        writeln!(
+            f,
+            "IGrid reference: {:.1}% attributes accessed, accuracy {}",
+            self.igrid_point.0,
+            pct(self.igrid_point.1)
+        )
+    }
+}
+
+/// Mean retrieved-attribute fraction of FKNMatchAD over the query ids.
+fn mean_retrieved(
+    cols: &mut SortedColumns,
+    lds: &LabelledDataset,
+    qids: &[PointId],
+    k: usize,
+    n1: usize,
+) -> f64 {
+    let c = lds.data.len();
+    let d = lds.data.dims();
+    let mut total = 0.0;
+    for &qid in qids {
+        let q = lds.data.point(qid).to_vec();
+        let (_, stats) =
+            frequent_k_n_match_ad(cols, &q, k.min(c), 4.min(n1), n1).expect("valid parameters");
+        total += stats.retrieved_fraction(c, d);
+    }
+    total / qids.len() as f64
+}
+
+/// The n0 sweep grid: 1, 2, 4, 6, … up to d.
+fn n0_grid(d: usize) -> Vec<usize> {
+    let mut v = vec![1];
+    let mut x = 2;
+    while x < d {
+        v.push(x);
+        x += if x < 8 { 2 } else { 4 };
+    }
+    v.push(d);
+    v.dedup();
+    v
+}
+
+/// The n1 sweep grid: 4, 6, 8, … up to d (n0 is fixed at 4).
+fn n1_grid(d: usize) -> Vec<usize> {
+    let mut v = Vec::new();
+    let mut x = 4.min(d);
+    while x < d {
+        v.push(x);
+        x += if x < 8 { 2 } else { 4 };
+    }
+    v.push(d);
+    v.dedup();
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table2_finds_the_boat_for_mid_n() {
+        let t = table2(42);
+        assert_eq!(t.rows.len(), 10);
+        // Image 78 appears for the ns inside its matched blocks.
+        let with_boat = t
+            .rows
+            .iter()
+            .filter(|(n, ids)| (20..=36).contains(n) && ids.contains(&78))
+            .count();
+        assert!(with_boat >= 3, "boat should appear for several n: {t}");
+        // Query image 42 is in every answer set.
+        assert!(t.rows.iter().all(|(_, ids)| ids.contains(&42)));
+    }
+
+    #[test]
+    fn table3_matches_paper_membership() {
+        let t = table3(42);
+        assert_eq!(t.images, vec![13, 35, 36, 40, 42, 64, 85, 88, 94, 96]);
+        assert!(!t.images.contains(&78));
+    }
+
+    #[test]
+    fn table4_ranking_matches_paper() {
+        let t = table4(7, 30);
+        assert_eq!(t.rows.len(), 5);
+        for r in &t.rows {
+            // The paper's ranking: frequent k-n-match wins on every dataset.
+            // On the low-dimensional stand-ins (glass 9-d, iris 4-d) the two
+            // methods are close (the paper reports 0.7–9.2 point margins);
+            // allow protocol noise there but require a clear non-loss on
+            // the high-dimensional sets.
+            let slack = if r.dims >= 15 { 0.0 } else { 0.05 };
+            assert!(
+                r.frequent + slack >= r.igrid,
+                "{}: frequent ({}) must not lose to IGrid ({})",
+                r.dataset,
+                r.frequent,
+                r.igrid
+            );
+            assert!(r.frequent > 0.5, "{}: accuracy {} too low", r.dataset, r.frequent);
+        }
+        assert_eq!(t.rows[0].hcinn, Some(0.86));
+        assert_eq!(t.rows[2].hcinn, None);
+        let rendered = t.to_string();
+        assert!(rendered.contains("ionosphere"));
+        assert!(rendered.contains("N.A."));
+    }
+
+    #[test]
+    fn fig8a_has_three_series_over_full_grid() {
+        let s = fig8a(3, 10);
+        assert_eq!(s.series.len(), 3);
+        for ser in &s.series {
+            assert!(ser.points.len() >= 4);
+            assert!(ser.points.iter().all(|&(_, y)| (0.0..=1.0).contains(&y)));
+            // First x is n0 = 1, last is d.
+            assert_eq!(ser.points[0].0, 1.0);
+        }
+    }
+
+    #[test]
+    fn fig8b_accuracy_degrades_for_small_n1() {
+        let s = fig8b(3, 15);
+        for ser in &s.series {
+            let first = ser.points.first().expect("non-empty").1;
+            let last = ser.points.last().expect("non-empty").1;
+            // A tiny range [4, 4] cannot beat the full range by much; allow
+            // noise but catch inversions of the paper's trend.
+            assert!(last >= first - 0.15, "{}: {} -> {}", ser.label, first, last);
+        }
+    }
+
+    #[test]
+    fn fig9a_retrieval_grows_with_n1() {
+        let s = fig9a(3, 8);
+        for ser in &s.series {
+            let ys: Vec<f64> = ser.points.iter().map(|p| p.1).collect();
+            assert!(
+                ys.windows(2).all(|w| w[1] >= w[0] - 1e-9),
+                "{}: retrieval must not shrink as n1 grows: {ys:?}",
+                ser.label
+            );
+            assert!(*ys.last().expect("non-empty") <= 100.0);
+        }
+    }
+
+    #[test]
+    fn fig9b_has_monotone_x_and_reference_point() {
+        let r = fig9b(3, 8);
+        assert!(r.ad_curve.len() >= 4);
+        assert!(r.igrid_point.0 > 0.0 && r.igrid_point.0 <= 100.0);
+        assert!(r.to_string().contains("IGrid reference"));
+    }
+
+    #[test]
+    fn grids_are_sane() {
+        assert_eq!(n0_grid(8), vec![1, 2, 4, 6, 8]);
+        assert!(n1_grid(34).ends_with(&[34]));
+        assert!(n1_grid(4).contains(&4));
+        assert_eq!(n1_grid(4), vec![4]);
+    }
+}

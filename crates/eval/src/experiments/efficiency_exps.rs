@@ -1,0 +1,517 @@
+//! Efficiency experiments: Figures 10–15 of the paper, run over the disk
+//! substrate with deterministic cost counters (page accesses, attributes
+//! retrieved) and the modelled response time of
+//! [`knmatch_storage::CostModel`].
+
+use knmatch_data::{synthetic, uniform};
+
+use crate::efficiency::{sample_query_points, Cost, DiskBench};
+use crate::report::{render_figure, Series};
+
+/// Built competitor structures for the two Section 5.2.2 datasets plus
+/// their shared query workloads.
+#[derive(Debug)]
+pub struct EffContext {
+    /// Bench over the uniform dataset.
+    pub uniform: DiskBench,
+    /// Bench over the skewed Texture stand-in.
+    pub texture: DiskBench,
+    /// Queries against the uniform dataset.
+    pub uq: Vec<Vec<f64>>,
+    /// Queries against the texture dataset.
+    pub tq: Vec<Vec<f64>>,
+}
+
+/// Builds the context. Paper scale: `uniform_card = 100_000`,
+/// `texture_card = 68_040`, both 16-dimensional.
+pub fn eff_context(uniform_card: usize, texture_card: usize, queries: usize, seed: u64) -> EffContext {
+    let u = uniform(uniform_card, 16, seed);
+    let t = synthetic::skewed(texture_card, 16, seed ^ 0x7E87);
+    let uq = sample_query_points(&u, queries, seed + 1);
+    let tq = sample_query_points(&t, queries, seed + 2);
+    EffContext { uniform: DiskBench::build(&u), texture: DiskBench::build(&t), uq, tq }
+}
+
+/// The default frequent range the paper settles on for efficiency runs
+/// (`n0 = 4`, `n1 ≈ 8`; Section 5.2.1).
+pub const DEFAULT_RANGE: (usize, usize) = (4, 8);
+
+/// Figure 10: the VA-file adaptation — points refined (a) and response
+/// time vs the sequential scan (b), as functions of `k`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Fig10 {
+    /// Panel (a): points refined per query.
+    pub refined: Vec<Series>,
+    /// Panel (b): modelled response time (ms).
+    pub time: Vec<Series>,
+}
+
+/// Runs Figure 10.
+pub fn fig10(ctx: &mut EffContext, ks: &[usize]) -> Fig10 {
+    let (n0, n1) = DEFAULT_RANGE;
+    let mut refined = Vec::new();
+    let mut time = Vec::new();
+    for (name, bench, queries) in [
+        ("uniform", &mut ctx.uniform, &ctx.uq),
+        ("texture", &mut ctx.texture, &ctx.tq),
+    ] {
+        let va: Vec<(usize, Cost)> =
+            ks.iter().map(|&k| (k, bench.va_frequent(queries, k, n0, n1))).collect();
+        let scan: Vec<(usize, Cost)> =
+            ks.iter().map(|&k| (k, bench.scan_frequent(queries, k, n0, n1))).collect();
+        refined.push(Series::new(
+            name,
+            va.iter().map(|&(k, c)| (k as f64, c.refined)).collect(),
+        ));
+        time.push(Series::new(
+            format!("VA-file, {name}"),
+            va.iter().map(|&(k, c)| (k as f64, c.time_ms)).collect(),
+        ));
+        time.push(Series::new(
+            format!("scan, {name}"),
+            scan.iter().map(|&(k, c)| (k as f64, c.time_ms)).collect(),
+        ));
+    }
+    Fig10 { refined, time }
+}
+
+impl std::fmt::Display for Fig10 {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "{}",
+            render_figure("Figure 10(a): VA-file — points refined vs k", "k", &self.refined)
+        )?;
+        write!(
+            f,
+            "{}",
+            render_figure("Figure 10(b): VA-file vs scan — response time (ms) vs k", "k", &self.time)
+        )
+    }
+}
+
+/// Figure 11: disk AD — page accesses (a) and response time (b) vs `k`,
+/// against the sequential scan.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Fig11 {
+    /// Panel (a): page accesses.
+    pub pages: Vec<Series>,
+    /// Panel (b): modelled response time (ms).
+    pub time: Vec<Series>,
+}
+
+/// Runs Figure 11.
+pub fn fig11(ctx: &mut EffContext, ks: &[usize]) -> Fig11 {
+    let (n0, n1) = DEFAULT_RANGE;
+    let mut pages = Vec::new();
+    let mut time = Vec::new();
+    for (name, bench, queries) in [
+        ("uniform", &mut ctx.uniform, &ctx.uq),
+        ("texture", &mut ctx.texture, &ctx.tq),
+    ] {
+        let ad: Vec<(usize, Cost)> =
+            ks.iter().map(|&k| (k, bench.ad_frequent(queries, k, n0, n1))).collect();
+        let scan: Vec<(usize, Cost)> =
+            ks.iter().map(|&k| (k, bench.scan_frequent(queries, k, n0, n1))).collect();
+        pages.push(Series::new(
+            format!("AD, {name}"),
+            ad.iter().map(|&(k, c)| (k as f64, c.pages)).collect(),
+        ));
+        pages.push(Series::new(
+            format!("scan, {name}"),
+            scan.iter().map(|&(k, c)| (k as f64, c.pages)).collect(),
+        ));
+        time.push(Series::new(
+            format!("AD, {name}"),
+            ad.iter().map(|&(k, c)| (k as f64, c.time_ms)).collect(),
+        ));
+        time.push(Series::new(
+            format!("scan, {name}"),
+            scan.iter().map(|&(k, c)| (k as f64, c.time_ms)).collect(),
+        ));
+    }
+    Fig11 { pages, time }
+}
+
+impl std::fmt::Display for Fig11 {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "{}",
+            render_figure("Figure 11(a): AD — page accesses vs k", "k", &self.pages)
+        )?;
+        write!(
+            f,
+            "{}",
+            render_figure("Figure 11(b): AD — response time (ms) vs k", "k", &self.time)
+        )
+    }
+}
+
+/// Figure 12: disk AD — page accesses (a) and response time (b) vs `n1`
+/// (`k = 20`, `n0 = 4`), against the scan.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Fig12 {
+    /// Panel (a): page accesses.
+    pub pages: Vec<Series>,
+    /// Panel (b): modelled response time (ms).
+    pub time: Vec<Series>,
+}
+
+/// Runs Figure 12.
+pub fn fig12(ctx: &mut EffContext, n1s: &[usize], k: usize) -> Fig12 {
+    let n0 = DEFAULT_RANGE.0;
+    let mut pages = Vec::new();
+    let mut time = Vec::new();
+    for (name, bench, queries) in [
+        ("uniform", &mut ctx.uniform, &ctx.uq),
+        ("texture", &mut ctx.texture, &ctx.tq),
+    ] {
+        let ad: Vec<(usize, Cost)> =
+            n1s.iter().map(|&n1| (n1, bench.ad_frequent(queries, k, n0, n1))).collect();
+        let scan: Vec<(usize, Cost)> =
+            n1s.iter().map(|&n1| (n1, bench.scan_frequent(queries, k, n0, n1))).collect();
+        pages.push(Series::new(
+            format!("AD, {name}"),
+            ad.iter().map(|&(n1, c)| (n1 as f64, c.pages)).collect(),
+        ));
+        pages.push(Series::new(
+            format!("scan, {name}"),
+            scan.iter().map(|&(n1, c)| (n1 as f64, c.pages)).collect(),
+        ));
+        time.push(Series::new(
+            format!("AD, {name}"),
+            ad.iter().map(|&(n1, c)| (n1 as f64, c.time_ms)).collect(),
+        ));
+        time.push(Series::new(
+            format!("scan, {name}"),
+            scan.iter().map(|&(n1, c)| (n1 as f64, c.time_ms)).collect(),
+        ));
+    }
+    Fig12 { pages, time }
+}
+
+impl std::fmt::Display for Fig12 {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "{}",
+            render_figure("Figure 12(a): AD — page accesses vs n1", "n1", &self.pages)
+        )?;
+        write!(
+            f,
+            "{}",
+            render_figure("Figure 12(b): AD — response time (ms) vs n1", "n1", &self.time)
+        )
+    }
+}
+
+/// Figure 13: AD vs IGrid vs scan on uniform 16-d data — response time vs
+/// `k` (a) and vs cardinality (b).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Fig13 {
+    /// Panel (a): time vs k at the base cardinality.
+    pub vs_k: Vec<Series>,
+    /// Panel (b): time vs cardinality at k = 20.
+    pub vs_size: Vec<Series>,
+}
+
+/// Runs Figure 13. `sizes` are cardinalities (paper: 50k–300k); the first
+/// entry doubles as panel (a)'s dataset size… the paper uses 100k there, so
+/// pass `base_size` explicitly.
+pub fn fig13(
+    base_size: usize,
+    sizes: &[usize],
+    ks: &[usize],
+    queries: usize,
+    seed: u64,
+) -> Fig13 {
+    let (n0, n1) = DEFAULT_RANGE;
+    // Panel (a): sweep k on the base-size dataset.
+    let ds = uniform(base_size, 16, seed);
+    let q = sample_query_points(&ds, queries, seed + 1);
+    let mut bench = DiskBench::build(&ds);
+    let mut scan_a = Vec::new();
+    let mut ad_a = Vec::new();
+    let mut ig_a = Vec::new();
+    for &k in ks {
+        scan_a.push((k as f64, bench.scan_frequent(&q, k, n0, n1).time_ms));
+        ad_a.push((k as f64, bench.ad_frequent(&q, k, n0, n1).time_ms));
+        ig_a.push((k as f64, bench.igrid_query(&q, k).time_ms));
+    }
+    // Panel (b): sweep cardinality at k = 20.
+    let mut scan_b = Vec::new();
+    let mut ad_b = Vec::new();
+    let mut ig_b = Vec::new();
+    for &size in sizes {
+        let ds = uniform(size, 16, seed ^ size as u64);
+        let q = sample_query_points(&ds, queries, seed + 2);
+        let mut bench = DiskBench::build(&ds);
+        let x = size as f64 / 1000.0;
+        scan_b.push((x, bench.scan_frequent(&q, 20, n0, n1).time_ms));
+        ad_b.push((x, bench.ad_frequent(&q, 20, n0, n1).time_ms));
+        ig_b.push((x, bench.igrid_query(&q, 20).time_ms));
+    }
+    Fig13 {
+        vs_k: vec![
+            Series::new("scan", scan_a),
+            Series::new("AD", ad_a),
+            Series::new("IGrid", ig_a),
+        ],
+        vs_size: vec![
+            Series::new("scan", scan_b),
+            Series::new("AD", ad_b),
+            Series::new("IGrid", ig_b),
+        ],
+    }
+}
+
+impl std::fmt::Display for Fig13 {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "{}",
+            render_figure(
+                "Figure 13(a): response time (ms) vs k (uniform, 16-d)",
+                "k",
+                &self.vs_k
+            )
+        )?;
+        write!(
+            f,
+            "{}",
+            render_figure(
+                "Figure 13(b): response time (ms) vs data set size (thousand)",
+                "size",
+                &self.vs_size
+            )
+        )
+    }
+}
+
+/// Figure 14: response time vs dimensionality (uniform data, k = 20).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Fig14 {
+    /// Time curves for scan / AD / IGrid.
+    pub series: Vec<Series>,
+}
+
+/// Runs Figure 14 over `dims` (paper: 8–48) at `card` points each.
+pub fn fig14(card: usize, dims: &[usize], queries: usize, seed: u64) -> Fig14 {
+    let (n0, n1) = DEFAULT_RANGE;
+    let mut scan = Vec::new();
+    let mut ad = Vec::new();
+    let mut ig = Vec::new();
+    for &d in dims {
+        let ds = uniform(card, d, seed ^ d as u64);
+        let q = sample_query_points(&ds, queries, seed + 3);
+        let mut bench = DiskBench::build(&ds);
+        let x = d as f64;
+        scan.push((x, bench.scan_frequent(&q, 20, n0, n1.min(d)).time_ms));
+        ad.push((x, bench.ad_frequent(&q, 20, n0, n1.min(d)).time_ms));
+        ig.push((x, bench.igrid_query(&q, 20).time_ms));
+    }
+    Fig14 {
+        series: vec![
+            Series::new("scan", scan),
+            Series::new("AD", ad),
+            Series::new("IGrid", ig),
+        ],
+    }
+}
+
+impl std::fmt::Display for Fig14 {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}",
+            render_figure(
+                "Figure 14: response time (ms) vs dimensionality (uniform, k = 20)",
+                "d",
+                &self.series
+            )
+        )
+    }
+}
+
+/// Figure 15: the Texture stand-in — response time vs `n1` against scan and
+/// IGrid (a), and AD's retrieved-attribute percentage vs `n1` (b).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Fig15 {
+    /// Panel (a): time curves (scan and IGrid are n1-independent and
+    /// rendered flat).
+    pub time: Vec<Series>,
+    /// Panel (b): `(n1, retrieved %)` for AD.
+    pub retrieved: Series,
+}
+
+/// Runs Figure 15.
+pub fn fig15(ctx: &mut EffContext, n1s: &[usize], k: usize) -> Fig15 {
+    let n0 = DEFAULT_RANGE.0;
+    let scan_cost = ctx.texture.scan_frequent(&ctx.tq, k, n0, n1s[0]);
+    let ig_cost = ctx.texture.igrid_query(&ctx.tq, k);
+    let mut ad_time = Vec::new();
+    let mut ad_attr = Vec::new();
+    let total_attrs = (ctx.texture.len() * ctx.texture.dims()) as f64;
+    for &n1 in n1s {
+        let c = ctx.texture.ad_frequent(&ctx.tq, k, n0.min(n1), n1);
+        ad_time.push((n1 as f64, c.time_ms));
+        ad_attr.push((n1 as f64, 100.0 * c.attributes / total_attrs));
+    }
+    let xs: Vec<f64> = n1s.iter().map(|&n| n as f64).collect();
+    Fig15 {
+        time: vec![
+            Series::new("scan", xs.iter().map(|&x| (x, scan_cost.time_ms)).collect()),
+            Series::new("AD", ad_time),
+            Series::new("IGrid", xs.iter().map(|&x| (x, ig_cost.time_ms)).collect()),
+        ],
+        retrieved: Series::new("AD", ad_attr),
+    }
+}
+
+impl std::fmt::Display for Fig15 {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "{}",
+            render_figure("Figure 15(a): response time (ms) vs n1 (texture)", "n1", &self.time)
+        )?;
+        write!(
+            f,
+            "{}",
+            render_figure(
+                "Figure 15(b): retrieved attributes (%) vs n1 (texture)",
+                "n1",
+                std::slice::from_ref(&self.retrieved)
+            )
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Small but realistic scale: page-granularity effects need tens of
+    /// thousands of points before the methods separate as in the paper.
+    fn tiny_ctx() -> EffContext {
+        eff_context(24_000, 16_000, 2, 5)
+    }
+
+    #[test]
+    fn fig10_va_slower_than_scan_and_refines_fraction() {
+        let mut ctx = tiny_ctx();
+        let fig = fig10(&mut ctx, &[10, 20]);
+        assert_eq!(fig.refined.len(), 2);
+        assert_eq!(fig.time.len(), 4);
+        for s in &fig.refined {
+            for &(_, r) in &s.points {
+                assert!(r >= 10.0, "{}: refined {r}", s.label);
+                assert!(r < 24_000.0);
+            }
+        }
+        // The paper's conclusion: the VA-file adaptation provides no real
+        // benefit over the scan (it measured ~2x slower). Our n-match
+        // bounds prune tighter than the original's, so on uniform data VA
+        // can land near (occasionally just below) the scan; on the
+        // correlated texture data the refinement burden makes it clearly
+        // slower. Assert the scale-stable version of the claim.
+        let t_va = fig.time.iter().find(|s| s.label == "VA-file, texture").unwrap();
+        let t_scan = fig.time.iter().find(|s| s.label == "scan, texture").unwrap();
+        for (a, b) in t_va.points.iter().zip(&t_scan.points) {
+            assert!(a.1 > b.1, "texture: VA {} !> scan {}", a.1, b.1);
+        }
+        let u_va = fig.time.iter().find(|s| s.label == "VA-file, uniform").unwrap();
+        let u_scan = fig.time.iter().find(|s| s.label == "scan, uniform").unwrap();
+        for (a, b) in u_va.points.iter().zip(&u_scan.points) {
+            assert!(
+                a.1 > 0.3 * b.1,
+                "uniform: VA {} should not be far below scan {}",
+                a.1,
+                b.1
+            );
+        }
+        assert!(fig.to_string().contains("Figure 10(a)"));
+    }
+
+    #[test]
+    fn fig11_ad_beats_scan() {
+        let mut ctx = tiny_ctx();
+        let fig = fig11(&mut ctx, &[10, 20]);
+        for name in ["uniform", "texture"] {
+            let ad = fig.pages.iter().find(|s| s.label == format!("AD, {name}")).unwrap();
+            let scan = fig.pages.iter().find(|s| s.label == format!("scan, {name}")).unwrap();
+            for (a, b) in ad.points.iter().zip(&scan.points) {
+                assert!(a.1 < b.1, "{name}: AD pages {} !< scan {}", a.1, b.1);
+            }
+        }
+        // Page accesses grow (weakly) with k.
+        for s in &fig.pages {
+            assert!(s.points[1].1 >= s.points[0].1 - 1e-9, "{}", s.label);
+        }
+    }
+
+    #[test]
+    fn fig12_ad_grows_with_n1() {
+        let mut ctx = tiny_ctx();
+        let fig = fig12(&mut ctx, &[8, 12, 16], 10);
+        let ad = fig.pages.iter().find(|s| s.label == "AD, uniform").unwrap();
+        let ys: Vec<f64> = ad.points.iter().map(|p| p.1).collect();
+        assert!(ys.windows(2).all(|w| w[1] >= w[0] - 1e-9), "{ys:?}");
+        let scan = fig.pages.iter().find(|s| s.label == "scan, uniform").unwrap();
+        assert!(scan.points.iter().all(|p| (p.1 - scan.points[0].1).abs() < 1e-9));
+    }
+
+    #[test]
+    fn fig13_ordering_and_scaling() {
+        let fig = fig13(20_000, &[12_000, 24_000], &[10, 20], 2, 9);
+        for panel in [&fig.vs_k, &fig.vs_size] {
+            let scan = panel.iter().find(|s| s.label == "scan").unwrap();
+            let ad = panel.iter().find(|s| s.label == "AD").unwrap();
+            let ig = panel.iter().find(|s| s.label == "IGrid").unwrap();
+            for i in 0..scan.points.len() {
+                assert!(ad.points[i].1 < scan.points[i].1, "AD must beat scan");
+                assert!(scan.points[i].1 < ig.points[i].1, "IGrid must trail scan");
+            }
+        }
+        // Panel (b): all methods scale up with cardinality.
+        for s in &fig.vs_size {
+            assert!(s.points[1].1 > s.points[0].1, "{} should grow with size", s.label);
+        }
+    }
+
+    #[test]
+    fn fig14_scan_grows_with_dims() {
+        let fig = fig14(16_000, &[8, 16], 2, 11);
+        let scan = fig.series.iter().find(|s| s.label == "scan").unwrap();
+        assert!(scan.points[1].1 > scan.points[0].1);
+        let ad = fig.series.iter().find(|s| s.label == "AD").unwrap();
+        for i in 0..2 {
+            assert!(ad.points[i].1 < scan.points[i].1);
+        }
+        assert!(fig.to_string().contains("Figure 14"));
+    }
+
+    #[test]
+    fn fig15_texture_ad_beats_both_even_at_full_n1() {
+        let mut ctx = tiny_ctx();
+        let fig = fig15(&mut ctx, &[6, 8, 12, 16], 10);
+        let scan = fig.time.iter().find(|s| s.label == "scan").unwrap();
+        let ad = fig.time.iter().find(|s| s.label == "AD").unwrap();
+        // The paper's headline: on the skewed texture data AD beats scan
+        // even when n1 equals the dimensionality.
+        for i in 0..ad.points.len() {
+            assert!(
+                ad.points[i].1 < scan.points[i].1,
+                "AD {} !< scan {} at n1={}",
+                ad.points[i].1,
+                scan.points[i].1,
+                ad.points[i].0
+            );
+        }
+        // Retrieved attributes stay a modest fraction thanks to the skew.
+        let last = fig.retrieved.points.last().unwrap();
+        assert!(last.1 < 60.0, "retrieved {}% at n1=d", last.1);
+        assert!(fig.retrieved.points.windows(2).all(|w| w[1].1 >= w[0].1 - 1e-9));
+    }
+}

@@ -1,0 +1,22 @@
+//! One runner per table/figure of the paper's evaluation (Section 5).
+//!
+//! Every runner is parameterised by scale so the test suite exercises it in
+//! miniature while the `repro` binary (in `knmatch-bench`) runs the paper's
+//! sizes. See DESIGN.md §4 for the experiment ↔ module map.
+
+pub mod effectiveness;
+pub mod efficiency_exps;
+pub mod extensions;
+
+pub use effectiveness::{
+    fig8a, fig8b, fig9a, fig9b, table2, table3, table4, AccuracySweep, Fig9b, Table2, Table3,
+    Table4, Table4Row, HCINN_QUOTED,
+};
+pub use efficiency_exps::{
+    eff_context, fig10, fig11, fig12, fig13, fig14, fig15, EffContext, Fig10, Fig11, Fig12,
+    Fig13, Fig14, Fig15, DEFAULT_RANGE,
+};
+pub use extensions::{
+    ext_cost_model, ext_curse, ext_igrid_bins, ext_methods, ext_stride, ext_va_bits,
+    ExtCostModel, ExtCurse, ExtIGridBins, ExtMethods, ExtStride, ExtVaBits,
+};

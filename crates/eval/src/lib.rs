@@ -1,0 +1,33 @@
+//! # knmatch-eval
+//!
+//! The experiment harness of the k-n-match reproduction: the
+//! class-stripping effectiveness protocol (Section 5.1.2), a uniform
+//! interface over the compared similarity methods, the disk-cost machinery
+//! for the efficiency experiments, and one runner per table/figure of the
+//! paper's evaluation.
+//!
+//! ```
+//! use knmatch_eval::experiments::table3;
+//!
+//! // The kNN column of the COIL experiment, at the paper's parameters:
+//! let t3 = table3(42);
+//! assert!(t3.images.contains(&42)); // the query image is its own NN
+//! println!("{t3}");
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod class_strip;
+pub mod efficiency;
+pub mod experiments;
+pub mod methods;
+pub mod report;
+
+pub use class_strip::{accuracy, accuracy_for_queries, sample_queries, ClassStripConfig};
+pub use efficiency::{sample_query_points, Cost, DiskBench, POOL_PAGES};
+pub use methods::{
+    FrequentKnMatchMethod, IGridMethod, KnMatchMethod, KnnMethod, PrebuiltIGrid,
+    SimilarityMethod,
+};
+pub use report::{pct, render_figure, trim_float, Series, Table};

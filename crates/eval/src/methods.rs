@@ -1,0 +1,179 @@
+//! Uniform interface over the similarity-search methods the paper
+//! compares, so the class-stripping protocol and the sweeps treat them
+//! interchangeably.
+
+use knmatch_core::{
+    frequent_k_n_match_scan, k_n_match_scan, k_nearest, Dataset, Euclidean, PointId, Result,
+};
+use knmatch_igrid::IGridIndex;
+
+/// A similarity-search method: rank the `k` objects of `ds` most similar
+/// to `query`.
+pub trait SimilarityMethod {
+    /// Display name for reports.
+    fn name(&self) -> String;
+
+    /// The `k` most similar point ids, best first.
+    ///
+    /// # Errors
+    ///
+    /// Propagates parameter validation of the underlying algorithm.
+    fn top_k(&self, ds: &Dataset, query: &[f64], k: usize) -> Result<Vec<PointId>>;
+}
+
+/// Traditional kNN under Euclidean distance.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct KnnMethod;
+
+impl SimilarityMethod for KnnMethod {
+    fn name(&self) -> String {
+        "kNN (L2)".into()
+    }
+
+    fn top_k(&self, ds: &Dataset, query: &[f64], k: usize) -> Result<Vec<PointId>> {
+        Ok(k_nearest(ds, query, k, &Euclidean)?.into_iter().map(|n| n.pid).collect())
+    }
+}
+
+/// The k-n-match query at a fixed `n`.
+#[derive(Debug, Clone, Copy)]
+pub struct KnMatchMethod {
+    /// The number of dimensions to match.
+    pub n: usize,
+}
+
+impl SimilarityMethod for KnMatchMethod {
+    fn name(&self) -> String {
+        format!("k-{}-match", self.n)
+    }
+
+    fn top_k(&self, ds: &Dataset, query: &[f64], k: usize) -> Result<Vec<PointId>> {
+        Ok(k_n_match_scan(ds, query, k, self.n)?.ids())
+    }
+}
+
+/// The frequent k-n-match query over `[n0, n1]`.
+#[derive(Debug, Clone, Copy)]
+pub struct FrequentKnMatchMethod {
+    /// Lower end of the n range.
+    pub n0: usize,
+    /// Upper end of the n range.
+    pub n1: usize,
+}
+
+impl SimilarityMethod for FrequentKnMatchMethod {
+    fn name(&self) -> String {
+        format!("freq. k-n-match [{}, {}]", self.n0, self.n1)
+    }
+
+    fn top_k(&self, ds: &Dataset, query: &[f64], k: usize) -> Result<Vec<PointId>> {
+        Ok(frequent_k_n_match_scan(ds, query, k, self.n0, self.n1)?.ids())
+    }
+}
+
+/// MEDRANK (Fagin et al., SIGMOD'03): approximate NN by median rank
+/// aggregation over the sorted dimensions — the related-work method the
+/// paper contrasts with exact matching-based search.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct MedrankMethod;
+
+impl SimilarityMethod for MedrankMethod {
+    fn name(&self) -> String {
+        "MEDRANK".into()
+    }
+
+    fn top_k(&self, ds: &Dataset, query: &[f64], k: usize) -> Result<Vec<PointId>> {
+        let mut cols = knmatch_core::SortedColumns::build(ds);
+        Ok(knmatch_core::medrank(&mut cols, query, k, None)?.0.ids())
+    }
+}
+
+/// IGrid with the paper-default parameters, rebuilt per dataset (the index
+/// is cached by the experiment drivers, not here).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct IGridMethod;
+
+impl SimilarityMethod for IGridMethod {
+    fn name(&self) -> String {
+        "IGrid".into()
+    }
+
+    fn top_k(&self, ds: &Dataset, query: &[f64], k: usize) -> Result<Vec<PointId>> {
+        let idx = IGridIndex::build(ds);
+        Ok(idx.query(query, k)?.into_iter().map(|a| a.pid).collect())
+    }
+}
+
+/// A prebuilt IGrid index as a method (avoids rebuilding per query).
+#[derive(Debug, Clone)]
+pub struct PrebuiltIGrid {
+    index: IGridIndex,
+}
+
+impl PrebuiltIGrid {
+    /// Builds the index once for `ds`.
+    pub fn new(ds: &Dataset) -> Self {
+        PrebuiltIGrid { index: IGridIndex::build(ds) }
+    }
+}
+
+impl SimilarityMethod for PrebuiltIGrid {
+    fn name(&self) -> String {
+        "IGrid".into()
+    }
+
+    fn top_k(&self, _ds: &Dataset, query: &[f64], k: usize) -> Result<Vec<PointId>> {
+        Ok(self.index.query(query, k)?.into_iter().map(|a| a.pid).collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ds() -> Dataset {
+        knmatch_core::paper::fig1_dataset()
+    }
+
+    #[test]
+    fn knn_method_matches_direct_call() {
+        let ds = ds();
+        let q = knmatch_core::paper::fig1_query();
+        let got = KnnMethod.top_k(&ds, &q, 2).unwrap();
+        // Euclidean NN is the all-20s object; the runner-up is object 1,
+        // whose single 100-dim overshoot is the smallest among objects 1–3.
+        assert_eq!(got, vec![3, 0]);
+        assert_eq!(KnnMethod.name(), "kNN (L2)");
+    }
+
+    #[test]
+    fn knmatch_method_fixed_n() {
+        let ds = ds();
+        let q = knmatch_core::paper::fig1_query();
+        let m = KnMatchMethod { n: 6 };
+        assert_eq!(m.top_k(&ds, &q, 1).unwrap(), vec![2]);
+        assert_eq!(m.name(), "k-6-match");
+    }
+
+    #[test]
+    fn frequent_method_ranges() {
+        let ds = ds();
+        let q = knmatch_core::paper::fig1_query();
+        let m = FrequentKnMatchMethod { n0: 1, n1: 10 };
+        let ids = m.top_k(&ds, &q, 3).unwrap();
+        assert!(!ids.contains(&3), "all-20s object is never frequent");
+    }
+
+    #[test]
+    fn igrid_methods_agree() {
+        let rows: Vec<Vec<f64>> = (0..60)
+            .map(|i| vec![(i as f64 * 0.618) % 1.0, (i as f64 * 0.17) % 1.0])
+            .collect();
+        let ds = Dataset::from_rows(&rows).unwrap();
+        let q = ds.point(5).to_vec();
+        let a = IGridMethod.top_k(&ds, &q, 5).unwrap();
+        let b = PrebuiltIGrid::new(&ds).top_k(&ds, &q, 5).unwrap();
+        assert_eq!(a, b);
+        assert_eq!(a[0], 5);
+    }
+}

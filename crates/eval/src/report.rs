@@ -1,0 +1,177 @@
+//! Plain-text rendering of experiment outputs: aligned tables for the
+//! paper's tables, and x/series column layouts for its figures.
+
+use std::fmt;
+
+/// A titled table with a header row.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Table {
+    /// Table caption (e.g. "Table 4: Accuracy of different techniques").
+    pub title: String,
+    /// Column headers.
+    pub headers: Vec<String>,
+    /// Data rows (each as long as `headers`).
+    pub rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates an empty table.
+    pub fn new(title: impl Into<String>, headers: &[&str]) -> Self {
+        Table {
+            title: title.into(),
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the row width differs from the header width.
+    pub fn push(&mut self, row: Vec<String>) {
+        assert_eq!(row.len(), self.headers.len(), "row width must match headers");
+        self.rows.push(row);
+    }
+}
+
+impl fmt::Display for Table {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        writeln!(f, "{}", self.title)?;
+        let line = |f: &mut fmt::Formatter<'_>, cells: &[String]| -> fmt::Result {
+            for (i, (cell, w)) in cells.iter().zip(&widths).enumerate() {
+                if i > 0 {
+                    write!(f, "  ")?;
+                }
+                write!(f, "{cell:<w$}")?;
+            }
+            writeln!(f)
+        };
+        line(f, &self.headers)?;
+        let total: usize = widths.iter().sum::<usize>() + 2 * (widths.len() - 1);
+        writeln!(f, "{}", "-".repeat(total))?;
+        for row in &self.rows {
+            line(f, row)?;
+        }
+        Ok(())
+    }
+}
+
+/// One curve of a figure: a label plus `(x, y)` points.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Series {
+    /// Legend label.
+    pub label: String,
+    /// The curve's points, in x order.
+    pub points: Vec<(f64, f64)>,
+}
+
+impl Series {
+    /// Creates a series.
+    pub fn new(label: impl Into<String>, points: Vec<(f64, f64)>) -> Self {
+        Series { label: label.into(), points }
+    }
+}
+
+/// Renders one figure panel: an x column followed by one y column per
+/// series. Series may have different x grids (e.g. sweeps up to each
+/// dataset's own dimensionality); the panel uses the union grid and leaves
+/// missing cells blank.
+pub fn render_figure(title: &str, x_label: &str, series: &[Series]) -> String {
+    let mut table = Table::new(
+        title,
+        &std::iter::once(x_label)
+            .chain(series.iter().map(|s| s.label.as_str()))
+            .collect::<Vec<_>>(),
+    );
+    let mut xs: Vec<f64> = series.iter().flat_map(|s| s.points.iter().map(|p| p.0)).collect();
+    xs.sort_unstable_by(f64::total_cmp);
+    xs.dedup();
+    for &x in &xs {
+        let mut row = vec![trim_float(x)];
+        for s in series {
+            match s.points.iter().find(|p| p.0 == x) {
+                Some(&(_, y)) => row.push(trim_float(y)),
+                None => row.push(String::new()),
+            }
+        }
+        table.push(row);
+    }
+    table.to_string()
+}
+
+/// Formats a float without trailing zero noise (integers render bare).
+pub fn trim_float(v: f64) -> String {
+    if v.fract() == 0.0 && v.abs() < 1e15 {
+        format!("{}", v as i64)
+    } else {
+        let s = format!("{v:.4}");
+        s.trim_end_matches('0').trim_end_matches('.').to_string()
+    }
+}
+
+/// Formats a fraction as a percentage with one decimal.
+pub fn pct(v: f64) -> String {
+    format!("{:.1}%", v * 100.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_alignment() {
+        let mut t = Table::new("T", &["name", "v"]);
+        t.push(vec!["alpha".into(), "1".into()]);
+        t.push(vec!["b".into(), "22.5".into()]);
+        let s = t.to_string();
+        assert!(s.contains("T\n"));
+        assert!(s.contains("alpha"));
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 5);
+        // The separator spans the full width.
+        assert!(lines[2].chars().all(|c| c == '-'));
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn ragged_row_panics() {
+        let mut t = Table::new("T", &["a", "b"]);
+        t.push(vec!["x".into()]);
+    }
+
+    #[test]
+    fn figure_rendering() {
+        let s1 = Series::new("AD", vec![(8.0, 1.0), (16.0, 2.0)]);
+        let s2 = Series::new("scan", vec![(8.0, 3.0), (16.0, 3.0)]);
+        let out = render_figure("Fig", "d", &[s1, s2]);
+        assert!(out.contains("AD"));
+        assert!(out.contains("scan"));
+        assert!(out.contains("16"));
+    }
+
+    #[test]
+    fn mismatched_x_grids_use_the_union() {
+        let s1 = Series::new("a", vec![(1.0, 10.0)]);
+        let s2 = Series::new("b", vec![(2.0, 20.0)]);
+        let out = render_figure("F", "x", &[s1, s2]);
+        // Two data rows: x = 1 with only a, x = 2 with only b.
+        assert!(out.lines().count() >= 5, "{out}");
+        assert!(out.contains("10"));
+        assert!(out.contains("20"));
+    }
+
+    #[test]
+    fn float_trimming() {
+        assert_eq!(trim_float(3.0), "3");
+        assert_eq!(trim_float(0.25), "0.25");
+        assert_eq!(trim_float(0.12345), "0.1235");
+        assert_eq!(pct(0.875), "87.5%");
+    }
+}

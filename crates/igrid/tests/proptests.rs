@@ -1,0 +1,83 @@
+//! Property tests for IGrid: partition invariants, in-memory/disk
+//! agreement, and similarity-function sanity.
+
+use knmatch_core::Dataset;
+use knmatch_igrid::{DiskIGrid, EquiDepthPartition, IGridIndex};
+use knmatch_storage::{BufferPool, MemStore};
+use proptest::prelude::*;
+
+fn dataset() -> impl Strategy<Value = (Vec<Vec<f64>>, usize)> {
+    (1usize..=5, 8usize..=60, 2usize..=6).prop_flat_map(|(d, c, bins)| {
+        (
+            proptest::collection::vec(proptest::collection::vec(0.0f64..1.0, d), c),
+            Just(bins),
+        )
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(192))]
+
+    /// Every value falls in the range its bin spans, and bins partition the
+    /// cardinality.
+    #[test]
+    fn partition_covers_all_values((rows, bins) in dataset()) {
+        let ds = Dataset::from_rows(&rows).unwrap();
+        let part = EquiDepthPartition::fit(&ds, bins);
+        for (_, p) in ds.iter() {
+            for (dim, &v) in p.iter().enumerate() {
+                let b = part.bin_of(dim, v);
+                prop_assert!(b < bins);
+                let (lo, hi) = part.bin_span(dim, b);
+                prop_assert!(lo <= v && v <= hi + 1e-12, "v={v} not in [{lo}, {hi}]");
+                prop_assert!(part.bin_width(dim, b) > 0.0);
+            }
+        }
+        for dim in 0..ds.dims() {
+            let total: usize = (0..bins)
+                .map(|b| {
+                    ds.iter().filter(|(_, p)| part.bin_of(dim, p[dim]) == b).count()
+                })
+                .sum();
+            prop_assert_eq!(total, ds.len());
+        }
+    }
+
+    /// The disk layout answers exactly like the in-memory index.
+    #[test]
+    fn disk_equals_memory((rows, bins) in dataset()) {
+        let ds = Dataset::from_rows(&rows).unwrap();
+        let mem = IGridIndex::build_with(&ds, bins, 2.0);
+        let mut store = MemStore::new();
+        let disk = DiskIGrid::build(&mut store, &ds, bins, 2.0);
+        let mut pool = BufferPool::new(store, 64);
+        let k = ((ds.len() + 1) / 2).max(1);
+        let q = ds.point(0).to_vec();
+        let want = mem.query(&q, k).unwrap();
+        let (got, _) = disk.query(&mut pool, &q, k).unwrap();
+        prop_assert_eq!(got.len(), want.len());
+        for (a, b) in got.iter().zip(&want) {
+            prop_assert_eq!(a.pid, b.pid);
+            prop_assert!((a.similarity - b.similarity).abs() < 1e-9);
+        }
+    }
+
+    /// Similarity is symmetric, non-negative, and maximal for a point with
+    /// itself among all points sharing its bins.
+    #[test]
+    fn similarity_sanity((rows, bins) in dataset()) {
+        let ds = Dataset::from_rows(&rows).unwrap();
+        let idx = IGridIndex::build_with(&ds, bins, 2.0);
+        let a = ds.point(0);
+        let b = ds.point((ds.len() - 1) as u32);
+        let ab = idx.similarity(a, b);
+        let ba = idx.similarity(b, a);
+        prop_assert!((ab - ba).abs() < 1e-12, "symmetry");
+        prop_assert!(ab >= 0.0);
+        let aa = idx.similarity(a, a);
+        prop_assert!(aa + 1e-12 >= ab, "self-similarity dominates");
+        // Self-query retrieves self first.
+        let ans = idx.query(a, 1).unwrap();
+        prop_assert_eq!(ans[0].pid, 0);
+    }
+}

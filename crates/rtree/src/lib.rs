@@ -1,0 +1,21 @@
+//! # knmatch-rtree
+//!
+//! An STR-bulk-loaded R-tree with best-first kNN — the "early methods"
+//! baseline of the paper's related work (Section 6: R-tree-like structures
+//! such as the SS-tree and X-tree "all suffer from the dimensionality
+//! curse"). The per-query traversal counters let the reproduction measure
+//! that curse directly: the fraction of leaves a kNN query must visit
+//! approaches one as dimensionality grows, which is why the paper's
+//! lineage moved to scan-based methods (VA-file) and ultimately to the
+//! sorted-dimension AD algorithm.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod mbr;
+pub mod sstree;
+pub mod tree;
+
+pub use mbr::Mbr;
+pub use sstree::{SsTree, SS_FANOUT};
+pub use tree::{RTree, RTreeStats, FANOUT};

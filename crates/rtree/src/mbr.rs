@@ -1,0 +1,148 @@
+//! Minimum bounding rectangles and the MINDIST lower bound used by
+//! best-first nearest-neighbour search.
+
+/// An axis-aligned minimum bounding rectangle.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Mbr {
+    lo: Vec<f64>,
+    hi: Vec<f64>,
+}
+
+impl Mbr {
+    /// The degenerate MBR of a single point.
+    pub fn from_point(p: &[f64]) -> Self {
+        Mbr { lo: p.to_vec(), hi: p.to_vec() }
+    }
+
+    /// An "empty" MBR ready to be [`Mbr::expand`]ed.
+    pub fn empty(dims: usize) -> Self {
+        Mbr { lo: vec![f64::INFINITY; dims], hi: vec![f64::NEG_INFINITY; dims] }
+    }
+
+    /// Dimensionality.
+    pub fn dims(&self) -> usize {
+        self.lo.len()
+    }
+
+    /// Lower corner.
+    pub fn lo(&self) -> &[f64] {
+        &self.lo
+    }
+
+    /// Upper corner.
+    pub fn hi(&self) -> &[f64] {
+        &self.hi
+    }
+
+    /// Grows to cover `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on dimensionality mismatch.
+    pub fn expand(&mut self, p: &[f64]) {
+        assert_eq!(p.len(), self.dims(), "dimensionality mismatch");
+        for ((l, h), &v) in self.lo.iter_mut().zip(self.hi.iter_mut()).zip(p) {
+            *l = l.min(v);
+            *h = h.max(v);
+        }
+    }
+
+    /// Grows to cover another MBR.
+    ///
+    /// # Panics
+    ///
+    /// Panics on dimensionality mismatch.
+    pub fn expand_mbr(&mut self, other: &Mbr) {
+        self.expand(&other.lo.clone());
+        self.expand(&other.hi.clone());
+    }
+
+    /// Whether `p` lies inside (closed bounds).
+    pub fn contains(&self, p: &[f64]) -> bool {
+        self.lo.iter().zip(&self.hi).zip(p).all(|((l, h), v)| l <= v && v <= h)
+    }
+
+    /// Whether this MBR overlaps `other` (closed bounds).
+    pub fn intersects(&self, other: &Mbr) -> bool {
+        self.lo
+            .iter()
+            .zip(&self.hi)
+            .zip(other.lo.iter().zip(&other.hi))
+            .all(|((al, ah), (bl, bh))| al <= bh && bl <= ah)
+    }
+
+    /// MINDIST: squared Euclidean distance from `q` to the nearest point of
+    /// the rectangle (0 when `q` is inside) — the admissible lower bound
+    /// driving best-first kNN.
+    pub fn min_dist2(&self, q: &[f64]) -> f64 {
+        debug_assert_eq!(q.len(), self.dims());
+        self.lo
+            .iter()
+            .zip(&self.hi)
+            .zip(q)
+            .map(|((l, h), v)| {
+                let d = if v < l {
+                    l - v
+                } else if v > h {
+                    v - h
+                } else {
+                    0.0
+                };
+                d * d
+            })
+            .sum()
+    }
+
+    /// Volume of the rectangle (product of side lengths).
+    pub fn area(&self) -> f64 {
+        self.lo.iter().zip(&self.hi).map(|(l, h)| (h - l).max(0.0)).product()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn expand_covers_points() {
+        let mut m = Mbr::empty(2);
+        m.expand(&[1.0, 5.0]);
+        m.expand(&[3.0, 2.0]);
+        assert_eq!(m.lo(), &[1.0, 2.0]);
+        assert_eq!(m.hi(), &[3.0, 5.0]);
+        assert!(m.contains(&[2.0, 3.0]));
+        assert!(!m.contains(&[0.0, 3.0]));
+        assert_eq!(m.area(), 6.0);
+    }
+
+    #[test]
+    fn min_dist_inside_is_zero() {
+        let mut m = Mbr::from_point(&[0.0, 0.0]);
+        m.expand(&[2.0, 2.0]);
+        assert_eq!(m.min_dist2(&[1.0, 1.0]), 0.0);
+        assert_eq!(m.min_dist2(&[3.0, 1.0]), 1.0);
+        assert_eq!(m.min_dist2(&[3.0, 3.0]), 2.0);
+        assert_eq!(m.min_dist2(&[-1.0, -1.0]), 2.0);
+    }
+
+    #[test]
+    fn intersects_is_symmetric_and_touch_counts() {
+        let mut a = Mbr::from_point(&[0.0, 0.0]);
+        a.expand(&[1.0, 1.0]);
+        let mut b = Mbr::from_point(&[1.0, 1.0]);
+        b.expand(&[2.0, 2.0]);
+        assert!(a.intersects(&b) && b.intersects(&a));
+        let c = Mbr::from_point(&[5.0, 5.0]);
+        assert!(!a.intersects(&c));
+    }
+
+    #[test]
+    fn expand_mbr_unions() {
+        let mut a = Mbr::from_point(&[0.0, 0.0]);
+        let mut b = Mbr::from_point(&[4.0, -1.0]);
+        b.expand(&[5.0, 3.0]);
+        a.expand_mbr(&b);
+        assert_eq!(a.lo(), &[0.0, -1.0]);
+        assert_eq!(a.hi(), &[5.0, 3.0]);
+    }
+}

@@ -1,0 +1,65 @@
+//! Property tests for the R-tree: kNN and range queries must equal the
+//! exact scans on every random instance.
+
+use knmatch_core::{k_nearest, Dataset, Euclidean};
+use knmatch_rtree::RTree;
+use proptest::prelude::*;
+
+fn dataset() -> impl Strategy<Value = Vec<Vec<f64>>> {
+    (1usize..=5, 1usize..=120).prop_flat_map(|(d, c)| {
+        proptest::collection::vec(proptest::collection::vec(0.0f64..1.0, d), c)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(192))]
+
+    #[test]
+    fn knn_equals_scan(rows in dataset(), qseed in proptest::collection::vec(0.0f64..1.0, 5)) {
+        let ds = Dataset::from_rows(&rows).unwrap();
+        let q: Vec<f64> = qseed[..ds.dims()].to_vec();
+        let tree = RTree::bulk_load(&ds).unwrap();
+        let k = ((ds.len() + 1) / 2).max(1);
+        let (got, stats) = tree.k_nearest(&ds, &q, k).unwrap();
+        let want = k_nearest(&ds, &q, k, &Euclidean).unwrap();
+        prop_assert_eq!(got.len(), want.len());
+        for (a, b) in got.iter().zip(&want) {
+            prop_assert!((a.dist - b.dist).abs() < 1e-9, "{} vs {}", a.dist, b.dist);
+        }
+        prop_assert!(stats.leaves_visited as usize <= tree.leaf_count());
+    }
+
+    #[test]
+    fn range_equals_filter(
+        rows in dataset(),
+        corners in proptest::collection::vec((0.0f64..1.0, 0.0f64..1.0), 5),
+    ) {
+        let ds = Dataset::from_rows(&rows).unwrap();
+        let d = ds.dims();
+        let lo: Vec<f64> = corners[..d].iter().map(|&(a, b)| a.min(b)).collect();
+        let hi: Vec<f64> = corners[..d].iter().map(|&(a, b)| a.max(b)).collect();
+        let tree = RTree::bulk_load(&ds).unwrap();
+        let (got, _) = tree.range(&ds, &lo, &hi).unwrap();
+        let want: Vec<u32> = ds
+            .iter()
+            .filter(|(_, p)| {
+                p.iter().zip(&lo).all(|(v, l)| v >= l)
+                    && p.iter().zip(&hi).all(|(v, h)| v <= h)
+            })
+            .map(|(pid, _)| pid)
+            .collect();
+        prop_assert_eq!(got, want);
+    }
+
+    #[test]
+    fn every_point_is_its_own_nn(rows in dataset()) {
+        let ds = Dataset::from_rows(&rows).unwrap();
+        let tree = RTree::bulk_load(&ds).unwrap();
+        // Sample a few pids (cheap even when c is large).
+        for pid in [0, (ds.len() / 2) as u32, (ds.len() - 1) as u32] {
+            let q = ds.point(pid).to_vec();
+            let (nn, _) = tree.k_nearest(&ds, &q, 1).unwrap();
+            prop_assert_eq!(nn[0].dist, 0.0);
+        }
+    }
+}

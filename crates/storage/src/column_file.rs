@@ -1,0 +1,312 @@
+//! Disk-resident sorted dimensions.
+//!
+//! Section 4.1 of the paper: "we sort each dimension and store them
+//! sequentially on disk". Dimension `i` occupies a contiguous run of pages,
+//! each holding [`COLUMN_ENTRIES_PER_PAGE`] `(pid, value)` entries in
+//! ascending value order, so the AD algorithm's forward walks read pages
+//! sequentially.
+
+use knmatch_core::{Dataset, SortedColumns, SortedEntry};
+
+use crate::buffer::BufferPool;
+use crate::page::{
+    empty_page, pages_needed, read_column_entry, write_column_entry, COLUMN_ENTRIES_PER_PAGE,
+};
+use crate::store::PageStore;
+
+/// Layout metadata of a sorted-column file inside a page store, plus the
+/// in-memory fence keys (first value of each page per dimension) that a
+/// real system would keep as a sparse index — they let [`locate`] touch a
+/// single page instead of binary-searching through the pool.
+///
+/// [`locate`]: SortedColumnFile::locate
+#[derive(Debug, Clone, PartialEq)]
+pub struct SortedColumnFile {
+    dims: usize,
+    cardinality: usize,
+    pages_per_dim: usize,
+    base_page: usize,
+    /// `fences[dim][j]` = value of the first entry on page `j` of `dim`.
+    fences: Vec<Vec<f64>>,
+}
+
+impl SortedColumnFile {
+    /// Sorts every dimension of `ds` and appends the column pages to
+    /// `store`, returning the layout handle.
+    pub fn build<S: PageStore>(store: &mut S, ds: &Dataset) -> Self {
+        let sorted = SortedColumns::build(ds);
+        Self::from_sorted(store, &sorted)
+    }
+
+    /// Writes pre-sorted columns to `store`.
+    pub fn from_sorted<S: PageStore>(store: &mut S, cols: &SortedColumns) -> Self {
+        let dims = cols.dims();
+        let cardinality = cols.cardinality();
+        let pages_per_dim = pages_needed(cardinality, COLUMN_ENTRIES_PER_PAGE);
+        let base_page = store.page_count();
+        let mut fences = Vec::with_capacity(dims);
+        for dim in 0..dims {
+            let col = cols.column(dim);
+            let mut dim_fences = Vec::with_capacity(pages_per_dim);
+            for chunk in col.chunks(COLUMN_ENTRIES_PER_PAGE) {
+                let mut page = empty_page();
+                dim_fences.push(chunk[0].value);
+                for (slot, e) in chunk.iter().enumerate() {
+                    write_column_entry(&mut page, slot, e.pid, e.value);
+                }
+                store.append_page(&page);
+            }
+            fences.push(dim_fences);
+            // A dimension with no full final page still owns its page range.
+            debug_assert_eq!(
+                store.page_count(),
+                base_page + (dim + 1) * pages_per_dim,
+                "each dimension occupies exactly pages_per_dim pages"
+            );
+        }
+        SortedColumnFile { dims, cardinality, pages_per_dim, base_page, fences }
+    }
+
+    /// Reconstructs a handle to an existing column file, re-reading the
+    /// fence keys (first entry of every page) from the store.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the store does not hold the expected page range.
+    pub fn open<S: PageStore>(
+        store: &mut S,
+        dims: usize,
+        cardinality: usize,
+        base_page: usize,
+    ) -> Self {
+        let pages_per_dim = pages_needed(cardinality, COLUMN_ENTRIES_PER_PAGE);
+        assert!(
+            base_page + dims * pages_per_dim <= store.page_count(),
+            "store truncated: column file pages missing"
+        );
+        let mut buf = empty_page();
+        let mut fences = Vec::with_capacity(dims);
+        for dim in 0..dims {
+            let mut dim_fences = Vec::with_capacity(pages_per_dim);
+            for p in 0..pages_per_dim {
+                store.read_page(base_page + dim * pages_per_dim + p, &mut buf);
+                dim_fences.push(read_column_entry(&buf, 0).1);
+            }
+            fences.push(dim_fences);
+        }
+        SortedColumnFile { dims, cardinality, pages_per_dim, base_page, fences }
+    }
+
+    /// Dimensionality `d`.
+    pub fn dims(&self) -> usize {
+        self.dims
+    }
+
+    /// Cardinality `c`.
+    pub fn cardinality(&self) -> usize {
+        self.cardinality
+    }
+
+    /// Pages occupied per dimension.
+    pub fn pages_per_dim(&self) -> usize {
+        self.pages_per_dim
+    }
+
+    /// Total pages occupied by the file.
+    pub fn total_pages(&self) -> usize {
+        self.pages_per_dim * self.dims
+    }
+
+    /// First page of the file inside the store.
+    pub fn base_page(&self) -> usize {
+        self.base_page
+    }
+
+    /// Reads the entry at `rank` of `dim` through `pool`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `dim` or `rank` is out of range.
+    pub fn entry<S: PageStore>(
+        &self,
+        pool: &mut BufferPool<S>,
+        dim: usize,
+        rank: usize,
+    ) -> SortedEntry {
+        assert!(dim < self.dims, "dimension {dim} out of range");
+        assert!(rank < self.cardinality, "rank {rank} out of range");
+        let page_no =
+            self.base_page + dim * self.pages_per_dim + rank / COLUMN_ENTRIES_PER_PAGE;
+        let slot = rank % COLUMN_ENTRIES_PER_PAGE;
+        // One stream group per dimension file: the up and down cursor walks
+        // both stream within it.
+        let page = pool.get_in(page_no, dim as u32);
+        let (pid, value) = read_column_entry(page, slot);
+        SortedEntry { pid, value }
+    }
+
+    /// Page-granular estimate of the rank of the first entry in `dim` with
+    /// value `>= q`, from the in-memory fence keys alone — **no I/O**.
+    /// Accurate to within one page (the planner's selectivity estimates
+    /// only need page granularity).
+    pub fn locate_fences_only(&self, dim: usize, q: f64) -> usize {
+        let j = self.fences[dim].partition_point(|&f| f < q);
+        (j * COLUMN_ENTRIES_PER_PAGE).min(self.cardinality)
+    }
+
+    /// Rank of the first entry in `dim` with value `>= q`: the in-memory
+    /// fence keys narrow the search to one page, which is then scanned
+    /// through the pool (at most one page read — and it is the page the AD
+    /// cursors seed from next).
+    pub fn locate<S: PageStore>(&self, pool: &mut BufferPool<S>, dim: usize, q: f64) -> usize {
+        let fences = &self.fences[dim];
+        // First page whose fence is >= q; the answer rank lives on the page
+        // before it (values between the two fences), or is that page's
+        // first rank.
+        let j = fences.partition_point(|&f| f < q);
+        if j == 0 {
+            return 0;
+        }
+        let page = j - 1;
+        let start = page * COLUMN_ENTRIES_PER_PAGE;
+        let len = COLUMN_ENTRIES_PER_PAGE.min(self.cardinality - start);
+        let page_no = self.base_page + dim * self.pages_per_dim + page;
+        let buf = pool.get_in(page_no, dim as u32);
+        let mut lo = 0usize;
+        let mut hi = len;
+        while lo < hi {
+            let mid = lo + (hi - lo) / 2;
+            if read_column_entry(buf, mid).1 < q {
+                lo = mid + 1;
+            } else {
+                hi = mid;
+            }
+        }
+        start + lo
+    }
+}
+
+/// A [`SortedColumnFile`] + [`BufferPool`] pair viewed as a
+/// [`knmatch_core::SortedAccessSource`], so the generic AD engine runs
+/// unchanged on disk (Section 4.1's disk-based AD).
+#[derive(Debug)]
+pub struct DiskColumns<'a, S: PageStore> {
+    file: &'a SortedColumnFile,
+    pool: &'a mut BufferPool<S>,
+}
+
+impl<'a, S: PageStore> DiskColumns<'a, S> {
+    /// Binds a column file to a pool.
+    pub fn new(file: &'a SortedColumnFile, pool: &'a mut BufferPool<S>) -> Self {
+        DiskColumns { file, pool }
+    }
+
+    /// The underlying pool (e.g. to read [`crate::buffer::IoStats`]).
+    pub fn pool(&self) -> &BufferPool<S> {
+        self.pool
+    }
+}
+
+impl<S: PageStore> knmatch_core::SortedAccessSource for DiskColumns<'_, S> {
+    fn dims(&self) -> usize {
+        self.file.dims()
+    }
+
+    fn cardinality(&self) -> usize {
+        self.file.cardinality()
+    }
+
+    fn locate(&mut self, dim: usize, q: f64) -> usize {
+        self.file.locate(self.pool, dim, q)
+    }
+
+    fn entry(&mut self, dim: usize, rank: usize) -> SortedEntry {
+        self.file.entry(self.pool, dim, rank)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::store::MemStore;
+    use knmatch_core::SortedAccessSource;
+
+    fn build_fig3() -> (SortedColumnFile, BufferPool<MemStore>) {
+        let ds = knmatch_core::paper::fig3_dataset();
+        let mut store = MemStore::new();
+        let file = SortedColumnFile::build(&mut store, &ds);
+        (file, BufferPool::new(store, 8))
+    }
+
+    #[test]
+    fn layout_counts() {
+        let (file, pool) = build_fig3();
+        assert_eq!(file.dims(), 3);
+        assert_eq!(file.cardinality(), 5);
+        assert_eq!(file.pages_per_dim(), 1);
+        assert_eq!(file.total_pages(), 3);
+        assert_eq!(pool.store().page_count(), 3);
+    }
+
+    #[test]
+    fn entries_match_in_memory_columns() {
+        let ds = knmatch_core::paper::fig3_dataset();
+        let mem = SortedColumns::build(&ds);
+        let (file, mut pool) = build_fig3();
+        for dim in 0..3 {
+            for rank in 0..5 {
+                assert_eq!(file.entry(&mut pool, dim, rank), mem.column(dim)[rank]);
+            }
+        }
+    }
+
+    #[test]
+    fn locate_matches_in_memory() {
+        let ds = knmatch_core::paper::fig3_dataset();
+        let mut mem = SortedColumns::build(&ds);
+        let (file, mut pool) = build_fig3();
+        for dim in 0..3 {
+            for q in [-1.0, 0.4, 2.9, 5.5, 9.0, 42.0] {
+                assert_eq!(
+                    file.locate(&mut pool, dim, q),
+                    knmatch_core::SortedAccessSource::locate(&mut mem, dim, q),
+                    "dim {dim} q {q}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn multi_page_dimension() {
+        // 1000 points in 1 dim spans 3 pages (341 entries/page).
+        let rows: Vec<Vec<f64>> = (0..1000).map(|i| vec![i as f64]).collect();
+        let ds = Dataset::from_rows(&rows).unwrap();
+        let mut store = MemStore::new();
+        let file = SortedColumnFile::build(&mut store, &ds);
+        assert_eq!(file.pages_per_dim(), 3);
+        let mut pool = BufferPool::new(store, 4);
+        assert_eq!(file.entry(&mut pool, 0, 0).value, 0.0);
+        assert_eq!(file.entry(&mut pool, 0, 341).value, 341.0);
+        assert_eq!(file.entry(&mut pool, 0, 999).value, 999.0);
+        assert_eq!(file.locate(&mut pool, 0, 341.0), 341);
+        assert_eq!(file.locate(&mut pool, 0, 999.5), 1000);
+    }
+
+    #[test]
+    fn disk_columns_run_generic_ad() {
+        let (file, mut pool) = build_fig3();
+        let mut src = DiskColumns::new(&file, &mut pool);
+        let (res, _) =
+            knmatch_core::k_n_match_ad(&mut src, &[3.0, 7.0, 4.0], 2, 2).unwrap();
+        assert_eq!(res.ids(), vec![2, 1]);
+        assert_eq!(res.epsilon(), 1.5);
+    }
+
+    #[test]
+    fn trait_dims_and_cardinality() {
+        let (file, mut pool) = build_fig3();
+        let src = DiskColumns::new(&file, &mut pool);
+        assert_eq!(src.dims(), 3);
+        assert_eq!(src.cardinality(), 5);
+    }
+}

@@ -1,0 +1,48 @@
+//! # knmatch-storage
+//!
+//! The disk substrate of the k-n-match reproduction (Section 4 of the
+//! paper): 4 KiB pages, page stores (in-memory and file-backed), an LRU
+//! buffer pool that classifies misses as sequential or random, a
+//! sorted-column file per dimension, a heap file of full records, and the
+//! two disk algorithms — the **disk-based AD algorithm** (the generic core
+//! engine running over [`DiskColumns`]) and the **sequential-scan
+//! baseline**.
+//!
+//! Cost currency: the paper measures disk algorithms in page accesses and
+//! response time. [`IoStats`] counts sequential vs random page reads
+//! (forward AD walks and heap scans stream; IGrid-style fragment hops and
+//! VA-file refinements seek), and [`CostModel`] turns the mix into a
+//! modelled response time for the figure reproductions, while the Criterion
+//! benches also record real wall-clock.
+//!
+//! ```
+//! use knmatch_core::Dataset;
+//! use knmatch_storage::DiskDatabase;
+//!
+//! let ds = knmatch_core::paper::fig3_dataset();
+//! let mut db = DiskDatabase::build_in_memory(&ds, 64);
+//! let out = db.k_n_match(&[3.0, 7.0, 4.0], 2, 2).unwrap();
+//! assert_eq!(out.result.epsilon(), 1.5);
+//! println!("{} page accesses", out.io.page_accesses());
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod buffer;
+pub mod column_file;
+pub mod db;
+pub mod heap_file;
+pub mod page;
+pub mod persist;
+pub mod planner;
+pub mod store;
+
+pub use buffer::{BufferPool, CostModel, IoStats};
+pub use column_file::{DiskColumns, SortedColumnFile};
+pub use db::{DiskDatabase, DiskLayout, DiskQueryOutcome};
+pub use heap_file::{HeapFile, SCAN_GROUP};
+pub use page::{PageBuf, COLUMN_ENTRIES_PER_PAGE, PAGE_SIZE};
+pub use persist::{FORMAT_VERSION, MAGIC};
+pub use planner::{Plan, PlanChoice, PLANNER_SAMPLE};
+pub use store::{FileStore, MemStore, PageStore};

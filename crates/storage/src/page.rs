@@ -1,0 +1,156 @@
+//! Fixed-size pages and the on-page record formats.
+//!
+//! The experimental setup of the paper uses 4096-byte data pages; every
+//! disk-resident structure in this crate (sorted-column files, heap files,
+//! and the VA-file built on top in `knmatch-vafile`) serialises into such
+//! pages, and all cost accounting is in page reads.
+
+/// Size of one disk page in bytes (the paper's Section 5.2.2 setting).
+pub const PAGE_SIZE: usize = 4096;
+
+/// One page worth of bytes.
+pub type PageBuf = [u8; PAGE_SIZE];
+
+/// A zeroed page buffer.
+pub fn empty_page() -> PageBuf {
+    [0u8; PAGE_SIZE]
+}
+
+/// On-disk size of one sorted-column entry: `u32` point id + `f64` value.
+pub const COLUMN_ENTRY_BYTES: usize = 12;
+
+/// Sorted-column entries stored per page.
+pub const COLUMN_ENTRIES_PER_PAGE: usize = PAGE_SIZE / COLUMN_ENTRY_BYTES;
+
+/// Writes a sorted-column entry at `slot` of `page`.
+///
+/// # Panics
+///
+/// Panics when `slot >= COLUMN_ENTRIES_PER_PAGE`.
+pub fn write_column_entry(page: &mut PageBuf, slot: usize, pid: u32, value: f64) {
+    assert!(slot < COLUMN_ENTRIES_PER_PAGE, "slot {slot} out of page");
+    let off = slot * COLUMN_ENTRY_BYTES;
+    page[off..off + 4].copy_from_slice(&pid.to_le_bytes());
+    page[off + 4..off + 12].copy_from_slice(&value.to_le_bytes());
+}
+
+/// Reads the sorted-column entry at `slot` of `page`.
+///
+/// # Panics
+///
+/// Panics when `slot >= COLUMN_ENTRIES_PER_PAGE`.
+pub fn read_column_entry(page: &PageBuf, slot: usize) -> (u32, f64) {
+    assert!(slot < COLUMN_ENTRIES_PER_PAGE, "slot {slot} out of page");
+    let off = slot * COLUMN_ENTRY_BYTES;
+    let pid = u32::from_le_bytes(page[off..off + 4].try_into().expect("4 bytes"));
+    let value = f64::from_le_bytes(page[off + 4..off + 12].try_into().expect("8 bytes"));
+    (pid, value)
+}
+
+/// Number of `d`-dimensional rows (of `f64` coordinates) that fit one page.
+///
+/// # Panics
+///
+/// Panics when a single row exceeds the page size.
+pub fn rows_per_page(dims: usize) -> usize {
+    let row_bytes = dims * 8;
+    assert!(
+        row_bytes > 0 && row_bytes <= PAGE_SIZE,
+        "a {dims}-dimensional row must fit one {PAGE_SIZE}-byte page"
+    );
+    PAGE_SIZE / row_bytes
+}
+
+/// Writes row `slot` (of `dims`-dimensional coordinates) into `page`.
+///
+/// # Panics
+///
+/// Panics when the slot is out of page or `coords.len() != dims` implied by
+/// the slot arithmetic.
+pub fn write_row(page: &mut PageBuf, slot: usize, coords: &[f64]) {
+    let dims = coords.len();
+    assert!(slot < rows_per_page(dims), "row slot {slot} out of page");
+    let mut off = slot * dims * 8;
+    for v in coords {
+        page[off..off + 8].copy_from_slice(&v.to_le_bytes());
+        off += 8;
+    }
+}
+
+/// Reads row `slot` into `out` (whose length fixes the dimensionality).
+///
+/// # Panics
+///
+/// Panics when the slot is out of page.
+pub fn read_row(page: &PageBuf, slot: usize, out: &mut [f64]) {
+    let dims = out.len();
+    assert!(slot < rows_per_page(dims), "row slot {slot} out of page");
+    let mut off = slot * dims * 8;
+    for v in out.iter_mut() {
+        *v = f64::from_le_bytes(page[off..off + 8].try_into().expect("8 bytes"));
+        off += 8;
+    }
+}
+
+/// Pages needed to hold `items` records at `per_page` records per page.
+pub fn pages_needed(items: usize, per_page: usize) -> usize {
+    items.div_ceil(per_page)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn column_entry_roundtrip() {
+        let mut p = empty_page();
+        write_column_entry(&mut p, 0, 7, 0.125);
+        write_column_entry(&mut p, COLUMN_ENTRIES_PER_PAGE - 1, u32::MAX, -1.5);
+        assert_eq!(read_column_entry(&p, 0), (7, 0.125));
+        assert_eq!(read_column_entry(&p, COLUMN_ENTRIES_PER_PAGE - 1), (u32::MAX, -1.5));
+    }
+
+    #[test]
+    fn entries_per_page_matches_entry_size() {
+        assert_eq!(COLUMN_ENTRIES_PER_PAGE, 341);
+        assert!(COLUMN_ENTRIES_PER_PAGE * COLUMN_ENTRY_BYTES <= PAGE_SIZE);
+    }
+
+    #[test]
+    fn row_roundtrip() {
+        let mut p = empty_page();
+        let row = [0.1, -2.5, 3.75];
+        write_row(&mut p, 5, &row);
+        let mut out = [0.0; 3];
+        read_row(&p, 5, &mut out);
+        assert_eq!(out, row);
+    }
+
+    #[test]
+    fn rows_per_page_extremes() {
+        assert_eq!(rows_per_page(1), 512);
+        assert_eq!(rows_per_page(16), 32);
+        assert_eq!(rows_per_page(512), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "must fit")]
+    fn oversized_row_panics() {
+        let _ = rows_per_page(513);
+    }
+
+    #[test]
+    fn pages_needed_rounds_up() {
+        assert_eq!(pages_needed(0, 10), 0);
+        assert_eq!(pages_needed(1, 10), 1);
+        assert_eq!(pages_needed(10, 10), 1);
+        assert_eq!(pages_needed(11, 10), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of page")]
+    fn column_slot_bounds_checked() {
+        let mut p = empty_page();
+        write_column_entry(&mut p, COLUMN_ENTRIES_PER_PAGE, 0, 0.0);
+    }
+}

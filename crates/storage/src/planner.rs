@@ -1,0 +1,204 @@
+//! A cost-based access-path choice: AD algorithm or sequential scan.
+//!
+//! Figure 12 of the paper shows the crossover this planner navigates: the
+//! AD algorithm's cost grows with `n1` (and with k), and near `n1 = d` on
+//! uniform data it approaches — and can exceed — the scan's. A system
+//! should therefore *estimate* the AD cost before committing. The
+//! estimator samples a few points, computes their n1-match differences to
+//! the query, estimates the answer threshold ε as the appropriate sample
+//! quantile, and from it the attribute volume AD would retrieve (the
+//! attributes within ε of the query in each dimension, counted via the
+//! column fences at page granularity). Both plans are then priced with the
+//! pool's [`CostModel`] and the cheaper one runs.
+
+use knmatch_core::{sorted_differences_with_buf, FrequentResult, Result};
+
+use crate::buffer::CostModel;
+use crate::db::{DiskDatabase, DiskQueryOutcome};
+use crate::page::COLUMN_ENTRIES_PER_PAGE;
+use crate::store::PageStore;
+
+/// Which access path the planner chose.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Plan {
+    /// The disk-based AD algorithm.
+    Ad,
+    /// The sequential heap-file scan.
+    Scan,
+}
+
+/// The planner's decision with its cost estimates (milliseconds under the
+/// supplied [`CostModel`]).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PlanChoice {
+    /// The chosen path.
+    pub plan: Plan,
+    /// Estimated AD response time.
+    pub ad_estimate_ms: f64,
+    /// Estimated (exact, in pages) scan response time.
+    pub scan_estimate_ms: f64,
+    /// The ε estimated from the sample (the k-th smallest n1-match
+    /// difference, extrapolated).
+    pub estimated_epsilon: f64,
+}
+
+/// How many points the estimator samples (evenly spaced by pid; reading
+/// them costs a handful of heap pages, charged to the query like any
+/// other I/O).
+pub const PLANNER_SAMPLE: usize = 64;
+
+impl<S: PageStore> DiskDatabase<S> {
+    /// Estimates both plans for a frequent k-n-match query and returns the
+    /// choice without running it.
+    ///
+    /// # Errors
+    ///
+    /// Validates parameters like the query itself.
+    pub fn plan_frequent_k_n_match(
+        &mut self,
+        query: &[f64],
+        k: usize,
+        n0: usize,
+        n1: usize,
+        model: CostModel,
+    ) -> Result<PlanChoice> {
+        knmatch_core::ad::validate_params(query, self.dims(), self.len(), k, n0, n1)?;
+        let c = self.len();
+        let d = self.dims();
+
+        // Sample evenly spaced points and collect their n1-match diffs.
+        let sample_n = PLANNER_SAMPLE.min(c);
+        let step = (c / sample_n).max(1);
+        let mut diffs: Vec<f64> = Vec::with_capacity(sample_n);
+        let mut buf = Vec::with_capacity(d);
+        let heap = self.heap();
+        let mut row = vec![0.0f64; d];
+        for i in 0..sample_n {
+            let pid = ((i * step) % c) as u32;
+            heap.point(self.pool_mut(), pid, &mut row);
+            sorted_differences_with_buf(&row, query, &mut buf);
+            diffs.push(buf[n1 - 1]);
+        }
+        diffs.sort_unstable_by(f64::total_cmp);
+        // ε ≈ the q-th quantile of n1-match differences with q = k / c,
+        // read off the sample (clamped to its smallest observation when the
+        // quantile falls below the sample's resolution).
+        let q = k as f64 / c as f64;
+        let idx = ((q * sample_n as f64).ceil() as usize).clamp(1, sample_n) - 1;
+        let eps = diffs[idx];
+
+        // AD retrieves, per dimension, the attributes within ε of the query
+        // value. Count them at page granularity with the in-memory fences
+        // (no extra I/O).
+        let columns = self.columns().clone();
+        let mut pages_ad = 0u64;
+        for dim in 0..d {
+            let lo = columns.locate_fences_only(dim, query[dim] - eps);
+            let hi = columns.locate_fences_only(dim, query[dim] + eps);
+            let entries = hi.saturating_sub(lo).max(1);
+            pages_ad += (entries as u64).div_ceil(COLUMN_ENTRIES_PER_PAGE as u64) + 1;
+        }
+        // AD's walks are sequential within a dimension; charge one seek per
+        // cursor pair plus streamed pages.
+        let ad_ms = d as f64 * model.random_ms
+            + pages_ad.saturating_sub(d as u64) as f64 * model.sequential_ms;
+        let scan_pages = self.heap().total_pages() as f64;
+        let scan_ms = model.random_ms + (scan_pages - 1.0).max(0.0) * model.sequential_ms;
+
+        Ok(PlanChoice {
+            plan: if ad_ms <= scan_ms { Plan::Ad } else { Plan::Scan },
+            ad_estimate_ms: ad_ms,
+            scan_estimate_ms: scan_ms,
+            estimated_epsilon: eps,
+        })
+    }
+
+    /// Plans and runs a frequent k-n-match query on the cheaper path.
+    /// Returns the answer (identical either way), the I/O it cost, and the
+    /// plan taken.
+    ///
+    /// # Errors
+    ///
+    /// Validates parameters like the query itself.
+    pub fn frequent_k_n_match_auto(
+        &mut self,
+        query: &[f64],
+        k: usize,
+        n0: usize,
+        n1: usize,
+        model: CostModel,
+    ) -> Result<(DiskQueryOutcome<FrequentResult>, PlanChoice)> {
+        let choice = self.plan_frequent_k_n_match(query, k, n0, n1, model)?;
+        let out = match choice.plan {
+            Plan::Ad => self.frequent_k_n_match(query, k, n0, n1)?,
+            Plan::Scan => self.scan_frequent_k_n_match(query, k, n0, n1)?,
+        };
+        Ok((out, choice))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::store::MemStore;
+    use knmatch_core::Dataset;
+
+    fn uniformish(c: usize, d: usize) -> Dataset {
+        let rows: Vec<Vec<f64>> = (0..c)
+            .map(|i| (0..d).map(|j| ((i * 31 + j * 17) as f64 * 0.6180339887) % 1.0).collect())
+            .collect();
+        Dataset::from_rows(&rows).unwrap()
+    }
+
+    #[test]
+    fn planner_prefers_ad_for_small_n1_and_scan_near_d() {
+        // Genuinely uniform data: near n1 = d the answer threshold ε is
+        // large (Figure 12's crossover), so the scan must win there. (The
+        // lattice-like `uniformish` data is full of near-duplicates and AD
+        // legitimately wins at every n1 on it.)
+        let ds = knmatch_data::uniform(20_000, 16, 7);
+        let mut db = DiskDatabase::<MemStore>::build_in_memory(&ds, 256);
+        let q = ds.point(5).to_vec();
+        let model = CostModel::default();
+        let small = db.plan_frequent_k_n_match(&q, 20, 4, 6, model).unwrap();
+        assert_eq!(small.plan, Plan::Ad, "{small:?}");
+        let large = db.plan_frequent_k_n_match(&q, 20, 4, 16, model).unwrap();
+        assert_eq!(large.plan, Plan::Scan, "{large:?}");
+        assert!(large.estimated_epsilon > small.estimated_epsilon);
+    }
+
+    #[test]
+    fn auto_runs_the_chosen_plan_and_answers_exactly() {
+        let ds = uniformish(5_000, 8);
+        let mut db = DiskDatabase::<MemStore>::build_in_memory(&ds, 256);
+        let q = ds.point(77).to_vec();
+        let model = CostModel::default();
+        for (n0, n1) in [(2usize, 4usize), (4, 8)] {
+            let (out, choice) = db.frequent_k_n_match_auto(&q, 10, n0, n1, model).unwrap();
+            let oracle = knmatch_core::frequent_k_n_match_scan(&ds, &q, 10, n0, n1).unwrap();
+            assert_eq!(out.result.ids(), oracle.ids(), "plan {:?}", choice.plan);
+        }
+    }
+
+    #[test]
+    fn estimates_are_positive_and_ordered_sanely() {
+        let ds = uniformish(3_000, 6);
+        let mut db = DiskDatabase::<MemStore>::build_in_memory(&ds, 64);
+        let q = ds.point(1).to_vec();
+        let choice =
+            db.plan_frequent_k_n_match(&q, 5, 2, 4, CostModel::default()).unwrap();
+        assert!(choice.ad_estimate_ms > 0.0);
+        assert!(choice.scan_estimate_ms > 0.0);
+        assert!(choice.estimated_epsilon > 0.0);
+    }
+
+    #[test]
+    fn validates_parameters() {
+        let ds = uniformish(100, 4);
+        let mut db = DiskDatabase::<MemStore>::build_in_memory(&ds, 16);
+        let model = CostModel::default();
+        assert!(db.plan_frequent_k_n_match(&[0.0; 3], 5, 1, 4, model).is_err());
+        assert!(db.plan_frequent_k_n_match(&[0.0; 4], 0, 1, 4, model).is_err());
+        assert!(db.plan_frequent_k_n_match(&[0.0; 4], 5, 3, 2, model).is_err());
+    }
+}

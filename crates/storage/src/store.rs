@@ -1,0 +1,216 @@
+//! Page stores: where pages physically live.
+//!
+//! [`PageStore`] abstracts a flat, page-addressed file. [`MemStore`] backs
+//! tests and simulation-grade experiments (deterministic, no filesystem
+//! noise in cost counters); [`FileStore`] persists to a real file so the
+//! wall-clock benches exercise actual I/O syscalls.
+
+use std::fs::{File, OpenOptions};
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::path::Path;
+
+use crate::page::{empty_page, PageBuf, PAGE_SIZE};
+
+/// A flat array of fixed-size pages addressed by page number.
+pub trait PageStore {
+    /// Number of pages currently stored.
+    fn page_count(&self) -> usize;
+
+    /// Reads page `no` into `buf`.
+    ///
+    /// # Panics
+    ///
+    /// Implementations may panic when `no >= page_count()` or on I/O errors
+    /// (the store is an experiment substrate, not a durability layer).
+    fn read_page(&mut self, no: usize, buf: &mut PageBuf);
+
+    /// Overwrites page `no`.
+    ///
+    /// # Panics
+    ///
+    /// Same conditions as [`PageStore::read_page`].
+    fn write_page(&mut self, no: usize, buf: &PageBuf);
+
+    /// Appends a page, returning its page number.
+    fn append_page(&mut self, buf: &PageBuf) -> usize;
+}
+
+/// An in-memory page store.
+#[derive(Debug, Default)]
+pub struct MemStore {
+    pages: Vec<Box<PageBuf>>,
+}
+
+impl MemStore {
+    /// Creates an empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl PageStore for MemStore {
+    fn page_count(&self) -> usize {
+        self.pages.len()
+    }
+
+    fn read_page(&mut self, no: usize, buf: &mut PageBuf) {
+        buf.copy_from_slice(&self.pages[no][..]);
+    }
+
+    fn write_page(&mut self, no: usize, buf: &PageBuf) {
+        self.pages[no].copy_from_slice(buf);
+    }
+
+    fn append_page(&mut self, buf: &PageBuf) -> usize {
+        self.pages.push(Box::new(*buf));
+        self.pages.len() - 1
+    }
+}
+
+/// A file-backed page store.
+#[derive(Debug)]
+pub struct FileStore {
+    file: File,
+    pages: usize,
+}
+
+impl FileStore {
+    /// Creates (truncating) a page file at `path`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors.
+    pub fn create<P: AsRef<Path>>(path: P) -> std::io::Result<Self> {
+        let file =
+            OpenOptions::new().read(true).write(true).create(true).truncate(true).open(path)?;
+        Ok(FileStore { file, pages: 0 })
+    }
+
+    /// Opens an existing page file at `path`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors; fails when the file size is not a
+    /// multiple of the page size.
+    pub fn open<P: AsRef<Path>>(path: P) -> std::io::Result<Self> {
+        let file = OpenOptions::new().read(true).write(true).open(path)?;
+        let len = file.metadata()?.len() as usize;
+        if len % PAGE_SIZE != 0 {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                format!("file length {len} is not a multiple of the page size"),
+            ));
+        }
+        Ok(FileStore { file, pages: len / PAGE_SIZE })
+    }
+}
+
+impl PageStore for FileStore {
+    fn page_count(&self) -> usize {
+        self.pages
+    }
+
+    fn read_page(&mut self, no: usize, buf: &mut PageBuf) {
+        assert!(no < self.pages, "page {no} out of range ({} pages)", self.pages);
+        self.file
+            .seek(SeekFrom::Start((no * PAGE_SIZE) as u64))
+            .and_then(|_| self.file.read_exact(buf))
+            .expect("page read");
+    }
+
+    fn write_page(&mut self, no: usize, buf: &PageBuf) {
+        assert!(no < self.pages, "page {no} out of range ({} pages)", self.pages);
+        self.file
+            .seek(SeekFrom::Start((no * PAGE_SIZE) as u64))
+            .and_then(|_| self.file.write_all(buf))
+            .expect("page write");
+    }
+
+    fn append_page(&mut self, buf: &PageBuf) -> usize {
+        let no = self.pages;
+        self.file
+            .seek(SeekFrom::Start((no * PAGE_SIZE) as u64))
+            .and_then(|_| self.file.write_all(buf))
+            .expect("page append");
+        self.pages += 1;
+        no
+    }
+}
+
+/// Fills a store with `n` zeroed pages (builders then `write_page` slots).
+pub fn reserve_pages<S: PageStore>(store: &mut S, n: usize) {
+    let zero = empty_page();
+    for _ in 0..n {
+        store.append_page(&zero);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn exercise<S: PageStore>(store: &mut S) {
+        assert_eq!(store.page_count(), 0);
+        let mut a = empty_page();
+        a[0] = 0xAA;
+        a[PAGE_SIZE - 1] = 0x55;
+        assert_eq!(store.append_page(&a), 0);
+        let mut b = empty_page();
+        b[7] = 7;
+        assert_eq!(store.append_page(&b), 1);
+        assert_eq!(store.page_count(), 2);
+
+        let mut buf = empty_page();
+        store.read_page(0, &mut buf);
+        assert_eq!(buf[0], 0xAA);
+        assert_eq!(buf[PAGE_SIZE - 1], 0x55);
+        store.read_page(1, &mut buf);
+        assert_eq!(buf[7], 7);
+
+        buf[7] = 70;
+        store.write_page(1, &buf);
+        let mut check = empty_page();
+        store.read_page(1, &mut check);
+        assert_eq!(check[7], 70);
+    }
+
+    #[test]
+    fn mem_store_roundtrip() {
+        exercise(&mut MemStore::new());
+    }
+
+    #[test]
+    fn file_store_roundtrip() {
+        let dir = std::env::temp_dir().join(format!("knmatch-store-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("pages.bin");
+        exercise(&mut FileStore::create(&path).unwrap());
+        // Re-open and verify persistence.
+        let mut re = FileStore::open(&path).unwrap();
+        assert_eq!(re.page_count(), 2);
+        let mut buf = empty_page();
+        re.read_page(0, &mut buf);
+        assert_eq!(buf[0], 0xAA);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn open_rejects_partial_pages() {
+        let dir = std::env::temp_dir().join(format!("knmatch-store-bad-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("bad.bin");
+        std::fs::write(&path, [0u8; 100]).unwrap();
+        assert!(FileStore::open(&path).is_err());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn reserve_appends_zero_pages() {
+        let mut s = MemStore::new();
+        reserve_pages(&mut s, 3);
+        assert_eq!(s.page_count(), 3);
+        let mut buf = [1u8; PAGE_SIZE];
+        s.read_page(2, &mut buf);
+        assert!(buf.iter().all(|&b| b == 0));
+    }
+}

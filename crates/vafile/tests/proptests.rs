@@ -1,0 +1,107 @@
+//! Property tests: VA-file bounds must be sound and the two-phase
+//! algorithm must agree with the exact oracle on every random instance.
+
+use knmatch_core::Dataset;
+use knmatch_storage::{BufferPool, HeapFile, MemStore};
+use knmatch_vafile::{frequent_k_n_match_va, k_n_match_va, k_nearest_va, VaFile};
+use proptest::prelude::*;
+
+fn db_and_query() -> impl Strategy<Value = (Vec<Vec<f64>>, Vec<f64>, u8)> {
+    (1usize..=5, 2usize..=30, 1u8..=8).prop_flat_map(|(d, c, bits)| {
+        (
+            proptest::collection::vec(proptest::collection::vec(0.0f64..1.0, d), c),
+            proptest::collection::vec(0.0f64..1.0, d),
+            Just(bits),
+        )
+    })
+}
+
+fn all_diffs_distinct(rows: &[Vec<f64>], query: &[f64]) -> bool {
+    let mut diffs: Vec<f64> = rows
+        .iter()
+        .flat_map(|p| p.iter().zip(query).map(|(a, b)| (a - b).abs()))
+        .collect();
+    diffs.sort_unstable_by(f64::total_cmp);
+    diffs.windows(2).all(|w| w[0] < w[1])
+}
+
+fn setup(rows: &[Vec<f64>], bits: u8) -> (Dataset, VaFile, HeapFile, BufferPool<MemStore>) {
+    let ds = Dataset::from_rows(rows).unwrap();
+    let mut store = MemStore::new();
+    let heap = HeapFile::build(&mut store, &ds);
+    let va = VaFile::build(&mut store, &ds, bits);
+    (ds, va, heap, BufferPool::new(store, 64))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(192))]
+
+    /// Per-dimension cell bounds always bracket the true difference.
+    #[test]
+    fn diff_bounds_are_sound((rows, query, bits) in db_and_query()) {
+        let (ds, va, _, _) = setup(&rows, bits);
+        for (_, p) in ds.iter() {
+            for (dim, (&v, &q)) in p.iter().zip(&query).enumerate() {
+                let cell = va.cell_of(dim, v);
+                let (lb, ub) = va.diff_bounds(dim, cell, q);
+                let true_diff = (v - q).abs();
+                prop_assert!(lb <= true_diff + 1e-12, "lb {lb} > {true_diff}");
+                prop_assert!(ub + 1e-12 >= true_diff, "ub {ub} < {true_diff}");
+                prop_assert!(lb <= ub + 1e-12);
+            }
+        }
+    }
+
+    /// The two-phase k-n-match returns exactly the oracle's answers.
+    #[test]
+    fn va_matches_oracle((rows, query, bits) in db_and_query()) {
+        prop_assume!(all_diffs_distinct(&rows, &query));
+        let (ds, va, heap, mut pool) = setup(&rows, bits);
+        let c = rows.len();
+        let d = query.len();
+        let k = ((c + 1) / 2).max(1);
+        for n in [1, (d + 1) / 2, d] {
+            let out = k_n_match_va(&va, &heap, &mut pool, &query, k, n).unwrap();
+            let oracle = knmatch_core::k_n_match_scan(&ds, &query, k, n).unwrap();
+            prop_assert_eq!(out.result.ids(), oracle.ids(), "n={}", n);
+            prop_assert!(out.refined >= k);
+            prop_assert!(out.refined <= c);
+        }
+        let out = frequent_k_n_match_va(&va, &heap, &mut pool, &query, k, 1, d).unwrap();
+        let oracle = knmatch_core::frequent_k_n_match_scan(&ds, &query, k, 1, d).unwrap();
+        prop_assert_eq!(out.result.ids(), oracle.ids());
+    }
+
+    /// The classic kNN VA-file returns exactly the Euclidean kNN.
+    #[test]
+    fn va_knn_matches_oracle((rows, query, bits) in db_and_query()) {
+        let (ds, va, heap, mut pool) = setup(&rows, bits);
+        let k = ((rows.len() + 1) / 2).max(1);
+        let out = k_nearest_va(&va, &heap, &mut pool, &query, k).unwrap();
+        let oracle = knmatch_core::k_nearest(&ds, &query, k, &knmatch_core::Euclidean).unwrap();
+        // Distances must agree even when id ties differ.
+        for (a, b) in out.result.iter().zip(&oracle) {
+            prop_assert!((a.dist - b.dist).abs() < 1e-9);
+        }
+    }
+
+    /// Finer quantisation never refines more points.
+    #[test]
+    fn finer_bits_refine_no_more(
+        (rows, query, _) in db_and_query(),
+        coarse in 1u8..=4,
+    ) {
+        let fine = coarse + 4;
+        let k = ((rows.len() + 1) / 2).max(1);
+        let n = query.len();
+        let (_, va_c, heap_c, mut pool_c) = setup(&rows, coarse);
+        let out_c = k_n_match_va(&va_c, &heap_c, &mut pool_c, &query, k, n).unwrap();
+        let (_, va_f, heap_f, mut pool_f) = setup(&rows, fine);
+        let out_f = k_n_match_va(&va_f, &heap_f, &mut pool_f, &query, k, n).unwrap();
+        prop_assert!(
+            out_f.refined <= out_c.refined,
+            "{} bits refined {} vs {} bits refined {}",
+            fine, out_f.refined, coarse, out_c.refined
+        );
+    }
+}

@@ -1,0 +1,57 @@
+//! A live, updatable similarity index: sensor fingerprints come and go
+//! while matching queries keep running — the paper's static model extended
+//! with inserts, deletes and stable keys.
+//!
+//! Run with: `cargo run --example dynamic_index`
+
+use knmatch::core::DynamicColumns;
+
+fn main() {
+    // Device fingerprints: 5 behavioural features per device, keyed by
+    // device id. Devices enroll and retire over time.
+    let mut index = DynamicColumns::new(5).expect("5 dims");
+
+    let enroll = [
+        (1001u64, [0.20, 0.31, 0.55, 0.10, 0.42]),
+        (1002, [0.21, 0.30, 0.54, 0.11, 0.40]), // near-clone of 1001
+        (1003, [0.80, 0.75, 0.20, 0.90, 0.65]),
+        (1004, [0.22, 0.29, 0.90, 0.12, 0.41]), // clone of 1001 with one wild feature
+        (1005, [0.50, 0.50, 0.50, 0.50, 0.50]),
+    ];
+    for (id, fp) in &enroll {
+        index.insert(*id, fp).expect("valid fingerprint");
+    }
+    println!("enrolled {} devices", index.len());
+
+    // A suspicious login presents a fingerprint close to device 1001.
+    let probe = [0.21, 0.30, 0.56, 0.10, 0.43];
+    let (matches, stats) = index.k_n_match(&probe, 3, 4).expect("valid query");
+    println!("\n4-of-5-feature matches for the probe:");
+    for m in &matches {
+        println!("  device {}  (diff {:.3})", m.key, m.diff);
+    }
+    println!("  [{} attributes examined]", stats.attributes_retrieved);
+    assert_eq!(matches[0].key, 1001);
+    assert!(
+        matches.iter().any(|m| m.key == 1004),
+        "the one-wild-feature clone must surface under 4-of-5 matching"
+    );
+
+    // Device 1001 is retired; its clone should now top the ranking.
+    index.remove(1001).expect("present");
+    let (matches, _) = index.k_n_match(&probe, 2, 4).expect("valid query");
+    println!("\nafter retiring device 1001:");
+    for m in &matches {
+        println!("  device {}  (diff {:.3})", m.key, m.diff);
+    }
+    assert_eq!(matches[0].key, 1002);
+
+    // A re-enrollment updates in place.
+    index.insert(1005, &[0.19, 0.32, 0.53, 0.09, 0.44]).expect("valid fingerprint");
+    let (freq, _) = index.frequent_k_n_match(&probe, 2, 2, 5).expect("valid query");
+    println!("\nfrequent matches over n ∈ [2, 5] after 1005's new fingerprint:");
+    for (key, count) in &freq {
+        println!("  device {key}  appears {count} times");
+    }
+    assert!(freq.iter().any(|&(key, _)| key == 1005));
+}

@@ -1,0 +1,64 @@
+//! Content-based image retrieval with partial similarity — the paper's
+//! Section 5.1.1 scenario on the COIL-like feature dataset.
+//!
+//! A query image (a red boat) has a twin that differs only in colour. The
+//! colour gap dominates Euclidean distance, so kNN never surfaces the twin;
+//! the k-n-match query finds it by matching on the dimensions that agree.
+//!
+//! Run with: `cargo run --example image_search`
+
+use knmatch::data::{coil_like, COIL_QUERY_ID};
+use knmatch::prelude::*;
+
+fn show(ids: &[PointId]) -> Vec<u32> {
+    let mut v: Vec<u32> = ids.iter().map(|&p| p + 1).collect(); // paper ids are 1-based
+    v.sort_unstable();
+    v
+}
+
+fn main() {
+    let ds = coil_like(42);
+    let query = ds.point(COIL_QUERY_ID).to_vec();
+    println!(
+        "{} synthetic images × {} features (colour | texture | shape blocks)\n\
+         query: image {} (the red boat)\n",
+        ds.len(),
+        ds.dims(),
+        COIL_QUERY_ID + 1
+    );
+
+    // Table 3: the 10 nearest neighbours under Euclidean distance.
+    let nn = k_nearest(&ds, &query, 10, &Euclidean).expect("valid query");
+    let nn_ids: Vec<PointId> = nn.iter().map(|e| e.pid).collect();
+    println!("kNN (k = 10)      : images {:?}", show(&nn_ids));
+    assert!(
+        !nn_ids.contains(&77),
+        "the other boat (image 78) is invisible to kNN — its colour gap dominates"
+    );
+
+    // Table 2: k-n-match across n. The other boat (image 78) appears as
+    // soon as n fits inside its matching texture+shape blocks.
+    let mut cols = SortedColumns::build(&ds);
+    println!("\nk-n-match (k = 4):");
+    let mut boat_sightings = 0;
+    for n in (5..=50).step_by(5) {
+        let (m, _) = k_n_match_ad(&mut cols, &query, 4, n).expect("valid query");
+        let ids = show(&m.ids());
+        if ids.contains(&78) {
+            boat_sightings += 1;
+        }
+        println!("  n = {n:>2}: images {ids:?}");
+    }
+    assert!(boat_sightings >= 3, "the twin boat must appear for several n");
+
+    // The frequent k-n-match query ranks by how often an image matches
+    // across all n — full similarity without picking n.
+    let (freq, _) =
+        frequent_k_n_match_ad(&mut cols, &query, 5, 5, ds.dims()).expect("valid query");
+    println!("\nfrequent k-n-match (k = 5, n ∈ [5, {}]):", ds.dims());
+    for e in &freq.entries {
+        println!("  image {:>3} appears {} times", e.pid + 1, e.count);
+    }
+    println!("\nImage 78 (the differently-coloured boat) is retrieved by matching;");
+    println!("no aggregating metric at any k reaches it before 20 neighbours.");
+}

@@ -1,0 +1,102 @@
+//! Cross-crate integration: the effectiveness experiments behave like the
+//! paper's Section 5.1 on the synthetic stand-ins, at reduced scale.
+
+use knmatch::eval::experiments::{fig8a, fig8b, fig9a, table2, table3, table4};
+use knmatch::eval::{accuracy, ClassStripConfig, FrequentKnMatchMethod, KnnMethod};
+use knmatch::data::{labelled_clusters, uci_standins, ClusterSpec};
+
+#[test]
+fn table2_and_table3_reproduce_the_boat_story() {
+    let t2 = table2(42);
+    let t3 = table3(42);
+    // Image 78 (the differently-coloured boat): in several k-n-match
+    // answer sets, never in the kNN top 10.
+    let sightings = t2.rows.iter().filter(|(_, ids)| ids.contains(&78)).count();
+    assert!(sightings >= 3, "{t2}");
+    assert!(!t3.images.contains(&78), "{t3}");
+    // Both contain the query image itself.
+    assert!(t3.images.contains(&42));
+    assert!(t2.rows.iter().all(|(_, ids)| ids.contains(&42)));
+}
+
+#[test]
+fn table4_shape_matches_the_paper() {
+    let t4 = table4(1, 40);
+    // Five datasets, frequent k-n-match never clearly loses, and all
+    // accuracies are in a sane band.
+    assert_eq!(t4.rows.len(), 5);
+    for r in &t4.rows {
+        assert!((0.5..=1.0).contains(&r.frequent), "{}: {}", r.dataset, r.frequent);
+        assert!((0.3..=1.0).contains(&r.igrid), "{}: {}", r.dataset, r.igrid);
+        if r.dims >= 15 {
+            assert!(
+                r.frequent >= r.igrid,
+                "{}: frequent {} vs IGrid {}",
+                r.dataset,
+                r.frequent,
+                r.igrid
+            );
+        }
+    }
+}
+
+#[test]
+fn fig8_sweeps_cover_the_grid_and_stay_bounded() {
+    for sweep in [fig8a(2, 12), fig8b(2, 12)] {
+        assert_eq!(sweep.series.len(), 3);
+        for s in &sweep.series {
+            assert!(!s.points.is_empty());
+            assert!(s.points.iter().all(|&(x, y)| x >= 1.0 && (0.0..=1.0).contains(&y)));
+        }
+        // Rendering works and mentions every dataset.
+        let text = sweep.to_string();
+        for name in ["ionosphere", "segmentation", "wdbc"] {
+            assert!(text.contains(name), "{text}");
+        }
+    }
+}
+
+#[test]
+fn fig9a_retrieval_monotone_and_under_total() {
+    let sweep = fig9a(2, 8);
+    for s in &sweep.series {
+        let ys: Vec<f64> = s.points.iter().map(|p| p.1).collect();
+        assert!(ys.windows(2).all(|w| w[1] >= w[0] - 1e-9), "{}: {ys:?}", s.label);
+        assert!(ys.iter().all(|&y| (0.0..=100.0).contains(&y)));
+    }
+}
+
+#[test]
+fn noise_widens_the_knn_gap() {
+    // The more glitched coordinates, the larger frequent k-n-match's edge
+    // over kNN — the causal mechanism behind Table 4.
+    let cfg = ClassStripConfig { queries: 50, k: 10, seed: 3 };
+    let mut gaps = Vec::new();
+    for noise in [0.0, 0.25] {
+        let lds = labelled_clusters(&ClusterSpec {
+            cardinality: 300,
+            dims: 20,
+            classes: 3,
+            cluster_std: 0.05,
+            noise_prob: noise,
+            seed: 8,
+        });
+        let knn = accuracy(&lds, &KnnMethod, &cfg);
+        let freq = accuracy(&lds, &FrequentKnMatchMethod { n0: 1, n1: 20 }, &cfg);
+        gaps.push(freq - knn);
+    }
+    assert!(
+        gaps[1] >= gaps[0] - 0.02,
+        "the gap should not shrink as noise grows: {gaps:?}"
+    );
+}
+
+#[test]
+fn uci_standins_generate_at_paper_shapes() {
+    for s in uci_standins() {
+        let lds = s.generate(4);
+        assert_eq!(lds.data.len(), s.cardinality);
+        assert_eq!(lds.data.dims(), s.dims);
+        assert_eq!(lds.classes(), s.classes, "{}", s.name);
+    }
+}
