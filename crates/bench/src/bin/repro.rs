@@ -56,7 +56,10 @@ fn main() {
     if run_block_together {
         let t = Instant::now();
         print!("{}", run_efficiency_block(scale, None));
-        println!("[figures 10/11/12/15 in {:.1}s]\n", t.elapsed().as_secs_f64());
+        println!(
+            "[figures 10/11/12/15 in {:.1}s]\n",
+            t.elapsed().as_secs_f64()
+        );
     }
 }
 

@@ -80,7 +80,8 @@ pub const SEED: u64 = 42;
 /// The experiments the harness can run, in paper order.
 pub const EXPERIMENTS: &[&str] = &[
     "fig1", "fig2", "fig3", "table2", "table3", "table4", "fig8a", "fig8b", "fig9a", "fig9b",
-    "fig10", "fig11", "fig12", "fig13", "fig14", "fig15", "ext1", "ext2", "ext3", "ext4", "ext5", "ext6",
+    "fig10", "fig11", "fig12", "fig13", "fig14", "fig15", "ext1", "ext2", "ext3", "ext4", "ext5",
+    "ext6",
 ];
 
 /// Runs one experiment by name at the given scale, returning its report.
@@ -142,7 +143,9 @@ pub fn run(name: &str, scale: Scale) -> Result<String, String> {
         .to_string()),
         "ext4" => Ok(exp::ext_methods(SEED, scale.queries()).to_string()),
         "ext5" => Ok(exp::ext_stride(SEED, scale.queries(), &[1, 2, 3, 4, 6, 8]).to_string()),
-        "ext6" => Ok(exp::ext_igrid_bins(SEED, scale.queries(), &[2, 4, 8, 17, 32, 64]).to_string()),
+        "ext6" => {
+            Ok(exp::ext_igrid_bins(SEED, scale.queries(), &[2, 4, 8, 17, 32, 64]).to_string())
+        }
         other => Err(format!(
             "unknown experiment '{other}'; expected one of {EXPERIMENTS:?} or 'all'"
         )),

@@ -7,19 +7,28 @@
 //! knmatch info db.knm
 //! knmatch query db.knm --point 0.1,0.5,… -k 10 -n 4
 //! knmatch query db.knm --point 0.1,0.5,… -k 10 --frequent 4 8
+//! knmatch batch data.csv --queries queries.csv -k 10 --frequent 4 8 --workers 4
 //! ```
 
 use std::fmt::Write as _;
 use std::process::ExitCode;
+use std::sync::Arc;
 
+use knmatch_core::{BatchAnswer, BatchQuery, QueryEngine, SortedColumns};
 use knmatch_storage::{CostModel, DiskDatabase};
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match run(&args) {
-        Ok(out) => {
+        Ok((out, true)) => {
             print!("{out}");
             ExitCode::SUCCESS
+        }
+        // The command ran but some queries in the batch failed: the report
+        // already names them, so skip the usage text but exit non-zero.
+        Ok((out, false)) => {
+            print!("{out}");
+            ExitCode::from(2)
         }
         Err(e) => {
             eprintln!("error: {e}");
@@ -37,18 +46,25 @@ fn usage() -> &'static str {
      knmatch info <db.knm>\n  \
      knmatch verify <db.knm>\n  \
      knmatch query <db.knm> --point <v1,v2,…> -k <K> (-n <N> | --frequent <N0> <N1> [--auto])\n  \
-     knmatch bench <db.knm> -k <K> --frequent <N0> <N1> [--queries Q] [--seed S]"
+     knmatch bench <db.knm> -k <K> --frequent <N0> <N1> [--queries Q] [--seed S]\n  \
+     knmatch batch <data.csv> --queries <queries.csv> \
+     (-k <K> -n <N> | -k <K> --frequent <N0> <N1> | --eps <E> -n <N>) [--workers W]"
 }
 
-/// Executes one CLI invocation, returning the text to print.
-fn run(args: &[String]) -> Result<String, String> {
+/// Executes one CLI invocation, returning the text to print and whether
+/// every unit of work succeeded (`batch` reports per-query failures in
+/// the text instead of aborting, so the flag carries them to the exit
+/// code).
+fn run(args: &[String]) -> Result<(String, bool), String> {
+    let ok = |text: String| (text, true);
     match args.first().map(String::as_str) {
-        Some("generate") => generate(&args[1..]),
-        Some("build") => build(&args[1..]),
-        Some("info") => info(&args[1..]),
-        Some("verify") => verify(&args[1..]),
-        Some("query") => query(&args[1..]),
-        Some("bench") => bench(&args[1..]),
+        Some("generate") => generate(&args[1..]).map(ok),
+        Some("build") => build(&args[1..]).map(ok),
+        Some("info") => info(&args[1..]).map(ok),
+        Some("verify") => verify(&args[1..]).map(ok),
+        Some("query") => query(&args[1..]).map(ok),
+        Some("bench") => bench(&args[1..]).map(ok),
+        Some("batch") => batch(&args[1..]),
         Some(other) => Err(format!("unknown command '{other}'")),
         None => Err("no command given".into()),
     }
@@ -109,11 +125,15 @@ fn bench(args: &[String]) -> Result<String, String> {
         let pid = (next() % db.len() as u64) as u32;
         let q = db.fetch_point(pid);
         db.pool_mut().invalidate_all();
-        let ad = db.frequent_k_n_match(&q, k, n0, n1).map_err(|e| e.to_string())?;
+        let ad = db
+            .frequent_k_n_match(&q, k, n0, n1)
+            .map_err(|e| e.to_string())?;
         ad_ms.push(ad.io.response_time_ms(model));
         attrs += ad.ad.attributes_retrieved;
         db.pool_mut().invalidate_all();
-        let scan = db.scan_frequent_k_n_match(&q, k, n0, n1).map_err(|e| e.to_string())?;
+        let scan = db
+            .scan_frequent_k_n_match(&q, k, n0, n1)
+            .map_err(|e| e.to_string())?;
         scan_ms.push(scan.io.response_time_ms(model));
     }
     let pct = |v: &mut Vec<f64>, p: f64| {
@@ -141,20 +161,116 @@ fn bench(args: &[String]) -> Result<String, String> {
     Ok(out)
 }
 
+/// Executes a file of query points as one parallel batch against an
+/// in-memory sorted-column index built from a CSV dataset.
+fn batch(args: &[String]) -> Result<(String, bool), String> {
+    let data = args.first().ok_or("batch needs <data.csv>")?;
+    let queries_path = flag_value(args, "--queries").ok_or("batch needs --queries <file.csv>")?;
+    let workers: usize = match flag_value(args, "--workers") {
+        Some(w) => parse_num(w, "--workers")?,
+        None => std::thread::available_parallelism().map_or(1, |n| n.get()),
+    };
+
+    let ds = knmatch_data::load_dataset(data).map_err(|e| e.to_string())?;
+    let qs = knmatch_data::load_dataset(queries_path).map_err(|e| e.to_string())?;
+    let points: Vec<Vec<f64>> = qs.iter().map(|(_, p)| p.to_vec()).collect();
+
+    let (queries, header) = if let Some(i) = args.iter().position(|a| a == "--frequent") {
+        let k: usize = parse_num(flag_value(args, "-k").ok_or("batch needs -k")?, "-k")?;
+        let n0: usize = parse_num(args.get(i + 1).ok_or("--frequent needs N0 N1")?, "N0")?;
+        let n1: usize = parse_num(args.get(i + 2).ok_or("--frequent needs N0 N1")?, "N1")?;
+        let qs: Vec<BatchQuery> = points
+            .into_iter()
+            .map(|query| BatchQuery::Frequent { query, k, n0, n1 })
+            .collect();
+        (qs, format!("frequent {k}-n-match, n in [{n0}, {n1}]"))
+    } else if let Some(eps) = flag_value(args, "--eps") {
+        let eps: f64 = parse_num(eps, "--eps")?;
+        let n: usize = parse_num(flag_value(args, "-n").ok_or("batch needs -n")?, "-n")?;
+        let qs: Vec<BatchQuery> = points
+            .into_iter()
+            .map(|query| BatchQuery::EpsMatch { query, eps, n })
+            .collect();
+        (qs, format!("eps-{n}-match, eps = {eps}"))
+    } else {
+        let k: usize = parse_num(flag_value(args, "-k").ok_or("batch needs -k")?, "-k")?;
+        let n: usize = parse_num(flag_value(args, "-n").ok_or("batch needs -n")?, "-n")?;
+        let qs: Vec<BatchQuery> = points
+            .into_iter()
+            .map(|query| BatchQuery::KnMatch { query, k, n })
+            .collect();
+        (qs, format!("{k}-{n}-match"))
+    };
+
+    let engine = QueryEngine::with_workers(Arc::new(SortedColumns::build(&ds)), workers);
+    let started = std::time::Instant::now();
+    let results = engine.run(&queries);
+    let elapsed = started.elapsed();
+
+    let mut out = format!(
+        "{} queries ({header}) over {} points x {} dims, {} worker(s)\n",
+        queries.len(),
+        ds.len(),
+        ds.dims(),
+        engine.workers()
+    );
+    let mut attrs = 0u64;
+    let mut failures = 0usize;
+    for (i, r) in results.iter().enumerate() {
+        match r {
+            Ok((answer, stats)) => {
+                attrs += stats.attributes_retrieved;
+                let ids = match answer {
+                    BatchAnswer::KnMatch(r) | BatchAnswer::EpsMatch(r) => r.ids(),
+                    BatchAnswer::Frequent(r) => r.ids(),
+                };
+                let shown: Vec<String> = ids.iter().take(10).map(|pid| pid.to_string()).collect();
+                let ellipsis = if ids.len() > 10 { ", …" } else { "" };
+                writeln!(out, "  #{i}: [{}{}]", shown.join(", "), ellipsis)
+                    .expect("write to String");
+            }
+            Err(e) => {
+                failures += 1;
+                writeln!(out, "  #{i}: error: {e}").expect("write to String");
+            }
+        }
+    }
+    let secs = elapsed.as_secs_f64();
+    writeln!(
+        out,
+        "{} ok / {failures} failed in {:.1} ms ({:.0} queries/s), {attrs} attributes retrieved",
+        results.len() - failures,
+        secs * 1e3,
+        if secs > 0.0 {
+            results.len() as f64 / secs
+        } else {
+            f64::INFINITY
+        },
+    )
+    .expect("write to String");
+    Ok((out, failures == 0))
+}
+
 /// Pulls the value following `flag` out of `args`.
 fn flag_value<'a>(args: &'a [String], flag: &str) -> Option<&'a str> {
-    args.iter().position(|a| a == flag).and_then(|i| args.get(i + 1)).map(String::as_str)
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .map(String::as_str)
 }
 
 fn parse_num<T: std::str::FromStr>(s: &str, what: &str) -> Result<T, String> {
-    s.parse().map_err(|_| format!("cannot parse {what} from '{s}'"))
+    s.parse()
+        .map_err(|_| format!("cannot parse {what} from '{s}'"))
 }
 
 fn generate(args: &[String]) -> Result<String, String> {
     let kind = flag_value(args, "--kind").ok_or("generate needs --kind")?;
     let out = flag_value(args, "--out").ok_or("generate needs --out")?;
-    let cardinality: usize =
-        parse_num(flag_value(args, "--cardinality").unwrap_or("1000"), "--cardinality")?;
+    let cardinality: usize = parse_num(
+        flag_value(args, "--cardinality").unwrap_or("1000"),
+        "--cardinality",
+    )?;
     let dims: usize = parse_num(flag_value(args, "--dims").unwrap_or("16"), "--dims")?;
     let seed: u64 = parse_num(flag_value(args, "--seed").unwrap_or("42"), "--seed")?;
 
@@ -178,8 +294,7 @@ fn generate(args: &[String]) -> Result<String, String> {
                 classes,
                 seed,
             ));
-            std::fs::write(out, knmatch_data::labelled_to_csv(&lds))
-                .map_err(|e| e.to_string())?;
+            std::fs::write(out, knmatch_data::labelled_to_csv(&lds)).map_err(|e| e.to_string())?;
             lds.data.len()
         }
         "coil" => {
@@ -202,7 +317,8 @@ fn build(args: &[String]) -> Result<String, String> {
         "built {output}: {} points x {} dims ({} data pages + {} column pages)\n",
         ds.len(),
         ds.dims(),
-        ds.len().div_ceil(knmatch_storage::page::rows_per_page(ds.dims())),
+        ds.len()
+            .div_ceil(knmatch_storage::page::rows_per_page(ds.dims())),
         ds.dims() * ds.len().div_ceil(knmatch_storage::COLUMN_ENTRIES_PER_PAGE),
     ))
 }
@@ -234,10 +350,8 @@ fn query(args: &[String]) -> Result<String, String> {
     let mut out = String::new();
     let model = CostModel::default();
     if let Some(i) = args.iter().position(|a| a == "--frequent") {
-        let n0: usize =
-            parse_num(args.get(i + 1).ok_or("--frequent needs N0 N1")?, "N0")?;
-        let n1: usize =
-            parse_num(args.get(i + 2).ok_or("--frequent needs N0 N1")?, "N1")?;
+        let n0: usize = parse_num(args.get(i + 1).ok_or("--frequent needs N0 N1")?, "N0")?;
+        let n1: usize = parse_num(args.get(i + 2).ok_or("--frequent needs N0 N1")?, "N1")?;
         let r = if args.iter().any(|a| a == "--auto") {
             let (r, choice) = db
                 .frequent_k_n_match_auto(&point, k, n0, n1, model)
@@ -250,7 +364,8 @@ fn query(args: &[String]) -> Result<String, String> {
             .expect("write to String");
             r
         } else {
-            db.frequent_k_n_match(&point, k, n0, n1).map_err(|e| e.to_string())?
+            db.frequent_k_n_match(&point, k, n0, n1)
+                .map_err(|e| e.to_string())?
         };
         writeln!(out, "frequent {k}-n-match, n in [{n0}, {n1}]:").expect("write to String");
         for e in &r.result.entries {
@@ -266,7 +381,10 @@ fn query(args: &[String]) -> Result<String, String> {
         )
         .expect("write to String");
     } else {
-        let n: usize = parse_num(flag_value(args, "-n").ok_or("query needs -n or --frequent")?, "-n")?;
+        let n: usize = parse_num(
+            flag_value(args, "-n").ok_or("query needs -n or --frequent")?,
+            "-n",
+        )?;
         let r = db.k_n_match(&point, k, n).map_err(|e| e.to_string())?;
         writeln!(out, "{k}-{n}-match (epsilon = {:.6}):", r.result.epsilon())
             .expect("write to String");
@@ -316,13 +434,16 @@ mod tests {
             "--out",
             csv.to_str().unwrap(),
         ]))
-        .unwrap();
+        .unwrap()
+        .0;
         assert!(out.contains("wrote 500 points"));
 
-        let out = run(&s(&["build", csv.to_str().unwrap(), db.to_str().unwrap()])).unwrap();
+        let out = run(&s(&["build", csv.to_str().unwrap(), db.to_str().unwrap()]))
+            .unwrap()
+            .0;
         assert!(out.contains("500 points x 4 dims"));
 
-        let out = run(&s(&["info", db.to_str().unwrap()])).unwrap();
+        let out = run(&s(&["info", db.to_str().unwrap()])).unwrap().0;
         assert!(out.contains("500 points"));
 
         let out = run(&s(&[
@@ -335,7 +456,8 @@ mod tests {
             "-n",
             "2",
         ]))
-        .unwrap();
+        .unwrap()
+        .0;
         assert!(out.contains("3-2-match"));
         assert_eq!(out.matches("n-match diff").count(), 3);
 
@@ -350,13 +472,13 @@ mod tests {
             "1",
             "4",
         ]))
-        .unwrap();
+        .unwrap()
+        .0;
         assert!(out.contains("appears"));
 
         // The query answer matches the library oracle.
         let ds = knmatch_data::load_dataset(&csv).unwrap();
-        let oracle =
-            knmatch_core::k_n_match_scan(&ds, &[0.5, 0.5, 0.5, 0.5], 3, 2).unwrap();
+        let oracle = knmatch_core::k_n_match_scan(&ds, &[0.5, 0.5, 0.5, 0.5], 3, 2).unwrap();
         for e in &oracle.entries {
             assert!(out.len() > 0 && format!("{out}").len() > 0);
             let _ = e;
@@ -381,12 +503,21 @@ mod tests {
             "--out",
             f.to_str().unwrap(),
         ]))
-        .unwrap();
+        .unwrap()
+        .0;
         assert!(out.contains("wrote 60"));
         let lds = knmatch_data::labelled_from_csv(&std::fs::read_to_string(&f).unwrap()).unwrap();
         assert_eq!(lds.classes(), 3);
 
-        let out = run(&s(&["generate", "--kind", "coil", "--out", f.to_str().unwrap()])).unwrap();
+        let out = run(&s(&[
+            "generate",
+            "--kind",
+            "coil",
+            "--out",
+            f.to_str().unwrap(),
+        ]))
+        .unwrap()
+        .0;
         assert!(out.contains("wrote 100"));
         std::fs::remove_file(&f).ok();
     }
@@ -398,8 +529,17 @@ mod tests {
         assert!(run(&s(&["generate", "--kind", "nope", "--out", "/tmp/x"])).is_err());
         assert!(run(&s(&["build", "only-one-arg"])).is_err());
         assert!(run(&s(&["info", "/nonexistent/file.knm"])).is_err());
-        assert!(run(&s(&["query", "/nonexistent.knm", "--point", "1", "-k", "1", "-n", "1"]))
-            .is_err());
+        assert!(run(&s(&[
+            "query",
+            "/nonexistent.knm",
+            "--point",
+            "1",
+            "-k",
+            "1",
+            "-n",
+            "1"
+        ]))
+        .is_err());
     }
 
     #[test]
@@ -428,19 +568,35 @@ mod verify_bench_tests {
         let csv = dir.join("d.csv");
         let db = dir.join("d.knm");
         run(&s(&[
-            "generate", "--kind", "uniform", "--cardinality", "800", "--dims", "6", "--out",
+            "generate",
+            "--kind",
+            "uniform",
+            "--cardinality",
+            "800",
+            "--dims",
+            "6",
+            "--out",
             csv.to_str().unwrap(),
         ]))
         .unwrap();
         run(&s(&["build", csv.to_str().unwrap(), db.to_str().unwrap()])).unwrap();
 
-        let out = run(&s(&["verify", db.to_str().unwrap()])).unwrap();
+        let out = run(&s(&["verify", db.to_str().unwrap()])).unwrap().0;
         assert!(out.contains("OK"), "{out}");
 
         let out = run(&s(&[
-            "bench", db.to_str().unwrap(), "-k", "5", "--frequent", "2", "4", "--queries", "4",
+            "bench",
+            db.to_str().unwrap(),
+            "-k",
+            "5",
+            "--frequent",
+            "2",
+            "4",
+            "--queries",
+            "4",
         ]))
-        .unwrap();
+        .unwrap()
+        .0;
         assert!(out.contains("AD"), "{out}");
         assert!(out.contains("scan"), "{out}");
         assert!(out.contains("p95"));
@@ -459,6 +615,133 @@ mod verify_bench_tests {
 }
 
 #[cfg(test)]
+mod batch_tests {
+    use super::*;
+
+    fn s(parts: &[&str]) -> Vec<String> {
+        parts.iter().map(|p| p.to_string()).collect()
+    }
+
+    #[test]
+    fn batch_runs_all_query_kinds_and_matches_single_queries() {
+        let dir = std::env::temp_dir().join(format!("knmatch-cli-batch-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let data = dir.join("data.csv");
+        let queries = dir.join("queries.csv");
+        run(&s(&[
+            "generate",
+            "--kind",
+            "uniform",
+            "--cardinality",
+            "300",
+            "--dims",
+            "4",
+            "--out",
+            data.to_str().unwrap(),
+        ]))
+        .unwrap();
+        run(&s(&[
+            "generate",
+            "--kind",
+            "uniform",
+            "--cardinality",
+            "8",
+            "--dims",
+            "4",
+            "--seed",
+            "7",
+            "--out",
+            queries.to_str().unwrap(),
+        ]))
+        .unwrap();
+
+        for workers in ["1", "4"] {
+            let out = run(&s(&[
+                "batch",
+                data.to_str().unwrap(),
+                "--queries",
+                queries.to_str().unwrap(),
+                "-k",
+                "3",
+                "-n",
+                "2",
+                "--workers",
+                workers,
+            ]))
+            .unwrap()
+            .0;
+            assert!(out.contains("8 queries (3-2-match)"), "{out}");
+            assert!(out.contains("8 ok / 0 failed"), "{out}");
+            // Answers are worker-count independent: check one against the
+            // library oracle.
+            let ds = knmatch_data::load_dataset(&data).unwrap();
+            let qs = knmatch_data::load_dataset(&queries).unwrap();
+            let oracle = knmatch_core::k_n_match_scan(&ds, qs.point(0), 3, 2).unwrap();
+            let want: Vec<String> = oracle.ids().iter().map(|p| p.to_string()).collect();
+            assert!(out.contains(&format!("#0: [{}]", want.join(", "))), "{out}");
+        }
+
+        let out = run(&s(&[
+            "batch",
+            data.to_str().unwrap(),
+            "--queries",
+            queries.to_str().unwrap(),
+            "-k",
+            "2",
+            "--frequent",
+            "1",
+            "4",
+        ]))
+        .unwrap()
+        .0;
+        assert!(out.contains("frequent 2-n-match, n in [1, 4]"), "{out}");
+
+        let out = run(&s(&[
+            "batch",
+            data.to_str().unwrap(),
+            "--queries",
+            queries.to_str().unwrap(),
+            "--eps",
+            "0.05",
+            "-n",
+            "2",
+        ]))
+        .unwrap()
+        .0;
+        assert!(out.contains("eps-2-match"), "{out}");
+
+        // Per-query failures keep the batch running but clear the all-ok
+        // flag, so the process can exit non-zero.
+        let (out, all_ok) = run(&s(&[
+            "batch",
+            data.to_str().unwrap(),
+            "--queries",
+            queries.to_str().unwrap(),
+            "--eps",
+            "-1",
+            "-n",
+            "2",
+        ]))
+        .unwrap();
+        assert!(!all_ok);
+        assert!(out.contains("0 ok / 8 failed"), "{out}");
+        assert_eq!(out.matches("invalid epsilon -1").count(), 8);
+
+        assert!(run(&s(&["batch", data.to_str().unwrap()])).is_err());
+        assert!(run(&s(&[
+            "batch",
+            data.to_str().unwrap(),
+            "--queries",
+            queries.to_str().unwrap(),
+            "-k",
+            "3",
+        ]))
+        .is_err());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}
+
+#[cfg(test)]
 mod auto_plan_tests {
     use super::*;
 
@@ -470,17 +753,33 @@ mod auto_plan_tests {
         let db = dir.join("a.knm");
         let s = |parts: &[&str]| parts.iter().map(|p| p.to_string()).collect::<Vec<_>>();
         run(&s(&[
-            "generate", "--kind", "uniform", "--cardinality", "2000", "--dims", "8", "--out",
+            "generate",
+            "--kind",
+            "uniform",
+            "--cardinality",
+            "2000",
+            "--dims",
+            "8",
+            "--out",
             csv.to_str().unwrap(),
         ]))
         .unwrap();
         run(&s(&["build", csv.to_str().unwrap(), db.to_str().unwrap()])).unwrap();
         let point = "0.5,0.5,0.5,0.5,0.5,0.5,0.5,0.5";
         let out = run(&s(&[
-            "query", db.to_str().unwrap(), "--point", point, "-k", "5", "--frequent", "2", "4",
+            "query",
+            db.to_str().unwrap(),
+            "--point",
+            point,
+            "-k",
+            "5",
+            "--frequent",
+            "2",
+            "4",
             "--auto",
         ]))
-        .unwrap();
+        .unwrap()
+        .0;
         assert!(out.contains("planner chose"), "{out}");
         assert!(out.contains("appears"));
         std::fs::remove_dir_all(&dir).unwrap();

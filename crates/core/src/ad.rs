@@ -13,9 +13,10 @@
 //! attributes retrieved** (Theorems 3.2 / 3.3).
 
 use crate::error::{KnMatchError, Result};
-use crate::frontier::{AdWalker, Frontier, HeapFrontier, LinearFrontier};
-use crate::point::{validate_finite, PointId};
+use crate::frontier::{AdWalker, Frontier, LinearFrontier};
+use crate::point::validate_finite;
 use crate::result::{rank_frequent, FrequentResult, KnMatchResult, MatchEntry};
+use crate::scratch::{EpochMarks, Scratch};
 use crate::source::SortedAccessSource;
 
 /// Cost counters for one AD run, in the paper's cost model.
@@ -77,8 +78,29 @@ pub fn k_n_match_ad<S: SortedAccessSource>(
     k: usize,
     n: usize,
 ) -> Result<(KnMatchResult, AdStats)> {
-    let (mut freq, stats) = frequent_k_n_match_ad(src, query, k, n, n)?;
-    Ok((freq.per_n.pop().expect("single-n run yields one answer set"), stats))
+    k_n_match_ad_with(src, query, k, n, &mut Scratch::new())
+}
+
+/// [`k_n_match_ad`] with caller-provided working memory (see [`Scratch`]):
+/// identical answers and stats, but no per-query O(c) allocation.
+///
+/// # Errors
+///
+/// Validates the query shape and parameters; see [`KnMatchError`].
+pub fn k_n_match_ad_with<S: SortedAccessSource>(
+    src: &mut S,
+    query: &[f64],
+    k: usize,
+    n: usize,
+    scratch: &mut Scratch,
+) -> Result<(KnMatchResult, AdStats)> {
+    let (mut freq, stats) = frequent_k_n_match_ad_with(src, query, k, n, n, scratch)?;
+    Ok((
+        freq.per_n
+            .pop()
+            .expect("single-n run yields one answer set"),
+        stats,
+    ))
 }
 
 /// Answers a frequent k-n-match query (Definition 4) with algorithm
@@ -100,7 +122,26 @@ pub fn frequent_k_n_match_ad<S: SortedAccessSource>(
     n0: usize,
     n1: usize,
 ) -> Result<(FrequentResult, AdStats)> {
-    frequent_with_frontier::<S, HeapFrontier>(src, query, k, n0, n1)
+    frequent_k_n_match_ad_with(src, query, k, n0, n1, &mut Scratch::new())
+}
+
+/// [`frequent_k_n_match_ad`] with caller-provided working memory (see
+/// [`Scratch`]): identical answers and stats, but no per-query O(c)
+/// allocation or memset for the appearance/frequency counters.
+///
+/// # Errors
+///
+/// Validates the query shape and parameters; see [`KnMatchError`].
+pub fn frequent_k_n_match_ad_with<S: SortedAccessSource>(
+    src: &mut S,
+    query: &[f64],
+    k: usize,
+    n0: usize,
+    n1: usize,
+    scratch: &mut Scratch,
+) -> Result<(FrequentResult, AdStats)> {
+    let Scratch { marks, walker } = scratch;
+    frequent_core(src, query, k, n0, n1, walker, marks)
 }
 
 /// [`frequent_k_n_match_ad`] using the paper's literal `g[]` array (linear
@@ -118,34 +159,40 @@ pub fn frequent_k_n_match_ad_linear<S: SortedAccessSource>(
     n0: usize,
     n1: usize,
 ) -> Result<(FrequentResult, AdStats)> {
-    frequent_with_frontier::<S, LinearFrontier>(src, query, k, n0, n1)
+    let mut walker: AdWalker<LinearFrontier> = AdWalker::new_empty();
+    let mut marks = EpochMarks::new();
+    frequent_core(src, query, k, n0, n1, &mut walker, &mut marks)
 }
 
-fn frequent_with_frontier<S: SortedAccessSource, F: Frontier>(
+/// The FKNMatchAD loop against borrowed working memory. Every public
+/// entry point funnels here, so the sequential, scratch-reusing, and
+/// parallel paths are the same code and produce bit-identical answers
+/// and [`AdStats`].
+fn frequent_core<S: SortedAccessSource, F: Frontier>(
     src: &mut S,
     query: &[f64],
     k: usize,
     n0: usize,
     n1: usize,
+    walker: &mut AdWalker<F>,
+    marks: &mut EpochMarks,
 ) -> Result<(FrequentResult, AdStats)> {
     let d = src.dims();
     let c = src.cardinality();
     validate_params(query, d, c, k, n0, n1)?;
 
-    let mut appear = vec![0u16; c];
+    marks.begin(c);
+    walker.reseed(src, query);
     // S_{n0} … S_{n1}, filled in order of appearance (= ascending n-match
     // difference, Theorem 3.1).
     let mut sets: Vec<Vec<MatchEntry>> = vec![Vec::new(); n1 - n0 + 1];
-    let mut walker: AdWalker<F> = AdWalker::seed(src, query);
 
     let last_set = n1 - n0;
     while sets[last_set].len() < k {
         let (pid, diff) = walker
             .next_pop(src)
             .expect("g[] exhausted: all c·d attributes read, so every point appeared d ≥ n1 times");
-        let a = appear[pid as usize] + 1;
-        appear[pid as usize] = a;
-        let a = a as usize;
+        let a = marks.bump_appear(pid) as usize;
         if a >= n0 && a <= n1 {
             sets[a - n0].push(MatchEntry { pid, diff });
         }
@@ -154,25 +201,28 @@ fn frequent_with_frontier<S: SortedAccessSource, F: Frontier>(
     // Each S_n lists answers in ascending n-match-difference order; the
     // k-n-match answer set is its first k entries (S_{n1} has exactly k).
     let mut per_n = Vec::with_capacity(sets.len());
-    let mut counts: Vec<u32> = vec![0; c];
     for (i, mut set) in sets.into_iter().enumerate() {
         set.truncate(k);
         for e in &set {
-            counts[e.pid as usize] += 1;
+            marks.bump_count(e.pid);
         }
-        let mut res = KnMatchResult { n: n0 + i, entries: set };
+        let mut res = KnMatchResult {
+            n: n0 + i,
+            entries: set,
+        };
         res.normalise();
         per_n.push(res);
     }
-    let count_pairs: Vec<(PointId, u32)> = counts
-        .iter()
-        .enumerate()
-        .filter(|&(_, &cnt)| cnt > 0)
-        .map(|(pid, &cnt)| (pid as PointId, cnt))
-        .collect();
-    let entries = rank_frequent(&count_pairs, k);
+    let entries = rank_frequent(&marks.count_pairs(), k);
 
-    Ok((FrequentResult { range: (n0, n1), entries, per_n }, walker.stats))
+    Ok((
+        FrequentResult {
+            range: (n0, n1),
+            entries,
+            per_n,
+        },
+        walker.stats,
+    ))
 }
 
 /// Answers an **ε-n-match query**: every point whose n-match difference is
@@ -188,29 +238,45 @@ fn frequent_with_frontier<S: SortedAccessSource, F: Frontier>(
 ///
 /// Validates like [`k_n_match_ad`] (with `k` implicitly free), plus
 /// rejects a negative or non-finite `eps` via
-/// [`KnMatchError::NonFiniteValue`] on dimension 0.
+/// [`KnMatchError::InvalidEpsilon`].
 pub fn eps_n_match_ad<S: SortedAccessSource>(
     src: &mut S,
     query: &[f64],
     eps: f64,
     n: usize,
 ) -> Result<(KnMatchResult, AdStats)> {
+    eps_n_match_ad_with(src, query, eps, n, &mut Scratch::new())
+}
+
+/// [`eps_n_match_ad`] with caller-provided working memory (see
+/// [`Scratch`]): identical answers and stats, but no per-query O(c)
+/// allocation.
+///
+/// # Errors
+///
+/// As for [`eps_n_match_ad`].
+pub fn eps_n_match_ad_with<S: SortedAccessSource>(
+    src: &mut S,
+    query: &[f64],
+    eps: f64,
+    n: usize,
+    scratch: &mut Scratch,
+) -> Result<(KnMatchResult, AdStats)> {
     let d = src.dims();
     let c = src.cardinality();
     validate_params(query, d, c, 1, n, n)?;
     if !eps.is_finite() || eps < 0.0 {
-        return Err(KnMatchError::NonFiniteValue { dim: 0 });
+        return Err(KnMatchError::InvalidEpsilon { eps });
     }
-    let mut appear = vec![0u16; c];
+    let Scratch { marks, walker } = scratch;
+    marks.begin(c);
+    walker.reseed(src, query);
     let mut entries = Vec::new();
-    let mut walker: AdWalker<HeapFrontier> = AdWalker::seed(src, query);
     while let Some((pid, diff)) = walker.next_pop(src) {
         if diff > eps {
             break;
         }
-        let a = appear[pid as usize] + 1;
-        appear[pid as usize] = a;
-        if a as usize == n {
+        if marks.bump_appear(pid) as usize == n {
             entries.push(MatchEntry { pid, diff });
         }
     }
@@ -238,7 +304,10 @@ pub fn validate_params(
         return Err(KnMatchError::EmptyDataset);
     }
     if query.len() != d {
-        return Err(KnMatchError::DimensionMismatch { expected: d, actual: query.len() });
+        return Err(KnMatchError::DimensionMismatch {
+            expected: d,
+            actual: query.len(),
+        });
     }
     validate_finite(query)?;
     if k == 0 || k > c {
@@ -307,8 +376,12 @@ mod tests {
         let mut cols = fig3();
         let q = [3.0, 7.0, 4.0];
         let (res, _) = k_n_match_ad(&mut cols, &q, 1, 3).unwrap();
-        let cheb =
-            |p: &[f64]| p.iter().zip(&q).map(|(a, b)| (a - b).abs()).fold(0.0f64, f64::max);
+        let cheb = |p: &[f64]| {
+            p.iter()
+                .zip(&q)
+                .map(|(a, b)| (a - b).abs())
+                .fold(0.0f64, f64::max)
+        };
         let best = ds
             .iter()
             .min_by(|a, b| cheb(a.1).total_cmp(&cheb(b.1)))
@@ -363,9 +436,51 @@ mod tests {
     #[test]
     fn eps_validation() {
         let mut cols = fig3();
-        assert!(eps_n_match_ad(&mut cols, &[0.0; 3], -1.0, 1).is_err());
-        assert!(eps_n_match_ad(&mut cols, &[0.0; 3], f64::NAN, 1).is_err());
-        assert!(eps_n_match_ad(&mut cols, &[0.0; 3], 1.0, 4).is_err());
+        assert_eq!(
+            eps_n_match_ad(&mut cols, &[0.0; 3], -1.0, 1),
+            Err(KnMatchError::InvalidEpsilon { eps: -1.0 })
+        );
+        assert!(matches!(
+            eps_n_match_ad(&mut cols, &[0.0; 3], f64::NAN, 1),
+            Err(KnMatchError::InvalidEpsilon { .. })
+        ));
+        assert!(matches!(
+            eps_n_match_ad(&mut cols, &[0.0; 3], f64::INFINITY, 1),
+            Err(KnMatchError::InvalidEpsilon { .. })
+        ));
+        // Parameter errors still report as such, not as epsilon problems.
+        assert!(matches!(
+            eps_n_match_ad(&mut cols, &[0.0; 3], 1.0, 4),
+            Err(KnMatchError::InvalidRange { .. })
+        ));
+    }
+
+    #[test]
+    fn reused_scratch_is_identical_to_fresh_across_query_kinds() {
+        let mut cols = fig3();
+        let mut scratch = Scratch::new();
+        let queries = [
+            [3.0, 7.0, 4.0],
+            [0.0, 0.0, 0.0],
+            [9.0, 9.0, 9.0],
+            [2.8, 5.5, 2.0],
+        ];
+        for q in &queries {
+            let with = frequent_k_n_match_ad_with(&mut cols, q, 2, 1, 3, &mut scratch).unwrap();
+            let fresh = frequent_k_n_match_ad(&mut cols, q, 2, 1, 3).unwrap();
+            assert_eq!(with, fresh);
+            let with = k_n_match_ad_with(&mut cols, q, 3, 2, &mut scratch).unwrap();
+            let fresh = k_n_match_ad(&mut cols, q, 3, 2).unwrap();
+            assert_eq!(with, fresh);
+            let with = eps_n_match_ad_with(&mut cols, q, 2.0, 2, &mut scratch).unwrap();
+            let fresh = eps_n_match_ad(&mut cols, q, 2.0, 2).unwrap();
+            assert_eq!(with, fresh);
+        }
+        // A smaller source after a larger one must not see stale counters.
+        let mut small = SortedColumns::from_rows(&[[1.0], [2.0]]).unwrap();
+        let with = k_n_match_ad_with(&mut small, &[1.4], 1, 1, &mut scratch).unwrap();
+        let fresh = k_n_match_ad(&mut small, &[1.4], 1, 1).unwrap();
+        assert_eq!(with, fresh);
     }
 
     #[test]
@@ -384,7 +499,7 @@ mod tests {
         // All data below the query in every dimension: only down-cursors live.
         let (res, _) = k_n_match_ad(&mut cols, &[100.0, 100.0, 100.0], 1, 3).unwrap();
         assert_eq!(res.ids(), vec![3]); // (9,9,9) is the closest everywhere
-        // And from below.
+                                        // And from below.
         let (res, _) = k_n_match_ad(&mut cols, &[-5.0, -5.0, -5.0], 1, 3).unwrap();
         assert_eq!(res.ids(), vec![0]);
     }
@@ -440,7 +555,11 @@ mod tests {
 
     #[test]
     fn stats_fraction() {
-        let s = AdStats { attributes_retrieved: 30, locate_probes: 3, heap_pops: 25 };
+        let s = AdStats {
+            attributes_retrieved: 30,
+            locate_probes: 3,
+            heap_pops: 25,
+        };
         assert!((s.retrieved_fraction(10, 10) - 0.3).abs() < 1e-12);
         assert_eq!(AdStats::default().retrieved_fraction(0, 0), 0.0);
     }

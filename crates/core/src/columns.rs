@@ -37,12 +37,19 @@ impl SortedColumns {
         let mut columns = Vec::with_capacity(dims);
         for dim in 0..dims {
             let mut col: Vec<SortedEntry> = (0..cardinality)
-                .map(|i| SortedEntry { pid: i as PointId, value: ds.coord(i as PointId, dim) })
+                .map(|i| SortedEntry {
+                    pid: i as PointId,
+                    value: ds.coord(i as PointId, dim),
+                })
                 .collect();
             col.sort_unstable_by(|a, b| a.value.total_cmp(&b.value).then(a.pid.cmp(&b.pid)));
             columns.push(col);
         }
-        SortedColumns { dims, cardinality, columns }
+        SortedColumns {
+            dims,
+            cardinality,
+            columns,
+        }
     }
 
     /// Builds directly from row slices (validates like [`Dataset::from_rows`]).
@@ -75,6 +82,29 @@ impl SortedColumns {
 }
 
 impl SortedAccessSource for SortedColumns {
+    fn dims(&self) -> usize {
+        self.dims
+    }
+
+    fn cardinality(&self) -> usize {
+        self.cardinality
+    }
+
+    fn locate(&mut self, dim: usize, q: f64) -> usize {
+        self.columns[dim].partition_point(|e| e.value < q)
+    }
+
+    fn entry(&mut self, dim: usize, rank: usize) -> SortedEntry {
+        self.columns[dim][rank]
+    }
+}
+
+/// Sorted access never mutates the columns, so a shared reference is a
+/// source too. This is what lets many worker threads walk one
+/// `Arc<SortedColumns>` concurrently (each holds its own `&SortedColumns`
+/// value and passes `&mut` *to that reference*); see
+/// [`QueryEngine`](crate::QueryEngine).
+impl SortedAccessSource for &SortedColumns {
     fn dims(&self) -> usize {
         self.dims
     }

@@ -117,10 +117,14 @@ impl DynamicColumns {
         self.coords.extend_from_slice(point);
         for (dim, &v) in point.iter().enumerate() {
             let col = &mut self.columns[dim];
-            let pos = col.partition_point(|e| {
-                e.value < v || (e.value == v && e.pid < slot)
-            });
-            col.insert(pos, SortedEntry { pid: slot, value: v });
+            let pos = col.partition_point(|e| e.value < v || (e.value == v && e.pid < slot));
+            col.insert(
+                pos,
+                SortedEntry {
+                    pid: slot,
+                    value: v,
+                },
+            );
         }
         Ok(())
     }
@@ -145,8 +149,7 @@ impl DynamicColumns {
         let last = self.keys.len() - 1;
         if s != last {
             let moved_key = self.keys[last];
-            let moved: Vec<f64> =
-                self.coords[last * self.dims..(last + 1) * self.dims].to_vec();
+            let moved: Vec<f64> = self.coords[last * self.dims..(last + 1) * self.dims].to_vec();
             for (dim, &v) in moved.iter().enumerate() {
                 let pos = self.find_entry(dim, v, last as PointId);
                 self.columns[dim][pos].pid = slot;
@@ -165,9 +168,7 @@ impl DynamicColumns {
     /// Rank of the entry `(value, pid)` in `dim` (it must exist).
     fn find_entry(&self, dim: usize, value: f64, pid: PointId) -> usize {
         let col = &self.columns[dim];
-        let mut pos = col.partition_point(|e| {
-            e.value < value || (e.value == value && e.pid < pid)
-        });
+        let mut pos = col.partition_point(|e| e.value < value || (e.value == value && e.pid < pid));
         // Defensive scan over any exact duplicates.
         while col[pos].pid != pid {
             pos += 1;
@@ -181,13 +182,21 @@ impl DynamicColumns {
     /// # Errors
     ///
     /// Validates like [`crate::k_n_match_ad`].
-    pub fn k_n_match(&mut self, query: &[f64], k: usize, n: usize) -> Result<(Vec<KeyedMatch>, AdStats)> {
+    pub fn k_n_match(
+        &mut self,
+        query: &[f64],
+        k: usize,
+        n: usize,
+    ) -> Result<(Vec<KeyedMatch>, AdStats)> {
         let keys = self.keys.clone();
         let (res, stats) = crate::ad::k_n_match_ad(self, query, k, n)?;
         Ok((
             res.entries
                 .iter()
-                .map(|e| KeyedMatch { key: keys[e.pid as usize], diff: e.diff })
+                .map(|e| KeyedMatch {
+                    key: keys[e.pid as usize],
+                    diff: e.diff,
+                })
                 .collect(),
             stats,
         ))
@@ -209,7 +218,10 @@ impl DynamicColumns {
         let (res, stats): (FrequentResult, AdStats) =
             crate::ad::frequent_k_n_match_ad(self, query, k, n0, n1)?;
         Ok((
-            res.entries.iter().map(|e| (keys[e.pid as usize], e.count)).collect(),
+            res.entries
+                .iter()
+                .map(|e| (keys[e.pid as usize], e.count))
+                .collect(),
             stats,
         ))
     }
@@ -239,8 +251,8 @@ mod tests {
     use crate::{k_n_match_scan, Dataset};
 
     fn naive_top(rows: &[(u64, Vec<f64>)], q: &[f64], k: usize, n: usize) -> Vec<u64> {
-        let ds = Dataset::from_rows(&rows.iter().map(|(_, p)| p.clone()).collect::<Vec<_>>())
-            .unwrap();
+        let ds =
+            Dataset::from_rows(&rows.iter().map(|(_, p)| p.clone()).collect::<Vec<_>>()).unwrap();
         k_n_match_scan(&ds, q, k, n)
             .unwrap()
             .ids()
@@ -338,7 +350,8 @@ mod tests {
     fn column_invariants_after_churn() {
         let mut idx = DynamicColumns::new(2).unwrap();
         for i in 0..50u64 {
-            idx.insert(i, &[(i as f64 * 0.31) % 1.0, (i as f64 * 0.17) % 1.0]).unwrap();
+            idx.insert(i, &[(i as f64 * 0.31) % 1.0, (i as f64 * 0.17) % 1.0])
+                .unwrap();
         }
         for i in (0..50u64).step_by(3) {
             idx.remove(i).unwrap();

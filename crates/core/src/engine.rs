@@ -1,0 +1,314 @@
+//! Parallel batch execution of matching queries over one shared
+//! sorted-column organisation.
+//!
+//! The AD algorithm is read-only over [`SortedColumns`], so a batch of
+//! queries parallelises trivially: `W` worker threads claim queries from a
+//! shared atomic counter and each walks the same `Arc<SortedColumns>`
+//! through its own [`Scratch`]. Because every query runs the exact same
+//! `frequent_core` loop as the sequential entry points — same frontier,
+//! same tie-breaking, same counters — the engine's answers and
+//! [`AdStats`] are bit-for-bit identical to a sequential loop, in the
+//! same order as the input batch, regardless of worker count or
+//! scheduling.
+//!
+//! Workers use `std::thread::scope` (no extra dependencies, no `unsafe`)
+//! and keep one reusable `Scratch` each, so a batch of `q` queries costs
+//! `W` scratch allocations, not `q`.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{mpsc, Arc};
+use std::thread;
+
+use crate::ad::{eps_n_match_ad_with, frequent_k_n_match_ad_with, k_n_match_ad_with, AdStats};
+use crate::columns::SortedColumns;
+use crate::error::Result;
+use crate::result::{FrequentResult, KnMatchResult};
+use crate::scratch::Scratch;
+
+/// Queries claimed per worker fetch-add (see [`QueryEngine::run`]).
+const CLAIM_CHUNK: usize = 4;
+
+/// One query of a batch: the three AD-backed query kinds.
+#[derive(Debug, Clone, PartialEq)]
+pub enum BatchQuery {
+    /// A k-n-match query (Definition 3).
+    KnMatch {
+        /// The query point.
+        query: Vec<f64>,
+        /// Answer-set size.
+        k: usize,
+        /// Number of matching dimensions.
+        n: usize,
+    },
+    /// A frequent k-n-match query (Definition 4) over `n ∈ [n0, n1]`.
+    Frequent {
+        /// The query point.
+        query: Vec<f64>,
+        /// Answer-set size.
+        k: usize,
+        /// Lower end of the n range.
+        n0: usize,
+        /// Upper end of the n range.
+        n1: usize,
+    },
+    /// An ε-n-match query: all points within threshold `eps`.
+    EpsMatch {
+        /// The query point.
+        query: Vec<f64>,
+        /// The n-match-difference threshold.
+        eps: f64,
+        /// Number of matching dimensions.
+        n: usize,
+    },
+}
+
+/// The answer to one [`BatchQuery`], mirroring its variant.
+#[derive(Debug, Clone, PartialEq)]
+pub enum BatchAnswer {
+    /// Answer to [`BatchQuery::KnMatch`].
+    KnMatch(KnMatchResult),
+    /// Answer to [`BatchQuery::Frequent`].
+    Frequent(FrequentResult),
+    /// Answer to [`BatchQuery::EpsMatch`].
+    EpsMatch(KnMatchResult),
+}
+
+/// Executes batches of matching queries in parallel over one shared
+/// [`SortedColumns`].
+///
+/// # Examples
+///
+/// ```
+/// use std::sync::Arc;
+/// use knmatch_core::{BatchAnswer, BatchQuery, Dataset, QueryEngine, SortedColumns};
+///
+/// let ds = knmatch_core::paper::fig3_dataset();
+/// let engine = QueryEngine::new(Arc::new(SortedColumns::build(&ds)));
+/// let batch = vec![
+///     BatchQuery::KnMatch { query: vec![3.0, 7.0, 4.0], k: 2, n: 2 },
+///     BatchQuery::Frequent { query: vec![3.0, 7.0, 4.0], k: 2, n0: 1, n1: 3 },
+/// ];
+/// let results = engine.run(&batch);
+/// let (BatchAnswer::KnMatch(first), _) = results[0].as_ref().unwrap() else {
+///     unreachable!()
+/// };
+/// assert_eq!(first.ids(), vec![2, 1]);
+/// ```
+#[derive(Debug, Clone)]
+pub struct QueryEngine {
+    cols: Arc<SortedColumns>,
+    workers: usize,
+}
+
+impl QueryEngine {
+    /// An engine over `cols` with one worker per available CPU.
+    pub fn new(cols: Arc<SortedColumns>) -> Self {
+        let workers = thread::available_parallelism().map_or(1, |n| n.get());
+        Self::with_workers(cols, workers)
+    }
+
+    /// An engine with an explicit worker count (clamped to ≥ 1). One
+    /// worker means [`run`](Self::run) executes on the calling thread.
+    pub fn with_workers(cols: Arc<SortedColumns>, workers: usize) -> Self {
+        QueryEngine {
+            cols,
+            workers: workers.max(1),
+        }
+    }
+
+    /// The shared column organisation.
+    pub fn columns(&self) -> &Arc<SortedColumns> {
+        &self.cols
+    }
+
+    /// The configured worker count.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Executes one query against caller-provided scratch, on the calling
+    /// thread. [`run`](Self::run) is a parallel loop over exactly this, so
+    /// cross-checking the two paths needs no test-only hooks.
+    ///
+    /// # Errors
+    ///
+    /// Per-query parameter validation; see
+    /// [`KnMatchError`](crate::KnMatchError).
+    pub fn execute(
+        &self,
+        query: &BatchQuery,
+        scratch: &mut Scratch,
+    ) -> Result<(BatchAnswer, AdStats)> {
+        // `&SortedColumns` implements `SortedAccessSource`; taking `&mut`
+        // of the local reference (not the columns) keeps the shared data
+        // immutable.
+        let mut view: &SortedColumns = &self.cols;
+        match query {
+            BatchQuery::KnMatch { query, k, n } => {
+                k_n_match_ad_with(&mut view, query, *k, *n, scratch)
+                    .map(|(r, s)| (BatchAnswer::KnMatch(r), s))
+            }
+            BatchQuery::Frequent { query, k, n0, n1 } => {
+                frequent_k_n_match_ad_with(&mut view, query, *k, *n0, *n1, scratch)
+                    .map(|(r, s)| (BatchAnswer::Frequent(r), s))
+            }
+            BatchQuery::EpsMatch { query, eps, n } => {
+                eps_n_match_ad_with(&mut view, query, *eps, *n, scratch)
+                    .map(|(r, s)| (BatchAnswer::EpsMatch(r), s))
+            }
+        }
+    }
+
+    /// Executes the whole batch, returning one result per query in input
+    /// order. Invalid queries yield their validation error without
+    /// affecting the rest of the batch.
+    pub fn run(&self, queries: &[BatchQuery]) -> Vec<Result<(BatchAnswer, AdStats)>> {
+        let workers = self.workers.min(queries.len());
+        if workers <= 1 {
+            let mut scratch = Scratch::new();
+            return queries
+                .iter()
+                .map(|q| self.execute(q, &mut scratch))
+                .collect();
+        }
+
+        let next = AtomicUsize::new(0);
+        let (tx, rx) = mpsc::channel();
+        thread::scope(|s| {
+            for _ in 0..workers {
+                let tx = tx.clone();
+                let next = &next;
+                s.spawn(move || {
+                    let mut scratch = Scratch::new();
+                    let mut done: Vec<(usize, Result<(BatchAnswer, AdStats)>)> = Vec::new();
+                    loop {
+                        // Claim a small chunk per atomic op; big enough to
+                        // keep contention negligible, small enough that a
+                        // straggler chunk cannot unbalance the batch.
+                        let start = next.fetch_add(CLAIM_CHUNK, Ordering::Relaxed);
+                        if start >= queries.len() {
+                            break;
+                        }
+                        let end = (start + CLAIM_CHUNK).min(queries.len());
+                        for (i, q) in queries[start..end].iter().enumerate() {
+                            done.push((start + i, self.execute(q, &mut scratch)));
+                        }
+                    }
+                    // One send per worker: answers travel in bulk, not one
+                    // channel node per query.
+                    let _ = tx.send(done);
+                });
+            }
+        });
+        drop(tx);
+
+        let mut slots: Vec<Option<Result<(BatchAnswer, AdStats)>>> =
+            (0..queries.len()).map(|_| None).collect();
+        for done in rx {
+            for (i, out) in done {
+                slots[i] = Some(out);
+            }
+        }
+        slots
+            .into_iter()
+            .map(|s| s.expect("each claimed index sends exactly one result"))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ad::{frequent_k_n_match_ad, k_n_match_ad};
+    use crate::error::KnMatchError;
+
+    fn engine(workers: usize) -> QueryEngine {
+        let ds = crate::paper::fig3_dataset();
+        QueryEngine::with_workers(Arc::new(SortedColumns::build(&ds)), workers)
+    }
+
+    fn batch() -> Vec<BatchQuery> {
+        vec![
+            BatchQuery::KnMatch {
+                query: vec![3.0, 7.0, 4.0],
+                k: 2,
+                n: 2,
+            },
+            BatchQuery::Frequent {
+                query: vec![3.0, 7.0, 4.0],
+                k: 2,
+                n0: 1,
+                n1: 3,
+            },
+            BatchQuery::EpsMatch {
+                query: vec![3.0, 7.0, 4.0],
+                eps: 1.6,
+                n: 2,
+            },
+            BatchQuery::KnMatch {
+                query: vec![0.0, 0.0, 0.0],
+                k: 1,
+                n: 3,
+            },
+        ]
+    }
+
+    #[test]
+    fn parallel_equals_sequential_wrappers() {
+        let mut cols = SortedColumns::build(&crate::paper::fig3_dataset());
+        for workers in [1, 2, 4, 9] {
+            let results = engine(workers).run(&batch());
+            let (want, ws) = k_n_match_ad(&mut cols, &[3.0, 7.0, 4.0], 2, 2).unwrap();
+            let (got, gs) = match results[0].as_ref().unwrap() {
+                (BatchAnswer::KnMatch(r), s) => (r, s),
+                other => panic!("wrong variant: {other:?}"),
+            };
+            assert_eq!((got, gs), (&want, &ws));
+            let (want, ws) = frequent_k_n_match_ad(&mut cols, &[3.0, 7.0, 4.0], 2, 1, 3).unwrap();
+            let (got, gs) = match results[1].as_ref().unwrap() {
+                (BatchAnswer::Frequent(r), s) => (r, s),
+                other => panic!("wrong variant: {other:?}"),
+            };
+            assert_eq!((got, gs), (&want, &ws));
+        }
+    }
+
+    #[test]
+    fn invalid_queries_fail_individually() {
+        let e = engine(2);
+        let mut queries = batch();
+        queries.push(BatchQuery::KnMatch {
+            query: vec![1.0],
+            k: 1,
+            n: 1,
+        });
+        queries.push(BatchQuery::EpsMatch {
+            query: vec![0.0; 3],
+            eps: -1.0,
+            n: 1,
+        });
+        let results = e.run(&queries);
+        assert!(results[..4].iter().all(Result::is_ok));
+        assert!(matches!(
+            results[4],
+            Err(KnMatchError::DimensionMismatch { .. })
+        ));
+        assert!(matches!(
+            results[5],
+            Err(KnMatchError::InvalidEpsilon { .. })
+        ));
+    }
+
+    #[test]
+    fn empty_batch_and_accessors() {
+        let e = engine(3);
+        assert!(e.run(&[]).is_empty());
+        assert_eq!(e.workers(), 3);
+        assert_eq!(e.columns().cardinality(), 5);
+        assert!(QueryEngine::new(e.columns().clone()).workers() >= 1);
+        assert_eq!(
+            QueryEngine::with_workers(e.columns().clone(), 0).workers(),
+            1
+        );
+    }
+}

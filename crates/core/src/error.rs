@@ -3,7 +3,7 @@
 use std::fmt;
 
 /// Errors raised when validating or executing a (frequent) k-n-match query.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum KnMatchError {
     /// The query point's dimensionality differs from the dataset's.
     DimensionMismatch {
@@ -45,28 +45,48 @@ pub enum KnMatchError {
     },
     /// A point with zero dimensions was supplied.
     ZeroDimensions,
+    /// An ε-n-match threshold was negative, NaN, or infinite.
+    InvalidEpsilon {
+        /// The offending threshold.
+        eps: f64,
+    },
 }
 
 impl fmt::Display for KnMatchError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match *self {
             KnMatchError::DimensionMismatch { expected, actual } => {
-                write!(f, "dimension mismatch: dataset has {expected} dims, point has {actual}")
+                write!(
+                    f,
+                    "dimension mismatch: dataset has {expected} dims, point has {actual}"
+                )
             }
             KnMatchError::InvalidK { k, cardinality } => {
-                write!(f, "invalid k={k}: must satisfy 1 <= k <= cardinality ({cardinality})")
+                write!(
+                    f,
+                    "invalid k={k}: must satisfy 1 <= k <= cardinality ({cardinality})"
+                )
             }
             KnMatchError::InvalidN { n, dims } => {
-                write!(f, "invalid n={n}: must satisfy 1 <= n <= dimensionality ({dims})")
+                write!(
+                    f,
+                    "invalid n={n}: must satisfy 1 <= n <= dimensionality ({dims})"
+                )
             }
             KnMatchError::InvalidRange { n0, n1, dims } => {
-                write!(f, "invalid range [{n0}, {n1}]: must satisfy 1 <= n0 <= n1 <= d ({dims})")
+                write!(
+                    f,
+                    "invalid range [{n0}, {n1}]: must satisfy 1 <= n0 <= n1 <= d ({dims})"
+                )
             }
             KnMatchError::EmptyDataset => write!(f, "dataset is empty"),
             KnMatchError::NonFiniteValue { dim } => {
                 write!(f, "non-finite coordinate in dimension {dim}")
             }
             KnMatchError::ZeroDimensions => write!(f, "points must have at least one dimension"),
+            KnMatchError::InvalidEpsilon { eps } => {
+                write!(f, "invalid epsilon {eps}: must be finite and non-negative")
+            }
         }
     }
 }
@@ -82,17 +102,29 @@ mod tests {
 
     #[test]
     fn display_messages_mention_parameters() {
-        let e = KnMatchError::DimensionMismatch { expected: 4, actual: 3 };
+        let e = KnMatchError::DimensionMismatch {
+            expected: 4,
+            actual: 3,
+        };
         assert!(e.to_string().contains('4') && e.to_string().contains('3'));
-        let e = KnMatchError::InvalidK { k: 9, cardinality: 5 };
+        let e = KnMatchError::InvalidK {
+            k: 9,
+            cardinality: 5,
+        };
         assert!(e.to_string().contains("k=9"));
         let e = KnMatchError::InvalidN { n: 7, dims: 4 };
         assert!(e.to_string().contains("n=7"));
-        let e = KnMatchError::InvalidRange { n0: 3, n1: 2, dims: 4 };
+        let e = KnMatchError::InvalidRange {
+            n0: 3,
+            n1: 2,
+            dims: 4,
+        };
         assert!(e.to_string().contains("[3, 2]"));
         assert_eq!(KnMatchError::EmptyDataset.to_string(), "dataset is empty");
         let e = KnMatchError::NonFiniteValue { dim: 2 };
         assert!(e.to_string().contains("dimension 2"));
+        let e = KnMatchError::InvalidEpsilon { eps: -0.5 };
+        assert!(e.to_string().contains("-0.5") && e.to_string().contains("epsilon"));
     }
 
     #[test]

@@ -87,12 +87,15 @@ impl GradedLists {
         let dims = grades.dims();
         let mut lists = Vec::with_capacity(dims);
         for dim in 0..dims {
-            let mut l: Vec<(PointId, f64)> =
-                grades.iter().map(|(pid, p)| (pid, p[dim])).collect();
+            let mut l: Vec<(PointId, f64)> = grades.iter().map(|(pid, p)| (pid, p[dim])).collect();
             l.sort_unstable_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
             lists.push(l);
         }
-        GradedLists { dims, lists, grades: grades.clone() }
+        GradedLists {
+            dims,
+            lists,
+            grades: grades.clone(),
+        }
     }
 
     /// Number of objects.
@@ -115,7 +118,10 @@ impl GradedLists {
             return Err(KnMatchError::EmptyDataset);
         }
         if k == 0 || k > self.len() {
-            return Err(KnMatchError::InvalidK { k, cardinality: self.len() });
+            return Err(KnMatchError::InvalidK {
+                k,
+                cardinality: self.len(),
+            });
         }
         Ok(())
     }
@@ -160,7 +166,11 @@ impl GradedLists {
             // TopK keeps smallest; we want largest score → negate.
             top.offer(pid, -score);
         }
-        let out = top.into_sorted().into_iter().map(|(pid, s)| (pid, -s)).collect();
+        let out = top
+            .into_sorted()
+            .into_iter()
+            .map(|(pid, s)| (pid, -s))
+            .collect();
         Ok((out, stats))
     }
 
@@ -200,7 +210,11 @@ impl GradedLists {
                 }
             }
         }
-        let out = top.into_sorted().into_iter().map(|(pid, s)| (pid, -s)).collect();
+        let out = top
+            .into_sorted()
+            .into_iter()
+            .map(|(pid, s)| (pid, -s))
+            .collect();
         Ok((out, stats))
     }
 
@@ -231,13 +245,11 @@ impl GradedLists {
                 }
             }
         }
-        candidates
-            .into_iter()
-            .min_by(|&a, &b| {
-                let da = crate::nmatch_difference(self.grades.point(a), query, n);
-                let db = crate::nmatch_difference(self.grades.point(b), query, n);
-                da.total_cmp(&db).then(a.cmp(&b))
-            })
+        candidates.into_iter().min_by(|&a, &b| {
+            let da = crate::nmatch_difference(self.grades.point(a), query, n);
+            let db = crate::nmatch_difference(self.grades.point(b), query, n);
+            da.total_cmp(&db).then(a.cmp(&b))
+        })
     }
 }
 
@@ -256,8 +268,7 @@ mod tests {
     }
 
     fn brute_top<T: MonotoneAggregate>(ds: &Dataset, t: &T, k: usize) -> Vec<PointId> {
-        let mut v: Vec<(PointId, f64)> =
-            ds.iter().map(|(pid, p)| (pid, t.combine(p))).collect();
+        let mut v: Vec<(PointId, f64)> = ds.iter().map(|(pid, p)| (pid, t.combine(p))).collect();
         v.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
         v.truncate(k);
         v.into_iter().map(|(pid, _)| pid).collect()
@@ -279,7 +290,9 @@ mod tests {
     fn ta_weighted_sum_matches_bruteforce() {
         let ds = grades();
         let lists = GradedLists::build(&ds);
-        let t = WeightedSum { weights: vec![1.0, 2.0, 0.5] };
+        let t = WeightedSum {
+            weights: vec![1.0, 2.0, 0.5],
+        };
         for k in 1..=4 {
             let (got, _) = lists.ta(&t, k).unwrap();
             let ids: Vec<PointId> = got.iter().map(|&(pid, _)| pid).collect();
@@ -304,12 +317,19 @@ mod tests {
         let q = crate::paper::fig3_query();
         let lists = GradedLists::build(&ds);
         let fa_answer = lists.fa_misapplied_nmatch(&q, 1).expect("non-empty");
-        assert_eq!(fa_answer, 0, "FA's row scan fully sees point 1 (0-based 0) first");
+        assert_eq!(
+            fa_answer, 0,
+            "FA's row scan fully sees point 1 (0-based 0) first"
+        );
         // Whereas the AD algorithm returns the correct 1-match: point 2.
         let mut cols = crate::SortedColumns::build(&ds);
         let (correct, _) = crate::k_n_match_ad(&mut cols, &q, 1, 1).unwrap();
         assert_eq!(correct.ids(), vec![1]);
-        assert_ne!(fa_answer, correct.ids()[0], "the paper's inapplicability claim");
+        assert_ne!(
+            fa_answer,
+            correct.ids()[0],
+            "the paper's inapplicability claim"
+        );
     }
 
     #[test]

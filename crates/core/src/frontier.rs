@@ -49,6 +49,10 @@ pub(crate) trait Frontier {
     /// Creates a frontier for `2d` cursors.
     fn with_cursors(cursors: usize) -> Self;
 
+    /// Empties the frontier and re-sizes it for `cursors` cursors, keeping
+    /// any allocation (so a reused walker allocates nothing per query).
+    fn reset(&mut self, cursors: usize);
+
     /// Adds a triple (each cursor has at most one triple in flight).
     fn push(&mut self, t: Triple);
 
@@ -64,7 +68,16 @@ pub(crate) struct HeapFrontier {
 
 impl Frontier for HeapFrontier {
     fn with_cursors(cursors: usize) -> Self {
-        HeapFrontier { heap: BinaryHeap::with_capacity(cursors) }
+        HeapFrontier {
+            heap: BinaryHeap::with_capacity(cursors),
+        }
+    }
+
+    fn reset(&mut self, cursors: usize) {
+        self.heap.clear();
+        if self.heap.capacity() < cursors {
+            self.heap.reserve(cursors - self.heap.capacity());
+        }
     }
 
     fn push(&mut self, t: Triple) {
@@ -85,11 +98,21 @@ pub(crate) struct LinearFrontier {
 
 impl Frontier for LinearFrontier {
     fn with_cursors(cursors: usize) -> Self {
-        LinearFrontier { slots: vec![None; cursors] }
+        LinearFrontier {
+            slots: vec![None; cursors],
+        }
+    }
+
+    fn reset(&mut self, cursors: usize) {
+        self.slots.clear();
+        self.slots.resize(cursors, None);
     }
 
     fn push(&mut self, t: Triple) {
-        debug_assert!(self.slots[t.cid as usize].is_none(), "one triple per cursor");
+        debug_assert!(
+            self.slots[t.cid as usize].is_none(),
+            "one triple per cursor"
+        );
         self.slots[t.cid as usize] = Some(t);
     }
 
@@ -124,29 +147,55 @@ pub(crate) struct AdWalker<F: Frontier> {
     pub(crate) stats: AdStats,
 }
 
+impl<F: Frontier> Default for AdWalker<F> {
+    fn default() -> Self {
+        Self::new_empty()
+    }
+}
+
 impl<F: Frontier> AdWalker<F> {
-    /// Seeds the walker: binary-search each dimension, push the closest
-    /// attribute in each direction.
-    pub(crate) fn seed<S: SortedAccessSource>(src: &mut S, query: &[f64]) -> Self {
+    /// An unseeded walker holding no state; [`reseed`](Self::reseed) it
+    /// before walking. Exists so a walker can live in reusable scratch.
+    pub(crate) fn new_empty() -> Self {
+        AdWalker {
+            query: Vec::new(),
+            frontier: F::with_cursors(0),
+            cursors: Vec::new(),
+            cardinality: 0,
+            stats: AdStats::default(),
+        }
+    }
+
+    /// Re-points the walker at a new (source, query) pair, reusing every
+    /// buffer: binary-search each dimension, push the closest attribute in
+    /// each direction. Stats restart from zero.
+    pub(crate) fn reseed<S: SortedAccessSource>(&mut self, src: &mut S, query: &[f64]) {
         let d = src.dims();
         let c = src.cardinality();
-        let mut walker = AdWalker {
-            query: query.to_vec(),
-            frontier: F::with_cursors(2 * d),
-            cursors: vec![Cursor { last: 0 }; 2 * d],
-            cardinality: c,
-            stats: AdStats::default(),
-        };
-        for dim in 0..d {
-            let pos = src.locate(dim, query[dim]);
-            walker.stats.locate_probes += 1;
+        self.query.clear();
+        self.query.extend_from_slice(query);
+        self.frontier.reset(2 * d);
+        self.cursors.clear();
+        self.cursors.resize(2 * d, Cursor { last: 0 });
+        self.cardinality = c;
+        self.stats = AdStats::default();
+        for (dim, &qv) in query.iter().enumerate() {
+            let pos = src.locate(dim, qv);
+            self.stats.locate_probes += 1;
             if pos > 0 {
-                walker.read_into_frontier(src, dim, pos - 1, (2 * dim) as u32);
+                self.read_into_frontier(src, dim, pos - 1, (2 * dim) as u32);
             }
             if pos < c {
-                walker.read_into_frontier(src, dim, pos, (2 * dim + 1) as u32);
+                self.read_into_frontier(src, dim, pos, (2 * dim + 1) as u32);
             }
         }
+    }
+
+    /// Seeds a fresh walker: binary-search each dimension, push the closest
+    /// attribute in each direction.
+    pub(crate) fn seed<S: SortedAccessSource>(src: &mut S, query: &[f64]) -> Self {
+        let mut walker = Self::new_empty();
+        walker.reseed(src, query);
         walker
     }
 
@@ -227,11 +276,43 @@ mod tests {
     }
 
     #[test]
+    fn reseeded_walker_equals_fresh_walker() {
+        let ds = crate::paper::fig3_dataset();
+        let mut cols = SortedColumns::build(&ds);
+        let mut reused: AdWalker<HeapFrontier> = AdWalker::new_empty();
+        for q in [[3.0, 7.0, 4.0], [0.0, 0.0, 0.0], [9.0, 1.0, 5.0]] {
+            reused.reseed(&mut cols, &q);
+            let mut fresh: AdWalker<HeapFrontier> = AdWalker::seed(&mut cols, &q);
+            loop {
+                let a = reused.next_pop(&mut cols);
+                let b = fresh.next_pop(&mut cols);
+                assert_eq!(a, b);
+                if a.is_none() {
+                    break;
+                }
+            }
+            assert_eq!(reused.stats, fresh.stats);
+        }
+    }
+
+    #[test]
     fn linear_frontier_pop_order() {
         let mut f = LinearFrontier::with_cursors(4);
-        f.push(Triple { diff: 0.5, cid: 0, pid: 1 });
-        f.push(Triple { diff: 0.1, cid: 2, pid: 2 });
-        f.push(Triple { diff: 0.5, cid: 1, pid: 3 });
+        f.push(Triple {
+            diff: 0.5,
+            cid: 0,
+            pid: 1,
+        });
+        f.push(Triple {
+            diff: 0.1,
+            cid: 2,
+            pid: 2,
+        });
+        f.push(Triple {
+            diff: 0.5,
+            cid: 1,
+            pid: 3,
+        });
         assert_eq!(f.pop().unwrap().pid, 2);
         // Ties: smaller cid first, matching the heap's determinism.
         assert_eq!(f.pop().unwrap().cid, 0);

@@ -151,10 +151,17 @@ impl HybridSchema {
 enum StreamState {
     /// Two directional cursors over a value-sorted column. `down`/`up` are
     /// the next ranks to read (None = exhausted).
-    Numeric { down: Option<usize>, up: Option<usize> },
+    Numeric {
+        down: Option<usize>,
+        up: Option<usize>,
+    },
     /// Equal-code block first, then the rest. `next` walks `0..c` skipping
     /// the block once the block has been exhausted.
-    Categorical { block: (usize, usize), in_block: usize, outside: usize },
+    Categorical {
+        block: (usize, usize),
+        in_block: usize,
+        outside: usize,
+    },
 }
 
 /// The sorted-dimension organisation for a hybrid schema: every dimension
@@ -181,7 +188,11 @@ impl HybridColumns {
         }
         let cols = crate::columns::SortedColumns::build(ds);
         let columns = (0..ds.dims()).map(|d| cols.column(d).to_vec()).collect();
-        Ok(HybridColumns { schema, columns, cardinality: ds.len() })
+        Ok(HybridColumns {
+            schema,
+            columns,
+            cardinality: ds.len(),
+        })
     }
 
     /// The schema.
@@ -213,7 +224,11 @@ impl HybridColumns {
             DimKind::Categorical { .. } => {
                 let lo = col.partition_point(|e| e.value < q);
                 let hi = col.partition_point(|e| e.value <= q);
-                StreamState::Categorical { block: (lo, hi), in_block: lo, outside: 0 }
+                StreamState::Categorical {
+                    block: (lo, hi),
+                    in_block: lo,
+                    outside: 0,
+                }
             }
         }
     }
@@ -252,7 +267,11 @@ impl HybridColumns {
                     }
                 }
             }
-            StreamState::Categorical { block, in_block, outside } => {
+            StreamState::Categorical {
+                block,
+                in_block,
+                outside,
+            } => {
                 if *in_block < block.1 {
                     let r = *in_block;
                     *in_block += 1;
@@ -319,12 +338,16 @@ pub fn frequent_k_n_match_hybrid(
     let mut stats = AdStats::default();
     let mut states: Vec<StreamState> = Vec::with_capacity(d);
     let mut heap: BinaryHeap<Item> = BinaryHeap::with_capacity(d);
-    for dim in 0..d {
-        let mut st = cols.seed_stream(dim, query[dim]);
+    for (dim, &qv) in query.iter().enumerate() {
+        let mut st = cols.seed_stream(dim, qv);
         stats.locate_probes += 1;
-        if let Some((pid, diff)) = cols.stream_next(dim, query[dim], &mut st) {
+        if let Some((pid, diff)) = cols.stream_next(dim, qv, &mut st) {
             stats.attributes_retrieved += 1;
-            heap.push(Item { diff, dim: dim as u32, pid });
+            heap.push(Item {
+                diff,
+                dim: dim as u32,
+                pid,
+            });
         }
         states.push(st);
     }
@@ -333,18 +356,27 @@ pub fn frequent_k_n_match_hybrid(
     let mut sets: Vec<Vec<MatchEntry>> = vec![Vec::new(); n1 - n0 + 1];
     let last = n1 - n0;
     while sets[last].len() < k {
-        let item = heap.pop().expect("streams exhausted only after every point appeared d times");
+        let item = heap
+            .pop()
+            .expect("streams exhausted only after every point appeared d times");
         stats.heap_pops += 1;
         let dim = item.dim as usize;
         if let Some((pid, diff)) = cols.stream_next(dim, query[dim], &mut states[dim]) {
             stats.attributes_retrieved += 1;
-            heap.push(Item { diff, dim: item.dim, pid });
+            heap.push(Item {
+                diff,
+                dim: item.dim,
+                pid,
+            });
         }
         let a = appear[item.pid as usize] + 1;
         appear[item.pid as usize] = a;
         let a = a as usize;
         if a >= n0 && a <= n1 {
-            sets[a - n0].push(MatchEntry { pid: item.pid, diff: item.diff });
+            sets[a - n0].push(MatchEntry {
+                pid: item.pid,
+                diff: item.diff,
+            });
         }
     }
 
@@ -355,7 +387,10 @@ pub fn frequent_k_n_match_hybrid(
         for e in &set {
             counts[e.pid as usize] += 1;
         }
-        let mut res = KnMatchResult { n: n0 + i, entries: set };
+        let mut res = KnMatchResult {
+            n: n0 + i,
+            entries: set,
+        };
         res.normalise();
         per_n.push(res);
     }
@@ -366,7 +401,14 @@ pub fn frequent_k_n_match_hybrid(
         .map(|(pid, &cnt)| (pid as PointId, cnt))
         .collect();
     let entries = rank_frequent(&pairs, k);
-    Ok((FrequentResult { range: (n0, n1), entries, per_n }, stats))
+    Ok((
+        FrequentResult {
+            range: (n0, n1),
+            entries,
+            per_n,
+        },
+        stats,
+    ))
 }
 
 /// Answers a k-n-match query under a hybrid schema.

@@ -47,7 +47,10 @@ pub fn k_nearest<M: Metric + ?Sized>(
     }
     ds.validate_query(query)?;
     if k == 0 || k > ds.len() {
-        return Err(KnMatchError::InvalidK { k, cardinality: ds.len() });
+        return Err(KnMatchError::InvalidK {
+            k,
+            cardinality: ds.len(),
+        });
     }
     let mut top = TopK::new(k);
     for (pid, p) in ds.iter() {

@@ -56,6 +56,8 @@
 //! - [`source`] — the sorted-access abstraction (multiple-system IR model);
 //! - [`ad`] — the AD algorithm (`KNMatchAD` / `FKNMatchAD`, Theorems 3.1–3.3),
 //!   plus the ε-threshold variant and the paper-literal linear `g[]` ablation;
+//! - [`scratch`] / [`Scratch`] — reusable epoch-stamped query working memory;
+//! - [`engine`] / [`QueryEngine`] — parallel batch execution over shared columns;
 //! - [`stream`] — lazy ascending-difference answer iterator;
 //! - [`dynamic`] — insert/remove-capable index with stable keys;
 //! - [`hybrid`] — mixed numeric/categorical/weighted schemas (footnote 1);
@@ -73,6 +75,7 @@
 pub mod ad;
 pub mod columns;
 pub mod dynamic;
+pub mod engine;
 pub mod error;
 pub mod fagin;
 pub(crate) mod frontier;
@@ -85,35 +88,41 @@ pub mod nmatch;
 pub mod paper;
 pub mod point;
 pub mod result;
+pub mod scratch;
 pub mod skyline;
 pub mod source;
 pub mod stream;
 pub mod topk;
 
 pub use ad::{
-    eps_n_match_ad, frequent_k_n_match_ad, frequent_k_n_match_ad_linear, k_n_match_ad, AdStats,
+    eps_n_match_ad, eps_n_match_ad_with, frequent_k_n_match_ad, frequent_k_n_match_ad_linear,
+    frequent_k_n_match_ad_with, k_n_match_ad, k_n_match_ad_with, AdStats,
 };
+pub use columns::SortedColumns;
+pub use dynamic::{DynamicColumns, KeyedMatch};
+pub use engine::{BatchAnswer, BatchQuery, QueryEngine};
+pub use error::{KnMatchError, Result};
+pub use fagin::{GradedLists, MiddlewareStats, MinAggregate, MonotoneAggregate, WeightedSum};
 pub use hybrid::{
     frequent_k_n_match_hybrid, k_n_match_hybrid, k_n_match_hybrid_scan, DimKind, HybridColumns,
     HybridSchema,
 };
-pub use stream::NMatchStream;
-pub use columns::SortedColumns;
-pub use dynamic::{DynamicColumns, KeyedMatch};
-pub use error::{KnMatchError, Result};
 pub use knn::{k_nearest, Neighbour};
 pub use medrank::medrank;
 pub use metrics::{Chebyshev, Dpf, Euclidean, Lp, Manhattan, Metric};
-pub use fagin::{GradedLists, MiddlewareStats, MinAggregate, MonotoneAggregate, WeightedSum};
-pub use naive::{frequent_k_n_match_scan, k_n_match_scan, k_n_match_scan_counted, k_n_match_scan_parallel};
+pub use naive::{
+    frequent_k_n_match_scan, k_n_match_scan, k_n_match_scan_counted, k_n_match_scan_parallel,
+};
 pub use nmatch::{
     matching_dimensions, nmatch_difference, nmatch_difference_with_buf, sorted_differences,
     sorted_differences_with_buf,
 };
 pub use point::{Dataset, PointId};
 pub use result::{FrequentEntry, FrequentResult, KnMatchResult, MatchEntry};
+pub use scratch::Scratch;
 pub use skyline::skyline_wrt;
 pub use source::{SortedAccessSource, SortedEntry};
+pub use stream::NMatchStream;
 
 impl FrequentResult {
     /// Whether `pid` is one of the ranked answers.

@@ -64,12 +64,19 @@ pub fn medrank<S: SortedAccessSource>(
     let read_head = |src: &mut S, stats: &mut AdStats, dim: usize, rank: usize| {
         let e = src.entry(dim, rank);
         stats.attributes_retrieved += 1;
-        Head { diff: q_abs(e.value, query[dim]), pid: e.pid, rank }
+        Head {
+            diff: q_abs(e.value, query[dim]),
+            pid: e.pid,
+            rank,
+        }
     };
-    for dim in 0..d {
-        let pos = src.locate(dim, query[dim]);
+    for (dim, &qv) in query.iter().enumerate() {
+        let pos = src.locate(dim, qv);
         stats.locate_probes += 1;
-        down.push(pos.checked_sub(1).map(|r| read_head(src, &mut stats, dim, r)));
+        down.push(
+            pos.checked_sub(1)
+                .map(|r| read_head(src, &mut stats, dim, r)),
+        );
         up.push((pos < c).then(|| read_head(src, &mut stats, dim, pos)));
     }
 
@@ -91,20 +98,24 @@ pub fn medrank<S: SortedAccessSource>(
             advanced = true;
             let head = if take_down {
                 let h = down[dim].expect("checked");
-                down[dim] =
-                    h.rank.checked_sub(1).map(|r| read_head(src, &mut stats, dim, r));
+                down[dim] = h
+                    .rank
+                    .checked_sub(1)
+                    .map(|r| read_head(src, &mut stats, dim, r));
                 h
             } else {
                 let h = up[dim].expect("checked");
-                up[dim] = (h.rank + 1 < c)
-                    .then(|| read_head(src, &mut stats, dim, h.rank + 1));
+                up[dim] = (h.rank + 1 < c).then(|| read_head(src, &mut stats, dim, h.rank + 1));
                 h
             };
             stats.heap_pops += 1;
             let s = seen[head.pid as usize] + 1;
             seen[head.pid as usize] = s;
             if s as usize == quorum && entries.len() < k {
-                entries.push(MedrankEntry { pid: head.pid, diff: round as f64 });
+                entries.push(MedrankEntry {
+                    pid: head.pid,
+                    diff: round as f64,
+                });
             }
         }
         if !advanced {
@@ -154,7 +165,11 @@ mod tests {
     fn full_quorum_requires_all_dimensions() {
         let mut cols = fig3();
         let (res, _) = medrank(&mut cols, &[3.0, 7.0, 4.0], 5, Some(3)).unwrap();
-        assert_eq!(res.entries.len(), 5, "every point eventually reaches quorum d");
+        assert_eq!(
+            res.entries.len(),
+            5,
+            "every point eventually reaches quorum d"
+        );
         // Rounds are non-decreasing in rank order.
         let rounds: Vec<f64> = res.diffs();
         assert!(rounds.windows(2).all(|w| w[0] <= w[1]));
@@ -180,7 +195,12 @@ mod tests {
         let (mr, _) = medrank(&mut cols, &q, 1, None).unwrap();
         // The x-crowd pushes B's x-rank far out; a crowd point reaches the
         // 2-quorum first even though B is metrically nearest.
-        assert_ne!(mr.ids(), vec![1], "MEDRANK is an approximation: {:?}", mr.ids());
+        assert_ne!(
+            mr.ids(),
+            vec![1],
+            "MEDRANK is an approximation: {:?}",
+            mr.ids()
+        );
     }
 
     #[test]

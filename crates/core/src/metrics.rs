@@ -26,7 +26,11 @@ pub struct Euclidean;
 impl Metric for Euclidean {
     fn dist(&self, p: &[f64], q: &[f64]) -> f64 {
         assert_eq!(p.len(), q.len());
-        p.iter().zip(q).map(|(a, b)| (a - b) * (a - b)).sum::<f64>().sqrt()
+        p.iter()
+            .zip(q)
+            .map(|(a, b)| (a - b) * (a - b))
+            .sum::<f64>()
+            .sqrt()
     }
     fn name(&self) -> &'static str {
         "L2"
@@ -56,7 +60,10 @@ pub struct Chebyshev;
 impl Metric for Chebyshev {
     fn dist(&self, p: &[f64], q: &[f64]) -> f64 {
         assert_eq!(p.len(), q.len());
-        p.iter().zip(q).map(|(a, b)| (a - b).abs()).fold(0.0, f64::max)
+        p.iter()
+            .zip(q)
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0, f64::max)
     }
     fn name(&self) -> &'static str {
         "Linf"
@@ -78,7 +85,10 @@ impl Lp {
     ///
     /// Panics when `p <= 0` or `p` is not finite.
     pub fn new(p: f64) -> Self {
-        assert!(p.is_finite() && p > 0.0, "Lp exponent must be positive and finite");
+        assert!(
+            p.is_finite() && p > 0.0,
+            "Lp exponent must be positive and finite"
+        );
         Lp { p }
     }
 }
@@ -86,7 +96,11 @@ impl Lp {
 impl Metric for Lp {
     fn dist(&self, p: &[f64], q: &[f64]) -> f64 {
         assert_eq!(p.len(), q.len());
-        let s: f64 = p.iter().zip(q).map(|(a, b)| (a - b).abs().powf(self.p)).sum();
+        let s: f64 = p
+            .iter()
+            .zip(q)
+            .map(|(a, b)| (a - b).abs().powf(self.p))
+            .sum();
         s.powf(1.0 / self.p)
     }
     fn name(&self) -> &'static str {
@@ -113,7 +127,10 @@ impl Dpf {
     /// Panics when `n == 0` or `p` is not positive and finite.
     pub fn new(n: usize, p: f64) -> Self {
         assert!(n >= 1, "DPF needs n >= 1");
-        assert!(p.is_finite() && p > 0.0, "DPF exponent must be positive and finite");
+        assert!(
+            p.is_finite() && p > 0.0,
+            "DPF exponent must be positive and finite"
+        );
         Dpf { n, p }
     }
 }

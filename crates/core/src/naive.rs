@@ -58,8 +58,11 @@ pub fn frequent_k_n_match_scan(
             top.offer(pid, buf[n0 + i - 1]);
         }
     }
-    let per_n: Vec<KnMatchResult> =
-        tops.into_iter().enumerate().map(|(i, t)| t.into_result(n0 + i)).collect();
+    let per_n: Vec<KnMatchResult> = tops
+        .into_iter()
+        .enumerate()
+        .map(|(i, t)| t.into_result(n0 + i))
+        .collect();
     let mut counts: Vec<u32> = vec![0; ds.len()];
     for res in &per_n {
         for e in &res.entries {
@@ -73,7 +76,11 @@ pub fn frequent_k_n_match_scan(
         .map(|(pid, &c)| (pid as PointId, c))
         .collect();
     let entries = rank_frequent(&pairs, k);
-    Ok(FrequentResult { range: (n0, n1), entries, per_n })
+    Ok(FrequentResult {
+        range: (n0, n1),
+        entries,
+        per_n,
+    })
 }
 
 /// The paper's "scan" efficiency baseline: like [`k_n_match_scan`] but also
@@ -147,8 +154,7 @@ mod tests {
         let (ds, q) = fig1();
         let freq = frequent_k_n_match_scan(&ds, &q, 3, 2, 9).unwrap();
         for e in &freq.entries {
-            let membership =
-                freq.per_n.iter().filter(|r| r.contains(e.pid)).count() as u32;
+            let membership = freq.per_n.iter().filter(|r| r.contains(e.pid)).count() as u32;
             assert_eq!(e.count, membership);
         }
     }
@@ -224,14 +230,16 @@ pub fn k_n_match_scan_parallel(
                 let mut buf = Vec::with_capacity(ds.dims());
                 for pid in lo..hi {
                     let p = ds.point(pid as PointId);
-                    let diff =
-                        crate::nmatch::nmatch_difference_with_buf(p, query, n, &mut buf);
+                    let diff = crate::nmatch::nmatch_difference_with_buf(p, query, n, &mut buf);
                     top.offer(pid as PointId, diff);
                 }
                 top.into_result(n).entries
             }));
         }
-        handles.into_iter().map(|h| h.join().expect("scan shard panicked")).collect()
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("scan shard panicked"))
+            .collect()
     });
     let mut top = TopK::new(k);
     for shard in partials {
@@ -249,7 +257,13 @@ mod parallel_tests {
     #[test]
     fn parallel_matches_serial() {
         let rows: Vec<Vec<f64>> = (0..5000)
-            .map(|i| vec![(i as f64 * 0.37) % 1.0, (i as f64 * 0.73) % 1.0, (i as f64 * 0.11) % 1.0])
+            .map(|i| {
+                vec![
+                    (i as f64 * 0.37) % 1.0,
+                    (i as f64 * 0.73) % 1.0,
+                    (i as f64 * 0.11) % 1.0,
+                ]
+            })
             .collect();
         let ds = Dataset::from_rows(&rows).unwrap();
         let q = [0.3, 0.6, 0.9];

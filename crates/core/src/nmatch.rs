@@ -39,7 +39,11 @@ pub fn nmatch_difference(p: &[f64], q: &[f64], n: usize) -> f64 {
 /// Same conditions as [`nmatch_difference`].
 pub fn nmatch_difference_with_buf(p: &[f64], q: &[f64], n: usize, buf: &mut Vec<f64>) -> f64 {
     assert_eq!(p.len(), q.len(), "points must share dimensionality");
-    assert!(n >= 1 && n <= p.len(), "n must be in 1..=d (got {n}, d={})", p.len());
+    assert!(
+        n >= 1 && n <= p.len(),
+        "n must be in 1..=d (got {n}, d={})",
+        p.len()
+    );
     buf.clear();
     buf.extend(p.iter().zip(q).map(|(a, b)| (a - b).abs()));
     // Selection is O(d); full sorts are reserved for the all-n variant.
@@ -85,7 +89,10 @@ pub fn sorted_differences_with_buf(p: &[f64], q: &[f64], buf: &mut Vec<f64>) {
 /// Panics when `p.len() != q.len()`.
 pub fn matching_dimensions(p: &[f64], q: &[f64], eps: f64) -> usize {
     assert_eq!(p.len(), q.len(), "points must share dimensionality");
-    p.iter().zip(q).filter(|(a, b)| (*a - *b).abs() <= eps).count()
+    p.iter()
+        .zip(q)
+        .filter(|(a, b)| (*a - *b).abs() <= eps)
+        .count()
 }
 
 #[cfg(test)]

@@ -41,7 +41,10 @@ impl Dataset {
         if dims == 0 {
             return Err(KnMatchError::ZeroDimensions);
         }
-        Ok(Dataset { dims, data: Vec::new() })
+        Ok(Dataset {
+            dims,
+            data: Vec::new(),
+        })
     }
 
     /// Creates an empty dataset with room for `capacity` points.
@@ -192,14 +195,23 @@ mod tests {
     #[test]
     fn rejects_empty_and_zero_dims() {
         let rows: Vec<Vec<f64>> = vec![];
-        assert_eq!(Dataset::from_rows(&rows).unwrap_err(), KnMatchError::EmptyDataset);
+        assert_eq!(
+            Dataset::from_rows(&rows).unwrap_err(),
+            KnMatchError::EmptyDataset
+        );
         assert_eq!(Dataset::new(0).unwrap_err(), KnMatchError::ZeroDimensions);
     }
 
     #[test]
     fn rejects_ragged_rows() {
         let err = Dataset::from_rows(&[vec![1.0, 2.0], vec![3.0]]).unwrap_err();
-        assert_eq!(err, KnMatchError::DimensionMismatch { expected: 2, actual: 1 });
+        assert_eq!(
+            err,
+            KnMatchError::DimensionMismatch {
+                expected: 2,
+                actual: 1
+            }
+        );
     }
 
     #[test]

@@ -92,7 +92,10 @@ impl FrequentResult {
 
     /// Appearance count of `pid`, or 0 when it was not ranked.
     pub fn count_of(&self, pid: PointId) -> u32 {
-        self.entries.iter().find(|e| e.pid == pid).map_or(0, |e| e.count)
+        self.entries
+            .iter()
+            .find(|e| e.pid == pid)
+            .map_or(0, |e| e.count)
     }
 }
 
@@ -102,8 +105,10 @@ impl FrequentResult {
 /// where Definition 4 allows any choice). Shared by every frequent
 /// k-n-match implementation in this workspace.
 pub fn rank_frequent(counts: &[(PointId, u32)], k: usize) -> Vec<FrequentEntry> {
-    let mut v: Vec<FrequentEntry> =
-        counts.iter().map(|&(pid, count)| FrequentEntry { pid, count }).collect();
+    let mut v: Vec<FrequentEntry> = counts
+        .iter()
+        .map(|&(pid, count)| FrequentEntry { pid, count })
+        .collect();
     v.sort_unstable_by(|a, b| b.count.cmp(&a.count).then(a.pid.cmp(&b.pid)));
     v.truncate(k);
     v
@@ -116,7 +121,10 @@ mod tests {
     fn res(pairs: &[(PointId, f64)]) -> KnMatchResult {
         KnMatchResult {
             n: 1,
-            entries: pairs.iter().map(|&(pid, diff)| MatchEntry { pid, diff }).collect(),
+            entries: pairs
+                .iter()
+                .map(|&(pid, diff)| MatchEntry { pid, diff })
+                .collect(),
         }
     }
 
@@ -140,10 +148,13 @@ mod tests {
     fn rank_frequent_orders_and_truncates() {
         let counts = [(0u32, 2u32), (1, 5), (2, 5), (3, 1)];
         let top = rank_frequent(&counts, 2);
-        assert_eq!(top, vec![
-            FrequentEntry { pid: 1, count: 5 },
-            FrequentEntry { pid: 2, count: 5 },
-        ]);
+        assert_eq!(
+            top,
+            vec![
+                FrequentEntry { pid: 1, count: 5 },
+                FrequentEntry { pid: 2, count: 5 },
+            ]
+        );
     }
 
     #[test]

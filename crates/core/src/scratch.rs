@@ -1,0 +1,186 @@
+//! Reusable per-query working memory for the AD algorithm.
+//!
+//! Every AD run needs two arrays indexed by point id — how often each point
+//! has appeared (`appear`) and how often it entered a per-n answer set
+//! (`counts`) — plus the frontier and cursor state of the walk itself.
+//! Allocating and zeroing those arrays per query costs O(c) before the
+//! first attribute is read, which dominates at high cardinality and small
+//! answers. A [`Scratch`] keeps them alive across queries and clears them
+//! in O(1) with an epoch stamp: each slot carries the epoch of the query
+//! that last wrote it, and a slot whose stamp differs from the current
+//! epoch reads as zero. Starting a query is a single integer increment.
+
+use crate::frontier::{AdWalker, HeapFrontier};
+use crate::point::PointId;
+
+/// Epoch-stamped `appear`/`counts` arrays: logically zeroed per query by
+/// bumping a generation counter instead of an O(c) memset.
+#[derive(Debug, Default)]
+pub(crate) struct EpochMarks {
+    /// Generation of the current query. Slots whose stamp differs are stale
+    /// and read as zero.
+    epoch: u32,
+    stamps: Vec<u32>,
+    appear: Vec<u16>,
+    counts: Vec<u32>,
+    /// Pids whose `counts` went positive this query, so the frequency
+    /// ranking never scans all `c` slots.
+    touched: Vec<PointId>,
+}
+
+impl EpochMarks {
+    pub(crate) fn new() -> Self {
+        EpochMarks::default()
+    }
+
+    /// Starts a query over a cardinality-`c` source: grows the arrays if
+    /// this source is larger than any seen before, then invalidates every
+    /// slot by bumping the epoch. On the (once per 2³² queries) epoch wrap
+    /// the stamps are hard-reset so stale slots cannot alias the new epoch.
+    pub(crate) fn begin(&mut self, c: usize) {
+        if self.stamps.len() < c {
+            // New slots get the pre-bump epoch, so they are stale like the
+            // rest and lazily zeroed on first touch.
+            self.stamps.resize(c, self.epoch);
+            self.appear.resize(c, 0);
+            self.counts.resize(c, 0);
+        }
+        self.touched.clear();
+        if self.epoch == u32::MAX {
+            self.stamps.fill(0);
+            self.epoch = 1;
+        } else {
+            self.epoch += 1;
+        }
+    }
+
+    /// Lazily zeroes a stale slot.
+    fn fresh(&mut self, i: usize) {
+        if self.stamps[i] != self.epoch {
+            self.stamps[i] = self.epoch;
+            self.appear[i] = 0;
+            self.counts[i] = 0;
+        }
+    }
+
+    /// Increments and returns the appearance count of `pid`.
+    pub(crate) fn bump_appear(&mut self, pid: PointId) -> u16 {
+        let i = pid as usize;
+        self.fresh(i);
+        self.appear[i] += 1;
+        self.appear[i]
+    }
+
+    /// Increments the answer-set frequency of `pid`.
+    pub(crate) fn bump_count(&mut self, pid: PointId) {
+        let i = pid as usize;
+        self.fresh(i);
+        if self.counts[i] == 0 {
+            self.touched.push(pid);
+        }
+        self.counts[i] += 1;
+    }
+
+    /// The `(pid, count)` pairs with positive count, in ascending pid order
+    /// (the order the former full-array scan produced).
+    pub(crate) fn count_pairs(&mut self) -> Vec<(PointId, u32)> {
+        self.touched.sort_unstable();
+        self.touched
+            .iter()
+            .map(|&pid| (pid, self.counts[pid as usize]))
+            .collect()
+    }
+}
+
+/// Reusable working memory for AD queries: the epoch-stamped counters and
+/// the walker (frontier, cursors, query buffer).
+///
+/// One `Scratch` serves any number of queries, of any kind, against
+/// sources of any size — it grows to the largest cardinality it has seen
+/// and never shrinks. It is cheap to create but worth reusing: with a
+/// fresh `Scratch` per query the per-query cost includes zeroing two
+/// arrays of length `c`; with a reused one it is a pointer bump.
+///
+/// Not `Sync`/shareable: use one per thread (see
+/// [`QueryEngine`](crate::QueryEngine), which keeps one per worker).
+///
+/// # Examples
+///
+/// ```
+/// use knmatch_core::{k_n_match_ad_with, Scratch, SortedColumns};
+///
+/// let mut cols = SortedColumns::from_rows(&[[0.1, 0.9], [0.5, 0.4]]).unwrap();
+/// let mut scratch = Scratch::new();
+/// for q in [[0.5, 0.5], [0.0, 1.0]] {
+///     let (res, _) = k_n_match_ad_with(&mut cols, &q, 1, 2, &mut scratch).unwrap();
+///     assert_eq!(res.entries.len(), 1);
+/// }
+/// ```
+#[derive(Debug, Default)]
+pub struct Scratch {
+    pub(crate) marks: EpochMarks,
+    pub(crate) walker: AdWalker<HeapFrontier>,
+}
+
+impl Scratch {
+    /// An empty scratch; buffers are grown on first use.
+    pub fn new() -> Self {
+        Scratch::default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn epoch_bump_invalidates_previous_query() {
+        let mut m = EpochMarks::new();
+        m.begin(4);
+        assert_eq!(m.bump_appear(2), 1);
+        assert_eq!(m.bump_appear(2), 2);
+        m.bump_count(2);
+        m.bump_count(2);
+        m.bump_count(3);
+        assert_eq!(m.count_pairs(), vec![(2, 2), (3, 1)]);
+        // Next query: all slots logically zero again, no memset.
+        m.begin(4);
+        assert_eq!(m.bump_appear(2), 1);
+        assert_eq!(m.count_pairs(), vec![]);
+    }
+
+    #[test]
+    fn grows_to_larger_sources_and_keeps_working() {
+        let mut m = EpochMarks::new();
+        m.begin(2);
+        m.bump_count(1);
+        m.begin(10);
+        assert_eq!(m.bump_appear(9), 1);
+        m.bump_count(9);
+        assert_eq!(m.count_pairs(), vec![(9, 1)]);
+    }
+
+    #[test]
+    fn epoch_wrap_resets_stamps() {
+        let mut m = EpochMarks::new();
+        m.begin(3);
+        m.bump_count(0);
+        // Force the wrap path.
+        m.epoch = u32::MAX;
+        m.stamps.fill(u32::MAX - 1);
+        m.begin(3);
+        assert_eq!(m.epoch, 1);
+        assert!(m.stamps.iter().all(|&s| s == 0));
+        assert_eq!(m.bump_appear(0), 1);
+    }
+
+    #[test]
+    fn touched_list_dedupes() {
+        let mut m = EpochMarks::new();
+        m.begin(5);
+        for _ in 0..3 {
+            m.bump_count(4);
+        }
+        assert_eq!(m.count_pairs(), vec![(4, 3)]);
+    }
+}

@@ -50,7 +50,14 @@ impl<'a, S: SortedAccessSource> NMatchStream<'a, S> {
         let c = src.cardinality();
         validate_params(query, d, c, 1, n, n)?;
         let walker = AdWalker::seed(src, query);
-        Ok(NMatchStream { src, walker, appear: vec![0u16; c], n, emitted: 0, cardinality: c })
+        Ok(NMatchStream {
+            src,
+            walker,
+            appear: vec![0u16; c],
+            n,
+            emitted: 0,
+            cardinality: c,
+        })
     }
 
     /// Cost counters so far.
@@ -103,8 +110,9 @@ mod tests {
     #[test]
     fn streams_every_point_in_ascending_order() {
         let mut cols = cols();
-        let entries: Vec<MatchEntry> =
-            NMatchStream::new(&mut cols, &[3.0, 7.0, 4.0], 2).unwrap().collect();
+        let entries: Vec<MatchEntry> = NMatchStream::new(&mut cols, &[3.0, 7.0, 4.0], 2)
+            .unwrap()
+            .collect();
         assert_eq!(entries.len(), 5);
         assert!(entries.windows(2).all(|w| w[0].diff <= w[1].diff));
         let mut pids: Vec<u32> = entries.iter().map(|e| e.pid).collect();
@@ -123,8 +131,7 @@ mod tests {
                     NMatchStream::new(&mut a, &q, n).unwrap().take(k).collect();
                 let (batch, _) = k_n_match_ad(&mut b, &q, k, n).unwrap();
                 let mut stream_sorted = stream.clone();
-                stream_sorted
-                    .sort_by(|x, y| x.diff.total_cmp(&y.diff).then(x.pid.cmp(&y.pid)));
+                stream_sorted.sort_by(|x, y| x.diff.total_cmp(&y.diff).then(x.pid.cmp(&y.pid)));
                 assert_eq!(stream_sorted, batch.entries, "k={k} n={n}");
             }
         }
@@ -140,7 +147,10 @@ mod tests {
         stream.next();
         let (_, batch_stats) = k_n_match_ad(&mut b, &q, 2, 2).unwrap();
         assert_eq!(stream.stats().heap_pops, batch_stats.heap_pops);
-        assert_eq!(stream.stats().attributes_retrieved, batch_stats.attributes_retrieved);
+        assert_eq!(
+            stream.stats().attributes_retrieved,
+            batch_stats.attributes_retrieved
+        );
         assert_eq!(stream.emitted(), 2);
     }
 

@@ -27,7 +27,9 @@ impl PartialOrd for Worst {
 
 impl Ord for Worst {
     fn cmp(&self, other: &Self) -> Ordering {
-        self.score.total_cmp(&other.score).then_with(|| self.pid.cmp(&other.pid))
+        self.score
+            .total_cmp(&other.score)
+            .then_with(|| self.pid.cmp(&other.pid))
     }
 }
 
@@ -61,7 +63,10 @@ impl TopK {
     /// Panics when `k == 0`.
     pub fn new(k: usize) -> Self {
         assert!(k >= 1, "top-k needs k >= 1");
-        TopK { k, heap: BinaryHeap::with_capacity(k + 1) }
+        TopK {
+            k,
+            heap: BinaryHeap::with_capacity(k + 1),
+        }
     }
 
     /// Offers a candidate; it is kept iff it beats the current k-th best.
@@ -100,8 +105,7 @@ impl TopK {
 
     /// Drains into `(pid, score)` pairs sorted by ascending `(score, pid)`.
     pub fn into_sorted(self) -> Vec<(PointId, f64)> {
-        let mut v: Vec<(PointId, f64)> =
-            self.heap.into_iter().map(|w| (w.pid, w.score)).collect();
+        let mut v: Vec<(PointId, f64)> = self.heap.into_iter().map(|w| (w.pid, w.score)).collect();
         v.sort_unstable_by(|a, b| a.1.total_cmp(&b.1).then(a.0.cmp(&b.0)));
         v
     }

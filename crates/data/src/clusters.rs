@@ -12,7 +12,6 @@
 //! ignores them — the mechanism behind Table 4's ranking.
 
 use knmatch_core::Dataset;
-use rand::Rng;
 
 use crate::rng::{clamp01, normal, seeded};
 
@@ -28,7 +27,11 @@ pub struct LabelledDataset {
 impl LabelledDataset {
     /// Number of distinct classes.
     pub fn classes(&self) -> usize {
-        self.labels.iter().copied().max().map_or(0, |m| m as usize + 1)
+        self.labels
+            .iter()
+            .copied()
+            .max()
+            .map_or(0, |m| m as usize + 1)
     }
 }
 
@@ -53,7 +56,14 @@ impl ClusterSpec {
     /// A spec with the defaults used throughout the experiments
     /// (`cluster_std` 0.06, `noise_prob` 0.08).
     pub fn new(cardinality: usize, dims: usize, classes: usize, seed: u64) -> Self {
-        ClusterSpec { cardinality, dims, classes, cluster_std: 0.06, noise_prob: 0.08, seed }
+        ClusterSpec {
+            cardinality,
+            dims,
+            classes,
+            cluster_std: 0.06,
+            noise_prob: 0.08,
+            seed,
+        }
     }
 }
 
@@ -66,7 +76,10 @@ impl ClusterSpec {
 pub fn labelled_clusters(spec: &ClusterSpec) -> LabelledDataset {
     assert!(spec.classes >= 1, "need at least one class");
     assert!(spec.dims >= 1, "need at least one dimension");
-    assert!(spec.cardinality >= spec.classes, "every class needs a point");
+    assert!(
+        spec.cardinality >= spec.classes,
+        "every class needs a point"
+    );
     let mut rng = seeded(spec.seed);
 
     // Well-separated class centres: rejection-sample until pairwise L2
@@ -78,11 +91,15 @@ pub fn labelled_clusters(spec: &ClusterSpec) -> LabelledDataset {
         let mut best: Option<Vec<f64>> = None;
         let mut best_sep = f64::NEG_INFINITY;
         for _ in 0..200 {
-            let cand: Vec<f64> = (0..spec.dims).map(|_| rng.gen_range(0.15..0.85)).collect();
+            let cand: Vec<f64> = (0..spec.dims).map(|_| rng.range_f64(0.15, 0.85)).collect();
             let sep = centres
                 .iter()
                 .map(|c| {
-                    c.iter().zip(&cand).map(|(a, b)| (a - b) * (a - b)).sum::<f64>().sqrt()
+                    c.iter()
+                        .zip(&cand)
+                        .map(|(a, b)| (a - b) * (a - b))
+                        .sum::<f64>()
+                        .sqrt()
                 })
                 .fold(f64::INFINITY, f64::min);
             if sep >= min_sep {
@@ -103,8 +120,8 @@ pub fn labelled_clusters(spec: &ClusterSpec) -> LabelledDataset {
     for i in 0..spec.cardinality {
         let class = i % spec.classes;
         for (j, v) in row.iter_mut().enumerate() {
-            *v = if rng.gen::<f64>() < spec.noise_prob {
-                rng.gen::<f64>() // a wild reading
+            *v = if rng.next_f64() < spec.noise_prob {
+                rng.next_f64() // a wild reading
             } else {
                 clamp01(normal(&mut rng, centres[class][j], spec.cluster_std))
             };
@@ -131,7 +148,12 @@ pub struct UciStandin {
 impl UciStandin {
     /// Generates this stand-in with the experiment defaults.
     pub fn generate(&self, seed: u64) -> LabelledDataset {
-        labelled_clusters(&ClusterSpec::new(self.cardinality, self.dims, self.classes, seed))
+        labelled_clusters(&ClusterSpec::new(
+            self.cardinality,
+            self.dims,
+            self.classes,
+            seed,
+        ))
     }
 }
 
@@ -140,11 +162,36 @@ impl UciStandin {
 /// (2), glass 214×9 (7), iris 150×4 (3).
 pub fn uci_standins() -> [UciStandin; 5] {
     [
-        UciStandin { name: "ionosphere", cardinality: 351, dims: 34, classes: 2 },
-        UciStandin { name: "segmentation", cardinality: 300, dims: 19, classes: 7 },
-        UciStandin { name: "wdbc", cardinality: 569, dims: 30, classes: 2 },
-        UciStandin { name: "glass", cardinality: 214, dims: 9, classes: 7 },
-        UciStandin { name: "iris", cardinality: 150, dims: 4, classes: 3 },
+        UciStandin {
+            name: "ionosphere",
+            cardinality: 351,
+            dims: 34,
+            classes: 2,
+        },
+        UciStandin {
+            name: "segmentation",
+            cardinality: 300,
+            dims: 19,
+            classes: 7,
+        },
+        UciStandin {
+            name: "wdbc",
+            cardinality: 569,
+            dims: 30,
+            classes: 2,
+        },
+        UciStandin {
+            name: "glass",
+            cardinality: 214,
+            dims: 9,
+            classes: 7,
+        },
+        UciStandin {
+            name: "iris",
+            cardinality: 150,
+            dims: 4,
+            classes: 3,
+        },
     ]
 }
 

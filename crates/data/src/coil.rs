@@ -25,9 +25,8 @@
 //! construction.
 
 use knmatch_core::Dataset;
-use rand::Rng;
 
-use crate::rng::{clamp01, normal, seeded};
+use crate::rng::{clamp01, normal, seeded, Rng64};
 
 /// Number of objects in the COIL-like dataset.
 pub const COIL_OBJECTS: usize = 100;
@@ -43,7 +42,11 @@ pub const COIL_QUERY_ID: u32 = 41;
 
 /// The three aspect blocks as feature ranges: colour, texture, shape.
 pub fn aspect_blocks() -> [std::ops::Range<usize>; 3] {
-    [0..ASPECT_WIDTH, ASPECT_WIDTH..2 * ASPECT_WIDTH, 2 * ASPECT_WIDTH..COIL_FEATURES]
+    [
+        0..ASPECT_WIDTH,
+        ASPECT_WIDTH..2 * ASPECT_WIDTH,
+        2 * ASPECT_WIDTH..COIL_FEATURES,
+    ]
 }
 
 /// How close a planted object is to the query within one aspect block.
@@ -62,13 +65,13 @@ enum Closeness {
 
 impl Closeness {
     /// The planted feature value for a query value `q`.
-    fn place<R: Rng>(self, rng: &mut R, q: f64) -> f64 {
+    fn place(self, rng: &mut Rng64, q: f64) -> f64 {
         match self {
             Closeness::Exact => clamp01(q + normal(rng, 0.0, 0.004)),
             Closeness::Close => clamp01(q + normal(rng, 0.0, 0.03)),
             Closeness::Mid(lo, hi) => {
-                let mag = rng.gen_range(lo..hi);
-                let sign = if rng.gen::<bool>() { 1.0 } else { -1.0 };
+                let mag = rng.range_f64(lo, hi);
+                let sign = if rng.next_bool() { 1.0 } else { -1.0 };
                 let v = q + sign * mag;
                 // Keep the full offset magnitude: flip direction rather
                 // than clamp when the boundary would swallow it.
@@ -78,7 +81,7 @@ impl Closeness {
                     clamp01(q - sign * mag)
                 }
             }
-            Closeness::Opposite => rng.gen_range(0.85..0.95),
+            Closeness::Opposite => rng.range_f64(0.85, 0.95),
         }
     }
 }
@@ -135,15 +138,15 @@ pub fn coil_like(seed: u64) -> Dataset {
     // range; texture and shape sit mid-range.
     let mut query: Vec<f64> = Vec::with_capacity(COIL_FEATURES);
     for _ in 0..ASPECT_WIDTH {
-        query.push(rng.gen_range(0.05..0.15));
+        query.push(rng.range_f64(0.05, 0.15));
     }
     for _ in ASPECT_WIDTH..COIL_FEATURES {
-        query.push(rng.gen_range(0.30..0.70));
+        query.push(rng.range_f64(0.30, 0.70));
     }
 
     let mut rows: Vec<Vec<f64>> = Vec::with_capacity(COIL_OBJECTS);
     for _ in 0..COIL_OBJECTS {
-        rows.push((0..COIL_FEATURES).map(|_| rng.gen::<f64>()).collect());
+        rows.push((0..COIL_FEATURES).map(|_| rng.next_f64()).collect());
     }
     rows[COIL_QUERY_ID as usize] = query.clone();
 
@@ -193,7 +196,11 @@ mod tests {
         );
         // But the 4-30-match finds it (36 of its dims are near-exact).
         let m = k_n_match_scan(&ds, &q, 4, 30).unwrap();
-        assert!(m.contains(77), "image 78 must be a 30-match answer: {:?}", m.ids());
+        assert!(
+            m.contains(77),
+            "image 78 must be a 30-match answer: {:?}",
+            m.ids()
+        );
     }
 
     #[test]
@@ -212,8 +219,16 @@ mod tests {
         // n = 15 < 18: single-aspect exact matches can win.
         let m = k_n_match_scan(&ds, &q, 4, 15).unwrap();
         let aspect_matchers = [26u32, 35, 37, 39, 77];
-        let hits = m.ids().iter().filter(|p| aspect_matchers.contains(p)).count();
-        assert!(hits >= 3, "aspect matches should dominate at n=15: {:?}", m.ids());
+        let hits = m
+            .ids()
+            .iter()
+            .filter(|p| aspect_matchers.contains(p))
+            .count();
+        assert!(
+            hits >= 3,
+            "aspect matches should dominate at n=15: {:?}",
+            m.ids()
+        );
         // And the decoys that kNN loved must NOT be here.
         for d in [12u32, 63, 84, 87] {
             assert!(!m.contains(d), "decoy {d} has no matching aspect");
@@ -239,9 +254,16 @@ mod tests {
         let nn = k_nearest(&ds, &q, 10, &Euclidean).unwrap();
         assert!(!nn.iter().any(|e| e.pid == 2));
         let m = k_n_match_scan(&ds, &q, 11, 16).unwrap();
-        assert!(m.contains(2), "shape-close object should appear for n≈16: {:?}", m.ids());
+        assert!(
+            m.contains(2),
+            "shape-close object should appear for n≈16: {:?}",
+            m.ids()
+        );
         for d in [12u32, 63, 84, 87] {
-            assert!(!m.contains(d), "decoy {d} must rank behind the shape-close object");
+            assert!(
+                !m.contains(d),
+                "decoy {d} must rank behind the shape-close object"
+            );
         }
     }
 

@@ -178,11 +178,23 @@ mod tests {
     #[test]
     fn parse_errors() {
         assert_eq!(dataset_from_csv(""), Err(CsvError::Empty));
-        assert_eq!(dataset_from_csv("1.0,x\n"), Err(CsvError::BadNumber { line: 1 }));
-        assert_eq!(dataset_from_csv("1.0,2.0\n3.0\n"), Err(CsvError::RaggedRow { line: 2 }));
+        assert_eq!(
+            dataset_from_csv("1.0,x\n"),
+            Err(CsvError::BadNumber { line: 1 })
+        );
+        assert_eq!(
+            dataset_from_csv("1.0,2.0\n3.0\n"),
+            Err(CsvError::RaggedRow { line: 2 })
+        );
         // Fractional or negative labels are rejected.
-        assert_eq!(labelled_from_csv("0.5,1.5\n"), Err(CsvError::BadNumber { line: 1 }));
-        assert_eq!(labelled_from_csv("0.5,-1\n"), Err(CsvError::BadNumber { line: 1 }));
+        assert_eq!(
+            labelled_from_csv("0.5,1.5\n"),
+            Err(CsvError::BadNumber { line: 1 })
+        );
+        assert_eq!(
+            labelled_from_csv("0.5,-1\n"),
+            Err(CsvError::BadNumber { line: 1 })
+        );
     }
 
     #[test]

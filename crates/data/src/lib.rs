@@ -34,34 +34,43 @@ pub use normalize::{fit, normalize, Normalizer};
 pub use synthetic::{skewed, texture_standin, uniform};
 
 #[cfg(test)]
-mod proptests {
+mod randomized_tests {
+    //! Seeded randomized sweeps standing in for the former proptest
+    //! suite (external crates cannot be fetched in the offline build).
+
     use super::*;
-    use proptest::prelude::*;
+    use crate::rng::seeded;
 
-    proptest! {
-        #![proptest_config(ProptestConfig::with_cases(128))]
-
-        /// CSV round-trips any finite dataset exactly (shortest-float
-        /// formatting is lossless for f64).
-        #[test]
-        fn csv_roundtrip(rows in (1usize..6).prop_flat_map(|d| {
-            proptest::collection::vec(
-                proptest::collection::vec(-1e6f64..1e6, d), 1..20)
-        })) {
+    /// CSV round-trips any finite dataset exactly (shortest-float
+    /// formatting is lossless for f64).
+    #[test]
+    fn csv_roundtrip() {
+        let mut rng = seeded(0xDA7A_0001);
+        for _ in 0..128 {
+            let d = rng.range_usize(1..6);
+            let c = rng.range_usize(1..20);
+            let rows: Vec<Vec<f64>> = (0..c)
+                .map(|_| (0..d).map(|_| rng.range_f64(-1e6, 1e6)).collect())
+                .collect();
             let ds = knmatch_core::Dataset::from_rows(&rows).unwrap();
             let back = dataset_from_csv(&dataset_to_csv(&ds)).unwrap();
-            prop_assert_eq!(back, ds);
+            assert_eq!(back, ds);
         }
+    }
 
-        /// Normalisation maps into [0, 1] and preserves per-dimension order.
-        #[test]
-        fn normalize_properties(rows in proptest::collection::vec(
-            proptest::collection::vec(-1e3f64..1e3, 3), 2..30)
-        ) {
+    /// Normalisation maps into [0, 1] and preserves per-dimension order.
+    #[test]
+    fn normalize_properties() {
+        let mut rng = seeded(0xDA7A_0002);
+        for _ in 0..64 {
+            let c = rng.range_usize(2..30);
+            let rows: Vec<Vec<f64>> = (0..c)
+                .map(|_| (0..3).map(|_| rng.range_f64(-1e3, 1e3)).collect())
+                .collect();
             let ds = knmatch_core::Dataset::from_rows(&rows).unwrap();
             let out = normalize(&ds);
             for (_, p) in out.iter() {
-                prop_assert!(p.iter().all(|&v| (0.0..=1.0).contains(&v)));
+                assert!(p.iter().all(|&v| (0.0..=1.0).contains(&v)));
             }
             for dim in 0..3 {
                 for i in 0..ds.len() {
@@ -71,25 +80,31 @@ mod proptests {
                         let na = out.coord(i as u32, dim);
                         let nb = out.coord(j as u32, dim);
                         if a < b {
-                            prop_assert!(na <= nb);
+                            assert!(na <= nb);
                         } else if a > b {
-                            prop_assert!(na >= nb);
+                            assert!(na >= nb);
                         }
                     }
                 }
             }
         }
+    }
 
-        /// Generators honour their requested shapes for arbitrary sizes.
-        #[test]
-        fn generator_shapes(c in 1usize..200, d in 1usize..10, seed: u64) {
+    /// Generators honour their requested shapes for arbitrary sizes.
+    #[test]
+    fn generator_shapes() {
+        let mut rng = seeded(0xDA7A_0003);
+        for _ in 0..64 {
+            let c = rng.range_usize(1..200);
+            let d = rng.range_usize(1..10);
+            let seed = rng.next_u64();
             let u = uniform(c, d, seed);
-            prop_assert_eq!(u.len(), c);
-            prop_assert_eq!(u.dims(), d);
+            assert_eq!(u.len(), c);
+            assert_eq!(u.dims(), d);
             let s = skewed(c, d, seed);
-            prop_assert_eq!(s.len(), c);
+            assert_eq!(s.len(), c);
             for (_, p) in s.iter() {
-                prop_assert!(p.iter().all(|&v| (0.0..=1.0).contains(&v)));
+                assert!(p.iter().all(|&v| (0.0..=1.0).contains(&v)));
             }
         }
     }

@@ -46,7 +46,11 @@ impl Normalizer {
     pub fn apply_in_place(&self, point: &mut [f64]) {
         assert_eq!(point.len(), self.dims(), "dimensionality mismatch");
         for ((v, &lo), &s) in point.iter_mut().zip(&self.mins).zip(&self.scales) {
-            *v = if s == 0.0 { 0.0 } else { ((*v - lo) * s).clamp(0.0, 1.0) };
+            *v = if s == 0.0 {
+                0.0
+            } else {
+                ((*v - lo) * s).clamp(0.0, 1.0)
+            };
         }
     }
 
@@ -74,8 +78,7 @@ mod tests {
 
     #[test]
     fn maps_to_unit_interval() {
-        let ds = Dataset::from_rows(&[vec![10.0, -5.0], vec![20.0, 5.0], vec![15.0, 0.0]])
-            .unwrap();
+        let ds = Dataset::from_rows(&[vec![10.0, -5.0], vec![20.0, 5.0], vec![15.0, 0.0]]).unwrap();
         let out = normalize(&ds);
         assert_eq!(out.point(0), &[0.0, 0.0]);
         assert_eq!(out.point(1), &[1.0, 1.0]);
@@ -105,8 +108,7 @@ mod tests {
 
     #[test]
     fn preserves_ordering_within_dimension() {
-        let ds =
-            Dataset::from_rows(&[vec![3.0], vec![1.0], vec![2.0]]).unwrap();
+        let ds = Dataset::from_rows(&[vec![3.0], vec![1.0], vec![2.0]]).unwrap();
         let out = normalize(&ds);
         assert!(out.point(1)[0] < out.point(2)[0]);
         assert!(out.point(2)[0] < out.point(0)[0]);

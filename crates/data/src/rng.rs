@@ -1,32 +1,127 @@
 //! Seeded randomness helpers shared by all generators.
 //!
 //! Every generator takes an explicit `u64` seed so each experiment is
-//! reproducible bit-for-bit; the Box–Muller transform supplies Gaussians
-//! without pulling in a distributions crate.
+//! reproducible bit-for-bit. The generator is an in-repo xoshiro256++
+//! (Blackman & Vigna) seeded through SplitMix64 — no external crates, so
+//! the workspace builds offline — and the Box–Muller transform supplies
+//! Gaussians without pulling in a distributions crate.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+/// A small, fast, seeded PRNG: xoshiro256++ with SplitMix64 state
+/// expansion.
+///
+/// Not cryptographic; statistically solid for workload generation and
+/// query sampling. The stream for a given seed is stable across platforms
+/// and releases (experiment outputs depend on it).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Rng64 {
+    s: [u64; 4],
+}
+
+impl Rng64 {
+    /// Creates a generator from a seed, expanding it with SplitMix64 so
+    /// that similar seeds yield unrelated streams.
+    pub fn new(seed: u64) -> Self {
+        let mut sm = seed;
+        let mut next_sm = || {
+            sm = sm.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = sm;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        };
+        Rng64 {
+            s: [next_sm(), next_sm(), next_sm(), next_sm()],
+        }
+    }
+
+    /// The next 64 uniformly random bits (xoshiro256++ step).
+    pub fn next_u64(&mut self) -> u64 {
+        let result = self.s[0]
+            .wrapping_add(self.s[3])
+            .rotate_left(23)
+            .wrapping_add(self.s[0]);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+
+    /// A uniform sample from `[0, 1)` with 53 random mantissa bits.
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// A fair coin flip.
+    pub fn next_bool(&mut self) -> bool {
+        // Use the high bit; xoshiro's low bits are its weakest.
+        self.next_u64() >> 63 == 1
+    }
+
+    /// A uniform sample from `[lo, hi)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `lo >= hi` or either bound is non-finite.
+    pub fn range_f64(&mut self, lo: f64, hi: f64) -> f64 {
+        assert!(
+            lo < hi && lo.is_finite() && hi.is_finite(),
+            "bad range [{lo}, {hi})"
+        );
+        lo + (hi - lo) * self.next_f64()
+    }
+
+    /// A uniform sample from the half-open integer range.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty range.
+    pub fn range_usize(&mut self, range: std::ops::Range<usize>) -> usize {
+        assert!(range.start < range.end, "empty range");
+        let span = (range.end - range.start) as u64;
+        // Debiased by rejection: retry while the draw falls in the final
+        // partial span (at most one expected retry even for huge spans).
+        let zone = u64::MAX - u64::MAX % span;
+        loop {
+            let v = self.next_u64();
+            if v < zone {
+                return range.start + (v % span) as usize;
+            }
+        }
+    }
+
+    /// An unbiased Fisher–Yates shuffle.
+    pub fn shuffle<T>(&mut self, xs: &mut [T]) {
+        for i in (1..xs.len()).rev() {
+            let j = self.range_usize(0..i + 1);
+            xs.swap(i, j);
+        }
+    }
+}
 
 /// A deterministic RNG for the given seed.
-pub fn seeded(seed: u64) -> StdRng {
-    StdRng::seed_from_u64(seed)
+pub fn seeded(seed: u64) -> Rng64 {
+    Rng64::new(seed)
 }
 
 /// One standard-normal sample via Box–Muller.
-pub fn standard_normal<R: Rng>(rng: &mut R) -> f64 {
+pub fn standard_normal(rng: &mut Rng64) -> f64 {
     // Avoid ln(0).
     let u1: f64 = loop {
-        let u: f64 = rng.gen();
+        let u = rng.next_f64();
         if u > f64::MIN_POSITIVE {
             break u;
         }
     };
-    let u2: f64 = rng.gen();
+    let u2 = rng.next_f64();
     (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
 }
 
 /// A normal sample with the given mean and standard deviation.
-pub fn normal<R: Rng>(rng: &mut R, mean: f64, std: f64) -> f64 {
+pub fn normal(rng: &mut Rng64, mean: f64, std: f64) -> f64 {
     mean + std * standard_normal(rng)
 }
 
@@ -44,17 +139,66 @@ mod tests {
     fn seeding_is_deterministic() {
         let a: Vec<f64> = {
             let mut r = seeded(42);
-            (0..5).map(|_| r.gen::<f64>()).collect()
+            (0..5).map(|_| r.next_f64()).collect()
         };
         let b: Vec<f64> = {
             let mut r = seeded(42);
-            (0..5).map(|_| r.gen::<f64>()).collect()
+            (0..5).map(|_| r.next_f64()).collect()
         };
         assert_eq!(a, b);
         let c: Vec<f64> = {
             let mut r = seeded(43);
-            (0..5).map(|_| r.gen::<f64>()).collect()
+            (0..5).map(|_| r.next_f64()).collect()
         };
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn unit_floats_are_in_range_and_cover() {
+        let mut r = seeded(1);
+        let n = 10_000;
+        let mut mean = 0.0;
+        for _ in 0..n {
+            let v = r.next_f64();
+            assert!((0.0..1.0).contains(&v));
+            mean += v;
+        }
+        mean /= n as f64;
+        assert!((mean - 0.5).abs() < 0.01, "mean {mean}");
+    }
+
+    #[test]
+    fn ranges_respect_bounds() {
+        let mut r = seeded(2);
+        for _ in 0..1000 {
+            let v = r.range_f64(-0.25, 0.75);
+            assert!((-0.25..0.75).contains(&v));
+            let i = r.range_usize(3..17);
+            assert!((3..17).contains(&i));
+        }
+        // A width-1 integer range is the only value.
+        assert_eq!(r.range_usize(5..6), 5);
+    }
+
+    #[test]
+    fn bools_are_balanced() {
+        let mut r = seeded(3);
+        let heads = (0..10_000).filter(|_| r.next_bool()).count();
+        assert!((4_500..5_500).contains(&heads), "{heads} heads");
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation_and_seeded() {
+        let mut a: Vec<u32> = (0..50).collect();
+        let mut b = a.clone();
+        seeded(9).shuffle(&mut a);
+        seeded(9).shuffle(&mut b);
+        assert_eq!(a, b);
+        let mut sorted = a.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<u32>>());
+        let mut c: Vec<u32> = (0..50).collect();
+        seeded(10).shuffle(&mut c);
         assert_ne!(a, c);
     }
 

@@ -2,7 +2,6 @@
 //! stand-in for the UCI KDD Co-occurrence Texture dataset.
 
 use knmatch_core::Dataset;
-use rand::Rng;
 
 use crate::rng::seeded;
 
@@ -15,7 +14,7 @@ pub fn uniform(cardinality: usize, dims: usize, seed: u64) -> Dataset {
     let mut row = vec![0.0f64; dims];
     for _ in 0..cardinality {
         for v in row.iter_mut() {
-            *v = rng.gen::<f64>();
+            *v = rng.next_f64();
         }
         ds.push(&row).expect("generated rows are valid");
     }
@@ -36,13 +35,13 @@ pub fn uniform(cardinality: usize, dims: usize, seed: u64) -> Dataset {
 /// tiny and the AD cursors stop early.
 pub fn skewed(cardinality: usize, dims: usize, seed: u64) -> Dataset {
     let mut rng = seeded(seed);
-    let exponents: Vec<f64> = (0..dims).map(|_| rng.gen_range(2.0..4.0)).collect();
+    let exponents: Vec<f64> = (0..dims).map(|_| rng.range_f64(2.0, 4.0)).collect();
     let mut ds = Dataset::with_capacity(dims, cardinality).expect("dims >= 1");
     let mut row = vec![0.0f64; dims];
     for _ in 0..cardinality {
-        let latent = rng.gen::<f64>();
+        let latent = rng.next_f64();
         for (v, e) in row.iter_mut().zip(&exponents) {
-            let mixed = 0.8 * latent + 0.2 * rng.gen::<f64>();
+            let mixed = 0.8 * latent + 0.2 * rng.next_f64();
             *v = mixed.powf(*e);
         }
         ds.push(&row).expect("generated rows are valid");
@@ -80,8 +79,7 @@ mod tests {
         // Mean of each dimension near 0.5.
         let ds = uniform(4000, 4, 9);
         for dim in 0..4 {
-            let mean: f64 =
-                ds.iter().map(|(_, p)| p[dim]).sum::<f64>() / ds.len() as f64;
+            let mean: f64 = ds.iter().map(|(_, p)| p[dim]).sum::<f64>() / ds.len() as f64;
             assert!((mean - 0.5).abs() < 0.03, "dim {dim} mean {mean}");
         }
     }

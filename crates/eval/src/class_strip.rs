@@ -11,7 +11,6 @@
 use knmatch_core::PointId;
 use knmatch_data::rng::seeded;
 use knmatch_data::LabelledDataset;
-use rand::seq::SliceRandom;
 
 use crate::methods::SimilarityMethod;
 
@@ -28,7 +27,11 @@ pub struct ClassStripConfig {
 
 impl Default for ClassStripConfig {
     fn default() -> Self {
-        ClassStripConfig { queries: 100, k: 20, seed: 0xC1A55 }
+        ClassStripConfig {
+            queries: 100,
+            k: 20,
+            seed: 0xC1A55,
+        }
     }
 }
 
@@ -37,7 +40,7 @@ impl Default for ClassStripConfig {
 pub fn sample_queries(lds: &LabelledDataset, cfg: &ClassStripConfig) -> Vec<PointId> {
     let mut ids: Vec<PointId> = (0..lds.data.len() as PointId).collect();
     let mut rng = seeded(cfg.seed);
-    ids.shuffle(&mut rng);
+    rng.shuffle(&mut ids);
     ids.truncate(cfg.queries.min(lds.data.len()));
     ids
 }
@@ -73,7 +76,7 @@ pub fn accuracy_for_queries<M: SimilarityMethod + ?Sized>(
     queries: &[PointId],
 ) -> f64 {
     assert!(
-        k + 1 <= lds.data.len(),
+        k < lds.data.len(),
         "class stripping needs k + 1 <= cardinality ({} vs {})",
         k + 1,
         lds.data.len()
@@ -126,7 +129,11 @@ mod tests {
             seed: 3,
         };
         let lds = labelled_clusters(&spec);
-        let cfg = ClassStripConfig { queries: 10, k: 5, seed: 1 };
+        let cfg = ClassStripConfig {
+            queries: 10,
+            k: 5,
+            seed: 1,
+        };
         let acc = accuracy(&lds, &KnnMethod, &cfg);
         assert_eq!(acc, 1.0);
     }
@@ -137,9 +144,16 @@ mod tests {
         let data = knmatch_data::uniform(300, 5, 7);
         let labels: Vec<u16> = (0..300).map(|i| (i % 3) as u16).collect();
         let lds = LabelledDataset { data, labels };
-        let cfg = ClassStripConfig { queries: 40, k: 10, seed: 2 };
+        let cfg = ClassStripConfig {
+            queries: 40,
+            k: 10,
+            seed: 2,
+        };
         let acc = accuracy(&lds, &KnnMethod, &cfg);
-        assert!((acc - 1.0 / 3.0).abs() < 0.12, "accuracy {acc} should hover near 1/3");
+        assert!(
+            (acc - 1.0 / 3.0).abs() < 0.12,
+            "accuracy {acc} should hover near 1/3"
+        );
     }
 
     #[test]
@@ -173,7 +187,11 @@ mod tests {
             seed: 5,
         };
         let lds = labelled_clusters(&spec);
-        let cfg = ClassStripConfig { queries: 6, k: 4, seed: 8 };
+        let cfg = ClassStripConfig {
+            queries: 6,
+            k: 4,
+            seed: 8,
+        };
         let acc = accuracy(&lds, &Echo, &cfg);
         assert!(acc < 1.0, "self-answers must be excluded; got {acc}");
     }
@@ -181,7 +199,11 @@ mod tests {
     #[test]
     fn queries_are_deterministic_and_shared() {
         let lds = labelled_clusters(&ClusterSpec::new(50, 4, 2, 1));
-        let cfg = ClassStripConfig { queries: 10, k: 3, seed: 42 };
+        let cfg = ClassStripConfig {
+            queries: 10,
+            k: 3,
+            seed: 42,
+        };
         assert_eq!(sample_queries(&lds, &cfg), sample_queries(&lds, &cfg));
         let other = ClassStripConfig { seed: 43, ..cfg };
         assert_ne!(sample_queries(&lds, &cfg), sample_queries(&lds, &other));
@@ -200,7 +222,11 @@ mod tests {
             seed: 11,
         };
         let lds = labelled_clusters(&spec);
-        let cfg = ClassStripConfig { queries: 40, k: 10, seed: 4 };
+        let cfg = ClassStripConfig {
+            queries: 40,
+            k: 10,
+            seed: 4,
+        };
         let knn = accuracy(&lds, &KnnMethod, &cfg);
         let freq = accuracy(&lds, &FrequentKnMatchMethod { n0: 1, n1: 16 }, &cfg);
         assert!(

@@ -8,7 +8,6 @@ use knmatch_data::rng::seeded;
 use knmatch_igrid::DiskIGrid;
 use knmatch_storage::{BufferPool, CostModel, DiskDatabase, HeapFile, IoStats, MemStore};
 use knmatch_vafile::VaFile;
-use rand::Rng;
 
 /// Averaged cost of one method over a query workload.
 #[derive(Debug, Clone, Copy, Default, PartialEq)]
@@ -98,6 +97,11 @@ impl DiskBench {
         self.len
     }
 
+    /// Whether the benchmark database holds no points.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
     /// Pages of the heap file (the scan baseline reads all of them).
     pub fn heap_pages(&self) -> usize {
         self.db.heap().total_pages()
@@ -108,7 +112,10 @@ impl DiskBench {
         let mut cost = Cost::default();
         for q in queries {
             self.db.pool_mut().invalidate_all();
-            let out = self.db.frequent_k_n_match(q, k, n0, n1).expect("valid parameters");
+            let out = self
+                .db
+                .frequent_k_n_match(q, k, n0, n1)
+                .expect("valid parameters");
             cost.add_io(out.io, self.model);
             cost.attributes += out.ad.attributes_retrieved as f64;
         }
@@ -121,7 +128,10 @@ impl DiskBench {
         let mut cost = Cost::default();
         for q in queries {
             self.db.pool_mut().invalidate_all();
-            let out = self.db.scan_frequent_k_n_match(q, k, n0, n1).expect("valid parameters");
+            let out = self
+                .db
+                .scan_frequent_k_n_match(q, k, n0, n1)
+                .expect("valid parameters");
             cost.add_io(out.io, self.model);
             cost.attributes += (self.len * self.dims) as f64;
         }
@@ -156,7 +166,10 @@ impl DiskBench {
         let mut cost = Cost::default();
         for q in queries {
             self.igrid_pool.invalidate_all();
-            let (_, io) = self.igrid.query(&mut self.igrid_pool, q, k).expect("valid parameters");
+            let (_, io) = self
+                .igrid
+                .query(&mut self.igrid_pool, q, k)
+                .expect("valid parameters");
             cost.add_io(io, self.model);
         }
         cost.div(queries.len() as f64);
@@ -171,10 +184,10 @@ pub fn sample_query_points(ds: &Dataset, nq: usize, seed: u64) -> Vec<Vec<f64>> 
     let mut rng = seeded(seed);
     (0..nq)
         .map(|_| {
-            let pid = rng.gen_range(0..ds.len()) as u32;
+            let pid = rng.range_usize(0..ds.len()) as u32;
             ds.point(pid)
                 .iter()
-                .map(|&v| (v + rng.gen_range(-0.01..0.01)).clamp(0.0, 1.0))
+                .map(|&v| (v + rng.range_f64(-0.01, 0.01)).clamp(0.0, 1.0))
                 .collect()
         })
         .collect()
@@ -254,6 +267,9 @@ mod tests {
     #[test]
     fn queries_are_deterministic() {
         let ds = uniform(100, 4, 5);
-        assert_eq!(sample_query_points(&ds, 4, 9), sample_query_points(&ds, 4, 9));
+        assert_eq!(
+            sample_query_points(&ds, 4, 9),
+            sample_query_points(&ds, 4, 9)
+        );
     }
 }

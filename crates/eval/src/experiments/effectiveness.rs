@@ -64,7 +64,9 @@ pub fn table3(seed: u64) -> Table3 {
     let q = ds.point(COIL_QUERY_ID).to_vec();
     let nn = k_nearest(&ds, &q, 10, &Euclidean).expect("valid parameters");
     let ids: Vec<PointId> = nn.iter().map(|n| n.pid).collect();
-    Table3 { images: image_ids(&ids) }
+    Table3 {
+        images: image_ids(&ids),
+    }
 }
 
 impl std::fmt::Display for Table3 {
@@ -108,14 +110,21 @@ pub const HCINN_QUOTED: [(&str, f64); 2] = [("ionosphere", 0.86), ("segmentation
 /// Runs Table 4 with the paper's protocol (100 queries, k = 20) at
 /// `queries` queries (pass 100 for the paper scale).
 pub fn table4(seed: u64, queries: usize) -> Table4 {
-    let cfg = ClassStripConfig { queries, k: 20, seed };
+    let cfg = ClassStripConfig {
+        queries,
+        k: 20,
+        seed,
+    };
     let rows = uci_standins()
         .iter()
         .map(|standin| {
             let lds = standin.generate(seed ^ standin.dims as u64);
             let qids = sample_queries(&lds, &cfg);
             let igrid = PrebuiltIGrid::new(&lds.data);
-            let freq = FrequentKnMatchMethod { n0: 1, n1: standin.dims };
+            let freq = FrequentKnMatchMethod {
+                n0: 1,
+                n1: standin.dims,
+            };
             Table4Row {
                 dataset: standin.name.to_string(),
                 dims: standin.dims,
@@ -171,13 +180,21 @@ pub struct AccuracySweep {
 
 impl std::fmt::Display for AccuracySweep {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "{}", render_figure(&self.title, &self.x_label, &self.series))
+        write!(
+            f,
+            "{}",
+            render_figure(&self.title, &self.x_label, &self.series)
+        )
     }
 }
 
 /// Figure 8(a): accuracy as a function of `n0` with `n1 = d`.
 pub fn fig8a(seed: u64, queries: usize) -> AccuracySweep {
-    let cfg = ClassStripConfig { queries, k: 20, seed };
+    let cfg = ClassStripConfig {
+        queries,
+        k: 20,
+        seed,
+    };
     let series = fig8_datasets(seed)
         .into_iter()
         .map(|(name, lds)| {
@@ -202,7 +219,11 @@ pub fn fig8a(seed: u64, queries: usize) -> AccuracySweep {
 
 /// Figure 8(b): accuracy as a function of `n1` with `n0 = 4`.
 pub fn fig8b(seed: u64, queries: usize) -> AccuracySweep {
-    let cfg = ClassStripConfig { queries, k: 20, seed };
+    let cfg = ClassStripConfig {
+        queries,
+        k: 20,
+        seed,
+    };
     let series = fig8_datasets(seed)
         .into_iter()
         .map(|(name, lds)| {
@@ -228,7 +249,11 @@ pub fn fig8b(seed: u64, queries: usize) -> AccuracySweep {
 /// Figure 9(a): percentage of attributes retrieved by the AD algorithm as
 /// a function of `n1` (`n0 = 4`, k = 20).
 pub fn fig9a(seed: u64, queries: usize) -> AccuracySweep {
-    let cfg = ClassStripConfig { queries, k: 20, seed };
+    let cfg = ClassStripConfig {
+        queries,
+        k: 20,
+        seed,
+    };
     let series = fig8_datasets(seed)
         .into_iter()
         .map(|(name, lds)| {
@@ -237,7 +262,12 @@ pub fn fig9a(seed: u64, queries: usize) -> AccuracySweep {
             let mut cols = SortedColumns::build(&lds.data);
             let points = n1_grid(d)
                 .into_iter()
-                .map(|n1| (n1 as f64, 100.0 * mean_retrieved(&mut cols, &lds, &qids, cfg.k, n1)))
+                .map(|n1| {
+                    (
+                        n1 as f64,
+                        100.0 * mean_retrieved(&mut cols, &lds, &qids, cfg.k, n1),
+                    )
+                })
                 .collect();
             Series::new(name, points)
         })
@@ -262,7 +292,11 @@ pub struct Fig9b {
 
 /// Runs Figure 9(b).
 pub fn fig9b(seed: u64, queries: usize) -> Fig9b {
-    let cfg = ClassStripConfig { queries, k: 20, seed };
+    let cfg = ClassStripConfig {
+        queries,
+        k: 20,
+        seed,
+    };
     let (_, lds) = fig8_datasets(seed)
         .into_iter()
         .find(|(n, _)| *n == "ionosphere")
@@ -292,7 +326,10 @@ pub fn fig9b(seed: u64, queries: usize) -> Fig9b {
         touched += t;
     }
     let accessed = 100.0 * touched as f64 / (qids.len() as f64 * total);
-    Fig9b { ad_curve, igrid_point: (accessed, igrid_acc) }
+    Fig9b {
+        ad_curve,
+        igrid_point: (accessed, igrid_acc),
+    }
 }
 
 impl std::fmt::Display for Fig9b {
@@ -404,7 +441,12 @@ mod tests {
                 r.frequent,
                 r.igrid
             );
-            assert!(r.frequent > 0.5, "{}: accuracy {} too low", r.dataset, r.frequent);
+            assert!(
+                r.frequent > 0.5,
+                "{}: accuracy {} too low",
+                r.dataset,
+                r.frequent
+            );
         }
         assert_eq!(t.rows[0].hcinn, Some(0.86));
         assert_eq!(t.rows[2].hcinn, None);

@@ -24,12 +24,22 @@ pub struct EffContext {
 
 /// Builds the context. Paper scale: `uniform_card = 100_000`,
 /// `texture_card = 68_040`, both 16-dimensional.
-pub fn eff_context(uniform_card: usize, texture_card: usize, queries: usize, seed: u64) -> EffContext {
+pub fn eff_context(
+    uniform_card: usize,
+    texture_card: usize,
+    queries: usize,
+    seed: u64,
+) -> EffContext {
     let u = uniform(uniform_card, 16, seed);
     let t = synthetic::skewed(texture_card, 16, seed ^ 0x7E87);
     let uq = sample_query_points(&u, queries, seed + 1);
     let tq = sample_query_points(&t, queries, seed + 2);
-    EffContext { uniform: DiskBench::build(&u), texture: DiskBench::build(&t), uq, tq }
+    EffContext {
+        uniform: DiskBench::build(&u),
+        texture: DiskBench::build(&t),
+        uq,
+        tq,
+    }
 }
 
 /// The default frequent range the paper settles on for efficiency runs
@@ -55,10 +65,14 @@ pub fn fig10(ctx: &mut EffContext, ks: &[usize]) -> Fig10 {
         ("uniform", &mut ctx.uniform, &ctx.uq),
         ("texture", &mut ctx.texture, &ctx.tq),
     ] {
-        let va: Vec<(usize, Cost)> =
-            ks.iter().map(|&k| (k, bench.va_frequent(queries, k, n0, n1))).collect();
-        let scan: Vec<(usize, Cost)> =
-            ks.iter().map(|&k| (k, bench.scan_frequent(queries, k, n0, n1))).collect();
+        let va: Vec<(usize, Cost)> = ks
+            .iter()
+            .map(|&k| (k, bench.va_frequent(queries, k, n0, n1)))
+            .collect();
+        let scan: Vec<(usize, Cost)> = ks
+            .iter()
+            .map(|&k| (k, bench.scan_frequent(queries, k, n0, n1)))
+            .collect();
         refined.push(Series::new(
             name,
             va.iter().map(|&(k, c)| (k as f64, c.refined)).collect(),
@@ -80,12 +94,20 @@ impl std::fmt::Display for Fig10 {
         writeln!(
             f,
             "{}",
-            render_figure("Figure 10(a): VA-file — points refined vs k", "k", &self.refined)
+            render_figure(
+                "Figure 10(a): VA-file — points refined vs k",
+                "k",
+                &self.refined
+            )
         )?;
         write!(
             f,
             "{}",
-            render_figure("Figure 10(b): VA-file vs scan — response time (ms) vs k", "k", &self.time)
+            render_figure(
+                "Figure 10(b): VA-file vs scan — response time (ms) vs k",
+                "k",
+                &self.time
+            )
         )
     }
 }
@@ -109,10 +131,14 @@ pub fn fig11(ctx: &mut EffContext, ks: &[usize]) -> Fig11 {
         ("uniform", &mut ctx.uniform, &ctx.uq),
         ("texture", &mut ctx.texture, &ctx.tq),
     ] {
-        let ad: Vec<(usize, Cost)> =
-            ks.iter().map(|&k| (k, bench.ad_frequent(queries, k, n0, n1))).collect();
-        let scan: Vec<(usize, Cost)> =
-            ks.iter().map(|&k| (k, bench.scan_frequent(queries, k, n0, n1))).collect();
+        let ad: Vec<(usize, Cost)> = ks
+            .iter()
+            .map(|&k| (k, bench.ad_frequent(queries, k, n0, n1)))
+            .collect();
+        let scan: Vec<(usize, Cost)> = ks
+            .iter()
+            .map(|&k| (k, bench.scan_frequent(queries, k, n0, n1)))
+            .collect();
         pages.push(Series::new(
             format!("AD, {name}"),
             ad.iter().map(|&(k, c)| (k as f64, c.pages)).collect(),
@@ -143,7 +169,11 @@ impl std::fmt::Display for Fig11 {
         write!(
             f,
             "{}",
-            render_figure("Figure 11(b): AD — response time (ms) vs k", "k", &self.time)
+            render_figure(
+                "Figure 11(b): AD — response time (ms) vs k",
+                "k",
+                &self.time
+            )
         )
     }
 }
@@ -167,10 +197,14 @@ pub fn fig12(ctx: &mut EffContext, n1s: &[usize], k: usize) -> Fig12 {
         ("uniform", &mut ctx.uniform, &ctx.uq),
         ("texture", &mut ctx.texture, &ctx.tq),
     ] {
-        let ad: Vec<(usize, Cost)> =
-            n1s.iter().map(|&n1| (n1, bench.ad_frequent(queries, k, n0, n1))).collect();
-        let scan: Vec<(usize, Cost)> =
-            n1s.iter().map(|&n1| (n1, bench.scan_frequent(queries, k, n0, n1))).collect();
+        let ad: Vec<(usize, Cost)> = n1s
+            .iter()
+            .map(|&n1| (n1, bench.ad_frequent(queries, k, n0, n1)))
+            .collect();
+        let scan: Vec<(usize, Cost)> = n1s
+            .iter()
+            .map(|&n1| (n1, bench.scan_frequent(queries, k, n0, n1)))
+            .collect();
         pages.push(Series::new(
             format!("AD, {name}"),
             ad.iter().map(|&(n1, c)| (n1 as f64, c.pages)).collect(),
@@ -201,7 +235,11 @@ impl std::fmt::Display for Fig12 {
         write!(
             f,
             "{}",
-            render_figure("Figure 12(b): AD — response time (ms) vs n1", "n1", &self.time)
+            render_figure(
+                "Figure 12(b): AD — response time (ms) vs n1",
+                "n1",
+                &self.time
+            )
         )
     }
 }
@@ -219,13 +257,7 @@ pub struct Fig13 {
 /// Runs Figure 13. `sizes` are cardinalities (paper: 50k–300k); the first
 /// entry doubles as panel (a)'s dataset size… the paper uses 100k there, so
 /// pass `base_size` explicitly.
-pub fn fig13(
-    base_size: usize,
-    sizes: &[usize],
-    ks: &[usize],
-    queries: usize,
-    seed: u64,
-) -> Fig13 {
+pub fn fig13(base_size: usize, sizes: &[usize], ks: &[usize], queries: usize, seed: u64) -> Fig13 {
     let (n0, n1) = DEFAULT_RANGE;
     // Panel (a): sweep k on the base-size dataset.
     let ds = uniform(base_size, 16, seed);
@@ -374,7 +406,11 @@ impl std::fmt::Display for Fig15 {
         writeln!(
             f,
             "{}",
-            render_figure("Figure 15(a): response time (ms) vs n1 (texture)", "n1", &self.time)
+            render_figure(
+                "Figure 15(a): response time (ms) vs n1 (texture)",
+                "n1",
+                &self.time
+            )
         )?;
         write!(
             f,
@@ -416,13 +452,29 @@ mod tests {
         // can land near (occasionally just below) the scan; on the
         // correlated texture data the refinement burden makes it clearly
         // slower. Assert the scale-stable version of the claim.
-        let t_va = fig.time.iter().find(|s| s.label == "VA-file, texture").unwrap();
-        let t_scan = fig.time.iter().find(|s| s.label == "scan, texture").unwrap();
+        let t_va = fig
+            .time
+            .iter()
+            .find(|s| s.label == "VA-file, texture")
+            .unwrap();
+        let t_scan = fig
+            .time
+            .iter()
+            .find(|s| s.label == "scan, texture")
+            .unwrap();
         for (a, b) in t_va.points.iter().zip(&t_scan.points) {
             assert!(a.1 > b.1, "texture: VA {} !> scan {}", a.1, b.1);
         }
-        let u_va = fig.time.iter().find(|s| s.label == "VA-file, uniform").unwrap();
-        let u_scan = fig.time.iter().find(|s| s.label == "scan, uniform").unwrap();
+        let u_va = fig
+            .time
+            .iter()
+            .find(|s| s.label == "VA-file, uniform")
+            .unwrap();
+        let u_scan = fig
+            .time
+            .iter()
+            .find(|s| s.label == "scan, uniform")
+            .unwrap();
         for (a, b) in u_va.points.iter().zip(&u_scan.points) {
             assert!(
                 a.1 > 0.3 * b.1,
@@ -439,8 +491,16 @@ mod tests {
         let mut ctx = tiny_ctx();
         let fig = fig11(&mut ctx, &[10, 20]);
         for name in ["uniform", "texture"] {
-            let ad = fig.pages.iter().find(|s| s.label == format!("AD, {name}")).unwrap();
-            let scan = fig.pages.iter().find(|s| s.label == format!("scan, {name}")).unwrap();
+            let ad = fig
+                .pages
+                .iter()
+                .find(|s| s.label == format!("AD, {name}"))
+                .unwrap();
+            let scan = fig
+                .pages
+                .iter()
+                .find(|s| s.label == format!("scan, {name}"))
+                .unwrap();
             for (a, b) in ad.points.iter().zip(&scan.points) {
                 assert!(a.1 < b.1, "{name}: AD pages {} !< scan {}", a.1, b.1);
             }
@@ -458,8 +518,15 @@ mod tests {
         let ad = fig.pages.iter().find(|s| s.label == "AD, uniform").unwrap();
         let ys: Vec<f64> = ad.points.iter().map(|p| p.1).collect();
         assert!(ys.windows(2).all(|w| w[1] >= w[0] - 1e-9), "{ys:?}");
-        let scan = fig.pages.iter().find(|s| s.label == "scan, uniform").unwrap();
-        assert!(scan.points.iter().all(|p| (p.1 - scan.points[0].1).abs() < 1e-9));
+        let scan = fig
+            .pages
+            .iter()
+            .find(|s| s.label == "scan, uniform")
+            .unwrap();
+        assert!(scan
+            .points
+            .iter()
+            .all(|p| (p.1 - scan.points[0].1).abs() < 1e-9));
     }
 
     #[test]
@@ -476,7 +543,11 @@ mod tests {
         }
         // Panel (b): all methods scale up with cardinality.
         for s in &fig.vs_size {
-            assert!(s.points[1].1 > s.points[0].1, "{} should grow with size", s.label);
+            assert!(
+                s.points[1].1 > s.points[0].1,
+                "{} should grow with size",
+                s.label
+            );
         }
     }
 
@@ -512,6 +583,10 @@ mod tests {
         // Retrieved attributes stay a modest fraction thanks to the skew.
         let last = fig.retrieved.points.last().unwrap();
         assert!(last.1 < 60.0, "retrieved {}% at n1=d", last.1);
-        assert!(fig.retrieved.points.windows(2).all(|w| w[1].1 >= w[0].1 - 1e-9));
+        assert!(fig
+            .retrieved
+            .points
+            .windows(2)
+            .all(|w| w[1].1 >= w[0].1 - 1e-9));
     }
 }

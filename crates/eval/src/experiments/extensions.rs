@@ -113,17 +113,26 @@ pub fn ext_cost_model(card: usize, ratios: &[f64], queries: usize, seed: u64) ->
     let igrid = bench.igrid_query(&qs, 20);
 
     let price = |seq: f64, rand: f64, ratio: f64| {
-        let model = CostModel { sequential_ms: 0.1, random_ms: 0.1 * ratio };
+        let model = CostModel {
+            sequential_ms: 0.1,
+            random_ms: 0.1 * ratio,
+        };
         seq * model.sequential_ms + rand * model.random_ms
     };
     let series = vec![
         Series::new(
             "AD",
-            ratios.iter().map(|&r| (r, price(ad.seq_pages, ad.rand_pages, r))).collect(),
+            ratios
+                .iter()
+                .map(|&r| (r, price(ad.seq_pages, ad.rand_pages, r)))
+                .collect(),
         ),
         Series::new(
             "scan",
-            ratios.iter().map(|&r| (r, price(scan.seq_pages, scan.rand_pages, r))).collect(),
+            ratios
+                .iter()
+                .map(|&r| (r, price(scan.seq_pages, scan.rand_pages, r)))
+                .collect(),
         ),
         Series::new(
             "IGrid",
@@ -177,9 +186,15 @@ pub fn ext_va_bits(card: usize, bits: &[u8], queries: usize, seed: u64) -> ExtVa
             total += out.refined;
         }
         refined.push((b as f64, total as f64 / qs.len() as f64));
-        size.push((b as f64, 100.0 * va.total_pages() as f64 / heap.total_pages() as f64));
+        size.push((
+            b as f64,
+            100.0 * va.total_pages() as f64 / heap.total_pages() as f64,
+        ));
     }
-    ExtVaBits { refined: Series::new("refined", refined), size_pct: Series::new("size %", size) }
+    ExtVaBits {
+        refined: Series::new("refined", refined),
+        size_pct: Series::new("size %", size),
+    }
 }
 
 impl std::fmt::Display for ExtVaBits {
@@ -213,7 +228,11 @@ mod tests {
     fn curse_fractions_rise_with_d() {
         let e = ext_curse(4000, &[2, 16], 2, 5);
         let rt = &e.series[0];
-        assert!(rt.points[1].1 > rt.points[0].1, "R-tree curse: {:?}", rt.points);
+        assert!(
+            rt.points[1].1 > rt.points[0].1,
+            "R-tree curse: {:?}",
+            rt.points
+        );
         assert!(rt.points[1].1 > 0.5, "high-d kNN should touch most leaves");
         let va = &e.series[1];
         assert!(va.points[0].1 <= 1.0 && va.points[0].1 > 0.0);
@@ -242,16 +261,25 @@ mod tests {
         // the scan — the crossover Ext-2 exists to expose.
         let scan1 = get("scan").points[0].1;
         let ig1 = get("IGrid").points[0].1;
-        assert!(ig1 < scan1, "free seeks should favour IGrid: {ig1} vs {scan1}");
+        assert!(
+            ig1 < scan1,
+            "free seeks should favour IGrid: {ig1} vs {scan1}"
+        );
     }
 
     #[test]
     fn va_bits_tradeoff() {
         let e = ext_va_bits(4000, &[2, 4, 8], 2, 5);
         let r: Vec<f64> = e.refined.points.iter().map(|p| p.1).collect();
-        assert!(r[0] >= r[1] && r[1] >= r[2], "coarser bits refine more: {r:?}");
+        assert!(
+            r[0] >= r[1] && r[1] >= r[2],
+            "coarser bits refine more: {r:?}"
+        );
         let s: Vec<f64> = e.size_pct.points.iter().map(|p| p.1).collect();
-        assert!(s[0] <= s[1] && s[1] <= s[2], "finer bits cost more space: {s:?}");
+        assert!(
+            s[0] <= s[1] && s[1] <= s[2],
+            "finer bits cost more space: {s:?}"
+        );
     }
 }
 
@@ -268,7 +296,11 @@ pub struct ExtMethods {
 pub fn ext_methods(seed: u64, queries: usize) -> ExtMethods {
     use crate::class_strip::{accuracy_for_queries, sample_queries, ClassStripConfig};
     use crate::methods::{FrequentKnMatchMethod, KnnMethod, MedrankMethod, PrebuiltIGrid};
-    let cfg = ClassStripConfig { queries, k: 20, seed };
+    let cfg = ClassStripConfig {
+        queries,
+        k: 20,
+        seed,
+    };
     let rows = knmatch_data::uci_standins()
         .iter()
         .map(|standin| {
@@ -283,7 +315,10 @@ pub fn ext_methods(seed: u64, queries: usize) -> ExtMethods {
                 accuracy_for_queries(&lds, &igrid, cfg.k, &qids),
                 accuracy_for_queries(
                     &lds,
-                    &FrequentKnMatchMethod { n0: 1, n1: standin.dims },
+                    &FrequentKnMatchMethod {
+                        n0: 1,
+                        n1: standin.dims,
+                    },
                     cfg.k,
                     &qids,
                 ),
@@ -359,7 +394,11 @@ pub fn ext_stride(seed: u64, queries: usize, strides: &[usize]) -> ExtStride {
         }
     }
 
-    let cfg = ClassStripConfig { queries, k: 20, seed };
+    let cfg = ClassStripConfig {
+        queries,
+        k: 20,
+        seed,
+    };
     let series = knmatch_data::uci_standins()
         .iter()
         .filter(|s| matches!(s.name, "ionosphere" | "segmentation" | "wdbc"))
@@ -369,7 +408,10 @@ pub fn ext_stride(seed: u64, queries: usize, strides: &[usize]) -> ExtStride {
             let points = strides
                 .iter()
                 .map(|&s| {
-                    (s as f64, accuracy_for_queries(&lds, &Strided { stride: s }, cfg.k, &qids))
+                    (
+                        s as f64,
+                        accuracy_for_queries(&lds, &Strided { stride: s }, cfg.k, &qids),
+                    )
                 })
                 .collect();
             Series::new(standin.name, points)
@@ -467,7 +509,11 @@ pub fn ext_igrid_bins(seed: u64, queries: usize, bin_counts: &[usize]) -> ExtIGr
         }
     }
 
-    let cfg = ClassStripConfig { queries, k: 20, seed };
+    let cfg = ClassStripConfig {
+        queries,
+        k: 20,
+        seed,
+    };
     let standin = knmatch_data::uci_standins()
         .into_iter()
         .find(|s| s.name == "ionosphere")
@@ -484,11 +530,15 @@ pub fn ext_igrid_bins(seed: u64, queries: usize, bin_counts: &[usize]) -> ExtIGr
         let idx = IGridIndex::build_with(&lds.data, bins, 2.0);
         let mut touched = 0u64;
         for &qid in &qids {
-            let (_, t) =
-                idx.query_with_stats(lds.data.point(qid), cfg.k).expect("valid");
+            let (_, t) = idx
+                .query_with_stats(lds.data.point(qid), cfg.k)
+                .expect("valid");
             touched += t;
         }
-        accessed.push((bins as f64, 100.0 * touched as f64 / (qids.len() as f64 * total)));
+        accessed.push((
+            bins as f64,
+            100.0 * touched as f64 / (qids.len() as f64 * total),
+        ));
     }
     ExtIGridBins {
         accuracy: Series::new("accuracy", accuracy),

@@ -13,10 +13,10 @@ pub use effectiveness::{
     Table4, Table4Row, HCINN_QUOTED,
 };
 pub use efficiency_exps::{
-    eff_context, fig10, fig11, fig12, fig13, fig14, fig15, EffContext, Fig10, Fig11, Fig12,
-    Fig13, Fig14, Fig15, DEFAULT_RANGE,
+    eff_context, fig10, fig11, fig12, fig13, fig14, fig15, EffContext, Fig10, Fig11, Fig12, Fig13,
+    Fig14, Fig15, DEFAULT_RANGE,
 };
 pub use extensions::{
-    ext_cost_model, ext_curse, ext_igrid_bins, ext_methods, ext_stride, ext_va_bits,
-    ExtCostModel, ExtCurse, ExtIGridBins, ExtMethods, ExtStride, ExtVaBits,
+    ext_cost_model, ext_curse, ext_igrid_bins, ext_methods, ext_stride, ext_va_bits, ExtCostModel,
+    ExtCurse, ExtIGridBins, ExtMethods, ExtStride, ExtVaBits,
 };

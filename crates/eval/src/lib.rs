@@ -27,7 +27,6 @@ pub mod report;
 pub use class_strip::{accuracy, accuracy_for_queries, sample_queries, ClassStripConfig};
 pub use efficiency::{sample_query_points, Cost, DiskBench, POOL_PAGES};
 pub use methods::{
-    FrequentKnMatchMethod, IGridMethod, KnMatchMethod, KnnMethod, PrebuiltIGrid,
-    SimilarityMethod,
+    FrequentKnMatchMethod, IGridMethod, KnMatchMethod, KnnMethod, PrebuiltIGrid, SimilarityMethod,
 };
 pub use report::{pct, render_figure, trim_float, Series, Table};

@@ -31,7 +31,10 @@ impl SimilarityMethod for KnnMethod {
     }
 
     fn top_k(&self, ds: &Dataset, query: &[f64], k: usize) -> Result<Vec<PointId>> {
-        Ok(k_nearest(ds, query, k, &Euclidean)?.into_iter().map(|n| n.pid).collect())
+        Ok(k_nearest(ds, query, k, &Euclidean)?
+            .into_iter()
+            .map(|n| n.pid)
+            .collect())
     }
 }
 
@@ -113,7 +116,9 @@ pub struct PrebuiltIGrid {
 impl PrebuiltIGrid {
     /// Builds the index once for `ds`.
     pub fn new(ds: &Dataset) -> Self {
-        PrebuiltIGrid { index: IGridIndex::build(ds) }
+        PrebuiltIGrid {
+            index: IGridIndex::build(ds),
+        }
     }
 }
 
@@ -123,7 +128,12 @@ impl SimilarityMethod for PrebuiltIGrid {
     }
 
     fn top_k(&self, _ds: &Dataset, query: &[f64], k: usize) -> Result<Vec<PointId>> {
-        Ok(self.index.query(query, k)?.into_iter().map(|a| a.pid).collect())
+        Ok(self
+            .index
+            .query(query, k)?
+            .into_iter()
+            .map(|a| a.pid)
+            .collect())
     }
 }
 

@@ -30,7 +30,11 @@ impl Table {
     ///
     /// Panics when the row width differs from the header width.
     pub fn push(&mut self, row: Vec<String>) {
-        assert_eq!(row.len(), self.headers.len(), "row width must match headers");
+        assert_eq!(
+            row.len(),
+            self.headers.len(),
+            "row width must match headers"
+        );
         self.rows.push(row);
     }
 }
@@ -75,7 +79,10 @@ pub struct Series {
 impl Series {
     /// Creates a series.
     pub fn new(label: impl Into<String>, points: Vec<(f64, f64)>) -> Self {
-        Series { label: label.into(), points }
+        Series {
+            label: label.into(),
+            points,
+        }
     }
 }
 
@@ -90,7 +97,10 @@ pub fn render_figure(title: &str, x_label: &str, series: &[Series]) -> String {
             .chain(series.iter().map(|s| s.label.as_str()))
             .collect::<Vec<_>>(),
     );
-    let mut xs: Vec<f64> = series.iter().flat_map(|s| s.points.iter().map(|p| p.0)).collect();
+    let mut xs: Vec<f64> = series
+        .iter()
+        .flat_map(|s| s.points.iter().map(|p| p.0))
+        .collect();
     xs.sort_unstable_by(f64::total_cmp);
     xs.dedup();
     for &x in &xs {

@@ -61,7 +61,10 @@ impl DiskIGrid {
     ///
     /// Panics when `bins < 2`, `ds` is empty, or `p` is not positive.
     pub fn build<S: PageStore>(store: &mut S, ds: &Dataset, bins: usize, p: f64) -> Self {
-        assert!(p > 0.0 && p.is_finite(), "similarity exponent must be positive");
+        assert!(
+            p > 0.0 && p.is_finite(),
+            "similarity exponent must be positive"
+        );
         let partition = EquiDepthPartition::fit(ds, bins);
         let lists = ds.dims() * bins;
         let mut open: Vec<Vec<(PointId, f64)>> = vec![Vec::new(); lists];
@@ -72,12 +75,12 @@ impl DiskIGrid {
         let mut next_page = store.page_count();
 
         let flush = |block: &[(PointId, f64)],
-                         list: usize,
-                         directory: &mut Vec<Vec<BlockRef>>,
-                         pending: &mut [u8; PAGE_SIZE],
-                         pending_slots: &mut usize,
-                         next_page: &mut usize,
-                         store: &mut S| {
+                     list: usize,
+                     directory: &mut Vec<Vec<BlockRef>>,
+                     pending: &mut [u8; PAGE_SIZE],
+                     pending_slots: &mut usize,
+                     next_page: &mut usize,
+                     store: &mut S| {
             let slot = *pending_slots;
             let mut off = slot * BLOCK_BYTES;
             for &(pid, value) in block {
@@ -136,7 +139,12 @@ impl DiskIGrid {
             store.append_page(&pending);
         }
 
-        DiskIGrid { partition, directory, cardinality: ds.len(), p }
+        DiskIGrid {
+            partition,
+            directory,
+            cardinality: ds.len(),
+            p,
+        }
     }
 
     /// The fitted partition.
@@ -178,7 +186,10 @@ impl DiskIGrid {
             });
         }
         if k == 0 || k > self.cardinality {
-            return Err(KnMatchError::InvalidK { k, cardinality: self.cardinality });
+            return Err(KnMatchError::InvalidK {
+                k,
+                cardinality: self.cardinality,
+            });
         }
         pool.reset_stats();
         let bins = self.partition.bins();
@@ -190,11 +201,9 @@ impl DiskIGrid {
                 let page = pool.get(blk.page as usize);
                 let mut off = blk.slot as usize * BLOCK_BYTES;
                 for _ in 0..blk.len {
-                    let pid =
-                        u32::from_le_bytes(page[off..off + 4].try_into().expect("4 bytes"));
-                    let value = f64::from_le_bytes(
-                        page[off + 4..off + 12].try_into().expect("8 bytes"),
-                    );
+                    let pid = u32::from_le_bytes(page[off..off + 4].try_into().expect("4 bytes"));
+                    let value =
+                        f64::from_le_bytes(page[off + 4..off + 12].try_into().expect("8 bytes"));
                     let t = (1.0 - (value - q).abs() / m).max(0.0);
                     scores[pid as usize] += t.powf(self.p);
                     off += ENTRY_BYTES;
@@ -210,7 +219,9 @@ impl DiskIGrid {
             })
             .collect();
         ranked.sort_unstable_by(|a, b| {
-            b.similarity.total_cmp(&a.similarity).then(a.pid.cmp(&b.pid))
+            b.similarity
+                .total_cmp(&a.similarity)
+                .then(a.pid.cmp(&b.pid))
         });
         ranked.truncate(k);
         Ok((ranked, pool.stats()))
@@ -225,7 +236,11 @@ mod tests {
 
     fn sample(n: usize, d: usize) -> Dataset {
         let rows: Vec<Vec<f64>> = (0..n)
-            .map(|i| (0..d).map(|j| ((i * 31 + j * 17) as f64 * 0.618) % 1.0).collect())
+            .map(|i| {
+                (0..d)
+                    .map(|j| ((i * 31 + j * 17) as f64 * 0.618) % 1.0)
+                    .collect()
+            })
             .collect();
         Dataset::from_rows(&rows).unwrap()
     }
@@ -277,10 +292,11 @@ mod tests {
         let mut store = MemStore::new();
         let disk = DiskIGrid::build(&mut store, &ds, 4, 2.0);
         // Some list must have non-consecutive block pages.
-        let fragmented = disk
-            .directory
-            .iter()
-            .any(|chain| chain.windows(2).any(|w| w[1].page != w[0].page && w[1].page != w[0].page + 1));
+        let fragmented = disk.directory.iter().any(|chain| {
+            chain
+                .windows(2)
+                .any(|w| w[1].page != w[0].page && w[1].page != w[0].page + 1)
+        });
         assert!(fragmented, "build order should scatter the chains");
     }
 

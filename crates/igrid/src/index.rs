@@ -52,7 +52,10 @@ impl IGridIndex {
     ///
     /// Panics when `bins < 2`, `ds` is empty, or `p` is not positive.
     pub fn build_with(ds: &Dataset, bins: usize, p: f64) -> Self {
-        assert!(p > 0.0 && p.is_finite(), "similarity exponent must be positive");
+        assert!(
+            p > 0.0 && p.is_finite(),
+            "similarity exponent must be positive"
+        );
         let partition = EquiDepthPartition::fit(ds, bins);
         let mut lists = vec![Vec::new(); ds.dims() * bins];
         for (pid, point) in ds.iter() {
@@ -61,7 +64,12 @@ impl IGridIndex {
                 lists[dim * bins + bin].push((pid, v));
             }
         }
-        IGridIndex { partition, lists, cardinality: ds.len(), p }
+        IGridIndex {
+            partition,
+            lists,
+            cardinality: ds.len(),
+            p,
+        }
     }
 
     /// The fitted partition.
@@ -127,11 +135,7 @@ impl IGridIndex {
     /// # Errors
     ///
     /// Rejects malformed queries and out-of-range `k`.
-    pub fn query_with_stats(
-        &self,
-        query: &[f64],
-        k: usize,
-    ) -> Result<(Vec<IGridAnswer>, u64)> {
+    pub fn query_with_stats(&self, query: &[f64], k: usize) -> Result<(Vec<IGridAnswer>, u64)> {
         let mut touched = 0u64;
         let ans = self.accumulate(query, k, |_, len| touched += len as u64)?;
         Ok((ans, touched))
@@ -152,7 +156,10 @@ impl IGridIndex {
             });
         }
         if k == 0 || k > self.cardinality {
-            return Err(KnMatchError::InvalidK { k, cardinality: self.cardinality });
+            return Err(KnMatchError::InvalidK {
+                k,
+                cardinality: self.cardinality,
+            });
         }
         let mut scores: Vec<f64> = vec![0.0; self.cardinality];
         for (dim, &q) in query.iter().enumerate() {
@@ -168,10 +175,15 @@ impl IGridIndex {
         let mut ranked: Vec<IGridAnswer> = scores
             .iter()
             .enumerate()
-            .map(|(pid, &s)| IGridAnswer { pid: pid as PointId, similarity: s.powf(1.0 / self.p) })
+            .map(|(pid, &s)| IGridAnswer {
+                pid: pid as PointId,
+                similarity: s.powf(1.0 / self.p),
+            })
             .collect();
         ranked.sort_unstable_by(|a, b| {
-            b.similarity.total_cmp(&a.similarity).then(a.pid.cmp(&b.pid))
+            b.similarity
+                .total_cmp(&a.similarity)
+                .then(a.pid.cmp(&b.pid))
         });
         ranked.truncate(k);
         Ok(ranked)
@@ -184,7 +196,12 @@ mod tests {
 
     fn grid_ds() -> Dataset {
         let rows: Vec<Vec<f64>> = (0..200)
-            .map(|i| vec![(i as f64 * 0.6180339887) % 1.0, (i as f64 * 0.3247179572) % 1.0])
+            .map(|i| {
+                vec![
+                    (i as f64 * 0.6180339887) % 1.0,
+                    (i as f64 * 0.3247179572) % 1.0,
+                ]
+            })
             .collect();
         Dataset::from_rows(&rows).unwrap()
     }
@@ -231,8 +248,12 @@ mod tests {
     #[test]
     fn mismatched_dimensions_score_zero() {
         // Points in entirely different ranges have zero similarity.
-        let rows =
-            vec![vec![0.0, 0.0], vec![0.01, 0.01], vec![0.99, 0.99], vec![1.0, 1.0]];
+        let rows = vec![
+            vec![0.0, 0.0],
+            vec![0.01, 0.01],
+            vec![0.99, 0.99],
+            vec![1.0, 1.0],
+        ];
         let ds = Dataset::from_rows(&rows).unwrap();
         let idx = IGridIndex::build_with(&ds, 2, 2.0);
         assert_eq!(idx.similarity(ds.point(0), ds.point(3)), 0.0);
@@ -256,7 +277,10 @@ mod tests {
             idx.query(&[0.5], 3),
             Err(KnMatchError::DimensionMismatch { .. })
         ));
-        assert!(matches!(idx.query(&[0.5, 0.5], 0), Err(KnMatchError::InvalidK { .. })));
+        assert!(matches!(
+            idx.query(&[0.5, 0.5], 0),
+            Err(KnMatchError::InvalidK { .. })
+        ));
         assert!(matches!(
             idx.query(&[0.5, 0.5], 999),
             Err(KnMatchError::InvalidK { .. })

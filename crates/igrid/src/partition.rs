@@ -160,7 +160,9 @@ mod tests {
 
     #[test]
     fn duplicate_values_stay_defined() {
-        let rows: Vec<Vec<f64>> = (0..100).map(|i| vec![if i < 90 { 1.0 } else { 2.0 }]).collect();
+        let rows: Vec<Vec<f64>> = (0..100)
+            .map(|i| vec![if i < 90 { 1.0 } else { 2.0 }])
+            .collect();
         let ds = Dataset::from_rows(&rows).unwrap();
         let part = EquiDepthPartition::fit(&ds, 4);
         let b = part.bin_of(0, 1.0);

@@ -11,12 +11,18 @@ pub struct Mbr {
 impl Mbr {
     /// The degenerate MBR of a single point.
     pub fn from_point(p: &[f64]) -> Self {
-        Mbr { lo: p.to_vec(), hi: p.to_vec() }
+        Mbr {
+            lo: p.to_vec(),
+            hi: p.to_vec(),
+        }
     }
 
     /// An "empty" MBR ready to be [`Mbr::expand`]ed.
     pub fn empty(dims: usize) -> Self {
-        Mbr { lo: vec![f64::INFINITY; dims], hi: vec![f64::NEG_INFINITY; dims] }
+        Mbr {
+            lo: vec![f64::INFINITY; dims],
+            hi: vec![f64::NEG_INFINITY; dims],
+        }
     }
 
     /// Dimensionality.
@@ -59,7 +65,11 @@ impl Mbr {
 
     /// Whether `p` lies inside (closed bounds).
     pub fn contains(&self, p: &[f64]) -> bool {
-        self.lo.iter().zip(&self.hi).zip(p).all(|((l, h), v)| l <= v && v <= h)
+        self.lo
+            .iter()
+            .zip(&self.hi)
+            .zip(p)
+            .all(|((l, h), v)| l <= v && v <= h)
     }
 
     /// Whether this MBR overlaps `other` (closed bounds).
@@ -95,7 +105,11 @@ impl Mbr {
 
     /// Volume of the rectangle (product of side lengths).
     pub fn area(&self) -> f64 {
-        self.lo.iter().zip(&self.hi).map(|(l, h)| (h - l).max(0.0)).product()
+        self.lo
+            .iter()
+            .zip(&self.hi)
+            .map(|(l, h)| (h - l).max(0.0))
+            .product()
     }
 }
 

@@ -29,8 +29,12 @@ struct Sphere {
 
 impl Sphere {
     fn min_dist(&self, q: &[f64]) -> f64 {
-        let d2: f64 =
-            self.centre.iter().zip(q).map(|(a, b)| (a - b) * (a - b)).sum();
+        let d2: f64 = self
+            .centre
+            .iter()
+            .zip(q)
+            .map(|(a, b)| (a - b) * (a - b))
+            .sum();
         (d2.sqrt() - self.radius).max(0.0)
     }
 }
@@ -74,11 +78,20 @@ impl SsTree {
         let mut groups: Vec<Vec<PointId>> = Vec::new();
         tile(ds, &mut ids, 0, &mut groups);
 
-        let mut tree = SsTree { dims, nodes: Vec::new(), root: 0, leaves: 0, len: ds.len() };
+        let mut tree = SsTree {
+            dims,
+            nodes: Vec::new(),
+            root: 0,
+            leaves: 0,
+            len: ds.len(),
+        };
         let mut level: Vec<usize> = Vec::new();
         for chunk in &groups {
             let sphere = tree.sphere_of_points(ds, chunk);
-            tree.nodes.push(SsNode { sphere, kind: SsKind::Leaf(chunk.clone()) });
+            tree.nodes.push(SsNode {
+                sphere,
+                kind: SsKind::Leaf(chunk.clone()),
+            });
             tree.leaves += 1;
             level.push(tree.nodes.len() - 1);
         }
@@ -86,7 +99,10 @@ impl SsTree {
             let mut next = Vec::with_capacity(level.len().div_ceil(SS_FANOUT));
             for chunk in level.chunks(SS_FANOUT) {
                 let sphere = tree.sphere_of_children(chunk);
-                tree.nodes.push(SsNode { sphere, kind: SsKind::Internal(chunk.to_vec()) });
+                tree.nodes.push(SsNode {
+                    sphere,
+                    kind: SsKind::Internal(chunk.to_vec()),
+                });
                 next.push(tree.nodes.len() - 1);
             }
             level = next;
@@ -174,12 +190,18 @@ impl SsTree {
     ) -> Result<(Vec<Neighbour>, RTreeStats)> {
         ds.validate_query(query)?;
         if k == 0 || k > self.len {
-            return Err(KnMatchError::InvalidK { k, cardinality: self.len });
+            return Err(KnMatchError::InvalidK {
+                k,
+                cardinality: self.len,
+            });
         }
         let mut stats = RTreeStats::default();
         let mut top = TopK::new(k);
         let mut frontier: BinaryHeap<Cand> = BinaryHeap::new();
-        frontier.push(Cand { dist: self.nodes[self.root].sphere.min_dist(query), node: self.root });
+        frontier.push(Cand {
+            dist: self.nodes[self.root].sphere.min_dist(query),
+            node: self.root,
+        });
         while let Some(c) = frontier.pop() {
             if let Some(tau2) = top.threshold() {
                 if c.dist * c.dist > tau2 {
@@ -191,8 +213,11 @@ impl SsTree {
                     stats.internal_visited += 1;
                     for &child in children {
                         let d = self.nodes[child].sphere.min_dist(query);
-                        if top.threshold().is_none_or(|tau2| d * d <= tau2) {
-                            frontier.push(Cand { dist: d, node: child });
+                        if top.threshold().map_or(true, |tau2| d * d <= tau2) {
+                            frontier.push(Cand {
+                                dist: d,
+                                node: child,
+                            });
                         }
                     }
                 }
@@ -214,7 +239,10 @@ impl SsTree {
         let out = top
             .into_sorted()
             .into_iter()
-            .map(|(pid, d2)| Neighbour { pid, dist: d2.sqrt() })
+            .map(|(pid, d2)| Neighbour {
+                pid,
+                dist: d2.sqrt(),
+            })
             .collect();
         Ok((out, stats))
     }
@@ -226,7 +254,9 @@ impl SsTree {
 fn tile(ds: &Dataset, ids: &mut [PointId], dim: usize, out: &mut Vec<Vec<PointId>>) {
     let dims = ds.dims();
     ids.sort_unstable_by(|&a, &b| {
-        ds.coord(a, dim).total_cmp(&ds.coord(b, dim)).then(a.cmp(&b))
+        ds.coord(a, dim)
+            .total_cmp(&ds.coord(b, dim))
+            .then(a.cmp(&b))
     });
     if ids.len() <= SS_FANOUT || dim + 1 == dims {
         for chunk in ids.chunks(SS_FANOUT) {
@@ -263,7 +293,10 @@ impl PartialOrd for Cand {
 
 impl Ord for Cand {
     fn cmp(&self, other: &Self) -> Ordering {
-        other.dist.total_cmp(&self.dist).then_with(|| other.node.cmp(&self.node))
+        other
+            .dist
+            .total_cmp(&self.dist)
+            .then_with(|| other.node.cmp(&self.node))
     }
 }
 

@@ -79,8 +79,13 @@ impl RTree {
             return Err(KnMatchError::EmptyDataset);
         }
         let dims = ds.dims();
-        let mut tree =
-            RTree { dims, nodes: Vec::new(), root: 0, leaves: 0, len: ds.len() };
+        let mut tree = RTree {
+            dims,
+            nodes: Vec::new(),
+            root: 0,
+            leaves: 0,
+            len: ds.len(),
+        };
 
         // STR leaf packing.
         let mut ids: Vec<PointId> = (0..ds.len() as PointId).collect();
@@ -96,7 +101,10 @@ impl RTree {
                 for &child in chunk {
                     mbr.expand_mbr(&tree.nodes[child].mbr.clone());
                 }
-                tree.nodes.push(Node { mbr, kind: NodeKind::Internal(chunk.to_vec()) });
+                tree.nodes.push(Node {
+                    mbr,
+                    kind: NodeKind::Internal(chunk.to_vec()),
+                });
                 next.push(tree.nodes.len() - 1);
             }
             level = next;
@@ -108,30 +116,31 @@ impl RTree {
     /// Recursive STR tiling: sort the slab by `dim`, slice into
     /// `ceil(|slab| / per_slice)` sub-slabs, recurse on the next dimension;
     /// at the last dimension emit leaves of up to [`FANOUT`] points.
-    fn str_pack(
-        &mut self,
-        ds: &Dataset,
-        ids: &mut [PointId],
-        dim: usize,
-        leaves: &mut Vec<usize>,
-    ) {
+    fn str_pack(&mut self, ds: &Dataset, ids: &mut [PointId], dim: usize, leaves: &mut Vec<usize>) {
         if ids.len() <= FANOUT || dim + 1 == self.dims {
             ids.sort_unstable_by(|&a, &b| {
-                ds.coord(a, dim).total_cmp(&ds.coord(b, dim)).then(a.cmp(&b))
+                ds.coord(a, dim)
+                    .total_cmp(&ds.coord(b, dim))
+                    .then(a.cmp(&b))
             });
             for chunk in ids.chunks(FANOUT) {
                 let mut mbr = Mbr::empty(self.dims);
                 for &pid in chunk {
                     mbr.expand(ds.point(pid));
                 }
-                self.nodes.push(Node { mbr, kind: NodeKind::Leaf(chunk.to_vec()) });
+                self.nodes.push(Node {
+                    mbr,
+                    kind: NodeKind::Leaf(chunk.to_vec()),
+                });
                 self.leaves += 1;
                 leaves.push(self.nodes.len() - 1);
             }
             return;
         }
         ids.sort_unstable_by(|&a, &b| {
-            ds.coord(a, dim).total_cmp(&ds.coord(b, dim)).then(a.cmp(&b))
+            ds.coord(a, dim)
+                .total_cmp(&ds.coord(b, dim))
+                .then(a.cmp(&b))
         });
         // Number of vertical slabs ≈ (leaves needed)^(1/remaining dims).
         let leaves_needed = ids.len().div_ceil(FANOUT) as f64;
@@ -190,12 +199,18 @@ impl RTree {
     ) -> Result<(Vec<Neighbour>, RTreeStats)> {
         ds.validate_query(query)?;
         if k == 0 || k > self.len {
-            return Err(KnMatchError::InvalidK { k, cardinality: self.len });
+            return Err(KnMatchError::InvalidK {
+                k,
+                cardinality: self.len,
+            });
         }
         let mut stats = RTreeStats::default();
         let mut top = TopK::new(k);
         let mut frontier: BinaryHeap<Candidate> = BinaryHeap::new();
-        frontier.push(Candidate { dist2: self.nodes[self.root].mbr.min_dist2(query), node: self.root });
+        frontier.push(Candidate {
+            dist2: self.nodes[self.root].mbr.min_dist2(query),
+            node: self.root,
+        });
         while let Some(c) = frontier.pop() {
             if let Some(tau) = top.threshold() {
                 if c.dist2 > tau {
@@ -207,8 +222,11 @@ impl RTree {
                     stats.internal_visited += 1;
                     for &child in children {
                         let d2 = self.nodes[child].mbr.min_dist2(query);
-                        if top.threshold().is_none_or(|tau| d2 <= tau) {
-                            frontier.push(Candidate { dist2: d2, node: child });
+                        if top.threshold().map_or(true, |tau| d2 <= tau) {
+                            frontier.push(Candidate {
+                                dist2: d2,
+                                node: child,
+                            });
                         }
                     }
                 }
@@ -230,7 +248,10 @@ impl RTree {
         let out = top
             .into_sorted()
             .into_iter()
-            .map(|(pid, d2)| Neighbour { pid, dist: d2.sqrt() })
+            .map(|(pid, d2)| Neighbour {
+                pid,
+                dist: d2.sqrt(),
+            })
             .collect();
         Ok((out, stats))
     }
@@ -297,7 +318,10 @@ impl PartialOrd for Candidate {
 
 impl Ord for Candidate {
     fn cmp(&self, other: &Self) -> Ordering {
-        other.dist2.total_cmp(&self.dist2).then_with(|| other.node.cmp(&self.node))
+        other
+            .dist2
+            .total_cmp(&self.dist2)
+            .then_with(|| other.node.cmp(&self.node))
     }
 }
 
@@ -349,8 +373,14 @@ mod tests {
             let (_, stats) = tree.k_nearest(&ds, &q, 10).unwrap();
             fractions.push(stats.leaf_fraction(tree.leaf_count()));
         }
-        assert!(fractions[0] < fractions[1] && fractions[1] <= fractions[2], "{fractions:?}");
-        assert!(fractions[2] > 0.9, "at d=32 nearly every leaf is visited: {fractions:?}");
+        assert!(
+            fractions[0] < fractions[1] && fractions[1] <= fractions[2],
+            "{fractions:?}"
+        );
+        assert!(
+            fractions[2] > 0.9,
+            "at d=32 nearly every leaf is visited: {fractions:?}"
+        );
     }
 
     #[test]
@@ -362,7 +392,9 @@ mod tests {
         let (got, _) = tree.range(&ds, &lo, &hi).unwrap();
         let want: Vec<u32> = ds
             .iter()
-            .filter(|(_, p)| p.iter().zip(&lo).all(|(v, l)| v >= l) && p.iter().zip(&hi).all(|(v, h)| v <= h))
+            .filter(|(_, p)| {
+                p.iter().zip(&lo).all(|(v, l)| v >= l) && p.iter().zip(&hi).all(|(v, h)| v <= h)
+            })
             .map(|(pid, _)| pid)
             .collect();
         assert_eq!(got, want);

@@ -1,0 +1,73 @@
+//! Randomized tests for the R-tree: kNN and range queries must equal the
+//! exact scans on every seeded random instance (no external
+//! property-testing crate in the offline build).
+
+use knmatch_core::{k_nearest, Dataset, Euclidean};
+use knmatch_data::rng::{seeded, Rng64};
+use knmatch_rtree::RTree;
+
+fn dataset(rng: &mut Rng64) -> Vec<Vec<f64>> {
+    let d = rng.range_usize(1..6);
+    let c = rng.range_usize(1..121);
+    (0..c)
+        .map(|_| (0..d).map(|_| rng.next_f64()).collect())
+        .collect()
+}
+
+#[test]
+fn knn_equals_scan() {
+    let mut rng = seeded(0x47EE_0001);
+    for _ in 0..192 {
+        let rows = dataset(&mut rng);
+        let ds = Dataset::from_rows(&rows).unwrap();
+        let q: Vec<f64> = (0..ds.dims()).map(|_| rng.next_f64()).collect();
+        let tree = RTree::bulk_load(&ds).unwrap();
+        let k = ds.len().div_ceil(2).max(1);
+        let (got, stats) = tree.k_nearest(&ds, &q, k).unwrap();
+        let want = k_nearest(&ds, &q, k, &Euclidean).unwrap();
+        assert_eq!(got.len(), want.len());
+        for (a, b) in got.iter().zip(&want) {
+            assert!((a.dist - b.dist).abs() < 1e-9, "{} vs {}", a.dist, b.dist);
+        }
+        assert!(stats.leaves_visited as usize <= tree.leaf_count());
+    }
+}
+
+#[test]
+fn range_equals_filter() {
+    let mut rng = seeded(0x47EE_0002);
+    for _ in 0..192 {
+        let rows = dataset(&mut rng);
+        let ds = Dataset::from_rows(&rows).unwrap();
+        let d = ds.dims();
+        let corners: Vec<(f64, f64)> = (0..d).map(|_| (rng.next_f64(), rng.next_f64())).collect();
+        let lo: Vec<f64> = corners.iter().map(|&(a, b)| a.min(b)).collect();
+        let hi: Vec<f64> = corners.iter().map(|&(a, b)| a.max(b)).collect();
+        let tree = RTree::bulk_load(&ds).unwrap();
+        let (got, _) = tree.range(&ds, &lo, &hi).unwrap();
+        let want: Vec<u32> = ds
+            .iter()
+            .filter(|(_, p)| {
+                p.iter().zip(&lo).all(|(v, l)| v >= l) && p.iter().zip(&hi).all(|(v, h)| v <= h)
+            })
+            .map(|(pid, _)| pid)
+            .collect();
+        assert_eq!(got, want);
+    }
+}
+
+#[test]
+fn every_point_is_its_own_nn() {
+    let mut rng = seeded(0x47EE_0003);
+    for _ in 0..192 {
+        let rows = dataset(&mut rng);
+        let ds = Dataset::from_rows(&rows).unwrap();
+        let tree = RTree::bulk_load(&ds).unwrap();
+        // Sample a few pids (cheap even when c is large).
+        for pid in [0, (ds.len() / 2) as u32, (ds.len() - 1) as u32] {
+            let q = ds.point(pid).to_vec();
+            let (nn, _) = tree.k_nearest(&ds, &q, 1).unwrap();
+            assert_eq!(nn[0].dist, 0.0);
+        }
+    }
+}

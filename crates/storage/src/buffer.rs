@@ -67,7 +67,10 @@ pub struct CostModel {
 
 impl Default for CostModel {
     fn default() -> Self {
-        CostModel { sequential_ms: 0.1, random_ms: 1.0 }
+        CostModel {
+            sequential_ms: 0.1,
+            random_ms: 1.0,
+        }
     }
 }
 
@@ -157,7 +160,12 @@ impl<S: PageStore> BufferPool<S> {
 
         let idx = if self.frames.len() < self.capacity {
             let idx = self.frames.len();
-            self.frames.push(Frame { page_no: no, buf: Box::new(empty_page()), prev: NIL, next: NIL });
+            self.frames.push(Frame {
+                page_no: no,
+                buf: Box::new(empty_page()),
+                prev: NIL,
+                next: NIL,
+            });
             self.attach_front(idx);
             idx
         } else {
@@ -391,7 +399,11 @@ mod tests {
 
     #[test]
     fn response_time_model() {
-        let s = IoStats { hits: 5, sequential_reads: 100, random_reads: 10 };
+        let s = IoStats {
+            hits: 5,
+            sequential_reads: 100,
+            random_reads: 10,
+        };
         let t = s.response_time_ms(CostModel::default());
         assert!((t - (100.0 * 0.1 + 10.0 * 1.0)).abs() < 1e-9);
         let mut a = IoStats::default();

@@ -64,7 +64,13 @@ impl SortedColumnFile {
                 "each dimension occupies exactly pages_per_dim pages"
             );
         }
-        SortedColumnFile { dims, cardinality, pages_per_dim, base_page, fences }
+        SortedColumnFile {
+            dims,
+            cardinality,
+            pages_per_dim,
+            base_page,
+            fences,
+        }
     }
 
     /// Reconstructs a handle to an existing column file, re-reading the
@@ -94,7 +100,13 @@ impl SortedColumnFile {
             }
             fences.push(dim_fences);
         }
-        SortedColumnFile { dims, cardinality, pages_per_dim, base_page, fences }
+        SortedColumnFile {
+            dims,
+            cardinality,
+            pages_per_dim,
+            base_page,
+            fences,
+        }
     }
 
     /// Dimensionality `d`.
@@ -135,8 +147,7 @@ impl SortedColumnFile {
     ) -> SortedEntry {
         assert!(dim < self.dims, "dimension {dim} out of range");
         assert!(rank < self.cardinality, "rank {rank} out of range");
-        let page_no =
-            self.base_page + dim * self.pages_per_dim + rank / COLUMN_ENTRIES_PER_PAGE;
+        let page_no = self.base_page + dim * self.pages_per_dim + rank / COLUMN_ENTRIES_PER_PAGE;
         let slot = rank % COLUMN_ENTRIES_PER_PAGE;
         // One stream group per dimension file: the up and down cursor walks
         // both stream within it.
@@ -296,8 +307,7 @@ mod tests {
     fn disk_columns_run_generic_ad() {
         let (file, mut pool) = build_fig3();
         let mut src = DiskColumns::new(&file, &mut pool);
-        let (res, _) =
-            knmatch_core::k_n_match_ad(&mut src, &[3.0, 7.0, 4.0], 2, 2).unwrap();
+        let (res, _) = knmatch_core::k_n_match_ad(&mut src, &[3.0, 7.0, 4.0], 2, 2).unwrap();
         assert_eq!(res.ids(), vec![2, 1]);
         assert_eq!(res.epsilon(), 1.5);
     }

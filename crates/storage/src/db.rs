@@ -4,8 +4,7 @@
 //! baseline — exposed with per-query I/O statistics.
 
 use knmatch_core::{
-    frequent_k_n_match_ad, k_n_match_ad, AdStats, Dataset, FrequentResult, KnMatchResult,
-    Result,
+    frequent_k_n_match_ad, k_n_match_ad, AdStats, Dataset, FrequentResult, KnMatchResult, Result,
 };
 
 use crate::buffer::{BufferPool, IoStats};
@@ -38,8 +37,7 @@ impl DiskDatabase<MemStore> {
     /// experiment substrate).
     pub fn build_in_memory(ds: &Dataset, pool_pages: usize) -> Self {
         let mut store = MemStore::new();
-        Self::build(ds, &mut store)
-            .attach(store, pool_pages)
+        Self::build(ds, &mut store).attach(store, pool_pages)
     }
 }
 
@@ -56,7 +54,11 @@ pub struct DiskLayout {
 impl DiskLayout {
     /// Binds the layout to its store behind a pool of `pool_pages` frames.
     pub fn attach<S: PageStore>(self, store: S, pool_pages: usize) -> DiskDatabase<S> {
-        DiskDatabase { pool: BufferPool::new(store, pool_pages), columns: self.columns, heap: self.heap }
+        DiskDatabase {
+            pool: BufferPool::new(store, pool_pages),
+            columns: self.columns,
+            heap: self.heap,
+        }
     }
 }
 
@@ -112,7 +114,11 @@ impl<S: PageStore> DiskDatabase<S> {
         self.pool.reset_stats();
         let mut src = DiskColumns::new(&self.columns, &mut self.pool);
         let (result, ad) = k_n_match_ad(&mut src, query, k, n)?;
-        Ok(DiskQueryOutcome { result, io: self.pool.stats(), ad })
+        Ok(DiskQueryOutcome {
+            result,
+            io: self.pool.stats(),
+            ad,
+        })
     }
 
     /// Disk-based AD frequent k-n-match (Section 4.1).
@@ -130,7 +136,11 @@ impl<S: PageStore> DiskDatabase<S> {
         self.pool.reset_stats();
         let mut src = DiskColumns::new(&self.columns, &mut self.pool);
         let (result, ad) = frequent_k_n_match_ad(&mut src, query, k, n0, n1)?;
-        Ok(DiskQueryOutcome { result, io: self.pool.stats(), ad })
+        Ok(DiskQueryOutcome {
+            result,
+            io: self.pool.stats(),
+            ad,
+        })
     }
 
     /// Sequential-scan k-n-match baseline: streams the heap file, computing
@@ -167,8 +177,9 @@ impl<S: PageStore> DiskDatabase<S> {
     ) -> Result<DiskQueryOutcome<FrequentResult>> {
         knmatch_core::ad::validate_params(query, self.dims(), self.len(), k, n0, n1)?;
         self.pool.reset_stats();
-        let mut tops: Vec<knmatch_core::topk::TopK> =
-            (n0..=n1).map(|_| knmatch_core::topk::TopK::new(k)).collect();
+        let mut tops: Vec<knmatch_core::topk::TopK> = (n0..=n1)
+            .map(|_| knmatch_core::topk::TopK::new(k))
+            .collect();
         let mut buf: Vec<f64> = Vec::with_capacity(self.dims());
         let heap = self.heap;
         heap.for_each(&mut self.pool, |pid, row| {
@@ -177,8 +188,11 @@ impl<S: PageStore> DiskDatabase<S> {
                 top.offer(pid, buf[n0 + i - 1]);
             }
         });
-        let per_n: Vec<KnMatchResult> =
-            tops.into_iter().enumerate().map(|(i, t)| t.into_result(n0 + i)).collect();
+        let per_n: Vec<KnMatchResult> = tops
+            .into_iter()
+            .enumerate()
+            .map(|(i, t)| t.into_result(n0 + i))
+            .collect();
         let mut counts: Vec<u32> = vec![0; self.len()];
         for res in &per_n {
             for e in &res.entries {
@@ -193,7 +207,11 @@ impl<S: PageStore> DiskDatabase<S> {
             .collect();
         let entries = knmatch_core::result::rank_frequent(&pairs, k);
         Ok(DiskQueryOutcome {
-            result: FrequentResult { range: (n0, n1), entries, per_n },
+            result: FrequentResult {
+                range: (n0, n1),
+                entries,
+                per_n,
+            },
             io: self.pool.stats(),
             ad: AdStats::default(),
         })
@@ -254,7 +272,9 @@ mod tests {
 
     #[test]
     fn scan_reads_whole_heap_sequentially() {
-        let rows: Vec<Vec<f64>> = (0..5000).map(|i| vec![(i % 97) as f64, (i % 31) as f64]).collect();
+        let rows: Vec<Vec<f64>> = (0..5000)
+            .map(|i| vec![(i % 97) as f64, (i % 31) as f64])
+            .collect();
         let ds = Dataset::from_rows(&rows).unwrap();
         let mut db = DiskDatabase::build_in_memory(&ds, 4);
         let out = db.scan_k_n_match(&[3.0, 4.0], 10, 1).unwrap();
@@ -312,7 +332,10 @@ impl std::fmt::Display for Corruption {
                 write!(f, "dimension {dim} does not list every point exactly once")
             }
             Corruption::ValueMismatch { dim, pid } => {
-                write!(f, "dimension {dim}: column value for point {pid} disagrees with the heap")
+                write!(
+                    f,
+                    "dimension {dim}: column value for point {pid} disagrees with the heap"
+                )
             }
         }
     }
@@ -368,8 +391,9 @@ mod verify_tests {
     use crate::store::PageStore as _;
 
     fn sample_db() -> DiskDatabase<MemStore> {
-        let rows: Vec<Vec<f64>> =
-            (0..700).map(|i| vec![(i as f64 * 0.37) % 1.0, (i as f64 * 0.73) % 1.0]).collect();
+        let rows: Vec<Vec<f64>> = (0..700)
+            .map(|i| vec![(i as f64 * 0.37) % 1.0, (i as f64 * 0.73) % 1.0])
+            .collect();
         let ds = Dataset::from_rows(&rows).unwrap();
         DiskDatabase::build_in_memory(&ds, 64)
     }
@@ -397,7 +421,9 @@ mod verify_tests {
         db.pool_mut().invalidate_all();
         let problems = db.verify();
         assert!(
-            problems.iter().any(|p| matches!(p, Corruption::UnsortedColumn { dim: 0, .. })),
+            problems
+                .iter()
+                .any(|p| matches!(p, Corruption::UnsortedColumn { dim: 0, .. })),
             "{problems:?}"
         );
     }
@@ -435,7 +461,9 @@ mod verify_tests {
         db.pool_mut().invalidate_all();
         let problems = db.verify();
         assert!(
-            problems.iter().any(|p| matches!(p, Corruption::BadPidMultiset { dim: 0 })),
+            problems
+                .iter()
+                .any(|p| matches!(p, Corruption::BadPidMultiset { dim: 0 })),
             "{problems:?}"
         );
         let _ = COLUMN_ENTRIES_PER_PAGE;

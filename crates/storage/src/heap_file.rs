@@ -45,7 +45,12 @@ impl HeapFile {
         if slot > 0 {
             store.append_page(&page);
         }
-        HeapFile { dims, len: ds.len(), rows_per_page: rpp, base_page }
+        HeapFile {
+            dims,
+            len: ds.len(),
+            rows_per_page: rpp,
+            base_page,
+        }
     }
 
     /// Reconstructs a handle to an existing heap file from its layout
@@ -55,7 +60,12 @@ impl HeapFile {
     ///
     /// Panics when a `dims`-dimensional row cannot fit one page.
     pub fn open(dims: usize, len: usize, base_page: usize) -> Self {
-        HeapFile { dims, len, rows_per_page: rows_per_page(dims), base_page }
+        HeapFile {
+            dims,
+            len,
+            rows_per_page: rows_per_page(dims),
+            base_page,
+        }
     }
 
     /// Dimensionality of the stored rows.
@@ -140,8 +150,9 @@ mod tests {
     use crate::store::MemStore;
 
     fn sample(n: usize, d: usize) -> Dataset {
-        let rows: Vec<Vec<f64>> =
-            (0..n).map(|i| (0..d).map(|j| (i * d + j) as f64 * 0.5).collect()).collect();
+        let rows: Vec<Vec<f64>> = (0..n)
+            .map(|i| (0..d).map(|j| (i * d + j) as f64 * 0.5).collect())
+            .collect();
         Dataset::from_rows(&rows).unwrap()
     }
 

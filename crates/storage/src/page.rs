@@ -107,7 +107,10 @@ mod tests {
         write_column_entry(&mut p, 0, 7, 0.125);
         write_column_entry(&mut p, COLUMN_ENTRIES_PER_PAGE - 1, u32::MAX, -1.5);
         assert_eq!(read_column_entry(&p, 0), (7, 0.125));
-        assert_eq!(read_column_entry(&p, COLUMN_ENTRIES_PER_PAGE - 1), (u32::MAX, -1.5));
+        assert_eq!(
+            read_column_entry(&p, COLUMN_ENTRIES_PER_PAGE - 1),
+            (u32::MAX, -1.5)
+        );
     }
 
     #[test]

@@ -38,7 +38,10 @@ fn write_header(buf: &mut PageBuf, dims: usize, cardinality: usize) {
 
 fn read_header(buf: &PageBuf) -> io::Result<(usize, usize)> {
     if &buf[..8] != MAGIC {
-        return Err(io::Error::new(io::ErrorKind::InvalidData, "not a knmatch database file"));
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "not a knmatch database file",
+        ));
     }
     let version = u32::from_le_bytes(buf[8..12].try_into().expect("4 bytes"));
     if version != FORMAT_VERSION {
@@ -50,7 +53,10 @@ fn read_header(buf: &PageBuf) -> io::Result<(usize, usize)> {
     let dims = u32::from_le_bytes(buf[12..16].try_into().expect("4 bytes")) as usize;
     let cardinality = u64::from_le_bytes(buf[16..24].try_into().expect("8 bytes")) as usize;
     if dims == 0 || dims * 8 > crate::page::PAGE_SIZE {
-        return Err(io::Error::new(io::ErrorKind::InvalidData, "corrupt header: bad dims"));
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "corrupt header: bad dims",
+        ));
     }
     Ok((dims, cardinality))
 }
@@ -93,8 +99,8 @@ impl DiskDatabase<FileStore> {
 
         let heap = HeapFile::open(dims, cardinality, 1);
         let columns_base = 1 + cardinality.div_ceil(rows_per_page(dims));
-        let expected_pages = columns_base
-            + dims * cardinality.div_ceil(crate::page::COLUMN_ENTRIES_PER_PAGE);
+        let expected_pages =
+            columns_base + dims * cardinality.div_ceil(crate::page::COLUMN_ENTRIES_PER_PAGE);
         if store.page_count() < expected_pages {
             return Err(io::Error::new(
                 io::ErrorKind::InvalidData,
@@ -134,7 +140,10 @@ mod tests {
         assert_eq!(reopened.len(), 1500);
         let replayed = reopened.frequent_k_n_match(&q, 10, 2, 5).unwrap();
         assert_eq!(fresh.result.ids(), replayed.result.ids());
-        assert_eq!(fresh.ad.attributes_retrieved, replayed.ad.attributes_retrieved);
+        assert_eq!(
+            fresh.ad.attributes_retrieved,
+            replayed.ad.attributes_retrieved
+        );
 
         // The scan baseline works on the reopened file too.
         let scan = reopened.scan_frequent_k_n_match(&q, 10, 2, 5).unwrap();
@@ -146,7 +155,10 @@ mod tests {
     fn rejects_garbage_and_truncation() {
         let path = tmp("garbage.knm");
         std::fs::write(&path, vec![0u8; crate::page::PAGE_SIZE]).unwrap();
-        assert!(DiskDatabase::open_file(&path, 8).is_err(), "bad magic must fail");
+        assert!(
+            DiskDatabase::open_file(&path, 8).is_err(),
+            "bad magic must fail"
+        );
 
         let ds = uniform(500, 4, 1);
         DiskDatabase::create_file(&path, &ds, 8).unwrap();

@@ -92,9 +92,9 @@ impl<S: PageStore> DiskDatabase<S> {
         // (no extra I/O).
         let columns = self.columns().clone();
         let mut pages_ad = 0u64;
-        for dim in 0..d {
-            let lo = columns.locate_fences_only(dim, query[dim] - eps);
-            let hi = columns.locate_fences_only(dim, query[dim] + eps);
+        for (dim, &qv) in query.iter().enumerate() {
+            let lo = columns.locate_fences_only(dim, qv - eps);
+            let hi = columns.locate_fences_only(dim, qv + eps);
             let entries = hi.saturating_sub(lo).max(1);
             pages_ad += (entries as u64).div_ceil(COLUMN_ENTRIES_PER_PAGE as u64) + 1;
         }
@@ -106,7 +106,11 @@ impl<S: PageStore> DiskDatabase<S> {
         let scan_ms = model.random_ms + (scan_pages - 1.0).max(0.0) * model.sequential_ms;
 
         Ok(PlanChoice {
-            plan: if ad_ms <= scan_ms { Plan::Ad } else { Plan::Scan },
+            plan: if ad_ms <= scan_ms {
+                Plan::Ad
+            } else {
+                Plan::Scan
+            },
             ad_estimate_ms: ad_ms,
             scan_estimate_ms: scan_ms,
             estimated_epsilon: eps,
@@ -145,7 +149,11 @@ mod tests {
 
     fn uniformish(c: usize, d: usize) -> Dataset {
         let rows: Vec<Vec<f64>> = (0..c)
-            .map(|i| (0..d).map(|j| ((i * 31 + j * 17) as f64 * 0.6180339887) % 1.0).collect())
+            .map(|i| {
+                (0..d)
+                    .map(|j| ((i * 31 + j * 17) as f64 * 0.6180339887) % 1.0)
+                    .collect()
+            })
             .collect();
         Dataset::from_rows(&rows).unwrap()
     }
@@ -185,8 +193,9 @@ mod tests {
         let ds = uniformish(3_000, 6);
         let mut db = DiskDatabase::<MemStore>::build_in_memory(&ds, 64);
         let q = ds.point(1).to_vec();
-        let choice =
-            db.plan_frequent_k_n_match(&q, 5, 2, 4, CostModel::default()).unwrap();
+        let choice = db
+            .plan_frequent_k_n_match(&q, 5, 2, 4, CostModel::default())
+            .unwrap();
         assert!(choice.ad_estimate_ms > 0.0);
         assert!(choice.scan_estimate_ms > 0.0);
         assert!(choice.estimated_epsilon > 0.0);
@@ -197,8 +206,14 @@ mod tests {
         let ds = uniformish(100, 4);
         let mut db = DiskDatabase::<MemStore>::build_in_memory(&ds, 16);
         let model = CostModel::default();
-        assert!(db.plan_frequent_k_n_match(&[0.0; 3], 5, 1, 4, model).is_err());
-        assert!(db.plan_frequent_k_n_match(&[0.0; 4], 0, 1, 4, model).is_err());
-        assert!(db.plan_frequent_k_n_match(&[0.0; 4], 5, 3, 2, model).is_err());
+        assert!(db
+            .plan_frequent_k_n_match(&[0.0; 3], 5, 1, 4, model)
+            .is_err());
+        assert!(db
+            .plan_frequent_k_n_match(&[0.0; 4], 0, 1, 4, model)
+            .is_err());
+        assert!(db
+            .plan_frequent_k_n_match(&[0.0; 4], 5, 3, 2, model)
+            .is_err());
     }
 }

@@ -81,8 +81,12 @@ impl FileStore {
     ///
     /// Propagates filesystem errors.
     pub fn create<P: AsRef<Path>>(path: P) -> std::io::Result<Self> {
-        let file =
-            OpenOptions::new().read(true).write(true).create(true).truncate(true).open(path)?;
+        let file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(true)
+            .open(path)?;
         Ok(FileStore { file, pages: 0 })
     }
 
@@ -101,7 +105,10 @@ impl FileStore {
                 format!("file length {len} is not a multiple of the page size"),
             ));
         }
-        Ok(FileStore { file, pages: len / PAGE_SIZE })
+        Ok(FileStore {
+            file,
+            pages: len / PAGE_SIZE,
+        })
     }
 }
 
@@ -111,7 +118,11 @@ impl PageStore for FileStore {
     }
 
     fn read_page(&mut self, no: usize, buf: &mut PageBuf) {
-        assert!(no < self.pages, "page {no} out of range ({} pages)", self.pages);
+        assert!(
+            no < self.pages,
+            "page {no} out of range ({} pages)",
+            self.pages
+        );
         self.file
             .seek(SeekFrom::Start((no * PAGE_SIZE) as u64))
             .and_then(|_| self.file.read_exact(buf))
@@ -119,7 +130,11 @@ impl PageStore for FileStore {
     }
 
     fn write_page(&mut self, no: usize, buf: &PageBuf) {
-        assert!(no < self.pages, "page {no} out of range ({} pages)", self.pages);
+        assert!(
+            no < self.pages,
+            "page {no} out of range ({} pages)",
+            self.pages
+        );
         self.file
             .seek(SeekFrom::Start((no * PAGE_SIZE) as u64))
             .and_then(|_| self.file.write_all(buf))

@@ -52,8 +52,14 @@ impl VaFile {
         let boundaries: Vec<Vec<f64>> = (0..dims)
             .map(|j| {
                 let lo = mins[j];
-                let hi = if maxs[j] > mins[j] { maxs[j] } else { mins[j] + 1.0 };
-                (0..=cells).map(|c| lo + (hi - lo) * c as f64 / cells as f64).collect()
+                let hi = if maxs[j] > mins[j] {
+                    maxs[j]
+                } else {
+                    mins[j] + 1.0
+                };
+                (0..=cells)
+                    .map(|c| lo + (hi - lo) * c as f64 / cells as f64)
+                    .collect()
             })
             .collect();
 
@@ -62,12 +68,22 @@ impl VaFile {
         // reports for b = 8.
         let row_bytes = (dims * bits as usize).div_ceil(8);
         let rows_per_page = PAGE_SIZE / row_bytes;
-        assert!(rows_per_page >= 1, "a {row_bytes}-byte approximation row must fit one page");
+        assert!(
+            rows_per_page >= 1,
+            "a {row_bytes}-byte approximation row must fit one page"
+        );
         let base_page = store.page_count();
 
         let mut page = [0u8; PAGE_SIZE];
         let mut slot = 0usize;
-        let mut this = VaFile { bits, dims, len: ds.len(), boundaries, rows_per_page, base_page };
+        let mut this = VaFile {
+            bits,
+            dims,
+            len: ds.len(),
+            boundaries,
+            rows_per_page,
+            base_page,
+        };
         for (_, p) in ds.iter() {
             let off = slot * row_bytes;
             for (j, &v) in p.iter().enumerate() {
@@ -235,8 +251,9 @@ mod tests {
     use knmatch_storage::MemStore;
 
     fn sample() -> (Dataset, VaFile, BufferPool<MemStore>) {
-        let rows: Vec<Vec<f64>> =
-            (0..100).map(|i| vec![i as f64 / 99.0, (99 - i) as f64 / 99.0]).collect();
+        let rows: Vec<Vec<f64>> = (0..100)
+            .map(|i| vec![i as f64 / 99.0, (99 - i) as f64 / 99.0])
+            .collect();
         let ds = Dataset::from_rows(&rows).unwrap();
         let mut store = MemStore::new();
         let va = VaFile::build(&mut store, &ds, 4);
@@ -329,8 +346,9 @@ mod tests {
         for bits in 1u8..=8 {
             let dims = 11usize;
             let mut row = vec![0u8; (dims * bits as usize).div_ceil(8)];
-            let cells: Vec<u8> =
-                (0..dims).map(|j| ((j * 37 + 5) % (1usize << bits)) as u8).collect();
+            let cells: Vec<u8> = (0..dims)
+                .map(|j| ((j * 37 + 5) % (1usize << bits)) as u8)
+                .collect();
             for (j, &c) in cells.iter().enumerate() {
                 super::pack_cell(&mut row, bits, j, c);
             }

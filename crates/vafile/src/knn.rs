@@ -42,7 +42,9 @@ pub fn k_nearest_va<S: PageStore>(
         lower.push(lb2);
         upper_top.offer(pid, ub2);
     });
-    let tau2 = upper_top.threshold().expect("k ≤ c guarantees k candidates");
+    let tau2 = upper_top
+        .threshold()
+        .expect("k ≤ c guarantees k candidates");
 
     // Phase 2: refine survivors.
     let mut top = TopK::new(k);
@@ -61,9 +63,16 @@ pub fn k_nearest_va<S: PageStore>(
     let result: Vec<Neighbour> = top
         .into_sorted()
         .into_iter()
-        .map(|(pid, d2)| Neighbour { pid, dist: d2.sqrt() })
+        .map(|(pid, d2)| Neighbour {
+            pid,
+            dist: d2.sqrt(),
+        })
         .collect();
-    Ok(VaOutcome { result, refined, io: merge_io(pool) })
+    Ok(VaOutcome {
+        result,
+        refined,
+        io: merge_io(pool),
+    })
 }
 
 fn merge_io<S: PageStore>(pool: &BufferPool<S>) -> IoStats {
@@ -108,8 +117,9 @@ mod tests {
 
     #[test]
     fn prunes_most_points_with_fine_bits() {
-        let rows: Vec<Vec<f64>> =
-            (0..2000).map(|i| vec![(i as f64 * 0.618) % 1.0, (i as f64 * 0.149) % 1.0]).collect();
+        let rows: Vec<Vec<f64>> = (0..2000)
+            .map(|i| vec![(i as f64 * 0.618) % 1.0, (i as f64 * 0.149) % 1.0])
+            .collect();
         let ds = Dataset::from_rows(&rows).unwrap();
         let (va, heap, mut pool) = build(&ds, 8);
         let out = k_nearest_va(&va, &heap, &mut pool, &[0.5, 0.5], 10).unwrap();

@@ -106,8 +106,11 @@ pub fn frequent_k_n_match_va<S: PageStore>(
         }
     }
 
-    let per_n: Vec<KnMatchResult> =
-        tops.into_iter().enumerate().map(|(i, t)| t.into_result(n0 + i)).collect();
+    let per_n: Vec<KnMatchResult> = tops
+        .into_iter()
+        .enumerate()
+        .map(|(i, t)| t.into_result(n0 + i))
+        .collect();
     let mut counts: Vec<u32> = vec![0; c];
     for res in &per_n {
         for e in &res.entries {
@@ -123,7 +126,11 @@ pub fn frequent_k_n_match_va<S: PageStore>(
     let entries = rank_frequent(&pairs, k);
 
     Ok(VaOutcome {
-        result: FrequentResult { range: (n0, n1), entries, per_n },
+        result: FrequentResult {
+            range: (n0, n1),
+            entries,
+            per_n,
+        },
         refined: candidates.len(),
         io: pool.stats(),
     })
@@ -198,8 +205,9 @@ mod tests {
 
     #[test]
     fn coarse_bits_refine_more_points() {
-        let rows: Vec<Vec<f64>> =
-            (0..500).map(|i| vec![(i as f64 * 0.618) % 1.0, (i as f64 * 0.382) % 1.0]).collect();
+        let rows: Vec<Vec<f64>> = (0..500)
+            .map(|i| vec![(i as f64 * 0.618) % 1.0, (i as f64 * 0.382) % 1.0])
+            .collect();
         let ds = Dataset::from_rows(&rows).unwrap();
         let q = [0.4, 0.6];
         let (va8, heap8, mut pool8) = build(&ds, 8);

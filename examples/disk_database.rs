@@ -18,12 +18,16 @@ fn main() {
 
     // Sequential scan of the heap file.
     let mut db = DiskDatabase::build_in_memory(&ds, 256);
-    let scan = db.scan_frequent_k_n_match(&query, k, n0, n1).expect("valid query");
+    let scan = db
+        .scan_frequent_k_n_match(&query, k, n0, n1)
+        .expect("valid query");
     report("sequential scan", scan.io, model);
 
     // Disk-based AD over the sorted-column file.
     db.pool_mut().invalidate_all();
-    let ad = db.frequent_k_n_match(&query, k, n0, n1).expect("valid query");
+    let ad = db
+        .frequent_k_n_match(&query, k, n0, n1)
+        .expect("valid query");
     report("AD algorithm", ad.io, model);
     println!(
         "    ({} of {} attributes retrieved — Theorem 3.2's minimum)",
@@ -37,8 +41,8 @@ fn main() {
     let heap = HeapFile::build(&mut store, &ds);
     let va = VaFile::build(&mut store, &ds, 8);
     let mut pool = BufferPool::new(store, 256);
-    let vout = frequent_k_n_match_va(&va, &heap, &mut pool, &query, k, n0, n1)
-        .expect("valid query");
+    let vout =
+        frequent_k_n_match_va(&va, &heap, &mut pool, &query, k, n0, n1).expect("valid query");
     report("VA-file", vout.io, model);
     println!("    ({} of {c} points survived the filter)", vout.refined);
 

@@ -47,8 +47,12 @@ fn main() {
     assert_eq!(matches[0].key, 1002);
 
     // A re-enrollment updates in place.
-    index.insert(1005, &[0.19, 0.32, 0.53, 0.09, 0.44]).expect("valid fingerprint");
-    let (freq, _) = index.frequent_k_n_match(&probe, 2, 2, 5).expect("valid query");
+    index
+        .insert(1005, &[0.19, 0.32, 0.53, 0.09, 0.44])
+        .expect("valid fingerprint");
+    let (freq, _) = index
+        .frequent_k_n_match(&probe, 2, 2, 5)
+        .expect("valid query");
     println!("\nfrequent matches over n ∈ [2, 5] after 1005's new fingerprint:");
     for (key, count) in &freq {
         println!("  device {key}  appears {count} times");

@@ -13,8 +13,14 @@ fn main() {
     // Products: (category, brand, price, rating, weight-kg) — two
     // categorical codes, three numerics (normalised to [0, 1]).
     let names = [
-        "trail runner A", "trail runner B", "road shoe", "hiking boot",
-        "trail runner C", "sandal", "approach shoe", "trail runner D",
+        "trail runner A",
+        "trail runner B",
+        "road shoe",
+        "hiking boot",
+        "trail runner C",
+        "sandal",
+        "approach shoe",
+        "trail runner D",
     ];
     let ds = Dataset::from_rows(&[
         vec![0.0, 0.0, 0.55, 0.90, 0.30], // cat 0 = trail, brand 0
@@ -28,11 +34,11 @@ fn main() {
     ])
     .unwrap();
     let schema = HybridSchema::new(vec![
-        DimKind::Categorical { weight: 1.0 },  // category: must match exactly
-        DimKind::Categorical { weight: 0.5 },  // brand: softer penalty
-        DimKind::Numeric { weight: 1.0 },      // price
-        DimKind::Numeric { weight: 1.0 },      // rating
-        DimKind::Numeric { weight: 1.0 },      // weight
+        DimKind::Categorical { weight: 1.0 }, // category: must match exactly
+        DimKind::Categorical { weight: 0.5 }, // brand: softer penalty
+        DimKind::Numeric { weight: 1.0 },     // price
+        DimKind::Numeric { weight: 1.0 },     // rating
+        DimKind::Numeric { weight: 1.0 },     // weight
     ])
     .unwrap();
     let cols = HybridColumns::build(&ds, schema).unwrap();
@@ -47,15 +53,19 @@ fn main() {
         println!("  {:<16} (diff {:.3})", names[e.pid as usize], e.diff);
     }
     println!("  [{} attributes read]\n", stats.attributes_retrieved);
-    assert_eq!(matches.entries[0].pid, 0, "the query product matches itself");
-    assert!(matches.contains(4), "the bad-rating twin matches on 4 of 5 dims");
+    assert_eq!(
+        matches.entries[0].pid, 0,
+        "the query product matches itself"
+    );
+    assert!(
+        matches.contains(4),
+        "the bad-rating twin matches on 4 of 5 dims"
+    );
 
     // Numeric-only view of the same catalog, streamed lazily: the consumer
     // decides when to stop.
-    let numeric = Dataset::from_rows(
-        &ds.iter().map(|(_, p)| p[2..].to_vec()).collect::<Vec<_>>(),
-    )
-    .unwrap();
+    let numeric =
+        Dataset::from_rows(&ds.iter().map(|(_, p)| p[2..].to_vec()).collect::<Vec<_>>()).unwrap();
     let mut cols2 = SortedColumns::build(&numeric);
     let mut stream = NMatchStream::new(&mut cols2, &query[2..], 2).unwrap();
     println!("streaming 2-of-3 numeric matches until diff exceeds 0.1:");
@@ -65,7 +75,10 @@ fn main() {
         }
         println!("  {:<16} (diff {:.3})", names[e.pid as usize], e.diff);
     }
-    println!("  [{} attributes read lazily]\n", stream.stats().attributes_retrieved);
+    println!(
+        "  [{} attributes read lazily]\n",
+        stream.stats().attributes_retrieved
+    );
 
     // Threshold form: everything matching 4 of 5 attributes within 0.08.
     let mut cols3 = SortedColumns::build(&ds);

@@ -49,12 +49,14 @@ fn main() {
         }
         println!("  n = {n:>2}: images {ids:?}");
     }
-    assert!(boat_sightings >= 3, "the twin boat must appear for several n");
+    assert!(
+        boat_sightings >= 3,
+        "the twin boat must appear for several n"
+    );
 
     // The frequent k-n-match query ranks by how often an image matches
     // across all n — full similarity without picking n.
-    let (freq, _) =
-        frequent_k_n_match_ad(&mut cols, &query, 5, 5, ds.dims()).expect("valid query");
+    let (freq, _) = frequent_k_n_match_ad(&mut cols, &query, 5, 5, ds.dims()).expect("valid query");
     println!("\nfrequent k-n-match (k = 5, n ∈ [5, {}]):", ds.dims());
     for e in &freq.entries {
         println!("  image {:>3} appears {} times", e.pid + 1, e.count);

@@ -74,7 +74,11 @@ fn main() {
     // The AD algorithm answers the 2-2-match with provably minimal sorted
     // accesses (Theorem 3.2).
     let (res, stats) = k_n_match_ad(&mut fed, &query, 2, 2).expect("valid query");
-    println!("\n2-2-match answer: documents {:?} (ε = {})", res.ids(), res.epsilon());
+    println!(
+        "\n2-2-match answer: documents {:?} (ε = {})",
+        res.ids(),
+        res.epsilon()
+    );
     println!(
         "sorted accesses billed: {} of {} total scores ({} heap pops, {} seeks)",
         fed.accesses_billed, total, stats.heap_pops, stats.locate_probes
@@ -85,8 +89,7 @@ fn main() {
     // A frequent k-n-match over every n costs no more than the single
     // k-n1-match (Theorem 3.3): the per-n answers fall out for free.
     let mut fed2 = Federation::new(&scores);
-    let (freq, fstats) =
-        frequent_k_n_match_ad(&mut fed2, &query, 2, 1, 3).expect("valid query");
+    let (freq, fstats) = frequent_k_n_match_ad(&mut fed2, &query, 2, 1, 3).expect("valid query");
     println!(
         "\nfrequent 2-n-match over n ∈ [1, 3]: ranked documents {:?} — \
          {} accesses (same as a plain 2-3-match)",

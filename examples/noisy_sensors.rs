@@ -31,7 +31,11 @@ fn main() {
         (spec.noise_prob * 100.0) as u32
     );
 
-    let cfg = ClassStripConfig { queries: 100, k: 20, seed: 7 };
+    let cfg = ClassStripConfig {
+        queries: 100,
+        k: 20,
+        seed: 7,
+    };
 
     let knn = accuracy(&fleet, &KnnMethod, &cfg);
     println!("kNN (Euclidean)            accuracy: {:5.1}%", knn * 100.0);

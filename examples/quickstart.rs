@@ -44,11 +44,14 @@ fn main() {
 
     // 3. The frequent k-n-match query removes the need to pick n: it runs
     //    every n in [1, d] and ranks objects by how often they appear.
-    let (freq, _) =
-        frequent_k_n_match_ad(&mut cols, &query, 2, 1, ds.dims()).expect("valid query");
+    let (freq, _) = frequent_k_n_match_ad(&mut cols, &query, 2, 1, ds.dims()).expect("valid query");
     println!("\nfrequent k-n-match over n ∈ [1, 10], k = 2:");
     for e in &freq.entries {
-        println!("  object {} appears in {} of 10 answer sets", e.pid + 1, e.count);
+        println!(
+            "  object {} appears in {} of 10 answer sets",
+            e.pid + 1,
+            e.count
+        );
     }
     assert!(
         !freq.ids().contains(&3),

@@ -1,0 +1,28 @@
+#!/usr/bin/env bash
+# Full verification gate, safe to run offline (the workspace has zero
+# external dependencies):
+#
+#   1. tier-1:  cargo build --release && cargo test -q
+#   2. style:   cargo fmt --all -- --check
+#   3. lints:   cargo clippy --all-targets -- -D warnings
+#
+# Usage: scripts/verify.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+# Never touch the network: every dependency is a workspace path crate.
+export CARGO_NET_OFFLINE=true
+
+echo "==> tier-1: cargo build --release"
+cargo build --release --workspace
+
+echo "==> tier-1: cargo test -q"
+cargo test -q
+
+echo "==> cargo fmt --check"
+cargo fmt --all -- --check
+
+echo "==> cargo clippy -D warnings"
+cargo clippy --all-targets -- -D warnings
+
+echo "verify: OK"

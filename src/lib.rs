@@ -41,6 +41,25 @@
 //! let (freq, _) = frequent_k_n_match_ad(&mut cols, &query, 2, 1, 10).unwrap();
 //! assert!(!freq.ids().contains(&3));
 //! ```
+//!
+//! ## Batch queries
+//!
+//! Many queries against one dataset go through the [`QueryEngine`](core::QueryEngine),
+//! which shares the sorted columns across worker threads and reuses
+//! per-worker scratch instead of allocating per query — same answers,
+//! same stats, in input order:
+//!
+//! ```
+//! use std::sync::Arc;
+//! use knmatch::prelude::*;
+//!
+//! let ds = knmatch::core::paper::fig1_dataset();
+//! let engine = QueryEngine::new(Arc::new(SortedColumns::build(&ds)));
+//! let batch: Vec<BatchQuery> = (1..=10)
+//!     .map(|n| BatchQuery::KnMatch { query: knmatch::core::paper::fig1_query(), k: 1, n })
+//!     .collect();
+//! assert!(engine.run(&batch).iter().all(Result::is_ok));
+//! ```
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
@@ -56,10 +75,11 @@ pub use knmatch_vafile as vafile;
 /// The names most programs need, in one import.
 pub mod prelude {
     pub use knmatch_core::{
-        frequent_k_n_match_ad, frequent_k_n_match_scan, k_n_match_ad, k_n_match_scan,
-        k_nearest, nmatch_difference, skyline_wrt, AdStats, Chebyshev, Dataset, Dpf, Euclidean,
-        FrequentResult, KnMatchError, KnMatchResult, Lp, Manhattan, Metric, Neighbour, PointId,
-        SortedAccessSource, SortedColumns, SortedEntry,
+        eps_n_match_ad, eps_n_match_ad_with, frequent_k_n_match_ad, frequent_k_n_match_ad_with,
+        frequent_k_n_match_scan, k_n_match_ad, k_n_match_ad_with, k_n_match_scan, k_nearest,
+        nmatch_difference, skyline_wrt, AdStats, BatchAnswer, BatchQuery, Chebyshev, Dataset, Dpf,
+        Euclidean, FrequentResult, KnMatchError, KnMatchResult, Lp, Manhattan, Metric, Neighbour,
+        PointId, QueryEngine, Scratch, SortedAccessSource, SortedColumns, SortedEntry,
     };
     pub use knmatch_data::{coil_like, labelled_clusters, skewed, uniform, ClusterSpec};
     pub use knmatch_igrid::IGridIndex;

@@ -70,7 +70,12 @@ fn disk_cost_ordering_ad_scan_igrid() {
     let ad = bench.ad_frequent(&queries, 20, 4, 8);
     let scan = bench.scan_frequent(&queries, 20, 4, 8);
     let igrid = bench.igrid_query(&queries, 20);
-    assert!(ad.pages < scan.pages, "AD pages {} !< scan {}", ad.pages, scan.pages);
+    assert!(
+        ad.pages < scan.pages,
+        "AD pages {} !< scan {}",
+        ad.pages,
+        scan.pages
+    );
     assert!(
         ad.time_ms < scan.time_ms && scan.time_ms < igrid.time_ms,
         "expected AD < scan < IGrid: {} / {} / {}",
@@ -88,8 +93,7 @@ fn va_pruning_is_sound_and_answers_exactly() {
     let va = VaFile::build(&mut store, &ds, 8);
     let mut pool = BufferPool::new(store, 128);
     for q in sample_query_points(&ds, 3, 8) {
-        let out =
-            frequent_k_n_match_va(&va, &heap, &mut pool, &q, 15, 3, 6).expect("valid");
+        let out = frequent_k_n_match_va(&va, &heap, &mut pool, &q, 15, 3, 6).expect("valid");
         let oracle = frequent_k_n_match_scan(&ds, &q, 15, 3, 6).expect("oracle");
         assert_eq!(out.result.ids(), oracle.ids());
         assert!(out.refined >= 15, "at least k candidates refine");

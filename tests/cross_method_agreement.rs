@@ -23,12 +23,13 @@ fn check_all_agree(ds: &Dataset, query: &[f64], k: usize, n0: usize, n1: usize) 
     let mut db = DiskDatabase::build_in_memory(ds, 64);
     let disk_ad = db.frequent_k_n_match(query, k, n0, n1).expect("disk AD");
     assert_eq!(disk_ad.result.ids(), oracle.ids(), "disk AD vs oracle");
-    let disk_scan = db.scan_frequent_k_n_match(query, k, n0, n1).expect("disk scan");
+    let disk_scan = db
+        .scan_frequent_k_n_match(query, k, n0, n1)
+        .expect("disk scan");
     assert_eq!(disk_scan.result.ids(), oracle.ids(), "disk scan vs oracle");
 
     let (va, heap, mut pool) = va_setup(ds, 8);
-    let va_out =
-        frequent_k_n_match_va(&va, &heap, &mut pool, query, k, n0, n1).expect("VA-file");
+    let va_out = frequent_k_n_match_va(&va, &heap, &mut pool, query, k, n0, n1).expect("VA-file");
     assert_eq!(va_out.result.ids(), oracle.ids(), "VA-file vs oracle");
 
     // Per-n answer sets agree too.
@@ -83,7 +84,10 @@ fn paper_figures_end_to_end() {
     let (freq_ad, _) = frequent_k_n_match_ad(&mut cols, &q, 2, 1, 10).expect("AD");
     let freq_scan = frequent_k_n_match_scan(&ds, &q, 2, 1, 10).expect("scan");
     for freq in [&freq_ad, &freq_scan] {
-        assert!(!freq.ids().contains(&3), "the all-20s object is never frequent");
+        assert!(
+            !freq.ids().contains(&3),
+            "the all-20s object is never frequent"
+        );
         for e in &freq.entries {
             assert!(e.pid <= 2);
         }
@@ -118,6 +122,9 @@ fn single_n_equals_frequent_with_degenerate_range() {
         sorted_single.sort_unstable();
         let mut freq_ids = freq.ids();
         freq_ids.sort_unstable();
-        assert_eq!(sorted_single, freq_ids, "degenerate frequent = plain k-n-match");
+        assert_eq!(
+            sorted_single, freq_ids,
+            "degenerate frequent = plain k-n-match"
+        );
     }
 }

@@ -1,9 +1,9 @@
 //! Cross-crate integration: the effectiveness experiments behave like the
 //! paper's Section 5.1 on the synthetic stand-ins, at reduced scale.
 
+use knmatch::data::{labelled_clusters, uci_standins, ClusterSpec};
 use knmatch::eval::experiments::{fig8a, fig8b, fig9a, table2, table3, table4};
 use knmatch::eval::{accuracy, ClassStripConfig, FrequentKnMatchMethod, KnnMethod};
-use knmatch::data::{labelled_clusters, uci_standins, ClusterSpec};
 
 #[test]
 fn table2_and_table3_reproduce_the_boat_story() {
@@ -26,7 +26,12 @@ fn table4_shape_matches_the_paper() {
     // accuracies are in a sane band.
     assert_eq!(t4.rows.len(), 5);
     for r in &t4.rows {
-        assert!((0.5..=1.0).contains(&r.frequent), "{}: {}", r.dataset, r.frequent);
+        assert!(
+            (0.5..=1.0).contains(&r.frequent),
+            "{}: {}",
+            r.dataset,
+            r.frequent
+        );
         assert!((0.3..=1.0).contains(&r.igrid), "{}: {}", r.dataset, r.igrid);
         if r.dims >= 15 {
             assert!(
@@ -46,7 +51,10 @@ fn fig8_sweeps_cover_the_grid_and_stay_bounded() {
         assert_eq!(sweep.series.len(), 3);
         for s in &sweep.series {
             assert!(!s.points.is_empty());
-            assert!(s.points.iter().all(|&(x, y)| x >= 1.0 && (0.0..=1.0).contains(&y)));
+            assert!(s
+                .points
+                .iter()
+                .all(|&(x, y)| x >= 1.0 && (0.0..=1.0).contains(&y)));
         }
         // Rendering works and mentions every dataset.
         let text = sweep.to_string();
@@ -61,7 +69,11 @@ fn fig9a_retrieval_monotone_and_under_total() {
     let sweep = fig9a(2, 8);
     for s in &sweep.series {
         let ys: Vec<f64> = s.points.iter().map(|p| p.1).collect();
-        assert!(ys.windows(2).all(|w| w[1] >= w[0] - 1e-9), "{}: {ys:?}", s.label);
+        assert!(
+            ys.windows(2).all(|w| w[1] >= w[0] - 1e-9),
+            "{}: {ys:?}",
+            s.label
+        );
         assert!(ys.iter().all(|&y| (0.0..=100.0).contains(&y)));
     }
 }
@@ -70,7 +82,11 @@ fn fig9a_retrieval_monotone_and_under_total() {
 fn noise_widens_the_knn_gap() {
     // The more glitched coordinates, the larger frequent k-n-match's edge
     // over kNN — the causal mechanism behind Table 4.
-    let cfg = ClassStripConfig { queries: 50, k: 10, seed: 3 };
+    let cfg = ClassStripConfig {
+        queries: 50,
+        k: 10,
+        seed: 3,
+    };
     let mut gaps = Vec::new();
     for noise in [0.0, 0.25] {
         let lds = labelled_clusters(&ClusterSpec {

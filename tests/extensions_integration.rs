@@ -69,11 +69,15 @@ fn hybrid_categorical_dimension_changes_answers() {
     let cols = HybridColumns::build(&ds, schema).unwrap();
     let mut q = base.point(0).to_vec();
     q.push(0.0); // category 0
-    // With n = 5 every dimension must match: only category-0 points can
-    // have a small 5-match difference.
+                 // With n = 5 every dimension must match: only category-0 points can
+                 // have a small 5-match difference.
     let (m, _) = knmatch::core::k_n_match_hybrid(&cols, &q, 5, 5).unwrap();
     assert!(m.entries[0].diff < 10.0);
-    assert_eq!(m.entries[0].pid % 3, 0, "best full match shares the category");
+    assert_eq!(
+        m.entries[0].pid % 3,
+        0,
+        "best full match shares the category"
+    );
 }
 
 #[test]
@@ -92,7 +96,8 @@ fn medrank_and_ad_agree_when_data_is_well_separated() {
         let q = lds.data.point(qid).to_vec();
         let (mr, _) = medrank(&mut cols, &q, 1, None).unwrap();
         assert_eq!(
-            lds.labels[mr.ids()[0] as usize], lds.labels[qid as usize],
+            lds.labels[mr.ids()[0] as usize],
+            lds.labels[qid as usize],
             "MEDRANK's winner shares the query's cluster"
         );
     }
@@ -121,8 +126,11 @@ fn stream_eps_and_batch_views_are_consistent() {
     let eps = topk.epsilon();
     let (by_eps, _) = eps_n_match_ad(&mut b, &q, eps, 4).unwrap();
     assert_eq!(by_eps.ids(), topk.ids());
-    let streamed: Vec<u32> =
-        NMatchStream::new(&mut c, &q, 4).unwrap().take(12).map(|e| e.pid).collect();
+    let streamed: Vec<u32> = NMatchStream::new(&mut c, &q, 4)
+        .unwrap()
+        .take(12)
+        .map(|e| e.pid)
+        .collect();
     let mut sorted_stream = streamed.clone();
     sorted_stream.sort_unstable();
     let mut sorted_top = topk.ids();
