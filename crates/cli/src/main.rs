@@ -8,6 +8,7 @@
 //! knmatch query db.knm --point 0.1,0.5,… -k 10 -n 4
 //! knmatch query db.knm --point 0.1,0.5,… -k 10 --frequent 4 8
 //! knmatch batch data.csv --queries queries.csv -k 10 --frequent 4 8 --workers 4
+//! knmatch batch db.knm --queries queries.csv -k 10 -n 4 --disk --workers 4
 //! ```
 
 use std::fmt::Write as _;
@@ -47,8 +48,9 @@ fn usage() -> &'static str {
      knmatch verify <db.knm>\n  \
      knmatch query <db.knm> --point <v1,v2,…> -k <K> (-n <N> | --frequent <N0> <N1> [--auto])\n  \
      knmatch bench <db.knm> -k <K> --frequent <N0> <N1> [--queries Q] [--seed S]\n  \
-     knmatch batch <data.csv> --queries <queries.csv> \
-     (-k <K> -n <N> | -k <K> --frequent <N0> <N1> | --eps <E> -n <N>) [--workers W]"
+     knmatch batch <data.csv|db.knm> --queries <queries.csv> \
+     (-k <K> -n <N> | -k <K> --frequent <N0> <N1> | --eps <E> -n <N>) [--workers W] \
+     [--disk [--pool-pages P]]"
 }
 
 /// Executes one CLI invocation, returning the text to print and whether
@@ -161,17 +163,19 @@ fn bench(args: &[String]) -> Result<String, String> {
     Ok(out)
 }
 
-/// Executes a file of query points as one parallel batch against an
-/// in-memory sorted-column index built from a CSV dataset.
+/// Executes a file of query points as one parallel batch: by default
+/// against an in-memory sorted-column index built from a CSV dataset, or
+/// with `--disk` against a database file behind a shared buffer pool.
 fn batch(args: &[String]) -> Result<(String, bool), String> {
-    let data = args.first().ok_or("batch needs <data.csv>")?;
+    let data = args
+        .first()
+        .ok_or("batch needs <data.csv> (or <db.knm> with --disk)")?;
     let queries_path = flag_value(args, "--queries").ok_or("batch needs --queries <file.csv>")?;
     let workers: usize = match flag_value(args, "--workers") {
         Some(w) => parse_num(w, "--workers")?,
         None => std::thread::available_parallelism().map_or(1, |n| n.get()),
     };
 
-    let ds = knmatch_data::load_dataset(data).map_err(|e| e.to_string())?;
     let qs = knmatch_data::load_dataset(queries_path).map_err(|e| e.to_string())?;
     let points: Vec<Vec<f64>> = qs.iter().map(|(_, p)| p.to_vec()).collect();
 
@@ -202,6 +206,11 @@ fn batch(args: &[String]) -> Result<(String, bool), String> {
         (qs, format!("{k}-{n}-match"))
     };
 
+    if args.iter().any(|a| a == "--disk") {
+        return batch_disk(data, args, &queries, &header, workers);
+    }
+
+    let ds = knmatch_data::load_dataset(data).map_err(|e| e.to_string())?;
     let engine = QueryEngine::with_workers(Arc::new(SortedColumns::build(&ds)), workers);
     let started = std::time::Instant::now();
     let results = engine.run(&queries);
@@ -220,14 +229,7 @@ fn batch(args: &[String]) -> Result<(String, bool), String> {
         match r {
             Ok((answer, stats)) => {
                 attrs += stats.attributes_retrieved;
-                let ids = match answer {
-                    BatchAnswer::KnMatch(r) | BatchAnswer::EpsMatch(r) => r.ids(),
-                    BatchAnswer::Frequent(r) => r.ids(),
-                };
-                let shown: Vec<String> = ids.iter().take(10).map(|pid| pid.to_string()).collect();
-                let ellipsis = if ids.len() > 10 { ", …" } else { "" };
-                writeln!(out, "  #{i}: [{}{}]", shown.join(", "), ellipsis)
-                    .expect("write to String");
+                writeln!(out, "  #{i}: [{}]", shown_ids(answer)).expect("write to String");
             }
             Err(e) => {
                 failures += 1;
@@ -245,6 +247,102 @@ fn batch(args: &[String]) -> Result<(String, bool), String> {
             results.len() as f64 / secs
         } else {
             f64::INFINITY
+        },
+    )
+    .expect("write to String");
+    Ok((out, failures == 0))
+}
+
+/// Renders a batch answer's ids, truncated to the first ten.
+fn shown_ids(answer: &BatchAnswer) -> String {
+    let ids = match answer {
+        BatchAnswer::KnMatch(r) | BatchAnswer::EpsMatch(r) => r.ids(),
+        BatchAnswer::Frequent(r) => r.ids(),
+    };
+    let shown: Vec<String> = ids.iter().take(10).map(|pid| pid.to_string()).collect();
+    let ellipsis = if ids.len() > 10 { ", …" } else { "" };
+    format!("{}{}", shown.join(", "), ellipsis)
+}
+
+/// The `--disk` arm of `batch`: runs the batch against a database file
+/// through a [`knmatch_storage::DiskQueryEngine`], reporting per-query
+/// page I/O (modelled on a cold pool, so it is worker-count independent)
+/// plus the shared pool's actual hit ratio.
+fn batch_disk(
+    path: &str,
+    args: &[String],
+    queries: &[BatchQuery],
+    header: &str,
+    workers: usize,
+) -> Result<(String, bool), String> {
+    let pool_pages: usize = parse_num(
+        flag_value(args, "--pool-pages").unwrap_or("256"),
+        "--pool-pages",
+    )?;
+    let db = DiskDatabase::open_file(path, pool_pages).map_err(|e| e.to_string())?;
+    let engine = db.into_engine(workers);
+    let model = CostModel::default();
+
+    let started = std::time::Instant::now();
+    let results = engine.run(queries);
+    let elapsed = started.elapsed();
+    let pool = engine.pool_stats();
+
+    let mut out = format!(
+        "{} queries ({header}) against {path}: {} points x {} dims, {} worker(s), {} pool pages\n",
+        queries.len(),
+        engine.columns().cardinality(),
+        engine.columns().dims(),
+        engine.workers(),
+        engine.pool_pages(),
+    );
+    let mut attrs = 0u64;
+    let mut failures = 0usize;
+    for (i, r) in results.iter().enumerate() {
+        match r {
+            Ok(o) => {
+                attrs += o.ad.attributes_retrieved;
+                writeln!(
+                    out,
+                    "  #{i}: [{}] — {} pages ({} seq + {} rand, {} hits), {:.1} ms modelled",
+                    shown_ids(&o.answer),
+                    o.io.page_accesses(),
+                    o.io.sequential_reads,
+                    o.io.random_reads,
+                    o.io.hits,
+                    o.io.response_time_ms(model),
+                )
+                .expect("write to String");
+            }
+            Err(e) => {
+                failures += 1;
+                writeln!(out, "  #{i}: error: {e}").expect("write to String");
+            }
+        }
+    }
+    let secs = elapsed.as_secs_f64();
+    writeln!(
+        out,
+        "{} ok / {failures} failed in {:.1} ms ({:.0} queries/s), {attrs} attributes retrieved",
+        results.len() - failures,
+        secs * 1e3,
+        if secs > 0.0 {
+            results.len() as f64 / secs
+        } else {
+            f64::INFINITY
+        },
+    )
+    .expect("write to String");
+    let lookups = pool.hits + pool.page_accesses();
+    writeln!(
+        out,
+        "shared pool: {} store reads, {} hits ({:.0}% hit ratio)",
+        pool.page_accesses(),
+        pool.hits,
+        if lookups > 0 {
+            pool.hits as f64 / lookups as f64 * 100.0
+        } else {
+            0.0
         },
     )
     .expect("write to String");
@@ -374,9 +472,12 @@ fn query(args: &[String]) -> Result<String, String> {
         }
         writeln!(
             out,
-            "cost: {} attributes, {} pages ({:.1} ms modelled)",
+            "cost: {} attributes, {} pages ({} seq + {} rand, {} hits), {:.1} ms modelled",
             r.ad.attributes_retrieved,
             r.io.page_accesses(),
+            r.io.sequential_reads,
+            r.io.random_reads,
+            r.io.hits,
             r.io.response_time_ms(model)
         )
         .expect("write to String");
@@ -394,9 +495,12 @@ fn query(args: &[String]) -> Result<String, String> {
         }
         writeln!(
             out,
-            "cost: {} attributes, {} pages ({:.1} ms modelled)",
+            "cost: {} attributes, {} pages ({} seq + {} rand, {} hits), {:.1} ms modelled",
             r.ad.attributes_retrieved,
             r.io.page_accesses(),
+            r.io.sequential_reads,
+            r.io.random_reads,
+            r.io.hits,
             r.io.response_time_ms(model)
         )
         .expect("write to String");
@@ -726,6 +830,61 @@ mod batch_tests {
         assert!(!all_ok);
         assert!(out.contains("0 ok / 8 failed"), "{out}");
         assert_eq!(out.matches("invalid epsilon -1").count(), 8);
+
+        // --disk runs the same batch through the DiskQueryEngine: same
+        // answers, now with per-query I/O stats. Per-query lines are
+        // worker-count independent (modelled on a cold private pool).
+        let db = dir.join("data.knm");
+        run(&s(&["build", data.to_str().unwrap(), db.to_str().unwrap()])).unwrap();
+        let mem = run(&s(&[
+            "batch",
+            data.to_str().unwrap(),
+            "--queries",
+            queries.to_str().unwrap(),
+            "-k",
+            "3",
+            "-n",
+            "2",
+        ]))
+        .unwrap()
+        .0;
+        let mut disk_query_lines: Option<Vec<String>> = None;
+        for workers in ["1", "4"] {
+            let (out, all_ok) = run(&s(&[
+                "batch",
+                db.to_str().unwrap(),
+                "--queries",
+                queries.to_str().unwrap(),
+                "-k",
+                "3",
+                "-n",
+                "2",
+                "--disk",
+                "--workers",
+                workers,
+                "--pool-pages",
+                "64",
+            ]))
+            .unwrap();
+            assert!(all_ok);
+            assert!(out.contains("64 pool pages"), "{out}");
+            assert!(out.contains("hit ratio"), "{out}");
+            let lines: Vec<String> = out
+                .lines()
+                .filter(|l| l.contains("ms modelled"))
+                .map(str::to_string)
+                .collect();
+            assert_eq!(lines.len(), 8);
+            // Same ids as the in-memory engine.
+            for line in &lines {
+                let ids = line.split(" — ").next().unwrap().trim();
+                assert!(mem.contains(ids), "{ids} missing from in-memory output");
+            }
+            match &disk_query_lines {
+                None => disk_query_lines = Some(lines),
+                Some(first) => assert_eq!(first, &lines, "workers changed modelled I/O"),
+            }
+        }
 
         assert!(run(&s(&["batch", data.to_str().unwrap()])).is_err());
         assert!(run(&s(&[

@@ -24,6 +24,7 @@ use crate::columns::SortedColumns;
 use crate::error::Result;
 use crate::result::{FrequentResult, KnMatchResult};
 use crate::scratch::Scratch;
+use crate::source::SortedAccessSource;
 
 /// Queries claimed per worker fetch-add (see [`QueryEngine::run`]).
 const CLAIM_CHUNK: usize = 4;
@@ -71,6 +72,106 @@ pub enum BatchAnswer {
     Frequent(FrequentResult),
     /// Answer to [`BatchQuery::EpsMatch`].
     EpsMatch(KnMatchResult),
+}
+
+/// Executes one [`BatchQuery`] against any [`SortedAccessSource`] with
+/// caller-provided working memory.
+///
+/// This is the single dispatch point every batch executor funnels through:
+/// the in-memory [`QueryEngine`], the disk-backed engine in
+/// `knmatch-storage`, and sequential cross-check loops all call it, so
+/// answers and [`AdStats`] cannot drift between them.
+///
+/// # Errors
+///
+/// Per-query parameter validation; see [`KnMatchError`](crate::KnMatchError).
+pub fn execute_batch_query<Src: SortedAccessSource>(
+    src: &mut Src,
+    query: &BatchQuery,
+    scratch: &mut Scratch,
+) -> Result<(BatchAnswer, AdStats)> {
+    match query {
+        BatchQuery::KnMatch { query, k, n } => k_n_match_ad_with(src, query, *k, *n, scratch)
+            .map(|(r, s)| (BatchAnswer::KnMatch(r), s)),
+        BatchQuery::Frequent { query, k, n0, n1 } => {
+            frequent_k_n_match_ad_with(src, query, *k, *n0, *n1, scratch)
+                .map(|(r, s)| (BatchAnswer::Frequent(r), s))
+        }
+        BatchQuery::EpsMatch { query, eps, n } => {
+            eps_n_match_ad_with(src, query, *eps, *n, scratch)
+                .map(|(r, s)| (BatchAnswer::EpsMatch(r), s))
+        }
+    }
+}
+
+/// Runs `count` independent work items over a pool of `workers` threads,
+/// returning the per-item outputs in item order.
+///
+/// This is the PR-1 claim-chunk executor factored out of [`QueryEngine`]
+/// so any source — in-memory columns, a disk-backed shared buffer pool, a
+/// remote stub — can reuse the exact scheduling behaviour: workers claim
+/// item indices in chunks of 4 off one atomic counter, each builds its
+/// own per-thread context once (`init`), and results travel back in one
+/// message per worker. With `workers <= 1` everything runs on the calling
+/// thread with a single context and no thread machinery, which keeps the
+/// sequential path trivially inspectable.
+///
+/// Item outputs must not depend on scheduling: `exec` receives only its
+/// per-thread context and the item index, so for deterministic `exec` the
+/// returned vector is identical at any worker count.
+pub fn run_batch<T, Ctx, I, E>(workers: usize, count: usize, init: I, exec: E) -> Vec<T>
+where
+    T: Send,
+    I: Fn() -> Ctx + Sync,
+    E: Fn(&mut Ctx, usize) -> T + Sync,
+{
+    if workers <= 1 || count <= 1 {
+        let mut ctx = init();
+        return (0..count).map(|i| exec(&mut ctx, i)).collect();
+    }
+    let workers = workers.min(count);
+    let next = AtomicUsize::new(0);
+    let (tx, rx) = mpsc::channel();
+    thread::scope(|s| {
+        for _ in 0..workers {
+            let tx = tx.clone();
+            let next = &next;
+            let init = &init;
+            let exec = &exec;
+            s.spawn(move || {
+                let mut ctx = init();
+                let mut done: Vec<(usize, T)> = Vec::new();
+                loop {
+                    // Claim a small chunk per atomic op; big enough to
+                    // keep contention negligible, small enough that a
+                    // straggler chunk cannot unbalance the batch.
+                    let start = next.fetch_add(CLAIM_CHUNK, Ordering::Relaxed);
+                    if start >= count {
+                        break;
+                    }
+                    let end = (start + CLAIM_CHUNK).min(count);
+                    for i in start..end {
+                        done.push((i, exec(&mut ctx, i)));
+                    }
+                }
+                // One send per worker: answers travel in bulk, not one
+                // channel node per item.
+                let _ = tx.send(done);
+            });
+        }
+    });
+    drop(tx);
+
+    let mut slots: Vec<Option<T>> = (0..count).map(|_| None).collect();
+    for done in rx {
+        for (i, out) in done {
+            slots[i] = Some(out);
+        }
+    }
+    slots
+        .into_iter()
+        .map(|s| s.expect("each claimed index sends exactly one result"))
+        .collect()
 }
 
 /// Executes batches of matching queries in parallel over one shared
@@ -143,76 +244,16 @@ impl QueryEngine {
         // of the local reference (not the columns) keeps the shared data
         // immutable.
         let mut view: &SortedColumns = &self.cols;
-        match query {
-            BatchQuery::KnMatch { query, k, n } => {
-                k_n_match_ad_with(&mut view, query, *k, *n, scratch)
-                    .map(|(r, s)| (BatchAnswer::KnMatch(r), s))
-            }
-            BatchQuery::Frequent { query, k, n0, n1 } => {
-                frequent_k_n_match_ad_with(&mut view, query, *k, *n0, *n1, scratch)
-                    .map(|(r, s)| (BatchAnswer::Frequent(r), s))
-            }
-            BatchQuery::EpsMatch { query, eps, n } => {
-                eps_n_match_ad_with(&mut view, query, *eps, *n, scratch)
-                    .map(|(r, s)| (BatchAnswer::EpsMatch(r), s))
-            }
-        }
+        execute_batch_query(&mut view, query, scratch)
     }
 
     /// Executes the whole batch, returning one result per query in input
     /// order. Invalid queries yield their validation error without
     /// affecting the rest of the batch.
     pub fn run(&self, queries: &[BatchQuery]) -> Vec<Result<(BatchAnswer, AdStats)>> {
-        let workers = self.workers.min(queries.len());
-        if workers <= 1 {
-            let mut scratch = Scratch::new();
-            return queries
-                .iter()
-                .map(|q| self.execute(q, &mut scratch))
-                .collect();
-        }
-
-        let next = AtomicUsize::new(0);
-        let (tx, rx) = mpsc::channel();
-        thread::scope(|s| {
-            for _ in 0..workers {
-                let tx = tx.clone();
-                let next = &next;
-                s.spawn(move || {
-                    let mut scratch = Scratch::new();
-                    let mut done: Vec<(usize, Result<(BatchAnswer, AdStats)>)> = Vec::new();
-                    loop {
-                        // Claim a small chunk per atomic op; big enough to
-                        // keep contention negligible, small enough that a
-                        // straggler chunk cannot unbalance the batch.
-                        let start = next.fetch_add(CLAIM_CHUNK, Ordering::Relaxed);
-                        if start >= queries.len() {
-                            break;
-                        }
-                        let end = (start + CLAIM_CHUNK).min(queries.len());
-                        for (i, q) in queries[start..end].iter().enumerate() {
-                            done.push((start + i, self.execute(q, &mut scratch)));
-                        }
-                    }
-                    // One send per worker: answers travel in bulk, not one
-                    // channel node per query.
-                    let _ = tx.send(done);
-                });
-            }
-        });
-        drop(tx);
-
-        let mut slots: Vec<Option<Result<(BatchAnswer, AdStats)>>> =
-            (0..queries.len()).map(|_| None).collect();
-        for done in rx {
-            for (i, out) in done {
-                slots[i] = Some(out);
-            }
-        }
-        slots
-            .into_iter()
-            .map(|s| s.expect("each claimed index sends exactly one result"))
-            .collect()
+        run_batch(self.workers, queries.len(), Scratch::new, |scratch, i| {
+            self.execute(&queries[i], scratch)
+        })
     }
 }
 

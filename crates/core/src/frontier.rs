@@ -58,6 +58,16 @@ pub(crate) trait Frontier {
 
     /// Removes and returns the smallest-difference triple.
     fn pop(&mut self) -> Option<Triple>;
+
+    /// The smallest-difference triple, without removing it.
+    fn peek(&self) -> Option<Triple>;
+
+    /// Swaps the smallest-difference triple for `t` in one restructuring
+    /// (the walker's pop-then-refill fused into a single sift). The
+    /// frontier must be non-empty. Observable behaviour is exactly
+    /// `pop(); push(t)` — cursor ids make the order strict, so the pop
+    /// sequence cannot depend on internal layout.
+    fn replace(&mut self, t: Triple);
 }
 
 /// O(log d)-per-pop binary heap (this library's default).
@@ -86,6 +96,17 @@ impl Frontier for HeapFrontier {
 
     fn pop(&mut self) -> Option<Triple> {
         self.heap.pop()
+    }
+
+    fn peek(&self) -> Option<Triple> {
+        self.heap.peek().copied()
+    }
+
+    fn replace(&mut self, t: Triple) {
+        let mut root = self.heap.peek_mut().expect("replace on empty frontier");
+        // Writing through PeekMut sifts down on drop: one O(log d)
+        // restructure instead of pop's sift plus push's sift.
+        *root = t;
     }
 }
 
@@ -125,6 +146,20 @@ impl Frontier for LinearFrontier {
             .max_by(|a, b| a.1.cmp(&b.1).then_with(|| b.0.cmp(&a.0)))?;
         self.slots[best.0] = None;
         Some(best.1)
+    }
+
+    fn peek(&self) -> Option<Triple> {
+        self.slots
+            .iter()
+            .enumerate()
+            .filter_map(|(i, s)| s.map(|t| (i, t)))
+            .max_by(|a, b| a.1.cmp(&b.1).then_with(|| b.0.cmp(&a.0)))
+            .map(|(_, t)| t)
+    }
+
+    fn replace(&mut self, t: Triple) {
+        self.pop().expect("replace on empty frontier");
+        self.push(t);
     }
 }
 
@@ -199,6 +234,25 @@ impl<F: Frontier> AdWalker<F> {
         walker
     }
 
+    /// Retrieves `(dim, rank)` for cursor `cid`, counting the sorted
+    /// access and advancing the cursor.
+    fn retrieve<S: SortedAccessSource>(
+        &mut self,
+        src: &mut S,
+        dim: usize,
+        rank: usize,
+        cid: u32,
+    ) -> Triple {
+        let e = src.entry(dim, rank);
+        self.stats.attributes_retrieved += 1;
+        self.cursors[cid as usize].last = rank;
+        Triple {
+            diff: (e.value - self.query[dim]).abs(),
+            cid,
+            pid: e.pid,
+        }
+    }
+
     fn read_into_frontier<S: SortedAccessSource>(
         &mut self,
         src: &mut S,
@@ -206,36 +260,37 @@ impl<F: Frontier> AdWalker<F> {
         rank: usize,
         cid: u32,
     ) {
-        let e = src.entry(dim, rank);
-        self.stats.attributes_retrieved += 1;
-        self.cursors[cid as usize].last = rank;
-        self.frontier.push(Triple {
-            diff: (e.value - self.query[dim]).abs(),
-            cid,
-            pid: e.pid,
-        });
+        let t = self.retrieve(src, dim, rank, cid);
+        self.frontier.push(t);
     }
 
     /// Pops the next `(pid, diff)` in ascending difference order and
     /// refills the popped cursor. `None` once all `c·d` attributes have
-    /// been consumed.
+    /// been consumed. Pop and refill are fused into one
+    /// [`Frontier::replace`] when the cursor has attributes left.
     pub(crate) fn next_pop<S: SortedAccessSource>(
         &mut self,
         src: &mut S,
     ) -> Option<(PointId, f64)> {
-        let item = self.frontier.pop()?;
+        let item = self.frontier.peek()?;
         self.stats.heap_pops += 1;
         let cid = item.cid as usize;
         let dim = cid / 2;
         let last = self.cursors[cid].last;
-        if cid % 2 == 0 {
+        let refill = if cid % 2 == 0 {
             // Towards smaller values.
-            if last > 0 {
-                self.read_into_frontier(src, dim, last - 1, item.cid);
-            }
+            last.checked_sub(1)
         } else if last + 1 < self.cardinality {
             // Towards larger values.
-            self.read_into_frontier(src, dim, last + 1, item.cid);
+            Some(last + 1)
+        } else {
+            None
+        };
+        if let Some(rank) = refill {
+            let t = self.retrieve(src, dim, rank, item.cid);
+            self.frontier.replace(t);
+        } else {
+            self.frontier.pop();
         }
         Some((item.pid, item.diff))
     }

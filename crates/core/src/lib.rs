@@ -100,7 +100,7 @@ pub use ad::{
 };
 pub use columns::SortedColumns;
 pub use dynamic::{DynamicColumns, KeyedMatch};
-pub use engine::{BatchAnswer, BatchQuery, QueryEngine};
+pub use engine::{execute_batch_query, run_batch, BatchAnswer, BatchQuery, QueryEngine};
 pub use error::{KnMatchError, Result};
 pub use fagin::{GradedLists, MiddlewareStats, MinAggregate, MonotoneAggregate, WeightedSum};
 pub use hybrid::{

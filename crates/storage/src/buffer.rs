@@ -224,6 +224,11 @@ impl<S: PageStore> BufferPool<S> {
         self.frames.len()
     }
 
+    /// Configured frame capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
     fn detach(&mut self, idx: usize) {
         let (prev, next) = (self.frames[idx].prev, self.frames[idx].next);
         if prev != NIL {

@@ -10,9 +10,11 @@ use knmatch_core::{Dataset, SortedColumns, SortedEntry};
 
 use crate::buffer::BufferPool;
 use crate::page::{
-    empty_page, pages_needed, read_column_entry, write_column_entry, COLUMN_ENTRIES_PER_PAGE,
+    empty_page, pages_needed, read_column_entry, write_column_entry, PageBuf,
+    COLUMN_ENTRIES_PER_PAGE,
 };
-use crate::store::PageStore;
+use crate::shared_pool::{ReadSession, SharedBufferPool};
+use crate::store::{PageStore, SharedPageStore};
 
 /// Layout metadata of a sorted-column file inside a page store, plus the
 /// in-memory fence keys (first value of each page per dimension) that a
@@ -134,6 +136,39 @@ impl SortedColumnFile {
         self.base_page
     }
 
+    /// Page number and in-page slot of the entry at `rank` of `dim`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `dim` or `rank` is out of range.
+    fn page_slot(&self, dim: usize, rank: usize) -> (usize, usize) {
+        assert!(dim < self.dims, "dimension {dim} out of range");
+        assert!(rank < self.cardinality, "rank {rank} out of range");
+        (
+            self.base_page + dim * self.pages_per_dim + rank / COLUMN_ENTRIES_PER_PAGE,
+            rank % COLUMN_ENTRIES_PER_PAGE,
+        )
+    }
+
+    /// The one page that can hold the answer rank for query value `q` in
+    /// `dim`, per the in-memory fences: `(page_no, first_rank_on_page,
+    /// entries_on_page)`, or `None` when the answer is rank 0 without any
+    /// page read.
+    fn locate_page(&self, dim: usize, q: f64) -> Option<(usize, usize, usize)> {
+        let fences = &self.fences[dim];
+        // First page whose fence is >= q; the answer rank lives on the page
+        // before it (values between the two fences), or is that page's
+        // first rank.
+        let j = fences.partition_point(|&f| f < q);
+        if j == 0 {
+            return None;
+        }
+        let page = j - 1;
+        let start = page * COLUMN_ENTRIES_PER_PAGE;
+        let len = COLUMN_ENTRIES_PER_PAGE.min(self.cardinality - start);
+        Some((self.base_page + dim * self.pages_per_dim + page, start, len))
+    }
+
     /// Reads the entry at `rank` of `dim` through `pool`.
     ///
     /// # Panics
@@ -145,10 +180,7 @@ impl SortedColumnFile {
         dim: usize,
         rank: usize,
     ) -> SortedEntry {
-        assert!(dim < self.dims, "dimension {dim} out of range");
-        assert!(rank < self.cardinality, "rank {rank} out of range");
-        let page_no = self.base_page + dim * self.pages_per_dim + rank / COLUMN_ENTRIES_PER_PAGE;
-        let slot = rank % COLUMN_ENTRIES_PER_PAGE;
+        let (page_no, slot) = self.page_slot(dim, rank);
         // One stream group per dimension file: the up and down cursor walks
         // both stream within it.
         let page = pool.get_in(page_no, dim as u32);
@@ -170,31 +202,28 @@ impl SortedColumnFile {
     /// through the pool (at most one page read — and it is the page the AD
     /// cursors seed from next).
     pub fn locate<S: PageStore>(&self, pool: &mut BufferPool<S>, dim: usize, q: f64) -> usize {
-        let fences = &self.fences[dim];
-        // First page whose fence is >= q; the answer rank lives on the page
-        // before it (values between the two fences), or is that page's
-        // first rank.
-        let j = fences.partition_point(|&f| f < q);
-        if j == 0 {
+        let Some((page_no, start, len)) = self.locate_page(dim, q) else {
             return 0;
-        }
-        let page = j - 1;
-        let start = page * COLUMN_ENTRIES_PER_PAGE;
-        let len = COLUMN_ENTRIES_PER_PAGE.min(self.cardinality - start);
-        let page_no = self.base_page + dim * self.pages_per_dim + page;
+        };
         let buf = pool.get_in(page_no, dim as u32);
-        let mut lo = 0usize;
-        let mut hi = len;
-        while lo < hi {
-            let mid = lo + (hi - lo) / 2;
-            if read_column_entry(buf, mid).1 < q {
-                lo = mid + 1;
-            } else {
-                hi = mid;
-            }
-        }
-        start + lo
+        start + search_page(buf, len, q)
     }
+}
+
+/// Rank offset (within a page holding `len` entries) of the first entry
+/// with value `>= q`.
+fn search_page(buf: &PageBuf, len: usize, q: f64) -> usize {
+    let mut lo = 0usize;
+    let mut hi = len;
+    while lo < hi {
+        let mid = lo + (hi - lo) / 2;
+        if read_column_entry(buf, mid).1 < q {
+            lo = mid + 1;
+        } else {
+            hi = mid;
+        }
+    }
+    lo
 }
 
 /// A [`SortedColumnFile`] + [`BufferPool`] pair viewed as a
@@ -236,6 +265,125 @@ impl<S: PageStore> knmatch_core::SortedAccessSource for DiskColumns<'_, S> {
     }
 }
 
+/// Sentinel for "no page cached" in [`SharedDiskColumns`]' per-dimension
+/// copy-out slots (page numbers never reach `usize::MAX`).
+const NO_PAGE: usize = usize::MAX;
+
+/// A [`SortedColumnFile`] viewed through a *shared* buffer pool as a
+/// [`knmatch_core::SortedAccessSource`]: the concurrent counterpart of
+/// [`DiskColumns`], usable by many workers at once (each holds its own
+/// instance over the same `&SharedBufferPool`).
+///
+/// Every page request is booked in the worker's [`ReadSession`] first —
+/// keeping the modelled per-query [`crate::IoStats`] bit-identical to the
+/// sequential path — and then served from one of two per-dimension
+/// copy-out slots, falling back to the shared pool on a local miss. Two
+/// slots, not one, because the AD walk runs an ascending and a descending
+/// cursor per dimension: once they straddle a page boundary a single slot
+/// would refetch on every alternation. The local slots only short-circuit
+/// the copy; they never change what is counted.
+#[derive(Debug)]
+pub struct SharedDiskColumns<'a, S> {
+    file: &'a SortedColumnFile,
+    pool: &'a SharedBufferPool<S>,
+    session: ReadSession,
+    /// `cached_no[dim][s]` is the page number held in `cache[dim][s]`.
+    cached_no: Vec<[usize; 2]>,
+    cache: Vec<[Box<PageBuf>; 2]>,
+    /// Most recently used slot per dimension; its sibling is the victim.
+    mru: Vec<u8>,
+}
+
+impl<'a, S: SharedPageStore> SharedDiskColumns<'a, S> {
+    /// Binds a column file to a shared pool, modelling per-query I/O as a
+    /// private cold pool of `modelled_capacity` frames (use the capacity
+    /// the sequential [`crate::DiskDatabase`] would be configured with).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `modelled_capacity == 0`, matching
+    /// [`crate::BufferPool::new`].
+    pub fn new(
+        file: &'a SortedColumnFile,
+        pool: &'a SharedBufferPool<S>,
+        modelled_capacity: usize,
+    ) -> Self {
+        SharedDiskColumns {
+            file,
+            pool,
+            session: ReadSession::new(modelled_capacity),
+            cached_no: vec![[NO_PAGE; 2]; file.dims()],
+            cache: (0..file.dims())
+                .map(|_| [Box::new(empty_page()), Box::new(empty_page())])
+                .collect(),
+            mru: vec![0; file.dims()],
+        }
+    }
+
+    /// Starts a fresh query: resets the modelled session (counters,
+    /// streams, simulated cache). The local copy-out slots stay warm —
+    /// they are data plumbing, not accounting.
+    pub fn begin_query(&mut self) {
+        self.session.begin_query();
+    }
+
+    /// Modelled I/O of the current query (see [`ReadSession::stats`]).
+    pub fn session_stats(&self) -> crate::buffer::IoStats {
+        self.session.stats()
+    }
+
+    /// The shared pool this view reads through.
+    pub fn pool(&self) -> &SharedBufferPool<S> {
+        self.pool
+    }
+
+    /// Returns `dim`'s copy of `page_no`, booking the access in the
+    /// session and fetching through the shared pool when neither local
+    /// slot holds it.
+    fn page(&mut self, dim: usize, page_no: usize) -> &PageBuf {
+        let verdict = self.session.account(page_no, dim as u32);
+        let slots = self.cached_no[dim];
+        let which = if slots[0] == page_no {
+            0
+        } else if slots[1] == page_no {
+            1
+        } else {
+            let victim = 1 - usize::from(self.mru[dim]);
+            let sequential = verdict.is_sequential();
+            self.pool
+                .read_classified(page_no, sequential, &mut self.cache[dim][victim]);
+            self.cached_no[dim][victim] = page_no;
+            victim
+        };
+        self.mru[dim] = which as u8;
+        &self.cache[dim][which]
+    }
+}
+
+impl<S: SharedPageStore> knmatch_core::SortedAccessSource for SharedDiskColumns<'_, S> {
+    fn dims(&self) -> usize {
+        self.file.dims()
+    }
+
+    fn cardinality(&self) -> usize {
+        self.file.cardinality()
+    }
+
+    fn locate(&mut self, dim: usize, q: f64) -> usize {
+        let Some((page_no, start, len)) = self.file.locate_page(dim, q) else {
+            return 0;
+        };
+        let buf = self.page(dim, page_no);
+        start + search_page(buf, len, q)
+    }
+
+    fn entry(&mut self, dim: usize, rank: usize) -> SortedEntry {
+        let (page_no, slot) = self.file.page_slot(dim, rank);
+        let (pid, value) = read_column_entry(self.page(dim, page_no), slot);
+        SortedEntry { pid, value }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -256,7 +404,7 @@ mod tests {
         assert_eq!(file.cardinality(), 5);
         assert_eq!(file.pages_per_dim(), 1);
         assert_eq!(file.total_pages(), 3);
-        assert_eq!(pool.store().page_count(), 3);
+        assert_eq!(crate::PageStore::page_count(pool.store()), 3);
     }
 
     #[test]

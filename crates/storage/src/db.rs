@@ -4,13 +4,15 @@
 //! baseline — exposed with per-query I/O statistics.
 
 use knmatch_core::{
-    frequent_k_n_match_ad, k_n_match_ad, AdStats, Dataset, FrequentResult, KnMatchResult, Result,
+    eps_n_match_ad, frequent_k_n_match_ad, k_n_match_ad, AdStats, Dataset, FrequentResult,
+    KnMatchResult, Result,
 };
 
 use crate::buffer::{BufferPool, IoStats};
 use crate::column_file::{DiskColumns, SortedColumnFile};
+use crate::disk_engine::DiskQueryEngine;
 use crate::heap_file::HeapFile;
-use crate::store::{MemStore, PageStore};
+use crate::store::{MemStore, PageStore, SharedPageStore};
 
 /// Outcome of one disk query: the answer plus what it cost.
 #[derive(Debug, Clone)]
@@ -35,9 +37,16 @@ pub struct DiskDatabase<S: PageStore> {
 impl DiskDatabase<MemStore> {
     /// Builds both files in a fresh in-memory store (the deterministic
     /// experiment substrate).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `pool_pages == 0` (use [`DiskLayout::attach`] for a
+    /// fallible path).
     pub fn build_in_memory(ds: &Dataset, pool_pages: usize) -> Self {
         let mut store = MemStore::new();
-        Self::build(ds, &mut store).attach(store, pool_pages)
+        Self::build(ds, &mut store)
+            .attach(store, pool_pages)
+            .expect("pool_pages must be at least one")
     }
 }
 
@@ -53,12 +62,28 @@ pub struct DiskLayout {
 
 impl DiskLayout {
     /// Binds the layout to its store behind a pool of `pool_pages` frames.
-    pub fn attach<S: PageStore>(self, store: S, pool_pages: usize) -> DiskDatabase<S> {
-        DiskDatabase {
+    ///
+    /// # Errors
+    ///
+    /// Rejects `pool_pages == 0` as `InvalidInput` (a pool needs at least
+    /// one frame); validated here, up front, so no caller ever reaches the
+    /// panic inside [`BufferPool::new`].
+    pub fn attach<S: PageStore>(
+        self,
+        store: S,
+        pool_pages: usize,
+    ) -> std::io::Result<DiskDatabase<S>> {
+        if pool_pages == 0 {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::InvalidInput,
+                "buffer pool needs at least one frame (pool_pages == 0)",
+            ));
+        }
+        Ok(DiskDatabase {
             pool: BufferPool::new(store, pool_pages),
             columns: self.columns,
             heap: self.heap,
-        }
+        })
     }
 }
 
@@ -136,6 +161,28 @@ impl<S: PageStore> DiskDatabase<S> {
         self.pool.reset_stats();
         let mut src = DiskColumns::new(&self.columns, &mut self.pool);
         let (result, ad) = frequent_k_n_match_ad(&mut src, query, k, n0, n1)?;
+        Ok(DiskQueryOutcome {
+            result,
+            io: self.pool.stats(),
+            ad,
+        })
+    }
+
+    /// Disk-based AD eps-n-match: all points matching the query in at
+    /// least `n` dimensions within `eps`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates core parameter validation.
+    pub fn eps_n_match(
+        &mut self,
+        query: &[f64],
+        eps: f64,
+        n: usize,
+    ) -> Result<DiskQueryOutcome<KnMatchResult>> {
+        self.pool.reset_stats();
+        let mut src = DiskColumns::new(&self.columns, &mut self.pool);
+        let (result, ad) = eps_n_match_ad(&mut src, query, eps, n)?;
         Ok(DiskQueryOutcome {
             result,
             io: self.pool.stats(),
@@ -223,6 +270,18 @@ impl<S: PageStore> DiskDatabase<S> {
         let heap = self.heap;
         heap.point(&mut self.pool, pid, &mut out);
         out
+    }
+
+    /// Converts this sequential database into a parallel
+    /// [`DiskQueryEngine`] with `workers` workers, carrying over the store
+    /// and the pool capacity (the engine's shared cache starts cold).
+    pub fn into_engine(self, workers: usize) -> DiskQueryEngine<S>
+    where
+        S: SharedPageStore,
+    {
+        let pool_pages = self.pool.capacity();
+        DiskQueryEngine::with_workers(self.pool.into_store(), self.columns, pool_pages, workers)
+            .expect("capacity was already validated")
     }
 }
 
@@ -388,7 +447,6 @@ impl<S: PageStore> DiskDatabase<S> {
 mod verify_tests {
     use super::*;
     use crate::page::{write_column_entry, COLUMN_ENTRIES_PER_PAGE};
-    use crate::store::PageStore as _;
 
     fn sample_db() -> DiskDatabase<MemStore> {
         let rows: Vec<Vec<f64>> = (0..700)

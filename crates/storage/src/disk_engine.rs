@@ -1,0 +1,300 @@
+//! Parallel batch execution of matching queries over a disk-resident
+//! database.
+//!
+//! The in-memory `QueryEngine` (PR 1) parallelises trivially because
+//! `SortedColumns` is immutable. The disk path could not: [`crate::BufferPool`]
+//! takes `&mut self`, so the paper's headline I/O workloads (Section 4.1)
+//! ran one query at a time. [`DiskQueryEngine`] removes that wall: `W`
+//! workers claim queries from the shared claim-chunk executor
+//! ([`knmatch_core::run_batch`]) and every worker drives the generic AD
+//! engine over its own [`SharedDiskColumns`] view — a private
+//! [`crate::ReadSession`] plus per-dimension copy-out slots — into one
+//! [`SharedBufferPool`], so hot fence and column pages are fetched once
+//! for the whole batch instead of once per worker.
+//!
+//! **Determinism contract.** Answers and `AdStats` come out of the exact
+//! same `execute_batch_query` loop as every other entry point, and the
+//! per-query [`IoStats`] are *modelled* against a private cold pool of the
+//! configured capacity (see [`crate::ReadSession`]) — so all three are
+//! bit-identical to the sequential [`DiskDatabase`] path (with
+//! `invalidate_all` + `reset_stats` between queries) at any worker count
+//! and any scheduling. The shared pool's *actual* I/O (what the batch
+//! really cost, with cross-query sharing) is reported separately via
+//! [`DiskQueryEngine::pool_stats`].
+
+use std::io;
+
+use knmatch_core::{
+    execute_batch_query, run_batch, AdStats, BatchAnswer, BatchQuery, Result, Scratch,
+};
+
+use crate::buffer::IoStats;
+use crate::column_file::{SharedDiskColumns, SortedColumnFile};
+use crate::shared_pool::SharedBufferPool;
+use crate::store::SharedPageStore;
+
+/// Outcome of one query of a disk batch: the answer plus both cost views.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DiskBatchOutcome {
+    /// The query answer, mirroring the [`BatchQuery`] variant.
+    pub answer: BatchAnswer,
+    /// Attribute-level AD counters.
+    pub ad: AdStats,
+    /// Modelled per-query page I/O: what this query alone would cost on a
+    /// cold private pool of the engine's capacity. Deterministic at any
+    /// worker count.
+    pub io: IoStats,
+}
+
+/// Executes batches of matching queries in parallel against a
+/// disk-resident sorted-column file behind one [`SharedBufferPool`].
+///
+/// # Examples
+///
+/// ```
+/// use knmatch_core::BatchQuery;
+/// use knmatch_storage::{DiskDatabase, MemStore};
+///
+/// let ds = knmatch_core::paper::fig3_dataset();
+/// let engine = DiskDatabase::build_in_memory(&ds, 16).into_engine(4);
+/// let batch = vec![BatchQuery::KnMatch { query: vec![3.0, 7.0, 4.0], k: 2, n: 2 }];
+/// let out = engine.run(&batch).pop().unwrap().unwrap();
+/// let knmatch_core::BatchAnswer::KnMatch(res) = out.answer else { unreachable!() };
+/// assert_eq!(res.ids(), vec![2, 1]);
+/// assert!(out.io.page_accesses() > 0);
+/// ```
+#[derive(Debug)]
+pub struct DiskQueryEngine<S> {
+    pool: SharedBufferPool<S>,
+    columns: SortedColumnFile,
+    pool_pages: usize,
+    workers: usize,
+}
+
+impl<S: SharedPageStore> DiskQueryEngine<S> {
+    /// An engine over the column file laid out in `store`, with a shared
+    /// cache of `pool_pages` frames (also the modelled per-query pool
+    /// capacity) and one worker per available CPU.
+    ///
+    /// # Errors
+    ///
+    /// Rejects `pool_pages == 0` as `InvalidInput`.
+    pub fn new(store: S, columns: SortedColumnFile, pool_pages: usize) -> io::Result<Self> {
+        let workers = std::thread::available_parallelism().map_or(1, |n| n.get());
+        Self::with_workers(store, columns, pool_pages, workers)
+    }
+
+    /// An engine with an explicit worker count (clamped to ≥ 1).
+    ///
+    /// # Errors
+    ///
+    /// Rejects `pool_pages == 0` as `InvalidInput`.
+    pub fn with_workers(
+        store: S,
+        columns: SortedColumnFile,
+        pool_pages: usize,
+        workers: usize,
+    ) -> io::Result<Self> {
+        if pool_pages == 0 {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                "buffer pool needs at least one frame (pool_pages == 0)",
+            ));
+        }
+        Ok(DiskQueryEngine {
+            pool: SharedBufferPool::new(store, pool_pages),
+            columns,
+            pool_pages,
+            workers: workers.max(1),
+        })
+    }
+
+    /// The configured worker count.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Reconfigures the worker count (clamped to ≥ 1), keeping the warm
+    /// cache — useful for worker-sweep benchmarks.
+    pub fn set_workers(&mut self, workers: usize) {
+        self.workers = workers.max(1);
+    }
+
+    /// The sorted-column file handle.
+    pub fn columns(&self) -> &SortedColumnFile {
+        &self.columns
+    }
+
+    /// The shared buffer pool (e.g. to invalidate after store mutation).
+    pub fn pool(&self) -> &SharedBufferPool<S> {
+        &self.pool
+    }
+
+    /// Actual shared-cache traffic accumulated so far (merged per-shard
+    /// counters): the real I/O the batch cost, with cross-query sharing.
+    pub fn pool_stats(&self) -> IoStats {
+        self.pool.stats()
+    }
+
+    /// Modelled per-query pool capacity.
+    pub fn pool_pages(&self) -> usize {
+        self.pool_pages
+    }
+
+    /// Executes one query on the calling thread against caller-provided
+    /// state. [`run`](Self::run) is a parallel loop over exactly this, so
+    /// cross-checking the two paths needs no test-only hooks.
+    ///
+    /// # Errors
+    ///
+    /// Per-query parameter validation; see
+    /// [`KnMatchError`](knmatch_core::KnMatchError).
+    pub fn execute(
+        &self,
+        query: &BatchQuery,
+        src: &mut SharedDiskColumns<'_, S>,
+        scratch: &mut Scratch,
+    ) -> Result<DiskBatchOutcome> {
+        src.begin_query();
+        execute_batch_query(src, query, scratch).map(|(answer, ad)| DiskBatchOutcome {
+            answer,
+            ad,
+            io: src.session_stats(),
+        })
+    }
+
+    /// Executes the whole batch, returning one result per query in input
+    /// order. Invalid queries yield their validation error without
+    /// affecting the rest of the batch. Answers, `AdStats`, and modelled
+    /// `IoStats` are identical at every worker count.
+    pub fn run(&self, queries: &[BatchQuery]) -> Vec<Result<DiskBatchOutcome>> {
+        run_batch(
+            self.workers,
+            queries.len(),
+            || {
+                (
+                    SharedDiskColumns::new(&self.columns, &self.pool, self.pool_pages),
+                    Scratch::new(),
+                )
+            },
+            |(src, scratch), i| self.execute(&queries[i], src, scratch),
+        )
+    }
+
+    /// Unwraps the engine into its store and column handle.
+    pub fn into_parts(self) -> (S, SortedColumnFile) {
+        (self.pool.into_store(), self.columns)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::db::DiskDatabase;
+    use crate::store::MemStore;
+
+    fn fig3_engine(workers: usize) -> DiskQueryEngine<MemStore> {
+        DiskDatabase::build_in_memory(&knmatch_core::paper::fig3_dataset(), 16).into_engine(workers)
+    }
+
+    fn batch() -> Vec<BatchQuery> {
+        vec![
+            BatchQuery::KnMatch {
+                query: vec![3.0, 7.0, 4.0],
+                k: 2,
+                n: 2,
+            },
+            BatchQuery::Frequent {
+                query: vec![3.0, 7.0, 4.0],
+                k: 2,
+                n0: 1,
+                n1: 3,
+            },
+            BatchQuery::EpsMatch {
+                query: vec![3.0, 7.0, 4.0],
+                eps: 1.6,
+                n: 2,
+            },
+        ]
+    }
+
+    #[test]
+    fn matches_sequential_disk_database_per_query() {
+        for workers in [1, 2, 4] {
+            let engine = fig3_engine(workers);
+            let results = engine.run(&batch());
+
+            let mut db = DiskDatabase::build_in_memory(&knmatch_core::paper::fig3_dataset(), 16);
+            db.pool_mut().invalidate_all();
+            let want = db.k_n_match(&[3.0, 7.0, 4.0], 2, 2).unwrap();
+            let got = results[0].as_ref().unwrap();
+            let BatchAnswer::KnMatch(r) = &got.answer else {
+                panic!("wrong variant");
+            };
+            assert_eq!(r, &want.result);
+            assert_eq!(got.ad, want.ad);
+            assert_eq!(got.io, want.io, "workers {workers}");
+
+            db.pool_mut().invalidate_all();
+            let want = db.frequent_k_n_match(&[3.0, 7.0, 4.0], 2, 1, 3).unwrap();
+            let got = results[1].as_ref().unwrap();
+            let BatchAnswer::Frequent(r) = &got.answer else {
+                panic!("wrong variant");
+            };
+            assert_eq!(r, &want.result);
+            assert_eq!(got.io, want.io);
+        }
+    }
+
+    #[test]
+    fn invalid_queries_fail_individually() {
+        let engine = fig3_engine(2);
+        let mut queries = batch();
+        queries.push(BatchQuery::KnMatch {
+            query: vec![1.0],
+            k: 1,
+            n: 1,
+        });
+        let results = engine.run(&queries);
+        assert!(results[..3].iter().all(Result::is_ok));
+        assert!(results[3].is_err());
+    }
+
+    #[test]
+    fn rejects_zero_pool_pages() {
+        let ds = knmatch_core::paper::fig3_dataset();
+        let mut store = MemStore::new();
+        let layout = DiskDatabase::<MemStore>::build(&ds, &mut store);
+        let err = DiskQueryEngine::new(store, layout.columns, 0).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidInput);
+    }
+
+    #[test]
+    fn shared_pool_accumulates_hits_across_queries() {
+        let engine = fig3_engine(1);
+        let b = batch();
+        let _ = engine.run(&b);
+        let cold = engine.pool_stats();
+        let _ = engine.run(&b);
+        let warm = engine.pool_stats();
+        // Second run of the same batch is served from the shared cache.
+        assert_eq!(warm.page_accesses(), cold.page_accesses());
+        assert!(warm.hits > cold.hits);
+    }
+
+    #[test]
+    fn accessors() {
+        let mut engine = fig3_engine(3);
+        assert_eq!(engine.workers(), 3);
+        engine.set_workers(0);
+        assert_eq!(engine.workers(), 1);
+        assert_eq!(engine.pool_pages(), 16);
+        assert_eq!(engine.columns().dims(), 3);
+        assert!(engine.run(&[]).is_empty());
+        let (store, columns) = engine.into_parts();
+        assert_eq!(
+            crate::PageStore::page_count(&store),
+            columns.total_pages() + 1
+        );
+    }
+}

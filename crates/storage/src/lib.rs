@@ -32,17 +32,21 @@
 pub mod buffer;
 pub mod column_file;
 pub mod db;
+pub mod disk_engine;
 pub mod heap_file;
 pub mod page;
 pub mod persist;
 pub mod planner;
+pub mod shared_pool;
 pub mod store;
 
 pub use buffer::{BufferPool, CostModel, IoStats};
-pub use column_file::{DiskColumns, SortedColumnFile};
+pub use column_file::{DiskColumns, SharedDiskColumns, SortedColumnFile};
 pub use db::{DiskDatabase, DiskLayout, DiskQueryOutcome};
+pub use disk_engine::{DiskBatchOutcome, DiskQueryEngine};
 pub use heap_file::{HeapFile, SCAN_GROUP};
 pub use page::{PageBuf, COLUMN_ENTRIES_PER_PAGE, PAGE_SIZE};
 pub use persist::{FORMAT_VERSION, MAGIC};
 pub use planner::{Plan, PlanChoice, PLANNER_SAMPLE};
-pub use store::{FileStore, MemStore, PageStore};
+pub use shared_pool::{ReadSession, SharedBufferPool, DEFAULT_SHARDS};
+pub use store::{FileStore, MemStore, PageStore, SharedPageStore};

@@ -73,12 +73,13 @@ impl DiskDatabase<FileStore> {
         ds: &Dataset,
         pool_pages: usize,
     ) -> io::Result<Self> {
+        validate_pool_pages(pool_pages)?;
         let mut store = FileStore::create(path)?;
         let mut header = empty_page();
         write_header(&mut header, ds.dims(), ds.len());
         store.append_page(&header);
         let layout = DiskDatabase::<FileStore>::build(ds, &mut store);
-        Ok(layout.attach(store, pool_pages))
+        layout.attach(store, pool_pages)
     }
 
     /// Opens an existing database file created by
@@ -87,8 +88,10 @@ impl DiskDatabase<FileStore> {
     /// # Errors
     ///
     /// Propagates filesystem errors; rejects files with a bad magic,
-    /// version, or truncated page ranges as `InvalidData`.
+    /// version, or truncated page ranges as `InvalidData`; rejects
+    /// `pool_pages == 0` as `InvalidInput`.
     pub fn open_file<P: AsRef<Path>>(path: P, pool_pages: usize) -> io::Result<Self> {
+        validate_pool_pages(pool_pages)?;
         let mut store = FileStore::open(path)?;
         if store.page_count() == 0 {
             return Err(io::Error::new(io::ErrorKind::InvalidData, "empty file"));
@@ -111,8 +114,20 @@ impl DiskDatabase<FileStore> {
             ));
         }
         let columns = SortedColumnFile::open(&mut store, dims, cardinality, columns_base);
-        Ok(DiskLayout { columns, heap }.attach(store, pool_pages))
+        DiskLayout { columns, heap }.attach(store, pool_pages)
     }
+}
+
+/// Fails fast on a zero-frame pool request, before any file is created,
+/// truncated, or parsed.
+fn validate_pool_pages(pool_pages: usize) -> io::Result<()> {
+    if pool_pages == 0 {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidInput,
+            "buffer pool needs at least one frame (pool_pages == 0)",
+        ));
+    }
+    Ok(())
 }
 
 #[cfg(test)]
@@ -167,6 +182,22 @@ mod tests {
         std::fs::write(&path, &full[..2 * crate::page::PAGE_SIZE]).unwrap();
         let err = DiskDatabase::open_file(&path, 8).unwrap_err();
         assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn rejects_zero_pool_pages_without_touching_the_file() {
+        let ds = uniform(100, 3, 7);
+        let path = tmp("zero-pool.knm");
+        DiskDatabase::create_file(&path, &ds, 8).unwrap();
+        let before = std::fs::read(&path).unwrap();
+
+        let err = DiskDatabase::open_file(&path, 0).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidInput);
+        // create_file with a bad pool must not truncate an existing file.
+        let err = DiskDatabase::create_file(&path, &ds, 0).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidInput);
+        assert_eq!(std::fs::read(&path).unwrap(), before);
         std::fs::remove_file(&path).unwrap();
     }
 

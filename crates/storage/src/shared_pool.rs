@@ -1,0 +1,693 @@
+//! A shard-locked buffer pool shared by concurrent readers.
+//!
+//! [`crate::BufferPool`] demands `&mut` exclusive access, which is exactly
+//! right for the paper's single-query cost model but serialises a batch of
+//! queries behind one lock. [`SharedBufferPool`] is the concurrent
+//! counterpart: the page cache is split into `page_no`-hashed shards, each
+//! an independently locked LRU, over a [`SharedPageStore`] whose read path
+//! takes `&self` (positioned `read_at` reads for [`crate::FileStore`]), so
+//! concurrent misses on different shards proceed fully in parallel and
+//! even misses on one shard never contend on a file cursor.
+//!
+//! **Copy-out, not pinning.** A hit copies the 4 KiB page into the
+//! caller's buffer instead of handing out a reference. At this page size a
+//! copy is a few hundred nanoseconds of streaming memcpy, far cheaper than
+//! the bookkeeping (and failure modes) of a pin/unpin protocol, and it
+//! means the shard lock is held only for the duration of the copy — no
+//! reader can block eviction while it parses a page.
+//!
+//! **Accounting.** Two layers, with different jobs:
+//!
+//! * Each shard counts the traffic it actually served ([`IoStats`]:
+//!   hits, and misses split sequential/random); [`SharedBufferPool::stats`]
+//!   merges them on demand. This measures *real* I/O saved by sharing the
+//!   cache across queries — the hit-ratio column of the disk benches.
+//! * A [`ReadSession`] gives each worker the *per-query modelled* stats of
+//!   `buffer.rs`: the same per-group stream tails classify misses as
+//!   sequential or random, and a simulated private LRU of the configured
+//!   capacity decides hit vs miss exactly as a dedicated [`BufferPool`]
+//!   would on a cold pool. Session stats are therefore bit-identical to
+//!   the sequential disk path at any worker count and any interleaving —
+//!   the determinism the cross-check suite asserts.
+//!
+//! **Stream classification under sharding.** The sequential-vs-random
+//! verdict never lives in a shard: consecutive pages of one scan hash to
+//! *different* shards, so shard-local tails could not see a run. Instead
+//! the caller's [`ReadSession`] owns the per-group tails (mirroring
+//! per-open-file readahead state, as in `buffer.rs`) and the shard is
+//! simply told the verdict when it has to fetch. Merged pool stats
+//! therefore preserve the group semantics even though pages scatter.
+//!
+//! [`BufferPool`]: crate::BufferPool
+
+use std::collections::HashMap;
+use std::sync::Mutex;
+
+use crate::buffer::IoStats;
+use crate::page::{empty_page, PageBuf};
+use crate::store::SharedPageStore;
+
+/// Doubly-linked-list node indices for the LRU chains.
+const NIL: usize = usize::MAX;
+
+/// Streams remembered per group, as in `buffer.rs`: one group is one
+/// "open file", and the AD algorithm runs an up and a down cursor against
+/// each dimension file.
+const TAILS_PER_GROUP: usize = 2;
+
+/// Default shard count: enough that 8 workers rarely collide on a shard
+/// lock, small enough that a tiny pool still has ≥ 1 frame per shard.
+pub const DEFAULT_SHARDS: usize = 8;
+
+#[derive(Debug)]
+struct Frame {
+    page_no: usize,
+    buf: Box<PageBuf>,
+    prev: usize,
+    next: usize,
+}
+
+/// One independently locked LRU over the pages that hash to it.
+#[derive(Debug)]
+struct Shard {
+    capacity: usize,
+    frames: Vec<Frame>,
+    map: HashMap<usize, usize>,
+    head: usize,
+    tail: usize,
+    stats: IoStats,
+}
+
+impl Shard {
+    fn new(capacity: usize) -> Self {
+        Shard {
+            capacity,
+            frames: Vec::with_capacity(capacity),
+            map: HashMap::with_capacity(capacity),
+            head: NIL,
+            tail: NIL,
+            stats: IoStats::default(),
+        }
+    }
+
+    fn detach(&mut self, idx: usize) {
+        let (prev, next) = (self.frames[idx].prev, self.frames[idx].next);
+        if prev != NIL {
+            self.frames[prev].next = next;
+        } else {
+            self.head = next;
+        }
+        if next != NIL {
+            self.frames[next].prev = prev;
+        } else {
+            self.tail = prev;
+        }
+    }
+
+    fn attach_front(&mut self, idx: usize) {
+        self.frames[idx].prev = NIL;
+        self.frames[idx].next = self.head;
+        if self.head != NIL {
+            self.frames[self.head].prev = idx;
+        }
+        self.head = idx;
+        if self.tail == NIL {
+            self.tail = idx;
+        }
+    }
+
+    fn touch(&mut self, idx: usize) {
+        if self.head == idx {
+            return;
+        }
+        self.detach(idx);
+        self.attach_front(idx);
+    }
+
+    /// Frame to read page `no` into: a fresh one while below capacity,
+    /// otherwise the recycled LRU tail. The frame is already at the front
+    /// of the chain and in the map when this returns.
+    fn frame_for(&mut self, no: usize) -> usize {
+        let idx = if self.frames.len() < self.capacity {
+            let idx = self.frames.len();
+            self.frames.push(Frame {
+                page_no: no,
+                buf: Box::new(empty_page()),
+                prev: NIL,
+                next: NIL,
+            });
+            self.attach_front(idx);
+            idx
+        } else {
+            let idx = self.tail;
+            let old = self.frames[idx].page_no;
+            self.map.remove(&old);
+            self.frames[idx].page_no = no;
+            self.touch(idx);
+            idx
+        };
+        self.map.insert(no, idx);
+        idx
+    }
+}
+
+/// A fixed-capacity page cache over a [`SharedPageStore`], shared by any
+/// number of threads: `page_no`-hashed shards, one `Mutex`-guarded LRU
+/// per shard, copy-out reads.
+///
+/// # Examples
+///
+/// ```
+/// use knmatch_storage::{page::empty_page, MemStore, PageStore, SharedBufferPool};
+///
+/// let mut store = MemStore::new();
+/// let mut p = empty_page();
+/// p[0] = 7;
+/// store.append_page(&p);
+///
+/// let pool = SharedBufferPool::new(store, 4);
+/// let mut out = empty_page();
+/// assert!(!pool.read(0, &mut out)); // miss: fetched from the store
+/// assert_eq!(out[0], 7);
+/// assert!(pool.read(0, &mut out)); // hit
+/// assert_eq!(pool.stats().hits, 1);
+/// ```
+#[derive(Debug)]
+pub struct SharedBufferPool<S> {
+    store: S,
+    shards: Box<[Mutex<Shard>]>,
+    capacity: usize,
+}
+
+impl<S: SharedPageStore> SharedBufferPool<S> {
+    /// Wraps `store` with a cache of `capacity` pages split over
+    /// [`DEFAULT_SHARDS`] shards (fewer when `capacity` is smaller).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `capacity == 0`, matching [`crate::BufferPool::new`].
+    pub fn new(store: S, capacity: usize) -> Self {
+        Self::with_shards(store, capacity, DEFAULT_SHARDS)
+    }
+
+    /// Wraps `store` with an explicit shard count (clamped to
+    /// `1..=capacity` so every shard owns at least one frame).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `capacity == 0`.
+    pub fn with_shards(store: S, capacity: usize, shards: usize) -> Self {
+        assert!(capacity >= 1, "buffer pool needs at least one frame");
+        let n = shards.clamp(1, capacity);
+        // Split the frame budget as evenly as the shard count allows; the
+        // first `capacity % n` shards carry the remainder.
+        let shards: Vec<Mutex<Shard>> = (0..n)
+            .map(|i| Mutex::new(Shard::new(capacity / n + usize::from(i < capacity % n))))
+            .collect();
+        SharedBufferPool {
+            store,
+            shards: shards.into_boxed_slice(),
+            capacity,
+        }
+    }
+
+    fn shard_of(&self, no: usize) -> &Mutex<Shard> {
+        &self.shards[no % self.shards.len()]
+    }
+
+    /// Reads page `no` into `out`, with the miss (if any) pre-classified
+    /// by the caller: `sequential == true` charges the shard a streamed
+    /// read, otherwise a seek. Returns `true` on a cache hit.
+    ///
+    /// The classification verdict comes from outside because stream state
+    /// is per-reader, not per-shard — see the module docs and
+    /// [`ReadSession`].
+    pub fn read_classified(&self, no: usize, sequential: bool, out: &mut PageBuf) -> bool {
+        let mut shard = self.shard_of(no).lock().expect("shard lock poisoned");
+        if let Some(&idx) = shard.map.get(&no) {
+            shard.stats.hits += 1;
+            shard.touch(idx);
+            out.copy_from_slice(&shard.frames[idx].buf[..]);
+            return true;
+        }
+        if sequential {
+            shard.stats.sequential_reads += 1;
+        } else {
+            shard.stats.random_reads += 1;
+        }
+        let idx = shard.frame_for(no);
+        // The store read happens under the shard lock: `read_page_at` is
+        // `&self` so other shards proceed, and holding the lock means two
+        // racing readers of one page never fetch it twice.
+        self.store.read_page_at(no, &mut shard.frames[idx].buf);
+        out.copy_from_slice(&shard.frames[idx].buf[..]);
+        false
+    }
+
+    /// Point-lookup read (a miss is always a seek). Returns `true` on a
+    /// cache hit.
+    pub fn read(&self, no: usize, out: &mut PageBuf) -> bool {
+        self.read_classified(no, false, out)
+    }
+
+    /// Reads page `no` on behalf of `session`'s stream group `group`:
+    /// the session records its modelled per-query stats (hit/sequential/
+    /// random exactly as a private cold [`crate::BufferPool`] would) and
+    /// classifies the shard-level miss, then the shared cache serves the
+    /// bytes. Returns `true` when the shared cache had the page.
+    pub fn read_in(
+        &self,
+        no: usize,
+        group: u32,
+        session: &mut ReadSession,
+        out: &mut PageBuf,
+    ) -> bool {
+        let sequential = session.account(no, group).is_sequential();
+        self.read_classified(no, sequential, out)
+    }
+
+    /// Counters of the traffic the shared cache actually served, merged
+    /// over all shards on demand.
+    pub fn stats(&self) -> IoStats {
+        let mut total = IoStats::default();
+        for shard in self.shards.iter() {
+            total.merge(shard.lock().expect("shard lock poisoned").stats);
+        }
+        total
+    }
+
+    /// Zeroes every shard's counters without dropping cached pages.
+    pub fn reset_stats(&self) {
+        for shard in self.shards.iter() {
+            shard.lock().expect("shard lock poisoned").stats = IoStats::default();
+        }
+    }
+
+    /// Drops every cached page (required after mutating the store
+    /// directly).
+    pub fn invalidate_all(&self) {
+        for shard in self.shards.iter() {
+            let mut s = shard.lock().expect("shard lock poisoned");
+            let cap = s.capacity;
+            *s = Shard::new(cap);
+        }
+    }
+
+    /// Number of frames currently cached across all shards.
+    pub fn cached_pages(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.lock().expect("shard lock poisoned").frames.len())
+            .sum()
+    }
+
+    /// Total frame budget.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Read access to the wrapped store.
+    pub fn store(&self) -> &S {
+        &self.store
+    }
+
+    /// Unwraps the pool.
+    pub fn into_store(self) -> S {
+        self.store
+    }
+}
+
+/// How a [`ReadSession`] booked one page request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Access {
+    /// Modelled as served by the private cache.
+    Hit,
+    /// Modelled as a fetch, already classified.
+    Miss {
+        /// Whether the fetch extends one of the group's scan streams.
+        sequential: bool,
+    },
+}
+
+impl Access {
+    /// Whether a shard-level fetch for this request should be charged as
+    /// streamed. A modelled hit that the shared pool nevertheless misses
+    /// is a re-fetch after eviction — a seek.
+    pub(crate) fn is_sequential(self) -> bool {
+        matches!(self, Access::Miss { sequential: true })
+    }
+}
+
+/// Slot-table sentinel: page currently not in the modelled cache.
+const NO_FRAME: u32 = u32::MAX;
+
+/// A capacity-bounded LRU over page *numbers* only: the eviction logic of
+/// [`crate::BufferPool`] with the data removed, used by [`ReadSession`] to
+/// model per-query hits and misses deterministically.
+///
+/// This runs once per *attribute* access, so instead of `BufferPool`'s
+/// `HashMap` it keeps a direct-indexed slot table (page numbers are dense
+/// and bounded by the store size) with per-slot epochs for O(1) clearing —
+/// the lookup is one array load, no hashing.
+#[derive(Debug)]
+struct SimLru {
+    capacity: usize,
+    /// `slot[page_no]` = frame index holding that page, valid only when
+    /// the stamp matches the current epoch; grown on demand.
+    slot: Vec<(u32, u32)>,
+    epoch: u32,
+    // Parallel arrays forming the same doubly-linked chain as BufferPool's
+    // frames, so eviction order matches it exactly.
+    page_no: Vec<usize>,
+    prev: Vec<usize>,
+    next: Vec<usize>,
+    head: usize,
+    tail: usize,
+}
+
+impl SimLru {
+    fn new(capacity: usize) -> Self {
+        SimLru {
+            capacity,
+            slot: Vec::new(),
+            epoch: 1,
+            page_no: Vec::with_capacity(capacity),
+            prev: Vec::with_capacity(capacity),
+            next: Vec::with_capacity(capacity),
+            head: NIL,
+            tail: NIL,
+        }
+    }
+
+    fn clear(&mut self) {
+        self.epoch = self.epoch.wrapping_add(1);
+        if self.epoch == 0 {
+            // Epoch wrapped: stale stamps could collide, so really reset.
+            self.slot.clear();
+            self.epoch = 1;
+        }
+        self.page_no.clear();
+        self.prev.clear();
+        self.next.clear();
+        self.head = NIL;
+        self.tail = NIL;
+    }
+
+    fn detach(&mut self, idx: usize) {
+        let (p, n) = (self.prev[idx], self.next[idx]);
+        if p != NIL {
+            self.next[p] = n;
+        } else {
+            self.head = n;
+        }
+        if n != NIL {
+            self.prev[n] = p;
+        } else {
+            self.tail = p;
+        }
+    }
+
+    fn attach_front(&mut self, idx: usize) {
+        self.prev[idx] = NIL;
+        self.next[idx] = self.head;
+        if self.head != NIL {
+            self.prev[self.head] = idx;
+        }
+        self.head = idx;
+        if self.tail == NIL {
+            self.tail = idx;
+        }
+    }
+
+    fn touch(&mut self, idx: usize) {
+        if self.head == idx {
+            return;
+        }
+        self.detach(idx);
+        self.attach_front(idx);
+    }
+
+    /// Accesses page `no`: returns `true` on a (modelled) hit, promoting
+    /// it; on a miss, inserts it, evicting the LRU page when full —
+    /// exactly [`crate::BufferPool::get_in`]'s cache behaviour.
+    fn access(&mut self, no: usize) -> bool {
+        if no >= self.slot.len() {
+            self.slot.resize(no + 1, (NO_FRAME, 0));
+        }
+        let (frame, stamp) = self.slot[no];
+        if stamp == self.epoch && frame != NO_FRAME {
+            self.touch(frame as usize);
+            return true;
+        }
+        let idx = if self.page_no.len() < self.capacity {
+            let idx = self.page_no.len();
+            self.page_no.push(no);
+            self.prev.push(NIL);
+            self.next.push(NIL);
+            self.attach_front(idx);
+            idx
+        } else {
+            let idx = self.tail;
+            let old = self.page_no[idx];
+            self.slot[old] = (NO_FRAME, self.epoch);
+            self.page_no[idx] = no;
+            self.touch(idx);
+            idx
+        };
+        self.slot[no] = (idx as u32, self.epoch);
+        false
+    }
+}
+
+/// Per-reader modelled I/O accounting over a [`SharedBufferPool`].
+///
+/// One session belongs to one worker and models what *this query alone*
+/// would have cost on a cold, private [`crate::BufferPool`] of the given
+/// capacity: the same per-group stream tails classify misses, and a
+/// page-number-only LRU of identical eviction behaviour decides hit vs
+/// miss. Because the model never looks at the shared cache, its
+/// [`IoStats`] are a pure function of the query's page-request sequence —
+/// deterministic at any worker count, and bit-identical to running the
+/// query sequentially through [`crate::DiskDatabase`] on an invalidated
+/// pool.
+///
+/// Call [`begin_query`](ReadSession::begin_query) before each query, as
+/// the sequential path's `reset_stats` + `invalidate_all` would.
+#[derive(Debug)]
+pub struct ReadSession {
+    streams: HashMap<u32, Vec<usize>>,
+    sim: SimLru,
+    stats: IoStats,
+}
+
+impl ReadSession {
+    /// A session modelling a private pool of `capacity` frames.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `capacity == 0`, matching [`crate::BufferPool::new`].
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity >= 1, "buffer pool needs at least one frame");
+        ReadSession {
+            streams: HashMap::new(),
+            sim: SimLru::new(capacity),
+            stats: IoStats::default(),
+        }
+    }
+
+    /// Starts a fresh query: zeroes the counters, forgets the scan
+    /// streams, and empties the modelled cache.
+    pub fn begin_query(&mut self) {
+        self.streams.clear();
+        self.sim.clear();
+        self.stats = IoStats::default();
+    }
+
+    /// The modelled per-query counters accumulated since the last
+    /// [`begin_query`](ReadSession::begin_query).
+    pub fn stats(&self) -> IoStats {
+        self.stats
+    }
+
+    /// Books one page request: modelled hit/miss from the private LRU,
+    /// misses classified by the group's stream tails exactly as
+    /// `BufferPool::get_in` does.
+    pub(crate) fn account(&mut self, no: usize, group: u32) -> Access {
+        if self.sim.access(no) {
+            self.stats.hits += 1;
+            return Access::Hit;
+        }
+        if group == u32::MAX {
+            self.stats.random_reads += 1;
+            return Access::Miss { sequential: false };
+        }
+        let tails = self.streams.entry(group).or_default();
+        let adjacent = tails
+            .iter()
+            .any(|&t| t == no.wrapping_sub(1) || t == no.wrapping_add(1));
+        if adjacent {
+            self.stats.sequential_reads += 1;
+        } else {
+            self.stats.random_reads += 1;
+        }
+        // The matched tail is kept: two cursors launched from adjacent
+        // seed pages (AD's up/down pair) must each keep their stream.
+        // Truncation ages stale tails out.
+        tails.insert(0, no);
+        tails.truncate(TAILS_PER_GROUP + 1);
+        Access::Miss {
+            sequential: adjacent,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::buffer::BufferPool;
+    use crate::store::{MemStore, PageStore};
+
+    fn store_with(n: usize) -> MemStore {
+        let mut s = MemStore::new();
+        for i in 0..n {
+            let mut p = empty_page();
+            p[0] = i as u8;
+            s.append_page(&p);
+        }
+        s
+    }
+
+    #[test]
+    fn read_misses_then_hits() {
+        let pool = SharedBufferPool::new(store_with(4), 2);
+        let mut out = empty_page();
+        assert!(!pool.read(1, &mut out));
+        assert_eq!(out[0], 1);
+        assert!(pool.read(1, &mut out));
+        let s = pool.stats();
+        assert_eq!(s.hits, 1);
+        assert_eq!(s.page_accesses(), 1);
+    }
+
+    #[test]
+    fn shard_split_covers_capacity() {
+        for (cap, shards) in [(1, 8), (3, 8), (8, 8), (13, 4), (64, 8)] {
+            let pool = SharedBufferPool::with_shards(store_with(1), cap, shards);
+            let per_shard: usize = (0..pool.shard_count())
+                .map(|i| pool.shards[i].lock().unwrap().capacity)
+                .sum();
+            assert_eq!(per_shard, cap, "cap {cap} shards {shards}");
+            assert!(pool.shard_count() <= cap.max(1));
+            assert!((0..pool.shard_count()).all(|i| pool.shards[i].lock().unwrap().capacity >= 1));
+        }
+    }
+
+    #[test]
+    fn eviction_is_per_shard_lru() {
+        // 2 shards × 1 frame: pages 0,2 share shard 0; 1 shares shard 1.
+        let pool = SharedBufferPool::with_shards(store_with(4), 2, 2);
+        let mut out = empty_page();
+        pool.read(0, &mut out);
+        pool.read(1, &mut out);
+        pool.read(2, &mut out); // evicts 0 (same shard), not 1
+        assert!(pool.read(1, &mut out), "page 1 must survive in its shard");
+        assert!(!pool.read(0, &mut out), "page 0 was evicted");
+        assert_eq!(pool.cached_pages(), 2);
+    }
+
+    #[test]
+    fn session_stats_match_private_buffer_pool() {
+        // The modelled session accounting must replicate BufferPool
+        // bit-for-bit on an arbitrary access pattern, including evictions
+        // and the stream-tails rules.
+        let accesses: Vec<(usize, u32)> = vec![
+            (0, 0),
+            (1, 0),
+            (2, 0),
+            (9, u32::MAX),
+            (3, 0),
+            (2, 0),
+            (7, 1),
+            (8, 1),
+            (0, 0),
+            (9, 1),
+            (5, u32::MAX),
+            (4, 0),
+            (9, 1),
+            (1, 0),
+        ];
+        for capacity in [1, 2, 3, 8] {
+            let mut reference = BufferPool::new(store_with(10), capacity);
+            let shared = SharedBufferPool::new(store_with(10), capacity);
+            let mut session = ReadSession::new(capacity);
+            let mut out = empty_page();
+            for &(no, group) in &accesses {
+                let want = reference.get_in(no, group)[0];
+                shared.read_in(no, group, &mut session, &mut out);
+                assert_eq!(out[0], want);
+            }
+            assert_eq!(
+                session.stats(),
+                reference.stats(),
+                "capacity {capacity}: modelled session diverged from BufferPool"
+            );
+        }
+    }
+
+    #[test]
+    fn begin_query_resets_the_model() {
+        let shared = SharedBufferPool::new(store_with(4), 4);
+        let mut session = ReadSession::new(4);
+        let mut out = empty_page();
+        shared.read_in(0, 0, &mut session, &mut out);
+        shared.read_in(1, 0, &mut session, &mut out);
+        session.begin_query();
+        assert_eq!(session.stats(), IoStats::default());
+        // Page 0 is still in the *shared* cache but the modelled query
+        // starts cold: a modelled miss, an actual hit.
+        let before = shared.stats().hits;
+        shared.read_in(0, 0, &mut session, &mut out);
+        assert_eq!(session.stats().page_accesses(), 1);
+        assert_eq!(shared.stats().hits, before + 1);
+    }
+
+    #[test]
+    fn invalidate_all_drops_pages() {
+        let pool = SharedBufferPool::new(store_with(3), 4);
+        let mut out = empty_page();
+        pool.read(0, &mut out);
+        pool.read(1, &mut out);
+        assert_eq!(pool.cached_pages(), 2);
+        pool.invalidate_all();
+        assert_eq!(pool.cached_pages(), 0);
+        pool.reset_stats();
+        assert!(!pool.read(0, &mut out));
+    }
+
+    #[test]
+    fn capacity_accessors() {
+        let pool = SharedBufferPool::with_shards(store_with(1), 10, 3);
+        assert_eq!(pool.capacity(), 10);
+        assert_eq!(pool.shard_count(), 3);
+        assert_eq!(PageStore::page_count(pool.store()), 1);
+        let store = pool.into_store();
+        assert_eq!(PageStore::page_count(&store), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one frame")]
+    fn zero_capacity_panics() {
+        let _ = SharedBufferPool::new(MemStore::new(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one frame")]
+    fn zero_capacity_session_panics() {
+        let _ = ReadSession::new(0);
+    }
+}

@@ -35,6 +35,30 @@ pub trait PageStore {
     fn append_page(&mut self, buf: &PageBuf) -> usize;
 }
 
+/// A page store readable from many threads at once.
+///
+/// [`PageStore::read_page`] takes `&mut self` because [`FileStore`]
+/// historically read through the file cursor (`seek` + `read_exact`).
+/// Concurrent readers must never share a cursor, so this trait exposes a
+/// *positioned* read path instead: `read_page_at` takes `&self` and
+/// performs the read at an explicit offset (`pread`-style via
+/// `std::os::unix::fs::FileExt::read_at` on Unix), so any number of
+/// threads can fetch pages of one store simultaneously without locking
+/// or cursor contention. [`crate::SharedBufferPool`] builds on it.
+pub trait SharedPageStore: Sync {
+    /// Number of pages currently stored.
+    fn page_count(&self) -> usize;
+
+    /// Reads page `no` into `buf` without exclusive access.
+    ///
+    /// # Panics
+    ///
+    /// Implementations may panic when `no >= page_count()` or on I/O
+    /// errors (the store is an experiment substrate, not a durability
+    /// layer), matching [`PageStore::read_page`].
+    fn read_page_at(&self, no: usize, buf: &mut PageBuf);
+}
+
 /// An in-memory page store.
 #[derive(Debug, Default)]
 pub struct MemStore {
@@ -64,6 +88,16 @@ impl PageStore for MemStore {
     fn append_page(&mut self, buf: &PageBuf) -> usize {
         self.pages.push(Box::new(*buf));
         self.pages.len() - 1
+    }
+}
+
+impl SharedPageStore for MemStore {
+    fn page_count(&self) -> usize {
+        self.pages.len()
+    }
+
+    fn read_page_at(&self, no: usize, buf: &mut PageBuf) {
+        buf.copy_from_slice(&self.pages[no][..]);
     }
 }
 
@@ -152,6 +186,47 @@ impl PageStore for FileStore {
     }
 }
 
+impl SharedPageStore for FileStore {
+    fn page_count(&self) -> usize {
+        self.pages
+    }
+
+    /// Positioned read: no file-cursor mutation, so concurrent misses on
+    /// different pages issue independent `pread(2)` calls instead of
+    /// serialising on a shared seek position.
+    fn read_page_at(&self, no: usize, buf: &mut PageBuf) {
+        assert!(
+            no < self.pages,
+            "page {no} out of range ({} pages)",
+            self.pages
+        );
+        let off = (no * PAGE_SIZE) as u64;
+        #[cfg(unix)]
+        {
+            use std::os::unix::fs::FileExt;
+            self.file.read_exact_at(buf, off).expect("page read_at");
+        }
+        #[cfg(windows)]
+        {
+            use std::os::windows::fs::FileExt;
+            let mut done = 0usize;
+            while done < PAGE_SIZE {
+                let n = self
+                    .file
+                    .seek_read(&mut buf[done..], off + done as u64)
+                    .expect("page seek_read");
+                assert!(n > 0, "unexpected EOF reading page {no}");
+                done += n;
+            }
+        }
+        #[cfg(not(any(unix, windows)))]
+        {
+            let _ = off;
+            unimplemented!("SharedPageStore for FileStore needs positioned reads");
+        }
+    }
+}
+
 /// Fills a store with `n` zeroed pages (builders then `write_page` slots).
 pub fn reserve_pages<S: PageStore>(store: &mut S, n: usize) {
     let zero = empty_page();
@@ -202,7 +277,7 @@ mod tests {
         exercise(&mut FileStore::create(&path).unwrap());
         // Re-open and verify persistence.
         let mut re = FileStore::open(&path).unwrap();
-        assert_eq!(re.page_count(), 2);
+        assert_eq!(PageStore::page_count(&re), 2);
         let mut buf = empty_page();
         re.read_page(0, &mut buf);
         assert_eq!(buf[0], 0xAA);
@@ -220,10 +295,39 @@ mod tests {
     }
 
     #[test]
+    fn shared_reads_match_exclusive_reads() {
+        let dir = std::env::temp_dir().join(format!("knmatch-store-shared-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("pages.bin");
+        let mut fs = FileStore::create(&path).unwrap();
+        let mut ms = MemStore::new();
+        for i in 0..5u8 {
+            let mut p = empty_page();
+            p[0] = i;
+            p[PAGE_SIZE - 1] = 0xF0 | i;
+            fs.append_page(&p);
+            ms.append_page(&p);
+        }
+        let mut a = empty_page();
+        let mut b = empty_page();
+        for no in [0usize, 4, 2, 2, 0] {
+            SharedPageStore::read_page_at(&fs, no, &mut a);
+            SharedPageStore::read_page_at(&ms, no, &mut b);
+            assert_eq!(a, b);
+            assert_eq!(a[0] as usize, no);
+        }
+        // The positioned path leaves the cursor-based path working.
+        fs.read_page(1, &mut a);
+        assert_eq!(a[0], 1);
+        assert_eq!(SharedPageStore::page_count(&fs), 5);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
     fn reserve_appends_zero_pages() {
         let mut s = MemStore::new();
         reserve_pages(&mut s, 3);
-        assert_eq!(s.page_count(), 3);
+        assert_eq!(PageStore::page_count(&s), 3);
         let mut buf = [1u8; PAGE_SIZE];
         s.read_page(2, &mut buf);
         assert!(buf.iter().all(|&b| b == 0));
