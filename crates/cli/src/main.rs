@@ -7,7 +7,9 @@
 //! knmatch info db.knm
 //! knmatch query db.knm --point 0.1,0.5,… -k 10 -n 4
 //! knmatch query db.knm --point 0.1,0.5,… -k 10 --frequent 4 8
+//! knmatch query db.knm --point 0.1,0.5,… -k 10 -n 4 --shards 4
 //! knmatch batch data.csv --queries queries.csv -k 10 --frequent 4 8 --workers 4
+//! knmatch batch data.csv --queries queries.csv -k 10 -n 4 --shards 4 --workers 4
 //! knmatch batch db.knm --queries queries.csv -k 10 -n 4 --disk --workers 4
 //! ```
 
@@ -15,7 +17,10 @@ use std::fmt::Write as _;
 use std::process::ExitCode;
 use std::sync::Arc;
 
-use knmatch_core::{BatchAnswer, BatchQuery, QueryEngine, SortedColumns};
+use knmatch_core::{
+    BatchAnswer, BatchQuery, Dataset, QueryEngine, ShardedColumns, ShardedQueryEngine,
+    SortedColumns,
+};
 use knmatch_storage::{CostModel, DiskDatabase};
 
 fn main() -> ExitCode {
@@ -46,11 +51,12 @@ fn usage() -> &'static str {
      knmatch build <data.csv> <db.knm>\n  \
      knmatch info <db.knm>\n  \
      knmatch verify <db.knm>\n  \
-     knmatch query <db.knm> --point <v1,v2,…> -k <K> (-n <N> | --frequent <N0> <N1> [--auto])\n  \
+     knmatch query <db.knm> --point <v1,v2,…> -k <K> (-n <N> | --frequent <N0> <N1> [--auto]) \
+     [--shards S [--workers W]]\n  \
      knmatch bench <db.knm> -k <K> --frequent <N0> <N1> [--queries Q] [--seed S]\n  \
      knmatch batch <data.csv|db.knm> --queries <queries.csv> \
      (-k <K> -n <N> | -k <K> --frequent <N0> <N1> | --eps <E> -n <N>) [--workers W] \
-     [--disk [--pool-pages P]]"
+     [--shards S | --disk [--pool-pages P]]"
 }
 
 /// Executes one CLI invocation, returning the text to print and whether
@@ -206,11 +212,23 @@ fn batch(args: &[String]) -> Result<(String, bool), String> {
         (qs, format!("{k}-{n}-match"))
     };
 
+    let shards: Option<usize> = match flag_value(args, "--shards") {
+        Some(s) => Some(parse_num(s, "--shards")?),
+        None => None,
+    };
     if args.iter().any(|a| a == "--disk") {
+        if shards.is_some() {
+            return Err("--shards is in-memory intra-query parallelism; \
+                        it cannot be combined with --disk"
+                .into());
+        }
         return batch_disk(data, args, &queries, &header, workers);
     }
 
     let ds = knmatch_data::load_dataset(data).map_err(|e| e.to_string())?;
+    if let Some(shards) = shards {
+        return batch_sharded(&ds, &queries, &header, shards, workers);
+    }
     let engine = QueryEngine::with_workers(Arc::new(SortedColumns::build(&ds)), workers);
     let started = std::time::Instant::now();
     let results = engine.run(&queries);
@@ -230,6 +248,62 @@ fn batch(args: &[String]) -> Result<(String, bool), String> {
             Ok((answer, stats)) => {
                 attrs += stats.attributes_retrieved;
                 writeln!(out, "  #{i}: [{}]", shown_ids(answer)).expect("write to String");
+            }
+            Err(e) => {
+                failures += 1;
+                writeln!(out, "  #{i}: error: {e}").expect("write to String");
+            }
+        }
+    }
+    let secs = elapsed.as_secs_f64();
+    writeln!(
+        out,
+        "{} ok / {failures} failed in {:.1} ms ({:.0} queries/s), {attrs} attributes retrieved",
+        results.len() - failures,
+        secs * 1e3,
+        if secs > 0.0 {
+            results.len() as f64 / secs
+        } else {
+            f64::INFINITY
+        },
+    )
+    .expect("write to String");
+    Ok((out, failures == 0))
+}
+
+/// The `--shards` arm of `batch`: every query fans out over `S` point-id
+/// shards on the worker pool (intra-query parallelism); merged answers
+/// are bit-identical to the unsharded engine.
+fn batch_sharded(
+    ds: &Dataset,
+    queries: &[BatchQuery],
+    header: &str,
+    shards: usize,
+    workers: usize,
+) -> Result<(String, bool), String> {
+    let engine = ShardedQueryEngine::with_workers(
+        Arc::new(ShardedColumns::build_with_workers(ds, shards, workers)),
+        workers,
+    );
+    let started = std::time::Instant::now();
+    let results = engine.run(queries);
+    let elapsed = started.elapsed();
+
+    let mut out = format!(
+        "{} queries ({header}) over {} points x {} dims, {} shard(s), {} worker(s)\n",
+        queries.len(),
+        ds.len(),
+        ds.dims(),
+        engine.columns().shard_count(),
+        engine.workers()
+    );
+    let mut attrs = 0u64;
+    let mut failures = 0usize;
+    for (i, r) in results.iter().enumerate() {
+        match r {
+            Ok(outcome) => {
+                attrs += outcome.stats.attributes_retrieved;
+                writeln!(out, "  #{i}: [{}]", shown_ids(&outcome.answer)).expect("write to String");
             }
             Err(e) => {
                 failures += 1;
@@ -444,6 +518,10 @@ fn query(args: &[String]) -> Result<String, String> {
         .map(|v| parse_num::<f64>(v.trim(), "--point coordinate"))
         .collect::<Result<_, _>>()?;
 
+    if let Some(s) = flag_value(args, "--shards") {
+        return query_sharded(args, path, &point, k, parse_num(s, "--shards")?);
+    }
+
     let mut db = DiskDatabase::open_file(path, 256).map_err(|e| e.to_string())?;
     let mut out = String::new();
     let model = CostModel::default();
@@ -505,6 +583,98 @@ fn query(args: &[String]) -> Result<String, String> {
         )
         .expect("write to String");
     }
+    Ok(out)
+}
+
+/// The `--shards` arm of `query`: loads the database's points into memory,
+/// shards them by point id, and answers the single query with intra-query
+/// parallelism — reporting per-shard AD cost instead of the disk I/O
+/// model (the sharded engine is an in-memory path).
+fn query_sharded(
+    args: &[String],
+    path: &str,
+    point: &[f64],
+    k: usize,
+    shards: usize,
+) -> Result<String, String> {
+    if args.iter().any(|a| a == "--auto") {
+        return Err("--auto plans disk I/O; it cannot be combined with --shards".into());
+    }
+    let workers: usize = match flag_value(args, "--workers") {
+        Some(w) => parse_num(w, "--workers")?,
+        None => std::thread::available_parallelism().map_or(1, |n| n.get()),
+    };
+    let mut db = DiskDatabase::open_file(path, 256).map_err(|e| e.to_string())?;
+    let rows: Vec<Vec<f64>> = (0..db.len())
+        .map(|pid| db.fetch_point(pid as knmatch_core::PointId))
+        .collect();
+    let ds = Dataset::from_rows(&rows).map_err(|e| e.to_string())?;
+
+    let (query, header) = if let Some(i) = args.iter().position(|a| a == "--frequent") {
+        let n0: usize = parse_num(args.get(i + 1).ok_or("--frequent needs N0 N1")?, "N0")?;
+        let n1: usize = parse_num(args.get(i + 2).ok_or("--frequent needs N0 N1")?, "N1")?;
+        (
+            BatchQuery::Frequent {
+                query: point.to_vec(),
+                k,
+                n0,
+                n1,
+            },
+            format!("frequent {k}-n-match, n in [{n0}, {n1}]"),
+        )
+    } else {
+        let n: usize = parse_num(
+            flag_value(args, "-n").ok_or("query needs -n or --frequent")?,
+            "-n",
+        )?;
+        (
+            BatchQuery::KnMatch {
+                query: point.to_vec(),
+                k,
+                n,
+            },
+            format!("{k}-{n}-match"),
+        )
+    };
+
+    let engine = ShardedQueryEngine::with_workers(
+        Arc::new(ShardedColumns::build_with_workers(&ds, shards, workers)),
+        workers,
+    );
+    let outcome = engine.execute(&query).map_err(|e| e.to_string())?;
+
+    let mut out = format!(
+        "{header} over {} shard(s), {} worker(s), in-memory:\n",
+        engine.columns().shard_count(),
+        engine.workers()
+    );
+    match &outcome.answer {
+        BatchAnswer::KnMatch(r) | BatchAnswer::EpsMatch(r) => {
+            for e in &r.entries {
+                writeln!(out, "  point {:>8}  n-match diff {:.6}", e.pid, e.diff)
+                    .expect("write to String");
+            }
+        }
+        BatchAnswer::Frequent(r) => {
+            for e in &r.entries {
+                writeln!(out, "  point {:>8}  appears {} times", e.pid, e.count)
+                    .expect("write to String");
+            }
+        }
+    }
+    let per_shard: Vec<String> = outcome
+        .per_shard
+        .iter()
+        .map(|s| s.attributes_retrieved.to_string())
+        .collect();
+    writeln!(
+        out,
+        "cost: {} attributes across {} shard(s) ({})",
+        outcome.stats.attributes_retrieved,
+        outcome.per_shard.len(),
+        per_shard.join(" + ")
+    )
+    .expect("write to String");
     Ok(out)
 }
 
@@ -580,13 +750,10 @@ mod tests {
         .0;
         assert!(out.contains("appears"));
 
-        // The query answer matches the library oracle.
+        // The library oracle agrees on the answer-set size the CLI printed.
         let ds = knmatch_data::load_dataset(&csv).unwrap();
         let oracle = knmatch_core::k_n_match_scan(&ds, &[0.5, 0.5, 0.5, 0.5], 3, 2).unwrap();
-        for e in &oracle.entries {
-            assert!(out.len() > 0 && format!("{out}").len() > 0);
-            let _ = e;
-        }
+        assert_eq!(oracle.entries.len(), 3);
         std::fs::remove_dir_all(&dir).unwrap();
     }
 
@@ -941,6 +1108,206 @@ mod auto_plan_tests {
         .0;
         assert!(out.contains("planner chose"), "{out}");
         assert!(out.contains("appears"));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}
+
+#[cfg(test)]
+mod sharded_cli_tests {
+    use super::*;
+
+    fn s(parts: &[&str]) -> Vec<String> {
+        parts.iter().map(|p| p.to_string()).collect()
+    }
+
+    /// The per-query answer lines of a batch run, header/footer stripped.
+    fn answer_lines(out: &str) -> Vec<String> {
+        out.lines()
+            .filter(|l| l.trim_start().starts_with('#'))
+            .map(str::to_string)
+            .collect()
+    }
+
+    #[test]
+    fn batch_shards_match_unsharded_and_reject_disk() {
+        let dir = std::env::temp_dir().join(format!("knmatch-cli-shard-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let data = dir.join("data.csv");
+        let queries = dir.join("queries.csv");
+        run(&s(&[
+            "generate",
+            "--kind",
+            "uniform",
+            "--cardinality",
+            "400",
+            "--dims",
+            "5",
+            "--out",
+            data.to_str().unwrap(),
+        ]))
+        .unwrap();
+        run(&s(&[
+            "generate",
+            "--kind",
+            "uniform",
+            "--cardinality",
+            "6",
+            "--dims",
+            "5",
+            "--seed",
+            "11",
+            "--out",
+            queries.to_str().unwrap(),
+        ]))
+        .unwrap();
+
+        let base = s(&[
+            "batch",
+            data.to_str().unwrap(),
+            "--queries",
+            queries.to_str().unwrap(),
+            "-k",
+            "4",
+            "-n",
+            "3",
+        ]);
+        let plain = run(&base).unwrap().0;
+        for shards in ["1", "3"] {
+            let mut args = base.clone();
+            args.extend(s(&["--shards", shards, "--workers", "2"]));
+            let (out, all_ok) = run(&args).unwrap();
+            assert!(all_ok);
+            assert!(out.contains(&format!("{shards} shard(s)")), "{out}");
+            assert_eq!(
+                answer_lines(&out),
+                answer_lines(&plain),
+                "sharded ids diverged at --shards {shards}"
+            );
+        }
+
+        // Frequent queries shard too.
+        let mut args = s(&[
+            "batch",
+            data.to_str().unwrap(),
+            "--queries",
+            queries.to_str().unwrap(),
+            "-k",
+            "3",
+            "--frequent",
+            "1",
+            "5",
+        ]);
+        let plain = run(&args).unwrap().0;
+        args.extend(s(&["--shards", "4"]));
+        let sharded = run(&args).unwrap().0;
+        assert_eq!(answer_lines(&sharded), answer_lines(&plain));
+
+        // --shards is the in-memory engine; --disk must be rejected.
+        let mut args = base.clone();
+        args.extend(s(&["--shards", "2", "--disk"]));
+        let err = run(&args).unwrap_err();
+        assert!(err.contains("cannot be combined with --disk"), "{err}");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn query_shards_answer_and_cost_breakdown() {
+        let dir = std::env::temp_dir().join(format!("knmatch-cli-shardq-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let csv = dir.join("q.csv");
+        let db = dir.join("q.knm");
+        run(&s(&[
+            "generate",
+            "--kind",
+            "uniform",
+            "--cardinality",
+            "300",
+            "--dims",
+            "4",
+            "--out",
+            csv.to_str().unwrap(),
+        ]))
+        .unwrap();
+        run(&s(&["build", csv.to_str().unwrap(), db.to_str().unwrap()])).unwrap();
+
+        let point = "0.5,0.5,0.5,0.5";
+        let plain = run(&s(&[
+            "query",
+            db.to_str().unwrap(),
+            "--point",
+            point,
+            "-k",
+            "3",
+            "-n",
+            "2",
+        ]))
+        .unwrap()
+        .0;
+        let plain_ids: Vec<&str> = plain
+            .lines()
+            .filter(|l| l.contains("n-match diff"))
+            .collect();
+        assert_eq!(plain_ids.len(), 3);
+
+        let out = run(&s(&[
+            "query",
+            db.to_str().unwrap(),
+            "--point",
+            point,
+            "-k",
+            "3",
+            "-n",
+            "2",
+            "--shards",
+            "4",
+            "--workers",
+            "2",
+        ]))
+        .unwrap()
+        .0;
+        assert!(out.contains("4 shard(s)"), "{out}");
+        // Same answer lines as the disk path, in the same order.
+        for line in &plain_ids {
+            assert!(out.contains(line.trim()), "missing {line:?} in {out}");
+        }
+        // Cost line sums the per-shard breakdown.
+        let cost = out.lines().find(|l| l.starts_with("cost:")).unwrap();
+        assert!(cost.contains("across 4 shard(s)"), "{cost}");
+
+        let out = run(&s(&[
+            "query",
+            db.to_str().unwrap(),
+            "--point",
+            point,
+            "-k",
+            "2",
+            "--frequent",
+            "1",
+            "4",
+            "--shards",
+            "3",
+        ]))
+        .unwrap()
+        .0;
+        assert!(out.contains("appears"), "{out}");
+        assert!(out.contains("3 shard(s)"), "{out}");
+
+        let err = run(&s(&[
+            "query",
+            db.to_str().unwrap(),
+            "--point",
+            point,
+            "-k",
+            "2",
+            "--frequent",
+            "1",
+            "4",
+            "--shards",
+            "3",
+            "--auto",
+        ]))
+        .unwrap_err();
+        assert!(err.contains("cannot be combined with --shards"), "{err}");
         std::fs::remove_dir_all(&dir).unwrap();
     }
 }

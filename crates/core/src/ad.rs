@@ -33,6 +33,16 @@ pub struct AdStats {
 }
 
 impl AdStats {
+    /// Adds `other`'s counters into `self` — used to total the per-shard
+    /// stats of one sharded query. Note that the total of a sharded run
+    /// exceeds the unsharded run's stats: every shard seeds its own `2d`
+    /// cursors and walks until its local stop condition.
+    pub fn accumulate(&mut self, other: &AdStats) {
+        self.attributes_retrieved += other.attributes_retrieved;
+        self.locate_probes += other.locate_probes;
+        self.heap_pops += other.heap_pops;
+    }
+
     /// Retrieved attributes as a fraction of the `c · d` total — the y-axis
     /// of the paper's Figures 9(a) and 15(b).
     pub fn retrieved_fraction(&self, cardinality: usize, dims: usize) -> f64 {
@@ -168,6 +178,13 @@ pub fn frequent_k_n_match_ad_linear<S: SortedAccessSource>(
 /// entry point funnels here, so the sequential, scratch-reusing, and
 /// parallel paths are the same code and produce bit-identical answers
 /// and [`AdStats`].
+///
+/// Tie-breaking is **canonical**: when several points share the boundary
+/// difference ε of an answer set, the set keeps the ones with the smallest
+/// (diff, pid) keys — a pure function of the data, independent of cursor
+/// interleaving. This costs a short extra drain of boundary-tied pops
+/// (zero when the boundary difference is unique) and is what makes the
+/// point-id-sharded engine's merged answers bit-identical to this loop.
 fn frequent_core<S: SortedAccessSource, F: Frontier>(
     src: &mut S,
     query: &[f64],
@@ -198,20 +215,40 @@ fn frequent_core<S: SortedAccessSource, F: Frontier>(
         }
     }
 
-    // Each S_n lists answers in ascending n-match-difference order; the
-    // k-n-match answer set is its first k entries (S_{n1} has exactly k).
+    // Canonical tie drain. The loop above stops the instant S_{n1} holds k
+    // entries, which resolves ties at an answer-set boundary by pop order —
+    // an order that depends on cursor interleaving, not on the data alone.
+    // Keep popping while the next difference is still within ε_{n1} (=
+    // `sets[last_set][k-1].diff`, the largest boundary: per-point n-match
+    // differences are non-decreasing in n, so ε_{n0} ≤ … ≤ ε_{n1}). After
+    // the drain every set holds *all* candidates with diff ≤ its own
+    // boundary, and selecting each set's k smallest by the canonical
+    // (diff, pid) key makes the answer a pure function of the data — which
+    // is what lets a sharded run merged by (diff, pid) be bit-identical
+    // (see `ShardedQueryEngine`). On tie-free boundaries the drain pops
+    // nothing and the result is unchanged.
+    let bound = sets[last_set][k - 1].diff;
+    while walker.peek_diff().is_some_and(|d| d <= bound) {
+        let (pid, diff) = walker.next_pop(src).expect("peeked non-empty frontier");
+        let a = marks.bump_appear(pid) as usize;
+        if a >= n0 && a <= n1 {
+            sets[a - n0].push(MatchEntry { pid, diff });
+        }
+    }
+
+    // Each S_n lists its candidates in ascending pop order; the k-n-match
+    // answer set is its k smallest entries by (diff, pid).
     let mut per_n = Vec::with_capacity(sets.len());
     for (i, mut set) in sets.into_iter().enumerate() {
+        set.sort_unstable_by(|a, b| a.diff.total_cmp(&b.diff).then(a.pid.cmp(&b.pid)));
         set.truncate(k);
         for e in &set {
             marks.bump_count(e.pid);
         }
-        let mut res = KnMatchResult {
+        per_n.push(KnMatchResult {
             n: n0 + i,
             entries: set,
-        };
-        res.normalise();
-        per_n.push(res);
+        });
     }
     let entries = rank_frequent(&marks.count_pairs(), k);
 
@@ -265,9 +302,7 @@ pub fn eps_n_match_ad_with<S: SortedAccessSource>(
     let d = src.dims();
     let c = src.cardinality();
     validate_params(query, d, c, 1, n, n)?;
-    if !eps.is_finite() || eps < 0.0 {
-        return Err(KnMatchError::InvalidEpsilon { eps });
-    }
+    validate_eps(eps)?;
     let Scratch { marks, walker } = scratch;
     marks.begin(c);
     walker.reseed(src, query);
@@ -283,6 +318,18 @@ pub fn eps_n_match_ad_with<S: SortedAccessSource>(
     let mut res = KnMatchResult { n, entries };
     res.normalise();
     Ok((res, walker.stats))
+}
+
+/// Validates an ε-n-match threshold: finite and non-negative.
+///
+/// # Errors
+///
+/// [`KnMatchError::InvalidEpsilon`] otherwise.
+pub(crate) fn validate_eps(eps: f64) -> Result<()> {
+    if !eps.is_finite() || eps < 0.0 {
+        return Err(KnMatchError::InvalidEpsilon { eps });
+    }
+    Ok(())
 }
 
 /// Validates a (query, k, n-range) parameter set against a `d`-dimensional,
@@ -404,6 +451,25 @@ mod tests {
         // 2-match (1.5), 3-match (2.0) → count 3.
         assert_eq!(freq.count_of(1), 3);
         assert_eq!(freq.ids()[0], 1);
+    }
+
+    #[test]
+    fn boundary_ties_resolve_by_smallest_pid() {
+        // Values 1.0 (pids 0, 1) and 3.0 (pid 2) with q = 2.0: every point
+        // has 1-match difference exactly 1.0. The seeded down cursor meets
+        // pid 1 before pid 0, so a pop-order answer to k = 1 would be
+        // {1}; the canonical answer keeps the smallest (diff, pid) key.
+        let mut cols = SortedColumns::from_rows(&[[1.0], [1.0], [3.0]]).unwrap();
+        let (res, stats) = k_n_match_ad(&mut cols, &[2.0], 1, 1).unwrap();
+        assert_eq!(res.ids(), vec![0]);
+        // The drain reads the whole tie plateau: all three attributes.
+        assert_eq!(stats.attributes_retrieved, 3);
+        assert_eq!(stats.heap_pops, 3);
+        let (res, _) = k_n_match_ad(&mut cols, &[2.0], 2, 1).unwrap();
+        assert_eq!(res.ids(), vec![0, 1]);
+        // A unique boundary still stops without draining anything: the
+        // paper's worked example costs are asserted exactly in
+        // `paper_running_example_2_2_match`.
     }
 
     #[test]

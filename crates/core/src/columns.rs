@@ -2,13 +2,96 @@
 //!
 //! Each dimension is a list of `(value, point id)` pairs sorted by value —
 //! the organisation the AD algorithm requires (Section 3.1, Figure 5 of the
-//! paper). Building from a [`Dataset`] costs `O(d · c log c)` once;
-//! afterwards every query locates the query attribute by binary search and
-//! walks outwards.
+//! paper). Building from a [`Dataset`] costs `O(d · c log c)` once
+//! (parallelised across dimensions on the [`run_batch`] pool); afterwards
+//! every query locates the query attribute by binary search and walks
+//! outwards.
+//!
+//! # Structure-of-arrays layout
+//!
+//! The columns are stored as two flat dimension-major arrays — all values
+//! in one `Vec<f64>`, all point ids in a parallel `Vec<PointId>` — rather
+//! than one `Vec<SortedEntry>` per dimension. The binary-search seed and
+//! the outward cursor walk only compare *values*; keeping values densely
+//! packed (8 bytes per entry instead of 16 with the pid and padding
+//! interleaved) halves the cache lines those hot loops touch. The
+//! [`ColumnView`] adapter re-materialises `SortedEntry` pairs on demand so
+//! callers that want the AoS view (`dynamic`, `hybrid`, the storage crate)
+//! keep working unchanged.
 
+use crate::engine::run_batch;
 use crate::error::Result;
 use crate::point::{Dataset, PointId};
 use crate::source::{SortedAccessSource, SortedEntry};
+
+/// A borrowed view of one sorted column: parallel value/pid slices of equal
+/// length, presenting the array-of-structs [`SortedEntry`] interface over
+/// the structure-of-arrays storage.
+#[derive(Debug, Clone, Copy)]
+pub struct ColumnView<'a> {
+    values: &'a [f64],
+    pids: &'a [PointId],
+}
+
+impl<'a> ColumnView<'a> {
+    /// Number of entries (the column cardinality).
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Whether the column is empty.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// The entry at `rank` (0-based, ascending by `(value, pid)`).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `rank >= len()`.
+    pub fn get(&self, rank: usize) -> SortedEntry {
+        SortedEntry {
+            pid: self.pids[rank],
+            value: self.values[rank],
+        }
+    }
+
+    /// The packed attribute values, ascending.
+    pub fn values(&self) -> &'a [f64] {
+        self.values
+    }
+
+    /// The point ids, parallel to [`values`](Self::values).
+    pub fn pids(&self) -> &'a [PointId] {
+        self.pids
+    }
+
+    /// Iterates the entries in rank order.
+    pub fn iter(&self) -> impl Iterator<Item = SortedEntry> + 'a {
+        self.pids
+            .iter()
+            .zip(self.values)
+            .map(|(&pid, &value)| SortedEntry { pid, value })
+    }
+
+    /// Materialises the column as an array-of-structs vector.
+    pub fn to_vec(&self) -> Vec<SortedEntry> {
+        self.iter().collect()
+    }
+
+    /// Iterates sub-views of at most `size` entries, in rank order (the
+    /// SoA analogue of `slice::chunks`).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `size == 0`.
+    pub fn chunks(&self, size: usize) -> impl Iterator<Item = ColumnView<'a>> + 'a {
+        self.values
+            .chunks(size)
+            .zip(self.pids.chunks(size))
+            .map(|(values, pids)| ColumnView { values, pids })
+    }
+}
 
 /// A dataset reorganised into `d` value-sorted columns.
 ///
@@ -20,36 +103,95 @@ use crate::source::{SortedAccessSource, SortedEntry};
 /// let ds = Dataset::from_rows(&[vec![0.9, 0.1], vec![0.2, 0.8]]).unwrap();
 /// let cols = SortedColumns::build(&ds);
 /// // Dimension 0 sorted ascending: (pid 1, 0.2), (pid 0, 0.9).
-/// assert_eq!(cols.column(0)[0].pid, 1);
+/// assert_eq!(cols.column(0).get(0).pid, 1);
 /// ```
 #[derive(Debug, Clone)]
 pub struct SortedColumns {
     dims: usize,
     cardinality: usize,
-    columns: Vec<Vec<SortedEntry>>,
+    /// Dimension-major: `values[dim * cardinality + rank]`.
+    values: Vec<f64>,
+    /// Parallel to `values`.
+    pids: Vec<PointId>,
+}
+
+/// Sorts one dimension of `ds` restricted to global pids `[lo, hi)` into
+/// `pairs` (a reusable buffer), returning the split `(values, pids)` with
+/// pids rebased to `lo`. Tie order between equal values is the explicit
+/// `(value, pid)` key ([`SortedEntry::cmp_value_pid`]) — never the layout.
+pub(crate) fn sort_dim_range(
+    ds: &Dataset,
+    dim: usize,
+    lo: usize,
+    hi: usize,
+    pairs: &mut Vec<SortedEntry>,
+) -> (Vec<f64>, Vec<PointId>) {
+    pairs.clear();
+    pairs.extend((lo..hi).map(|i| SortedEntry {
+        pid: (i - lo) as PointId,
+        value: ds.coord(i as PointId, dim),
+    }));
+    pairs.sort_unstable_by(SortedEntry::cmp_value_pid);
+    (
+        pairs.iter().map(|e| e.value).collect(),
+        pairs.iter().map(|e| e.pid).collect(),
+    )
 }
 
 impl SortedColumns {
-    /// Sorts every dimension of `ds`.
+    /// Sorts every dimension of `ds`, one [`run_batch`] work item per
+    /// dimension, with one worker per available CPU.
     pub fn build(ds: &Dataset) -> Self {
+        let workers = std::thread::available_parallelism().map_or(1, |n| n.get());
+        Self::build_with_workers(ds, workers)
+    }
+
+    /// [`build`](Self::build) with an explicit worker count (clamped to
+    /// ≥ 1). The result is identical at any worker count: each dimension
+    /// sorts independently with the explicit `(value, pid)` key.
+    pub fn build_with_workers(ds: &Dataset, workers: usize) -> Self {
         let dims = ds.dims();
         let cardinality = ds.len();
-        let mut columns = Vec::with_capacity(dims);
-        for dim in 0..dims {
-            let mut col: Vec<SortedEntry> = (0..cardinality)
-                .map(|i| SortedEntry {
-                    pid: i as PointId,
-                    value: ds.coord(i as PointId, dim),
-                })
-                .collect();
-            col.sort_unstable_by(|a, b| a.value.total_cmp(&b.value).then(a.pid.cmp(&b.pid)));
-            columns.push(col);
+        let cols = run_batch(workers.max(1), dims, Vec::new, |pairs, dim| {
+            sort_dim_range(ds, dim, 0, cardinality, pairs)
+        });
+        Self::from_sorted_parts(cardinality, cols)
+    }
+
+    /// Assembles per-dimension sorted `(values, pids)` parts into the flat
+    /// dimension-major arrays.
+    pub(crate) fn from_sorted_parts(
+        cardinality: usize,
+        cols: Vec<(Vec<f64>, Vec<PointId>)>,
+    ) -> Self {
+        let dims = cols.len();
+        let mut values = Vec::with_capacity(dims * cardinality);
+        let mut pids = Vec::with_capacity(dims * cardinality);
+        for (v, p) in cols {
+            debug_assert_eq!(v.len(), cardinality);
+            debug_assert_eq!(p.len(), cardinality);
+            values.extend_from_slice(&v);
+            pids.extend_from_slice(&p);
         }
         SortedColumns {
             dims,
             cardinality,
-            columns,
+            values,
+            pids,
         }
+    }
+
+    /// Builds the columns of the contiguous pid range `[lo, hi)` of `ds`,
+    /// with entry pids rebased to `lo` (so shard-local pids start at 0 and
+    /// preserve global pid order); see
+    /// [`ShardedColumns`](crate::ShardedColumns).
+    #[cfg(test)]
+    pub(crate) fn build_range(ds: &Dataset, lo: usize, hi: usize, workers: usize) -> Self {
+        let dims = ds.dims();
+        let cols = run_batch(workers.max(1), dims, Vec::new, |pairs, dim| {
+            sort_dim_range(ds, dim, lo, hi, pairs)
+        });
+        Self::from_sorted_parts(hi - lo, cols)
     }
 
     /// Builds directly from row slices (validates like [`Dataset::from_rows`]).
@@ -61,13 +203,23 @@ impl SortedColumns {
         Ok(Self::build(&Dataset::from_rows(rows)?))
     }
 
-    /// The sorted `(value, pid)` column of `dim`.
+    /// The sorted column of `dim` as a [`ColumnView`] over the parallel
+    /// `(values, pids)` slices.
     ///
     /// # Panics
     ///
     /// Panics when `dim` is out of range.
-    pub fn column(&self, dim: usize) -> &[SortedEntry] {
-        &self.columns[dim]
+    pub fn column(&self, dim: usize) -> ColumnView<'_> {
+        ColumnView {
+            values: self.dim_values(dim),
+            pids: &self.pids[dim * self.cardinality..(dim + 1) * self.cardinality],
+        }
+    }
+
+    /// The packed value slice of `dim` — the array the hot binary search
+    /// and cursor walk touch.
+    fn dim_values(&self, dim: usize) -> &[f64] {
+        &self.values[dim * self.cardinality..(dim + 1) * self.cardinality]
     }
 
     /// Dimensionality `d`.
@@ -91,11 +243,15 @@ impl SortedAccessSource for SortedColumns {
     }
 
     fn locate(&mut self, dim: usize, q: f64) -> usize {
-        self.columns[dim].partition_point(|e| e.value < q)
+        self.dim_values(dim).partition_point(|&v| v < q)
     }
 
     fn entry(&mut self, dim: usize, rank: usize) -> SortedEntry {
-        self.columns[dim][rank]
+        let i = dim * self.cardinality + rank;
+        SortedEntry {
+            pid: self.pids[i],
+            value: self.values[i],
+        }
     }
 }
 
@@ -114,11 +270,15 @@ impl SortedAccessSource for &SortedColumns {
     }
 
     fn locate(&mut self, dim: usize, q: f64) -> usize {
-        self.columns[dim].partition_point(|e| e.value < q)
+        self.dim_values(dim).partition_point(|&v| v < q)
     }
 
     fn entry(&mut self, dim: usize, rank: usize) -> SortedEntry {
-        self.columns[dim][rank]
+        let i = dim * self.cardinality + rank;
+        SortedEntry {
+            pid: self.pids[i],
+            value: self.values[i],
+        }
     }
 }
 
@@ -147,7 +307,7 @@ mod tests {
         assert_eq!(d0, vec![(0, 0.4), (1, 2.8), (4, 3.5), (2, 6.5), (3, 9.0)]);
         for dim in 0..cols.dims() {
             let col = cols.column(dim);
-            assert!(col.windows(2).all(|w| w[0].value <= w[1].value));
+            assert!(col.values().windows(2).all(|w| w[0] <= w[1]));
             assert_eq!(col.len(), cols.cardinality());
         }
     }
@@ -156,7 +316,7 @@ mod tests {
     fn every_point_appears_once_per_column() {
         let cols = sample();
         for dim in 0..cols.dims() {
-            let mut pids: Vec<PointId> = cols.column(dim).iter().map(|e| e.pid).collect();
+            let mut pids: Vec<PointId> = cols.column(dim).pids().to_vec();
             pids.sort_unstable();
             assert_eq!(pids, vec![0, 1, 2, 3, 4]);
         }
@@ -183,8 +343,57 @@ mod tests {
     #[test]
     fn duplicate_values_break_ties_by_pid() {
         let mut cols = SortedColumns::from_rows(&[[5.0], [5.0], [1.0]]).unwrap();
-        let col: Vec<PointId> = cols.column(0).iter().map(|e| e.pid).collect();
+        let col: Vec<PointId> = cols.column(0).pids().to_vec();
         assert_eq!(col, vec![2, 0, 1]);
         assert_eq!(cols.locate(0, 5.0), 1);
+    }
+
+    #[test]
+    fn parallel_build_is_identical_to_sequential() {
+        let rows: Vec<Vec<f64>> = (0..37)
+            .map(|i| {
+                (0..5)
+                    .map(|d| (((i * 31 + d * 17) % 11) as f64) * 0.5)
+                    .collect()
+            })
+            .collect();
+        let ds = Dataset::from_rows(&rows).unwrap();
+        let seq = SortedColumns::build_with_workers(&ds, 1);
+        for workers in [2, 4, 9] {
+            let par = SortedColumns::build_with_workers(&ds, workers);
+            assert_eq!(par.values, seq.values, "workers={workers}");
+            assert_eq!(par.pids, seq.pids, "workers={workers}");
+        }
+    }
+
+    #[test]
+    fn build_range_rebases_pids_and_matches_sub_dataset() {
+        let rows = [
+            vec![0.4, 1.0],
+            vec![2.8, 5.5],
+            vec![6.5, 7.8],
+            vec![9.0, 9.0],
+            vec![3.5, 1.5],
+        ];
+        let ds = Dataset::from_rows(&rows).unwrap();
+        let shard = SortedColumns::build_range(&ds, 2, 5, 1);
+        let direct = SortedColumns::from_rows(&rows[2..5]).unwrap();
+        assert_eq!(shard.values, direct.values);
+        assert_eq!(shard.pids, direct.pids);
+        assert_eq!(shard.cardinality(), 3);
+    }
+
+    #[test]
+    fn column_view_adapters() {
+        let cols = sample();
+        let view = cols.column(2);
+        assert!(!view.is_empty());
+        assert_eq!(view.get(0), SortedEntry { pid: 0, value: 1.0 });
+        assert_eq!(view.to_vec().len(), 5);
+        let chunk_lens: Vec<usize> = view.chunks(2).map(|c| c.len()).collect();
+        assert_eq!(chunk_lens, vec![2, 2, 1]);
+        let first = view.chunks(2).next().unwrap();
+        assert_eq!(first.get(0), view.get(0));
+        assert_eq!(first.values(), &view.values()[..2]);
     }
 }

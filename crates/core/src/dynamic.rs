@@ -117,14 +117,14 @@ impl DynamicColumns {
         self.coords.extend_from_slice(point);
         for (dim, &v) in point.iter().enumerate() {
             let col = &mut self.columns[dim];
-            let pos = col.partition_point(|e| e.value < v || (e.value == v && e.pid < slot));
-            col.insert(
-                pos,
-                SortedEntry {
-                    pid: slot,
-                    value: v,
-                },
-            );
+            let probe = SortedEntry {
+                pid: slot,
+                value: v,
+            };
+            // Insert at the canonical (value, pid) rank — the same explicit
+            // key every static column build sorts by.
+            let pos = col.partition_point(|e| SortedEntry::cmp_value_pid(e, &probe).is_lt());
+            col.insert(pos, probe);
         }
         Ok(())
     }
@@ -168,7 +168,8 @@ impl DynamicColumns {
     /// Rank of the entry `(value, pid)` in `dim` (it must exist).
     fn find_entry(&self, dim: usize, value: f64, pid: PointId) -> usize {
         let col = &self.columns[dim];
-        let mut pos = col.partition_point(|e| e.value < value || (e.value == value && e.pid < pid));
+        let probe = SortedEntry { pid, value };
+        let mut pos = col.partition_point(|e| SortedEntry::cmp_value_pid(e, &probe).is_lt());
         // Defensive scan over any exact duplicates.
         while col[pos].pid != pid {
             pos += 1;

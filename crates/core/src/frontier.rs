@@ -264,6 +264,14 @@ impl<F: Frontier> AdWalker<F> {
         self.frontier.push(t);
     }
 
+    /// The difference the next [`next_pop`](Self::next_pop) would return,
+    /// without advancing anything. `None` once the frontier is exhausted.
+    /// The canonical tie drain in `frequent_core` peeks this to decide
+    /// whether boundary-tied attributes remain.
+    pub(crate) fn peek_diff(&self) -> Option<f64> {
+        self.frontier.peek().map(|t| t.diff)
+    }
+
     /// Pops the next `(pid, diff)` in ascending difference order and
     /// refills the popped cursor. `None` once all `c·d` attributes have
     /// been consumed. Pop and refill are fused into one

@@ -58,6 +58,8 @@
 //!   plus the ε-threshold variant and the paper-literal linear `g[]` ablation;
 //! - [`scratch`] / [`Scratch`] — reusable epoch-stamped query working memory;
 //! - [`engine`] / [`QueryEngine`] — parallel batch execution over shared columns;
+//! - [`sharded`] / [`ShardedQueryEngine`] — intra-query parallelism over
+//!   point-id-sharded columns with an exact `(diff, pid)` merge;
 //! - [`stream`] — lazy ascending-difference answer iterator;
 //! - [`dynamic`] — insert/remove-capable index with stable keys;
 //! - [`hybrid`] — mixed numeric/categorical/weighted schemas (footnote 1);
@@ -89,6 +91,7 @@ pub mod paper;
 pub mod point;
 pub mod result;
 pub mod scratch;
+pub mod sharded;
 pub mod skyline;
 pub mod source;
 pub mod stream;
@@ -98,7 +101,7 @@ pub use ad::{
     eps_n_match_ad, eps_n_match_ad_with, frequent_k_n_match_ad, frequent_k_n_match_ad_linear,
     frequent_k_n_match_ad_with, k_n_match_ad, k_n_match_ad_with, AdStats,
 };
-pub use columns::SortedColumns;
+pub use columns::{ColumnView, SortedColumns};
 pub use dynamic::{DynamicColumns, KeyedMatch};
 pub use engine::{execute_batch_query, run_batch, BatchAnswer, BatchQuery, QueryEngine};
 pub use error::{KnMatchError, Result};
@@ -120,6 +123,7 @@ pub use nmatch::{
 pub use point::{Dataset, PointId};
 pub use result::{FrequentEntry, FrequentResult, KnMatchResult, MatchEntry};
 pub use scratch::Scratch;
+pub use sharded::{ShardedColumns, ShardedOutcome, ShardedQueryEngine};
 pub use skyline::skyline_wrt;
 pub use source::{SortedAccessSource, SortedEntry};
 pub use stream::NMatchStream;

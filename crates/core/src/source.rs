@@ -24,6 +24,17 @@ pub struct SortedEntry {
     pub value: f64,
 }
 
+impl SortedEntry {
+    /// The canonical column order: ascending `(value, pid)` with
+    /// [`f64::total_cmp`] on the value. Every per-dimension sort and
+    /// ordered insert in the workspace uses this explicit key, so a layout
+    /// change (or an unstable sort) can never perturb the tie order
+    /// between equal values.
+    pub fn cmp_value_pid(a: &SortedEntry, b: &SortedEntry) -> std::cmp::Ordering {
+        a.value.total_cmp(&b.value).then(a.pid.cmp(&b.pid))
+    }
+}
+
 /// A database organised as `d` sorted lists of `(value, point id)` pairs,
 /// one per dimension, supporting positional (rank-based) sorted access.
 ///

@@ -7,6 +7,13 @@
 //! stops scrolling"): taking the first `k` elements is exactly the
 //! k-n-match answer set and costs exactly what [`crate::k_n_match_ad`]
 //! would (Theorem 3.2's optimality is per answer).
+//!
+//! Ties are canonical, matching the batch algorithms: answers sharing one
+//! difference value emit in ascending pid order (the plateau is drained
+//! and buffered when its first member surfaces), so a stream prefix is
+//! bit-identical to the batch answer even on tied boundaries.
+
+use std::collections::VecDeque;
 
 use crate::ad::{validate_params, AdStats};
 use crate::error::Result;
@@ -34,6 +41,9 @@ pub struct NMatchStream<'a, S: SortedAccessSource> {
     src: &'a mut S,
     walker: AdWalker<HeapFrontier>,
     appear: Vec<u16>,
+    /// Answers from a drained equal-difference plateau, in canonical
+    /// ascending-pid order, waiting to be emitted.
+    pending: VecDeque<MatchEntry>,
     n: usize,
     emitted: usize,
     cardinality: usize,
@@ -54,6 +64,7 @@ impl<'a, S: SortedAccessSource> NMatchStream<'a, S> {
             src,
             walker,
             appear: vec![0u16; c],
+            pending: VecDeque::new(),
             n,
             emitted: 0,
             cardinality: c,
@@ -75,6 +86,10 @@ impl<S: SortedAccessSource> Iterator for NMatchStream<'_, S> {
     type Item = MatchEntry;
 
     fn next(&mut self) -> Option<MatchEntry> {
+        if let Some(e) = self.pending.pop_front() {
+            self.emitted += 1;
+            return Some(e);
+        }
         if self.emitted == self.cardinality {
             return None;
         }
@@ -82,8 +97,26 @@ impl<S: SortedAccessSource> Iterator for NMatchStream<'_, S> {
             let a = self.appear[pid as usize] + 1;
             self.appear[pid as usize] = a;
             if a as usize == self.n {
+                // Drain the rest of this difference plateau so tied
+                // answers emit by ascending pid, not by pop order — the
+                // same canonical key the batch algorithms select by.
+                let mut group = vec![MatchEntry { pid, diff }];
+                while self.walker.peek_diff() == Some(diff) {
+                    let (tied, _) = self
+                        .walker
+                        .next_pop(self.src)
+                        .expect("peeked non-empty frontier");
+                    let at = self.appear[tied as usize] + 1;
+                    self.appear[tied as usize] = at;
+                    if at as usize == self.n {
+                        group.push(MatchEntry { pid: tied, diff });
+                    }
+                }
+                group.sort_unstable_by_key(|e| e.pid);
+                self.pending.extend(group);
+                let e = self.pending.pop_front().expect("group has one entry");
                 self.emitted += 1;
-                return Some(MatchEntry { pid, diff });
+                return Some(e);
             }
         }
         None

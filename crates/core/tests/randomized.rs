@@ -6,9 +6,13 @@
 //!
 //! Tie discipline: when two per-dimension differences are exactly equal,
 //! Definition 3 allows several correct answer sets (the *multiset of
-//! differences* is unique, the ids are not). Properties that compare ids
-//! therefore skip instances with duplicated differences — which random
-//! `f64` coordinates almost never produce.
+//! differences* is unique, the ids are not). AD and the naive scan both
+//! resolve such ties canonically — smallest `(diff, pid)` key wins — so
+//! they are compared id-for-id even on tie-heavy instances
+//! (`ad_matches_naive_oracle_even_with_ties`). Properties comparing
+//! *other* implementations (whose tie choices are their own) still skip
+//! instances with duplicated differences — which random `f64` coordinates
+//! almost never produce.
 
 use knmatch_core::{
     frequent_k_n_match_ad, frequent_k_n_match_scan, k_n_match_ad, k_n_match_scan,
@@ -107,6 +111,35 @@ fn ad_diff_multiset_matches_naive_even_with_ties() {
         assert_eq!(nd.len(), ad_d.len());
         for (a, b) in nd.iter().zip(&ad_d) {
             assert!((a - b).abs() < 1e-12, "naive {nd:?} vs ad {ad_d:?}");
+        }
+    }
+}
+
+/// AD's canonical (diff, pid) tie-break matches the naive oracle's
+/// id-for-id even when differences collide: coordinates drawn from a
+/// 5-value grid make nearly every boundary a tie.
+#[test]
+fn ad_matches_naive_oracle_even_with_ties() {
+    let mut rng = TestRng(0xAD07);
+    for _ in 0..192 {
+        let d = 1 + rng.below(5);
+        let c = 1 + rng.below(20);
+        let rows: Vec<Vec<f64>> = (0..c)
+            .map(|_| (0..d).map(|_| rng.below(5) as f64 * 0.25).collect())
+            .collect();
+        let query: Vec<f64> = (0..d).map(|_| rng.below(5) as f64 * 0.25).collect();
+        let ds = Dataset::from_rows(&rows).unwrap();
+        let mut cols = SortedColumns::build(&ds);
+        for n in 1..=d {
+            for k in [1, c.div_ceil(2), c] {
+                let naive = k_n_match_scan(&ds, &query, k, n).unwrap();
+                let (ad, _) = k_n_match_ad(&mut cols, &query, k, n).unwrap();
+                assert_eq!(
+                    naive.ids(),
+                    ad.ids(),
+                    "k={k} n={n} rows={rows:?} q={query:?}"
+                );
+            }
         }
     }
 }

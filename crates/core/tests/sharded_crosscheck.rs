@@ -1,0 +1,269 @@
+//! Cross-check: the sharded engine's merged answers must be bit-identical
+//! to the unsharded `QueryEngine` for every query kind, shard count, and
+//! worker count — including on datasets stuffed with duplicate values,
+//! where answer-set boundaries are decided purely by the canonical
+//! `(diff, pid)` tie-break. Per-shard `AdStats` must be bit-identical to
+//! sequential AD runs over that shard's points alone, and `shards = 1`
+//! must reproduce the unsharded stats exactly.
+
+use std::sync::Arc;
+
+use knmatch_core::{
+    execute_batch_query, AdStats, BatchAnswer, BatchQuery, KnMatchError, QueryEngine, Scratch,
+    ShardedColumns, ShardedQueryEngine, SortedColumns,
+};
+
+/// SplitMix64, kept local (knmatch-core has no dev-dependencies).
+struct TestRng(u64);
+
+impl TestRng {
+    fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    fn f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// A value from a tiny grid — exact duplicates everywhere, so answer
+    /// boundaries are almost always tied.
+    fn gridval(&mut self) -> f64 {
+        (self.next_u64() % 5) as f64 * 0.25
+    }
+}
+
+fn rows(rng: &mut TestRng, c: usize, d: usize, duplicate_heavy: bool) -> Vec<Vec<f64>> {
+    (0..c)
+        .map(|_| {
+            (0..d)
+                .map(|_| {
+                    if duplicate_heavy {
+                        rng.gridval()
+                    } else {
+                        rng.f64()
+                    }
+                })
+                .collect()
+        })
+        .collect()
+}
+
+/// Every query kind over the (k, n-range) grid; on duplicate-heavy data
+/// the query points come from the same grid so differences tie exactly,
+/// and ε thresholds land exactly on attainable differences.
+fn workload(rng: &mut TestRng, c: usize, d: usize, duplicate_heavy: bool) -> Vec<BatchQuery> {
+    let point = |rng: &mut TestRng| -> Vec<f64> {
+        (0..d)
+            .map(|_| {
+                if duplicate_heavy {
+                    rng.gridval()
+                } else {
+                    rng.f64()
+                }
+            })
+            .collect()
+    };
+    let mut out = Vec::new();
+    for k in [1, c.div_ceil(2), c] {
+        for n0 in [1, d.div_ceil(2)] {
+            for n1 in [n0, d] {
+                let query = point(rng);
+                out.push(BatchQuery::Frequent {
+                    query: query.clone(),
+                    k,
+                    n0,
+                    n1,
+                });
+                out.push(BatchQuery::KnMatch {
+                    query: query.clone(),
+                    k,
+                    n: n1,
+                });
+                out.push(BatchQuery::EpsMatch {
+                    query,
+                    eps: if duplicate_heavy { 0.25 } else { rng.f64() },
+                    n: n0,
+                });
+            }
+        }
+    }
+    out
+}
+
+/// `query` with its answer-set size clamped to `c_s` — the shard-local
+/// query the engine is specified to run.
+fn clamp_k(query: &BatchQuery, c_s: usize) -> BatchQuery {
+    let mut q = query.clone();
+    match &mut q {
+        BatchQuery::KnMatch { k, .. } | BatchQuery::Frequent { k, .. } => *k = (*k).min(c_s),
+        BatchQuery::EpsMatch { .. } => {}
+    }
+    q
+}
+
+#[test]
+fn sharded_answers_match_unsharded_for_all_shards_workers_and_kinds() {
+    let mut rng = TestRng(0x5AAD_0001);
+    for duplicate_heavy in [false, true] {
+        for (c, d) in [(1, 1), (9, 2), (26, 4), (40, 3)] {
+            let data = rows(&mut rng, c, d, duplicate_heavy);
+            let queries = workload(&mut rng, c, d, duplicate_heavy);
+            let plain =
+                QueryEngine::with_workers(Arc::new(SortedColumns::from_rows(&data).unwrap()), 1);
+            let want: Vec<_> = plain
+                .run(&queries)
+                .into_iter()
+                .map(|r| r.unwrap())
+                .collect();
+            let ds = knmatch_core::Dataset::from_rows(&data).unwrap();
+            for shards in [1, 2, 3, 7] {
+                let cols = Arc::new(ShardedColumns::build_with_workers(&ds, shards, 1));
+                for workers in [1, 4] {
+                    let engine = ShardedQueryEngine::with_workers(cols.clone(), workers);
+                    let got = engine.run(&queries);
+                    assert_eq!(got.len(), want.len());
+                    for (i, (g, (want_answer, want_stats))) in got.iter().zip(&want).enumerate() {
+                        let g = g.as_ref().unwrap();
+                        assert_eq!(
+                            &g.answer, want_answer,
+                            "dup={duplicate_heavy} c={c} d={d} shards={shards} \
+                             workers={workers} query #{i}: {:?}",
+                            queries[i]
+                        );
+                        if cols.shard_count() == 1 {
+                            // One shard is the unsharded engine, stats and
+                            // all.
+                            assert_eq!(&g.stats, want_stats);
+                            assert_eq!(g.per_shard, vec![*want_stats]);
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn per_shard_stats_match_sequential_runs_on_each_shard() {
+    let mut rng = TestRng(0x5AAD_0002);
+    for duplicate_heavy in [false, true] {
+        let (c, d) = (23, 3);
+        let data = rows(&mut rng, c, d, duplicate_heavy);
+        let queries = workload(&mut rng, c, d, duplicate_heavy);
+        let ds = knmatch_core::Dataset::from_rows(&data).unwrap();
+        for shards in [2, 3, 7] {
+            let cols = Arc::new(ShardedColumns::build_with_workers(&ds, shards, 1));
+            let engine = ShardedQueryEngine::with_workers(cols.clone(), 4);
+            let got = engine.run(&queries);
+            for (qi, g) in got.iter().enumerate() {
+                let g = g.as_ref().unwrap();
+                let mut total = AdStats::default();
+                for s in 0..cols.shard_count() {
+                    // The reference: a fresh sequential run over columns
+                    // built directly from the shard's rows.
+                    let start = cols.shard_start(s);
+                    let c_s = cols.shard(s).cardinality();
+                    let mut shard_cols =
+                        SortedColumns::from_rows(&data[start..start + c_s]).unwrap();
+                    let local = clamp_k(&queries[qi], c_s);
+                    let (_, want_stats) =
+                        execute_batch_query(&mut shard_cols, &local, &mut Scratch::new()).unwrap();
+                    assert_eq!(
+                        g.per_shard[s], want_stats,
+                        "dup={duplicate_heavy} shards={shards} query #{qi} shard {s}"
+                    );
+                    total.accumulate(&want_stats);
+                }
+                assert_eq!(g.stats, total);
+            }
+        }
+    }
+}
+
+#[test]
+fn merged_eps_answers_enumerate_every_shard_hit() {
+    // ε-n-match has no k truncation: the merged answer must be the exact
+    // union of the shard answers, sorted by (diff, pid) — checked against
+    // a brute-force filter.
+    let mut rng = TestRng(0x5AAD_0003);
+    let (c, d) = (31, 3);
+    let data = rows(&mut rng, c, d, true);
+    let ds = knmatch_core::Dataset::from_rows(&data).unwrap();
+    let query: Vec<f64> = (0..d).map(|_| rng.gridval()).collect();
+    let q = BatchQuery::EpsMatch {
+        query: query.clone(),
+        eps: 0.5,
+        n: 2,
+    };
+    let engine = ShardedQueryEngine::with_workers(Arc::new(ShardedColumns::build(&ds, 3)), 2);
+    let out = engine.execute(&q).unwrap();
+    let BatchAnswer::EpsMatch(res) = &out.answer else {
+        panic!("wrong variant")
+    };
+    let mut want: Vec<u32> = (0..c as u32)
+        .filter(|&pid| {
+            let mut diffs: Vec<f64> = data[pid as usize]
+                .iter()
+                .zip(&query)
+                .map(|(a, b)| (a - b).abs())
+                .collect();
+            diffs.sort_unstable_by(f64::total_cmp);
+            diffs[1] <= 0.5
+        })
+        .collect();
+    want.sort_unstable();
+    let mut got = res.ids();
+    got.sort_unstable();
+    assert_eq!(got, want);
+    assert!(res
+        .entries
+        .windows(2)
+        .all(|w| (w[0].diff, w[0].pid) < (w[1].diff, w[1].pid)
+            || (w[0].diff == w[1].diff && w[0].pid < w[1].pid)));
+}
+
+#[test]
+fn sharded_errors_match_unsharded_validation() {
+    let mut rng = TestRng(0x5AAD_0004);
+    let data = rows(&mut rng, 10, 3, false);
+    let ds = knmatch_core::Dataset::from_rows(&data).unwrap();
+    let engine = ShardedQueryEngine::with_workers(Arc::new(ShardedColumns::build(&ds, 4)), 2);
+    let bad = vec![
+        BatchQuery::KnMatch {
+            query: vec![0.5; 2],
+            k: 1,
+            n: 1,
+        },
+        BatchQuery::KnMatch {
+            query: vec![0.5; 3],
+            k: 11,
+            n: 1,
+        },
+        BatchQuery::Frequent {
+            query: vec![0.5; 3],
+            k: 1,
+            n0: 2,
+            n1: 1,
+        },
+        BatchQuery::EpsMatch {
+            query: vec![0.5; 3],
+            eps: f64::NAN,
+            n: 1,
+        },
+    ];
+    let results = engine.run(&bad);
+    assert!(matches!(
+        results[0],
+        Err(KnMatchError::DimensionMismatch { .. })
+    ));
+    assert!(matches!(results[1], Err(KnMatchError::InvalidK { .. })));
+    assert!(matches!(results[2], Err(KnMatchError::InvalidRange { .. })));
+    assert!(matches!(
+        results[3],
+        Err(KnMatchError::InvalidEpsilon { .. })
+    ));
+}

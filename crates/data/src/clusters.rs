@@ -256,7 +256,7 @@ mod tests {
     #[test]
     fn every_class_populated() {
         let lds = labelled_clusters(&ClusterSpec::new(10, 3, 7, 5));
-        let mut seen = vec![false; 7];
+        let mut seen = [false; 7];
         for &l in &lds.labels {
             seen[l as usize] = true;
         }

@@ -116,7 +116,7 @@ mod tests {
         let ds = uniformish(1000);
         let part = EquiDepthPartition::fit(&ds, 10);
         for dim in 0..2 {
-            let mut counts = vec![0usize; 10];
+            let mut counts = [0usize; 10];
             for (_, p) in ds.iter() {
                 counts[part.bin_of(dim, p[dim])] += 1;
             }
@@ -134,10 +134,10 @@ mod tests {
         let ds = uniformish(500);
         let part = EquiDepthPartition::fit(&ds, 7);
         for (_, p) in ds.iter() {
-            for dim in 0..2 {
-                let b = part.bin_of(dim, p[dim]);
+            for (dim, &v) in p.iter().enumerate() {
+                let b = part.bin_of(dim, v);
                 let (lo, hi) = part.bin_span(dim, b);
-                assert!(lo <= p[dim] && p[dim] <= hi + 1e-12);
+                assert!(lo <= v && v <= hi + 1e-12);
             }
         }
     }

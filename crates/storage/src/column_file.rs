@@ -52,7 +52,7 @@ impl SortedColumnFile {
             let mut dim_fences = Vec::with_capacity(pages_per_dim);
             for chunk in col.chunks(COLUMN_ENTRIES_PER_PAGE) {
                 let mut page = empty_page();
-                dim_fences.push(chunk[0].value);
+                dim_fences.push(chunk.get(0).value);
                 for (slot, e) in chunk.iter().enumerate() {
                     write_column_entry(&mut page, slot, e.pid, e.value);
                 }
@@ -414,7 +414,7 @@ mod tests {
         let (file, mut pool) = build_fig3();
         for dim in 0..3 {
             for rank in 0..5 {
-                assert_eq!(file.entry(&mut pool, dim, rank), mem.column(dim)[rank]);
+                assert_eq!(file.entry(&mut pool, dim, rank), mem.column(dim).get(rank));
             }
         }
     }

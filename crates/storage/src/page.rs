@@ -116,7 +116,7 @@ mod tests {
     #[test]
     fn entries_per_page_matches_entry_size() {
         assert_eq!(COLUMN_ENTRIES_PER_PAGE, 341);
-        assert!(COLUMN_ENTRIES_PER_PAGE * COLUMN_ENTRY_BYTES <= PAGE_SIZE);
+        assert!(COLUMN_ENTRIES_PER_PAGE * COLUMN_ENTRY_BYTES <= std::hint::black_box(PAGE_SIZE));
     }
 
     #[test]

@@ -4,7 +4,7 @@
 #
 #   1. tier-1:  cargo build --release && cargo test -q
 #   2. style:   cargo fmt --all -- --check
-#   3. lints:   cargo clippy --all-targets -- -D warnings
+#   3. lints:   cargo clippy --workspace --all-targets -- -D warnings
 #   4. smoke:   disk_throughput --smoke (cross-checks the disk engine
 #               against the sequential path on a real file, seconds-long)
 #
@@ -25,7 +25,7 @@ echo "==> cargo fmt --check"
 cargo fmt --all -- --check
 
 echo "==> cargo clippy -D warnings"
-cargo clippy --all-targets -- -D warnings
+cargo clippy --workspace --all-targets -- -D warnings
 
 echo "==> disk_throughput --smoke"
 ./target/release/disk_throughput --smoke --out /tmp/BENCH_disk_throughput_smoke.json >/dev/null
