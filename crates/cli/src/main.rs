@@ -18,8 +18,8 @@ use std::process::ExitCode;
 use std::sync::Arc;
 
 use knmatch_core::{
-    BatchAnswer, BatchQuery, Dataset, QueryEngine, ShardedColumns, ShardedQueryEngine,
-    SortedColumns,
+    BatchAnswer, BatchOptions, BatchQuery, Dataset, QueryEngine, ShardedColumns,
+    ShardedQueryEngine, SortedColumns,
 };
 use knmatch_storage::{CostModel, DiskDatabase};
 
@@ -56,7 +56,7 @@ fn usage() -> &'static str {
      knmatch bench <db.knm> -k <K> --frequent <N0> <N1> [--queries Q] [--seed S]\n  \
      knmatch batch <data.csv|db.knm> --queries <queries.csv> \
      (-k <K> -n <N> | -k <K> --frequent <N0> <N1> | --eps <E> -n <N>) [--workers W] \
-     [--shards S | --disk [--pool-pages P]]"
+     [--shards S | --disk [--pool-pages P]] [--deadline-ms MS] [--fail-fast]"
 }
 
 /// Executes one CLI invocation, returning the text to print and whether
@@ -212,6 +212,7 @@ fn batch(args: &[String]) -> Result<(String, bool), String> {
         (qs, format!("{k}-{n}-match"))
     };
 
+    let opts = batch_options(args)?;
     let shards: Option<usize> = match flag_value(args, "--shards") {
         Some(s) => Some(parse_num(s, "--shards")?),
         None => None,
@@ -222,16 +223,16 @@ fn batch(args: &[String]) -> Result<(String, bool), String> {
                         it cannot be combined with --disk"
                 .into());
         }
-        return batch_disk(data, args, &queries, &header, workers);
+        return batch_disk(data, args, &queries, &header, workers, &opts);
     }
 
     let ds = knmatch_data::load_dataset(data).map_err(|e| e.to_string())?;
     if let Some(shards) = shards {
-        return batch_sharded(&ds, &queries, &header, shards, workers);
+        return batch_sharded(&ds, &queries, &header, shards, workers, &opts);
     }
     let engine = QueryEngine::with_workers(Arc::new(SortedColumns::build(&ds)), workers);
     let started = std::time::Instant::now();
-    let results = engine.run(&queries);
+    let results = engine.run_with(&queries, &opts);
     let elapsed = started.elapsed();
 
     let mut out = format!(
@@ -280,13 +281,14 @@ fn batch_sharded(
     header: &str,
     shards: usize,
     workers: usize,
+    opts: &BatchOptions,
 ) -> Result<(String, bool), String> {
     let engine = ShardedQueryEngine::with_workers(
         Arc::new(ShardedColumns::build_with_workers(ds, shards, workers)),
         workers,
     );
     let started = std::time::Instant::now();
-    let results = engine.run(queries);
+    let results = engine.run_with(queries, opts);
     let elapsed = started.elapsed();
 
     let mut out = format!(
@@ -348,6 +350,7 @@ fn batch_disk(
     queries: &[BatchQuery],
     header: &str,
     workers: usize,
+    opts: &BatchOptions,
 ) -> Result<(String, bool), String> {
     let pool_pages: usize = parse_num(
         flag_value(args, "--pool-pages").unwrap_or("256"),
@@ -358,7 +361,7 @@ fn batch_disk(
     let model = CostModel::default();
 
     let started = std::time::Instant::now();
-    let results = engine.run(queries);
+    let results = engine.run_with(queries, opts);
     let elapsed = started.elapsed();
     let pool = engine.pool_stats();
 
@@ -421,6 +424,23 @@ fn batch_disk(
     )
     .expect("write to String");
     Ok((out, failures == 0))
+}
+
+/// Parses the batch-wide fault-handling flags: `--deadline-ms <MS>` gives
+/// every query of the batch a time budget, `--fail-fast` cancels the rest
+/// of the batch after the first failure.
+fn batch_options(args: &[String]) -> Result<BatchOptions, String> {
+    let deadline = match flag_value(args, "--deadline-ms") {
+        Some(ms) => Some(std::time::Duration::from_millis(parse_num(
+            ms,
+            "--deadline-ms",
+        )?)),
+        None => None,
+    };
+    Ok(BatchOptions {
+        deadline,
+        fail_fast: args.iter().any(|a| a == "--fail-fast"),
+    })
 }
 
 /// Pulls the value following `flag` out of `args`.
@@ -1063,6 +1083,111 @@ mod batch_tests {
             "3",
         ]))
         .is_err());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}
+
+#[cfg(test)]
+mod deadline_tests {
+    use super::*;
+
+    fn s(parts: &[&str]) -> Vec<String> {
+        parts.iter().map(|p| p.to_string()).collect()
+    }
+
+    #[test]
+    fn deadline_and_fail_fast_flags() {
+        let dir = std::env::temp_dir().join(format!("knmatch-cli-dl-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let data = dir.join("data.csv");
+        let queries = dir.join("queries.csv");
+        run(&s(&[
+            "generate",
+            "--kind",
+            "uniform",
+            "--cardinality",
+            "200",
+            "--dims",
+            "4",
+            "--out",
+            data.to_str().unwrap(),
+        ]))
+        .unwrap();
+        run(&s(&[
+            "generate",
+            "--kind",
+            "uniform",
+            "--cardinality",
+            "6",
+            "--dims",
+            "4",
+            "--seed",
+            "9",
+            "--out",
+            queries.to_str().unwrap(),
+        ]))
+        .unwrap();
+        let base = s(&[
+            "batch",
+            data.to_str().unwrap(),
+            "--queries",
+            queries.to_str().unwrap(),
+            "-k",
+            "3",
+            "-n",
+            "2",
+        ]);
+
+        // An expired deadline fails every query in its own slot.
+        let mut args = base.clone();
+        args.extend(s(&["--deadline-ms", "0"]));
+        let (out, all_ok) = run(&args).unwrap();
+        assert!(!all_ok);
+        assert!(out.contains("0 ok / 6 failed"), "{out}");
+        assert_eq!(out.matches("query deadline exceeded").count(), 6);
+
+        // A generous deadline changes nothing.
+        let mut args = base.clone();
+        args.extend(s(&["--deadline-ms", "60000"]));
+        let (out, all_ok) = run(&args).unwrap();
+        assert!(all_ok, "{out}");
+        assert!(out.contains("6 ok / 0 failed"), "{out}");
+
+        // --fail-fast: after the first failure (here an expired deadline)
+        // the rest of the batch is cancelled. One worker gives a
+        // deterministic order.
+        let mut args = base.clone();
+        args.extend(s(&["--deadline-ms", "0", "--fail-fast", "--workers", "1"]));
+        let (out, all_ok) = run(&args).unwrap();
+        assert!(!all_ok);
+        assert_eq!(out.matches("query deadline exceeded").count(), 1, "{out}");
+        assert_eq!(out.matches("query cancelled").count(), 5, "{out}");
+
+        // The sharded and disk arms honour the deadline too.
+        let mut args = base.clone();
+        args.extend(s(&["--shards", "2", "--deadline-ms", "0"]));
+        let (out, all_ok) = run(&args).unwrap();
+        assert!(!all_ok);
+        assert!(out.contains("query deadline exceeded"), "{out}");
+
+        let db = dir.join("data.knm");
+        run(&s(&["build", data.to_str().unwrap(), db.to_str().unwrap()])).unwrap();
+        let (out, all_ok) = run(&s(&[
+            "batch",
+            db.to_str().unwrap(),
+            "--queries",
+            queries.to_str().unwrap(),
+            "-k",
+            "3",
+            "-n",
+            "2",
+            "--disk",
+            "--deadline-ms",
+            "0",
+        ]))
+        .unwrap();
+        assert!(!all_ok);
+        assert!(out.contains("query deadline exceeded"), "{out}");
         std::fs::remove_dir_all(&dir).unwrap();
     }
 }

@@ -16,7 +16,7 @@ use crate::error::{KnMatchError, Result};
 use crate::frontier::{AdWalker, Frontier, LinearFrontier};
 use crate::point::validate_finite;
 use crate::result::{rank_frequent, FrequentResult, KnMatchResult, MatchEntry};
-use crate::scratch::{EpochMarks, Scratch};
+use crate::scratch::{EpochMarks, QueryControl, Scratch};
 use crate::source::SortedAccessSource;
 
 /// Cost counters for one AD run, in the paper's cost model.
@@ -150,8 +150,12 @@ pub fn frequent_k_n_match_ad_with<S: SortedAccessSource>(
     n1: usize,
     scratch: &mut Scratch,
 ) -> Result<(FrequentResult, AdStats)> {
-    let Scratch { marks, walker } = scratch;
-    frequent_core(src, query, k, n0, n1, walker, marks)
+    let Scratch {
+        marks,
+        walker,
+        control,
+    } = scratch;
+    frequent_core(src, query, k, n0, n1, walker, marks, control)
 }
 
 /// [`frequent_k_n_match_ad`] using the paper's literal `g[]` array (linear
@@ -171,7 +175,16 @@ pub fn frequent_k_n_match_ad_linear<S: SortedAccessSource>(
 ) -> Result<(FrequentResult, AdStats)> {
     let mut walker: AdWalker<LinearFrontier> = AdWalker::new_empty();
     let mut marks = EpochMarks::new();
-    frequent_core(src, query, k, n0, n1, &mut walker, &mut marks)
+    frequent_core(
+        src,
+        query,
+        k,
+        n0,
+        n1,
+        &mut walker,
+        &mut marks,
+        &QueryControl::none(),
+    )
 }
 
 /// The FKNMatchAD loop against borrowed working memory. Every public
@@ -185,6 +198,7 @@ pub fn frequent_k_n_match_ad_linear<S: SortedAccessSource>(
 /// interleaving. This costs a short extra drain of boundary-tied pops
 /// (zero when the boundary difference is unique) and is what makes the
 /// point-id-sharded engine's merged answers bit-identical to this loop.
+#[allow(clippy::too_many_arguments)]
 fn frequent_core<S: SortedAccessSource, F: Frontier>(
     src: &mut S,
     query: &[f64],
@@ -193,10 +207,12 @@ fn frequent_core<S: SortedAccessSource, F: Frontier>(
     n1: usize,
     walker: &mut AdWalker<F>,
     marks: &mut EpochMarks,
+    control: &QueryControl,
 ) -> Result<(FrequentResult, AdStats)> {
     let d = src.dims();
     let c = src.cardinality();
     validate_params(query, d, c, k, n0, n1)?;
+    control.precheck()?;
 
     marks.begin(c);
     walker.reseed(src, query);
@@ -205,7 +221,9 @@ fn frequent_core<S: SortedAccessSource, F: Frontier>(
     let mut sets: Vec<Vec<MatchEntry>> = vec![Vec::new(); n1 - n0 + 1];
 
     let last_set = n1 - n0;
+    let mut tick = 0u32;
     while sets[last_set].len() < k {
+        control.check(&mut tick)?;
         let (pid, diff) = walker
             .next_pop(src)
             .expect("g[] exhausted: all c·d attributes read, so every point appeared d ≥ n1 times");
@@ -303,11 +321,18 @@ pub fn eps_n_match_ad_with<S: SortedAccessSource>(
     let c = src.cardinality();
     validate_params(query, d, c, 1, n, n)?;
     validate_eps(eps)?;
-    let Scratch { marks, walker } = scratch;
+    let Scratch {
+        marks,
+        walker,
+        control,
+    } = scratch;
+    control.precheck()?;
     marks.begin(c);
     walker.reseed(src, query);
     let mut entries = Vec::new();
+    let mut tick = 0u32;
     while let Some((pid, diff)) = walker.next_pop(src) {
+        control.check(&mut tick)?;
         if diff > eps {
             break;
         }

@@ -15,15 +15,17 @@
 //! and keep one reusable `Scratch` each, so a batch of `q` queries costs
 //! `W` scratch allocations, not `q`.
 
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{mpsc, Arc};
 use std::thread;
+use std::time::{Duration, Instant};
 
 use crate::ad::{eps_n_match_ad_with, frequent_k_n_match_ad_with, k_n_match_ad_with, AdStats};
 use crate::columns::SortedColumns;
-use crate::error::Result;
+use crate::error::{panic_message, KnMatchError, Result};
 use crate::result::{FrequentResult, KnMatchResult};
-use crate::scratch::Scratch;
+use crate::scratch::{QueryControl, Scratch};
 use crate::source::SortedAccessSource;
 
 /// Queries claimed per worker fetch-add (see [`QueryEngine::run`]).
@@ -72,6 +74,70 @@ pub enum BatchAnswer {
     Frequent(FrequentResult),
     /// Answer to [`BatchQuery::EpsMatch`].
     EpsMatch(KnMatchResult),
+}
+
+/// Batch-wide fault-handling options (DESIGN.md §10), accepted by the
+/// `run_with` methods of every batch engine: [`QueryEngine`], the sharded
+/// engine, and the disk engine in `knmatch-storage`.
+///
+/// The default imposes nothing and `run(batch)` is exactly
+/// `run_with(batch, &BatchOptions::default())` — healthy-path answers and
+/// stats are bit-identical with or without options.
+#[derive(Debug, Clone, Default)]
+pub struct BatchOptions {
+    /// Per-query time budget. Each query that is still walking when the
+    /// budget (measured from batch submission) runs out fails with
+    /// [`KnMatchError::DeadlineExceeded`]; the rest of the batch is
+    /// unaffected.
+    pub deadline: Option<Duration>,
+    /// When `true`, the first failing query trips a shared cancel flag and
+    /// every query not yet finished gives up with
+    /// [`KnMatchError::Cancelled`]. When `false` (default) each query
+    /// fails or succeeds on its own.
+    pub fail_fast: bool,
+}
+
+impl BatchOptions {
+    /// Arms a [`QueryControl`] for one batch submission: the deadline
+    /// becomes an absolute instant *now*, and fail-fast allocates the
+    /// shared cancel flag. Called once per batch so every query in the
+    /// batch races the same clock.
+    pub fn arm(&self) -> QueryControl {
+        QueryControl {
+            // `checked_add` so an absurd duration means "no deadline"
+            // rather than a panic.
+            deadline: self.deadline.and_then(|d| Instant::now().checked_add(d)),
+            cancel: if self.fail_fast {
+                Some(Arc::new(AtomicBool::new(false)))
+            } else {
+                None
+            },
+        }
+    }
+}
+
+/// Records `result` against an armed control: a failed query trips the
+/// batch's fail-fast cancel flag (a no-op without one). Shared by all
+/// three batch engines so fail-fast semantics cannot drift.
+pub fn note_outcome<T>(control: &QueryControl, result: &Result<T>) {
+    if result.is_err() {
+        if let Some(flag) = &control.cancel {
+            flag.store(true, Ordering::Relaxed);
+        }
+    }
+}
+
+/// Runs `f`, converting a panic into [`KnMatchError::Panicked`] so one
+/// query's panic is isolated to its own result slot. The payload is
+/// rendered with [`panic_message`]; callers that smuggle richer errors
+/// through panics (the disk engine's storage errors) do their own
+/// downcast before falling back to this.
+pub fn isolate_panic<T>(f: impl FnOnce() -> Result<T>) -> Result<T> {
+    catch_unwind(AssertUnwindSafe(f)).unwrap_or_else(|payload| {
+        Err(KnMatchError::Panicked {
+            message: panic_message(payload.as_ref()),
+        })
+    })
 }
 
 /// Executes one [`BatchQuery`] against any [`SortedAccessSource`] with
@@ -249,10 +315,31 @@ impl QueryEngine {
 
     /// Executes the whole batch, returning one result per query in input
     /// order. Invalid queries yield their validation error without
-    /// affecting the rest of the batch.
+    /// affecting the rest of the batch; a panicking query yields
+    /// [`KnMatchError::Panicked`](crate::KnMatchError::Panicked) in its
+    /// own slot while the rest of the batch completes.
     pub fn run(&self, queries: &[BatchQuery]) -> Vec<Result<(BatchAnswer, AdStats)>> {
-        run_batch(self.workers, queries.len(), Scratch::new, |scratch, i| {
-            self.execute(&queries[i], scratch)
+        self.run_with(queries, &BatchOptions::default())
+    }
+
+    /// [`run`](Self::run) with batch-wide [`BatchOptions`]: per-query
+    /// deadlines and fail-fast cancellation. With default options the
+    /// answers and stats are bit-identical to [`run`](Self::run).
+    pub fn run_with(
+        &self,
+        queries: &[BatchQuery],
+        opts: &BatchOptions,
+    ) -> Vec<Result<(BatchAnswer, AdStats)>> {
+        let control = opts.arm();
+        let init = || {
+            let mut s = Scratch::new();
+            s.set_control(control.clone());
+            s
+        };
+        run_batch(self.workers, queries.len(), init, |scratch, i| {
+            let out = isolate_panic(|| self.execute(&queries[i], scratch));
+            note_outcome(&control, &out);
+            out
         })
     }
 }
@@ -338,6 +425,78 @@ mod tests {
             results[5],
             Err(KnMatchError::InvalidEpsilon { .. })
         ));
+    }
+
+    #[test]
+    fn zero_deadline_fails_each_query_not_the_batch() {
+        let e = engine(2);
+        let opts = BatchOptions {
+            deadline: Some(Duration::ZERO),
+            fail_fast: false,
+        };
+        let results = e.run_with(&batch(), &opts);
+        assert_eq!(results.len(), 4);
+        for r in results {
+            assert_eq!(r, Err(KnMatchError::DeadlineExceeded));
+        }
+    }
+
+    #[test]
+    fn generous_deadline_is_bit_identical_to_no_options() {
+        let e = engine(3);
+        let opts = BatchOptions {
+            deadline: Some(Duration::from_secs(3600)),
+            fail_fast: true,
+        };
+        assert_eq!(e.run_with(&batch(), &opts), e.run(&batch()));
+    }
+
+    #[test]
+    fn fail_fast_cancels_queries_after_a_failure() {
+        // One worker: queries run in input order, so everything after the
+        // invalid query deterministically sees the tripped cancel flag.
+        let e = engine(1);
+        let mut queries = batch();
+        queries.insert(
+            0,
+            BatchQuery::KnMatch {
+                query: vec![1.0],
+                k: 1,
+                n: 1,
+            },
+        );
+        let results = e.run_with(
+            &queries,
+            &BatchOptions {
+                deadline: None,
+                fail_fast: true,
+            },
+        );
+        assert!(matches!(
+            results[0],
+            Err(KnMatchError::DimensionMismatch { .. })
+        ));
+        for r in &results[1..] {
+            assert_eq!(*r, Err(KnMatchError::Cancelled));
+        }
+    }
+
+    #[test]
+    fn panics_are_isolated_to_an_error() {
+        let out: Result<()> = isolate_panic(|| panic!("boom {}", 42));
+        assert_eq!(
+            out,
+            Err(KnMatchError::Panicked {
+                message: "boom 42".into()
+            })
+        );
+        let out: Result<()> = isolate_panic(|| std::panic::panic_any(7u32));
+        assert_eq!(
+            out,
+            Err(KnMatchError::Panicked {
+                message: "non-string panic payload".into()
+            })
+        );
     }
 
     #[test]

@@ -50,11 +50,30 @@ pub enum KnMatchError {
         /// The offending threshold.
         eps: f64,
     },
+    /// The query ran past its cooperative deadline (see
+    /// [`QueryControl`](crate::QueryControl)) and was abandoned.
+    DeadlineExceeded,
+    /// The query was cancelled before completing (a fail-fast batch
+    /// aborts its remaining queries once one fails).
+    Cancelled,
+    /// A storage-layer failure (I/O error, checksum mismatch) surfaced
+    /// while the query was reading pages. The message is the rendered
+    /// storage error; the query's result slot is the only casualty.
+    Storage {
+        /// Rendered storage-layer error.
+        message: String,
+    },
+    /// The query panicked; the panic was caught at the query boundary
+    /// and isolated to this result slot.
+    Panicked {
+        /// Rendered panic payload.
+        message: String,
+    },
 }
 
 impl fmt::Display for KnMatchError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        match *self {
+        match self {
             KnMatchError::DimensionMismatch { expected, actual } => {
                 write!(
                     f,
@@ -87,6 +106,10 @@ impl fmt::Display for KnMatchError {
             KnMatchError::InvalidEpsilon { eps } => {
                 write!(f, "invalid epsilon {eps}: must be finite and non-negative")
             }
+            KnMatchError::DeadlineExceeded => write!(f, "query deadline exceeded"),
+            KnMatchError::Cancelled => write!(f, "query cancelled (batch fail-fast)"),
+            KnMatchError::Storage { message } => write!(f, "storage failure: {message}"),
+            KnMatchError::Panicked { message } => write!(f, "query panicked: {message}"),
         }
     }
 }
@@ -95,6 +118,21 @@ impl std::error::Error for KnMatchError {}
 
 /// Convenience alias used throughout the crate.
 pub type Result<T> = std::result::Result<T, KnMatchError>;
+
+/// Renders a caught panic payload (as produced by
+/// `std::panic::catch_unwind`) into a human-readable message. `panic!`
+/// with a format string yields a `String`, a literal yields `&str`;
+/// anything else (a `panic_any` payload a caller did not recognise) gets
+/// a generic label.
+pub fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
 
 #[cfg(test)]
 mod tests {

@@ -103,8 +103,11 @@ pub use ad::{
 };
 pub use columns::{ColumnView, SortedColumns};
 pub use dynamic::{DynamicColumns, KeyedMatch};
-pub use engine::{execute_batch_query, run_batch, BatchAnswer, BatchQuery, QueryEngine};
-pub use error::{KnMatchError, Result};
+pub use engine::{
+    execute_batch_query, isolate_panic, note_outcome, run_batch, BatchAnswer, BatchOptions,
+    BatchQuery, QueryEngine,
+};
+pub use error::{panic_message, KnMatchError, Result};
 pub use fagin::{GradedLists, MiddlewareStats, MinAggregate, MonotoneAggregate, WeightedSum};
 pub use hybrid::{
     frequent_k_n_match_hybrid, k_n_match_hybrid, k_n_match_hybrid_scan, DimKind, HybridColumns,
@@ -122,7 +125,7 @@ pub use nmatch::{
 };
 pub use point::{Dataset, PointId};
 pub use result::{FrequentEntry, FrequentResult, KnMatchResult, MatchEntry};
-pub use scratch::Scratch;
+pub use scratch::{QueryControl, Scratch};
 pub use sharded::{ShardedColumns, ShardedOutcome, ShardedQueryEngine};
 pub use skyline::skyline_wrt;
 pub use source::{SortedAccessSource, SortedEntry};

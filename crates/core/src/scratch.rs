@@ -10,8 +10,96 @@
 //! that last wrote it, and a slot whose stamp differs from the current
 //! epoch reads as zero. Starting a query is a single integer increment.
 
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+use crate::error::{KnMatchError, Result};
 use crate::frontier::{AdWalker, HeapFrontier};
 use crate::point::PointId;
+
+/// How many AD heap pops elapse between cooperative deadline /
+/// cancellation checks. Checking costs an `Instant::now()` and an atomic
+/// load; every 64 pops that is noise (a pop does a heap operation plus
+/// an attribute read) while still bounding overshoot to well under a
+/// millisecond of work.
+const CONTROL_CHECK_INTERVAL: u32 = 64;
+
+/// Cooperative per-query deadline and cancellation, checked inside the
+/// AD pop loop (DESIGN.md §10).
+///
+/// A default `QueryControl` imposes nothing: the checks reduce to two
+/// `None` tests and the healthy path's answers and
+/// [`AdStats`](crate::AdStats) are bit-identical to a build without any
+/// control plumbing. Engines stamp a control into their workers'
+/// [`Scratch`] per batch (see
+/// [`BatchOptions`](crate::engine::BatchOptions)).
+#[derive(Debug, Clone, Default)]
+pub struct QueryControl {
+    /// Absolute point in time after which the query gives up with
+    /// [`KnMatchError::DeadlineExceeded`].
+    pub deadline: Option<Instant>,
+    /// Shared flag; when set, the query gives up with
+    /// [`KnMatchError::Cancelled`] (fail-fast batches trip it on the
+    /// first failure).
+    pub cancel: Option<Arc<AtomicBool>>,
+}
+
+impl QueryControl {
+    /// A control that never interrupts (the default).
+    pub fn none() -> Self {
+        QueryControl::default()
+    }
+
+    /// Whether any check could ever fire.
+    fn is_armed(&self) -> bool {
+        self.deadline.is_some() || self.cancel.is_some()
+    }
+
+    /// Immediate check, used once at query start so even a query whose
+    /// walk is shorter than the check interval honours an
+    /// already-expired deadline or an already-tripped cancel flag.
+    ///
+    /// # Errors
+    ///
+    /// [`KnMatchError::Cancelled`] or [`KnMatchError::DeadlineExceeded`].
+    pub(crate) fn precheck(&self) -> Result<()> {
+        if !self.is_armed() {
+            return Ok(());
+        }
+        if let Some(flag) = &self.cancel {
+            if flag.load(Ordering::Relaxed) {
+                return Err(KnMatchError::Cancelled);
+            }
+        }
+        if let Some(deadline) = self.deadline {
+            if Instant::now() >= deadline {
+                return Err(KnMatchError::DeadlineExceeded);
+            }
+        }
+        Ok(())
+    }
+
+    /// Loop-body check: consults the clock and the cancel flag every
+    /// [`CONTROL_CHECK_INTERVAL`] calls. `tick` is the caller's local
+    /// counter (local so the stride never depends on what previous
+    /// queries did).
+    ///
+    /// # Errors
+    ///
+    /// As [`QueryControl::precheck`].
+    #[inline]
+    pub(crate) fn check(&self, tick: &mut u32) -> Result<()> {
+        if !self.is_armed() {
+            return Ok(());
+        }
+        *tick += 1;
+        if *tick % CONTROL_CHECK_INTERVAL != 0 {
+            return Ok(());
+        }
+        self.precheck()
+    }
+}
 
 /// Epoch-stamped `appear`/`counts` arrays: logically zeroed per query by
 /// bumping a generation counter instead of an O(c) memset.
@@ -120,12 +208,20 @@ impl EpochMarks {
 pub struct Scratch {
     pub(crate) marks: EpochMarks,
     pub(crate) walker: AdWalker<HeapFrontier>,
+    /// Deadline/cancellation the next query run against this scratch
+    /// must honour. Defaults to no control; engines stamp it per batch.
+    pub control: QueryControl,
 }
 
 impl Scratch {
     /// An empty scratch; buffers are grown on first use.
     pub fn new() -> Self {
         Scratch::default()
+    }
+
+    /// Sets the [`QueryControl`] subsequent queries will honour.
+    pub fn set_control(&mut self, control: QueryControl) {
+        self.control = control;
     }
 }
 

@@ -50,7 +50,10 @@ use std::thread;
 
 use crate::ad::{validate_eps, validate_params, AdStats};
 use crate::columns::{sort_dim_range, SortedColumns};
-use crate::engine::{execute_batch_query, run_batch, BatchAnswer, BatchQuery};
+use crate::engine::{
+    execute_batch_query, isolate_panic, note_outcome, run_batch, BatchAnswer, BatchOptions,
+    BatchQuery,
+};
 use crate::error::Result;
 use crate::point::{Dataset, PointId};
 use crate::result::{rank_frequent, FrequentResult, KnMatchResult, MatchEntry};
@@ -238,8 +241,23 @@ impl ShardedQueryEngine {
     /// Executes the whole batch, returning one result per query in input
     /// order. All `q × S` shard-tasks share one pool, so a single query
     /// and a large batch both keep every worker busy. Invalid queries
-    /// yield their validation error without spawning shard work.
+    /// yield their validation error without spawning shard work; a shard
+    /// task that fails or panics fails only its own query (first failing
+    /// shard, in shard order, wins) while the rest of the batch completes.
     pub fn run(&self, queries: &[BatchQuery]) -> Vec<Result<ShardedOutcome>> {
+        self.run_with(queries, &BatchOptions::default())
+    }
+
+    /// [`run`](Self::run) with batch-wide [`BatchOptions`]: per-query
+    /// deadlines and fail-fast cancellation (every shard task of every
+    /// query shares the batch's clock and cancel flag). With default
+    /// options the answers and stats are bit-identical to
+    /// [`run`](Self::run).
+    pub fn run_with(
+        &self,
+        queries: &[BatchQuery],
+        opts: &BatchOptions,
+    ) -> Vec<Result<ShardedOutcome>> {
         let s_count = self.cols.shard_count();
         let validity: Vec<Result<()>> = queries.iter().map(|q| self.validate(q)).collect();
         let mut tasks = Vec::new();
@@ -248,9 +266,17 @@ impl ShardedQueryEngine {
                 tasks.extend((0..s_count).map(|s| (qi, s)));
             }
         }
-        let outs = run_batch(self.workers, tasks.len(), Scratch::new, |scratch, t| {
+        let control = opts.arm();
+        let init = || {
+            let mut s = Scratch::new();
+            s.set_control(control.clone());
+            s
+        };
+        let outs = run_batch(self.workers, tasks.len(), init, |scratch, t| {
             let (qi, s) = tasks[t];
-            self.run_shard(&queries[qi], s, scratch)
+            let out = self.run_shard(&queries[qi], s, scratch);
+            note_outcome(&control, &out);
+            out
         });
         // Tasks were pushed query-major, so each valid query owns the next
         // `s_count` outputs in order.
@@ -259,9 +285,21 @@ impl ShardedQueryEngine {
             .into_iter()
             .enumerate()
             .map(|(qi, v)| {
-                v.map(|()| {
-                    let parts: Vec<(BatchAnswer, AdStats)> = outs.by_ref().take(s_count).collect();
-                    merge_shards(&queries[qi], parts)
+                v.and_then(|()| {
+                    let mut parts = Vec::with_capacity(s_count);
+                    let mut first_err = None;
+                    for part in outs.by_ref().take(s_count) {
+                        match part {
+                            Ok(x) => parts.push(x),
+                            Err(e) => {
+                                first_err.get_or_insert(e);
+                            }
+                        }
+                    }
+                    match first_err {
+                        Some(e) => Err(e),
+                        None => Ok(merge_shards(&queries[qi], parts)),
+                    }
                 })
             })
             .collect()
@@ -282,22 +320,26 @@ impl ShardedQueryEngine {
     }
 
     /// Runs `query` against shard `s` with `k` clamped to the shard
-    /// cardinality, rebasing answer pids to global.
+    /// cardinality, rebasing answer pids to global. Validation passed
+    /// globally and shard parameters only clamp `k`, so an `Err` here is a
+    /// runtime failure (deadline, cancellation, a panic caught at the
+    /// shard-task boundary) — it fails this query's slot, not the batch.
     fn run_shard(
         &self,
         query: &BatchQuery,
         s: usize,
         scratch: &mut Scratch,
-    ) -> (BatchAnswer, AdStats) {
+    ) -> Result<(BatchAnswer, AdStats)> {
         let shard = self.cols.shard(s);
         let local = clamp_k(query, shard.cardinality());
-        let mut view: &SortedColumns = shard;
-        let (answer, stats) = execute_batch_query(&mut view, &local, scratch)
-            .expect("query validated globally; shard parameters only clamp k");
-        (
-            offset_answer(answer, self.cols.shard_start(s) as PointId),
-            stats,
-        )
+        isolate_panic(|| {
+            let mut view: &SortedColumns = shard;
+            let (answer, stats) = execute_batch_query(&mut view, &local, scratch)?;
+            Ok((
+                offset_answer(answer, self.cols.shard_start(s) as PointId),
+                stats,
+            ))
+        })
     }
 }
 
@@ -607,6 +649,26 @@ mod tests {
         assert_eq!(
             ShardedQueryEngine::with_workers(engine.columns().clone(), 0).workers(),
             1
+        );
+    }
+
+    #[test]
+    fn deadlines_fail_queries_individually_and_generous_ones_change_nothing() {
+        let engine = fig3_sharded(2);
+        let opts = BatchOptions {
+            deadline: Some(std::time::Duration::ZERO),
+            fail_fast: false,
+        };
+        for r in engine.run_with(&fig3_batch(), &opts) {
+            assert_eq!(r, Err(KnMatchError::DeadlineExceeded));
+        }
+        let opts = BatchOptions {
+            deadline: Some(std::time::Duration::from_secs(3600)),
+            fail_fast: false,
+        };
+        assert_eq!(
+            engine.run_with(&fig3_batch(), &opts),
+            engine.run(&fig3_batch())
         );
     }
 

@@ -28,6 +28,11 @@ pub struct IoStats {
     pub sequential_reads: u64,
     /// All other misses (each costs a seek).
     pub random_reads: u64,
+    /// Extra store-read attempts spent recovering transient failures
+    /// (see [`crate::shared_pool::RetryPolicy`]); zero on a healthy
+    /// store. Retries are not page accesses: a read that succeeds on
+    /// try two still counts once in the miss counters.
+    pub retries: u64,
 }
 
 impl IoStats {
@@ -48,6 +53,7 @@ impl IoStats {
         self.hits += other.hits;
         self.sequential_reads += other.sequential_reads;
         self.random_reads += other.random_reads;
+        self.retries += other.retries;
     }
 }
 
@@ -408,6 +414,7 @@ mod tests {
             hits: 5,
             sequential_reads: 100,
             random_reads: 10,
+            retries: 2,
         };
         let t = s.response_time_ms(CostModel::default());
         assert!((t - (100.0 * 0.1 + 10.0 * 1.0)).abs() < 1e-9);

@@ -9,6 +9,7 @@
 use knmatch_core::{Dataset, SortedColumns, SortedEntry};
 
 use crate::buffer::BufferPool;
+use crate::error::{StorageError, StorageResult};
 use crate::page::{
     empty_page, pages_needed, read_column_entry, write_column_entry, PageBuf,
     COLUMN_ENTRIES_PER_PAGE,
@@ -80,35 +81,59 @@ impl SortedColumnFile {
     ///
     /// # Panics
     ///
-    /// Panics when the store does not hold the expected page range.
+    /// Panics when the store does not hold the expected page range or a
+    /// fence-page read fails; [`SortedColumnFile::try_open`] is the
+    /// fallible variant.
     pub fn open<S: PageStore>(
         store: &mut S,
         dims: usize,
         cardinality: usize,
         base_page: usize,
     ) -> Self {
+        Self::try_open(store, dims, cardinality, base_page)
+            .unwrap_or_else(|e| panic!("column file open: {e}"))
+    }
+
+    /// Fallible [`SortedColumnFile::open`]: a missing page range or a
+    /// failing fence-page read (I/O error, checksum mismatch) is returned
+    /// instead of panicking, so [`crate::persist::open_file`] can report
+    /// corruption cleanly.
+    ///
+    /// # Errors
+    ///
+    /// [`StorageError::Truncated`] when the store is too small for the
+    /// claimed layout, or whatever the store's read reports.
+    pub fn try_open<S: PageStore>(
+        store: &mut S,
+        dims: usize,
+        cardinality: usize,
+        base_page: usize,
+    ) -> StorageResult<Self> {
         let pages_per_dim = pages_needed(cardinality, COLUMN_ENTRIES_PER_PAGE);
-        assert!(
-            base_page + dims * pages_per_dim <= store.page_count(),
-            "store truncated: column file pages missing"
-        );
+        let expected = base_page + dims * pages_per_dim;
+        if expected > store.page_count() {
+            return Err(StorageError::Truncated {
+                pages: store.page_count(),
+                expected,
+            });
+        }
         let mut buf = empty_page();
         let mut fences = Vec::with_capacity(dims);
         for dim in 0..dims {
             let mut dim_fences = Vec::with_capacity(pages_per_dim);
             for p in 0..pages_per_dim {
-                store.read_page(base_page + dim * pages_per_dim + p, &mut buf);
+                store.try_read_page(base_page + dim * pages_per_dim + p, &mut buf)?;
                 dim_fences.push(read_column_entry(&buf, 0).1);
             }
             fences.push(dim_fences);
         }
-        SortedColumnFile {
+        Ok(SortedColumnFile {
             dims,
             cardinality,
             pages_per_dim,
             base_page,
             fences,
-        }
+        })
     }
 
     /// Dimensionality `d`.
@@ -340,6 +365,15 @@ impl<'a, S: SharedPageStore> SharedDiskColumns<'a, S> {
     /// Returns `dim`'s copy of `page_no`, booking the access in the
     /// session and fetching through the shared pool when neither local
     /// slot holds it.
+    ///
+    /// A pool read that still fails after the retry budget unwinds as a
+    /// panic carrying the [`StorageError`] payload: the
+    /// `SortedAccessSource` trait is infallible by design (the hot AD
+    /// loop stays branch-free on the healthy path), and
+    /// [`crate::DiskQueryEngine`] catches the unwind at the query
+    /// boundary and turns it into that query's `Err` slot. The local
+    /// slot is only updated after a successful read, so no torn page is
+    /// ever served.
     fn page(&mut self, dim: usize, page_no: usize) -> &PageBuf {
         let verdict = self.session.account(page_no, dim as u32);
         let slots = self.cached_no[dim];
@@ -351,7 +385,8 @@ impl<'a, S: SharedPageStore> SharedDiskColumns<'a, S> {
             let victim = 1 - usize::from(self.mru[dim]);
             let sequential = verdict.is_sequential();
             self.pool
-                .read_classified(page_no, sequential, &mut self.cache[dim][victim]);
+                .read_classified(page_no, sequential, &mut self.cache[dim][victim])
+                .unwrap_or_else(|e| std::panic::panic_any(e));
             self.cached_no[dim][victim] = page_no;
             victim
         };

@@ -23,15 +23,35 @@
 //! [`DiskQueryEngine::pool_stats`].
 
 use std::io;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 
 use knmatch_core::{
-    execute_batch_query, run_batch, AdStats, BatchAnswer, BatchQuery, Result, Scratch,
+    execute_batch_query, note_outcome, panic_message, run_batch, AdStats, BatchAnswer,
+    BatchOptions, BatchQuery, KnMatchError, Result, Scratch,
 };
 
 use crate::buffer::IoStats;
 use crate::column_file::{SharedDiskColumns, SortedColumnFile};
+use crate::error::StorageError;
 use crate::shared_pool::SharedBufferPool;
 use crate::store::SharedPageStore;
+
+/// Converts a panic caught at the disk-query boundary into a
+/// [`KnMatchError`]. A [`StorageError`] smuggled across the infallible
+/// `SortedAccessSource` trait via `panic_any` (see
+/// [`SharedDiskColumns`]'s page reads) becomes
+/// [`KnMatchError::Storage`]; any other payload is a genuine panic and
+/// becomes [`KnMatchError::Panicked`].
+fn unwind_to_error(payload: Box<dyn std::any::Any + Send>) -> KnMatchError {
+    match payload.downcast::<StorageError>() {
+        Ok(e) => KnMatchError::Storage {
+            message: e.to_string(),
+        },
+        Err(payload) => KnMatchError::Panicked {
+            message: panic_message(payload.as_ref()),
+        },
+    }
+}
 
 /// Outcome of one query of a disk batch: the answer plus both cost views.
 #[derive(Debug, Clone, PartialEq)]
@@ -145,6 +165,13 @@ impl<S: SharedPageStore> DiskQueryEngine<S> {
     /// state. [`run`](Self::run) is a parallel loop over exactly this, so
     /// cross-checking the two paths needs no test-only hooks.
     ///
+    /// The query body runs under `catch_unwind`: a storage failure that
+    /// exhausted its retries (surfacing as a [`StorageError`] panic from
+    /// the page reader) becomes [`KnMatchError::Storage`], any other
+    /// panic becomes [`KnMatchError::Panicked`] — in both cases only this
+    /// query's result slot fails and `src`/`scratch` remain usable (their
+    /// per-query state is reset by the next `begin_query`/reseed).
+    ///
     /// # Errors
     ///
     /// Per-query parameter validation; see
@@ -156,7 +183,14 @@ impl<S: SharedPageStore> DiskQueryEngine<S> {
         scratch: &mut Scratch,
     ) -> Result<DiskBatchOutcome> {
         src.begin_query();
-        execute_batch_query(src, query, scratch).map(|(answer, ad)| DiskBatchOutcome {
+        let run = catch_unwind(AssertUnwindSafe(|| {
+            execute_batch_query(src, query, scratch)
+        }));
+        let (answer, ad) = match run {
+            Ok(r) => r?,
+            Err(payload) => return Err(unwind_to_error(payload)),
+        };
+        Ok(DiskBatchOutcome {
             answer,
             ad,
             io: src.session_stats(),
@@ -164,20 +198,39 @@ impl<S: SharedPageStore> DiskQueryEngine<S> {
     }
 
     /// Executes the whole batch, returning one result per query in input
-    /// order. Invalid queries yield their validation error without
-    /// affecting the rest of the batch. Answers, `AdStats`, and modelled
-    /// `IoStats` are identical at every worker count.
+    /// order. Invalid, failing, or panicking queries yield an `Err` in
+    /// their own slot without affecting the rest of the batch. Answers,
+    /// `AdStats`, and modelled `IoStats` are identical at every worker
+    /// count.
     pub fn run(&self, queries: &[BatchQuery]) -> Vec<Result<DiskBatchOutcome>> {
+        self.run_with(queries, &BatchOptions::default())
+    }
+
+    /// [`run`](Self::run) with batch-wide [`BatchOptions`]: per-query
+    /// deadlines and fail-fast cancellation. With default options the
+    /// outcomes are bit-identical to [`run`](Self::run).
+    pub fn run_with(
+        &self,
+        queries: &[BatchQuery],
+        opts: &BatchOptions,
+    ) -> Vec<Result<DiskBatchOutcome>> {
+        let control = opts.arm();
         run_batch(
             self.workers,
             queries.len(),
             || {
+                let mut scratch = Scratch::new();
+                scratch.set_control(control.clone());
                 (
                     SharedDiskColumns::new(&self.columns, &self.pool, self.pool_pages),
-                    Scratch::new(),
+                    scratch,
                 )
             },
-            |(src, scratch), i| self.execute(&queries[i], src, scratch),
+            |(src, scratch), i| {
+                let out = self.execute(&queries[i], src, scratch);
+                note_outcome(&control, &out);
+                out
+            },
         )
     }
 
@@ -195,6 +248,24 @@ mod tests {
 
     fn fig3_engine(workers: usize) -> DiskQueryEngine<MemStore> {
         DiskDatabase::build_in_memory(&knmatch_core::paper::fig3_dataset(), 16).into_engine(workers)
+    }
+
+    /// Match-or-fail: the `KnMatch` payload, or a failure naming the
+    /// variant actually returned.
+    fn expect_kn(answer: &BatchAnswer) -> &knmatch_core::KnMatchResult {
+        match answer {
+            BatchAnswer::KnMatch(r) => r,
+            other => panic!("expected a KnMatch answer, got {other:?}"),
+        }
+    }
+
+    /// Match-or-fail: the `Frequent` payload, or a failure naming the
+    /// variant actually returned.
+    fn expect_frequent(answer: &BatchAnswer) -> &knmatch_core::FrequentResult {
+        match answer {
+            BatchAnswer::Frequent(r) => r,
+            other => panic!("expected a Frequent answer, got {other:?}"),
+        }
     }
 
     fn batch() -> Vec<BatchQuery> {
@@ -228,9 +299,7 @@ mod tests {
             db.pool_mut().invalidate_all();
             let want = db.k_n_match(&[3.0, 7.0, 4.0], 2, 2).unwrap();
             let got = results[0].as_ref().unwrap();
-            let BatchAnswer::KnMatch(r) = &got.answer else {
-                panic!("wrong variant");
-            };
+            let r = expect_kn(&got.answer);
             assert_eq!(r, &want.result);
             assert_eq!(got.ad, want.ad);
             assert_eq!(got.io, want.io, "workers {workers}");
@@ -238,9 +307,7 @@ mod tests {
             db.pool_mut().invalidate_all();
             let want = db.frequent_k_n_match(&[3.0, 7.0, 4.0], 2, 1, 3).unwrap();
             let got = results[1].as_ref().unwrap();
-            let BatchAnswer::Frequent(r) = &got.answer else {
-                panic!("wrong variant");
-            };
+            let r = expect_frequent(&got.answer);
             assert_eq!(r, &want.result);
             assert_eq!(got.io, want.io);
         }
@@ -267,6 +334,23 @@ mod tests {
         let layout = DiskDatabase::<MemStore>::build(&ds, &mut store);
         let err = DiskQueryEngine::new(store, layout.columns, 0).unwrap_err();
         assert_eq!(err.kind(), io::ErrorKind::InvalidInput);
+    }
+
+    #[test]
+    fn deadlines_and_generous_options_behave() {
+        let engine = fig3_engine(2);
+        let opts = BatchOptions {
+            deadline: Some(std::time::Duration::ZERO),
+            fail_fast: false,
+        };
+        for r in engine.run_with(&batch(), &opts) {
+            assert_eq!(r, Err(KnMatchError::DeadlineExceeded));
+        }
+        let opts = BatchOptions {
+            deadline: Some(std::time::Duration::from_secs(3600)),
+            fail_fast: true,
+        };
+        assert_eq!(engine.run_with(&batch(), &opts), engine.run(&batch()));
     }
 
     #[test]

@@ -1,0 +1,304 @@
+//! Deterministic fault injection for the storage stack.
+//!
+//! [`FaultStore`] wraps any [`SharedPageStore`] and injects failures on
+//! the read path so the retry, checksum, and panic-isolation machinery
+//! can be tested without a flaky disk:
+//!
+//! * **transient I/O errors** (`ErrorKind::Interrupted`) at a seeded
+//!   rate — the kind [`crate::SharedBufferPool`]'s retry loop absorbs;
+//! * **torn pages / bit flips**, surfaced as
+//!   [`StorageError::CorruptPage`] with real CRC32s of the clean and
+//!   corrupted bytes, modelling verification catching transport
+//!   corruption;
+//! * **pages that always fail**, for deterministic per-slot `Err`
+//!   placement in batch tests (the retry budget is exhausted);
+//! * **a one-shot panic on a chosen page**, which unwinds through the
+//!   shard lock and exercises poisoned-lock recovery.
+//!
+//! Randomly injected faults *heal on retry*: a page that just faulted is
+//! guaranteed a clean read on its next access. Page reads for a given
+//! page number are serialised by the pool's shard lock, so with a retry
+//! budget ≥ 2 every randomly injected fault recovers and answers are
+//! bit-identical to the fault-free run — the invariant the
+//! fault-injection matrix test asserts at every worker count.
+//!
+//! Fault decisions come from a splitmix64 stream seeded by
+//! [`FaultConfig::seed`] and a global read counter, so a single-threaded
+//! run is exactly reproducible; under concurrency the *set* of injected
+//! faults depends on interleaving but the healing rule keeps outcomes
+//! deterministic.
+
+use std::collections::HashSet;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Mutex;
+
+use crate::checksum::crc32;
+use crate::error::{StorageError, StorageResult};
+use crate::page::PageBuf;
+use crate::store::SharedPageStore;
+
+/// What a [`FaultStore`] injects, and when.
+#[derive(Debug, Clone, Default)]
+pub struct FaultConfig {
+    /// Seed of the fault-decision stream.
+    pub seed: u64,
+    /// Probability (0.0..=1.0) that a read fails with a transient
+    /// `Interrupted` I/O error. The page heals: its next read is clean.
+    pub transient_rate: f64,
+    /// Probability (0.0..=1.0) that a read returns corrupted bytes,
+    /// surfaced as [`StorageError::CorruptPage`]. Heals on retry.
+    pub corrupt_rate: f64,
+    /// Pages that fail *every* read with a transient error — retries
+    /// are exhausted and the caller sees
+    /// [`StorageError::RetriesExhausted`].
+    pub fail_pages: HashSet<usize>,
+    /// Page whose next read panics (once), for poisoned-lock tests.
+    pub panic_on_page: Option<usize>,
+}
+
+impl FaultConfig {
+    /// A config injecting only seeded transient errors at `rate`.
+    pub fn transient(seed: u64, rate: f64) -> Self {
+        FaultConfig {
+            seed,
+            transient_rate: rate,
+            ..FaultConfig::default()
+        }
+    }
+}
+
+/// A [`SharedPageStore`] wrapper that injects seeded faults; see the
+/// module docs for the failure menu.
+#[derive(Debug)]
+pub struct FaultStore<S> {
+    inner: S,
+    config: FaultConfig,
+    /// Global read sequence number driving the fault-decision stream.
+    seq: AtomicU64,
+    /// Faults injected so far (all kinds).
+    injected: AtomicU64,
+    /// Whether the one-shot panic has fired.
+    panicked: AtomicBool,
+    /// Pages owed a clean read because their last read faulted.
+    healing: Mutex<HashSet<usize>>,
+}
+
+/// splitmix64: the standard 64-bit finalising mix.
+fn mix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+impl<S: SharedPageStore> FaultStore<S> {
+    /// Wraps `inner` with the given fault plan.
+    pub fn new(inner: S, config: FaultConfig) -> Self {
+        FaultStore {
+            inner,
+            config,
+            seq: AtomicU64::new(0),
+            injected: AtomicU64::new(0),
+            panicked: AtomicBool::new(false),
+            healing: Mutex::new(HashSet::new()),
+        }
+    }
+
+    /// Total faults injected so far (transient + corrupt + always-fail).
+    pub fn injected(&self) -> u64 {
+        self.injected.load(Ordering::Relaxed)
+    }
+
+    /// Reads that consulted the fault-decision stream (healing reads —
+    /// the clean retry a faulted page is owed — are not counted).
+    pub fn reads(&self) -> u64 {
+        self.seq.load(Ordering::Relaxed)
+    }
+
+    /// The wrapped store.
+    pub fn inner(&self) -> &S {
+        &self.inner
+    }
+
+    /// Uniform draw in `[0, 1)` from the seeded decision stream.
+    fn roll(&self) -> f64 {
+        let n = self.seq.fetch_add(1, Ordering::Relaxed);
+        // 53 random mantissa bits, the standard u64→f64 uniform.
+        (mix64(self.config.seed ^ mix64(n)) >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    fn note_injected(&self) {
+        self.injected.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+impl<S: SharedPageStore> SharedPageStore for FaultStore<S> {
+    fn page_count(&self) -> usize {
+        self.inner.page_count()
+    }
+
+    fn read_page_at(&self, no: usize, buf: &mut PageBuf) -> StorageResult<()> {
+        if self.config.panic_on_page == Some(no) && !self.panicked.swap(true, Ordering::SeqCst) {
+            panic!("injected fault: panic while reading page {no}");
+        }
+        if self.config.fail_pages.contains(&no) {
+            self.seq.fetch_add(1, Ordering::Relaxed);
+            self.note_injected();
+            return Err(StorageError::Io {
+                page: no,
+                kind: std::io::ErrorKind::Interrupted,
+                message: "injected fault: page always fails".into(),
+            });
+        }
+        // A page whose previous read faulted is owed a clean read, so a
+        // retry budget of two attempts always recovers random faults.
+        if self.healing.lock().expect("healing set").remove(&no) {
+            return self.inner.read_page_at(no, buf);
+        }
+        let roll = self.roll();
+        if roll < self.config.transient_rate {
+            self.healing.lock().expect("healing set").insert(no);
+            self.note_injected();
+            return Err(StorageError::Io {
+                page: no,
+                kind: std::io::ErrorKind::Interrupted,
+                message: "injected fault: transient read error".into(),
+            });
+        }
+        if roll < self.config.transient_rate + self.config.corrupt_rate {
+            self.healing.lock().expect("healing set").insert(no);
+            self.note_injected();
+            // Model a torn/bit-flipped transfer that verification caught:
+            // read the clean bytes, flip some, report real checksums.
+            self.inner.read_page_at(no, buf)?;
+            let expected = crc32(buf);
+            buf[0] ^= 0xFF;
+            buf[buf.len() / 2] ^= 0x10;
+            let actual = crc32(buf);
+            return Err(StorageError::CorruptPage {
+                page: no,
+                expected,
+                actual,
+            });
+        }
+        self.inner.read_page_at(no, buf)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::page::empty_page;
+    use crate::store::{MemStore, PageStore};
+
+    fn store_with(n: usize) -> MemStore {
+        let mut s = MemStore::new();
+        for i in 0..n {
+            let mut p = empty_page();
+            p[0] = i as u8;
+            s.append_page(&p);
+        }
+        s
+    }
+
+    #[test]
+    fn zero_rates_inject_nothing() {
+        let fs = FaultStore::new(store_with(4), FaultConfig::default());
+        let mut buf = empty_page();
+        for no in 0..4 {
+            fs.read_page_at(no, &mut buf).unwrap();
+            assert_eq!(buf[0], no as u8);
+        }
+        assert_eq!(fs.injected(), 0);
+        assert_eq!(fs.reads(), 4);
+        assert_eq!(fs.page_count(), 4);
+    }
+
+    #[test]
+    fn transient_faults_heal_on_retry() {
+        let fs = FaultStore::new(store_with(2), FaultConfig::transient(42, 1.0));
+        let mut buf = empty_page();
+        let err = fs.read_page_at(1, &mut buf).unwrap_err();
+        assert!(err.is_transient(), "{err}");
+        fs.read_page_at(1, &mut buf).unwrap();
+        assert_eq!(buf[0], 1);
+        assert_eq!(fs.injected(), 1);
+    }
+
+    #[test]
+    fn corrupt_faults_report_real_checksums_and_heal() {
+        let cfg = FaultConfig {
+            seed: 7,
+            corrupt_rate: 1.0,
+            ..FaultConfig::default()
+        };
+        let fs = FaultStore::new(store_with(2), cfg);
+        let mut buf = empty_page();
+        match fs.read_page_at(0, &mut buf).unwrap_err() {
+            StorageError::CorruptPage {
+                page,
+                expected,
+                actual,
+            } => {
+                assert_eq!(page, 0);
+                assert_ne!(expected, actual);
+                assert_eq!(actual, crc32(&buf), "reported CRC matches the torn buffer");
+            }
+            other => panic!("expected CorruptPage, got {other:?}"),
+        }
+        fs.read_page_at(0, &mut buf).unwrap();
+        assert_eq!(buf[0], 0);
+    }
+
+    #[test]
+    fn fail_pages_never_heal() {
+        let cfg = FaultConfig {
+            fail_pages: [1usize].into_iter().collect(),
+            ..FaultConfig::default()
+        };
+        let fs = FaultStore::new(store_with(3), cfg);
+        let mut buf = empty_page();
+        for _ in 0..5 {
+            assert!(fs.read_page_at(1, &mut buf).is_err());
+        }
+        fs.read_page_at(0, &mut buf).unwrap();
+        assert_eq!(fs.injected(), 5);
+    }
+
+    #[test]
+    fn panic_on_page_fires_once() {
+        let cfg = FaultConfig {
+            panic_on_page: Some(2),
+            ..FaultConfig::default()
+        };
+        let fs = FaultStore::new(store_with(3), cfg);
+        let mut buf = empty_page();
+        let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            fs.read_page_at(2, &mut buf).unwrap();
+        }));
+        assert!(caught.is_err());
+        // Second read succeeds: the panic is one-shot.
+        fs.read_page_at(2, &mut buf).unwrap();
+        assert_eq!(buf[0], 2);
+    }
+
+    #[test]
+    fn seeded_runs_are_reproducible() {
+        let trace = |seed: u64| -> Vec<bool> {
+            let fs = FaultStore::new(store_with(1), FaultConfig::transient(seed, 0.3));
+            let mut buf = empty_page();
+            (0..200)
+                .map(|_| {
+                    // Drain the healing debt so every read rolls.
+                    let ok = fs.read_page_at(0, &mut buf).is_ok();
+                    if !ok {
+                        let _ = fs.read_page_at(0, &mut buf);
+                    }
+                    ok
+                })
+                .collect()
+        };
+        assert_eq!(trace(5), trace(5));
+        assert_ne!(trace(5), trace(6));
+    }
+}

@@ -30,9 +30,12 @@
 #![forbid(unsafe_code)]
 
 pub mod buffer;
+pub mod checksum;
 pub mod column_file;
 pub mod db;
 pub mod disk_engine;
+pub mod error;
+pub mod fault;
 pub mod heap_file;
 pub mod page;
 pub mod persist;
@@ -41,12 +44,15 @@ pub mod shared_pool;
 pub mod store;
 
 pub use buffer::{BufferPool, CostModel, IoStats};
+pub use checksum::crc32;
 pub use column_file::{DiskColumns, SharedDiskColumns, SortedColumnFile};
 pub use db::{DiskDatabase, DiskLayout, DiskQueryOutcome};
 pub use disk_engine::{DiskBatchOutcome, DiskQueryEngine};
+pub use error::{StorageError, StorageResult};
+pub use fault::{FaultConfig, FaultStore};
 pub use heap_file::{HeapFile, SCAN_GROUP};
 pub use page::{PageBuf, COLUMN_ENTRIES_PER_PAGE, PAGE_SIZE};
 pub use persist::{FORMAT_VERSION, MAGIC};
 pub use planner::{Plan, PlanChoice, PLANNER_SAMPLE};
-pub use shared_pool::{ReadSession, SharedBufferPool, DEFAULT_SHARDS};
-pub use store::{FileStore, MemStore, PageStore, SharedPageStore};
+pub use shared_pool::{ReadSession, RetryPolicy, SharedBufferPool, DEFAULT_SHARDS};
+pub use store::{FileStore, MemStore, PageStore, SharedPageStore, VerifyMode, TRAILER_MAGIC};

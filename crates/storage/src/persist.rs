@@ -4,13 +4,19 @@
 //! Layout (all little-endian):
 //!
 //! ```text
-//! page 0            header: magic, version, dims, cardinality
+//! page 0            header: magic, version, dims, cardinality, header CRC
 //! pages 1..=H       heap file (H = ceil(c / rows_per_page))
 //! pages H+1..       sorted-column file (d × ceil(c / entries_per_page))
+//! (checksum trailer: per-page CRC32 table + footer — see `store.rs`)
 //! ```
 //!
 //! The page layout is fully determined by `(dims, cardinality)`, so the
-//! header carries only those; the column fences are re-read on open.
+//! header carries only those; the column fences are re-read on open. The
+//! header additionally carries a CRC32 of its own first 24 bytes so
+//! header corruption is reported as such even on legacy files without a
+//! checksum trailer; [`DiskDatabase::create_file`] seals the finished
+//! file so every page is verified at open time and on every read
+//! (DESIGN.md §10).
 
 use std::io;
 use std::path::Path;
@@ -26,14 +32,17 @@ use crate::store::{FileStore, PageStore};
 /// Magic bytes identifying a knmatch database file.
 pub const MAGIC: &[u8; 8] = b"KNMATCH\x01";
 
-/// On-disk format version.
-pub const FORMAT_VERSION: u32 = 1;
+/// On-disk format version. Version 2 added the header self-CRC (bytes
+/// 24..28) and the checksum trailer written by [`FileStore::seal`].
+pub const FORMAT_VERSION: u32 = 2;
 
 fn write_header(buf: &mut PageBuf, dims: usize, cardinality: usize) {
     buf[..8].copy_from_slice(MAGIC);
     buf[8..12].copy_from_slice(&FORMAT_VERSION.to_le_bytes());
     buf[12..16].copy_from_slice(&(dims as u32).to_le_bytes());
     buf[16..24].copy_from_slice(&(cardinality as u64).to_le_bytes());
+    let crc = crate::checksum::crc32(&buf[..24]);
+    buf[24..28].copy_from_slice(&crc.to_le_bytes());
 }
 
 fn read_header(buf: &PageBuf) -> io::Result<(usize, usize)> {
@@ -43,12 +52,25 @@ fn read_header(buf: &PageBuf) -> io::Result<(usize, usize)> {
             "not a knmatch database file",
         ));
     }
+    // Version before CRC: a future version may lay the header out (and
+    // checksum it) differently, so only a version we understand gets its
+    // CRC validated.
     let version = u32::from_le_bytes(buf[8..12].try_into().expect("4 bytes"));
     if version != FORMAT_VERSION {
         return Err(io::Error::new(
             io::ErrorKind::InvalidData,
             format!("unsupported format version {version}"),
         ));
+    }
+    let stored = u32::from_le_bytes(buf[24..28].try_into().expect("4 bytes"));
+    let computed = crate::checksum::crc32(&buf[..24]);
+    if stored != computed {
+        return Err(crate::error::StorageError::BadHeader {
+            reason: format!(
+                "header CRC mismatch: stored {stored:#010x}, computed {computed:#010x}"
+            ),
+        }
+        .into());
     }
     let dims = u32::from_le_bytes(buf[12..16].try_into().expect("4 bytes")) as usize;
     let cardinality = u64::from_le_bytes(buf[16..24].try_into().expect("8 bytes")) as usize;
@@ -79,6 +101,9 @@ impl DiskDatabase<FileStore> {
         write_header(&mut header, ds.dims(), ds.len());
         store.append_page(&header);
         let layout = DiskDatabase::<FileStore>::build(ds, &mut store);
+        // Seal once the layout is final: appends the checksum trailer so
+        // the next open verifies every page.
+        store.seal()?;
         layout.attach(store, pool_pages)
     }
 
@@ -97,7 +122,9 @@ impl DiskDatabase<FileStore> {
             return Err(io::Error::new(io::ErrorKind::InvalidData, "empty file"));
         }
         let mut header = empty_page();
-        store.read_page(0, &mut header);
+        store
+            .try_read_page(0, &mut header)
+            .map_err(io::Error::from)?;
         let (dims, cardinality) = read_header(&header)?;
 
         let heap = HeapFile::open(dims, cardinality, 1);
@@ -113,7 +140,8 @@ impl DiskDatabase<FileStore> {
                 ),
             ));
         }
-        let columns = SortedColumnFile::open(&mut store, dims, cardinality, columns_base);
+        let columns = SortedColumnFile::try_open(&mut store, dims, cardinality, columns_base)
+            .map_err(io::Error::from)?;
         DiskLayout { columns, heap }.attach(store, pool_pages)
     }
 }
@@ -201,16 +229,72 @@ mod tests {
         std::fs::remove_file(&path).unwrap();
     }
 
+    /// Data pages of a (100-point, 3-dim) database: header + heap +
+    /// columns, excluding the checksum trailer.
+    fn data_pages_100x3() -> usize {
+        1 + 100usize.div_ceil(rows_per_page(3))
+            + 3 * 100usize.div_ceil(crate::page::COLUMN_ENTRIES_PER_PAGE)
+    }
+
     #[test]
     fn rejects_wrong_version() {
         let path = tmp("version.knm");
         let ds = uniform(100, 3, 2);
         DiskDatabase::create_file(&path, &ds, 8).unwrap();
+        let bytes = std::fs::read(&path).unwrap();
+        // Strip the checksum trailer (legacy layout) so the header itself
+        // is what fails — with the trailer present, page-0 corruption is
+        // caught by the checksum scrub before the header is ever parsed.
+        let mut legacy = bytes[..data_pages_100x3() * crate::page::PAGE_SIZE].to_vec();
+        legacy[8] = 99; // bump the version field
+        std::fs::write(&path, &legacy).unwrap();
+        let err = DiskDatabase::open_file(&path, 8).unwrap_err();
+        assert!(err.to_string().contains("version"), "{err}");
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn header_corruption_is_detected() {
+        let path = tmp("header-crc.knm");
+        let ds = uniform(100, 3, 2);
+        DiskDatabase::create_file(&path, &ds, 8).unwrap();
+        let bytes = std::fs::read(&path).unwrap();
+
+        // Sealed file, corrupt cardinality field: the page-0 checksum
+        // catches it at open time.
+        let mut sealed = bytes.clone();
+        sealed[16] ^= 0xFF;
+        std::fs::write(&path, &sealed).unwrap();
+        let err = DiskDatabase::open_file(&path, 8).unwrap_err();
+        assert!(
+            err.to_string().contains("checksum mismatch on page 0"),
+            "{err}"
+        );
+
+        // Same corruption on a legacy (trailer-stripped) file: the header
+        // self-CRC still reports it.
+        let mut legacy = bytes[..data_pages_100x3() * crate::page::PAGE_SIZE].to_vec();
+        legacy[16] ^= 0xFF;
+        std::fs::write(&path, &legacy).unwrap();
+        let err = DiskDatabase::open_file(&path, 8).unwrap_err();
+        assert!(err.to_string().contains("header CRC mismatch"), "{err}");
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn corrupt_data_page_fails_open_of_sealed_file() {
+        let path = tmp("corrupt-data.knm");
+        let ds = uniform(100, 3, 2);
+        DiskDatabase::create_file(&path, &ds, 8).unwrap();
         let mut bytes = std::fs::read(&path).unwrap();
-        bytes[8] = 99; // bump the version field
+        // Flip one byte in the middle of a column page.
+        bytes[3 * crate::page::PAGE_SIZE + 123] ^= 0x04;
         std::fs::write(&path, &bytes).unwrap();
         let err = DiskDatabase::open_file(&path, 8).unwrap_err();
-        assert!(err.to_string().contains("version"));
+        assert!(
+            err.to_string().contains("checksum mismatch on page 3"),
+            "{err}"
+        );
         std::fs::remove_file(&path).unwrap();
     }
 

@@ -41,9 +41,11 @@
 //! [`BufferPool`]: crate::BufferPool
 
 use std::collections::HashMap;
-use std::sync::Mutex;
+use std::sync::{Mutex, MutexGuard};
+use std::time::Duration;
 
 use crate::buffer::IoStats;
+use crate::error::{StorageError, StorageResult};
 use crate::page::{empty_page, PageBuf};
 use crate::store::SharedPageStore;
 
@@ -58,6 +60,31 @@ const TAILS_PER_GROUP: usize = 2;
 /// Default shard count: enough that 8 workers rarely collide on a shard
 /// lock, small enough that a tiny pool still has ≥ 1 frame per shard.
 pub const DEFAULT_SHARDS: usize = 8;
+
+/// Bounded retry-with-backoff for transient read failures (DESIGN.md
+/// §10). A fetch that fails with a [transient](StorageError::is_transient)
+/// error is retried up to `attempts` total tries, sleeping
+/// `backoff × attempt` between tries (linear backoff); non-transient
+/// errors and exhausted budgets surface immediately.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Total tries per fetch, including the first (minimum 1).
+    pub attempts: u32,
+    /// Base sleep between tries; try `n` waits `backoff × n`.
+    pub backoff: Duration,
+}
+
+impl Default for RetryPolicy {
+    /// Three tries with a 100 µs base backoff: enough to absorb
+    /// interrupted syscalls and one torn transfer without stalling the
+    /// shard for a visible amount of time.
+    fn default() -> Self {
+        RetryPolicy {
+            attempts: 3,
+            backoff: Duration::from_micros(100),
+        }
+    }
+}
 
 #[derive(Debug)]
 struct Frame {
@@ -167,9 +194,9 @@ impl Shard {
 ///
 /// let pool = SharedBufferPool::new(store, 4);
 /// let mut out = empty_page();
-/// assert!(!pool.read(0, &mut out)); // miss: fetched from the store
+/// assert!(!pool.read(0, &mut out).unwrap()); // miss: fetched from the store
 /// assert_eq!(out[0], 7);
-/// assert!(pool.read(0, &mut out)); // hit
+/// assert!(pool.read(0, &mut out).unwrap()); // hit
 /// assert_eq!(pool.stats().hits, 1);
 /// ```
 #[derive(Debug)]
@@ -177,6 +204,7 @@ pub struct SharedBufferPool<S> {
     store: S,
     shards: Box<[Mutex<Shard>]>,
     capacity: usize,
+    retry: RetryPolicy,
 }
 
 impl<S: SharedPageStore> SharedBufferPool<S> {
@@ -208,45 +236,138 @@ impl<S: SharedPageStore> SharedBufferPool<S> {
             store,
             shards: shards.into_boxed_slice(),
             capacity,
+            retry: RetryPolicy::default(),
         }
+    }
+
+    /// Replaces the transient-read [`RetryPolicy`] (defaults to three
+    /// tries with 100 µs linear backoff).
+    pub fn set_retry_policy(&mut self, retry: RetryPolicy) {
+        self.retry = RetryPolicy {
+            attempts: retry.attempts.max(1),
+            ..retry
+        };
+    }
+
+    /// The active transient-read retry policy.
+    pub fn retry_policy(&self) -> RetryPolicy {
+        self.retry
     }
 
     fn shard_of(&self, no: usize) -> &Mutex<Shard> {
         &self.shards[no % self.shards.len()]
     }
 
+    /// Locks a shard, recovering from poison instead of propagating it.
+    ///
+    /// A shard mutex is poisoned when a reader panics mid-fetch (fault
+    /// injection does this deliberately; see [`crate::FaultStore`]).
+    /// Cached frames are conservatively discarded — recovery assumes
+    /// nothing about how far the panicking reader got — while the served
+    /// counters are kept (they are plain totals; the worst a panic can
+    /// do is leave one access uncounted). The pool stays usable for
+    /// every later query.
+    fn lock_shard<'a>(&self, shard: &'a Mutex<Shard>) -> MutexGuard<'a, Shard> {
+        match shard.lock() {
+            Ok(guard) => guard,
+            Err(poisoned) => {
+                let mut guard = poisoned.into_inner();
+                let capacity = guard.capacity;
+                let stats = guard.stats;
+                *guard = Shard::new(capacity);
+                guard.stats = stats;
+                shard.clear_poison();
+                guard
+            }
+        }
+    }
+
     /// Reads page `no` into `out`, with the miss (if any) pre-classified
     /// by the caller: `sequential == true` charges the shard a streamed
-    /// read, otherwise a seek. Returns `true` on a cache hit.
+    /// read, otherwise a seek. Returns `Ok(true)` on a cache hit.
     ///
     /// The classification verdict comes from outside because stream state
     /// is per-reader, not per-shard — see the module docs and
     /// [`ReadSession`].
-    pub fn read_classified(&self, no: usize, sequential: bool, out: &mut PageBuf) -> bool {
-        let mut shard = self.shard_of(no).lock().expect("shard lock poisoned");
+    ///
+    /// # Errors
+    ///
+    /// A store read that still fails after the [`RetryPolicy`]'s budget
+    /// of transient retries. A failed fetch leaves the shard's map and
+    /// LRU chain exactly as they were — no frame ever holds bytes that
+    /// did not verify.
+    pub fn read_classified(
+        &self,
+        no: usize,
+        sequential: bool,
+        out: &mut PageBuf,
+    ) -> StorageResult<bool> {
+        let mut shard = self.lock_shard(self.shard_of(no));
         if let Some(&idx) = shard.map.get(&no) {
             shard.stats.hits += 1;
             shard.touch(idx);
             out.copy_from_slice(&shard.frames[idx].buf[..]);
-            return true;
+            return Ok(true);
         }
+        // Fetch into the caller's buffer first; the frame is claimed and
+        // filled only once the bytes are known good. The store read
+        // happens under the shard lock: `read_page_at` is `&self` so
+        // other shards proceed, and holding the lock means two racing
+        // readers of one page never fetch it twice (which also keeps
+        // FaultStore's heal-on-retry per-page ordering race-free). The
+        // backoff sleeps are likewise under the lock — a store in
+        // trouble is already degraded, and simplicity wins over shard
+        // throughput during a fault burst.
+        self.fetch_with_retry(no, &mut shard, out)?;
         if sequential {
             shard.stats.sequential_reads += 1;
         } else {
             shard.stats.random_reads += 1;
         }
         let idx = shard.frame_for(no);
-        // The store read happens under the shard lock: `read_page_at` is
-        // `&self` so other shards proceed, and holding the lock means two
-        // racing readers of one page never fetch it twice.
-        self.store.read_page_at(no, &mut shard.frames[idx].buf);
-        out.copy_from_slice(&shard.frames[idx].buf[..]);
-        false
+        shard.frames[idx].buf.copy_from_slice(out);
+        Ok(false)
     }
 
-    /// Point-lookup read (a miss is always a seek). Returns `true` on a
-    /// cache hit.
-    pub fn read(&self, no: usize, out: &mut PageBuf) -> bool {
+    /// One store fetch under the shard lock, retrying transient errors
+    /// per the pool's [`RetryPolicy`] and counting each extra try in the
+    /// shard's [`IoStats::retries`].
+    fn fetch_with_retry(
+        &self,
+        no: usize,
+        shard: &mut Shard,
+        out: &mut PageBuf,
+    ) -> StorageResult<()> {
+        let mut attempt: u32 = 1;
+        loop {
+            match self.store.read_page_at(no, out) {
+                Ok(()) => return Ok(()),
+                Err(e) if e.is_transient() && attempt < self.retry.attempts => {
+                    shard.stats.retries += 1;
+                    if !self.retry.backoff.is_zero() {
+                        std::thread::sleep(self.retry.backoff * attempt);
+                    }
+                    attempt += 1;
+                }
+                Err(e) if attempt > 1 => {
+                    return Err(StorageError::RetriesExhausted {
+                        page: no,
+                        attempts: attempt,
+                        last: Box::new(e),
+                    })
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    /// Point-lookup read (a miss is always a seek). Returns `Ok(true)`
+    /// on a cache hit.
+    ///
+    /// # Errors
+    ///
+    /// As [`SharedBufferPool::read_classified`].
+    pub fn read(&self, no: usize, out: &mut PageBuf) -> StorageResult<bool> {
         self.read_classified(no, false, out)
     }
 
@@ -254,14 +375,22 @@ impl<S: SharedPageStore> SharedBufferPool<S> {
     /// the session records its modelled per-query stats (hit/sequential/
     /// random exactly as a private cold [`crate::BufferPool`] would) and
     /// classifies the shard-level miss, then the shared cache serves the
-    /// bytes. Returns `true` when the shared cache had the page.
+    /// bytes. Returns `Ok(true)` when the shared cache had the page.
+    ///
+    /// The session books the access *before* the fetch can fail, so a
+    /// retried-and-recovered read leaves the modelled stats exactly as a
+    /// fault-free run would — the bit-identical-answers invariant.
+    ///
+    /// # Errors
+    ///
+    /// As [`SharedBufferPool::read_classified`].
     pub fn read_in(
         &self,
         no: usize,
         group: u32,
         session: &mut ReadSession,
         out: &mut PageBuf,
-    ) -> bool {
+    ) -> StorageResult<bool> {
         let sequential = session.account(no, group).is_sequential();
         self.read_classified(no, sequential, out)
     }
@@ -271,7 +400,7 @@ impl<S: SharedPageStore> SharedBufferPool<S> {
     pub fn stats(&self) -> IoStats {
         let mut total = IoStats::default();
         for shard in self.shards.iter() {
-            total.merge(shard.lock().expect("shard lock poisoned").stats);
+            total.merge(self.lock_shard(shard).stats);
         }
         total
     }
@@ -279,7 +408,7 @@ impl<S: SharedPageStore> SharedBufferPool<S> {
     /// Zeroes every shard's counters without dropping cached pages.
     pub fn reset_stats(&self) {
         for shard in self.shards.iter() {
-            shard.lock().expect("shard lock poisoned").stats = IoStats::default();
+            self.lock_shard(shard).stats = IoStats::default();
         }
     }
 
@@ -287,7 +416,7 @@ impl<S: SharedPageStore> SharedBufferPool<S> {
     /// directly).
     pub fn invalidate_all(&self) {
         for shard in self.shards.iter() {
-            let mut s = shard.lock().expect("shard lock poisoned");
+            let mut s = self.lock_shard(shard);
             let cap = s.capacity;
             *s = Shard::new(cap);
         }
@@ -297,7 +426,7 @@ impl<S: SharedPageStore> SharedBufferPool<S> {
     pub fn cached_pages(&self) -> usize {
         self.shards
             .iter()
-            .map(|s| s.lock().expect("shard lock poisoned").frames.len())
+            .map(|s| self.lock_shard(s).frames.len())
             .sum()
     }
 
@@ -566,12 +695,13 @@ mod tests {
     fn read_misses_then_hits() {
         let pool = SharedBufferPool::new(store_with(4), 2);
         let mut out = empty_page();
-        assert!(!pool.read(1, &mut out));
+        assert!(!pool.read(1, &mut out).unwrap());
         assert_eq!(out[0], 1);
-        assert!(pool.read(1, &mut out));
+        assert!(pool.read(1, &mut out).unwrap());
         let s = pool.stats();
         assert_eq!(s.hits, 1);
         assert_eq!(s.page_accesses(), 1);
+        assert_eq!(s.retries, 0);
     }
 
     #[test]
@@ -592,11 +722,14 @@ mod tests {
         // 2 shards × 1 frame: pages 0,2 share shard 0; 1 shares shard 1.
         let pool = SharedBufferPool::with_shards(store_with(4), 2, 2);
         let mut out = empty_page();
-        pool.read(0, &mut out);
-        pool.read(1, &mut out);
-        pool.read(2, &mut out); // evicts 0 (same shard), not 1
-        assert!(pool.read(1, &mut out), "page 1 must survive in its shard");
-        assert!(!pool.read(0, &mut out), "page 0 was evicted");
+        pool.read(0, &mut out).unwrap();
+        pool.read(1, &mut out).unwrap();
+        pool.read(2, &mut out).unwrap(); // evicts 0 (same shard), not 1
+        assert!(
+            pool.read(1, &mut out).unwrap(),
+            "page 1 must survive in its shard"
+        );
+        assert!(!pool.read(0, &mut out).unwrap(), "page 0 was evicted");
         assert_eq!(pool.cached_pages(), 2);
     }
 
@@ -628,7 +761,7 @@ mod tests {
             let mut out = empty_page();
             for &(no, group) in &accesses {
                 let want = reference.get_in(no, group)[0];
-                shared.read_in(no, group, &mut session, &mut out);
+                shared.read_in(no, group, &mut session, &mut out).unwrap();
                 assert_eq!(out[0], want);
             }
             assert_eq!(
@@ -644,14 +777,14 @@ mod tests {
         let shared = SharedBufferPool::new(store_with(4), 4);
         let mut session = ReadSession::new(4);
         let mut out = empty_page();
-        shared.read_in(0, 0, &mut session, &mut out);
-        shared.read_in(1, 0, &mut session, &mut out);
+        shared.read_in(0, 0, &mut session, &mut out).unwrap();
+        shared.read_in(1, 0, &mut session, &mut out).unwrap();
         session.begin_query();
         assert_eq!(session.stats(), IoStats::default());
         // Page 0 is still in the *shared* cache but the modelled query
         // starts cold: a modelled miss, an actual hit.
         let before = shared.stats().hits;
-        shared.read_in(0, 0, &mut session, &mut out);
+        shared.read_in(0, 0, &mut session, &mut out).unwrap();
         assert_eq!(session.stats().page_accesses(), 1);
         assert_eq!(shared.stats().hits, before + 1);
     }
@@ -660,13 +793,89 @@ mod tests {
     fn invalidate_all_drops_pages() {
         let pool = SharedBufferPool::new(store_with(3), 4);
         let mut out = empty_page();
-        pool.read(0, &mut out);
-        pool.read(1, &mut out);
+        pool.read(0, &mut out).unwrap();
+        pool.read(1, &mut out).unwrap();
         assert_eq!(pool.cached_pages(), 2);
         pool.invalidate_all();
         assert_eq!(pool.cached_pages(), 0);
         pool.reset_stats();
-        assert!(!pool.read(0, &mut out));
+        assert!(!pool.read(0, &mut out).unwrap());
+    }
+
+    #[test]
+    fn transient_errors_are_retried_and_counted() {
+        use crate::fault::{FaultConfig, FaultStore};
+        // Rate 1.0 means every first read of a page faults, and the
+        // heal-on-retry rule makes the second try succeed.
+        let store = FaultStore::new(store_with(4), FaultConfig::transient(11, 1.0));
+        let pool = SharedBufferPool::new(store, 4);
+        let mut out = empty_page();
+        for no in 0..4 {
+            assert!(!pool.read(no, &mut out).unwrap());
+            assert_eq!(out[0], no as u8);
+        }
+        let s = pool.stats();
+        assert_eq!(s.retries, 4, "one retry per first-touch page");
+        assert_eq!(s.page_accesses(), 4);
+        // Hits bypass the store entirely: no further faults or retries.
+        assert!(pool.read(0, &mut out).unwrap());
+        assert_eq!(pool.stats().retries, 4);
+    }
+
+    #[test]
+    fn exhausted_retries_surface_and_leave_no_frame() {
+        use crate::fault::{FaultConfig, FaultStore};
+        let cfg = FaultConfig {
+            fail_pages: [2usize].into_iter().collect(),
+            ..FaultConfig::default()
+        };
+        let pool = SharedBufferPool::new(FaultStore::new(store_with(4), cfg), 4);
+        let mut out = empty_page();
+        match pool.read(2, &mut out) {
+            Err(StorageError::RetriesExhausted {
+                page: 2, attempts, ..
+            }) => {
+                assert_eq!(attempts, RetryPolicy::default().attempts);
+            }
+            other => panic!("expected RetriesExhausted, got {other:?}"),
+        }
+        // The failed fetch claimed no frame and corrupted no state.
+        assert_eq!(pool.cached_pages(), 0);
+        assert!(!pool.read(1, &mut out).unwrap());
+        assert_eq!(out[0], 1);
+        let s = pool.stats();
+        assert_eq!(s.retries, u64::from(RetryPolicy::default().attempts - 1));
+        assert_eq!(
+            s.page_accesses(),
+            1,
+            "only the successful miss was classified"
+        );
+    }
+
+    #[test]
+    fn poisoned_shard_is_rebuilt_and_usable() {
+        use crate::fault::{FaultConfig, FaultStore};
+        let cfg = FaultConfig {
+            panic_on_page: Some(1),
+            ..FaultConfig::default()
+        };
+        let pool = SharedBufferPool::with_shards(FaultStore::new(store_with(4), cfg), 4, 2);
+        let mut out = empty_page();
+        pool.read(3, &mut out).unwrap(); // cache something in page 1's shard
+        let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let mut buf = empty_page();
+            let _ = pool.read(1, &mut buf);
+        }));
+        assert!(caught.is_err(), "injected panic must propagate");
+        // The poisoned shard recovers: its frames were dropped, reads work.
+        assert!(!pool.read(1, &mut out).unwrap());
+        assert_eq!(out[0], 1);
+        assert!(
+            !pool.read(3, &mut out).unwrap(),
+            "frame was discarded in recovery"
+        );
+        assert_eq!(out[0], 3);
+        assert!(pool.read(3, &mut out).unwrap());
     }
 
     #[test]

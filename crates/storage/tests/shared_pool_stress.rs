@@ -77,7 +77,7 @@ fn concurrent_readers_always_see_correct_bytes() {
                         _ => (i / 4) % PAGES,                 // slow scan
                     };
                     let group = (no % 5) as u32;
-                    if pool.read_in(no, group, &mut session, &mut page) {
+                    if pool.read_in(no, group, &mut session, &mut page).unwrap() {
                         local_hits += 1;
                     }
                     check_page(no, &page);
@@ -129,7 +129,7 @@ fn single_frame_shards_under_contention() {
                 let mut page = [0u8; PAGE_SIZE];
                 for _ in 0..2000 {
                     let no = (next(&mut state) % 16) as usize;
-                    pool.read(no, &mut page);
+                    pool.read(no, &mut page).unwrap();
                     check_page(no, &page);
                 }
             });

@@ -7,6 +7,8 @@
 #   3. lints:   cargo clippy --workspace --all-targets -- -D warnings
 #   4. smoke:   disk_throughput --smoke (cross-checks the disk engine
 #               against the sequential path on a real file, seconds-long)
+#   5. faults:  release-mode fault-injection stress (retry/panic paths
+#               under optimised timing) + fault_overhead --smoke
 #
 # Usage: scripts/verify.sh
 set -euo pipefail
@@ -29,5 +31,11 @@ cargo clippy --workspace --all-targets -- -D warnings
 
 echo "==> disk_throughput --smoke"
 ./target/release/disk_throughput --smoke --out /tmp/BENCH_disk_throughput_smoke.json >/dev/null
+
+echo "==> fault injection stress (release)"
+cargo test --release -q -p knmatch-storage --test fault_injection
+
+echo "==> fault_overhead --smoke"
+./target/release/fault_overhead --smoke --out /tmp/BENCH_fault_overhead_smoke.json >/dev/null
 
 echo "verify: OK"
