@@ -24,7 +24,7 @@ use std::sync::mpsc;
 use std::thread;
 use std::time::{Duration, Instant};
 
-use knmatch_core::{AdStats, BatchAnswer, BatchQuery, Scratch};
+use knmatch_core::{AdStats, BatchAnswer, BatchEngine, BatchQuery, Scratch};
 use knmatch_data::rng::seeded;
 use knmatch_storage::{DiskDatabase, DiskQueryEngine, FileStore, IoStats, SharedDiskColumns};
 

@@ -26,7 +26,7 @@
 use std::fmt::Write as _;
 use std::time::{Duration, Instant};
 
-use knmatch_core::{BatchAnswer, BatchQuery};
+use knmatch_core::{BatchAnswer, BatchEngine, BatchQuery};
 use knmatch_storage::{DiskDatabase, DiskQueryEngine, FileStore, VerifyMode};
 
 struct Config {

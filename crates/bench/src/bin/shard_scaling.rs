@@ -27,7 +27,7 @@ use std::sync::Arc;
 use std::time::Instant;
 
 use knmatch_core::{
-    execute_batch_query, AdStats, BatchAnswer, BatchQuery, Scratch, ShardedColumns,
+    execute_batch_query, AdStats, BatchAnswer, BatchEngine, BatchQuery, Scratch, ShardedColumns,
     ShardedQueryEngine, SortedAccessSource, SortedColumns, SortedEntry,
 };
 use knmatch_data::rng::seeded;

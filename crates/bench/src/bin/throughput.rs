@@ -20,7 +20,8 @@ use std::thread;
 use std::time::{Duration, Instant};
 
 use knmatch_core::{
-    k_n_match_ad, AdStats, BatchAnswer, BatchQuery, QueryEngine, Scratch, SortedColumns,
+    k_n_match_ad, AdStats, BatchAnswer, BatchEngine, BatchQuery, QueryEngine, Scratch,
+    SortedColumns,
 };
 use knmatch_data::rng::seeded;
 

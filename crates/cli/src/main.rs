@@ -11,16 +11,16 @@
 //! knmatch batch data.csv --queries queries.csv -k 10 --frequent 4 8 --workers 4
 //! knmatch batch data.csv --queries queries.csv -k 10 -n 4 --shards 4 --workers 4
 //! knmatch batch db.knm --queries queries.csv -k 10 -n 4 --disk --workers 4
+//! knmatch serve db.knm --addr 127.0.0.1:7878 --disk --workers 4
+//! knmatch client 127.0.0.1:7878 --queries queries.csv -k 10 -n 4
 //! ```
 
 use std::fmt::Write as _;
+use std::io::Write as _;
 use std::process::ExitCode;
-use std::sync::Arc;
 
-use knmatch_core::{
-    BatchAnswer, BatchOptions, BatchQuery, Dataset, QueryEngine, ShardedColumns,
-    ShardedQueryEngine, SortedColumns,
-};
+use knmatch_core::{BatchAnswer, BatchEngine, BatchOptions, BatchOutcome, BatchQuery};
+use knmatch_server::{AnyEngine, Client, EngineConfig, Server, ServerConfig};
 use knmatch_storage::{CostModel, DiskDatabase};
 
 fn main() -> ExitCode {
@@ -56,7 +56,16 @@ fn usage() -> &'static str {
      knmatch bench <db.knm> -k <K> --frequent <N0> <N1> [--queries Q] [--seed S]\n  \
      knmatch batch <data.csv|db.knm> --queries <queries.csv> \
      (-k <K> -n <N> | -k <K> --frequent <N0> <N1> | --eps <E> -n <N>) [--workers W] \
-     [--shards S | --disk [--pool-pages P]] [--deadline-ms MS] [--fail-fast]"
+     [--shards S | --disk [--pool-pages P] [--verify never|first-read|always]] \
+     [--deadline-ms MS] [--fail-fast]\n  \
+     knmatch serve <data.csv|db.knm> [--addr IP:PORT] [--workers W] \
+     [--shards S | --disk [--pool-pages P] [--verify MODE]] [--max-conns N]\n  \
+     knmatch client <host:port> (--queries <queries.csv> \
+     (-k <K> -n <N> | -k <K> --frequent <N0> <N1> | --eps <E> -n <N>) \
+     [--deadline-ms MS] [--fail-fast] [--stats] | --ping | --shutdown)\n\
+     \n\
+     exit codes: 0 success; 1 usage or I/O error; 2 command ran but some \
+     queries failed"
 }
 
 /// Executes one CLI invocation, returning the text to print and whether
@@ -73,6 +82,8 @@ fn run(args: &[String]) -> Result<(String, bool), String> {
         Some("query") => query(&args[1..]).map(ok),
         Some("bench") => bench(&args[1..]).map(ok),
         Some("batch") => batch(&args[1..]),
+        Some("serve") => serve(&args[1..]).map(ok),
+        Some("client") => client(&args[1..]),
         Some(other) => Err(format!("unknown command '{other}'")),
         None => Err("no command given".into()),
     }
@@ -169,226 +180,107 @@ fn bench(args: &[String]) -> Result<String, String> {
     Ok(out)
 }
 
-/// Executes a file of query points as one parallel batch: by default
-/// against an in-memory sorted-column index built from a CSV dataset, or
-/// with `--disk` against a database file behind a shared buffer pool.
-fn batch(args: &[String]) -> Result<(String, bool), String> {
-    let data = args
-        .first()
-        .ok_or("batch needs <data.csv> (or <db.knm> with --disk)")?;
-    let queries_path = flag_value(args, "--queries").ok_or("batch needs --queries <file.csv>")?;
-    let workers: usize = match flag_value(args, "--workers") {
-        Some(w) => parse_num(w, "--workers")?,
-        None => std::thread::available_parallelism().map_or(1, |n| n.get()),
-    };
-
-    let qs = knmatch_data::load_dataset(queries_path).map_err(|e| e.to_string())?;
-    let points: Vec<Vec<f64>> = qs.iter().map(|(_, p)| p.to_vec()).collect();
-
-    let (queries, header) = if let Some(i) = args.iter().position(|a| a == "--frequent") {
-        let k: usize = parse_num(flag_value(args, "-k").ok_or("batch needs -k")?, "-k")?;
+/// Builds the query list shared by `batch` and `client` from the spec
+/// flags: `-k K -n N` (k-n-match), `-k K --frequent N0 N1` (frequent), or
+/// `--eps E -n N` (ε-n-match). Returns the queries plus a human header.
+fn build_queries(
+    args: &[String],
+    points: Vec<Vec<f64>>,
+) -> Result<(Vec<BatchQuery>, String), String> {
+    if let Some(i) = args.iter().position(|a| a == "--frequent") {
+        let k: usize = parse_num(flag_value(args, "-k").ok_or("queries need -k")?, "-k")?;
         let n0: usize = parse_num(args.get(i + 1).ok_or("--frequent needs N0 N1")?, "N0")?;
         let n1: usize = parse_num(args.get(i + 2).ok_or("--frequent needs N0 N1")?, "N1")?;
         let qs: Vec<BatchQuery> = points
             .into_iter()
             .map(|query| BatchQuery::Frequent { query, k, n0, n1 })
             .collect();
-        (qs, format!("frequent {k}-n-match, n in [{n0}, {n1}]"))
+        Ok((qs, format!("frequent {k}-n-match, n in [{n0}, {n1}]")))
     } else if let Some(eps) = flag_value(args, "--eps") {
         let eps: f64 = parse_num(eps, "--eps")?;
-        let n: usize = parse_num(flag_value(args, "-n").ok_or("batch needs -n")?, "-n")?;
+        let n: usize = parse_num(flag_value(args, "-n").ok_or("queries need -n")?, "-n")?;
         let qs: Vec<BatchQuery> = points
             .into_iter()
             .map(|query| BatchQuery::EpsMatch { query, eps, n })
             .collect();
-        (qs, format!("eps-{n}-match, eps = {eps}"))
+        Ok((qs, format!("eps-{n}-match, eps = {eps}")))
     } else {
-        let k: usize = parse_num(flag_value(args, "-k").ok_or("batch needs -k")?, "-k")?;
-        let n: usize = parse_num(flag_value(args, "-n").ok_or("batch needs -n")?, "-n")?;
+        let k: usize = parse_num(flag_value(args, "-k").ok_or("queries need -k")?, "-k")?;
+        let n: usize = parse_num(flag_value(args, "-n").ok_or("queries need -n")?, "-n")?;
         let qs: Vec<BatchQuery> = points
             .into_iter()
             .map(|query| BatchQuery::KnMatch { query, k, n })
             .collect();
-        (qs, format!("{k}-{n}-match"))
-    };
+        Ok((qs, format!("{k}-{n}-match")))
+    }
+}
 
+/// Executes a file of query points as one parallel batch against any of
+/// the three backends ([`EngineConfig`] owns the `--workers` /
+/// `--shards` / `--disk` grammar); all backends share this one printing
+/// path, with the disk backend adding its per-query I/O detail.
+fn batch(args: &[String]) -> Result<(String, bool), String> {
+    let data = args
+        .first()
+        .ok_or("batch needs <data.csv> (or <db.knm> with --disk)")?;
+    let queries_path = flag_value(args, "--queries").ok_or("batch needs --queries <file.csv>")?;
+    let qs = knmatch_data::load_dataset(queries_path).map_err(|e| e.to_string())?;
+    let points: Vec<Vec<f64>> = qs.iter().map(|(_, p)| p.to_vec()).collect();
+    let (queries, header) = build_queries(args, points)?;
     let opts = batch_options(args)?;
-    let shards: Option<usize> = match flag_value(args, "--shards") {
-        Some(s) => Some(parse_num(s, "--shards")?),
-        None => None,
-    };
-    if args.iter().any(|a| a == "--disk") {
-        if shards.is_some() {
-            return Err("--shards is in-memory intra-query parallelism; \
-                        it cannot be combined with --disk"
-                .into());
-        }
-        return batch_disk(data, args, &queries, &header, workers, &opts);
-    }
+    let cfg = EngineConfig::from_args(args)?;
+    let engine = cfg.open(data)?;
 
-    let ds = knmatch_data::load_dataset(data).map_err(|e| e.to_string())?;
-    if let Some(shards) = shards {
-        return batch_sharded(&ds, &queries, &header, shards, workers, &opts);
-    }
-    let engine = QueryEngine::with_workers(Arc::new(SortedColumns::build(&ds)), workers);
     let started = std::time::Instant::now();
     let results = engine.run_with(&queries, &opts);
     let elapsed = started.elapsed();
-
-    let mut out = format!(
-        "{} queries ({header}) over {} points x {} dims, {} worker(s)\n",
-        queries.len(),
-        ds.len(),
-        ds.dims(),
-        engine.workers()
-    );
-    let mut attrs = 0u64;
-    let mut failures = 0usize;
-    for (i, r) in results.iter().enumerate() {
-        match r {
-            Ok((answer, stats)) => {
-                attrs += stats.attributes_retrieved;
-                writeln!(out, "  #{i}: [{}]", shown_ids(answer)).expect("write to String");
-            }
-            Err(e) => {
-                failures += 1;
-                writeln!(out, "  #{i}: error: {e}").expect("write to String");
-            }
-        }
-    }
-    let secs = elapsed.as_secs_f64();
-    writeln!(
-        out,
-        "{} ok / {failures} failed in {:.1} ms ({:.0} queries/s), {attrs} attributes retrieved",
-        results.len() - failures,
-        secs * 1e3,
-        if secs > 0.0 {
-            results.len() as f64 / secs
-        } else {
-            f64::INFINITY
-        },
-    )
-    .expect("write to String");
-    Ok((out, failures == 0))
-}
-
-/// The `--shards` arm of `batch`: every query fans out over `S` point-id
-/// shards on the worker pool (intra-query parallelism); merged answers
-/// are bit-identical to the unsharded engine.
-fn batch_sharded(
-    ds: &Dataset,
-    queries: &[BatchQuery],
-    header: &str,
-    shards: usize,
-    workers: usize,
-    opts: &BatchOptions,
-) -> Result<(String, bool), String> {
-    let engine = ShardedQueryEngine::with_workers(
-        Arc::new(ShardedColumns::build_with_workers(ds, shards, workers)),
-        workers,
-    );
-    let started = std::time::Instant::now();
-    let results = engine.run_with(queries, opts);
-    let elapsed = started.elapsed();
-
-    let mut out = format!(
-        "{} queries ({header}) over {} points x {} dims, {} shard(s), {} worker(s)\n",
-        queries.len(),
-        ds.len(),
-        ds.dims(),
-        engine.columns().shard_count(),
-        engine.workers()
-    );
-    let mut attrs = 0u64;
-    let mut failures = 0usize;
-    for (i, r) in results.iter().enumerate() {
-        match r {
-            Ok(outcome) => {
-                attrs += outcome.stats.attributes_retrieved;
-                writeln!(out, "  #{i}: [{}]", shown_ids(&outcome.answer)).expect("write to String");
-            }
-            Err(e) => {
-                failures += 1;
-                writeln!(out, "  #{i}: error: {e}").expect("write to String");
-            }
-        }
-    }
-    let secs = elapsed.as_secs_f64();
-    writeln!(
-        out,
-        "{} ok / {failures} failed in {:.1} ms ({:.0} queries/s), {attrs} attributes retrieved",
-        results.len() - failures,
-        secs * 1e3,
-        if secs > 0.0 {
-            results.len() as f64 / secs
-        } else {
-            f64::INFINITY
-        },
-    )
-    .expect("write to String");
-    Ok((out, failures == 0))
-}
-
-/// Renders a batch answer's ids, truncated to the first ten.
-fn shown_ids(answer: &BatchAnswer) -> String {
-    let ids = match answer {
-        BatchAnswer::KnMatch(r) | BatchAnswer::EpsMatch(r) => r.ids(),
-        BatchAnswer::Frequent(r) => r.ids(),
-    };
-    let shown: Vec<String> = ids.iter().take(10).map(|pid| pid.to_string()).collect();
-    let ellipsis = if ids.len() > 10 { ", …" } else { "" };
-    format!("{}{}", shown.join(", "), ellipsis)
-}
-
-/// The `--disk` arm of `batch`: runs the batch against a database file
-/// through a [`knmatch_storage::DiskQueryEngine`], reporting per-query
-/// page I/O (modelled on a cold pool, so it is worker-count independent)
-/// plus the shared pool's actual hit ratio.
-fn batch_disk(
-    path: &str,
-    args: &[String],
-    queries: &[BatchQuery],
-    header: &str,
-    workers: usize,
-    opts: &BatchOptions,
-) -> Result<(String, bool), String> {
-    let pool_pages: usize = parse_num(
-        flag_value(args, "--pool-pages").unwrap_or("256"),
-        "--pool-pages",
-    )?;
-    let db = DiskDatabase::open_file(path, pool_pages).map_err(|e| e.to_string())?;
-    let engine = db.into_engine(workers);
     let model = CostModel::default();
 
-    let started = std::time::Instant::now();
-    let results = engine.run_with(queries, opts);
-    let elapsed = started.elapsed();
-    let pool = engine.pool_stats();
-
-    let mut out = format!(
-        "{} queries ({header}) against {path}: {} points x {} dims, {} worker(s), {} pool pages\n",
-        queries.len(),
-        engine.columns().cardinality(),
-        engine.columns().dims(),
-        engine.workers(),
-        engine.pool_pages(),
-    );
+    let mut out = match &engine {
+        AnyEngine::Memory(_) => format!(
+            "{} queries ({header}) over {} points x {} dims, {} worker(s)\n",
+            queries.len(),
+            engine.cardinality(),
+            engine.dims(),
+            engine.workers()
+        ),
+        AnyEngine::Sharded(_) => format!(
+            "{} queries ({header}) over {} points x {} dims, {} shard(s), {} worker(s)\n",
+            queries.len(),
+            engine.cardinality(),
+            engine.dims(),
+            engine.shard_count().unwrap_or(1),
+            engine.workers()
+        ),
+        AnyEngine::Disk(_) => format!(
+            "{} queries ({header}) against {data}: {} points x {} dims, {} worker(s), \
+             {} pool pages\n",
+            queries.len(),
+            engine.cardinality(),
+            engine.dims(),
+            engine.workers(),
+            engine.pool_pages().unwrap_or(0),
+        ),
+    };
     let mut attrs = 0u64;
     let mut failures = 0usize;
     for (i, r) in results.iter().enumerate() {
         match r {
             Ok(o) => {
-                attrs += o.ad.attributes_retrieved;
-                writeln!(
-                    out,
-                    "  #{i}: [{}] — {} pages ({} seq + {} rand, {} hits), {:.1} ms modelled",
-                    shown_ids(&o.answer),
-                    o.io.page_accesses(),
-                    o.io.sequential_reads,
-                    o.io.random_reads,
-                    o.io.hits,
-                    o.io.response_time_ms(model),
-                )
+                attrs += o.ad_stats().attributes_retrieved;
+                match o.io() {
+                    Some(io) => writeln!(
+                        out,
+                        "  #{i}: [{}] — {} pages ({} seq + {} rand, {} hits), {:.1} ms modelled",
+                        shown_ids(o.answer()),
+                        io.page_accesses(),
+                        io.sequential_reads,
+                        io.random_reads,
+                        io.hits,
+                        io.response_time_ms(model),
+                    ),
+                    None => writeln!(out, "  #{i}: [{}]", shown_ids(o.answer())),
+                }
                 .expect("write to String");
             }
             Err(e) => {
@@ -410,20 +302,153 @@ fn batch_disk(
         },
     )
     .expect("write to String");
-    let lookups = pool.hits + pool.page_accesses();
+    if let Some(pool) = engine.pool_stats() {
+        let lookups = pool.hits + pool.page_accesses();
+        writeln!(
+            out,
+            "shared pool: {} store reads, {} hits ({:.0}% hit ratio)",
+            pool.page_accesses(),
+            pool.hits,
+            if lookups > 0 {
+                pool.hits as f64 / lookups as f64 * 100.0
+            } else {
+                0.0
+            },
+        )
+        .expect("write to String");
+    }
+    Ok((out, failures == 0))
+}
+
+/// Renders a batch answer's ids, truncated to the first ten.
+fn shown_ids(answer: &BatchAnswer) -> String {
+    let ids = match answer {
+        BatchAnswer::KnMatch(r) | BatchAnswer::EpsMatch(r) => r.ids(),
+        BatchAnswer::Frequent(r) => r.ids(),
+    };
+    let shown: Vec<String> = ids.iter().take(10).map(|pid| pid.to_string()).collect();
+    let ellipsis = if ids.len() > 10 { ", …" } else { "" };
+    format!("{}{}", shown.join(", "), ellipsis)
+}
+
+/// Serves the configured engine over TCP until a client sends `SHUTDOWN`
+/// (or the process is killed). Prints the bound address eagerly — tests
+/// and scripts bind `--addr 127.0.0.1:0` and read the resolved port from
+/// that line — and returns the final counter summary.
+fn serve(args: &[String]) -> Result<String, String> {
+    let data = args.first().ok_or("serve needs <data.csv|db.knm>")?;
+    let addr = flag_value(args, "--addr").unwrap_or("127.0.0.1:0");
+    let cfg = EngineConfig::from_args(args)?;
+    let max_connections: usize = parse_num(
+        flag_value(args, "--max-conns").unwrap_or("64"),
+        "--max-conns",
+    )?;
+    let engine = cfg.open(data)?;
+    let server = Server::bind(
+        engine,
+        addr,
+        ServerConfig {
+            max_connections,
+            ..ServerConfig::default()
+        },
+    )
+    .map_err(|e| format!("bind {addr}: {e}"))?;
+    println!(
+        "listening on {} ({}, {} points x {} dims)",
+        server.local_addr(),
+        cfg.describe(),
+        server.engine().cardinality(),
+        server.engine().dims(),
+    );
+    std::io::stdout().flush().ok();
+    server.serve().map_err(|e| e.to_string())?;
+    let t = server.stats();
+    Ok(format!(
+        "shutdown complete: {} queries ({} errors, {} timeouts) over {} connection(s), \
+         {} bytes in / {} bytes out\n",
+        t.queries, t.errors, t.timeouts, t.connections, t.bytes_in, t.bytes_out
+    ))
+}
+
+/// Talks to a running `knmatch serve`: `--ping` probes it, `--shutdown`
+/// drains it, and `--queries` submits a batch (same query-spec flags as
+/// `batch`), printing the same per-query report.
+fn client(args: &[String]) -> Result<(String, bool), String> {
+    let addr = args.first().ok_or("client needs <host:port>")?;
+    let connect = || Client::connect(addr).map_err(|e| format!("connect {addr}: {e}"));
+    if args.iter().any(|a| a == "--shutdown") {
+        connect()?.shutdown_server().map_err(|e| e.to_string())?;
+        return Ok((format!("{addr}: shutting down\n"), true));
+    }
+    if args.iter().any(|a| a == "--ping") {
+        connect()?.ping().map_err(|e| e.to_string())?;
+        return Ok((format!("{addr}: pong\n"), true));
+    }
+    let queries_path = flag_value(args, "--queries")
+        .ok_or("client needs --queries <file.csv> (or --ping / --shutdown)")?;
+    let qs = knmatch_data::load_dataset(queries_path).map_err(|e| e.to_string())?;
+    let points: Vec<Vec<f64>> = qs.iter().map(|(_, p)| p.to_vec()).collect();
+    let (queries, header) = build_queries(args, points)?;
+
+    let mut c = connect()?;
+    if let Some(ms) = flag_value(args, "--deadline-ms") {
+        let ms: u64 = parse_num(ms, "--deadline-ms")?;
+        if ms == 0 {
+            // On the wire DEADLINE 0 *clears* the deadline, the opposite
+            // of what `batch --deadline-ms 0` (fail everything) means.
+            return Err("client --deadline-ms must be > 0".into());
+        }
+        c.set_deadline_ms(ms).map_err(|e| e.to_string())?;
+    }
+    if args.iter().any(|a| a == "--fail-fast") {
+        c.set_fail_fast(true).map_err(|e| e.to_string())?;
+    }
+    let started = std::time::Instant::now();
+    let reply = c.run_batch(&queries).map_err(|e| e.to_string())?;
+    let elapsed = started.elapsed();
+
+    let mut out = format!(
+        "{} queries ({header}) against {addr}\n",
+        reply.answers.len()
+    );
+    for (i, r) in reply.answers.iter().enumerate() {
+        match r {
+            Ok(answer) => writeln!(out, "  #{i}: [{}]", shown_ids(answer)),
+            Err(e) => writeln!(out, "  #{i}: error: {e}"),
+        }
+        .expect("write to String");
+    }
+    let secs = elapsed.as_secs_f64();
     writeln!(
         out,
-        "shared pool: {} store reads, {} hits ({:.0}% hit ratio)",
-        pool.page_accesses(),
-        pool.hits,
-        if lookups > 0 {
-            pool.hits as f64 / lookups as f64 * 100.0
+        "{} ok / {} failed in {:.1} ms ({:.0} queries/s)",
+        reply.ok,
+        reply.failed,
+        secs * 1e3,
+        if secs > 0.0 {
+            reply.answers.len() as f64 / secs
         } else {
-            0.0
+            f64::INFINITY
         },
     )
     .expect("write to String");
-    Ok((out, failures == 0))
+    if args.iter().any(|a| a == "--stats") {
+        let (conn, server) = c.stats().map_err(|e| e.to_string())?;
+        writeln!(
+            out,
+            "connection: {} queries, {} errors, {} bytes in / {} bytes out",
+            conn.queries, conn.errors, conn.bytes_in, conn.bytes_out
+        )
+        .expect("write to String");
+        writeln!(
+            out,
+            "server: {} queries, {} errors, {} timeouts, {} connection(s)",
+            server.queries, server.errors, server.timeouts, server.connections
+        )
+        .expect("write to String");
+    }
+    c.quit().map_err(|e| e.to_string())?;
+    Ok((out, reply.failed == 0))
 }
 
 /// Parses the batch-wide fault-handling flags: `--deadline-ms <MS>` gives
@@ -538,8 +563,8 @@ fn query(args: &[String]) -> Result<String, String> {
         .map(|v| parse_num::<f64>(v.trim(), "--point coordinate"))
         .collect::<Result<_, _>>()?;
 
-    if let Some(s) = flag_value(args, "--shards") {
-        return query_sharded(args, path, &point, k, parse_num(s, "--shards")?);
+    if args.iter().any(|a| a == "--shards") {
+        return query_sharded(args, path, &point, k);
     }
 
     let mut db = DiskDatabase::open_file(path, 256).map_err(|e| e.to_string())?;
@@ -606,29 +631,17 @@ fn query(args: &[String]) -> Result<String, String> {
     Ok(out)
 }
 
-/// The `--shards` arm of `query`: loads the database's points into memory,
-/// shards them by point id, and answers the single query with intra-query
-/// parallelism — reporting per-shard AD cost instead of the disk I/O
-/// model (the sharded engine is an in-memory path).
-fn query_sharded(
-    args: &[String],
-    path: &str,
-    point: &[f64],
-    k: usize,
-    shards: usize,
-) -> Result<String, String> {
+/// The `--shards` arm of `query`: [`EngineConfig`] loads the database's
+/// points into memory and shards them by point id, and the single query
+/// runs with intra-query parallelism — reporting per-shard AD cost
+/// instead of the disk I/O model (the sharded engine is an in-memory
+/// path).
+fn query_sharded(args: &[String], path: &str, point: &[f64], k: usize) -> Result<String, String> {
     if args.iter().any(|a| a == "--auto") {
         return Err("--auto plans disk I/O; it cannot be combined with --shards".into());
     }
-    let workers: usize = match flag_value(args, "--workers") {
-        Some(w) => parse_num(w, "--workers")?,
-        None => std::thread::available_parallelism().map_or(1, |n| n.get()),
-    };
-    let mut db = DiskDatabase::open_file(path, 256).map_err(|e| e.to_string())?;
-    let rows: Vec<Vec<f64>> = (0..db.len())
-        .map(|pid| db.fetch_point(pid as knmatch_core::PointId))
-        .collect();
-    let ds = Dataset::from_rows(&rows).map_err(|e| e.to_string())?;
+    let cfg = EngineConfig::from_args(args)?;
+    let engine = cfg.open(path)?;
 
     let (query, header) = if let Some(i) = args.iter().position(|a| a == "--frequent") {
         let n0: usize = parse_num(args.get(i + 1).ok_or("--frequent needs N0 N1")?, "N0")?;
@@ -657,18 +670,18 @@ fn query_sharded(
         )
     };
 
-    let engine = ShardedQueryEngine::with_workers(
-        Arc::new(ShardedColumns::build_with_workers(&ds, shards, workers)),
-        workers,
-    );
-    let outcome = engine.execute(&query).map_err(|e| e.to_string())?;
+    let outcome = engine
+        .run(std::slice::from_ref(&query))
+        .pop()
+        .expect("one result per query")
+        .map_err(|e| e.to_string())?;
 
     let mut out = format!(
         "{header} over {} shard(s), {} worker(s), in-memory:\n",
-        engine.columns().shard_count(),
+        engine.shard_count().unwrap_or(1),
         engine.workers()
     );
-    match &outcome.answer {
+    match outcome.answer() {
         BatchAnswer::KnMatch(r) | BatchAnswer::EpsMatch(r) => {
             for e in &r.entries {
                 writeln!(out, "  point {:>8}  n-match diff {:.6}", e.pid, e.diff)
@@ -682,16 +695,16 @@ fn query_sharded(
             }
         }
     }
-    let per_shard: Vec<String> = outcome
-        .per_shard
+    let shard_stats = outcome.per_shard().unwrap_or(&[]);
+    let per_shard: Vec<String> = shard_stats
         .iter()
         .map(|s| s.attributes_retrieved.to_string())
         .collect();
     writeln!(
         out,
         "cost: {} attributes across {} shard(s) ({})",
-        outcome.stats.attributes_retrieved,
-        outcome.per_shard.len(),
+        outcome.ad_stats().attributes_retrieved,
+        shard_stats.len(),
         per_shard.join(" + ")
     )
     .expect("write to String");

@@ -116,6 +116,83 @@ impl BatchOptions {
     }
 }
 
+/// One successful slot of a batch run, as seen through the [`BatchEngine`]
+/// abstraction.
+///
+/// Every engine returns its own outcome type — the in-memory
+/// [`QueryEngine`] a plain `(BatchAnswer, AdStats)` pair, the sharded
+/// engine a [`ShardedOutcome`](crate::ShardedOutcome) with its per-shard
+/// cost split, the disk engine a `DiskBatchOutcome` carrying modelled page
+/// I/O. This trait is the common projection: the answer itself plus the
+/// attribute-level AD counters, which every backend produces. Code that
+/// serves or prints batch results (the network front-end, the CLI) works
+/// against this projection and stays backend-agnostic.
+pub trait BatchOutcome: Send {
+    /// The query answer, mirroring the [`BatchQuery`] variant.
+    fn answer(&self) -> &BatchAnswer;
+    /// The attribute-level AD counters of this query (for sharded runs,
+    /// the per-shard total).
+    fn ad_stats(&self) -> AdStats;
+    /// Consumes the outcome, keeping only the answer.
+    fn into_answer(self) -> BatchAnswer;
+}
+
+impl BatchOutcome for (BatchAnswer, AdStats) {
+    fn answer(&self) -> &BatchAnswer {
+        &self.0
+    }
+
+    fn ad_stats(&self) -> AdStats {
+        self.1
+    }
+
+    fn into_answer(self) -> BatchAnswer {
+        self.0
+    }
+}
+
+/// A batch executor for [`BatchQuery`] workloads: the one API every
+/// backend implements and every front-end consumes.
+///
+/// Three engines implement it — [`QueryEngine`] (shared in-memory
+/// columns, inter-query parallelism),
+/// [`ShardedQueryEngine`](crate::ShardedQueryEngine) (point-id shards,
+/// intra-query parallelism), and the disk engine in `knmatch-storage`
+/// (shared buffer pool over a database file). All three promise the same
+/// contract:
+///
+/// - one result per query, **in input order**, regardless of worker count
+///   or scheduling;
+/// - invalid queries fail their own slot with a validation error while
+///   the rest of the batch completes;
+/// - a panicking query is isolated to its own slot
+///   ([`KnMatchError::Panicked`]);
+/// - [`BatchOptions`] add per-query deadlines and fail-fast cancellation,
+///   and with default options `run_with` is bit-identical to
+///   [`run`](BatchEngine::run).
+///
+/// The trait keeps generic callers honest: the network front-end in
+/// `knmatch-server` serves all three backends through one code path, and
+/// cross-check tests compare a served batch against a direct
+/// [`run`](BatchEngine::run) call on the same engine value.
+pub trait BatchEngine {
+    /// What a successful query slot carries; see [`BatchOutcome`].
+    type Outcome: BatchOutcome;
+
+    /// The configured worker count.
+    fn workers(&self) -> usize;
+
+    /// Executes the whole batch under `opts`, returning one result per
+    /// query in input order.
+    fn run_with(&self, queries: &[BatchQuery], opts: &BatchOptions) -> Vec<Result<Self::Outcome>>;
+
+    /// [`run_with`](BatchEngine::run_with) under default [`BatchOptions`]:
+    /// no deadline, no fail-fast — the healthy-path entry point.
+    fn run(&self, queries: &[BatchQuery]) -> Vec<Result<Self::Outcome>> {
+        self.run_with(queries, &BatchOptions::default())
+    }
+}
+
 /// Records `result` against an armed control: a failed query trips the
 /// batch's fail-fast cancel flag (a no-op without one). Shared by all
 /// three batch engines so fail-fast semantics cannot drift.
@@ -247,7 +324,7 @@ where
 ///
 /// ```
 /// use std::sync::Arc;
-/// use knmatch_core::{BatchAnswer, BatchQuery, Dataset, QueryEngine, SortedColumns};
+/// use knmatch_core::{BatchAnswer, BatchEngine, BatchQuery, Dataset, QueryEngine, SortedColumns};
 ///
 /// let ds = knmatch_core::paper::fig3_dataset();
 /// let engine = QueryEngine::new(Arc::new(SortedColumns::build(&ds)));
@@ -288,11 +365,6 @@ impl QueryEngine {
         &self.cols
     }
 
-    /// The configured worker count.
-    pub fn workers(&self) -> usize {
-        self.workers
-    }
-
     /// Executes one query against caller-provided scratch, on the calling
     /// thread. [`run`](Self::run) is a parallel loop over exactly this, so
     /// cross-checking the two paths needs no test-only hooks.
@@ -312,35 +384,31 @@ impl QueryEngine {
         let mut view: &SortedColumns = &self.cols;
         execute_batch_query(&mut view, query, scratch)
     }
+}
 
-    /// Executes the whole batch, returning one result per query in input
-    /// order. Invalid queries yield their validation error without
-    /// affecting the rest of the batch; a panicking query yields
-    /// [`KnMatchError::Panicked`](crate::KnMatchError::Panicked) in its
-    /// own slot while the rest of the batch completes.
-    pub fn run(&self, queries: &[BatchQuery]) -> Vec<Result<(BatchAnswer, AdStats)>> {
-        self.run_with(queries, &BatchOptions::default())
+impl BatchEngine for QueryEngine {
+    type Outcome = (BatchAnswer, AdStats);
+
+    fn workers(&self) -> usize {
+        self.workers
     }
 
-    /// [`run`](Self::run) with batch-wide [`BatchOptions`]: per-query
-    /// deadlines and fail-fast cancellation. With default options the
-    /// answers and stats are bit-identical to [`run`](Self::run).
-    pub fn run_with(
+    fn run_with(
         &self,
         queries: &[BatchQuery],
         opts: &BatchOptions,
     ) -> Vec<Result<(BatchAnswer, AdStats)>> {
         let control = opts.arm();
-        let init = || {
-            let mut s = Scratch::new();
-            s.set_control(control.clone());
-            s
-        };
-        run_batch(self.workers, queries.len(), init, |scratch, i| {
-            let out = isolate_panic(|| self.execute(&queries[i], scratch));
-            note_outcome(&control, &out);
-            out
-        })
+        run_batch(
+            self.workers,
+            queries.len(),
+            || control.scratch(),
+            |scratch, i| {
+                let out = isolate_panic(|| self.execute(&queries[i], scratch));
+                note_outcome(&control, &out);
+                out
+            },
+        )
     }
 }
 

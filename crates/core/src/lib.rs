@@ -57,7 +57,8 @@
 //! - [`ad`] — the AD algorithm (`KNMatchAD` / `FKNMatchAD`, Theorems 3.1–3.3),
 //!   plus the ε-threshold variant and the paper-literal linear `g[]` ablation;
 //! - [`scratch`] / [`Scratch`] — reusable epoch-stamped query working memory;
-//! - [`engine`] / [`QueryEngine`] — parallel batch execution over shared columns;
+//! - [`engine`] / [`QueryEngine`] — parallel batch execution over shared
+//!   columns, and the [`BatchEngine`] trait every batch backend implements;
 //! - [`sharded`] / [`ShardedQueryEngine`] — intra-query parallelism over
 //!   point-id-sharded columns with an exact `(diff, pid)` merge;
 //! - [`stream`] — lazy ascending-difference answer iterator;
@@ -104,8 +105,8 @@ pub use ad::{
 pub use columns::{ColumnView, SortedColumns};
 pub use dynamic::{DynamicColumns, KeyedMatch};
 pub use engine::{
-    execute_batch_query, isolate_panic, note_outcome, run_batch, BatchAnswer, BatchOptions,
-    BatchQuery, QueryEngine,
+    execute_batch_query, isolate_panic, note_outcome, run_batch, BatchAnswer, BatchEngine,
+    BatchOptions, BatchOutcome, BatchQuery, QueryEngine,
 };
 pub use error::{panic_message, KnMatchError, Result};
 pub use fagin::{GradedLists, MiddlewareStats, MinAggregate, MonotoneAggregate, WeightedSum};

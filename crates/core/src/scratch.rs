@@ -51,6 +51,15 @@ impl QueryControl {
         QueryControl::default()
     }
 
+    /// A fresh [`Scratch`] already carrying a clone of this control — the
+    /// per-worker init every batch engine uses, factored here so the
+    /// engines cannot drift on how workers are armed.
+    pub fn scratch(&self) -> Scratch {
+        let mut s = Scratch::new();
+        s.set_control(self.clone());
+        s
+    }
+
     /// Whether any check could ever fire.
     fn is_armed(&self) -> bool {
         self.deadline.is_some() || self.cancel.is_some()

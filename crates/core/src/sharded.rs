@@ -51,8 +51,8 @@ use std::thread;
 use crate::ad::{validate_eps, validate_params, AdStats};
 use crate::columns::{sort_dim_range, SortedColumns};
 use crate::engine::{
-    execute_batch_query, isolate_panic, note_outcome, run_batch, BatchAnswer, BatchOptions,
-    BatchQuery,
+    execute_batch_query, isolate_panic, note_outcome, run_batch, BatchAnswer, BatchEngine,
+    BatchOptions, BatchOutcome, BatchQuery,
 };
 use crate::error::Result;
 use crate::point::{Dataset, PointId};
@@ -176,6 +176,20 @@ pub struct ShardedOutcome {
     pub per_shard: Vec<AdStats>,
 }
 
+impl BatchOutcome for ShardedOutcome {
+    fn answer(&self) -> &BatchAnswer {
+        &self.answer
+    }
+
+    fn ad_stats(&self) -> AdStats {
+        self.stats
+    }
+
+    fn into_answer(self) -> BatchAnswer {
+        self.answer
+    }
+}
+
 /// Executes matching queries with intra-query parallelism over
 /// [`ShardedColumns`]: every query fans out into one work item per shard,
 /// and a batch of `q` queries schedules `q × S` items on the pool.
@@ -221,11 +235,6 @@ impl ShardedQueryEngine {
         &self.cols
     }
 
-    /// The configured worker count.
-    pub fn workers(&self) -> usize {
-        self.workers
-    }
-
     /// Executes one query across all shards on the pool.
     ///
     /// # Errors
@@ -236,73 +245,6 @@ impl ShardedQueryEngine {
         self.run(std::slice::from_ref(query))
             .pop()
             .expect("one result per query")
-    }
-
-    /// Executes the whole batch, returning one result per query in input
-    /// order. All `q × S` shard-tasks share one pool, so a single query
-    /// and a large batch both keep every worker busy. Invalid queries
-    /// yield their validation error without spawning shard work; a shard
-    /// task that fails or panics fails only its own query (first failing
-    /// shard, in shard order, wins) while the rest of the batch completes.
-    pub fn run(&self, queries: &[BatchQuery]) -> Vec<Result<ShardedOutcome>> {
-        self.run_with(queries, &BatchOptions::default())
-    }
-
-    /// [`run`](Self::run) with batch-wide [`BatchOptions`]: per-query
-    /// deadlines and fail-fast cancellation (every shard task of every
-    /// query shares the batch's clock and cancel flag). With default
-    /// options the answers and stats are bit-identical to
-    /// [`run`](Self::run).
-    pub fn run_with(
-        &self,
-        queries: &[BatchQuery],
-        opts: &BatchOptions,
-    ) -> Vec<Result<ShardedOutcome>> {
-        let s_count = self.cols.shard_count();
-        let validity: Vec<Result<()>> = queries.iter().map(|q| self.validate(q)).collect();
-        let mut tasks = Vec::new();
-        for (qi, v) in validity.iter().enumerate() {
-            if v.is_ok() {
-                tasks.extend((0..s_count).map(|s| (qi, s)));
-            }
-        }
-        let control = opts.arm();
-        let init = || {
-            let mut s = Scratch::new();
-            s.set_control(control.clone());
-            s
-        };
-        let outs = run_batch(self.workers, tasks.len(), init, |scratch, t| {
-            let (qi, s) = tasks[t];
-            let out = self.run_shard(&queries[qi], s, scratch);
-            note_outcome(&control, &out);
-            out
-        });
-        // Tasks were pushed query-major, so each valid query owns the next
-        // `s_count` outputs in order.
-        let mut outs = outs.into_iter();
-        validity
-            .into_iter()
-            .enumerate()
-            .map(|(qi, v)| {
-                v.and_then(|()| {
-                    let mut parts = Vec::with_capacity(s_count);
-                    let mut first_err = None;
-                    for part in outs.by_ref().take(s_count) {
-                        match part {
-                            Ok(x) => parts.push(x),
-                            Err(e) => {
-                                first_err.get_or_insert(e);
-                            }
-                        }
-                    }
-                    match first_err {
-                        Some(e) => Err(e),
-                        None => Ok(merge_shards(&queries[qi], parts)),
-                    }
-                })
-            })
-            .collect()
     }
 
     /// Validates `query` against the global shape (`d`, total `c`).
@@ -340,6 +282,69 @@ impl ShardedQueryEngine {
                 stats,
             ))
         })
+    }
+}
+
+impl BatchEngine for ShardedQueryEngine {
+    type Outcome = ShardedOutcome;
+
+    fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// All `q × S` shard-tasks share one pool, so a single query and a
+    /// large batch both keep every worker busy. Invalid queries yield
+    /// their validation error without spawning shard work; a shard task
+    /// that fails or panics fails only its own query (first failing
+    /// shard, in shard order, wins) while the rest of the batch
+    /// completes. Every shard task of every query shares the batch's
+    /// deadline clock and cancel flag.
+    fn run_with(&self, queries: &[BatchQuery], opts: &BatchOptions) -> Vec<Result<ShardedOutcome>> {
+        let s_count = self.cols.shard_count();
+        let validity: Vec<Result<()>> = queries.iter().map(|q| self.validate(q)).collect();
+        let mut tasks = Vec::new();
+        for (qi, v) in validity.iter().enumerate() {
+            if v.is_ok() {
+                tasks.extend((0..s_count).map(|s| (qi, s)));
+            }
+        }
+        let control = opts.arm();
+        let outs = run_batch(
+            self.workers,
+            tasks.len(),
+            || control.scratch(),
+            |scratch, t| {
+                let (qi, s) = tasks[t];
+                let out = self.run_shard(&queries[qi], s, scratch);
+                note_outcome(&control, &out);
+                out
+            },
+        );
+        // Tasks were pushed query-major, so each valid query owns the next
+        // `s_count` outputs in order.
+        let mut outs = outs.into_iter();
+        validity
+            .into_iter()
+            .enumerate()
+            .map(|(qi, v)| {
+                v.and_then(|()| {
+                    let mut parts = Vec::with_capacity(s_count);
+                    let mut first_err = None;
+                    for part in outs.by_ref().take(s_count) {
+                        match part {
+                            Ok(x) => parts.push(x),
+                            Err(e) => {
+                                first_err.get_or_insert(e);
+                            }
+                        }
+                    }
+                    match first_err {
+                        Some(e) => Err(e),
+                        None => Ok(merge_shards(&queries[qi], parts)),
+                    }
+                })
+            })
+            .collect()
     }
 }
 

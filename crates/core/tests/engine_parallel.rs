@@ -8,8 +8,8 @@
 use std::sync::Arc;
 
 use knmatch_core::{
-    eps_n_match_ad, frequent_k_n_match_ad, k_n_match_ad, AdStats, BatchAnswer, BatchQuery,
-    KnMatchError, QueryEngine, Scratch, SortedColumns,
+    eps_n_match_ad, frequent_k_n_match_ad, k_n_match_ad, AdStats, BatchAnswer, BatchEngine,
+    BatchQuery, KnMatchError, QueryEngine, Scratch, SortedColumns,
 };
 
 /// SplitMix64, kept local (knmatch-core has no dev-dependencies).

@@ -9,8 +9,8 @@
 use std::sync::Arc;
 
 use knmatch_core::{
-    execute_batch_query, AdStats, BatchAnswer, BatchQuery, KnMatchError, QueryEngine, Scratch,
-    ShardedColumns, ShardedQueryEngine, SortedColumns,
+    execute_batch_query, AdStats, BatchAnswer, BatchEngine, BatchQuery, KnMatchError, QueryEngine,
+    Scratch, ShardedColumns, ShardedQueryEngine, SortedColumns,
 };
 
 /// SplitMix64, kept local (knmatch-core has no dev-dependencies).

@@ -1,0 +1,283 @@
+//! A blocking client for the text protocol — the other half of the
+//! conversation [`Server`](crate::Server) holds, used by `knmatch
+//! client`, the cross-check tests and the `server_throughput` bench.
+
+use std::io::{self, BufRead, BufReader, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+use knmatch_core::{BatchAnswer, BatchQuery};
+
+use crate::protocol::{
+    format_query, parse_response, ErrorKind, ProtoError, Response, StatsSnapshot,
+};
+
+/// A failure reported by the server for one query (`ERR` line), as
+/// opposed to a transport failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ServedError {
+    /// The error category.
+    pub kind: ErrorKind,
+    /// The server's message.
+    pub message: String,
+}
+
+impl std::fmt::Display for ServedError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}: {}", self.kind.token(), self.message)
+    }
+}
+
+impl std::error::Error for ServedError {}
+
+/// A transport- or protocol-level client failure: the conversation
+/// itself broke (socket error, unparseable or out-of-order response).
+#[derive(Debug)]
+pub enum ClientError {
+    /// Socket-level failure.
+    Io(io::Error),
+    /// The server's bytes did not parse as a response line.
+    Proto(ProtoError),
+    /// A parseable response of the wrong shape for what was asked.
+    Unexpected(String),
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "connection error: {e}"),
+            ClientError::Proto(e) => write!(f, "protocol error: {e}"),
+            ClientError::Unexpected(m) => write!(f, "unexpected response: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<io::Error> for ClientError {
+    fn from(e: io::Error) -> Self {
+        ClientError::Io(e)
+    }
+}
+
+impl From<ProtoError> for ClientError {
+    fn from(e: ProtoError) -> Self {
+        ClientError::Proto(e)
+    }
+}
+
+/// The outcome of one [`Client::run_batch`] call.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BatchReply {
+    /// One entry per submitted query, in submission order: the answer or
+    /// the server-reported error.
+    pub answers: Vec<Result<BatchAnswer, ServedError>>,
+    /// The `DONE` trailer's success count.
+    pub ok: u64,
+    /// The `DONE` trailer's failure count.
+    pub failed: u64,
+}
+
+/// One connection to a `knmatch serve` process.
+#[derive(Debug)]
+pub struct Client {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl Client {
+    /// Connects to `addr` (e.g. `"127.0.0.1:7878"`).
+    ///
+    /// # Errors
+    ///
+    /// Socket errors from connect.
+    pub fn connect<A: ToSocketAddrs>(addr: A) -> io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true).ok();
+        let writer = stream.try_clone()?;
+        Ok(Client {
+            reader: BufReader::new(stream),
+            writer,
+        })
+    }
+
+    /// Sets a socket read timeout so a stuck server surfaces as an error
+    /// instead of a hang. `None` blocks forever (the default).
+    ///
+    /// # Errors
+    ///
+    /// Socket errors from the setsockopt.
+    pub fn set_timeout(&mut self, timeout: Option<Duration>) -> io::Result<()> {
+        self.reader.get_ref().set_read_timeout(timeout)
+    }
+
+    fn send_line(&mut self, line: &str) -> Result<(), ClientError> {
+        self.writer.write_all(line.as_bytes())?;
+        self.writer.write_all(b"\n")?;
+        Ok(())
+    }
+
+    fn recv(&mut self) -> Result<Response, ClientError> {
+        let mut line = String::new();
+        if self.reader.read_line(&mut line)? == 0 {
+            return Err(ClientError::Io(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "server closed the connection",
+            )));
+        }
+        Ok(parse_response(line.trim_end_matches(['\n', '\r']))?)
+    }
+
+    /// Liveness probe (`PING` → `OK PONG`).
+    ///
+    /// # Errors
+    ///
+    /// Transport failures or an unexpected response.
+    pub fn ping(&mut self) -> Result<(), ClientError> {
+        self.send_line("PING")?;
+        match self.recv()? {
+            Response::Pong => Ok(()),
+            other => Err(ClientError::Unexpected(format!("{other:?}"))),
+        }
+    }
+
+    /// Sets the per-query deadline for this connection's later queries
+    /// (0 clears it).
+    ///
+    /// # Errors
+    ///
+    /// Transport failures or an unexpected response.
+    pub fn set_deadline_ms(&mut self, ms: u64) -> Result<(), ClientError> {
+        self.send_line(&format!("DEADLINE {ms}"))?;
+        match self.recv()? {
+            Response::Deadline(got) if got == ms => Ok(()),
+            other => Err(ClientError::Unexpected(format!("{other:?}"))),
+        }
+    }
+
+    /// Toggles fail-fast for this connection's later batches.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures or an unexpected response.
+    pub fn set_fail_fast(&mut self, on: bool) -> Result<(), ClientError> {
+        self.send_line(&format!("FAILFAST {}", u8::from(on)))?;
+        match self.recv()? {
+            Response::FailFast(got) if got == on => Ok(()),
+            other => Err(ClientError::Unexpected(format!("{other:?}"))),
+        }
+    }
+
+    /// Runs one query, returning the answer or the server-reported
+    /// per-query error.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures or an unexpected response.
+    pub fn query(
+        &mut self,
+        q: &BatchQuery,
+    ) -> Result<Result<BatchAnswer, ServedError>, ClientError> {
+        self.send_line(&format_query(q))?;
+        match self.recv()? {
+            Response::Answer(a) => Ok(Ok(a)),
+            Response::Error { kind, message } => Ok(Err(ServedError { kind, message })),
+            other => Err(ClientError::Unexpected(format!("{other:?}"))),
+        }
+    }
+
+    /// Submits `queries` as one `BATCH`, pipelining all query lines in a
+    /// single write, and collects the per-query responses plus the `DONE`
+    /// trailer.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures or an out-of-shape response stream.
+    pub fn run_batch(&mut self, queries: &[BatchQuery]) -> Result<BatchReply, ClientError> {
+        let mut frame = format!("BATCH {}\n", queries.len());
+        for q in queries {
+            frame.push_str(&format_query(q));
+            frame.push('\n');
+        }
+        self.writer.write_all(frame.as_bytes())?;
+        let mut answers = Vec::with_capacity(queries.len());
+        for _ in 0..queries.len() {
+            match self.recv()? {
+                Response::Answer(a) => answers.push(Ok(a)),
+                Response::Error { kind, message } => {
+                    answers.push(Err(ServedError { kind, message }))
+                }
+                other => return Err(ClientError::Unexpected(format!("{other:?}"))),
+            }
+        }
+        match self.recv()? {
+            Response::Done { ok, failed } => Ok(BatchReply {
+                answers,
+                ok,
+                failed,
+            }),
+            other => Err(ClientError::Unexpected(format!(
+                "expected DONE, got {other:?}"
+            ))),
+        }
+    }
+
+    /// Fetches this connection's and the server's counters.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures or an unexpected response.
+    pub fn stats(&mut self) -> Result<(StatsSnapshot, StatsSnapshot), ClientError> {
+        self.send_line("STATS")?;
+        match self.recv()? {
+            Response::Stats { conn, server } => Ok((conn, server)),
+            other => Err(ClientError::Unexpected(format!("{other:?}"))),
+        }
+    }
+
+    /// Asks the server to drain and stop, consuming this connection.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures or an unexpected response.
+    pub fn shutdown_server(mut self) -> Result<(), ClientError> {
+        self.send_line("SHUTDOWN")?;
+        match self.recv()? {
+            Response::ShuttingDown => Ok(()),
+            other => Err(ClientError::Unexpected(format!("{other:?}"))),
+        }
+    }
+
+    /// Closes the connection politely (`QUIT` → `OK BYE`).
+    ///
+    /// # Errors
+    ///
+    /// Transport failures or an unexpected response.
+    pub fn quit(mut self) -> Result<(), ClientError> {
+        self.send_line("QUIT")?;
+        match self.recv()? {
+            Response::Bye => Ok(()),
+            other => Err(ClientError::Unexpected(format!("{other:?}"))),
+        }
+    }
+
+    /// Sends raw bytes down the socket — the fuzz tests' hook for
+    /// malformed and truncated frames. Not part of the polite API.
+    ///
+    /// # Errors
+    ///
+    /// Socket errors from the write.
+    pub fn send_raw(&mut self, bytes: &[u8]) -> io::Result<()> {
+        self.writer.write_all(bytes)
+    }
+
+    /// Reads one raw response line — the fuzz tests' counterpart to
+    /// [`send_raw`](Client::send_raw).
+    ///
+    /// # Errors
+    ///
+    /// Socket errors, or `UnexpectedEof` when the server closed.
+    pub fn recv_response(&mut self) -> Result<Response, ClientError> {
+        self.recv()
+    }
+}

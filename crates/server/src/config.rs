@@ -1,0 +1,454 @@
+//! One engine configuration shared by every front-end.
+//!
+//! `knmatch batch`, `knmatch query` and `knmatch serve` all accept the
+//! same backend flags (`--workers`, `--shards`, `--disk`, `--pool-pages`,
+//! `--verify`); [`EngineConfig`] owns that grammar in one place and turns
+//! it into an [`AnyEngine`] — a [`BatchEngine`] enum over the three
+//! backends, so the server loop and the CLI printing code are written
+//! once against the trait instead of three times against concrete types.
+
+use std::sync::Arc;
+
+use knmatch_core::{
+    AdStats, BatchAnswer, BatchEngine, BatchOptions, BatchOutcome, BatchQuery, Dataset,
+    QueryEngine, Result as CoreResult, ShardedColumns, ShardedOutcome, ShardedQueryEngine,
+    SortedColumns,
+};
+use knmatch_storage::{
+    DiskBatchOutcome, DiskDatabase, DiskQueryEngine, FileStore, IoStats, VerifyMode, MAGIC,
+};
+
+/// Which backend answers the queries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Backend {
+    /// In-memory [`QueryEngine`]: one shared sorted-column organisation,
+    /// inter-query parallelism.
+    Memory,
+    /// In-memory [`ShardedQueryEngine`] over this many point-id shards:
+    /// intra-query parallelism.
+    Sharded(usize),
+    /// Disk-backed [`DiskQueryEngine`] over a `.knm` database file.
+    Disk {
+        /// Shared buffer-pool capacity in pages.
+        pool_pages: usize,
+        /// Page read-verification policy.
+        verify: VerifyMode,
+    },
+}
+
+/// Pool capacity used when `--disk` is given without `--pool-pages`.
+pub const DEFAULT_POOL_PAGES: usize = 256;
+
+/// A parsed backend + worker configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EngineConfig {
+    /// Batch worker threads (≥ 1).
+    pub workers: usize,
+    /// The backend to build.
+    pub backend: Backend,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig {
+            workers: std::thread::available_parallelism().map_or(1, |n| n.get()),
+            backend: Backend::Memory,
+        }
+    }
+}
+
+/// Looks up the value following `flag` (e.g. `--workers 4`).
+fn flag_value<'a>(args: &'a [String], flag: &str) -> Option<&'a str> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .map(String::as_str)
+}
+
+fn parse_num(s: &str, what: &str) -> Result<usize, String> {
+    s.parse()
+        .map_err(|_| format!("{what}: expected a number, got '{s}'"))
+}
+
+impl EngineConfig {
+    /// Parses the shared backend flags out of a CLI argument list:
+    /// `--workers W`, `--shards S`, `--disk`, `--pool-pages P`,
+    /// `--verify <never|first-read|always>`. Unrelated flags are ignored
+    /// (the caller owns the rest of its grammar).
+    ///
+    /// # Errors
+    ///
+    /// Malformed numbers, `--shards` combined with `--disk`, or
+    /// `--pool-pages` / `--verify` without `--disk`.
+    pub fn from_args(args: &[String]) -> Result<EngineConfig, String> {
+        let workers = match flag_value(args, "--workers") {
+            Some(w) => parse_num(w, "--workers")?.max(1),
+            None => std::thread::available_parallelism().map_or(1, |n| n.get()),
+        };
+        let disk = args.iter().any(|a| a == "--disk");
+        let shards = flag_value(args, "--shards")
+            .map(|s| parse_num(s, "--shards"))
+            .transpose()?;
+        if disk && shards.is_some() {
+            return Err("--shards is in-memory intra-query parallelism; \
+                        it cannot be combined with --disk"
+                .into());
+        }
+        if !disk {
+            for flag in ["--pool-pages", "--verify"] {
+                if args.iter().any(|a| a == flag) {
+                    return Err(format!("{flag} only applies to --disk"));
+                }
+            }
+        }
+        let backend = if disk {
+            let pool_pages = match flag_value(args, "--pool-pages") {
+                Some(p) => parse_num(p, "--pool-pages")?.max(1),
+                None => DEFAULT_POOL_PAGES,
+            };
+            let verify = match flag_value(args, "--verify") {
+                None => VerifyMode::default(),
+                Some("never") => VerifyMode::Never,
+                Some("first-read") => VerifyMode::FirstRead,
+                Some("always") => VerifyMode::Always,
+                Some(other) => {
+                    return Err(format!(
+                        "--verify takes never|first-read|always, got '{other}'"
+                    ))
+                }
+            };
+            Backend::Disk { pool_pages, verify }
+        } else if let Some(s) = shards {
+            Backend::Sharded(s.max(1))
+        } else {
+            Backend::Memory
+        };
+        Ok(EngineConfig { workers, backend })
+    }
+
+    /// One-line human description, e.g. `"disk (256 pool pages), 4 worker(s)"`.
+    pub fn describe(&self) -> String {
+        let backend = match self.backend {
+            Backend::Memory => "in-memory".to_string(),
+            Backend::Sharded(s) => format!("{s} shard(s), in-memory"),
+            Backend::Disk { pool_pages, .. } => format!("disk ({pool_pages} pool pages)"),
+        };
+        format!("{backend}, {} worker(s)", self.workers)
+    }
+
+    /// Builds the configured engine over `path` — a CSV dataset or a
+    /// `.knm` database file (sniffed by magic). The in-memory backends
+    /// accept both (a database file's points are loaded into memory); the
+    /// disk backend requires a database file.
+    ///
+    /// # Errors
+    ///
+    /// Unreadable or unparseable input, or a CSV given to `--disk`.
+    pub fn open(&self, path: &str) -> Result<AnyEngine, String> {
+        let is_db = std::fs::File::open(path)
+            .and_then(|mut f| {
+                use std::io::Read as _;
+                let mut head = [0u8; MAGIC.len()];
+                // A file shorter than the magic is not a database file.
+                Ok(f.read(&mut head)? == head.len() && &head == MAGIC)
+            })
+            .map_err(|e| format!("{path}: {e}"))?;
+        match self.backend {
+            Backend::Disk { pool_pages, verify } => {
+                if !is_db {
+                    return Err(format!(
+                        "{path}: --disk needs a .knm database file (see `knmatch build`)"
+                    ));
+                }
+                let db = DiskDatabase::open_file(path, pool_pages).map_err(|e| e.to_string())?;
+                // Rebuild the engine around the store so the verification
+                // policy applies to every page read the queries do.
+                let (mut store, columns) = db.into_engine(self.workers).into_parts();
+                store.set_verify_mode(verify);
+                DiskQueryEngine::with_workers(store, columns, pool_pages, self.workers)
+                    .map(AnyEngine::Disk)
+                    .map_err(|e| e.to_string())
+            }
+            Backend::Memory | Backend::Sharded(_) => {
+                let ds = if is_db {
+                    let mut db = DiskDatabase::open_file(path, DEFAULT_POOL_PAGES)
+                        .map_err(|e| e.to_string())?;
+                    let rows: Vec<Vec<f64>> = (0..db.len())
+                        .map(|pid| db.fetch_point(pid as knmatch_core::PointId))
+                        .collect();
+                    Dataset::from_rows(&rows).map_err(|e| e.to_string())?
+                } else {
+                    knmatch_data::load_dataset(path).map_err(|e| format!("{path}: {e}"))?
+                };
+                Ok(self.build_in_memory(&ds))
+            }
+        }
+    }
+
+    /// Builds an in-memory engine over an already-loaded dataset
+    /// (workload generators, tests). A `Disk` backend falls back to the
+    /// plain in-memory engine — there is no file to read.
+    pub fn build_in_memory(&self, ds: &Dataset) -> AnyEngine {
+        match self.backend {
+            Backend::Sharded(s) => AnyEngine::Sharded(ShardedQueryEngine::with_workers(
+                Arc::new(ShardedColumns::build_with_workers(ds, s, self.workers)),
+                self.workers,
+            )),
+            Backend::Memory | Backend::Disk { .. } => AnyEngine::Memory(QueryEngine::with_workers(
+                Arc::new(SortedColumns::build(ds)),
+                self.workers,
+            )),
+        }
+    }
+}
+
+/// A [`BatchEngine`] over whichever backend [`EngineConfig`] built.
+///
+/// The server accept loop and the CLI batch printer are generic over
+/// `E: BatchEngine`; this enum is the value they are instantiated with
+/// when the backend is chosen at runtime by flags.
+#[derive(Debug)]
+pub enum AnyEngine {
+    /// The in-memory engine.
+    Memory(QueryEngine),
+    /// The sharded in-memory engine.
+    Sharded(ShardedQueryEngine),
+    /// The disk engine over a database file.
+    Disk(DiskQueryEngine<FileStore>),
+}
+
+impl AnyEngine {
+    /// Points served by this engine.
+    pub fn cardinality(&self) -> usize {
+        match self {
+            AnyEngine::Memory(e) => e.columns().cardinality(),
+            AnyEngine::Sharded(e) => e.columns().cardinality(),
+            AnyEngine::Disk(e) => e.columns().cardinality(),
+        }
+    }
+
+    /// Dimensionality of the served dataset.
+    pub fn dims(&self) -> usize {
+        match self {
+            AnyEngine::Memory(e) => e.columns().dims(),
+            AnyEngine::Sharded(e) => e.columns().dims(),
+            AnyEngine::Disk(e) => e.columns().dims(),
+        }
+    }
+
+    /// Shared buffer-pool counters (disk backend only).
+    pub fn pool_stats(&self) -> Option<IoStats> {
+        match self {
+            AnyEngine::Disk(e) => Some(e.pool_stats()),
+            _ => None,
+        }
+    }
+
+    /// Shared buffer-pool capacity (disk backend only).
+    pub fn pool_pages(&self) -> Option<usize> {
+        match self {
+            AnyEngine::Disk(e) => Some(e.pool_pages()),
+            _ => None,
+        }
+    }
+
+    /// Shard count (sharded backend only).
+    pub fn shard_count(&self) -> Option<usize> {
+        match self {
+            AnyEngine::Sharded(e) => Some(e.columns().shard_count()),
+            _ => None,
+        }
+    }
+}
+
+/// The outcome of one [`AnyEngine`] query slot, preserving each backend's
+/// extra cost detail behind the common [`BatchOutcome`] projection.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AnyOutcome {
+    /// From the in-memory engine.
+    Memory((BatchAnswer, AdStats)),
+    /// From the sharded engine.
+    Sharded(ShardedOutcome),
+    /// From the disk engine.
+    Disk(DiskBatchOutcome),
+}
+
+impl AnyOutcome {
+    /// Modelled per-query page I/O (disk backend only).
+    pub fn io(&self) -> Option<&IoStats> {
+        match self {
+            AnyOutcome::Disk(o) => Some(&o.io),
+            _ => None,
+        }
+    }
+
+    /// Per-shard AD counters (sharded backend only).
+    pub fn per_shard(&self) -> Option<&[AdStats]> {
+        match self {
+            AnyOutcome::Sharded(o) => Some(&o.per_shard),
+            _ => None,
+        }
+    }
+}
+
+impl BatchOutcome for AnyOutcome {
+    fn answer(&self) -> &BatchAnswer {
+        match self {
+            AnyOutcome::Memory(o) => o.answer(),
+            AnyOutcome::Sharded(o) => o.answer(),
+            AnyOutcome::Disk(o) => o.answer(),
+        }
+    }
+
+    fn ad_stats(&self) -> AdStats {
+        match self {
+            AnyOutcome::Memory(o) => o.ad_stats(),
+            AnyOutcome::Sharded(o) => o.ad_stats(),
+            AnyOutcome::Disk(o) => o.ad_stats(),
+        }
+    }
+
+    fn into_answer(self) -> BatchAnswer {
+        match self {
+            AnyOutcome::Memory(o) => o.into_answer(),
+            AnyOutcome::Sharded(o) => o.into_answer(),
+            AnyOutcome::Disk(o) => o.into_answer(),
+        }
+    }
+}
+
+impl BatchEngine for AnyEngine {
+    type Outcome = AnyOutcome;
+
+    fn workers(&self) -> usize {
+        match self {
+            AnyEngine::Memory(e) => e.workers(),
+            AnyEngine::Sharded(e) => e.workers(),
+            AnyEngine::Disk(e) => e.workers(),
+        }
+    }
+
+    fn run_with(&self, queries: &[BatchQuery], opts: &BatchOptions) -> Vec<CoreResult<AnyOutcome>> {
+        match self {
+            AnyEngine::Memory(e) => e
+                .run_with(queries, opts)
+                .into_iter()
+                .map(|r| r.map(AnyOutcome::Memory))
+                .collect(),
+            AnyEngine::Sharded(e) => e
+                .run_with(queries, opts)
+                .into_iter()
+                .map(|r| r.map(AnyOutcome::Sharded))
+                .collect(),
+            AnyEngine::Disk(e) => e
+                .run_with(queries, opts)
+                .into_iter()
+                .map(|r| r.map(AnyOutcome::Disk))
+                .collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(s: &str) -> Vec<String> {
+        s.split_whitespace().map(String::from).collect()
+    }
+
+    #[test]
+    fn flag_grammar() {
+        let c = EngineConfig::from_args(&argv("--workers 3")).unwrap();
+        assert_eq!(c.workers, 3);
+        assert_eq!(c.backend, Backend::Memory);
+
+        let c = EngineConfig::from_args(&argv("--shards 4 --workers 2")).unwrap();
+        assert_eq!(c.backend, Backend::Sharded(4));
+
+        let c = EngineConfig::from_args(&argv("--disk --pool-pages 64 --verify always")).unwrap();
+        assert_eq!(
+            c.backend,
+            Backend::Disk {
+                pool_pages: 64,
+                verify: VerifyMode::Always
+            }
+        );
+
+        let c = EngineConfig::from_args(&argv("--disk")).unwrap();
+        assert_eq!(
+            c.backend,
+            Backend::Disk {
+                pool_pages: DEFAULT_POOL_PAGES,
+                verify: VerifyMode::FirstRead
+            }
+        );
+
+        assert!(EngineConfig::from_args(&argv("--disk --shards 2")).is_err());
+        assert!(EngineConfig::from_args(&argv("--pool-pages 9")).is_err());
+        assert!(EngineConfig::from_args(&argv("--verify always")).is_err());
+        assert!(EngineConfig::from_args(&argv("--disk --verify sometimes")).is_err());
+        assert!(EngineConfig::from_args(&argv("--workers many")).is_err());
+    }
+
+    #[test]
+    fn any_engine_matches_direct_engine() {
+        let ds = knmatch_core::paper::fig3_dataset();
+        let batch = vec![
+            BatchQuery::KnMatch {
+                query: vec![3.0, 7.0, 4.0],
+                k: 2,
+                n: 2,
+            },
+            BatchQuery::EpsMatch {
+                query: vec![3.0, 7.0, 4.0],
+                eps: 1.6,
+                n: 2,
+            },
+        ];
+        let direct = QueryEngine::with_workers(Arc::new(SortedColumns::build(&ds)), 2);
+        let want: Vec<_> = direct
+            .run(&batch)
+            .into_iter()
+            .map(|r| r.map(|o| o.into_answer()))
+            .collect();
+
+        for cfg in [
+            EngineConfig {
+                workers: 2,
+                backend: Backend::Memory,
+            },
+            EngineConfig {
+                workers: 2,
+                backend: Backend::Sharded(2),
+            },
+        ] {
+            let e = cfg.build_in_memory(&ds);
+            let got: Vec<_> = e
+                .run(&batch)
+                .into_iter()
+                .map(|r| r.map(|o| o.into_answer()))
+                .collect();
+            assert_eq!(got, want, "backend {:?}", cfg.backend);
+            assert_eq!(e.workers(), 2);
+        }
+    }
+
+    #[test]
+    fn describe_names_the_backend() {
+        assert!(EngineConfig::default().describe().contains("in-memory"));
+        let c = EngineConfig {
+            workers: 2,
+            backend: Backend::Disk {
+                pool_pages: 64,
+                verify: VerifyMode::FirstRead,
+            },
+        };
+        assert!(c.describe().contains("disk"));
+        let c = EngineConfig {
+            workers: 2,
+            backend: Backend::Sharded(3),
+        };
+        assert!(c.describe().contains("3 shard(s)"));
+    }
+}

@@ -1,0 +1,40 @@
+//! # knmatch-server
+//!
+//! A std-only TCP front-end for batch k-n-match queries (DESIGN.md §11):
+//! a newline-delimited text [`protocol`], a thread-per-connection
+//! [`Server`] written against the
+//! [`BatchEngine`](knmatch_core::BatchEngine) trait (so the in-memory,
+//! sharded and disk backends share one serving path), a blocking
+//! [`Client`], and the [`EngineConfig`] flag grammar shared with the CLI.
+//!
+//! ```no_run
+//! use knmatch_core::BatchQuery;
+//! use knmatch_server::{Client, EngineConfig, Server, ServerConfig};
+//!
+//! let engine = EngineConfig::default().open("data.csv").unwrap();
+//! let server = Server::bind(engine, "127.0.0.1:0", ServerConfig::default()).unwrap();
+//! let addr = server.local_addr();
+//! let handle = server.handle();
+//! std::thread::spawn(move || {
+//!     let mut client = Client::connect(addr).unwrap();
+//!     let reply = client
+//!         .run_batch(&[BatchQuery::KnMatch { query: vec![0.5; 4], k: 2, n: 2 }])
+//!         .unwrap();
+//!     println!("{:?}", reply.answers[0]);
+//!     handle.shutdown();
+//! });
+//! server.serve().unwrap(); // returns after the drain completes
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod client;
+pub mod config;
+pub mod protocol;
+pub mod server;
+
+pub use client::{BatchReply, Client, ClientError, ServedError};
+pub use config::{AnyEngine, AnyOutcome, Backend, EngineConfig, DEFAULT_POOL_PAGES};
+pub use protocol::{ErrorKind, ProtoError, Request, Response, StatsSnapshot, MAX_BATCH, MAX_LINE};
+pub use server::{Server, ServerConfig, ShutdownHandle};

@@ -1,0 +1,712 @@
+//! The newline-delimited text protocol spoken between `knmatch serve` and
+//! its clients (DESIGN.md §11).
+//!
+//! One request per line, one response line per request (a `BATCH` request
+//! is followed by its query lines and answered by one response line per
+//! query plus a `DONE` trailer). Everything is UTF-8 text; floats are
+//! rendered with Rust's shortest round-trip `Display`, so a value parsed
+//! back with `str::parse::<f64>` is bit-identical to the one the server
+//! computed — the cross-check tests compare served answers to direct
+//! engine calls with `==`, not with a tolerance.
+//!
+//! ## Requests
+//!
+//! ```text
+//! KNM <k> <n> <v,v,...>          k-n-match
+//! FREQ <k> <n0> <n1> <v,v,...>   frequent k-n-match over n ∈ [n0, n1]
+//! EPS <eps> <n> <v,v,...>        ε-n-match
+//! BATCH <count>                  next <count> lines are query lines
+//! DEADLINE <ms>                  per-query budget for later queries (0 clears)
+//! FAILFAST <0|1>                 fail-fast for later BATCH runs
+//! STATS                          connection + server counters
+//! PING                           liveness probe
+//! QUIT                           close this connection
+//! SHUTDOWN                       drain and stop the whole server
+//! ```
+//!
+//! ## Responses
+//!
+//! ```text
+//! OK KNM <n> <pid:diff,...|->
+//! OK EPS <n> <pid:diff,...|->
+//! OK FREQ <n0> <n1> <pid:count,...|-> <n=pid:diff,...;...|->
+//! OK DEADLINE <ms> | OK FAILFAST <0|1> | OK PONG | OK BYE | OK SHUTDOWN
+//! OK STATS <conn six counters> <server six counters>
+//! DONE <ok> <failed>
+//! ERR <kind> <message...>
+//! ```
+//!
+//! `ERR` kinds: `parse` (malformed request), `query` (validation or
+//! storage failure), `timeout` (deadline exceeded), `cancelled`
+//! (fail-fast), `oversized` (line longer than [`MAX_LINE`]), `busy`
+//! (connection limit), `proto` (valid verb, unusable arguments, e.g. a
+//! `BATCH` count over [`MAX_BATCH`]), `shutdown` (server is draining).
+//! Errors never close the connection except `busy` and `shutdown`.
+
+use std::fmt::Write as _;
+
+use knmatch_core::{
+    BatchAnswer, BatchQuery, FrequentEntry, FrequentResult, KnMatchError, KnMatchResult, MatchEntry,
+};
+
+/// Longest accepted request line in bytes (newline excluded). Longer
+/// lines are drained and answered with `ERR oversized` — they never
+/// poison the connection or the process.
+pub const MAX_LINE: usize = 64 * 1024;
+
+/// Largest accepted `BATCH <count>`. A bigger count is answered with
+/// `ERR proto` before any query line is read.
+pub const MAX_BATCH: usize = 65_536;
+
+/// A malformed or unrepresentable protocol line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProtoError(pub String);
+
+impl std::fmt::Display for ProtoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for ProtoError {}
+
+fn err(msg: impl Into<String>) -> ProtoError {
+    ProtoError(msg.into())
+}
+
+/// The error categories of an `ERR` response line.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ErrorKind {
+    /// The request line did not parse.
+    Parse,
+    /// The query failed validation or execution.
+    Query,
+    /// The query ran past its deadline.
+    Timeout,
+    /// The query was cancelled by a fail-fast batch.
+    Cancelled,
+    /// The request line exceeded [`MAX_LINE`].
+    Oversized,
+    /// The server's connection limit was reached; the connection closes.
+    Busy,
+    /// A structurally valid request with unusable arguments.
+    Proto,
+    /// The server is draining; the connection closes.
+    Shutdown,
+}
+
+impl ErrorKind {
+    /// The wire token of this kind.
+    pub fn token(self) -> &'static str {
+        match self {
+            ErrorKind::Parse => "parse",
+            ErrorKind::Query => "query",
+            ErrorKind::Timeout => "timeout",
+            ErrorKind::Cancelled => "cancelled",
+            ErrorKind::Oversized => "oversized",
+            ErrorKind::Busy => "busy",
+            ErrorKind::Proto => "proto",
+            ErrorKind::Shutdown => "shutdown",
+        }
+    }
+
+    /// Parses a wire token back into a kind.
+    pub fn from_token(s: &str) -> Option<ErrorKind> {
+        Some(match s {
+            "parse" => ErrorKind::Parse,
+            "query" => ErrorKind::Query,
+            "timeout" => ErrorKind::Timeout,
+            "cancelled" => ErrorKind::Cancelled,
+            "oversized" => ErrorKind::Oversized,
+            "busy" => ErrorKind::Busy,
+            "proto" => ErrorKind::Proto,
+            "shutdown" => ErrorKind::Shutdown,
+            _ => return None,
+        })
+    }
+
+    /// The category a failed query's [`KnMatchError`] maps to.
+    pub fn of_error(e: &KnMatchError) -> ErrorKind {
+        match e {
+            KnMatchError::DeadlineExceeded => ErrorKind::Timeout,
+            KnMatchError::Cancelled => ErrorKind::Cancelled,
+            _ => ErrorKind::Query,
+        }
+    }
+}
+
+/// One six-counter scope of a `STATS` response: queries answered, error
+/// responses, deadline timeouts, bytes read, bytes written, connections
+/// accepted (always 1 for the per-connection scope).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StatsSnapshot {
+    /// Query lines answered (each `BATCH` member counts once).
+    pub queries: u64,
+    /// `ERR` responses written (any kind).
+    pub errors: u64,
+    /// `ERR timeout` responses among the errors.
+    pub timeouts: u64,
+    /// Request bytes read, newlines included.
+    pub bytes_in: u64,
+    /// Response bytes written, newlines included.
+    pub bytes_out: u64,
+    /// Connections accepted.
+    pub connections: u64,
+}
+
+impl StatsSnapshot {
+    fn render(&self, out: &mut String) {
+        let _ = write!(
+            out,
+            "queries={} errors={} timeouts={} bytes_in={} bytes_out={} connections={}",
+            self.queries,
+            self.errors,
+            self.timeouts,
+            self.bytes_in,
+            self.bytes_out,
+            self.connections
+        );
+    }
+
+    fn parse(fields: &[&str]) -> Result<StatsSnapshot, ProtoError> {
+        let labels = [
+            "queries",
+            "errors",
+            "timeouts",
+            "bytes_in",
+            "bytes_out",
+            "connections",
+        ];
+        if fields.len() != labels.len() {
+            return Err(err("STATS scope needs 6 counters"));
+        }
+        let mut vals = [0u64; 6];
+        for (i, (field, label)) in fields.iter().zip(labels).enumerate() {
+            let v = field
+                .strip_prefix(label)
+                .and_then(|rest| rest.strip_prefix('='))
+                .ok_or_else(|| err(format!("expected {label}=<u64>, got {field:?}")))?;
+            vals[i] = parse_u64(v, label)?;
+        }
+        Ok(StatsSnapshot {
+            queries: vals[0],
+            errors: vals[1],
+            timeouts: vals[2],
+            bytes_in: vals[3],
+            bytes_out: vals[4],
+            connections: vals[5],
+        })
+    }
+}
+
+/// A parsed request line.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// `KNM` / `FREQ` / `EPS`: run one query.
+    Query(BatchQuery),
+    /// `BATCH <count>`: the next `count` lines are query lines, run as
+    /// one engine batch.
+    Batch(usize),
+    /// `DEADLINE <ms>`: set the per-query budget (0 clears it).
+    Deadline(u64),
+    /// `FAILFAST <0|1>`: toggle fail-fast for later batches.
+    FailFast(bool),
+    /// `STATS`: report counters.
+    Stats,
+    /// `PING`: liveness probe.
+    Ping,
+    /// `QUIT`: close this connection.
+    Quit,
+    /// `SHUTDOWN`: drain and stop the server.
+    Shutdown,
+}
+
+/// A parsed response line.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Response {
+    /// `OK KNM` / `OK EPS` / `OK FREQ`: a query answer.
+    Answer(BatchAnswer),
+    /// `ERR <kind> <message>`.
+    Error {
+        /// The error category.
+        kind: ErrorKind,
+        /// Human-readable detail (single line).
+        message: String,
+    },
+    /// `DONE <ok> <failed>`: the trailer after a batch's responses.
+    Done {
+        /// Queries answered with `OK`.
+        ok: u64,
+        /// Queries answered with `ERR`.
+        failed: u64,
+    },
+    /// `OK DEADLINE <ms>`.
+    Deadline(u64),
+    /// `OK FAILFAST <0|1>`.
+    FailFast(bool),
+    /// `OK STATS <connection scope> <server scope>`.
+    Stats {
+        /// This connection's counters.
+        conn: StatsSnapshot,
+        /// Server-lifetime counters.
+        server: StatsSnapshot,
+    },
+    /// `OK PONG`.
+    Pong,
+    /// `OK BYE` (connection closing normally).
+    Bye,
+    /// `OK SHUTDOWN` (server draining; connection closing).
+    ShuttingDown,
+}
+
+fn parse_u64(s: &str, what: &str) -> Result<u64, ProtoError> {
+    s.parse()
+        .map_err(|_| err(format!("{what}: expected unsigned integer, got {s:?}")))
+}
+
+fn parse_usize(s: &str, what: &str) -> Result<usize, ProtoError> {
+    s.parse()
+        .map_err(|_| err(format!("{what}: expected unsigned integer, got {s:?}")))
+}
+
+fn parse_f64(s: &str, what: &str) -> Result<f64, ProtoError> {
+    s.parse()
+        .map_err(|_| err(format!("{what}: expected float, got {s:?}")))
+}
+
+fn parse_coords(s: &str) -> Result<Vec<f64>, ProtoError> {
+    s.split(',')
+        .map(|v| parse_f64(v, "coordinate"))
+        .collect::<Result<Vec<f64>, _>>()
+}
+
+/// Parses one request line (no trailing newline). The line must already
+/// be within [`MAX_LINE`]; the server's line reader enforces that before
+/// parsing.
+pub fn parse_request(line: &str) -> Result<Request, ProtoError> {
+    let line = line.trim_end_matches('\r');
+    let mut it = line.splitn(2, ' ');
+    let verb = it.next().unwrap_or("");
+    let rest = it.next().unwrap_or("");
+    match verb {
+        "KNM" | "FREQ" | "EPS" => parse_query(line).map(Request::Query),
+        "BATCH" => Ok(Request::Batch(parse_usize(rest.trim(), "BATCH count")?)),
+        "DEADLINE" => Ok(Request::Deadline(parse_u64(rest.trim(), "DEADLINE ms")?)),
+        "FAILFAST" => match rest.trim() {
+            "0" => Ok(Request::FailFast(false)),
+            "1" => Ok(Request::FailFast(true)),
+            other => Err(err(format!("FAILFAST takes 0 or 1, got {other:?}"))),
+        },
+        "STATS" => Ok(Request::Stats),
+        "PING" => Ok(Request::Ping),
+        "QUIT" => Ok(Request::Quit),
+        "SHUTDOWN" => Ok(Request::Shutdown),
+        "" => Err(err("empty request line")),
+        other => Err(err(format!("unknown verb {other:?}"))),
+    }
+}
+
+/// Parses a query line (`KNM` / `FREQ` / `EPS` only) — the grammar of the
+/// lines following a `BATCH` request.
+pub fn parse_query(line: &str) -> Result<BatchQuery, ProtoError> {
+    let line = line.trim_end_matches('\r');
+    let fields: Vec<&str> = line.split(' ').filter(|f| !f.is_empty()).collect();
+    match fields.as_slice() {
+        ["KNM", k, n, coords] => Ok(BatchQuery::KnMatch {
+            query: parse_coords(coords)?,
+            k: parse_usize(k, "k")?,
+            n: parse_usize(n, "n")?,
+        }),
+        ["FREQ", k, n0, n1, coords] => Ok(BatchQuery::Frequent {
+            query: parse_coords(coords)?,
+            k: parse_usize(k, "k")?,
+            n0: parse_usize(n0, "n0")?,
+            n1: parse_usize(n1, "n1")?,
+        }),
+        ["EPS", eps, n, coords] => Ok(BatchQuery::EpsMatch {
+            query: parse_coords(coords)?,
+            eps: parse_f64(eps, "eps")?,
+            n: parse_usize(n, "n")?,
+        }),
+        [verb, ..] if matches!(*verb, "KNM" | "FREQ" | "EPS") => Err(err(format!(
+            "{verb}: wrong field count (want {})",
+            if *verb == "FREQ" {
+                "FREQ <k> <n0> <n1> <coords>"
+            } else if *verb == "KNM" {
+                "KNM <k> <n> <coords>"
+            } else {
+                "EPS <eps> <n> <coords>"
+            }
+        ))),
+        _ => Err(err("expected a KNM, FREQ or EPS query line")),
+    }
+}
+
+fn render_coords(out: &mut String, coords: &[f64]) {
+    for (i, v) in coords.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "{v}");
+    }
+}
+
+/// Renders a [`BatchQuery`] as its request line (no newline).
+pub fn format_query(q: &BatchQuery) -> String {
+    let mut out = String::new();
+    match q {
+        BatchQuery::KnMatch { query, k, n } => {
+            let _ = write!(out, "KNM {k} {n} ");
+            render_coords(&mut out, query);
+        }
+        BatchQuery::Frequent { query, k, n0, n1 } => {
+            let _ = write!(out, "FREQ {k} {n0} {n1} ");
+            render_coords(&mut out, query);
+        }
+        BatchQuery::EpsMatch { query, eps, n } => {
+            let _ = write!(out, "EPS {eps} {n} ");
+            render_coords(&mut out, query);
+        }
+    }
+    out
+}
+
+fn render_entries(out: &mut String, entries: &[MatchEntry]) {
+    if entries.is_empty() {
+        out.push('-');
+        return;
+    }
+    for (i, e) in entries.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "{}:{}", e.pid, e.diff);
+    }
+}
+
+fn parse_entries(s: &str) -> Result<Vec<MatchEntry>, ProtoError> {
+    if s == "-" {
+        return Ok(Vec::new());
+    }
+    s.split(',')
+        .map(|pair| {
+            let (pid, diff) = pair
+                .split_once(':')
+                .ok_or_else(|| err(format!("expected pid:diff, got {pair:?}")))?;
+            Ok(MatchEntry {
+                pid: pid.parse().map_err(|_| err(format!("bad pid {pid:?}")))?,
+                diff: parse_f64(diff, "diff")?,
+            })
+        })
+        .collect()
+}
+
+/// Renders a [`Response`] as its wire line (no newline).
+pub fn format_response(r: &Response) -> String {
+    let mut out = String::new();
+    match r {
+        Response::Answer(BatchAnswer::KnMatch(res)) => {
+            let _ = write!(out, "OK KNM {} ", res.n);
+            render_entries(&mut out, &res.entries);
+        }
+        Response::Answer(BatchAnswer::EpsMatch(res)) => {
+            let _ = write!(out, "OK EPS {} ", res.n);
+            render_entries(&mut out, &res.entries);
+        }
+        Response::Answer(BatchAnswer::Frequent(res)) => {
+            let _ = write!(out, "OK FREQ {} {} ", res.range.0, res.range.1);
+            if res.entries.is_empty() {
+                out.push('-');
+            } else {
+                for (i, e) in res.entries.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    let _ = write!(out, "{}:{}", e.pid, e.count);
+                }
+            }
+            out.push(' ');
+            if res.per_n.is_empty() {
+                out.push('-');
+            } else {
+                for (i, level) in res.per_n.iter().enumerate() {
+                    if i > 0 {
+                        out.push(';');
+                    }
+                    let _ = write!(out, "{}=", level.n);
+                    render_entries(&mut out, &level.entries);
+                }
+            }
+        }
+        Response::Error { kind, message } => {
+            // Newlines inside the message would desynchronise the stream.
+            let msg = message.replace(['\n', '\r'], " ");
+            let _ = write!(out, "ERR {} {msg}", kind.token());
+        }
+        Response::Done { ok, failed } => {
+            let _ = write!(out, "DONE {ok} {failed}");
+        }
+        Response::Deadline(ms) => {
+            let _ = write!(out, "OK DEADLINE {ms}");
+        }
+        Response::FailFast(on) => {
+            let _ = write!(out, "OK FAILFAST {}", u8::from(*on));
+        }
+        Response::Stats { conn, server } => {
+            out.push_str("OK STATS ");
+            conn.render(&mut out);
+            out.push(' ');
+            server.render(&mut out);
+        }
+        Response::Pong => out.push_str("OK PONG"),
+        Response::Bye => out.push_str("OK BYE"),
+        Response::ShuttingDown => out.push_str("OK SHUTDOWN"),
+    }
+    out
+}
+
+/// Parses one response line (no trailing newline) — the client half of
+/// the protocol.
+pub fn parse_response(line: &str) -> Result<Response, ProtoError> {
+    let line = line.trim_end_matches('\r');
+    let fields: Vec<&str> = line.split(' ').collect();
+    match fields.as_slice() {
+        ["OK", "KNM", n, entries] => Ok(Response::Answer(BatchAnswer::KnMatch(KnMatchResult {
+            n: parse_usize(n, "n")?,
+            entries: parse_entries(entries)?,
+        }))),
+        ["OK", "EPS", n, entries] => Ok(Response::Answer(BatchAnswer::EpsMatch(KnMatchResult {
+            n: parse_usize(n, "n")?,
+            entries: parse_entries(entries)?,
+        }))),
+        ["OK", "FREQ", n0, n1, ranked, levels] => {
+            let entries = if *ranked == "-" {
+                Vec::new()
+            } else {
+                ranked
+                    .split(',')
+                    .map(|pair| {
+                        let (pid, count) = pair
+                            .split_once(':')
+                            .ok_or_else(|| err(format!("expected pid:count, got {pair:?}")))?;
+                        Ok(FrequentEntry {
+                            pid: pid.parse().map_err(|_| err(format!("bad pid {pid:?}")))?,
+                            count: count
+                                .parse()
+                                .map_err(|_| err(format!("bad count {count:?}")))?,
+                        })
+                    })
+                    .collect::<Result<Vec<_>, ProtoError>>()?
+            };
+            let per_n = if *levels == "-" {
+                Vec::new()
+            } else {
+                levels
+                    .split(';')
+                    .map(|level| {
+                        let (n, entries) = level
+                            .split_once('=')
+                            .ok_or_else(|| err(format!("expected n=entries, got {level:?}")))?;
+                        Ok(KnMatchResult {
+                            n: parse_usize(n, "level n")?,
+                            entries: parse_entries(entries)?,
+                        })
+                    })
+                    .collect::<Result<Vec<_>, ProtoError>>()?
+            };
+            Ok(Response::Answer(BatchAnswer::Frequent(FrequentResult {
+                range: (parse_usize(n0, "n0")?, parse_usize(n1, "n1")?),
+                entries,
+                per_n,
+            })))
+        }
+        ["ERR", kind, message @ ..] => Ok(Response::Error {
+            kind: ErrorKind::from_token(kind)
+                .ok_or_else(|| err(format!("unknown ERR kind {kind:?}")))?,
+            message: message.join(" "),
+        }),
+        ["DONE", ok, failed] => Ok(Response::Done {
+            ok: parse_u64(ok, "DONE ok")?,
+            failed: parse_u64(failed, "DONE failed")?,
+        }),
+        ["OK", "DEADLINE", ms] => Ok(Response::Deadline(parse_u64(ms, "ms")?)),
+        ["OK", "FAILFAST", v] => match *v {
+            "0" => Ok(Response::FailFast(false)),
+            "1" => Ok(Response::FailFast(true)),
+            other => Err(err(format!("OK FAILFAST takes 0 or 1, got {other:?}"))),
+        },
+        ["OK", "STATS", rest @ ..] if rest.len() == 12 => Ok(Response::Stats {
+            conn: StatsSnapshot::parse(&rest[..6])?,
+            server: StatsSnapshot::parse(&rest[6..])?,
+        }),
+        ["OK", "PONG"] => Ok(Response::Pong),
+        ["OK", "BYE"] => Ok(Response::Bye),
+        ["OK", "SHUTDOWN"] => Ok(Response::ShuttingDown),
+        _ => Err(err(format!("unparseable response line {line:?}"))),
+    }
+}
+
+/// Renders a failed query slot: the `ERR` response carrying the
+/// [`KnMatchError`]'s category and display message.
+pub fn error_response(e: &KnMatchError) -> Response {
+    Response::Error {
+        kind: ErrorKind::of_error(e),
+        message: e.to_string(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip_query(q: BatchQuery) {
+        let line = format_query(&q);
+        assert_eq!(parse_query(&line).unwrap(), q);
+        assert_eq!(parse_request(&line).unwrap(), Request::Query(q));
+    }
+
+    #[test]
+    fn query_lines_roundtrip() {
+        roundtrip_query(BatchQuery::KnMatch {
+            query: vec![1.5, -2.25, 1.0 / 3.0],
+            k: 2,
+            n: 3,
+        });
+        roundtrip_query(BatchQuery::Frequent {
+            query: vec![0.1, f64::MIN_POSITIVE, 1e300],
+            k: 1,
+            n0: 1,
+            n1: 3,
+        });
+        roundtrip_query(BatchQuery::EpsMatch {
+            query: vec![0.0, -0.0],
+            eps: 0.125,
+            n: 1,
+        });
+    }
+
+    #[test]
+    fn responses_roundtrip() {
+        let answers = [
+            Response::Answer(BatchAnswer::KnMatch(KnMatchResult {
+                n: 2,
+                entries: vec![
+                    MatchEntry { pid: 3, diff: 0.5 },
+                    MatchEntry {
+                        pid: 7,
+                        diff: 1.0 / 3.0,
+                    },
+                ],
+            })),
+            Response::Answer(BatchAnswer::EpsMatch(KnMatchResult {
+                n: 1,
+                entries: Vec::new(),
+            })),
+            Response::Answer(BatchAnswer::Frequent(FrequentResult {
+                range: (1, 2),
+                entries: vec![FrequentEntry { pid: 4, count: 2 }],
+                per_n: vec![
+                    KnMatchResult {
+                        n: 1,
+                        entries: vec![MatchEntry { pid: 4, diff: 0.25 }],
+                    },
+                    KnMatchResult {
+                        n: 2,
+                        entries: Vec::new(),
+                    },
+                ],
+            })),
+            Response::Error {
+                kind: ErrorKind::Timeout,
+                message: "query deadline exceeded".into(),
+            },
+            Response::Done { ok: 3, failed: 1 },
+            Response::Deadline(250),
+            Response::FailFast(true),
+            Response::Stats {
+                conn: StatsSnapshot {
+                    queries: 1,
+                    errors: 2,
+                    timeouts: 3,
+                    bytes_in: 4,
+                    bytes_out: 5,
+                    connections: 1,
+                },
+                server: StatsSnapshot::default(),
+            },
+            Response::Pong,
+            Response::Bye,
+            Response::ShuttingDown,
+        ];
+        for r in answers {
+            let line = format_response(&r);
+            assert_eq!(parse_response(&line).unwrap(), r, "line {line:?}");
+        }
+    }
+
+    #[test]
+    fn error_messages_with_newlines_stay_one_line() {
+        let r = Response::Error {
+            kind: ErrorKind::Query,
+            message: "multi\nline\r\nmessage".into(),
+        };
+        let line = format_response(&r);
+        assert!(!line.contains('\n') && !line.contains('\r'));
+        assert!(matches!(
+            parse_response(&line).unwrap(),
+            Response::Error {
+                kind: ErrorKind::Query,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn error_kind_mapping() {
+        assert_eq!(
+            ErrorKind::of_error(&KnMatchError::DeadlineExceeded),
+            ErrorKind::Timeout
+        );
+        assert_eq!(
+            ErrorKind::of_error(&KnMatchError::Cancelled),
+            ErrorKind::Cancelled
+        );
+        assert_eq!(
+            ErrorKind::of_error(&KnMatchError::EmptyDataset),
+            ErrorKind::Query
+        );
+        for kind in [
+            ErrorKind::Parse,
+            ErrorKind::Query,
+            ErrorKind::Timeout,
+            ErrorKind::Cancelled,
+            ErrorKind::Oversized,
+            ErrorKind::Busy,
+            ErrorKind::Proto,
+            ErrorKind::Shutdown,
+        ] {
+            assert_eq!(ErrorKind::from_token(kind.token()), Some(kind));
+        }
+    }
+
+    #[test]
+    fn malformed_lines_are_rejected() {
+        for line in [
+            "",
+            "BOGUS 1 2",
+            "KNM 1 2",
+            "KNM x 2 1,2",
+            "KNM 1 2 1,abc",
+            "FREQ 1 2 1,2",
+            "EPS -s 1 1,2",
+            "BATCH many",
+            "FAILFAST 2",
+            "DEADLINE soon",
+        ] {
+            assert!(parse_request(line).is_err(), "line {line:?}");
+        }
+        for line in ["", "OK", "OK KNM 1", "OK KNM x -", "ERR nope msg", "DONE 1"] {
+            assert!(parse_response(line).is_err(), "line {line:?}");
+        }
+    }
+}

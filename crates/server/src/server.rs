@@ -1,0 +1,534 @@
+//! The TCP front-end: a thread-per-connection accept loop serving the
+//! text protocol over any [`BatchEngine`].
+//!
+//! Design (DESIGN.md §11):
+//!
+//! - **Thread per connection** inside one `std::thread::scope`, so the
+//!   server borrows the engine instead of owning an `Arc` web, and
+//!   [`Server::serve`] returns only after every connection handler has
+//!   finished — graceful drain falls out of scope rules.
+//! - **Cooperative shutdown**: a [`ShutdownHandle`] flips an atomic flag
+//!   and pokes the listener with a loopback connect to unblock `accept`.
+//!   Connection handlers poll the flag between requests (reads carry a
+//!   short timeout), finish the request in flight, send `ERR shutdown`,
+//!   and close.
+//! - **Bounded everything**: request lines are capped at
+//!   [`MAX_LINE`](crate::protocol::MAX_LINE) (longer lines are drained
+//!   and answered with `ERR oversized`), batches at
+//!   [`MAX_BATCH`](crate::protocol::MAX_BATCH), and concurrent
+//!   connections at [`ServerConfig::max_connections`] (excess accepts get
+//!   `ERR busy` and an immediate close). Malformed input is answered, not
+//!   crashed on: the accept loop holds no lock and handlers isolate all
+//!   failures to their own connection.
+
+use std::io::{self, BufRead, BufReader, BufWriter, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::thread;
+use std::time::Duration;
+
+use knmatch_core::{BatchEngine, BatchOptions, BatchOutcome, BatchQuery};
+
+use crate::protocol::{
+    error_response, format_response, parse_query, parse_request, ErrorKind, Request, Response,
+    StatsSnapshot, MAX_BATCH, MAX_LINE,
+};
+
+/// Tuning knobs of [`Server::bind`].
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Concurrent connections served; the next accept is answered with
+    /// `ERR busy` and closed.
+    pub max_connections: usize,
+    /// How often an idle connection handler wakes up to check the
+    /// shutdown flag (the socket read timeout). Bounds drain latency.
+    pub poll_interval: Duration,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            max_connections: 64,
+            poll_interval: Duration::from_millis(50),
+        }
+    }
+}
+
+/// Monotone server-lifetime counters, updated live by every connection.
+#[derive(Debug, Default)]
+struct Counters {
+    queries: AtomicU64,
+    errors: AtomicU64,
+    timeouts: AtomicU64,
+    bytes_in: AtomicU64,
+    bytes_out: AtomicU64,
+    connections: AtomicU64,
+}
+
+impl Counters {
+    fn snapshot(&self) -> StatsSnapshot {
+        StatsSnapshot {
+            queries: self.queries.load(Ordering::Relaxed),
+            errors: self.errors.load(Ordering::Relaxed),
+            timeouts: self.timeouts.load(Ordering::Relaxed),
+            bytes_in: self.bytes_in.load(Ordering::Relaxed),
+            bytes_out: self.bytes_out.load(Ordering::Relaxed),
+            connections: self.connections.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// State shared between the accept loop, connection handlers, and
+/// [`ShutdownHandle`]s.
+#[derive(Debug)]
+struct Shared {
+    shutdown: AtomicBool,
+    active: AtomicUsize,
+    totals: Counters,
+    addr: SocketAddr,
+}
+
+impl Shared {
+    /// Flips the shutdown flag and unblocks `accept` with a loopback
+    /// connect (ignored if the listener is already gone).
+    fn request_shutdown(&self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        let _ = TcpStream::connect_timeout(&self.addr, Duration::from_millis(200));
+    }
+
+    fn is_shutdown(&self) -> bool {
+        self.shutdown.load(Ordering::SeqCst)
+    }
+}
+
+/// A clonable handle that stops a running [`Server::serve`] loop — the
+/// process's SIGTERM path calls this from any thread.
+#[derive(Debug, Clone)]
+pub struct ShutdownHandle(std::sync::Arc<Shared>);
+
+impl ShutdownHandle {
+    /// Initiates drain: stop accepting, let in-flight requests finish,
+    /// close connections, return from [`Server::serve`].
+    pub fn shutdown(&self) {
+        self.0.request_shutdown();
+    }
+
+    /// Whether shutdown has been requested.
+    pub fn is_shutdown(&self) -> bool {
+        self.0.is_shutdown()
+    }
+}
+
+/// A bound TCP server over one batch engine.
+pub struct Server<E> {
+    engine: E,
+    listener: TcpListener,
+    cfg: ServerConfig,
+    shared: std::sync::Arc<Shared>,
+}
+
+impl<E: BatchEngine + Sync> Server<E> {
+    /// Binds `addr` (e.g. `"127.0.0.1:0"` for an ephemeral port) and
+    /// wraps `engine`. Serving starts with [`serve`](Server::serve).
+    ///
+    /// # Errors
+    ///
+    /// Socket errors from bind/local-addr resolution.
+    pub fn bind<A: ToSocketAddrs>(engine: E, addr: A, cfg: ServerConfig) -> io::Result<Server<E>> {
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        Ok(Server {
+            engine,
+            listener,
+            cfg,
+            shared: std::sync::Arc::new(Shared {
+                shutdown: AtomicBool::new(false),
+                active: AtomicUsize::new(0),
+                totals: Counters::default(),
+                addr,
+            }),
+        })
+    }
+
+    /// The bound address (with the ephemeral port resolved).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.shared.addr
+    }
+
+    /// A handle that stops this server from another thread.
+    pub fn handle(&self) -> ShutdownHandle {
+        ShutdownHandle(self.shared.clone())
+    }
+
+    /// Server-lifetime counters so far.
+    pub fn stats(&self) -> StatsSnapshot {
+        self.shared.totals.snapshot()
+    }
+
+    /// The served engine.
+    pub fn engine(&self) -> &E {
+        &self.engine
+    }
+
+    /// Runs the accept loop until a `SHUTDOWN` request or a
+    /// [`ShutdownHandle`] stops it, then drains: in-flight requests
+    /// finish, every connection closes, and only then does `serve`
+    /// return.
+    ///
+    /// # Errors
+    ///
+    /// Fatal listener errors only; per-connection failures are contained
+    /// in their handler thread.
+    pub fn serve(&self) -> io::Result<()> {
+        let shared = &self.shared;
+        thread::scope(|scope| {
+            for stream in self.listener.incoming() {
+                if shared.is_shutdown() {
+                    break;
+                }
+                let stream = match stream {
+                    Ok(s) => s,
+                    // A single failed accept (client vanished between
+                    // SYN and accept) must not stop the server.
+                    Err(_) => continue,
+                };
+                if shared.active.load(Ordering::SeqCst) >= self.cfg.max_connections {
+                    reject_busy(stream, shared);
+                    continue;
+                }
+                shared.active.fetch_add(1, Ordering::SeqCst);
+                shared.totals.connections.fetch_add(1, Ordering::Relaxed);
+                let engine = &self.engine;
+                let cfg = &self.cfg;
+                scope.spawn(move || {
+                    // Connection errors (reset, broken pipe) end this
+                    // handler, never the server.
+                    let _ = handle_connection(stream, engine, shared, cfg);
+                    shared.active.fetch_sub(1, Ordering::SeqCst);
+                });
+            }
+            Ok(())
+        })
+    }
+}
+
+/// Answers an over-limit accept with `ERR busy` and closes it.
+fn reject_busy(stream: TcpStream, shared: &Shared) {
+    let line = format_response(&Response::Error {
+        kind: ErrorKind::Busy,
+        message: "connection limit reached".into(),
+    });
+    let mut stream = stream;
+    let _ = stream.set_write_timeout(Some(Duration::from_millis(200)));
+    if writeln!(stream, "{line}").is_ok() {
+        shared
+            .totals
+            .bytes_out
+            .fetch_add(line.len() as u64 + 1, Ordering::Relaxed);
+    }
+    shared.totals.errors.fetch_add(1, Ordering::Relaxed);
+}
+
+/// What one capped line read produced.
+enum LineEvent {
+    /// A complete line within [`MAX_LINE`] (newline stripped).
+    Line(String),
+    /// A complete line longer than [`MAX_LINE`]; its bytes were drained.
+    Oversized,
+    /// The read timeout expired without completing a line.
+    TimedOut,
+    /// The peer closed the connection.
+    Eof,
+}
+
+/// A bounded, timeout-tolerant line reader: lines over [`MAX_LINE`] are
+/// consumed (so the stream stays framed) but reported as
+/// [`LineEvent::Oversized`], and a read timeout surfaces as
+/// [`LineEvent::TimedOut`] with any partial line kept for the next call.
+struct LineReader<R> {
+    inner: BufReader<R>,
+    partial: Vec<u8>,
+    overflowed: bool,
+    bytes: u64,
+}
+
+impl<R: Read> LineReader<R> {
+    fn new(inner: R) -> Self {
+        LineReader {
+            inner: BufReader::new(inner),
+            partial: Vec::new(),
+            overflowed: false,
+            bytes: 0,
+        }
+    }
+
+    fn read_line(&mut self) -> io::Result<LineEvent> {
+        loop {
+            let available = match self.inner.fill_buf() {
+                Ok(b) => b,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(e)
+                    if e.kind() == io::ErrorKind::WouldBlock
+                        || e.kind() == io::ErrorKind::TimedOut =>
+                {
+                    return Ok(LineEvent::TimedOut)
+                }
+                Err(e) => return Err(e),
+            };
+            if available.is_empty() {
+                // A partial line at EOF is dropped: without its newline it
+                // was never a complete request.
+                return Ok(LineEvent::Eof);
+            }
+            match available.iter().position(|&b| b == b'\n') {
+                Some(pos) => {
+                    let overflow = self.overflowed || self.partial.len() + pos > MAX_LINE;
+                    if !overflow {
+                        self.partial.extend_from_slice(&available[..pos]);
+                    }
+                    self.inner.consume(pos + 1);
+                    self.bytes += pos as u64 + 1;
+                    self.overflowed = false;
+                    let line = String::from_utf8_lossy(&self.partial).into_owned();
+                    self.partial.clear();
+                    return Ok(if overflow {
+                        LineEvent::Oversized
+                    } else {
+                        LineEvent::Line(line)
+                    });
+                }
+                None => {
+                    let n = available.len();
+                    if !self.overflowed && self.partial.len() + n > MAX_LINE {
+                        self.overflowed = true;
+                        self.partial.clear();
+                    }
+                    if !self.overflowed {
+                        self.partial.extend_from_slice(available);
+                    }
+                    self.inner.consume(n);
+                    self.bytes += n as u64;
+                }
+            }
+        }
+    }
+}
+
+/// Per-connection handler state: the response writer plus live counter
+/// mirrors (connection-local and server totals updated together).
+struct Conn<'a, W: Write> {
+    writer: BufWriter<W>,
+    stats: StatsSnapshot,
+    totals: &'a Counters,
+}
+
+impl<'a, W: Write> Conn<'a, W> {
+    fn send(&mut self, response: &Response) -> io::Result<()> {
+        if let Response::Error { kind, .. } = response {
+            self.stats.errors += 1;
+            self.totals.errors.fetch_add(1, Ordering::Relaxed);
+            if *kind == ErrorKind::Timeout {
+                self.stats.timeouts += 1;
+                self.totals.timeouts.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        let line = format_response(response);
+        self.writer.write_all(line.as_bytes())?;
+        self.writer.write_all(b"\n")?;
+        self.stats.bytes_out += line.len() as u64 + 1;
+        self.totals
+            .bytes_out
+            .fetch_add(line.len() as u64 + 1, Ordering::Relaxed);
+        Ok(())
+    }
+
+    fn note_query(&mut self) {
+        self.stats.queries += 1;
+        self.totals.queries.fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn note_read(&mut self, reader_total: u64) {
+        let new = reader_total - self.stats.bytes_in;
+        self.stats.bytes_in = reader_total;
+        self.totals.bytes_in.fetch_add(new, Ordering::Relaxed);
+    }
+}
+
+/// Serves one connection until `QUIT`, EOF, shutdown, or a socket error.
+fn handle_connection<E: BatchEngine + Sync>(
+    stream: TcpStream,
+    engine: &E,
+    shared: &Shared,
+    cfg: &ServerConfig,
+) -> io::Result<()> {
+    stream.set_read_timeout(Some(cfg.poll_interval))?;
+    stream.set_nodelay(true).ok();
+    let writer = stream.try_clone()?;
+    let mut reader = LineReader::new(stream);
+    let mut conn = Conn {
+        writer: BufWriter::new(writer),
+        stats: StatsSnapshot {
+            connections: 1,
+            ..StatsSnapshot::default()
+        },
+        totals: &shared.totals,
+    };
+    // Connection-scoped batch options, adjusted by DEADLINE / FAILFAST.
+    let mut opts = BatchOptions::default();
+
+    loop {
+        if shared.is_shutdown() {
+            let _ = conn.send(&Response::Error {
+                kind: ErrorKind::Shutdown,
+                message: "server draining".into(),
+            });
+            break;
+        }
+        let line = match reader.read_line()? {
+            LineEvent::TimedOut => continue,
+            LineEvent::Eof => break,
+            LineEvent::Oversized => {
+                conn.note_read(reader.bytes);
+                conn.send(&Response::Error {
+                    kind: ErrorKind::Oversized,
+                    message: format!("request line exceeds {MAX_LINE} bytes"),
+                })?;
+                conn.writer.flush()?;
+                continue;
+            }
+            LineEvent::Line(line) => line,
+        };
+        conn.note_read(reader.bytes);
+        match parse_request(&line) {
+            Err(e) => conn.send(&Response::Error {
+                kind: ErrorKind::Parse,
+                message: e.0,
+            })?,
+            Ok(Request::Query(q)) => {
+                run_and_respond(engine, &[Ok(q)], &opts, false, &mut conn)?;
+            }
+            Ok(Request::Batch(count)) => {
+                if count > MAX_BATCH {
+                    conn.send(&Response::Error {
+                        kind: ErrorKind::Proto,
+                        message: format!("BATCH count {count} exceeds {MAX_BATCH}"),
+                    })?;
+                } else if !read_batch(&mut reader, engine, count, &opts, shared, &mut conn)? {
+                    break;
+                }
+            }
+            Ok(Request::Deadline(ms)) => {
+                opts.deadline = (ms > 0).then(|| Duration::from_millis(ms));
+                conn.send(&Response::Deadline(ms))?;
+            }
+            Ok(Request::FailFast(on)) => {
+                opts.fail_fast = on;
+                conn.send(&Response::FailFast(on))?;
+            }
+            Ok(Request::Stats) => {
+                let response = Response::Stats {
+                    conn: conn.stats,
+                    server: shared.totals.snapshot(),
+                };
+                conn.send(&response)?;
+            }
+            Ok(Request::Ping) => conn.send(&Response::Pong)?,
+            Ok(Request::Quit) => {
+                conn.send(&Response::Bye)?;
+                break;
+            }
+            Ok(Request::Shutdown) => {
+                conn.send(&Response::ShuttingDown)?;
+                shared.request_shutdown();
+                break;
+            }
+        }
+        conn.writer.flush()?;
+    }
+    conn.writer.flush()
+}
+
+/// Reads the `count` query lines of a `BATCH`, answers them, and writes
+/// the `DONE` trailer. Returns `false` when the connection must close
+/// (EOF mid-batch, or shutdown arrived while reading).
+fn read_batch<R: Read, E: BatchEngine + Sync, W: Write>(
+    reader: &mut LineReader<R>,
+    engine: &E,
+    count: usize,
+    opts: &BatchOptions,
+    shared: &Shared,
+    conn: &mut Conn<'_, W>,
+) -> io::Result<bool> {
+    // Each slot is either a parsed query or the error response its line
+    // already earned; slot order is response order.
+    let mut slots: Vec<Result<BatchQuery, Response>> = Vec::with_capacity(count);
+    while slots.len() < count {
+        match reader.read_line()? {
+            LineEvent::TimedOut => {
+                // Mid-batch shutdown: abandon the half-read batch rather
+                // than waiting forever for its remaining lines.
+                if shared.is_shutdown() {
+                    conn.note_read(reader.bytes);
+                    return Ok(false);
+                }
+            }
+            LineEvent::Eof => {
+                conn.note_read(reader.bytes);
+                return Ok(false);
+            }
+            LineEvent::Oversized => slots.push(Err(Response::Error {
+                kind: ErrorKind::Oversized,
+                message: format!("query line exceeds {MAX_LINE} bytes"),
+            })),
+            LineEvent::Line(line) => slots.push(match parse_query(&line) {
+                Ok(q) => Ok(q),
+                Err(e) => Err(Response::Error {
+                    kind: ErrorKind::Parse,
+                    message: e.0,
+                }),
+            }),
+        }
+    }
+    conn.note_read(reader.bytes);
+    run_and_respond(engine, &slots, opts, true, conn)?;
+    Ok(true)
+}
+
+/// Runs the parseable slots as one engine batch and writes one response
+/// per slot, in slot order, followed by a `DONE` trailer for `BATCH`
+/// submissions (`trailer`).
+fn run_and_respond<E: BatchEngine + Sync, W: Write>(
+    engine: &E,
+    slots: &[Result<BatchQuery, Response>],
+    opts: &BatchOptions,
+    trailer: bool,
+    conn: &mut Conn<'_, W>,
+) -> io::Result<()> {
+    let queries: Vec<BatchQuery> = slots
+        .iter()
+        .filter_map(|s| s.as_ref().ok())
+        .cloned()
+        .collect();
+    let mut outcomes = engine.run_with(&queries, opts).into_iter();
+    let (mut ok, mut failed) = (0u64, 0u64);
+    for slot in slots {
+        conn.note_query();
+        let response = match slot {
+            Err(pre) => pre.clone(),
+            Ok(_) => match outcomes.next().expect("one outcome per parsed query") {
+                Ok(outcome) => Response::Answer(outcome.into_answer()),
+                Err(e) => error_response(&e),
+            },
+        };
+        if matches!(response, Response::Answer(_)) {
+            ok += 1;
+        } else {
+            failed += 1;
+        }
+        conn.send(&response)?;
+    }
+    if trailer {
+        conn.send(&Response::Done { ok, failed })?;
+    }
+    conn.writer.flush()
+}

@@ -1,0 +1,249 @@
+//! Protocol fuzzing: a seeded in-repo PRNG throws malformed, truncated,
+//! and oversized frames at a live server. The invariant under test is
+//! that the process never dies and that well-formed queries still get
+//! correct answers afterwards — on the same connection where the
+//! protocol allows it, and on a fresh connection otherwise.
+//!
+//! Everything is seeded (`knmatch_data::rng::seeded`), so a passing run
+//! is reproducible, not lucky.
+
+use std::net::SocketAddr;
+use std::thread;
+use std::time::Duration;
+
+use knmatch_core::{BatchAnswer, BatchEngine, BatchOutcome, BatchQuery};
+use knmatch_data::rng::{seeded, Rng64};
+use knmatch_data::uniform;
+use knmatch_server::{
+    Backend, Client, EngineConfig, ErrorKind, Response, Server, ServerConfig, MAX_LINE,
+};
+
+const SEED: u64 = 0x000F_0225_FA57;
+const ROUNDS: usize = 24;
+
+/// Fires shutdown when dropped, so an assertion failure inside the test
+/// body unblocks the scoped server thread instead of deadlocking the
+/// `thread::scope` join.
+struct ShutdownGuard(knmatch_server::ShutdownHandle);
+
+impl Drop for ShutdownGuard {
+    fn drop(&mut self) {
+        self.0.shutdown();
+    }
+}
+
+fn build_engine() -> knmatch_server::AnyEngine {
+    let ds = uniform(120, 3, 0xDA7A);
+    EngineConfig {
+        workers: 2,
+        backend: Backend::Memory,
+    }
+    .build_in_memory(&ds)
+}
+
+/// The well-formed probe sent after every garbage bout, plus the answer
+/// the engine gives when asked directly.
+fn probe_and_expected(engine: &knmatch_server::AnyEngine) -> (BatchQuery, BatchAnswer) {
+    let probe = BatchQuery::KnMatch {
+        query: vec![0.5, 0.25, 0.75],
+        k: 4,
+        n: 2,
+    };
+    let direct = engine
+        .run(std::slice::from_ref(&probe))
+        .pop()
+        .expect("one slot")
+        .expect("valid probe")
+        .into_answer();
+    (probe, direct)
+}
+
+/// One garbage payload, by round-robin over the interesting shapes.
+fn garbage(rng: &mut Rng64, round: usize) -> Vec<u8> {
+    match round % 6 {
+        // Raw binary noise: arbitrary bytes, newline-terminated so the
+        // server sees it as (several) complete lines.
+        0 => {
+            let len = rng.range_usize(1..2048);
+            let mut bytes: Vec<u8> = (0..len).map(|_| (rng.next_u64() & 0xFF) as u8).collect();
+            bytes.push(b'\n');
+            bytes
+        }
+        // A known verb with mangled operands.
+        1 => {
+            let verbs = ["KNM", "FREQ", "EPS", "BATCH", "DEADLINE", "FAILFAST"];
+            let verb = verbs[rng.range_usize(0..verbs.len())];
+            let junk: String = (0..rng.range_usize(1..40))
+                .map(|_| (b'!' + (rng.next_u64() % 90) as u8) as char)
+                .collect();
+            format!("{verb} {junk}\n").into_bytes()
+        }
+        // A truncated but syntactically plausible query line.
+        2 => {
+            let full = format!(
+                "KNM {} {} 0.1,0.2,0.3\n",
+                rng.range_usize(1..9),
+                rng.range_usize(1..4)
+            );
+            let cut = rng.range_usize(1..full.len());
+            let mut bytes = full.as_bytes()[..cut].to_vec();
+            bytes.push(b'\n');
+            bytes
+        }
+        // An oversized line: longer than MAX_LINE, drained server-side.
+        3 => {
+            let mut bytes = vec![b'x'; MAX_LINE + rng.range_usize(1..4096)];
+            bytes.push(b'\n');
+            bytes
+        }
+        // A batch header that lies about its size (the body is cut off
+        // by the connection close that follows the bout).
+        4 => {
+            let n = rng.range_usize(3..200);
+            let supplied = rng.range_usize(0..2);
+            let mut frame = format!("BATCH {n}\n");
+            for _ in 0..supplied {
+                frame.push_str("KNM 2 1 0.4,0.4,0.4\n");
+            }
+            frame.into_bytes()
+        }
+        // A batch over the size cap, or a header that is not a number.
+        _ => {
+            if rng.next_bool() {
+                format!("BATCH {}\n", knmatch_server::MAX_BATCH + 1).into_bytes()
+            } else {
+                b"BATCH many\n".to_vec()
+            }
+        }
+    }
+}
+
+/// Drains whatever the server sends until EOF or a short timeout; the
+/// content is irrelevant, only that the server keeps emitting parseable
+/// responses (or closes) rather than wedging.
+fn drain(client: &mut Client) {
+    client.set_timeout(Some(Duration::from_millis(100))).ok();
+    while client.recv_response().is_ok() {}
+}
+
+fn assert_healthy(addr: SocketAddr, probe: &BatchQuery, expected: &BatchAnswer, round: usize) {
+    let mut client = Client::connect(addr).expect("connect health probe");
+    client
+        .ping()
+        .unwrap_or_else(|e| panic!("round {round}: ping after garbage: {e:?}"));
+    let got = client
+        .query(probe)
+        .unwrap_or_else(|e| panic!("round {round}: probe transport: {e:?}"))
+        .unwrap_or_else(|e| panic!("round {round}: probe rejected: {e}"));
+    assert_eq!(
+        &got, expected,
+        "round {round}: answer drifted after garbage"
+    );
+    client.quit().expect("quit");
+}
+
+#[test]
+fn fuzzed_frames_never_take_the_server_down() {
+    let engine = build_engine();
+    let (probe, expected) = probe_and_expected(&engine);
+    let server = Server::bind(engine, "127.0.0.1:0", ServerConfig::default()).expect("bind");
+    let addr = server.local_addr();
+    let handle = server.handle();
+
+    thread::scope(|s| {
+        let serving = s.spawn(|| server.serve().expect("serve"));
+        {
+            let _guard = ShutdownGuard(handle);
+            let mut rng = seeded(SEED);
+
+            for round in 0..ROUNDS {
+                // Garbage on its own connection, then abandon it
+                // mid-stream: the server must survive EOF at any
+                // protocol state.
+                let mut attacker = Client::connect(addr).expect("connect attacker");
+                attacker
+                    .send_raw(&garbage(&mut rng, round))
+                    .expect("send garbage");
+                drain(&mut attacker);
+                drop(attacker);
+
+                // The server still answers a well-formed query, correctly.
+                assert_healthy(addr, &probe, &expected, round);
+            }
+        }
+        serving.join().expect("server thread");
+    });
+    let stats = server.stats();
+    assert!(
+        stats.errors > 0,
+        "fuzz rounds should have drawn ERR responses"
+    );
+}
+
+/// Same-connection recovery: after an in-protocol error the connection
+/// itself stays usable — an oversized line or a malformed verb yields
+/// ERR, and the next line is processed normally.
+#[test]
+fn connection_recovers_after_in_protocol_errors() {
+    let engine = build_engine();
+    let (probe, expected) = probe_and_expected(&engine);
+    let server = Server::bind(engine, "127.0.0.1:0", ServerConfig::default()).expect("bind");
+    let addr = server.local_addr();
+    let handle = server.handle();
+
+    thread::scope(|s| {
+        let serving = s.spawn(|| server.serve().expect("serve"));
+        let _guard = ShutdownGuard(handle);
+        let mut client = Client::connect(addr).expect("connect");
+        client.set_timeout(Some(Duration::from_secs(10))).ok();
+
+        // Unknown verb → ERR parse, connection lives.
+        client.send_raw(b"FLY 1 2 3\n").expect("send");
+        match client.recv_response().expect("response") {
+            Response::Error { kind, .. } => assert_eq!(kind, ErrorKind::Parse),
+            other => panic!("expected ERR parse, got {other:?}"),
+        }
+
+        // Oversized line → ERR oversized, connection lives.
+        let mut big = vec![b'z'; MAX_LINE + 17];
+        big.push(b'\n');
+        client.send_raw(&big).expect("send oversized");
+        match client.recv_response().expect("response") {
+            Response::Error { kind, .. } => assert_eq!(kind, ErrorKind::Oversized),
+            other => panic!("expected ERR oversized, got {other:?}"),
+        }
+
+        // A batch mixing malformed and valid lines answers every slot
+        // in order and still sends the DONE trailer.
+        client
+            .send_raw(b"BATCH 3\nKNM 4 2 0.5,0.25,0.75\nnot a query\nKNM 4 2 0.5,0.25,0.75\n")
+            .expect("send mixed batch");
+        match client.recv_response().expect("slot 0") {
+            Response::Answer(a) => assert_eq!(a, expected),
+            other => panic!("expected answer, got {other:?}"),
+        }
+        match client.recv_response().expect("slot 1") {
+            Response::Error { kind, .. } => assert_eq!(kind, ErrorKind::Parse),
+            other => panic!("expected ERR parse, got {other:?}"),
+        }
+        match client.recv_response().expect("slot 2") {
+            Response::Answer(a) => assert_eq!(a, expected),
+            other => panic!("expected answer, got {other:?}"),
+        }
+        match client.recv_response().expect("trailer") {
+            Response::Done { ok, failed } => {
+                assert_eq!(ok, 2);
+                assert_eq!(failed, 1);
+            }
+            other => panic!("expected DONE, got {other:?}"),
+        }
+
+        // And the ordinary client path still works on this connection.
+        let got = client.query(&probe).expect("transport").expect("answer");
+        assert_eq!(got, expected);
+        client.quit().expect("quit");
+
+        drop(_guard);
+        serving.join().expect("server thread");
+    });
+}

@@ -1,0 +1,318 @@
+//! Served answers are bit-identical to direct engine calls, for every
+//! backend, at every worker count, under concurrent clients.
+//!
+//! The text protocol renders floats with Rust's shortest round-trip
+//! `Display`, so equality here is exact `BatchAnswer == BatchAnswer` —
+//! no tolerance.
+
+use std::net::SocketAddr;
+use std::thread;
+
+use knmatch_core::{BatchEngine, BatchOutcome, BatchQuery, KnMatchError};
+use knmatch_data::uniform;
+use knmatch_server::{
+    Backend, Client, EngineConfig, ErrorKind, Server, ServerConfig, StatsSnapshot,
+};
+use knmatch_storage::DiskDatabase;
+
+/// Fires shutdown when dropped, so an assertion failure inside a test
+/// closure unblocks the scoped server thread instead of deadlocking the
+/// `thread::scope` join.
+struct ShutdownGuard(knmatch_server::ShutdownHandle);
+
+impl Drop for ShutdownGuard {
+    fn drop(&mut self) {
+        self.0.shutdown();
+    }
+}
+
+/// Binds an ephemeral-port server over `engine`, runs `f` against it,
+/// shuts down, and returns the server's final counters.
+fn with_server<E, F>(engine: E, f: F) -> StatsSnapshot
+where
+    E: BatchEngine + Sync,
+    F: FnOnce(SocketAddr),
+{
+    let server = Server::bind(engine, "127.0.0.1:0", ServerConfig::default()).expect("bind");
+    let addr = server.local_addr();
+    let handle = server.handle();
+    thread::scope(|s| {
+        let serving = s.spawn(|| server.serve().expect("serve"));
+        {
+            let _guard = ShutdownGuard(handle);
+            f(addr);
+        }
+        serving.join().expect("server thread");
+    });
+    server.stats()
+}
+
+/// A mixed workload: all three query kinds plus two invalid slots (a
+/// dimension mismatch and a negative epsilon).
+fn workload(dims: usize) -> Vec<BatchQuery> {
+    let mut queries = Vec::new();
+    for i in 0..4 {
+        let v = 0.15 + 0.2 * i as f64;
+        queries.push(BatchQuery::KnMatch {
+            query: vec![v; dims],
+            k: 3,
+            n: 2,
+        });
+        queries.push(BatchQuery::Frequent {
+            query: vec![1.0 - v; dims],
+            k: 2,
+            n0: 1,
+            n1: dims,
+        });
+        queries.push(BatchQuery::EpsMatch {
+            query: vec![v; dims],
+            eps: 0.05,
+            n: 2,
+        });
+    }
+    queries.push(BatchQuery::KnMatch {
+        query: vec![0.5; dims + 1],
+        k: 1,
+        n: 1,
+    });
+    queries.push(BatchQuery::EpsMatch {
+        query: vec![0.5; dims],
+        eps: -1.0,
+        n: 1,
+    });
+    queries
+}
+
+/// What the wire must carry for each direct-run slot.
+fn expected_wire<O: BatchOutcome>(
+    direct: Vec<Result<O, KnMatchError>>,
+) -> Vec<Result<knmatch_core::BatchAnswer, (ErrorKind, String)>> {
+    direct
+        .into_iter()
+        .map(|r| match r {
+            Ok(o) => Ok(o.into_answer()),
+            Err(e) => Err((ErrorKind::of_error(&e), e.to_string())),
+        })
+        .collect()
+}
+
+fn check_backend(backend: Backend, path: &str) {
+    let queries = workload(4);
+    for workers in [1, 2, 4] {
+        let cfg = EngineConfig { workers, backend };
+        let engine = cfg.open(path).expect("open engine");
+        let expected = expected_wire(engine.run(&queries));
+
+        let stats = with_server(engine, |addr| {
+            // Three concurrent clients, each submitting the whole batch
+            // twice; all must see the direct-run answers bit-for-bit.
+            thread::scope(|s| {
+                for _ in 0..3 {
+                    let queries = &queries;
+                    let expected = &expected;
+                    s.spawn(move || {
+                        let mut client = Client::connect(addr).expect("connect");
+                        client.ping().expect("ping");
+                        for _ in 0..2 {
+                            let reply = client.run_batch(queries).expect("batch");
+                            assert_eq!(reply.answers.len(), expected.len());
+                            assert_eq!(reply.ok, 12, "backend {backend:?} x{workers}");
+                            assert_eq!(reply.failed, 2);
+                            for (got, want) in reply.answers.iter().zip(expected) {
+                                match (got, want) {
+                                    (Ok(a), Ok(b)) => assert_eq!(a, b, "answer diverged"),
+                                    (Err(e), Err((kind, msg))) => {
+                                        assert_eq!(e.kind, *kind);
+                                        assert_eq!(&e.message, msg);
+                                    }
+                                    other => panic!("slot shape diverged: {other:?}"),
+                                }
+                            }
+                        }
+                        client.quit().expect("quit");
+                    });
+                }
+            });
+        });
+        assert_eq!(stats.connections, 3);
+        assert_eq!(stats.queries, 3 * 2 * queries.len() as u64);
+        assert_eq!(stats.errors, 3 * 2 * 2, "two invalid slots per batch");
+    }
+}
+
+#[test]
+fn memory_backend_bit_identical_over_the_wire() {
+    let (_dir, csv, _db) = temp_files("mem");
+    check_backend(Backend::Memory, &csv);
+}
+
+#[test]
+fn sharded_backend_bit_identical_over_the_wire() {
+    let (_dir, csv, _db) = temp_files("shard");
+    check_backend(Backend::Sharded(3), &csv);
+}
+
+#[test]
+fn disk_backend_bit_identical_over_the_wire() {
+    let (_dir, _csv, db) = temp_files("disk");
+    check_backend(
+        Backend::Disk {
+            pool_pages: 64,
+            verify: knmatch_storage::VerifyMode::FirstRead,
+        },
+        &db,
+    );
+}
+
+/// Writes the shared 200 x 4 uniform dataset as both a CSV and a `.knm`
+/// database under a per-test temp dir; the guard removes it on drop.
+fn temp_files(tag: &str) -> (TempDir, String, String) {
+    let dir = std::env::temp_dir().join(format!(
+        "knmatch-server-xcheck-{tag}-{}",
+        std::process::id()
+    ));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let ds = uniform(200, 4, 0x5EED);
+    let csv = dir.join("data.csv");
+    knmatch_data::save_dataset(&csv, &ds).expect("write csv");
+    let db = dir.join("data.knm");
+    DiskDatabase::create_file(&db, &ds, 64).expect("write db");
+    (
+        TempDir(dir.clone()),
+        csv.to_string_lossy().into_owned(),
+        db.to_string_lossy().into_owned(),
+    )
+}
+
+struct TempDir(std::path::PathBuf);
+
+impl Drop for TempDir {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.0);
+    }
+}
+
+#[test]
+fn deadline_and_fail_fast_travel_the_wire() {
+    let (_dir, csv, _db) = temp_files("opts");
+    let cfg = EngineConfig {
+        workers: 2,
+        backend: Backend::Memory,
+    };
+    let engine = cfg.open(&csv).expect("open engine");
+    let queries = workload(4);
+    let healthy = expected_wire(engine.run(&queries));
+
+    with_server(engine, |addr| {
+        let mut client = Client::connect(addr).expect("connect");
+        // A generous deadline changes nothing: bit-identical answers.
+        client.set_deadline_ms(60_000).expect("deadline");
+        let reply = client.run_batch(&queries).expect("batch");
+        for (got, want) in reply.answers.iter().zip(&healthy) {
+            match (got, want) {
+                (Ok(a), Ok(b)) => assert_eq!(a, b),
+                (Err(e), Err((kind, _))) => assert_eq!(e.kind, *kind),
+                other => panic!("slot shape diverged: {other:?}"),
+            }
+        }
+        // Clearing it (DEADLINE 0) keeps working.
+        client.set_deadline_ms(0).expect("clear deadline");
+        // Fail-fast toggles per connection; with every query valid the
+        // flag is invisible (bit-identical again).
+        client.set_fail_fast(true).expect("fail fast");
+        let valid: Vec<_> = queries[..6].to_vec();
+        let want = expected_wire(
+            EngineConfig {
+                workers: 2,
+                backend: Backend::Memory,
+            }
+            .open(&csv)
+            .expect("open")
+            .run(&valid),
+        );
+        let reply = client.run_batch(&valid).expect("batch");
+        assert_eq!(reply.failed, 0);
+        for (got, want) in reply.answers.iter().zip(&want) {
+            match (got, want) {
+                (Ok(a), Ok(b)) => assert_eq!(a, b),
+                other => panic!("slot shape diverged: {other:?}"),
+            }
+        }
+        client.quit().expect("quit");
+    });
+}
+
+#[test]
+fn stats_verb_reports_both_scopes() {
+    let (_dir, csv, _db) = temp_files("stats");
+    let engine = EngineConfig {
+        workers: 1,
+        backend: Backend::Memory,
+    }
+    .open(&csv)
+    .expect("open engine");
+
+    with_server(engine, |addr| {
+        let mut a = Client::connect(addr).expect("connect a");
+        let mut b = Client::connect(addr).expect("connect b");
+        let q = BatchQuery::KnMatch {
+            query: vec![0.5; 4],
+            k: 2,
+            n: 2,
+        };
+        a.query(&q).expect("query").expect("answer");
+        b.query(&q).expect("query").expect("answer");
+        b.query(&q).expect("query").expect("answer");
+        let (conn, server) = b.stats().expect("stats");
+        assert_eq!(conn.queries, 2);
+        assert_eq!(conn.connections, 1);
+        assert_eq!(server.queries, 3);
+        assert_eq!(server.connections, 2);
+        assert!(server.bytes_in > 0 && server.bytes_out > 0);
+        a.quit().expect("quit");
+        b.quit().expect("quit");
+    });
+}
+
+#[test]
+fn connection_limit_rejects_with_busy() {
+    let (_dir, csv, _db) = temp_files("busy");
+    let engine = EngineConfig {
+        workers: 1,
+        backend: Backend::Memory,
+    }
+    .open(&csv)
+    .expect("open engine");
+    let server = Server::bind(
+        engine,
+        "127.0.0.1:0",
+        ServerConfig {
+            max_connections: 1,
+            ..ServerConfig::default()
+        },
+    )
+    .expect("bind");
+    let addr = server.local_addr();
+    let handle = server.handle();
+    thread::scope(|s| {
+        let serving = s.spawn(|| server.serve().expect("serve"));
+        let _guard = ShutdownGuard(handle);
+        let mut first = Client::connect(addr).expect("connect");
+        first.ping().expect("ping");
+        // The second connection is over the limit: it gets ERR busy and
+        // an immediate close.
+        let mut second = Client::connect(addr).expect("connect");
+        match second.recv_response().expect("busy line") {
+            knmatch_server::Response::Error { kind, .. } => {
+                assert_eq!(kind, ErrorKind::Busy)
+            }
+            other => panic!("expected ERR busy, got {other:?}"),
+        }
+        drop(second);
+        // The first connection is unaffected.
+        first.ping().expect("ping after reject");
+        first.quit().expect("quit");
+        drop(_guard);
+        serving.join().expect("server thread");
+    });
+}

@@ -26,8 +26,8 @@ use std::io;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 
 use knmatch_core::{
-    execute_batch_query, note_outcome, panic_message, run_batch, AdStats, BatchAnswer,
-    BatchOptions, BatchQuery, KnMatchError, Result, Scratch,
+    execute_batch_query, note_outcome, panic_message, run_batch, AdStats, BatchAnswer, BatchEngine,
+    BatchOptions, BatchOutcome, BatchQuery, KnMatchError, Result, Scratch,
 };
 
 use crate::buffer::IoStats;
@@ -66,13 +66,27 @@ pub struct DiskBatchOutcome {
     pub io: IoStats,
 }
 
+impl BatchOutcome for DiskBatchOutcome {
+    fn answer(&self) -> &BatchAnswer {
+        &self.answer
+    }
+
+    fn ad_stats(&self) -> AdStats {
+        self.ad
+    }
+
+    fn into_answer(self) -> BatchAnswer {
+        self.answer
+    }
+}
+
 /// Executes batches of matching queries in parallel against a
 /// disk-resident sorted-column file behind one [`SharedBufferPool`].
 ///
 /// # Examples
 ///
 /// ```
-/// use knmatch_core::BatchQuery;
+/// use knmatch_core::{BatchEngine, BatchQuery};
 /// use knmatch_storage::{DiskDatabase, MemStore};
 ///
 /// let ds = knmatch_core::paper::fig3_dataset();
@@ -127,11 +141,6 @@ impl<S: SharedPageStore> DiskQueryEngine<S> {
             pool_pages,
             workers: workers.max(1),
         })
-    }
-
-    /// The configured worker count.
-    pub fn workers(&self) -> usize {
-        self.workers
     }
 
     /// Reconfigures the worker count (clamped to ≥ 1), keeping the warm
@@ -197,19 +206,23 @@ impl<S: SharedPageStore> DiskQueryEngine<S> {
         })
     }
 
-    /// Executes the whole batch, returning one result per query in input
-    /// order. Invalid, failing, or panicking queries yield an `Err` in
-    /// their own slot without affecting the rest of the batch. Answers,
-    /// `AdStats`, and modelled `IoStats` are identical at every worker
-    /// count.
-    pub fn run(&self, queries: &[BatchQuery]) -> Vec<Result<DiskBatchOutcome>> {
-        self.run_with(queries, &BatchOptions::default())
+    /// Unwraps the engine into its store and column handle.
+    pub fn into_parts(self) -> (S, SortedColumnFile) {
+        (self.pool.into_store(), self.columns)
+    }
+}
+
+impl<S: SharedPageStore> BatchEngine for DiskQueryEngine<S> {
+    type Outcome = DiskBatchOutcome;
+
+    fn workers(&self) -> usize {
+        self.workers
     }
 
-    /// [`run`](Self::run) with batch-wide [`BatchOptions`]: per-query
-    /// deadlines and fail-fast cancellation. With default options the
-    /// outcomes are bit-identical to [`run`](Self::run).
-    pub fn run_with(
+    /// Invalid, failing, or panicking queries yield an `Err` in their own
+    /// slot without affecting the rest of the batch. Answers, `AdStats`,
+    /// and modelled `IoStats` are identical at every worker count.
+    fn run_with(
         &self,
         queries: &[BatchQuery],
         opts: &BatchOptions,
@@ -219,11 +232,9 @@ impl<S: SharedPageStore> DiskQueryEngine<S> {
             self.workers,
             queries.len(),
             || {
-                let mut scratch = Scratch::new();
-                scratch.set_control(control.clone());
                 (
                     SharedDiskColumns::new(&self.columns, &self.pool, self.pool_pages),
-                    scratch,
+                    control.scratch(),
                 )
             },
             |(src, scratch), i| {
@@ -232,11 +243,6 @@ impl<S: SharedPageStore> DiskQueryEngine<S> {
                 out
             },
         )
-    }
-
-    /// Unwraps the engine into its store and column handle.
-    pub fn into_parts(self) -> (S, SortedColumnFile) {
-        (self.pool.into_store(), self.columns)
     }
 }
 

@@ -9,7 +9,7 @@
 //! frame, where the modelled LRU churns on every access — the harshest
 //! test of the session's pool simulation.
 
-use knmatch_core::{AdStats, BatchAnswer, BatchQuery};
+use knmatch_core::{AdStats, BatchAnswer, BatchEngine, BatchQuery};
 use knmatch_storage::{DiskDatabase, IoStats, MemStore};
 
 /// Mixed workload over `ds`: every query type, parameters varied by a

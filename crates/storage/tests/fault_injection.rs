@@ -19,7 +19,7 @@
 
 use std::collections::HashSet;
 
-use knmatch_core::{BatchQuery, Dataset, KnMatchError};
+use knmatch_core::{BatchEngine, BatchQuery, Dataset, KnMatchError};
 use knmatch_storage::{
     DiskDatabase, DiskLayout, DiskQueryEngine, FaultConfig, FaultStore, MemStore,
 };

@@ -9,6 +9,8 @@
 #               against the sequential path on a real file, seconds-long)
 #   5. faults:  release-mode fault-injection stress (retry/panic paths
 #               under optimised timing) + fault_overhead --smoke
+#   6. server:  loopback serve/client smoke (ephemeral port, batch over
+#               the wire, graceful shutdown)
 #
 # Usage: scripts/verify.sh
 set -euo pipefail
@@ -37,5 +39,40 @@ cargo test --release -q -p knmatch-storage --test fault_injection
 
 echo "==> fault_overhead --smoke"
 ./target/release/fault_overhead --smoke --out /tmp/BENCH_fault_overhead_smoke.json >/dev/null
+
+echo "==> server smoke (serve + client over loopback)"
+SMOKE_DIR=$(mktemp -d)
+SERVE_PID=""
+cleanup() {
+  [ -n "$SERVE_PID" ] && kill "$SERVE_PID" 2>/dev/null || true
+  rm -rf "$SMOKE_DIR"
+}
+trap cleanup EXIT
+KNM=./target/release/knmatch
+"$KNM" generate --kind uniform --out "$SMOKE_DIR/data.csv" \
+  --cardinality 500 --dims 4 --seed 7 >/dev/null
+"$KNM" generate --kind uniform --out "$SMOKE_DIR/queries.csv" \
+  --cardinality 4 --dims 4 --seed 8 >/dev/null
+"$KNM" build "$SMOKE_DIR/data.csv" "$SMOKE_DIR/data.knm" >/dev/null
+"$KNM" serve "$SMOKE_DIR/data.knm" --addr 127.0.0.1:0 --workers 2 \
+  >"$SMOKE_DIR/serve.log" 2>&1 &
+SERVE_PID=$!
+ADDR=""
+for _ in $(seq 1 100); do
+  ADDR=$(sed -n 's/^listening on \([0-9.:]*\) .*/\1/p' "$SMOKE_DIR/serve.log")
+  [ -n "$ADDR" ] && break
+  kill -0 "$SERVE_PID" 2>/dev/null || { cat "$SMOKE_DIR/serve.log"; echo "server died during startup"; exit 1; }
+  sleep 0.1
+done
+[ -n "$ADDR" ] || { cat "$SMOKE_DIR/serve.log"; echo "server never reported its address"; exit 1; }
+"$KNM" client "$ADDR" --ping >/dev/null
+"$KNM" client "$ADDR" --queries "$SMOKE_DIR/queries.csv" -k 3 -n 2 --stats \
+  | grep -q "4 ok / 0 failed" \
+  || { echo "client batch did not return 4 ok / 0 failed"; exit 1; }
+"$KNM" client "$ADDR" --shutdown >/dev/null
+wait "$SERVE_PID"
+SERVE_PID=""
+grep -q "shutdown complete" "$SMOKE_DIR/serve.log" \
+  || { cat "$SMOKE_DIR/serve.log"; echo "server did not drain cleanly"; exit 1; }
 
 echo "verify: OK"

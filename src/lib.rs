@@ -20,6 +20,7 @@
 //! | [`rtree`] | `knmatch-rtree` | R-tree baseline (dimensionality-curse witness) |
 //! | [`data`] | `knmatch-data` | seeded workload generators, CSV, normalisation |
 //! | [`eval`] | `knmatch-eval` | class-stripping protocol, experiment runners |
+//! | [`server`] | `knmatch-server` | TCP front-end: text protocol, server, client, engine config |
 //!
 //! ## Quick start
 //!
@@ -69,6 +70,7 @@ pub use knmatch_data as data;
 pub use knmatch_eval as eval;
 pub use knmatch_igrid as igrid;
 pub use knmatch_rtree as rtree;
+pub use knmatch_server as server;
 pub use knmatch_storage as storage;
 pub use knmatch_vafile as vafile;
 
@@ -77,9 +79,10 @@ pub mod prelude {
     pub use knmatch_core::{
         eps_n_match_ad, eps_n_match_ad_with, frequent_k_n_match_ad, frequent_k_n_match_ad_with,
         frequent_k_n_match_scan, k_n_match_ad, k_n_match_ad_with, k_n_match_scan, k_nearest,
-        nmatch_difference, skyline_wrt, AdStats, BatchAnswer, BatchQuery, Chebyshev, Dataset, Dpf,
-        Euclidean, FrequentResult, KnMatchError, KnMatchResult, Lp, Manhattan, Metric, Neighbour,
-        PointId, QueryEngine, Scratch, SortedAccessSource, SortedColumns, SortedEntry,
+        nmatch_difference, skyline_wrt, AdStats, BatchAnswer, BatchEngine, BatchQuery, Chebyshev,
+        Dataset, Dpf, Euclidean, FrequentResult, KnMatchError, KnMatchResult, Lp, Manhattan,
+        Metric, Neighbour, PointId, QueryEngine, Scratch, SortedAccessSource, SortedColumns,
+        SortedEntry,
     };
     pub use knmatch_data::{coil_like, labelled_clusters, skewed, uniform, ClusterSpec};
     pub use knmatch_igrid::IGridIndex;
