@@ -141,6 +141,7 @@ fn main() {
         let engine = EngineConfig {
             workers,
             backend: Backend::Memory,
+            planner: None,
         }
         .build_in_memory(&ds);
 
@@ -251,6 +252,7 @@ fn main() {
         let engine = EngineConfig {
             workers: 1,
             backend: Backend::Memory,
+            planner: None,
         }
         .build_in_memory(&ds);
         let answers: Vec<BatchAnswer> = engine

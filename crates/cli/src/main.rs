@@ -56,13 +56,15 @@ fn usage() -> &'static str {
      knmatch bench <db.knm> -k <K> --frequent <N0> <N1> [--queries Q] [--seed S]\n  \
      knmatch batch <data.csv|db.knm> --queries <queries.csv> \
      (-k <K> -n <N> | -k <K> --frequent <N0> <N1> | --eps <E> -n <N>) [--workers W] \
-     [--shards S | --disk [--pool-pages P] [--verify never|first-read|always]] \
+     [--planner auto|ad|vafile|scan|igrid | --shards <S|auto> | \
+     --disk [--pool-pages P] [--verify never|first-read|always]] \
      [--deadline-ms MS] [--fail-fast]\n  \
      knmatch serve <data.csv|db.knm> [--addr IP:PORT] [--workers W] \
-     [--shards S | --disk [--pool-pages P] [--verify MODE]] [--max-conns N]\n  \
+     [--planner MODE | --shards <S|auto> | --disk [--pool-pages P] [--verify MODE]] \
+     [--max-conns N]\n  \
      knmatch client <host:port> (--queries <queries.csv> \
      (-k <K> -n <N> | -k <K> --frequent <N0> <N1> | --eps <E> -n <N>) \
-     [--deadline-ms MS] [--fail-fast] [--stats] | --ping | --shutdown)\n\
+     [--planner MODE] [--deadline-ms MS] [--fail-fast] [--stats] | --ping | --shutdown)\n\
      \n\
      exit codes: 0 success; 1 usage or I/O error; 2 command ran but some \
      queries failed"
@@ -244,6 +246,15 @@ fn batch(args: &[String]) -> Result<(String, bool), String> {
             engine.dims(),
             engine.workers()
         ),
+        AnyEngine::Planned(e) => format!(
+            "{} queries ({header}) over {} points x {} dims, {} worker(s), \
+             planner {}\n",
+            queries.len(),
+            engine.cardinality(),
+            engine.dims(),
+            engine.workers(),
+            opts.planner.unwrap_or_else(|| e.default_mode()),
+        ),
         AnyEngine::Sharded(_) => format!(
             "{} queries ({header}) over {} points x {} dims, {} shard(s), {} worker(s)\n",
             queries.len(),
@@ -317,6 +328,14 @@ fn batch(args: &[String]) -> Result<(String, bool), String> {
         )
         .expect("write to String");
     }
+    if let Some(plans) = engine.plan_counts() {
+        writeln!(
+            out,
+            "plans: {} ad, {} vafile, {} scan, {} igrid",
+            plans.ad, plans.vafile, plans.scan, plans.igrid,
+        )
+        .expect("write to String");
+    }
     Ok((out, failures == 0))
 }
 
@@ -363,9 +382,16 @@ fn serve(args: &[String]) -> Result<String, String> {
     std::io::stdout().flush().ok();
     server.serve().map_err(|e| e.to_string())?;
     let t = server.stats();
+    let plans = match server.engine().plan_counts() {
+        Some(p) => format!(
+            ", plans: {} ad / {} vafile / {} scan / {} igrid",
+            p.ad, p.vafile, p.scan, p.igrid
+        ),
+        None => String::new(),
+    };
     Ok(format!(
         "shutdown complete: {} queries ({} errors, {} timeouts) over {} connection(s), \
-         {} bytes in / {} bytes out\n",
+         {} bytes in / {} bytes out{plans}\n",
         t.queries, t.errors, t.timeouts, t.connections, t.bytes_in, t.bytes_out
     ))
 }
@@ -403,6 +429,10 @@ fn client(args: &[String]) -> Result<(String, bool), String> {
     if args.iter().any(|a| a == "--fail-fast") {
         c.set_fail_fast(true).map_err(|e| e.to_string())?;
     }
+    if let Some(mode) = flag_value(args, "--planner") {
+        let mode: knmatch_core::PlannerMode = mode.parse()?;
+        c.set_planner(mode).map_err(|e| e.to_string())?;
+    }
     let started = std::time::Instant::now();
     let reply = c.run_batch(&queries).map_err(|e| e.to_string())?;
     let elapsed = started.elapsed();
@@ -433,7 +463,7 @@ fn client(args: &[String]) -> Result<(String, bool), String> {
     )
     .expect("write to String");
     if args.iter().any(|a| a == "--stats") {
-        let (conn, server) = c.stats().map_err(|e| e.to_string())?;
+        let (conn, server, plans) = c.stats_with_plans().map_err(|e| e.to_string())?;
         writeln!(
             out,
             "connection: {} queries, {} errors, {} bytes in / {} bytes out",
@@ -446,6 +476,14 @@ fn client(args: &[String]) -> Result<(String, bool), String> {
             server.queries, server.errors, server.timeouts, server.connections
         )
         .expect("write to String");
+        if let Some(p) = plans {
+            writeln!(
+                out,
+                "plans: {} ad, {} vafile, {} scan, {} igrid",
+                p.ad, p.vafile, p.scan, p.igrid
+            )
+            .expect("write to String");
+        }
     }
     c.quit().map_err(|e| e.to_string())?;
     Ok((out, reply.failed == 0))
@@ -462,9 +500,14 @@ fn batch_options(args: &[String]) -> Result<BatchOptions, String> {
         )?)),
         None => None,
     };
+    let planner = match flag_value(args, "--planner") {
+        Some(mode) => Some(mode.parse::<knmatch_core::PlannerMode>()?),
+        None => None,
+    };
     Ok(BatchOptions {
         deadline,
         fail_fast: args.iter().any(|a| a == "--fail-fast"),
+        planner,
     })
 }
 
@@ -1098,6 +1141,76 @@ mod batch_tests {
         .is_err());
         std::fs::remove_dir_all(&dir).unwrap();
     }
+
+    #[test]
+    fn batch_planner_routes_and_reports_plans() {
+        let dir = std::env::temp_dir().join(format!("knmatch-cli-plan-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let data = dir.join("data.csv");
+        let queries = dir.join("queries.csv");
+        for (path, cardinality, seed) in [(&data, "500", "1"), (&queries, "6", "9")] {
+            run(&s(&[
+                "generate",
+                "--kind",
+                "uniform",
+                "--cardinality",
+                cardinality,
+                "--dims",
+                "6",
+                "--seed",
+                seed,
+                "--out",
+                path.to_str().unwrap(),
+            ]))
+            .unwrap();
+        }
+        let base = s(&[
+            "batch",
+            data.to_str().unwrap(),
+            "--queries",
+            queries.to_str().unwrap(),
+            "-k",
+            "4",
+            "-n",
+            "3",
+        ]);
+        let plain = run(&base).unwrap().0;
+        let plain_answers: Vec<&str> = plain
+            .lines()
+            .filter(|l| l.trim_start().starts_with('#'))
+            .collect();
+
+        for mode in ["auto", "ad", "vafile", "scan", "igrid"] {
+            let mut args = base.clone();
+            args.extend(s(&["--planner", mode, "--workers", "2"]));
+            let (out, all_ok) = run(&args).unwrap();
+            assert!(all_ok, "{out}");
+            assert!(out.contains(&format!("planner {mode}")), "{out}");
+            assert!(out.contains("plans:"), "{out}");
+            // Planned answers are bit-identical to the plain engine's.
+            for line in &plain_answers {
+                assert!(out.contains(line.trim()), "missing {line:?} in {out}");
+            }
+        }
+
+        // Forced scan tallies every query under scan.
+        let mut args = base.clone();
+        args.extend(s(&["--planner", "scan"]));
+        let (out, _) = run(&args).unwrap();
+        assert!(
+            out.contains("plans: 0 ad, 0 vafile, 6 scan, 0 igrid"),
+            "{out}"
+        );
+
+        // The planner is in-memory only, and modes must parse.
+        let mut args = base.clone();
+        args.extend(s(&["--planner", "auto", "--disk"]));
+        assert!(run(&args).unwrap_err().contains("--planner"));
+        let mut args = base;
+        args.extend(s(&["--planner", "fastest"]));
+        assert!(run(&args).is_err());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
 }
 
 #[cfg(test)]
@@ -1258,6 +1371,17 @@ mod sharded_cli_tests {
         parts.iter().map(|p| p.to_string()).collect()
     }
 
+    /// What `--shards N` resolves to on this host (single-CPU hosts
+    /// collapse every shard request to 1).
+    fn effective_shards(requested: &str) -> String {
+        let cpus = std::thread::available_parallelism().map_or(1, |n| n.get());
+        if cpus == 1 {
+            "1".to_string()
+        } else {
+            requested.to_string()
+        }
+    }
+
     /// The per-query answer lines of a batch run, header/footer stripped.
     fn answer_lines(out: &str) -> Vec<String> {
         out.lines()
@@ -1315,7 +1439,9 @@ mod sharded_cli_tests {
             args.extend(s(&["--shards", shards, "--workers", "2"]));
             let (out, all_ok) = run(&args).unwrap();
             assert!(all_ok);
-            assert!(out.contains(&format!("{shards} shard(s)")), "{out}");
+            // A single-CPU host collapses any shard request to 1.
+            let shown = effective_shards(shards);
+            assert!(out.contains(&format!("{shown} shard(s)")), "{out}");
             assert_eq!(
                 answer_lines(&out),
                 answer_lines(&plain),
@@ -1403,14 +1529,15 @@ mod sharded_cli_tests {
         ]))
         .unwrap()
         .0;
-        assert!(out.contains("4 shard(s)"), "{out}");
+        let shown = effective_shards("4");
+        assert!(out.contains(&format!("{shown} shard(s)")), "{out}");
         // Same answer lines as the disk path, in the same order.
         for line in &plain_ids {
             assert!(out.contains(line.trim()), "missing {line:?} in {out}");
         }
         // Cost line sums the per-shard breakdown.
         let cost = out.lines().find(|l| l.starts_with("cost:")).unwrap();
-        assert!(cost.contains("across 4 shard(s)"), "{cost}");
+        assert!(cost.contains(&format!("across {shown} shard(s)")), "{cost}");
 
         let out = run(&s(&[
             "query",
@@ -1428,7 +1555,8 @@ mod sharded_cli_tests {
         .unwrap()
         .0;
         assert!(out.contains("appears"), "{out}");
-        assert!(out.contains("3 shard(s)"), "{out}");
+        let shown = effective_shards("3");
+        assert!(out.contains(&format!("{shown} shard(s)")), "{out}");
 
         let err = run(&s(&[
             "query",

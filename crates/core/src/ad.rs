@@ -345,12 +345,14 @@ pub fn eps_n_match_ad_with<S: SortedAccessSource>(
     Ok((res, walker.stats))
 }
 
-/// Validates an ε-n-match threshold: finite and non-negative.
+/// Validates an ε-n-match threshold: finite and non-negative. Shared (like
+/// [`validate_params`]) by every backend that answers ε-n-match, so the
+/// error for a bad `eps` is identical everywhere.
 ///
 /// # Errors
 ///
 /// [`KnMatchError::InvalidEpsilon`] otherwise.
-pub(crate) fn validate_eps(eps: f64) -> Result<()> {
+pub fn validate_eps(eps: f64) -> Result<()> {
     if !eps.is_finite() || eps < 0.0 {
         return Err(KnMatchError::InvalidEpsilon { eps });
     }

@@ -95,6 +95,92 @@ pub struct BatchOptions {
     /// [`KnMatchError::Cancelled`]. When `false` (default) each query
     /// fails or succeeds on its own.
     pub fail_fast: bool,
+    /// Backend-selection override for planner-capable engines: `None`
+    /// (default) keeps the engine's configured mode; `Some(mode)` forces
+    /// that mode for this batch. Engines without a planner ignore it, so
+    /// default options stay bit-identical to [`BatchEngine::run`]
+    /// everywhere.
+    pub planner: Option<PlannerMode>,
+}
+
+/// How a planner-capable engine picks the backend for each query.
+///
+/// `Auto` evaluates the per-query cost model (the Figure 12 crossover,
+/// live per batch element); the others force one backend. Every listed
+/// backend answers the exact query kinds bit-identically to the
+/// sequential oracle, so the mode changes cost, never answers.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash)]
+pub enum PlannerMode {
+    /// Pick AD, VA-file, or scan per query from the cost model.
+    #[default]
+    Auto,
+    /// Always the AD algorithm over sorted columns.
+    Ad,
+    /// Always the VA-file two-phase filter-and-refine backend.
+    VaFile,
+    /// Always the kernel-unrolled naive full scan.
+    Scan,
+    /// Always the IGrid (equi-depth) filter-and-refine backend. Never
+    /// chosen by `Auto` — an explicit override for experiments.
+    IGrid,
+}
+
+impl PlannerMode {
+    /// The CLI/protocol spelling (`auto`, `ad`, `vafile`, `scan`, `igrid`).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            PlannerMode::Auto => "auto",
+            PlannerMode::Ad => "ad",
+            PlannerMode::VaFile => "vafile",
+            PlannerMode::Scan => "scan",
+            PlannerMode::IGrid => "igrid",
+        }
+    }
+}
+
+impl std::fmt::Display for PlannerMode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+impl std::str::FromStr for PlannerMode {
+    type Err = String;
+
+    fn from_str(s: &str) -> std::result::Result<Self, String> {
+        match s {
+            "auto" => Ok(PlannerMode::Auto),
+            "ad" => Ok(PlannerMode::Ad),
+            "vafile" => Ok(PlannerMode::VaFile),
+            "scan" => Ok(PlannerMode::Scan),
+            "igrid" => Ok(PlannerMode::IGrid),
+            other => Err(format!(
+                "unknown planner mode {other:?} (expected auto|ad|vafile|scan|igrid)"
+            )),
+        }
+    }
+}
+
+/// Cumulative count of per-query plan decisions made by a planner-capable
+/// engine, reported through [`BatchEngine::plan_counts`] and surfaced by
+/// the server's `STATS` verb.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PlanTally {
+    /// Queries routed to the AD algorithm.
+    pub ad: u64,
+    /// Queries routed to the VA-file filter-and-refine backend.
+    pub vafile: u64,
+    /// Queries routed to the kernel scan backend.
+    pub scan: u64,
+    /// Queries routed to the IGrid backend (explicit override only).
+    pub igrid: u64,
+}
+
+impl PlanTally {
+    /// Total planned queries.
+    pub fn total(&self) -> u64 {
+        self.ad + self.vafile + self.scan + self.igrid
+    }
 }
 
 impl BatchOptions {
@@ -190,6 +276,13 @@ pub trait BatchEngine {
     /// no deadline, no fail-fast — the healthy-path entry point.
     fn run(&self, queries: &[BatchQuery]) -> Vec<Result<Self::Outcome>> {
         self.run_with(queries, &BatchOptions::default())
+    }
+
+    /// Cumulative per-query plan decisions, for planner-capable engines.
+    /// The default (`None`) marks an engine with no planner; front-ends
+    /// report tallies only when one is present.
+    fn plan_counts(&self) -> Option<PlanTally> {
+        None
     }
 }
 
@@ -500,7 +593,7 @@ mod tests {
         let e = engine(2);
         let opts = BatchOptions {
             deadline: Some(Duration::ZERO),
-            fail_fast: false,
+            ..BatchOptions::default()
         };
         let results = e.run_with(&batch(), &opts);
         assert_eq!(results.len(), 4);
@@ -515,6 +608,7 @@ mod tests {
         let opts = BatchOptions {
             deadline: Some(Duration::from_secs(3600)),
             fail_fast: true,
+            ..BatchOptions::default()
         };
         assert_eq!(e.run_with(&batch(), &opts), e.run(&batch()));
     }
@@ -536,8 +630,8 @@ mod tests {
         let results = e.run_with(
             &queries,
             &BatchOptions {
-                deadline: None,
                 fail_fast: true,
+                ..BatchOptions::default()
             },
         );
         assert!(matches!(

@@ -1,0 +1,235 @@
+//! Unrolled inner-loop kernels for the filter and scan hot paths.
+//!
+//! Everything here is plain safe `std` Rust written so LLVM's
+//! autovectorizer reliably emits SIMD: fixed-width chunks
+//! ([`slice::chunks_exact`]) whose bodies are branch-free straight-line
+//! code over lanes the compiler can prove in-bounds. The lane width is the
+//! only thing that varies per target — a `#[cfg(target_feature)]` constant
+//! widens the unroll when AVX2 (32 bytes per vector) is compiled in, so a
+//! `-C target-cpu=native` build gets wider stripes from the same source.
+//!
+//! Two kernel families live here:
+//!
+//! - [`abs_diffs`]: per-dimension absolute differences `|p_i − q_i|` of one
+//!   row against the query — the refine/scan inner loop;
+//! - [`accumulate_band_hits`]: branchless per-point counting of dimensions
+//!   whose quantised cell falls inside a query band — the rewritten VA-file
+//!   approximation filter (see `knmatch-vafile`), which replaces the
+//!   per-point float bound sort with one byte compare per attribute.
+//!
+//! The `_scalar` twins are the straightforward loops the kernels replaced;
+//! they stay as correctness oracles for the unit tests and as the baseline
+//! the `planner_crossover` bench measures speedups against.
+
+use crate::topk::TopK;
+use crate::{MatchEntry, PointId};
+
+/// Unroll width (in `u8` cells) of the band-count kernel. One AVX2 vector
+/// holds 32 bytes; without AVX2 compiled in, 8 keeps the scalar pipeline
+/// full without bloating the remainder loop.
+#[cfg(target_feature = "avx2")]
+const BYTE_LANES: usize = 16;
+/// Unroll width (in `u8` cells) of the band-count kernel.
+#[cfg(not(target_feature = "avx2"))]
+const BYTE_LANES: usize = 8;
+
+/// Unroll width (in `f64` values) of the difference kernels.
+const F64_LANES: usize = 8;
+
+/// Writes `out[i] = |row[i] - query[i]|` with an 8-lane-unrolled loop.
+///
+/// # Panics
+///
+/// Panics when the three slices differ in length.
+pub fn abs_diffs(out: &mut [f64], row: &[f64], query: &[f64]) {
+    assert_eq!(row.len(), query.len(), "row/query length mismatch");
+    assert_eq!(out.len(), row.len(), "out/row length mismatch");
+    let mut o = out.chunks_exact_mut(F64_LANES);
+    let mut r = row.chunks_exact(F64_LANES);
+    let mut q = query.chunks_exact(F64_LANES);
+    for ((o, r), q) in (&mut o).zip(&mut r).zip(&mut q) {
+        for j in 0..F64_LANES {
+            o[j] = (r[j] - q[j]).abs();
+        }
+    }
+    for ((o, r), q) in o
+        .into_remainder()
+        .iter_mut()
+        .zip(r.remainder())
+        .zip(q.remainder())
+    {
+        *o = (r - q).abs();
+    }
+}
+
+/// The plain indexed loop [`abs_diffs`] replaced (test oracle and bench
+/// baseline).
+///
+/// # Panics
+///
+/// Panics when the three slices differ in length.
+pub fn abs_diffs_scalar(out: &mut [f64], row: &[f64], query: &[f64]) {
+    assert_eq!(row.len(), query.len(), "row/query length mismatch");
+    assert_eq!(out.len(), row.len(), "out/row length mismatch");
+    for i in 0..row.len() {
+        out[i] = (row[i] - query[i]).abs();
+    }
+}
+
+/// For every point `i`, adds 1 to `counts[i]` when `cells[i]` lies in the
+/// inclusive band `[lo, hi]` — one dimension's worth of the rewritten
+/// VA-file filter, branch-free: in-band cells map to `[0, hi - lo]` under
+/// a wrapping subtraction, so the test is a single unsigned compare per
+/// byte and the whole loop vectorises to compare-and-subtract-mask.
+///
+/// `cells` is one dim-major column of quantised cell indices; callers
+/// accumulate over dimensions and then threshold the counts (a point whose
+/// count reaches `n` has an n-match-difference lower bound within the
+/// query's threshold).
+///
+/// # Panics
+///
+/// Panics when `counts` and `cells` differ in length.
+pub fn accumulate_band_hits(counts: &mut [u16], cells: &[u8], lo: u8, hi: u8) {
+    assert_eq!(counts.len(), cells.len(), "counts/cells length mismatch");
+    if lo > hi {
+        return;
+    }
+    let span = hi - lo;
+    let mut cs = counts.chunks_exact_mut(BYTE_LANES);
+    let mut ks = cells.chunks_exact(BYTE_LANES);
+    for (cs, ks) in (&mut cs).zip(&mut ks) {
+        for j in 0..BYTE_LANES {
+            cs[j] += u16::from(ks[j].wrapping_sub(lo) <= span);
+        }
+    }
+    for (c, k) in cs.into_remainder().iter_mut().zip(ks.remainder()) {
+        *c += u16::from(k.wrapping_sub(lo) <= span);
+    }
+}
+
+/// The branchy per-cell loop [`accumulate_band_hits`] replaced (test
+/// oracle and bench baseline).
+///
+/// # Panics
+///
+/// Panics when `counts` and `cells` differ in length.
+pub fn accumulate_band_hits_scalar(counts: &mut [u16], cells: &[u8], lo: u8, hi: u8) {
+    assert_eq!(counts.len(), cells.len(), "counts/cells length mismatch");
+    for (c, &k) in counts.iter_mut().zip(cells) {
+        if k >= lo && k <= hi {
+            *c += 1;
+        }
+    }
+}
+
+/// The n-th smallest value of `buf` (1-based `n`), by in-place selection
+/// under the canonical [`f64::total_cmp`] order. `buf` is reordered.
+///
+/// # Panics
+///
+/// Panics when `n` is 0 or exceeds `buf.len()`.
+pub fn nth_smallest(buf: &mut [f64], n: usize) -> f64 {
+    assert!(n >= 1 && n <= buf.len(), "n out of range");
+    *buf.select_nth_unstable_by(n - 1, f64::total_cmp).1
+}
+
+/// Sorts `entries` into the canonical `(diff, pid)` answer order shared by
+/// every exact backend (ascending difference, ties by ascending point id —
+/// the PR-3 tie-break that makes answers a pure function of the data).
+pub fn sort_canonical(entries: &mut [MatchEntry]) {
+    entries.sort_unstable_by(|a, b| a.diff.total_cmp(&b.diff).then(a.pid.cmp(&b.pid)));
+}
+
+/// Offers `(pid, diff)` pairs into a fresh canonical top-`k` collector —
+/// convenience for filter backends that rank a candidate list.
+pub fn top_k_of(pairs: impl IntoIterator<Item = (PointId, f64)>, k: usize) -> TopK {
+    let mut top = TopK::new(k);
+    for (pid, diff) in pairs {
+        top.offer(pid, diff);
+    }
+    top
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pseudo(seed: u64, len: usize) -> Vec<f64> {
+        let mut s = seed | 1;
+        (0..len)
+            .map(|_| {
+                s ^= s << 13;
+                s ^= s >> 7;
+                s ^= s << 17;
+                (s >> 11) as f64 / (1u64 << 53) as f64
+            })
+            .collect()
+    }
+
+    #[test]
+    fn abs_diffs_matches_scalar_at_every_length() {
+        for len in [0usize, 1, 5, 8, 9, 16, 31, 64, 100] {
+            let row = pseudo(3, len);
+            let q = pseudo(7, len);
+            let mut a = vec![0.0; len];
+            let mut b = vec![0.0; len];
+            abs_diffs(&mut a, &row, &q);
+            abs_diffs_scalar(&mut b, &row, &q);
+            assert_eq!(a, b, "len={len}");
+        }
+    }
+
+    #[test]
+    fn band_hits_match_scalar_at_every_length_and_band() {
+        for len in [0usize, 1, 7, 8, 9, 40, 65] {
+            let cells: Vec<u8> = (0..len).map(|i| ((i * 37 + 11) % 256) as u8).collect();
+            for (lo, hi) in [(0u8, 255u8), (10, 10), (200, 100), (0, 0), (100, 180)] {
+                let mut a = vec![0u16; len];
+                let mut b = vec![0u16; len];
+                accumulate_band_hits(&mut a, &cells, lo, hi);
+                accumulate_band_hits_scalar(&mut b, &cells, lo, hi);
+                assert_eq!(a, b, "len={len} band=({lo},{hi})");
+            }
+        }
+    }
+
+    #[test]
+    fn band_hits_accumulate_across_calls() {
+        let cells = vec![5u8, 100, 200];
+        let mut counts = vec![0u16; 3];
+        accumulate_band_hits(&mut counts, &cells, 0, 255);
+        accumulate_band_hits(&mut counts, &cells, 0, 99);
+        assert_eq!(counts, vec![2, 1, 1]);
+    }
+
+    #[test]
+    fn nth_smallest_matches_full_sort() {
+        let vals = pseudo(42, 33);
+        for n in [1usize, 2, 17, 33] {
+            let mut a = vals.clone();
+            let got = nth_smallest(&mut a, n);
+            let mut b = vals.clone();
+            b.sort_unstable_by(f64::total_cmp);
+            assert_eq!(got, b[n - 1], "n={n}");
+        }
+    }
+
+    #[test]
+    fn canonical_sort_breaks_ties_by_pid() {
+        let mut e = vec![
+            MatchEntry { pid: 9, diff: 1.0 },
+            MatchEntry { pid: 2, diff: 1.0 },
+            MatchEntry { pid: 4, diff: 0.5 },
+        ];
+        sort_canonical(&mut e);
+        assert_eq!(e.iter().map(|x| x.pid).collect::<Vec<_>>(), vec![4, 2, 9]);
+    }
+
+    #[test]
+    fn top_k_of_is_canonical() {
+        let top = top_k_of([(3u32, 1.0), (1, 1.0), (2, 0.5)], 2);
+        let got: Vec<_> = top.into_sorted().into_iter().map(|(p, _)| p).collect();
+        assert_eq!(got, vec![2, 1]);
+    }
+}

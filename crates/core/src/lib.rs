@@ -59,6 +59,11 @@
 //! - [`scratch`] / [`Scratch`] — reusable epoch-stamped query working memory;
 //! - [`engine`] / [`QueryEngine`] — parallel batch execution over shared
 //!   columns, and the [`BatchEngine`] trait every batch backend implements;
+//! - [`kernels`] — unrolled, autovectorization-friendly inner-loop kernels
+//!   for the filter and scan hot paths;
+//! - [`filter`] / [`ScanEngine`] / [`BandEngine`] — exact filter-and-refine
+//!   batch backends over quantised cells (VA-file / IGrid adapters build on
+//!   these);
 //! - [`sharded`] / [`ShardedQueryEngine`] — intra-query parallelism over
 //!   point-id-sharded columns with an exact `(diff, pid)` merge;
 //! - [`stream`] — lazy ascending-difference answer iterator;
@@ -81,8 +86,10 @@ pub mod dynamic;
 pub mod engine;
 pub mod error;
 pub mod fagin;
+pub mod filter;
 pub(crate) mod frontier;
 pub mod hybrid;
+pub mod kernels;
 pub mod knn;
 pub mod medrank;
 pub mod metrics;
@@ -106,10 +113,13 @@ pub use columns::{ColumnView, SortedColumns};
 pub use dynamic::{DynamicColumns, KeyedMatch};
 pub use engine::{
     execute_batch_query, isolate_panic, note_outcome, run_batch, BatchAnswer, BatchEngine,
-    BatchOptions, BatchOutcome, BatchQuery, QueryEngine,
+    BatchOptions, BatchOutcome, BatchQuery, PlanTally, PlannerMode, QueryEngine,
 };
 pub use error::{panic_message, KnMatchError, Result};
 pub use fagin::{GradedLists, MiddlewareStats, MinAggregate, MonotoneAggregate, WeightedSum};
+pub use filter::{
+    equi_width_boundaries, sample_threshold, BandEngine, FilterScratch, ScanEngine, FILTER_SAMPLE,
+};
 pub use hybrid::{
     frequent_k_n_match_hybrid, k_n_match_hybrid, k_n_match_hybrid_scan, DimKind, HybridColumns,
     HybridSchema,

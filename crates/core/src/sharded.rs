@@ -662,14 +662,14 @@ mod tests {
         let engine = fig3_sharded(2);
         let opts = BatchOptions {
             deadline: Some(std::time::Duration::ZERO),
-            fail_fast: false,
+            ..BatchOptions::default()
         };
         for r in engine.run_with(&fig3_batch(), &opts) {
             assert_eq!(r, Err(KnMatchError::DeadlineExceeded));
         }
         let opts = BatchOptions {
             deadline: Some(std::time::Duration::from_secs(3600)),
-            fail_fast: false,
+            ..BatchOptions::default()
         };
         assert_eq!(
             engine.run_with(&fig3_batch(), &opts),

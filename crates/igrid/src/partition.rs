@@ -67,6 +67,12 @@ impl EquiDepthPartition {
         self.edges.len()
     }
 
+    /// The `bins + 1` ascending marks of `dim` (first = observed minimum,
+    /// last = observed maximum).
+    pub fn edges(&self, dim: usize) -> &[f64] {
+        &self.edges[dim]
+    }
+
     /// The range index of value `v` in `dim` (values outside the fitted
     /// span clamp to the first/last range).
     pub fn bin_of(&self, dim: usize, v: f64) -> usize {

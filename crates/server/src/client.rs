@@ -6,7 +6,7 @@ use std::io::{self, BufRead, BufReader, Write};
 use std::net::{TcpStream, ToSocketAddrs};
 use std::time::Duration;
 
-use knmatch_core::{BatchAnswer, BatchQuery};
+use knmatch_core::{BatchAnswer, BatchQuery, PlanTally, PlannerMode};
 
 use crate::protocol::{
     format_query, parse_response, ErrorKind, ProtoError, Response, StatsSnapshot,
@@ -168,6 +168,21 @@ impl Client {
         }
     }
 
+    /// Sets the planner route for this connection's later queries
+    /// (`PLANNER <auto|ad|vafile|scan|igrid>`). Engines without a planner
+    /// accept and ignore it.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures or an unexpected response.
+    pub fn set_planner(&mut self, mode: PlannerMode) -> Result<(), ClientError> {
+        self.send_line(&format!("PLANNER {mode}"))?;
+        match self.recv()? {
+            Response::Planner(got) if got == mode => Ok(()),
+            other => Err(ClientError::Unexpected(format!("{other:?}"))),
+        }
+    }
+
     /// Runs one query, returning the answer or the server-reported
     /// per-query error.
     ///
@@ -228,9 +243,27 @@ impl Client {
     ///
     /// Transport failures or an unexpected response.
     pub fn stats(&mut self) -> Result<(StatsSnapshot, StatsSnapshot), ClientError> {
+        self.stats_with_plans()
+            .map(|(conn, server, _)| (conn, server))
+    }
+
+    /// Like [`stats`](Client::stats) but also returning the engine's plan
+    /// tally — `None` when the served engine has no planner (or the server
+    /// predates the counters).
+    ///
+    /// # Errors
+    ///
+    /// Transport failures or an unexpected response.
+    pub fn stats_with_plans(
+        &mut self,
+    ) -> Result<(StatsSnapshot, StatsSnapshot, Option<PlanTally>), ClientError> {
         self.send_line("STATS")?;
         match self.recv()? {
-            Response::Stats { conn, server } => Ok((conn, server)),
+            Response::Stats {
+                conn,
+                server,
+                plans,
+            } => Ok((conn, server, plans)),
             other => Err(ClientError::Unexpected(format!("{other:?}"))),
         }
     }

@@ -2,21 +2,23 @@
 //!
 //! `knmatch batch`, `knmatch query` and `knmatch serve` all accept the
 //! same backend flags (`--workers`, `--shards`, `--disk`, `--pool-pages`,
-//! `--verify`); [`EngineConfig`] owns that grammar in one place and turns
-//! it into an [`AnyEngine`] — a [`BatchEngine`] enum over the three
-//! backends, so the server loop and the CLI printing code are written
-//! once against the trait instead of three times against concrete types.
+//! `--verify`, `--planner`); [`EngineConfig`] owns that grammar in one
+//! place and turns it into an [`AnyEngine`] — a [`BatchEngine`] enum over
+//! the backends, so the server loop and the CLI printing code are written
+//! once against the trait instead of once per concrete type.
 
 use std::sync::Arc;
 
 use knmatch_core::{
-    AdStats, BatchAnswer, BatchEngine, BatchOptions, BatchOutcome, BatchQuery, Dataset,
-    QueryEngine, Result as CoreResult, ShardedColumns, ShardedOutcome, ShardedQueryEngine,
-    SortedColumns,
+    AdStats, BatchAnswer, BatchEngine, BatchOptions, BatchOutcome, BatchQuery, Dataset, PlanTally,
+    PlannerMode, QueryEngine, Result as CoreResult, ShardedColumns, ShardedOutcome,
+    ShardedQueryEngine, SortedColumns,
 };
 use knmatch_storage::{
     DiskBatchOutcome, DiskDatabase, DiskQueryEngine, FileStore, IoStats, VerifyMode, MAGIC,
 };
+
+use crate::planner_engine::PlannedEngine;
 
 /// Which backend answers the queries.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -46,15 +48,26 @@ pub struct EngineConfig {
     pub workers: usize,
     /// The backend to build.
     pub backend: Backend,
+    /// `Some(mode)` builds the cost-based [`PlannedEngine`] (in-memory
+    /// only) with `mode` as the default route; `None` keeps the plain
+    /// single-backend engines.
+    pub planner: Option<PlannerMode>,
 }
 
 impl Default for EngineConfig {
     fn default() -> Self {
         EngineConfig {
-            workers: std::thread::available_parallelism().map_or(1, |n| n.get()),
+            workers: available_cpus(),
             backend: Backend::Memory,
+            planner: None,
         }
     }
+}
+
+/// The host's available parallelism (≥ 1) — the default for `--workers`
+/// and `--shards auto`.
+fn available_cpus() -> usize {
+    std::thread::available_parallelism().map_or(1, |n| n.get())
 }
 
 /// Looks up the value following `flag` (e.g. `--workers 4`).
@@ -72,26 +85,46 @@ fn parse_num(s: &str, what: &str) -> Result<usize, String> {
 
 impl EngineConfig {
     /// Parses the shared backend flags out of a CLI argument list:
-    /// `--workers W`, `--shards S`, `--disk`, `--pool-pages P`,
-    /// `--verify <never|first-read|always>`. Unrelated flags are ignored
-    /// (the caller owns the rest of its grammar).
+    /// `--workers W`, `--shards <S|auto>`, `--disk`, `--pool-pages P`,
+    /// `--verify <never|first-read|always>`,
+    /// `--planner <auto|ad|vafile|scan|igrid>`. Unrelated flags are
+    /// ignored (the caller owns the rest of its grammar).
+    ///
+    /// `--shards auto` means one shard per available CPU, and any shard
+    /// count collapses to 1 on a single-CPU host (intra-query parallelism
+    /// cannot help there).
     ///
     /// # Errors
     ///
-    /// Malformed numbers, `--shards` combined with `--disk`, or
-    /// `--pool-pages` / `--verify` without `--disk`.
+    /// Malformed numbers or modes, `--shards` combined with `--disk`,
+    /// `--pool-pages` / `--verify` without `--disk`, or `--planner`
+    /// combined with `--disk` / `--shards` (the planner routes between
+    /// the in-memory backends).
     pub fn from_args(args: &[String]) -> Result<EngineConfig, String> {
         let workers = match flag_value(args, "--workers") {
             Some(w) => parse_num(w, "--workers")?.max(1),
-            None => std::thread::available_parallelism().map_or(1, |n| n.get()),
+            None => available_cpus(),
         };
         let disk = args.iter().any(|a| a == "--disk");
         let shards = flag_value(args, "--shards")
-            .map(|s| parse_num(s, "--shards"))
-            .transpose()?;
+            .map(|s| match s {
+                "auto" => Ok(available_cpus()),
+                _ => parse_num(s, "--shards"),
+            })
+            .transpose()?
+            // On one CPU a sharded scan is pure overhead; collapse it.
+            .map(|s| if available_cpus() == 1 { 1 } else { s });
         if disk && shards.is_some() {
             return Err("--shards is in-memory intra-query parallelism; \
                         it cannot be combined with --disk"
+                .into());
+        }
+        let planner = flag_value(args, "--planner")
+            .map(|m| m.parse::<PlannerMode>())
+            .transpose()?;
+        if planner.is_some() && (disk || shards.is_some()) {
+            return Err("--planner routes between the in-memory backends; \
+                        it cannot be combined with --disk or --shards"
                 .into());
         }
         if !disk {
@@ -123,15 +156,20 @@ impl EngineConfig {
         } else {
             Backend::Memory
         };
-        Ok(EngineConfig { workers, backend })
+        Ok(EngineConfig {
+            workers,
+            backend,
+            planner,
+        })
     }
 
     /// One-line human description, e.g. `"disk (256 pool pages), 4 worker(s)"`.
     pub fn describe(&self) -> String {
-        let backend = match self.backend {
-            Backend::Memory => "in-memory".to_string(),
-            Backend::Sharded(s) => format!("{s} shard(s), in-memory"),
-            Backend::Disk { pool_pages, .. } => format!("disk ({pool_pages} pool pages)"),
+        let backend = match (self.backend, self.planner) {
+            (Backend::Memory, Some(mode)) => format!("planned ({mode}), in-memory"),
+            (Backend::Memory, None) => "in-memory".to_string(),
+            (Backend::Sharded(s), _) => format!("{s} shard(s), in-memory"),
+            (Backend::Disk { pool_pages, .. }, _) => format!("disk ({pool_pages} pool pages)"),
         };
         format!("{backend}, {} worker(s)", self.workers)
     }
@@ -189,15 +227,17 @@ impl EngineConfig {
     /// (workload generators, tests). A `Disk` backend falls back to the
     /// plain in-memory engine — there is no file to read.
     pub fn build_in_memory(&self, ds: &Dataset) -> AnyEngine {
-        match self.backend {
-            Backend::Sharded(s) => AnyEngine::Sharded(ShardedQueryEngine::with_workers(
+        match (self.backend, self.planner) {
+            (Backend::Sharded(s), _) => AnyEngine::Sharded(ShardedQueryEngine::with_workers(
                 Arc::new(ShardedColumns::build_with_workers(ds, s, self.workers)),
                 self.workers,
             )),
-            Backend::Memory | Backend::Disk { .. } => AnyEngine::Memory(QueryEngine::with_workers(
-                Arc::new(SortedColumns::build(ds)),
-                self.workers,
-            )),
+            (Backend::Memory | Backend::Disk { .. }, Some(mode)) => {
+                AnyEngine::Planned(PlannedEngine::with_workers(ds, self.workers, mode))
+            }
+            (Backend::Memory | Backend::Disk { .. }, None) => AnyEngine::Memory(
+                QueryEngine::with_workers(Arc::new(SortedColumns::build(ds)), self.workers),
+            ),
         }
     }
 }
@@ -211,6 +251,8 @@ impl EngineConfig {
 pub enum AnyEngine {
     /// The in-memory engine.
     Memory(QueryEngine),
+    /// The cost-based per-query planner over the in-memory backends.
+    Planned(PlannedEngine),
     /// The sharded in-memory engine.
     Sharded(ShardedQueryEngine),
     /// The disk engine over a database file.
@@ -222,6 +264,7 @@ impl AnyEngine {
     pub fn cardinality(&self) -> usize {
         match self {
             AnyEngine::Memory(e) => e.columns().cardinality(),
+            AnyEngine::Planned(e) => e.columns().cardinality(),
             AnyEngine::Sharded(e) => e.columns().cardinality(),
             AnyEngine::Disk(e) => e.columns().cardinality(),
         }
@@ -231,6 +274,7 @@ impl AnyEngine {
     pub fn dims(&self) -> usize {
         match self {
             AnyEngine::Memory(e) => e.columns().dims(),
+            AnyEngine::Planned(e) => e.columns().dims(),
             AnyEngine::Sharded(e) => e.columns().dims(),
             AnyEngine::Disk(e) => e.columns().dims(),
         }
@@ -265,7 +309,7 @@ impl AnyEngine {
 /// extra cost detail behind the common [`BatchOutcome`] projection.
 #[derive(Debug, Clone, PartialEq)]
 pub enum AnyOutcome {
-    /// From the in-memory engine.
+    /// From the in-memory engine (plain or planned).
     Memory((BatchAnswer, AdStats)),
     /// From the sharded engine.
     Sharded(ShardedOutcome),
@@ -323,6 +367,7 @@ impl BatchEngine for AnyEngine {
     fn workers(&self) -> usize {
         match self {
             AnyEngine::Memory(e) => e.workers(),
+            AnyEngine::Planned(e) => e.workers(),
             AnyEngine::Sharded(e) => e.workers(),
             AnyEngine::Disk(e) => e.workers(),
         }
@@ -331,6 +376,11 @@ impl BatchEngine for AnyEngine {
     fn run_with(&self, queries: &[BatchQuery], opts: &BatchOptions) -> Vec<CoreResult<AnyOutcome>> {
         match self {
             AnyEngine::Memory(e) => e
+                .run_with(queries, opts)
+                .into_iter()
+                .map(|r| r.map(AnyOutcome::Memory))
+                .collect(),
+            AnyEngine::Planned(e) => e
                 .run_with(queries, opts)
                 .into_iter()
                 .map(|r| r.map(AnyOutcome::Memory))
@@ -345,6 +395,13 @@ impl BatchEngine for AnyEngine {
                 .into_iter()
                 .map(|r| r.map(AnyOutcome::Disk))
                 .collect(),
+        }
+    }
+
+    fn plan_counts(&self) -> Option<PlanTally> {
+        match self {
+            AnyEngine::Planned(e) => e.plan_counts(),
+            _ => None,
         }
     }
 }
@@ -364,7 +421,8 @@ mod tests {
         assert_eq!(c.backend, Backend::Memory);
 
         let c = EngineConfig::from_args(&argv("--shards 4 --workers 2")).unwrap();
-        assert_eq!(c.backend, Backend::Sharded(4));
+        let want_shards = if available_cpus() == 1 { 1 } else { 4 };
+        assert_eq!(c.backend, Backend::Sharded(want_shards));
 
         let c = EngineConfig::from_args(&argv("--disk --pool-pages 64 --verify always")).unwrap();
         assert_eq!(
@@ -417,10 +475,17 @@ mod tests {
             EngineConfig {
                 workers: 2,
                 backend: Backend::Memory,
+                planner: None,
+            },
+            EngineConfig {
+                workers: 2,
+                backend: Backend::Memory,
+                planner: Some(PlannerMode::Auto),
             },
             EngineConfig {
                 workers: 2,
                 backend: Backend::Sharded(2),
+                planner: None,
             },
         ] {
             let e = cfg.build_in_memory(&ds);
@@ -443,12 +508,63 @@ mod tests {
                 pool_pages: 64,
                 verify: VerifyMode::FirstRead,
             },
+            planner: None,
         };
         assert!(c.describe().contains("disk"));
         let c = EngineConfig {
             workers: 2,
             backend: Backend::Sharded(3),
+            planner: None,
         };
         assert!(c.describe().contains("3 shard(s)"));
+        let c = EngineConfig {
+            planner: Some(PlannerMode::VaFile),
+            ..EngineConfig::default()
+        };
+        assert!(c.describe().contains("planned (vafile)"));
+    }
+
+    #[test]
+    fn planner_flag_grammar() {
+        let c = EngineConfig::from_args(&argv("--planner auto --workers 2")).unwrap();
+        assert_eq!(c.planner, Some(PlannerMode::Auto));
+        assert_eq!(c.backend, Backend::Memory);
+
+        let c = EngineConfig::from_args(&argv("--planner scan")).unwrap();
+        assert_eq!(c.planner, Some(PlannerMode::Scan));
+
+        assert!(EngineConfig::from_args(&argv("--planner fastest")).is_err());
+        assert!(EngineConfig::from_args(&argv("--planner auto --disk")).is_err());
+        assert!(EngineConfig::from_args(&argv("--planner auto --shards 2")).is_err());
+    }
+
+    #[test]
+    fn shards_auto_and_single_cpu_clamp() {
+        let c = EngineConfig::from_args(&argv("--shards auto")).unwrap();
+        let cpus = std::thread::available_parallelism().map_or(1, |n| n.get());
+        let expect = if cpus == 1 { 1 } else { cpus };
+        assert_eq!(c.backend, Backend::Sharded(expect));
+        assert!(EngineConfig::from_args(&argv("--shards several")).is_err());
+    }
+
+    #[test]
+    fn planned_engine_reports_plan_counts() {
+        let ds = knmatch_core::paper::fig3_dataset();
+        let cfg = EngineConfig {
+            workers: 1,
+            backend: Backend::Memory,
+            planner: Some(PlannerMode::Auto),
+        };
+        let e = cfg.build_in_memory(&ds);
+        assert_eq!(e.plan_counts(), Some(PlanTally::default()));
+        let batch = vec![BatchQuery::KnMatch {
+            query: vec![3.0, 7.0, 4.0],
+            k: 2,
+            n: 2,
+        }];
+        for r in e.run(&batch) {
+            r.unwrap();
+        }
+        assert_eq!(e.plan_counts().unwrap().total(), 1);
     }
 }

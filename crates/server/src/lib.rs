@@ -31,10 +31,12 @@
 
 pub mod client;
 pub mod config;
+pub mod planner_engine;
 pub mod protocol;
 pub mod server;
 
 pub use client::{BatchReply, Client, ClientError, ServedError};
 pub use config::{AnyEngine, AnyOutcome, Backend, EngineConfig, DEFAULT_POOL_PAGES};
+pub use planner_engine::{PlannedEngine, PLAN_FRACTION_SAMPLE};
 pub use protocol::{ErrorKind, ProtoError, Request, Response, StatsSnapshot, MAX_BATCH, MAX_LINE};
 pub use server::{Server, ServerConfig, ShutdownHandle};

@@ -1,0 +1,448 @@
+//! The cost-based per-query planner backend (DESIGN.md §12).
+//!
+//! [`PlannedEngine`] holds every exact in-memory backend at once — the AD
+//! algorithm over sorted columns, the VA-file filter-and-refine engine,
+//! the kernel-unrolled scan, and the IGrid (equi-depth) filter — and
+//! routes **each query of a batch** to one of them. With
+//! [`PlannerMode::Auto`] the route comes from the in-memory cost model
+//! ([`plan_in_memory`]), which reproduces the paper's Figure 12 crossover
+//! live per request: AD wins at small `n`, the filter backends in the
+//! middle, and the plain scan as `n1` approaches `d`. The forced modes
+//! (`ad`, `vafile`, `scan`, `igrid`) pin one backend for experiments.
+//!
+//! Every backend answers the exact query kinds bit-identically to the
+//! sequential oracle, so planning changes cost, never answers — the
+//! property the randomized cross-check suite pins down.
+//!
+//! Routing decisions are tallied into a [`PlanTally`] surfaced through
+//! [`BatchEngine::plan_counts`] and the server's `STATS` verb.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use knmatch_core::ad::{validate_eps, validate_params};
+use knmatch_core::{
+    isolate_panic, note_outcome, run_batch, sample_threshold, AdStats, BatchAnswer, BatchEngine,
+    BatchOptions, BatchQuery, Dataset, FilterScratch, PlanTally, PlannerMode, QueryEngine,
+    Result as CoreResult, ScanEngine, Scratch, SortedColumns,
+};
+use knmatch_igrid::IGridEngine;
+use knmatch_storage::{plan_in_memory, BackendChoice, MemCostModel, MemPlanChoice, MemPlanInputs};
+use knmatch_vafile::VaEngine;
+
+/// Points sampled by the planner's candidate-fraction probe (a strided
+/// dry-run of the VA filter; cheap relative to any backend's full pass).
+pub const PLAN_FRACTION_SAMPLE: usize = 256;
+
+/// Per-worker working memory for a planned batch: the AD scratch and the
+/// filter scratch side by side, both armed with the batch's deadline and
+/// cancellation control.
+#[derive(Debug, Default)]
+struct PlanScratch {
+    ad: Scratch,
+    filter: FilterScratch,
+}
+
+/// A [`BatchEngine`] that picks AD, VA-file, or scan per query at request
+/// time (see the module docs). Build it once per dataset; it shares one
+/// [`Dataset`] across all four backends and adds only the quantised cell
+/// arrays and sorted columns on top.
+#[derive(Debug)]
+pub struct PlannedEngine {
+    data: Arc<Dataset>,
+    cols: Arc<SortedColumns>,
+    ad: QueryEngine,
+    va: VaEngine,
+    scan: ScanEngine,
+    igrid: IGridEngine,
+    workers: usize,
+    default_mode: PlannerMode,
+    model: MemCostModel,
+    tally_ad: AtomicU64,
+    tally_vafile: AtomicU64,
+    tally_scan: AtomicU64,
+    tally_igrid: AtomicU64,
+}
+
+impl PlannedEngine {
+    /// A planner over `ds` with one batch worker per available CPU and the
+    /// `auto` mode as the per-connection default.
+    pub fn new(ds: &Dataset) -> Self {
+        let workers = std::thread::available_parallelism().map_or(1, |n| n.get());
+        Self::with_workers(ds, workers, PlannerMode::Auto)
+    }
+
+    /// A planner with an explicit worker count (clamped to ≥ 1) and
+    /// default mode. The inner backends run single-threaded on the batch
+    /// workers' threads — parallelism lives in the batch loop, exactly as
+    /// in the plain in-memory engine.
+    pub fn with_workers(ds: &Dataset, workers: usize, default_mode: PlannerMode) -> Self {
+        let data = Arc::new(ds.clone());
+        let cols = Arc::new(SortedColumns::build(ds));
+        PlannedEngine {
+            ad: QueryEngine::with_workers(Arc::clone(&cols), 1),
+            va: VaEngine::with_workers(Arc::clone(&data), 1),
+            scan: ScanEngine::with_workers(Arc::clone(&data), 1),
+            igrid: IGridEngine::new(Arc::clone(&data)),
+            data,
+            cols,
+            workers: workers.max(1),
+            default_mode,
+            model: MemCostModel::default(),
+            tally_ad: AtomicU64::new(0),
+            tally_vafile: AtomicU64::new(0),
+            tally_scan: AtomicU64::new(0),
+            tally_igrid: AtomicU64::new(0),
+        }
+    }
+
+    /// The served dataset.
+    pub fn dataset(&self) -> &Arc<Dataset> {
+        &self.data
+    }
+
+    /// The sorted-column organisation the AD backend (and the planner's
+    /// selectivity probe) runs over.
+    pub fn columns(&self) -> &Arc<SortedColumns> {
+        &self.cols
+    }
+
+    /// The mode used when a batch carries no explicit override.
+    pub fn default_mode(&self) -> PlannerMode {
+        self.default_mode
+    }
+
+    /// The cost model consulted by [`PlannerMode::Auto`].
+    pub fn cost_model(&self) -> &MemCostModel {
+        &self.model
+    }
+
+    /// Prices one query against the cost model without running it:
+    /// validates the parameters, derives the pruning threshold `ε̂` from
+    /// the evenly-spaced sample ([`sample_threshold`]), counts the sorted-
+    /// column entries within `±ε̂` of the query per dimension (the AD
+    /// algorithm's frontier work), probes the VA filter's candidate
+    /// fraction on a stride of points, and feeds all of it to
+    /// [`plan_in_memory`].
+    ///
+    /// Deterministic: every estimate is a pure function of the data and
+    /// the query, so the same query always gets the same plan — which is
+    /// what lets tests assert the tally matches re-planned predictions.
+    ///
+    /// # Errors
+    ///
+    /// The same validation every backend performs (dimension mismatch,
+    /// `k`/`n` out of range, invalid `eps`) — identical errors, identical
+    /// precedence, so an invalid query fails the same way whether it is
+    /// planned or dispatched directly.
+    pub fn plan_for(&self, query: &BatchQuery) -> CoreResult<MemPlanChoice> {
+        let (d, c) = (self.data.dims(), self.data.len());
+        let (q, eps_hat, min_hits) = match query {
+            BatchQuery::KnMatch { query, k, n } => {
+                validate_params(query, d, c, *k, *n, *n)?;
+                (query, sample_threshold(&self.data, query, *k, *n), *n)
+            }
+            BatchQuery::Frequent { query, k, n0, n1 } => {
+                validate_params(query, d, c, *k, *n0, *n1)?;
+                // τ at the loosest level covers every per-n answer set;
+                // the hit floor is the tightest level.
+                (query, sample_threshold(&self.data, query, *k, *n1), *n0)
+            }
+            BatchQuery::EpsMatch { query, eps, n } => {
+                validate_params(query, d, c, 1, *n, *n)?;
+                validate_eps(*eps)?;
+                (query, *eps, *n)
+            }
+        };
+        // AD touches, per dimension, the sorted entries within ε̂ of the
+        // query before the n-th smallest difference crosses the answer
+        // threshold; two binary searches per column price that exactly.
+        let mut ad_attrs = 0u64;
+        for (j, &qv) in q.iter().enumerate() {
+            let vals = self.cols.column(j).values();
+            let lo = vals.partition_point(|&v| v < qv - eps_hat);
+            let hi = vals.partition_point(|&v| v <= qv + eps_hat);
+            // Saturating: a negative or NaN ε̂ (an invalid eps the backend
+            // will reject) yields an empty, not underflowing, band.
+            ad_attrs += hi.saturating_sub(lo) as u64;
+        }
+        // When AD already beats the scan and the VA filter's *floor* (the
+        // cell pass alone, before any refine), no candidate fraction can
+        // change the outcome — skip the probe. This keeps planning cheap
+        // exactly where AD queries are cheapest (small n), and stays
+        // deterministic: the probe is only skipped when its value cannot
+        // affect the choice.
+        let floor = MemPlanInputs {
+            cardinality: c,
+            dims: d,
+            ad_attrs,
+            candidate_fraction: 0.0,
+        };
+        let at_floor = plan_in_memory(&floor, &self.model);
+        if at_floor.backend == BackendChoice::Ad {
+            return Ok(at_floor);
+        }
+        let candidate_fraction =
+            self.va
+                .band()
+                .estimate_candidate_fraction(q, eps_hat, min_hits, PLAN_FRACTION_SAMPLE);
+        let inputs = MemPlanInputs {
+            cardinality: c,
+            dims: d,
+            ad_attrs,
+            candidate_fraction,
+        };
+        Ok(plan_in_memory(&inputs, &self.model))
+    }
+
+    fn bump(&self, choice: BackendChoice) {
+        match choice {
+            BackendChoice::Ad => &self.tally_ad,
+            BackendChoice::VaFile => &self.tally_vafile,
+            BackendChoice::Scan => &self.tally_scan,
+        }
+        .fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// The backends' shared validation, applied before a routing decision
+    /// is tallied: invalid queries fail their slot without ever counting
+    /// as a plan, in every mode.
+    fn validate(&self, query: &BatchQuery) -> CoreResult<()> {
+        let (d, c) = (self.data.dims(), self.data.len());
+        match query {
+            BatchQuery::KnMatch { query, k, n } => validate_params(query, d, c, *k, *n, *n),
+            BatchQuery::Frequent { query, k, n0, n1 } => validate_params(query, d, c, *k, *n0, *n1),
+            BatchQuery::EpsMatch { query, eps, n } => {
+                validate_params(query, d, c, 1, *n, *n)?;
+                validate_eps(*eps)
+            }
+        }
+    }
+
+    /// Executes one query under `mode` on the calling thread, tallying the
+    /// routing decision. Forced modes tally too (the counters answer "what
+    /// ran", not "what `auto` would have picked").
+    fn execute(
+        &self,
+        query: &BatchQuery,
+        mode: PlannerMode,
+        scratch: &mut PlanScratch,
+    ) -> CoreResult<(BatchAnswer, AdStats)> {
+        self.validate(query)?;
+        let choice = match mode {
+            PlannerMode::Auto => self.plan_for(query)?.backend,
+            PlannerMode::Ad => BackendChoice::Ad,
+            PlannerMode::VaFile => BackendChoice::VaFile,
+            PlannerMode::Scan => BackendChoice::Scan,
+            PlannerMode::IGrid => {
+                self.tally_igrid.fetch_add(1, Ordering::Relaxed);
+                return self.igrid.execute(query, &mut scratch.filter);
+            }
+        };
+        self.bump(choice);
+        match choice {
+            BackendChoice::Ad => self.ad.execute(query, &mut scratch.ad),
+            BackendChoice::VaFile => self.va.execute(query, &mut scratch.filter),
+            BackendChoice::Scan => self.scan.execute(query, &mut scratch.filter),
+        }
+    }
+}
+
+impl BatchEngine for PlannedEngine {
+    type Outcome = (BatchAnswer, AdStats);
+
+    fn workers(&self) -> usize {
+        self.workers
+    }
+
+    fn run_with(
+        &self,
+        queries: &[BatchQuery],
+        opts: &BatchOptions,
+    ) -> Vec<CoreResult<(BatchAnswer, AdStats)>> {
+        let control = opts.arm();
+        let mode = opts.planner.unwrap_or(self.default_mode);
+        run_batch(
+            self.workers,
+            queries.len(),
+            || PlanScratch {
+                ad: control.scratch(),
+                filter: FilterScratch::with_control(control.clone()),
+            },
+            |scratch, i| {
+                let out = isolate_panic(|| self.execute(&queries[i], mode, scratch));
+                note_outcome(&control, &out);
+                out
+            },
+        )
+    }
+
+    fn plan_counts(&self) -> Option<PlanTally> {
+        Some(PlanTally {
+            ad: self.tally_ad.load(Ordering::Relaxed),
+            vafile: self.tally_vafile.load(Ordering::Relaxed),
+            scan: self.tally_scan.load(Ordering::Relaxed),
+            igrid: self.tally_igrid.load(Ordering::Relaxed),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use knmatch_core::naive::{frequent_k_n_match_scan, k_n_match_scan};
+
+    fn pseudo_dataset(c: usize, d: usize, seed: u64) -> Dataset {
+        let mut s = seed | 1;
+        let mut next = move || {
+            s ^= s << 13;
+            s ^= s >> 7;
+            s ^= s << 17;
+            (s >> 11) as f64 / (1u64 << 53) as f64
+        };
+        let rows: Vec<Vec<f64>> = (0..c).map(|_| (0..d).map(|_| next()).collect()).collect();
+        Dataset::from_rows(&rows).unwrap()
+    }
+
+    fn mixed_batch(d: usize) -> Vec<BatchQuery> {
+        let q: Vec<f64> = (0..d).map(|j| 0.1 + 0.8 * j as f64 / d as f64).collect();
+        vec![
+            BatchQuery::KnMatch {
+                query: q.clone(),
+                k: 5,
+                n: 1,
+            },
+            BatchQuery::KnMatch {
+                query: q.clone(),
+                k: 3,
+                n: d,
+            },
+            BatchQuery::Frequent {
+                query: q.clone(),
+                k: 4,
+                n0: 1,
+                n1: d,
+            },
+            BatchQuery::EpsMatch {
+                query: q,
+                eps: 0.08,
+                n: (d / 2).max(1),
+            },
+        ]
+    }
+
+    fn oracle(ds: &Dataset, query: &BatchQuery) -> BatchAnswer {
+        match query {
+            BatchQuery::KnMatch { query, k, n } => {
+                BatchAnswer::KnMatch(k_n_match_scan(ds, query, *k, *n).unwrap())
+            }
+            BatchQuery::Frequent { query, k, n0, n1 } => {
+                BatchAnswer::Frequent(frequent_k_n_match_scan(ds, query, *k, *n0, *n1).unwrap())
+            }
+            BatchQuery::EpsMatch { query, eps, n } => {
+                let full = k_n_match_scan(ds, query, ds.len(), *n).unwrap();
+                BatchAnswer::EpsMatch(knmatch_core::KnMatchResult {
+                    n: *n,
+                    entries: full
+                        .entries
+                        .into_iter()
+                        .filter(|e| e.diff <= *eps)
+                        .collect(),
+                })
+            }
+        }
+    }
+
+    #[test]
+    fn every_mode_matches_the_oracle_bitwise() {
+        let ds = pseudo_dataset(400, 6, 77);
+        let batch = mixed_batch(6);
+        let engine = PlannedEngine::with_workers(&ds, 3, PlannerMode::Auto);
+        for mode in [
+            PlannerMode::Auto,
+            PlannerMode::Ad,
+            PlannerMode::VaFile,
+            PlannerMode::Scan,
+            PlannerMode::IGrid,
+        ] {
+            let opts = BatchOptions {
+                planner: Some(mode),
+                ..BatchOptions::default()
+            };
+            for (q, r) in batch.iter().zip(engine.run_with(&batch, &opts)) {
+                let (answer, _) = r.unwrap();
+                assert_eq!(answer, oracle(&ds, q), "mode={mode}");
+            }
+        }
+    }
+
+    #[test]
+    fn tally_matches_replanned_predictions() {
+        let ds = pseudo_dataset(600, 8, 13);
+        let batch = mixed_batch(8);
+        let engine = PlannedEngine::with_workers(&ds, 2, PlannerMode::Auto);
+        let mut want = PlanTally::default();
+        for q in &batch {
+            match engine.plan_for(q).unwrap().backend {
+                BackendChoice::Ad => want.ad += 1,
+                BackendChoice::VaFile => want.vafile += 1,
+                BackendChoice::Scan => want.scan += 1,
+            }
+        }
+        for r in engine.run(&batch) {
+            r.unwrap();
+        }
+        assert_eq!(engine.plan_counts(), Some(want));
+        assert_eq!(want.total(), batch.len() as u64);
+    }
+
+    #[test]
+    fn forced_modes_tally_their_backend() {
+        let ds = pseudo_dataset(100, 4, 5);
+        let engine = PlannedEngine::with_workers(&ds, 1, PlannerMode::Auto);
+        let batch = mixed_batch(4);
+        let force = |mode| BatchOptions {
+            planner: Some(mode),
+            ..BatchOptions::default()
+        };
+        for r in engine.run_with(&batch, &force(PlannerMode::Scan)) {
+            r.unwrap();
+        }
+        for r in engine.run_with(&batch, &force(PlannerMode::IGrid)) {
+            r.unwrap();
+        }
+        let tally = engine.plan_counts().unwrap();
+        assert_eq!(tally.scan, batch.len() as u64);
+        assert_eq!(tally.igrid, batch.len() as u64);
+        assert_eq!(tally.ad + tally.vafile, 0);
+    }
+
+    #[test]
+    fn invalid_queries_fail_their_slot_in_every_mode() {
+        let ds = pseudo_dataset(50, 3, 3);
+        let engine = PlannedEngine::with_workers(&ds, 1, PlannerMode::Auto);
+        let bad = vec![BatchQuery::KnMatch {
+            query: vec![0.0; 2],
+            k: 1,
+            n: 1,
+        }];
+        for mode in [PlannerMode::Auto, PlannerMode::Ad, PlannerMode::VaFile] {
+            let opts = BatchOptions {
+                planner: Some(mode),
+                ..BatchOptions::default()
+            };
+            assert!(engine.run_with(&bad, &opts)[0].is_err(), "mode={mode}");
+        }
+    }
+
+    #[test]
+    fn default_mode_applies_without_override() {
+        let ds = pseudo_dataset(80, 4, 21);
+        let engine = PlannedEngine::with_workers(&ds, 1, PlannerMode::Scan);
+        let batch = mixed_batch(4);
+        for r in engine.run(&batch) {
+            r.unwrap();
+        }
+        assert_eq!(engine.plan_counts().unwrap().scan, batch.len() as u64);
+    }
+}

@@ -18,6 +18,9 @@
 //! BATCH <count>                  next <count> lines are query lines
 //! DEADLINE <ms>                  per-query budget for later queries (0 clears)
 //! FAILFAST <0|1>                 fail-fast for later BATCH runs
+//! PLANNER <mode>                 backend choice for later queries
+//!                                (auto|ad|vafile|scan|igrid; planner-capable
+//!                                engines only — others ignore it)
 //! STATS                          connection + server counters
 //! PING                           liveness probe
 //! QUIT                           close this connection
@@ -30,11 +33,17 @@
 //! OK KNM <n> <pid:diff,...|->
 //! OK EPS <n> <pid:diff,...|->
 //! OK FREQ <n0> <n1> <pid:count,...|-> <n=pid:diff,...;...|->
-//! OK DEADLINE <ms> | OK FAILFAST <0|1> | OK PONG | OK BYE | OK SHUTDOWN
-//! OK STATS <conn six counters> <server six counters>
+//! OK DEADLINE <ms> | OK FAILFAST <0|1> | OK PLANNER <mode>
+//! OK PONG | OK BYE | OK SHUTDOWN
+//! OK STATS <conn six counters> <server six counters> [four plan counters]
 //! DONE <ok> <failed>
 //! ERR <kind> <message...>
 //! ```
+//!
+//! The four plan counters (`plans_ad= plans_vafile= plans_scan=
+//! plans_igrid=`, server scope) report how the cost-based planner routed
+//! queries; servers without a planner-capable engine omit them, and
+//! clients accept both shapes.
 //!
 //! `ERR` kinds: `parse` (malformed request), `query` (validation or
 //! storage failure), `timeout` (deadline exceeded), `cancelled`
@@ -46,7 +55,8 @@
 use std::fmt::Write as _;
 
 use knmatch_core::{
-    BatchAnswer, BatchQuery, FrequentEntry, FrequentResult, KnMatchError, KnMatchResult, MatchEntry,
+    BatchAnswer, BatchQuery, FrequentEntry, FrequentResult, KnMatchError, KnMatchResult,
+    MatchEntry, PlanTally, PlannerMode,
 };
 
 /// Longest accepted request line in bytes (newline excluded). Longer
@@ -211,6 +221,9 @@ pub enum Request {
     Deadline(u64),
     /// `FAILFAST <0|1>`: toggle fail-fast for later batches.
     FailFast(bool),
+    /// `PLANNER <mode>`: set the backend choice for later queries on this
+    /// connection (planner-capable engines only; others ignore it).
+    Planner(PlannerMode),
     /// `STATS`: report counters.
     Stats,
     /// `PING`: liveness probe.
@@ -244,12 +257,17 @@ pub enum Response {
     Deadline(u64),
     /// `OK FAILFAST <0|1>`.
     FailFast(bool),
-    /// `OK STATS <connection scope> <server scope>`.
+    /// `OK PLANNER <mode>`.
+    Planner(PlannerMode),
+    /// `OK STATS <connection scope> <server scope> [plan counters]`.
     Stats {
         /// This connection's counters.
         conn: StatsSnapshot,
         /// Server-lifetime counters.
         server: StatsSnapshot,
+        /// Server-lifetime plan-choice counters, present when the served
+        /// engine has a cost-based planner.
+        plans: Option<PlanTally>,
     },
     /// `OK PONG`.
     Pong,
@@ -257,6 +275,25 @@ pub enum Response {
     Bye,
     /// `OK SHUTDOWN` (server draining; connection closing).
     ShuttingDown,
+}
+
+/// Parses the four labelled plan counters of an extended `STATS` line.
+fn parse_plan_tally(fields: &[&str]) -> Result<PlanTally, ProtoError> {
+    let labels = ["plans_ad", "plans_vafile", "plans_scan", "plans_igrid"];
+    let mut vals = [0u64; 4];
+    for (i, (field, label)) in fields.iter().zip(labels).enumerate() {
+        let v = field
+            .strip_prefix(label)
+            .and_then(|rest| rest.strip_prefix('='))
+            .ok_or_else(|| err(format!("expected {label}=<u64>, got {field:?}")))?;
+        vals[i] = parse_u64(v, label)?;
+    }
+    Ok(PlanTally {
+        ad: vals[0],
+        vafile: vals[1],
+        scan: vals[2],
+        igrid: vals[3],
+    })
 }
 
 fn parse_u64(s: &str, what: &str) -> Result<u64, ProtoError> {
@@ -297,6 +334,11 @@ pub fn parse_request(line: &str) -> Result<Request, ProtoError> {
             "1" => Ok(Request::FailFast(true)),
             other => Err(err(format!("FAILFAST takes 0 or 1, got {other:?}"))),
         },
+        "PLANNER" => rest
+            .trim()
+            .parse::<PlannerMode>()
+            .map(Request::Planner)
+            .map_err(err),
         "STATS" => Ok(Request::Stats),
         "PING" => Ok(Request::Ping),
         "QUIT" => Ok(Request::Quit),
@@ -452,11 +494,25 @@ pub fn format_response(r: &Response) -> String {
         Response::FailFast(on) => {
             let _ = write!(out, "OK FAILFAST {}", u8::from(*on));
         }
-        Response::Stats { conn, server } => {
+        Response::Planner(mode) => {
+            let _ = write!(out, "OK PLANNER {mode}");
+        }
+        Response::Stats {
+            conn,
+            server,
+            plans,
+        } => {
             out.push_str("OK STATS ");
             conn.render(&mut out);
             out.push(' ');
             server.render(&mut out);
+            if let Some(p) = plans {
+                let _ = write!(
+                    out,
+                    " plans_ad={} plans_vafile={} plans_scan={} plans_igrid={}",
+                    p.ad, p.vafile, p.scan, p.igrid
+                );
+            }
         }
         Response::Pong => out.push_str("OK PONG"),
         Response::Bye => out.push_str("OK BYE"),
@@ -535,10 +591,22 @@ pub fn parse_response(line: &str) -> Result<Response, ProtoError> {
             "1" => Ok(Response::FailFast(true)),
             other => Err(err(format!("OK FAILFAST takes 0 or 1, got {other:?}"))),
         },
-        ["OK", "STATS", rest @ ..] if rest.len() == 12 => Ok(Response::Stats {
-            conn: StatsSnapshot::parse(&rest[..6])?,
-            server: StatsSnapshot::parse(&rest[6..])?,
-        }),
+        ["OK", "PLANNER", mode] => mode
+            .parse::<PlannerMode>()
+            .map(Response::Planner)
+            .map_err(err),
+        ["OK", "STATS", rest @ ..] if rest.len() == 12 || rest.len() == 16 => {
+            let plans = if rest.len() == 16 {
+                Some(parse_plan_tally(&rest[12..])?)
+            } else {
+                None
+            };
+            Ok(Response::Stats {
+                conn: StatsSnapshot::parse(&rest[..6])?,
+                server: StatsSnapshot::parse(&rest[6..12])?,
+                plans,
+            })
+        }
         ["OK", "PONG"] => Ok(Response::Pong),
         ["OK", "BYE"] => Ok(Response::Bye),
         ["OK", "SHUTDOWN"] => Ok(Response::ShuttingDown),
@@ -623,6 +691,7 @@ mod tests {
             Response::Done { ok: 3, failed: 1 },
             Response::Deadline(250),
             Response::FailFast(true),
+            Response::Planner(PlannerMode::VaFile),
             Response::Stats {
                 conn: StatsSnapshot {
                     queries: 1,
@@ -633,6 +702,17 @@ mod tests {
                     connections: 1,
                 },
                 server: StatsSnapshot::default(),
+                plans: None,
+            },
+            Response::Stats {
+                conn: StatsSnapshot::default(),
+                server: StatsSnapshot::default(),
+                plans: Some(PlanTally {
+                    ad: 10,
+                    vafile: 4,
+                    scan: 2,
+                    igrid: 0,
+                }),
             },
             Response::Pong,
             Response::Bye,
@@ -641,6 +721,22 @@ mod tests {
         for r in answers {
             let line = format_response(&r);
             assert_eq!(parse_response(&line).unwrap(), r, "line {line:?}");
+        }
+    }
+
+    #[test]
+    fn planner_requests_roundtrip() {
+        for mode in [
+            PlannerMode::Auto,
+            PlannerMode::Ad,
+            PlannerMode::VaFile,
+            PlannerMode::Scan,
+            PlannerMode::IGrid,
+        ] {
+            assert_eq!(
+                parse_request(&format!("PLANNER {mode}")).unwrap(),
+                Request::Planner(mode)
+            );
         }
     }
 
@@ -702,6 +798,8 @@ mod tests {
             "BATCH many",
             "FAILFAST 2",
             "DEADLINE soon",
+            "PLANNER fastest",
+            "PLANNER",
         ] {
             assert!(parse_request(line).is_err(), "line {line:?}");
         }

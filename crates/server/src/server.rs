@@ -425,10 +425,19 @@ fn handle_connection<E: BatchEngine + Sync>(
                 opts.fail_fast = on;
                 conn.send(&Response::FailFast(on))?;
             }
+            Ok(Request::Planner(mode)) => {
+                // Connection-scoped like DEADLINE/FAILFAST; only
+                // planner-capable engines read it (others ignore the
+                // option), but acknowledging either way keeps clients
+                // backend-agnostic.
+                opts.planner = Some(mode);
+                conn.send(&Response::Planner(mode))?;
+            }
             Ok(Request::Stats) => {
                 let response = Response::Stats {
                     conn: conn.stats,
                     server: shared.totals.snapshot(),
+                    plans: engine.plan_counts(),
                 };
                 conn.send(&response)?;
             }

@@ -1,0 +1,196 @@
+//! Randomized cross-check of the pruning backends and the cost-based
+//! planner against the sequential oracle.
+//!
+//! Every backend the planner can route to — VA-file, IGrid, kernel scan,
+//! AD — and the planner itself under every mode must answer the exact
+//! query kinds **bit-identically** to the naive sequential scan, across
+//! dimensionalities, cardinalities, n-ranges, and worker counts. The
+//! sweeps are seeded, so a failure reproduces deterministically.
+
+use std::sync::Arc;
+
+use knmatch_core::{
+    BatchAnswer, BatchEngine, BatchOptions, BatchQuery, Dataset, PlannerMode, ScanEngine,
+};
+use knmatch_data::rng::Rng64;
+use knmatch_igrid::IGridEngine;
+use knmatch_server::PlannedEngine;
+use knmatch_vafile::VaEngine;
+
+fn random_dataset(rng: &mut Rng64, c: usize, d: usize) -> Dataset {
+    let rows: Vec<Vec<f64>> = (0..c)
+        .map(|_| (0..d).map(|_| rng.next_f64()).collect())
+        .collect();
+    Dataset::from_rows(&rows).unwrap()
+}
+
+/// Low-entropy values (a small grid) so differences collide constantly
+/// and only the canonical `(diff, pid)` tie-break yields a unique answer.
+fn quantised_dataset(rng: &mut Rng64, c: usize, d: usize) -> Dataset {
+    let rows: Vec<Vec<f64>> = (0..c)
+        .map(|_| {
+            (0..d)
+                .map(|_| rng.range_usize(0..5) as f64 * 0.25)
+                .collect()
+        })
+        .collect();
+    Dataset::from_rows(&rows).unwrap()
+}
+
+/// A random batch covering every query kind and a spread of n-ranges,
+/// including the extremes n = 1 and n = d where the Figure 12 crossover
+/// flips backends.
+fn random_batch(rng: &mut Rng64, d: usize, queries: usize) -> Vec<BatchQuery> {
+    (0..queries)
+        .map(|i| {
+            let query: Vec<f64> = (0..d).map(|_| rng.next_f64()).collect();
+            let k = rng.range_usize(1..12);
+            let n = match i % 4 {
+                0 => 1,
+                1 => d,
+                _ => rng.range_usize(1..d + 1),
+            };
+            match i % 3 {
+                0 => BatchQuery::KnMatch { query, k, n },
+                1 => {
+                    let n1 = rng.range_usize(n..d + 1);
+                    BatchQuery::Frequent {
+                        query,
+                        k,
+                        n0: n,
+                        n1,
+                    }
+                }
+                _ => BatchQuery::EpsMatch {
+                    query,
+                    eps: rng.range_f64(0.0, 0.3),
+                    n,
+                },
+            }
+        })
+        .collect()
+}
+
+/// The oracle: the kernel scan with one worker, itself pinned bitwise to
+/// the naive per-algorithm scans by the core test suite.
+fn oracle(ds: &Dataset, batch: &[BatchQuery]) -> Vec<BatchAnswer> {
+    ScanEngine::with_workers(Arc::new(ds.clone()), 1)
+        .run(batch)
+        .into_iter()
+        .map(|r| r.unwrap().0)
+        .collect()
+}
+
+#[test]
+fn backends_match_oracle_across_the_grid() {
+    let mut rng = Rng64::new(0x5eed_cafe);
+    for &(c, d) in &[(300usize, 4usize), (300, 12), (2000, 4), (2000, 12)] {
+        let ds = random_dataset(&mut rng, c, d);
+        let batch = random_batch(&mut rng, d, 24);
+        let want = oracle(&ds, &batch);
+        let data = Arc::new(ds.clone());
+        for workers in [1usize, 3] {
+            let va = VaEngine::with_workers(Arc::clone(&data), workers);
+            let ig = IGridEngine::new(Arc::clone(&data));
+            let scan = ScanEngine::with_workers(Arc::clone(&data), workers);
+            for (name, got) in [
+                ("vafile", va.run(&batch)),
+                ("igrid", ig.run(&batch)),
+                ("scan", scan.run(&batch)),
+            ] {
+                for (i, (r, w)) in got.into_iter().zip(&want).enumerate() {
+                    assert_eq!(
+                        &r.unwrap().0,
+                        w,
+                        "{name} diverged: c={c} d={d} workers={workers} query #{i}"
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn planner_matches_oracle_in_every_mode() {
+    let mut rng = Rng64::new(0x91a2);
+    for &(c, d) in &[(300usize, 4usize), (2000, 12)] {
+        let ds = random_dataset(&mut rng, c, d);
+        let batch = random_batch(&mut rng, d, 20);
+        let want = oracle(&ds, &batch);
+        for workers in [1usize, 3] {
+            let engine = PlannedEngine::with_workers(&ds, workers, PlannerMode::Auto);
+            for mode in [
+                PlannerMode::Auto,
+                PlannerMode::Ad,
+                PlannerMode::VaFile,
+                PlannerMode::Scan,
+                PlannerMode::IGrid,
+            ] {
+                let opts = BatchOptions {
+                    planner: Some(mode),
+                    ..BatchOptions::default()
+                };
+                for (i, (r, w)) in engine
+                    .run_with(&batch, &opts)
+                    .into_iter()
+                    .zip(&want)
+                    .enumerate()
+                {
+                    assert_eq!(
+                        &r.unwrap().0,
+                        w,
+                        "planner diverged: mode={mode} c={c} d={d} workers={workers} query #{i}"
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn tie_heavy_data_resolves_canonically_everywhere() {
+    let mut rng = Rng64::new(77);
+    let ds = quantised_dataset(&mut rng, 500, 6);
+    let batch = random_batch(&mut rng, 6, 18);
+    let want = oracle(&ds, &batch);
+    let data = Arc::new(ds.clone());
+    let engines: Vec<(&str, Vec<_>)> = vec![
+        (
+            "vafile",
+            VaEngine::with_workers(Arc::clone(&data), 2).run(&batch),
+        ),
+        ("igrid", IGridEngine::new(Arc::clone(&data)).run(&batch)),
+        (
+            "planner",
+            PlannedEngine::with_workers(&ds, 2, PlannerMode::Auto).run(&batch),
+        ),
+    ];
+    for (name, got) in engines {
+        for (i, (r, w)) in got.into_iter().zip(&want).enumerate() {
+            assert_eq!(&r.unwrap().0, w, "{name} diverged on ties at query #{i}");
+        }
+    }
+}
+
+#[test]
+fn planner_tally_is_consistent_with_its_own_cost_model() {
+    let mut rng = Rng64::new(0xabcd);
+    let ds = random_dataset(&mut rng, 1500, 8);
+    let batch = random_batch(&mut rng, 8, 30);
+    let engine = PlannedEngine::with_workers(&ds, 2, PlannerMode::Auto);
+    // Predict every route first: planning is a pure function of the data
+    // and the query, so re-planning must reproduce the execution tally.
+    let mut want = knmatch_core::PlanTally::default();
+    for q in &batch {
+        match engine.plan_for(q).unwrap().backend {
+            knmatch_storage::BackendChoice::Ad => want.ad += 1,
+            knmatch_storage::BackendChoice::VaFile => want.vafile += 1,
+            knmatch_storage::BackendChoice::Scan => want.scan += 1,
+        }
+    }
+    for r in engine.run(&batch) {
+        r.unwrap();
+    }
+    assert_eq!(engine.plan_counts(), Some(want));
+    assert_eq!(want.total(), batch.len() as u64);
+}

@@ -37,6 +37,7 @@ fn build_engine() -> knmatch_server::AnyEngine {
     EngineConfig {
         workers: 2,
         backend: Backend::Memory,
+        planner: None,
     }
     .build_in_memory(&ds)
 }

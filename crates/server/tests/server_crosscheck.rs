@@ -99,7 +99,11 @@ fn expected_wire<O: BatchOutcome>(
 fn check_backend(backend: Backend, path: &str) {
     let queries = workload(4);
     for workers in [1, 2, 4] {
-        let cfg = EngineConfig { workers, backend };
+        let cfg = EngineConfig {
+            workers,
+            backend,
+            planner: None,
+        };
         let engine = cfg.open(path).expect("open engine");
         let expected = expected_wire(engine.run(&queries));
 
@@ -153,6 +157,73 @@ fn sharded_backend_bit_identical_over_the_wire() {
 }
 
 #[test]
+fn planned_backend_bit_identical_over_the_wire() {
+    let (_dir, csv, _db) = temp_files("plan");
+    let queries = workload(4);
+    for workers in [1, 2] {
+        let cfg = EngineConfig {
+            workers,
+            backend: Backend::Memory,
+            planner: Some(knmatch_core::PlannerMode::Auto),
+        };
+        let engine = cfg.open(&csv).expect("open engine");
+        let expected = expected_wire(engine.run(&queries));
+        with_server(engine, |addr| {
+            let mut client = Client::connect(addr).expect("connect");
+            for mode in [
+                knmatch_core::PlannerMode::Auto,
+                knmatch_core::PlannerMode::Ad,
+                knmatch_core::PlannerMode::VaFile,
+                knmatch_core::PlannerMode::Scan,
+                knmatch_core::PlannerMode::IGrid,
+            ] {
+                client.set_planner(mode).expect("set planner");
+                let reply = client.run_batch(&queries).expect("batch");
+                for (got, want) in reply.answers.iter().zip(&expected) {
+                    match (got, want) {
+                        (Ok(a), Ok(b)) => assert_eq!(a, b, "mode {mode} diverged"),
+                        (Err(e), Err((kind, _))) => assert_eq!(e.kind, *kind),
+                        other => panic!("slot shape diverged: {other:?}"),
+                    }
+                }
+            }
+            // The tally travelled back through STATS: the direct baseline
+            // run plus five served modes, 12 valid queries each (invalid
+            // slots never reach a backend).
+            let (_, _, plans) = client.stats_with_plans().expect("stats");
+            let plans = plans.expect("planned engine reports plans");
+            assert_eq!(plans.total(), 6 * 12, "workers={workers}");
+            assert!(plans.scan >= 12, "forced scan pass must be tallied");
+            assert!(plans.igrid >= 12, "forced igrid pass must be tallied");
+            client.quit().expect("quit");
+        });
+    }
+}
+
+#[test]
+fn planless_engines_report_no_plans_over_the_wire() {
+    let (_dir, csv, _db) = temp_files("noplan");
+    let engine = EngineConfig {
+        workers: 1,
+        backend: Backend::Memory,
+        planner: None,
+    }
+    .open(&csv)
+    .expect("open engine");
+    with_server(engine, |addr| {
+        let mut client = Client::connect(addr).expect("connect");
+        // The verb is accepted (connection-scoped option) even though the
+        // engine ignores it, and STATS carries no plan counters.
+        client
+            .set_planner(knmatch_core::PlannerMode::Scan)
+            .expect("set planner");
+        let (_, _, plans) = client.stats_with_plans().expect("stats");
+        assert_eq!(plans, None);
+        client.quit().expect("quit");
+    });
+}
+
+#[test]
 fn disk_backend_bit_identical_over_the_wire() {
     let (_dir, _csv, db) = temp_files("disk");
     check_backend(
@@ -198,6 +269,7 @@ fn deadline_and_fail_fast_travel_the_wire() {
     let cfg = EngineConfig {
         workers: 2,
         backend: Backend::Memory,
+        planner: None,
     };
     let engine = cfg.open(&csv).expect("open engine");
     let queries = workload(4);
@@ -225,6 +297,7 @@ fn deadline_and_fail_fast_travel_the_wire() {
             EngineConfig {
                 workers: 2,
                 backend: Backend::Memory,
+                planner: None,
             }
             .open(&csv)
             .expect("open")
@@ -248,6 +321,7 @@ fn stats_verb_reports_both_scopes() {
     let engine = EngineConfig {
         workers: 1,
         backend: Backend::Memory,
+        planner: None,
     }
     .open(&csv)
     .expect("open engine");
@@ -280,6 +354,7 @@ fn connection_limit_rejects_with_busy() {
     let engine = EngineConfig {
         workers: 1,
         backend: Backend::Memory,
+        planner: None,
     }
     .open(&csv)
     .expect("open engine");

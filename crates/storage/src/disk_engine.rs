@@ -347,7 +347,7 @@ mod tests {
         let engine = fig3_engine(2);
         let opts = BatchOptions {
             deadline: Some(std::time::Duration::ZERO),
-            fail_fast: false,
+            ..BatchOptions::default()
         };
         for r in engine.run_with(&batch(), &opts) {
             assert_eq!(r, Err(KnMatchError::DeadlineExceeded));
@@ -355,6 +355,7 @@ mod tests {
         let opts = BatchOptions {
             deadline: Some(std::time::Duration::from_secs(3600)),
             fail_fast: true,
+            ..BatchOptions::default()
         };
         assert_eq!(engine.run_with(&batch(), &opts), engine.run(&batch()));
     }

@@ -141,6 +141,122 @@ impl<S: PageStore> DiskDatabase<S> {
     }
 }
 
+/// Which in-memory backend the request-time planner chose for one query.
+///
+/// This is the live, per-batch-element counterpart of the disk planner's
+/// [`Plan`]: the server's planned engine evaluates [`plan_in_memory`] for
+/// every query and dispatches to the winner. All three backends answer
+/// exactly, so the choice changes cost, never answers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BackendChoice {
+    /// The AD algorithm over sorted columns.
+    Ad,
+    /// The VA-file band filter plus exact refine.
+    VaFile,
+    /// The kernel-unrolled full scan.
+    Scan,
+}
+
+/// Tunable per-unit costs of the in-memory backends. Units are arbitrary
+/// (only ratios matter); the defaults were calibrated against the
+/// `planner_crossover` bench on the development host, with
+/// `scan_per_attr = 1` as the yardstick.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MemCostModel {
+    /// Cost per attribute the AD algorithm retrieves **at full width**
+    /// (`ad_attrs = cardinality × dims`). AD's measured cost is strongly
+    /// superlinear in the fraction of attributes its frontier touches —
+    /// wider bands mean deeper heaps, more duplicate-point bookkeeping,
+    /// and colder cache per pop — so [`plan_in_memory`] prices AD as
+    /// `ad_attrs × ad_per_attr × frac²` (a cubic law overall), which is
+    /// what the `planner_crossover` bench measures across n-levels.
+    pub ad_per_attr: f64,
+    /// Cost per attribute the full scan visits (the yardstick unit).
+    pub scan_per_attr: f64,
+    /// Cost per (point, dimension) byte compare of the band filter — the
+    /// vectorised kernel makes this a small fraction of a scan touch.
+    pub filter_per_cell: f64,
+    /// Cost per attribute refined after the filter (row gather plus
+    /// selection; slightly worse locality than the pure scan).
+    pub refine_per_attr: f64,
+}
+
+impl Default for MemCostModel {
+    fn default() -> Self {
+        MemCostModel {
+            ad_per_attr: 22.0,
+            scan_per_attr: 1.0,
+            filter_per_cell: 0.15,
+            refine_per_attr: 1.5,
+        }
+    }
+}
+
+/// Per-query quantities the in-memory model prices. The caller measures
+/// them cheaply at request time: `ad_attrs` from the sorted-column fences
+/// at `q ± ε̂` (two binary searches per dimension), `candidate_fraction`
+/// from the band filter over a small strided sample.
+///
+/// The per-point refine work of a frequent query (one sort plus one offer
+/// per n-level) hits the scan and VA-file paths identically and is already
+/// folded into `ad_attrs` for AD (ε̂ is estimated at `n1`), so the model
+/// needs no explicit n-range input.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MemPlanInputs {
+    /// Dataset cardinality.
+    pub cardinality: usize,
+    /// Dataset dimensionality.
+    pub dims: usize,
+    /// Estimated attributes the AD algorithm would retrieve before
+    /// completing (all dimensions combined).
+    pub ad_attrs: u64,
+    /// Estimated fraction of points surviving the band filter (phase-two
+    /// volume of the VA-file path), in `[0, 1]`.
+    pub candidate_fraction: f64,
+}
+
+/// The in-memory planner's decision with the three cost estimates (model
+/// units).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MemPlanChoice {
+    /// The cheapest backend (ties break AD → VA-file → scan, the order in
+    /// which estimation error is least harmful).
+    pub backend: BackendChoice,
+    /// Estimated AD cost.
+    pub ad_cost: f64,
+    /// Estimated VA-file filter-plus-refine cost.
+    pub vafile_cost: f64,
+    /// Estimated full-scan cost.
+    pub scan_cost: f64,
+}
+
+/// Prices the three in-memory backends for one query and returns the
+/// cheapest — the Figure 12 crossover, evaluated live per batch element.
+pub fn plan_in_memory(inputs: &MemPlanInputs, model: &MemCostModel) -> MemPlanChoice {
+    let attrs = inputs.cardinality as f64 * inputs.dims as f64;
+    // Superlinear AD law (see [`MemCostModel::ad_per_attr`]): per-attr
+    // cost scales with the square of the touched fraction, so AD is
+    // near-free at small n and prohibitive as the band nears full width.
+    let frac = (inputs.ad_attrs as f64 / attrs.max(1.0)).clamp(0.0, 1.0);
+    let ad_cost = inputs.ad_attrs as f64 * model.ad_per_attr * frac * frac;
+    let scan_cost = attrs * model.scan_per_attr;
+    let vafile_cost = attrs * model.filter_per_cell
+        + inputs.candidate_fraction.clamp(0.0, 1.0) * attrs * model.refine_per_attr;
+    let backend = if ad_cost <= vafile_cost && ad_cost <= scan_cost {
+        BackendChoice::Ad
+    } else if vafile_cost <= scan_cost {
+        BackendChoice::VaFile
+    } else {
+        BackendChoice::Scan
+    };
+    MemPlanChoice {
+        backend,
+        ad_cost,
+        vafile_cost,
+        scan_cost,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -199,6 +315,65 @@ mod tests {
         assert!(choice.ad_estimate_ms > 0.0);
         assert!(choice.scan_estimate_ms > 0.0);
         assert!(choice.estimated_epsilon > 0.0);
+    }
+
+    #[test]
+    fn in_memory_model_tracks_its_inputs() {
+        let model = MemCostModel::default();
+        let base = MemPlanInputs {
+            cardinality: 10_000,
+            dims: 8,
+            ad_attrs: 2_000,
+            candidate_fraction: 0.05,
+        };
+        // Few AD attributes → AD wins.
+        assert_eq!(plan_in_memory(&base, &model).backend, BackendChoice::Ad);
+        // AD forced to touch nearly everything, filter selective → VA-file.
+        let va = MemPlanInputs {
+            ad_attrs: 60_000,
+            ..base
+        };
+        assert_eq!(plan_in_memory(&va, &model).backend, BackendChoice::VaFile);
+        // Filter keeps everything too → the plain scan is cheapest.
+        let scan = MemPlanInputs {
+            ad_attrs: 60_000,
+            candidate_fraction: 1.0,
+            ..base
+        };
+        assert_eq!(plan_in_memory(&scan, &model).backend, BackendChoice::Scan);
+        // Costs are monotone in their drivers.
+        let c = plan_in_memory(&base, &model);
+        let c2 = plan_in_memory(
+            &MemPlanInputs {
+                ad_attrs: base.ad_attrs * 2,
+                ..base
+            },
+            &model,
+        );
+        assert!(c2.ad_cost > c.ad_cost);
+        assert_eq!(c2.scan_cost, c.scan_cost);
+    }
+
+    #[test]
+    fn in_memory_model_breaks_ties_toward_ad() {
+        // A model where everything costs the same per attribute and inputs
+        // that make all three estimates equal.
+        let model = MemCostModel {
+            ad_per_attr: 1.0,
+            scan_per_attr: 1.0,
+            filter_per_cell: 0.5,
+            refine_per_attr: 0.5,
+        };
+        let inputs = MemPlanInputs {
+            cardinality: 100,
+            dims: 10,
+            ad_attrs: 1_000,
+            candidate_fraction: 1.0,
+        };
+        let choice = plan_in_memory(&inputs, &model);
+        assert_eq!(choice.ad_cost, choice.scan_cost);
+        assert_eq!(choice.vafile_cost, choice.scan_cost);
+        assert_eq!(choice.backend, BackendChoice::Ad);
     }
 
     #[test]

@@ -1,0 +1,219 @@
+//! The VA-file as a first-class serving backend.
+//!
+//! [`VaEngine`] is the in-memory promotion of this crate's two-phase
+//! algorithm to the [`BatchEngine`] surface: the per-dimension equi-width
+//! quantisation of [`VaFile`](crate::VaFile) (256 cells, one byte per
+//! attribute), but with the approximation filter rewritten on the core
+//! band-count kernels ([`knmatch_core::kernels`]) over dim-major cell
+//! columns instead of the per-point float-bound sort of the disk path.
+//! Phase two refines the surviving candidates exactly through the shared
+//! canonical `(diff, pid)` collectors, so answers are bit-identical to the
+//! sequential oracle on every exact query kind — a pure function of the
+//! data, independent of worker count, batch order, and quantisation.
+
+use std::sync::Arc;
+
+use knmatch_core::ad::AdStats;
+use knmatch_core::{
+    equi_width_boundaries, BandEngine, BatchAnswer, BatchEngine, BatchOptions, BatchQuery, Dataset,
+    FilterScratch, Result,
+};
+
+/// Cells per dimension: the full range of one approximation byte.
+pub const VA_CELLS: usize = 256;
+
+/// In-memory VA-file batch backend (see the module docs).
+#[derive(Debug, Clone)]
+pub struct VaEngine {
+    inner: BandEngine,
+}
+
+impl VaEngine {
+    /// Builds the byte approximations of `data` with one worker per
+    /// available CPU.
+    pub fn new(data: Arc<Dataset>) -> Self {
+        let workers = std::thread::available_parallelism().map_or(1, |n| n.get());
+        Self::with_workers(data, workers)
+    }
+
+    /// Builds the byte approximations of `data` with an explicit worker
+    /// count (clamped to ≥ 1).
+    pub fn with_workers(data: Arc<Dataset>, workers: usize) -> Self {
+        let boundaries = equi_width_boundaries(&data, VA_CELLS);
+        VaEngine {
+            inner: BandEngine::from_boundaries(data, boundaries, workers),
+        }
+    }
+
+    /// The indexed dataset.
+    pub fn dataset(&self) -> &Arc<Dataset> {
+        self.inner.dataset()
+    }
+
+    /// The underlying band filter (for the request-time planner, which
+    /// prices the refine phase via its candidate estimator).
+    pub fn band(&self) -> &BandEngine {
+        &self.inner
+    }
+
+    /// Executes one query on the calling thread against caller scratch.
+    ///
+    /// # Errors
+    ///
+    /// Per-query parameter validation, deadline, cancellation.
+    pub fn execute(
+        &self,
+        query: &BatchQuery,
+        scratch: &mut FilterScratch,
+    ) -> Result<(BatchAnswer, AdStats)> {
+        self.inner.execute(query, scratch)
+    }
+}
+
+impl BatchEngine for VaEngine {
+    type Outcome = (BatchAnswer, AdStats);
+
+    fn workers(&self) -> usize {
+        self.inner.workers()
+    }
+
+    fn run_with(
+        &self,
+        queries: &[BatchQuery],
+        opts: &BatchOptions,
+    ) -> Vec<Result<(BatchAnswer, AdStats)>> {
+        self.inner.run_with(queries, opts)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use knmatch_core::{frequent_k_n_match_scan, k_n_match_scan, MatchEntry};
+
+    fn pseudo_dataset(c: usize, d: usize, seed: u64) -> Dataset {
+        let mut s = seed | 1;
+        let mut next = move || {
+            s ^= s << 13;
+            s ^= s >> 7;
+            s ^= s << 17;
+            (s >> 11) as f64 / (1u64 << 53) as f64
+        };
+        let rows: Vec<Vec<f64>> = (0..c).map(|_| (0..d).map(|_| next()).collect()).collect();
+        Dataset::from_rows(&rows).unwrap()
+    }
+
+    #[test]
+    fn matches_oracle_bitwise_across_workers() {
+        let ds = pseudo_dataset(600, 7, 77);
+        let q: Vec<f64> = (0..7).map(|j| 0.05 + 0.13 * j as f64).collect();
+        let batch = vec![
+            BatchQuery::KnMatch {
+                query: q.clone(),
+                k: 9,
+                n: 2,
+            },
+            BatchQuery::Frequent {
+                query: q.clone(),
+                k: 6,
+                n0: 1,
+                n1: 7,
+            },
+            BatchQuery::EpsMatch {
+                query: q.clone(),
+                eps: 0.04,
+                n: 3,
+            },
+        ];
+        let mut answers: Vec<Vec<BatchAnswer>> = Vec::new();
+        for workers in [1usize, 4] {
+            let e = VaEngine::with_workers(Arc::new(ds.clone()), workers);
+            answers.push(
+                e.run(&batch)
+                    .into_iter()
+                    .map(|r| r.unwrap().0)
+                    .collect::<Vec<_>>(),
+            );
+        }
+        assert_eq!(answers[0], answers[1], "answers depend on worker count");
+        let want_kn = k_n_match_scan(&ds, &q, 9, 2).unwrap();
+        assert_eq!(answers[0][0], BatchAnswer::KnMatch(want_kn));
+        let want_f = frequent_k_n_match_scan(&ds, &q, 6, 1, 7).unwrap();
+        assert_eq!(answers[0][1], BatchAnswer::Frequent(want_f));
+    }
+
+    #[test]
+    fn quantised_ties_resolve_canonically() {
+        // Every coordinate sits on a 0.25 grid, so n-match differences
+        // collide en masse; the answer is only well-defined under the
+        // canonical (diff, pid) tie-break — which the engine must apply
+        // identically to the oracle.
+        let rows: Vec<Vec<f64>> = (0..400)
+            .map(|i| {
+                (0..6)
+                    .map(|j| ((i * 11 + j * 5) % 5) as f64 * 0.25)
+                    .collect()
+            })
+            .collect();
+        let ds = Dataset::from_rows(&rows).unwrap();
+        let e = VaEngine::with_workers(Arc::new(ds.clone()), 3);
+        let q = vec![0.25; 6];
+        for (k, n) in [(1usize, 1usize), (13, 3), (25, 6)] {
+            let got = e
+                .run(&[BatchQuery::KnMatch {
+                    query: q.clone(),
+                    k,
+                    n,
+                }])
+                .pop()
+                .unwrap()
+                .unwrap()
+                .0;
+            let want = k_n_match_scan(&ds, &q, k, n).unwrap();
+            assert_eq!(got, BatchAnswer::KnMatch(want), "k={k} n={n}");
+        }
+        let got = e
+            .run(&[BatchQuery::EpsMatch {
+                query: q.clone(),
+                eps: 0.25,
+                n: 4,
+            }])
+            .pop()
+            .unwrap()
+            .unwrap()
+            .0;
+        let BatchAnswer::EpsMatch(res) = got else {
+            panic!("wrong variant")
+        };
+        // ε-matches are canonical: ascending (diff, pid), exactly the
+        // points whose 4th-smallest difference is within 0.25.
+        let mut prev: Option<&MatchEntry> = None;
+        for e in &res.entries {
+            assert!(e.diff <= 0.25);
+            if let Some(p) = prev {
+                assert!((p.diff, p.pid) < (e.diff, e.pid), "not canonical");
+            }
+            prev = Some(e);
+        }
+    }
+
+    #[test]
+    fn prunes_on_selective_queries() {
+        let ds = pseudo_dataset(3000, 8, 3);
+        let e = VaEngine::with_workers(Arc::new(ds.clone()), 1);
+        let q = ds.point(42).to_vec();
+        let (_, stats) = e
+            .run(&[BatchQuery::KnMatch {
+                query: q,
+                k: 3,
+                n: 8,
+            }])
+            .pop()
+            .unwrap()
+            .unwrap();
+        assert!(
+            stats.attributes_retrieved < 3000 * 8 / 2,
+            "expected the filter to prune most of the refine work: {stats:?}"
+        );
+    }
+}

@@ -20,9 +20,11 @@
 #![forbid(unsafe_code)]
 
 pub mod approx;
+pub mod engine;
 pub mod knn;
 pub mod match_query;
 
 pub use approx::VaFile;
+pub use engine::{VaEngine, VA_CELLS};
 pub use knn::k_nearest_va;
 pub use match_query::{frequent_k_n_match_va, k_n_match_va, VaOutcome};

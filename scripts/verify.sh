@@ -37,6 +37,11 @@ echo "==> disk_throughput --smoke"
 echo "==> fault injection stress (release)"
 cargo test --release -q -p knmatch-storage --test fault_injection
 
+echo "==> planner cross-check (release)"
+# The randomized backend/planner-vs-oracle sweeps are an order of
+# magnitude faster optimised, so run them in release like CI does.
+cargo test --release -q -p knmatch-server --test planner_crosscheck
+
 echo "==> fault_overhead --smoke"
 ./target/release/fault_overhead --smoke --out /tmp/BENCH_fault_overhead_smoke.json >/dev/null
 
