@@ -20,7 +20,7 @@ use std::io::Write as _;
 use std::process::ExitCode;
 
 use knmatch_core::{BatchAnswer, BatchEngine, BatchOptions, BatchOutcome, BatchQuery};
-use knmatch_server::{AnyEngine, Client, EngineConfig, Server, ServerConfig};
+use knmatch_server::{AnyEngine, Client, EngineConfig, Server};
 use knmatch_storage::{CostModel, DiskDatabase};
 
 fn main() -> ExitCode {
@@ -61,10 +61,11 @@ fn usage() -> &'static str {
      [--deadline-ms MS] [--fail-fast]\n  \
      knmatch serve <data.csv|db.knm> [--addr IP:PORT] [--workers W] \
      [--planner MODE | --shards <S|auto> | --disk [--pool-pages P] [--verify MODE]] \
-     [--max-conns N]\n  \
+     [--max-conns N] [--event-loop [--executors E]]\n  \
      knmatch client <host:port> (--queries <queries.csv> \
      (-k <K> -n <N> | -k <K> --frequent <N0> <N1> | --eps <E> -n <N>) \
-     [--planner MODE] [--deadline-ms MS] [--fail-fast] [--stats] | --ping | --shutdown)\n\
+     [--planner MODE] [--deadline-ms MS] [--fail-fast] [--binary] \
+     [--pipeline DEPTH] [--stats] | --ping | --shutdown)\n\
      \n\
      exit codes: 0 success; 1 usage or I/O error; 2 command ran but some \
      queries failed"
@@ -358,20 +359,28 @@ fn serve(args: &[String]) -> Result<String, String> {
     let data = args.first().ok_or("serve needs <data.csv|db.knm>")?;
     let addr = flag_value(args, "--addr").unwrap_or("127.0.0.1:0");
     let cfg = EngineConfig::from_args(args)?;
-    let max_connections: usize = parse_num(
-        flag_value(args, "--max-conns").unwrap_or("64"),
-        "--max-conns",
-    )?;
+    let (server_cfg, event_loop) = knmatch_server::server_config_from_args(args)?;
     let engine = cfg.open(data)?;
-    let server = Server::bind(
-        engine,
-        addr,
-        ServerConfig {
-            max_connections,
-            ..ServerConfig::default()
-        },
-    )
-    .map_err(|e| format!("bind {addr}: {e}"))?;
+    if event_loop {
+        #[cfg(unix)]
+        {
+            let server = knmatch_server::EventServer::bind(engine, addr, server_cfg)
+                .map_err(|e| format!("bind {addr}: {e}"))?;
+            println!(
+                "listening on {} (event loop, {}, {} points x {} dims)",
+                server.local_addr(),
+                cfg.describe(),
+                server.engine().cardinality(),
+                server.engine().dims(),
+            );
+            std::io::stdout().flush().ok();
+            server.serve().map_err(|e| e.to_string())?;
+            return Ok(serve_summary(server.stats(), server.engine().plan_counts()));
+        }
+        #[cfg(not(unix))]
+        return Err("--event-loop needs poll(2) (unix); omit it for the blocking server".into());
+    }
+    let server = Server::bind(engine, addr, server_cfg).map_err(|e| format!("bind {addr}: {e}"))?;
     println!(
         "listening on {} ({}, {} points x {} dims)",
         server.local_addr(),
@@ -381,24 +390,34 @@ fn serve(args: &[String]) -> Result<String, String> {
     );
     std::io::stdout().flush().ok();
     server.serve().map_err(|e| e.to_string())?;
-    let t = server.stats();
-    let plans = match server.engine().plan_counts() {
+    Ok(serve_summary(server.stats(), server.engine().plan_counts()))
+}
+
+/// The post-drain one-liner both server front-ends print.
+fn serve_summary(
+    t: knmatch_server::StatsSnapshot,
+    plans: Option<knmatch_core::PlanTally>,
+) -> String {
+    let plans = match plans {
         Some(p) => format!(
             ", plans: {} ad / {} vafile / {} scan / {} igrid",
             p.ad, p.vafile, p.scan, p.igrid
         ),
         None => String::new(),
     };
-    Ok(format!(
+    format!(
         "shutdown complete: {} queries ({} errors, {} timeouts) over {} connection(s), \
          {} bytes in / {} bytes out{plans}\n",
         t.queries, t.errors, t.timeouts, t.connections, t.bytes_in, t.bytes_out
-    ))
+    )
 }
 
 /// Talks to a running `knmatch serve`: `--ping` probes it, `--shutdown`
 /// drains it, and `--queries` submits a batch (same query-spec flags as
-/// `batch`), printing the same per-query report.
+/// `batch`), printing the same per-query report. `--binary` speaks
+/// compact frames instead of text lines; `--pipeline DEPTH` sends the
+/// queries individually with up to DEPTH in flight (best against
+/// `serve --event-loop`).
 fn client(args: &[String]) -> Result<(String, bool), String> {
     let addr = args.first().ok_or("client needs <host:port>")?;
     let connect = || Client::connect(addr).map_err(|e| format!("connect {addr}: {e}"));
@@ -417,6 +436,9 @@ fn client(args: &[String]) -> Result<(String, bool), String> {
     let (queries, header) = build_queries(args, points)?;
 
     let mut c = connect()?;
+    if args.iter().any(|a| a == "--binary") {
+        c.set_binary(true);
+    }
     if let Some(ms) = flag_value(args, "--deadline-ms") {
         let ms: u64 = parse_num(ms, "--deadline-ms")?;
         if ms == 0 {
@@ -433,8 +455,28 @@ fn client(args: &[String]) -> Result<(String, bool), String> {
         let mode: knmatch_core::PlannerMode = mode.parse()?;
         c.set_planner(mode).map_err(|e| e.to_string())?;
     }
+    let pipeline = flag_value(args, "--pipeline")
+        .map(|d| parse_num(d, "--pipeline"))
+        .transpose()?;
     let started = std::time::Instant::now();
-    let reply = c.run_batch(&queries).map_err(|e| e.to_string())?;
+    let reply = match pipeline {
+        Some(depth) => {
+            if depth == 0 {
+                return Err("--pipeline depth must be > 0".into());
+            }
+            let answers = c
+                .run_pipelined(&queries, depth)
+                .map_err(|e| e.to_string())?;
+            let ok = answers.iter().filter(|a| a.is_ok()).count() as u64;
+            let failed = answers.len() as u64 - ok;
+            knmatch_server::BatchReply {
+                answers,
+                ok,
+                failed,
+            }
+        }
+        None => c.run_batch(&queries).map_err(|e| e.to_string())?,
+    };
     let elapsed = started.elapsed();
 
     let mut out = format!(

@@ -78,7 +78,10 @@
 //! - [`paper`] — the paper's worked examples as datasets.
 
 #![warn(missing_docs)]
-#![forbid(unsafe_code)]
+// `deny` rather than `forbid`: the explicit AVX2 kernel in
+// `kernels::x86` is the one narrowly-scoped `#[allow(unsafe_code)]`
+// module in the crate.
+#![deny(unsafe_code)]
 
 pub mod ad;
 pub mod columns;

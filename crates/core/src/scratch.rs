@@ -9,7 +9,16 @@
 //! in O(1) with an epoch stamp: each slot carries the epoch of the query
 //! that last wrote it, and a slot whose stamp differs from the current
 //! epoch reads as zero. Starting a query is a single integer increment.
+//!
+//! Reuse also works *across* engine calls: a dropped `Scratch` parks its
+//! buffers in a per-thread pool that [`QueryControl::scratch`] draws
+//! from, so a long-lived thread issuing many small
+//! [`run_with`](crate::BatchEngine::run_with) calls (the event-loop
+//! server's executors pipeline single-query jobs this way) pays the
+//! O(c) warm-up once instead of per call.
 
+use std::cell::RefCell;
+use std::mem;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
@@ -51,11 +60,17 @@ impl QueryControl {
         QueryControl::default()
     }
 
-    /// A fresh [`Scratch`] already carrying a clone of this control — the
+    /// A [`Scratch`] already carrying a clone of this control — the
     /// per-worker init every batch engine uses, factored here so the
-    /// engines cannot drift on how workers are armed.
+    /// engines cannot drift on how workers are armed. Buffers come from
+    /// this thread's pool of previously dropped scratches when one is
+    /// available, so repeated small batches skip the O(c) warm-up.
     pub fn scratch(&self) -> Scratch {
-        let mut s = Scratch::new();
+        let mut s = SCRATCH_POOL
+            .try_with(|p| p.borrow_mut().pop())
+            .ok()
+            .flatten()
+            .unwrap_or_default();
         s.set_control(self.clone());
         s
     }
@@ -128,6 +143,11 @@ pub(crate) struct EpochMarks {
 impl EpochMarks {
     pub(crate) fn new() -> Self {
         EpochMarks::default()
+    }
+
+    /// Whether the marks carry grown buffers worth recycling.
+    fn is_warm(&self) -> bool {
+        !self.stamps.is_empty()
     }
 
     /// Starts a query over a cardinality-`c` source: grows the arrays if
@@ -231,6 +251,41 @@ impl Scratch {
     /// Sets the [`QueryControl`] subsequent queries will honour.
     pub fn set_control(&mut self, control: QueryControl) {
         self.control = control;
+    }
+}
+
+/// Scratches a thread keeps warm at most; each holds roughly 10 bytes per
+/// point of the largest source it has served, so the pool is a bounded
+/// per-thread cache, not a leak.
+const SCRATCH_POOL_CAP: usize = 4;
+
+thread_local! {
+    /// Buffers of dropped scratches, recycled by [`QueryControl::scratch`].
+    static SCRATCH_POOL: RefCell<Vec<Scratch>> = const { RefCell::new(Vec::new()) };
+}
+
+impl Drop for Scratch {
+    fn drop(&mut self) {
+        if !self.marks.is_warm() {
+            return;
+        }
+        // Park the grown buffers (control is deliberately reset — a
+        // recycled scratch must not inherit a stale deadline or cancel
+        // flag). `try_with` fails during thread teardown, in which case
+        // the buffers are simply freed. A discarded entry drops plain
+        // `Vec`s inside the closure, so this cannot re-enter the pool.
+        let marks = mem::take(&mut self.marks);
+        let walker = mem::take(&mut self.walker);
+        let _ = SCRATCH_POOL.try_with(move |p| {
+            let mut p = p.borrow_mut();
+            if p.len() < SCRATCH_POOL_CAP {
+                p.push(Scratch {
+                    marks,
+                    walker,
+                    control: QueryControl::none(),
+                });
+            }
+        });
     }
 }
 

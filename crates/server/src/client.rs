@@ -1,15 +1,24 @@
-//! A blocking client for the text protocol — the other half of the
-//! conversation [`Server`](crate::Server) holds, used by `knmatch
-//! client`, the cross-check tests and the `server_throughput` bench.
+//! A blocking client for the text protocol and its binary frame
+//! sibling — the other half of the conversation
+//! [`Server`](crate::Server) and [`EventServer`](crate::reactor) hold,
+//! used by `knmatch client`, the cross-check tests and the benches.
+//!
+//! The receive path sniffs each response's first byte, so one client
+//! can mix text lines and binary frames on the same connection (the
+//! servers do the same for requests). [`Client::set_binary`] switches
+//! what *this* client sends; [`Client::run_pipelined`] keeps a window
+//! of requests in flight against the event-loop server.
 
-use std::io::{self, BufRead, BufReader, Write};
+use std::io::{self, BufRead, BufReader, Read, Write};
 use std::net::{TcpStream, ToSocketAddrs};
 use std::time::Duration;
 
 use knmatch_core::{BatchAnswer, BatchQuery, PlanTally, PlannerMode};
 
 use crate::protocol::{
-    format_query, parse_response, ErrorKind, ProtoError, Response, StatsSnapshot,
+    decode_response_frame, encode_batch_frame, encode_request_frame, format_query, parse_response,
+    ErrorKind, ProtoError, Request, Response, ServerExtras, StatsSnapshot, FRAME_HEADER_LEN,
+    FRAME_MAGIC, MAX_FRAME,
 };
 
 /// A failure reported by the server for one query (`ERR` line), as
@@ -83,6 +92,7 @@ pub struct BatchReply {
 pub struct Client {
     reader: BufReader<TcpStream>,
     writer: TcpStream,
+    binary: bool,
 }
 
 impl Client {
@@ -98,7 +108,15 @@ impl Client {
         Ok(Client {
             reader: BufReader::new(stream),
             writer,
+            binary: false,
         })
+    }
+
+    /// Switches request encoding: `true` sends compact binary frames
+    /// instead of text lines. Responses are sniffed either way, so this
+    /// can be toggled mid-connection.
+    pub fn set_binary(&mut self, on: bool) {
+        self.binary = on;
     }
 
     /// Sets a socket read timeout so a stuck server surfaces as an error
@@ -117,7 +135,55 @@ impl Client {
         Ok(())
     }
 
+    /// Sends `req` in the encoding [`set_binary`](Client::set_binary)
+    /// selected.
+    fn send_request(&mut self, req: &Request) -> Result<(), ClientError> {
+        if self.binary {
+            let mut frame = Vec::new();
+            encode_request_frame(req, &mut frame)?;
+            self.writer.write_all(&frame)?;
+            return Ok(());
+        }
+        let line = match req {
+            Request::Query(q) => format_query(q),
+            Request::Batch(count) => format!("BATCH {count}"),
+            Request::Deadline(ms) => format!("DEADLINE {ms}"),
+            Request::FailFast(on) => format!("FAILFAST {}", u8::from(*on)),
+            Request::Planner(mode) => format!("PLANNER {mode}"),
+            Request::Stats => "STATS".into(),
+            Request::Ping => "PING".into(),
+            Request::Quit => "QUIT".into(),
+            Request::Shutdown => "SHUTDOWN".into(),
+        };
+        self.send_line(&line)
+    }
+
+    /// Reads one response, sniffing the first byte for the frame magic
+    /// (binary) versus anything else (a text line).
     fn recv(&mut self) -> Result<Response, ClientError> {
+        let first = {
+            let buf = self.reader.fill_buf()?;
+            if buf.is_empty() {
+                return Err(ClientError::Io(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "server closed the connection",
+                )));
+            }
+            buf[0]
+        };
+        if first == FRAME_MAGIC {
+            let mut header = [0u8; FRAME_HEADER_LEN];
+            self.reader.read_exact(&mut header)?;
+            let len = u32::from_le_bytes([header[2], header[3], header[4], header[5]]) as usize;
+            if len > MAX_FRAME {
+                return Err(ClientError::Proto(ProtoError(format!(
+                    "response frame of {len} bytes exceeds {MAX_FRAME}"
+                ))));
+            }
+            let mut payload = vec![0u8; len];
+            self.reader.read_exact(&mut payload)?;
+            return Ok(decode_response_frame(header[1], &payload)?);
+        }
         let mut line = String::new();
         if self.reader.read_line(&mut line)? == 0 {
             return Err(ClientError::Io(io::Error::new(
@@ -134,7 +200,7 @@ impl Client {
     ///
     /// Transport failures or an unexpected response.
     pub fn ping(&mut self) -> Result<(), ClientError> {
-        self.send_line("PING")?;
+        self.send_request(&Request::Ping)?;
         match self.recv()? {
             Response::Pong => Ok(()),
             other => Err(ClientError::Unexpected(format!("{other:?}"))),
@@ -148,7 +214,7 @@ impl Client {
     ///
     /// Transport failures or an unexpected response.
     pub fn set_deadline_ms(&mut self, ms: u64) -> Result<(), ClientError> {
-        self.send_line(&format!("DEADLINE {ms}"))?;
+        self.send_request(&Request::Deadline(ms))?;
         match self.recv()? {
             Response::Deadline(got) if got == ms => Ok(()),
             other => Err(ClientError::Unexpected(format!("{other:?}"))),
@@ -161,7 +227,7 @@ impl Client {
     ///
     /// Transport failures or an unexpected response.
     pub fn set_fail_fast(&mut self, on: bool) -> Result<(), ClientError> {
-        self.send_line(&format!("FAILFAST {}", u8::from(on)))?;
+        self.send_request(&Request::FailFast(on))?;
         match self.recv()? {
             Response::FailFast(got) if got == on => Ok(()),
             other => Err(ClientError::Unexpected(format!("{other:?}"))),
@@ -176,7 +242,7 @@ impl Client {
     ///
     /// Transport failures or an unexpected response.
     pub fn set_planner(&mut self, mode: PlannerMode) -> Result<(), ClientError> {
-        self.send_line(&format!("PLANNER {mode}"))?;
+        self.send_request(&Request::Planner(mode))?;
         match self.recv()? {
             Response::Planner(got) if got == mode => Ok(()),
             other => Err(ClientError::Unexpected(format!("{other:?}"))),
@@ -193,12 +259,60 @@ impl Client {
         &mut self,
         q: &BatchQuery,
     ) -> Result<Result<BatchAnswer, ServedError>, ClientError> {
-        self.send_line(&format_query(q))?;
+        let mut burst = Vec::new();
+        self.push_query(q, &mut burst);
+        self.writer.write_all(&burst)?;
         match self.recv()? {
             Response::Answer(a) => Ok(Ok(a)),
             Response::Error { kind, message } => Ok(Err(ServedError { kind, message })),
             other => Err(ClientError::Unexpected(format!("{other:?}"))),
         }
+    }
+
+    /// Appends one query request to `burst` in the selected encoding.
+    fn push_query(&self, q: &BatchQuery, burst: &mut Vec<u8>) {
+        if self.binary {
+            crate::protocol::encode_query_frame(q, burst);
+        } else {
+            burst.extend_from_slice(format_query(q).as_bytes());
+            burst.push(b'\n');
+        }
+    }
+
+    /// Runs `queries` as individually pipelined requests with at most
+    /// `depth` in flight, returning the per-query results in submission
+    /// order (the servers guarantee response order, see DESIGN.md §13).
+    ///
+    /// # Errors
+    ///
+    /// Transport failures or an out-of-shape response stream.
+    pub fn run_pipelined(
+        &mut self,
+        queries: &[BatchQuery],
+        depth: usize,
+    ) -> Result<Vec<Result<BatchAnswer, ServedError>>, ClientError> {
+        let depth = depth.max(1);
+        let mut answers = Vec::with_capacity(queries.len());
+        let mut sent = 0;
+        let mut burst = Vec::new();
+        while answers.len() < queries.len() {
+            burst.clear();
+            while sent < queries.len() && sent - answers.len() < depth {
+                self.push_query(&queries[sent], &mut burst);
+                sent += 1;
+            }
+            if !burst.is_empty() {
+                self.writer.write_all(&burst)?;
+            }
+            match self.recv()? {
+                Response::Answer(a) => answers.push(Ok(a)),
+                Response::Error { kind, message } => {
+                    answers.push(Err(ServedError { kind, message }))
+                }
+                other => return Err(ClientError::Unexpected(format!("{other:?}"))),
+            }
+        }
+        Ok(answers)
     }
 
     /// Submits `queries` as one `BATCH`, pipelining all query lines in a
@@ -209,14 +323,42 @@ impl Client {
     ///
     /// Transport failures or an out-of-shape response stream.
     pub fn run_batch(&mut self, queries: &[BatchQuery]) -> Result<BatchReply, ClientError> {
+        self.send_batch(queries)?;
+        self.recv_batch(queries.len())
+    }
+
+    /// Writes `queries` as one batch request without waiting for the
+    /// responses — pair with [`recv_batch`](Client::recv_batch) to
+    /// pipeline whole batches.
+    ///
+    /// # Errors
+    ///
+    /// Socket errors from the write.
+    pub fn send_batch(&mut self, queries: &[BatchQuery]) -> Result<(), ClientError> {
+        if self.binary {
+            let mut frame = Vec::new();
+            encode_batch_frame(queries, &mut frame);
+            self.writer.write_all(&frame)?;
+            return Ok(());
+        }
         let mut frame = format!("BATCH {}\n", queries.len());
         for q in queries {
             frame.push_str(&format_query(q));
             frame.push('\n');
         }
         self.writer.write_all(frame.as_bytes())?;
-        let mut answers = Vec::with_capacity(queries.len());
-        for _ in 0..queries.len() {
+        Ok(())
+    }
+
+    /// Collects the `count` per-query responses and `DONE` trailer of
+    /// one in-flight batch.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures or an out-of-shape response stream.
+    pub fn recv_batch(&mut self, count: usize) -> Result<BatchReply, ClientError> {
+        let mut answers = Vec::with_capacity(count);
+        for _ in 0..count {
             match self.recv()? {
                 Response::Answer(a) => answers.push(Ok(a)),
                 Response::Error { kind, message } => {
@@ -257,13 +399,37 @@ impl Client {
     pub fn stats_with_plans(
         &mut self,
     ) -> Result<(StatsSnapshot, StatsSnapshot, Option<PlanTally>), ClientError> {
-        self.send_line("STATS")?;
+        self.stats_full()
+            .map(|(conn, server, plans, _)| (conn, server, plans))
+    }
+
+    /// The full `STATS` response: connection and server counters, the
+    /// plan tally, and the reactor extras (`None` from servers that
+    /// predate them).
+    ///
+    /// # Errors
+    ///
+    /// Transport failures or an unexpected response.
+    #[allow(clippy::type_complexity)]
+    pub fn stats_full(
+        &mut self,
+    ) -> Result<
+        (
+            StatsSnapshot,
+            StatsSnapshot,
+            Option<PlanTally>,
+            Option<ServerExtras>,
+        ),
+        ClientError,
+    > {
+        self.send_request(&Request::Stats)?;
         match self.recv()? {
             Response::Stats {
                 conn,
                 server,
                 plans,
-            } => Ok((conn, server, plans)),
+                extras,
+            } => Ok((conn, server, plans, extras)),
             other => Err(ClientError::Unexpected(format!("{other:?}"))),
         }
     }
@@ -274,7 +440,7 @@ impl Client {
     ///
     /// Transport failures or an unexpected response.
     pub fn shutdown_server(mut self) -> Result<(), ClientError> {
-        self.send_line("SHUTDOWN")?;
+        self.send_request(&Request::Shutdown)?;
         match self.recv()? {
             Response::ShuttingDown => Ok(()),
             other => Err(ClientError::Unexpected(format!("{other:?}"))),
@@ -287,7 +453,7 @@ impl Client {
     ///
     /// Transport failures or an unexpected response.
     pub fn quit(mut self) -> Result<(), ClientError> {
-        self.send_line("QUIT")?;
+        self.send_request(&Request::Quit)?;
         match self.recv()? {
             Response::Bye => Ok(()),
             other => Err(ClientError::Unexpected(format!("{other:?}"))),

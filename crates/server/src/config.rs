@@ -66,6 +66,39 @@ impl Default for EngineConfig {
 
 /// The host's available parallelism (≥ 1) — the default for `--workers`
 /// and `--shards auto`.
+/// Parses the serving-side flags of `knmatch serve` into a
+/// [`ServerConfig`](crate::ServerConfig) plus whether the event-loop
+/// front-end was requested: `--max-conns N` (default 64),
+/// `--event-loop` (the `poll(2)` reactor, unix only), and
+/// `--executors E` (reactor worker threads, `0` = one per core).
+///
+/// # Errors
+///
+/// Malformed numbers, or `--executors` without `--event-loop` (the
+/// blocking server's concurrency is one thread per connection).
+pub fn server_config_from_args(args: &[String]) -> Result<(crate::ServerConfig, bool), String> {
+    let max_connections = parse_num(
+        flag_value(args, "--max-conns").unwrap_or("64"),
+        "--max-conns",
+    )?;
+    let event_loop = args.iter().any(|a| a == "--event-loop");
+    if !event_loop && args.iter().any(|a| a == "--executors") {
+        return Err("--executors only applies to --event-loop".into());
+    }
+    let executors = parse_num(
+        flag_value(args, "--executors").unwrap_or("0"),
+        "--executors",
+    )?;
+    Ok((
+        crate::ServerConfig {
+            max_connections,
+            executors,
+            ..crate::ServerConfig::default()
+        },
+        event_loop,
+    ))
+}
+
 fn available_cpus() -> usize {
     std::thread::available_parallelism().map_or(1, |n| n.get())
 }
@@ -164,6 +197,8 @@ impl EngineConfig {
     }
 
     /// One-line human description, e.g. `"disk (256 pool pages), 4 worker(s)"`.
+    ///
+    /// See also [`server_config_from_args`] for the serving-side flags.
     pub fn describe(&self) -> String {
         let backend = match (self.backend, self.planner) {
             (Backend::Memory, Some(mode)) => format!("planned ({mode}), in-memory"),

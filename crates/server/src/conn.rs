@@ -1,0 +1,362 @@
+//! Per-connection plumbing for the event-loop server: an incremental
+//! frame decoder over a growable read buffer, and the ordered response
+//! slot queue that preserves request order under pipelining.
+//!
+//! [`FrameBuf`] accepts bytes in whatever chunks `read(2)` produces and
+//! yields complete frames: text lines, binary frames (sniffed per frame
+//! on [`FRAME_MAGIC`]), or oversized markers for input past
+//! [`MAX_LINE`] / [`MAX_FRAME`] — oversized input is drained, answered,
+//! and never desynchronises the stream, mirroring the blocking server's
+//! `LineReader`.
+//!
+//! [`SlotQueue`] is the pipelining invariant in data-structure form:
+//! every request occupies one slot in arrival order; control requests
+//! complete their slot immediately, query and batch requests complete it
+//! when the executor pool finishes; bytes leave the connection strictly
+//! from the head of the queue. A later request can *execute* before an
+//! earlier one finishes but can never *respond* first.
+
+use std::collections::VecDeque;
+
+use crate::protocol::{FRAME_HEADER_LEN, FRAME_MAGIC, MAX_FRAME, MAX_LINE};
+
+/// Which encoding a request arrived in — its response uses the same one.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Wire {
+    /// Newline-delimited text.
+    Text,
+    /// Length-prefixed binary frame.
+    Binary,
+}
+
+/// One complete unit of input recovered from the byte stream.
+#[derive(Debug, PartialEq, Eq)]
+pub(crate) enum InFrame {
+    /// A text line within [`MAX_LINE`] (newline stripped).
+    Text(String),
+    /// A text line past [`MAX_LINE`]; its bytes were drained.
+    TextOversized,
+    /// A binary frame within [`MAX_FRAME`].
+    Binary {
+        /// The frame kind byte.
+        kind: u8,
+        /// The payload (header stripped).
+        payload: Vec<u8>,
+    },
+    /// A binary frame whose header claimed more than [`MAX_FRAME`]; its
+    /// payload bytes were drained.
+    BinaryOversized,
+}
+
+/// What the decoder is in the middle of.
+#[derive(Debug)]
+enum ScanState {
+    /// At a frame boundary.
+    Normal,
+    /// Draining an oversized binary payload (`remaining` bytes to go).
+    SkipBinary(u64),
+    /// Draining an oversized text line (until the next newline).
+    SkipText,
+}
+
+/// Incremental frame decoder over an append-only read buffer.
+#[derive(Debug)]
+pub(crate) struct FrameBuf {
+    buf: Vec<u8>,
+    pos: usize,
+    state: ScanState,
+}
+
+impl FrameBuf {
+    pub(crate) fn new() -> FrameBuf {
+        FrameBuf {
+            buf: Vec::new(),
+            pos: 0,
+            state: ScanState::Normal,
+        }
+    }
+
+    /// Appends freshly read bytes, reclaiming consumed prefix space when
+    /// it dominates the buffer.
+    pub(crate) fn extend(&mut self, bytes: &[u8]) {
+        if self.pos == self.buf.len() {
+            self.buf.clear();
+            self.pos = 0;
+        } else if self.pos > 4096 && self.pos >= self.buf.len() / 2 {
+            self.buf.drain(..self.pos);
+            self.pos = 0;
+        }
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Unconsumed bytes currently buffered.
+    #[cfg(test)]
+    pub(crate) fn buffered(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// Yields the next complete frame, or `None` until more bytes arrive.
+    pub(crate) fn next_frame(&mut self) -> Option<InFrame> {
+        loop {
+            match self.state {
+                ScanState::SkipBinary(remaining) => {
+                    let avail = (self.buf.len() - self.pos) as u64;
+                    let take = remaining.min(avail);
+                    self.pos += take as usize;
+                    if take == remaining {
+                        self.state = ScanState::Normal;
+                        return Some(InFrame::BinaryOversized);
+                    }
+                    self.state = ScanState::SkipBinary(remaining - take);
+                    return None;
+                }
+                ScanState::SkipText => {
+                    match self.buf[self.pos..].iter().position(|&b| b == b'\n') {
+                        Some(i) => {
+                            self.pos += i + 1;
+                            self.state = ScanState::Normal;
+                            return Some(InFrame::TextOversized);
+                        }
+                        None => {
+                            self.pos = self.buf.len();
+                            return None;
+                        }
+                    }
+                }
+                ScanState::Normal => {
+                    let avail = &self.buf[self.pos..];
+                    let first = *avail.first()?;
+                    if first == FRAME_MAGIC {
+                        if avail.len() < FRAME_HEADER_LEN {
+                            return None;
+                        }
+                        let kind = avail[1];
+                        let len = u32::from_le_bytes(avail[2..FRAME_HEADER_LEN].try_into().unwrap())
+                            as u64;
+                        if len > MAX_FRAME as u64 {
+                            self.pos += FRAME_HEADER_LEN;
+                            self.state = ScanState::SkipBinary(len);
+                            continue;
+                        }
+                        let total = FRAME_HEADER_LEN + len as usize;
+                        if avail.len() < total {
+                            return None;
+                        }
+                        let payload = avail[FRAME_HEADER_LEN..total].to_vec();
+                        self.pos += total;
+                        return Some(InFrame::Binary { kind, payload });
+                    }
+                    match avail.iter().position(|&b| b == b'\n') {
+                        Some(i) => {
+                            self.pos += i + 1;
+                            if i > MAX_LINE {
+                                return Some(InFrame::TextOversized);
+                            }
+                            let line = String::from_utf8_lossy(&avail[..i]).into_owned();
+                            return Some(InFrame::Text(line));
+                        }
+                        None => {
+                            if avail.len() > MAX_LINE {
+                                // The line is already over the cap; drop
+                                // what's buffered and drain to the newline.
+                                self.pos = self.buf.len();
+                                self.state = ScanState::SkipText;
+                            }
+                            return None;
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// One response slot: `None` while the executor pool still owns the
+/// request, `Some(bytes)` once its serialized response is ready.
+#[derive(Debug)]
+struct Slot {
+    seq: u64,
+    data: Option<Vec<u8>>,
+}
+
+/// The per-connection ordered response queue (see module docs).
+#[derive(Debug)]
+pub(crate) struct SlotQueue {
+    slots: VecDeque<Slot>,
+    next_seq: u64,
+}
+
+impl SlotQueue {
+    pub(crate) fn new() -> SlotQueue {
+        SlotQueue {
+            slots: VecDeque::new(),
+            next_seq: 0,
+        }
+    }
+
+    /// Opens a slot for a request now in flight; the returned sequence
+    /// number routes the executor's completion back here.
+    pub(crate) fn push_waiting(&mut self) -> u64 {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.slots.push_back(Slot { seq, data: None });
+        seq
+    }
+
+    /// Opens and immediately completes a slot (control responses).
+    pub(crate) fn push_ready(&mut self, bytes: Vec<u8>) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.slots.push_back(Slot {
+            seq,
+            data: Some(bytes),
+        });
+    }
+
+    /// Completes the in-flight slot `seq`. Returns `false` when the slot
+    /// no longer exists (connection already gone).
+    pub(crate) fn complete(&mut self, seq: u64, bytes: Vec<u8>) -> bool {
+        match self.slots.iter_mut().find(|s| s.seq == seq) {
+            Some(slot) => {
+                slot.data = Some(bytes);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Takes the head slot's bytes if — and only if — the head is ready.
+    /// Later ready slots stay queued behind an in-flight head; that is
+    /// the ordering guarantee.
+    pub(crate) fn pop_ready(&mut self) -> Option<Vec<u8>> {
+        if self.slots.front()?.data.is_some() {
+            return self.slots.pop_front()?.data;
+        }
+        None
+    }
+
+    /// Requests currently occupying slots (in flight or unwritten).
+    pub(crate) fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    pub(crate) fn is_empty(&self) -> bool {
+        self.slots.is_empty()
+    }
+
+    /// Whether any slot still awaits its executor completion (as opposed
+    /// to ready-but-unwritten).
+    pub(crate) fn has_inflight(&self) -> bool {
+        self.slots.iter().any(|s| s.data.is_none())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::protocol::{encode_request_frame, Request};
+
+    fn frame_bytes(req: &Request) -> Vec<u8> {
+        let mut out = Vec::new();
+        encode_request_frame(req, &mut out).unwrap();
+        out
+    }
+
+    #[test]
+    fn text_lines_split_across_arbitrary_chunks() {
+        let mut fb = FrameBuf::new();
+        let input = b"PING\nSTATS\r\nQUIT\n";
+        for &b in input.iter() {
+            fb.extend(&[b]);
+        }
+        assert_eq!(fb.next_frame(), Some(InFrame::Text("PING".into())));
+        assert_eq!(fb.next_frame(), Some(InFrame::Text("STATS\r".into())));
+        assert_eq!(fb.next_frame(), Some(InFrame::Text("QUIT".into())));
+        assert_eq!(fb.next_frame(), None);
+    }
+
+    #[test]
+    fn binary_frames_reassemble_from_single_bytes() {
+        let bytes = frame_bytes(&Request::Deadline(123));
+        let mut fb = FrameBuf::new();
+        for (i, &b) in bytes.iter().enumerate() {
+            fb.extend(&[b]);
+            let got = fb.next_frame();
+            if i + 1 < bytes.len() {
+                assert_eq!(got, None, "premature frame at byte {i}");
+            } else {
+                match got {
+                    Some(InFrame::Binary { kind, payload }) => {
+                        assert_eq!(kind, bytes[1]);
+                        assert_eq!(payload, bytes[FRAME_HEADER_LEN..].to_vec());
+                    }
+                    other => panic!("expected binary frame, got {other:?}"),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn text_and_binary_interleave_on_one_stream() {
+        let bin = frame_bytes(&Request::Ping);
+        let mut stream = Vec::new();
+        stream.extend_from_slice(b"PING\n");
+        stream.extend_from_slice(&bin);
+        stream.extend_from_slice(b"STATS\n");
+        stream.extend_from_slice(&bin);
+        let mut fb = FrameBuf::new();
+        fb.extend(&stream);
+        assert_eq!(fb.next_frame(), Some(InFrame::Text("PING".into())));
+        assert!(matches!(fb.next_frame(), Some(InFrame::Binary { .. })));
+        assert_eq!(fb.next_frame(), Some(InFrame::Text("STATS".into())));
+        assert!(matches!(fb.next_frame(), Some(InFrame::Binary { .. })));
+        assert_eq!(fb.next_frame(), None);
+    }
+
+    #[test]
+    fn oversized_text_is_drained_not_fatal() {
+        let mut fb = FrameBuf::new();
+        let long = vec![b'x'; MAX_LINE + 10];
+        fb.extend(&long);
+        assert_eq!(fb.next_frame(), None);
+        fb.extend(b"tail\nPING\n");
+        assert_eq!(fb.next_frame(), Some(InFrame::TextOversized));
+        assert_eq!(fb.next_frame(), Some(InFrame::Text("PING".into())));
+        // Buffer does not retain the oversized line's bytes.
+        assert!(fb.buffered() < MAX_LINE);
+    }
+
+    #[test]
+    fn oversized_binary_is_drained_not_fatal() {
+        let mut fb = FrameBuf::new();
+        let len = (MAX_FRAME as u32) + 5;
+        let mut header = vec![FRAME_MAGIC, 0x01];
+        header.extend_from_slice(&len.to_le_bytes());
+        fb.extend(&header);
+        assert_eq!(fb.next_frame(), None);
+        // Drain the claimed payload in two chunks, then resume parsing.
+        fb.extend(&vec![0u8; MAX_FRAME / 2]);
+        assert_eq!(fb.next_frame(), None);
+        fb.extend(&vec![0u8; MAX_FRAME / 2 + 5]);
+        assert_eq!(fb.next_frame(), Some(InFrame::BinaryOversized));
+        fb.extend(b"PING\n");
+        assert_eq!(fb.next_frame(), Some(InFrame::Text("PING".into())));
+    }
+
+    #[test]
+    fn slot_queue_releases_strictly_in_order() {
+        let mut q = SlotQueue::new();
+        let a = q.push_waiting();
+        q.push_ready(b"ctrl".to_vec());
+        let b = q.push_waiting();
+        // Later request finishes first: nothing can be written yet.
+        assert!(q.complete(b, b"second".to_vec()));
+        assert_eq!(q.pop_ready(), None);
+        assert!(q.complete(a, b"first".to_vec()));
+        assert_eq!(q.pop_ready(), Some(b"first".to_vec()));
+        assert_eq!(q.pop_ready(), Some(b"ctrl".to_vec()));
+        assert_eq!(q.pop_ready(), Some(b"second".to_vec()));
+        assert!(q.is_empty());
+        assert!(!q.complete(99, Vec::new()));
+    }
+}

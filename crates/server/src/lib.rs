@@ -1,11 +1,13 @@
 //! # knmatch-server
 //!
-//! A std-only TCP front-end for batch k-n-match queries (DESIGN.md §11):
-//! a newline-delimited text [`protocol`], a thread-per-connection
-//! [`Server`] written against the
-//! [`BatchEngine`](knmatch_core::BatchEngine) trait (so the in-memory,
-//! sharded and disk backends share one serving path), a blocking
-//! [`Client`], and the [`EngineConfig`] flag grammar shared with the CLI.
+//! A std-only TCP front-end for batch k-n-match queries (DESIGN.md
+//! §11, §13): a newline-delimited text [`protocol`] with a compact
+//! binary frame alternative, a thread-per-connection [`Server`] and a
+//! `poll(2)`-driven pipelined [`EventServer`] (unix only) both written
+//! against the [`BatchEngine`](knmatch_core::BatchEngine) trait (so the
+//! in-memory, sharded and disk backends share one serving path), a
+//! blocking [`Client`] with a pipelined mode, and the [`EngineConfig`]
+//! flag grammar shared with the CLI.
 //!
 //! ```no_run
 //! use knmatch_core::BatchQuery;
@@ -27,16 +29,28 @@
 //! ```
 
 #![warn(missing_docs)]
-#![forbid(unsafe_code)]
+// `deny` rather than `forbid`: the reactor's `poll(2)` binding is the
+// one narrowly-scoped `#[allow(unsafe_code)]` module in the crate.
+#![deny(unsafe_code)]
 
 pub mod client;
 pub mod config;
+pub(crate) mod conn;
 pub mod planner_engine;
 pub mod protocol;
+#[cfg(unix)]
+pub mod reactor;
 pub mod server;
 
 pub use client::{BatchReply, Client, ClientError, ServedError};
-pub use config::{AnyEngine, AnyOutcome, Backend, EngineConfig, DEFAULT_POOL_PAGES};
+pub use config::{
+    server_config_from_args, AnyEngine, AnyOutcome, Backend, EngineConfig, DEFAULT_POOL_PAGES,
+};
 pub use planner_engine::{PlannedEngine, PLAN_FRACTION_SAMPLE};
-pub use protocol::{ErrorKind, ProtoError, Request, Response, StatsSnapshot, MAX_BATCH, MAX_LINE};
+pub use protocol::{
+    BinRequest, ErrorKind, ProtoError, Request, Response, ServerExtras, StatsSnapshot,
+    FRAME_HEADER_LEN, FRAME_MAGIC, MAX_BATCH, MAX_FRAME, MAX_LINE,
+};
+#[cfg(unix)]
+pub use reactor::{EventServer, MAX_PIPELINE};
 pub use server::{Server, ServerConfig, ShutdownHandle};

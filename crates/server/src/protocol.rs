@@ -36,14 +36,40 @@
 //! OK DEADLINE <ms> | OK FAILFAST <0|1> | OK PLANNER <mode>
 //! OK PONG | OK BYE | OK SHUTDOWN
 //! OK STATS <conn six counters> <server six counters> [four plan counters]
+//!          [three reactor counters]
 //! DONE <ok> <failed>
 //! ERR <kind> <message...>
 //! ```
 //!
 //! The four plan counters (`plans_ad= plans_vafile= plans_scan=
 //! plans_igrid=`, server scope) report how the cost-based planner routed
-//! queries; servers without a planner-capable engine omit them, and
-//! clients accept both shapes.
+//! queries; servers without a planner-capable engine omit them. The three
+//! reactor counters (`conns_peak= pipeline_depth_max= frames_binary=`,
+//! server scope) report the event-loop front-end's high-water marks;
+//! older servers omit them. Clients accept every combination — the
+//! labelled-field grammar makes the 12/15/16/19-field shapes
+//! self-describing.
+//!
+//! ## Binary frames
+//!
+//! Alongside the text protocol the same [`Request`]/[`Response`] values
+//! travel as length-prefixed binary frames (DESIGN.md §13), sniffed per
+//! frame on the first byte: [`FRAME_MAGIC`] (`0xA7`) never starts a text
+//! line, so one connection may freely interleave text lines and binary
+//! frames. Frame layout:
+//!
+//! ```text
+//! +-------+------+-------------+----------------------+
+//! | magic | kind | len u32 LE  | payload (len bytes)  |
+//! +-------+------+-------------+----------------------+
+//! ```
+//!
+//! Floats cross as `f64::to_bits` little-endian words, so binary answers
+//! are bit-identical to direct engine results by construction — no
+//! formatting or parsing on the hot path. Binary requests get binary
+//! responses; the `ERR` taxonomy is shared with the text protocol. A
+//! frame whose `len` exceeds [`MAX_FRAME`] is drained and answered with
+//! `ERR oversized`, mirroring the [`MAX_LINE`] rule for text.
 //!
 //! `ERR` kinds: `parse` (malformed request), `query` (validation or
 //! storage failure), `timeout` (deadline exceeded), `cancelled`
@@ -209,6 +235,50 @@ impl StatsSnapshot {
     }
 }
 
+/// The server-scope reactor counters appended to `STATS` by front-ends
+/// that track them (the event-loop server; the blocking fallback reports
+/// `conns_peak` and zeroes for the pipelining fields).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ServerExtras {
+    /// Most connections simultaneously open over the server's lifetime.
+    pub conns_peak: u64,
+    /// Deepest per-connection pipeline observed (requests in flight on
+    /// one connection, responses not yet written).
+    pub pipeline_depth_max: u64,
+    /// Binary frames received (complete or oversized-drained).
+    pub frames_binary: u64,
+}
+
+impl ServerExtras {
+    fn render(&self, out: &mut String) {
+        let _ = write!(
+            out,
+            "conns_peak={} pipeline_depth_max={} frames_binary={}",
+            self.conns_peak, self.pipeline_depth_max, self.frames_binary
+        );
+    }
+
+    fn parse(fields: &[&str]) -> Result<ServerExtras, ProtoError> {
+        let labels = ["conns_peak", "pipeline_depth_max", "frames_binary"];
+        if fields.len() != labels.len() {
+            return Err(err("STATS extras need 3 counters"));
+        }
+        let mut vals = [0u64; 3];
+        for (i, (field, label)) in fields.iter().zip(labels).enumerate() {
+            let v = field
+                .strip_prefix(label)
+                .and_then(|rest| rest.strip_prefix('='))
+                .ok_or_else(|| err(format!("expected {label}=<u64>, got {field:?}")))?;
+            vals[i] = parse_u64(v, label)?;
+        }
+        Ok(ServerExtras {
+            conns_peak: vals[0],
+            pipeline_depth_max: vals[1],
+            frames_binary: vals[2],
+        })
+    }
+}
+
 /// A parsed request line.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Request {
@@ -268,6 +338,9 @@ pub enum Response {
         /// Server-lifetime plan-choice counters, present when the served
         /// engine has a cost-based planner.
         plans: Option<PlanTally>,
+        /// Server-lifetime reactor counters, present on servers that
+        /// track them (absent only on pre-reactor servers).
+        extras: Option<ServerExtras>,
     },
     /// `OK PONG`.
     Pong,
@@ -501,6 +574,7 @@ pub fn format_response(r: &Response) -> String {
             conn,
             server,
             plans,
+            extras,
         } => {
             out.push_str("OK STATS ");
             conn.render(&mut out);
@@ -512,6 +586,10 @@ pub fn format_response(r: &Response) -> String {
                     " plans_ad={} plans_vafile={} plans_scan={} plans_igrid={}",
                     p.ad, p.vafile, p.scan, p.igrid
                 );
+            }
+            if let Some(x) = extras {
+                out.push(' ');
+                x.render(&mut out);
             }
         }
         Response::Pong => out.push_str("OK PONG"),
@@ -595,9 +673,25 @@ pub fn parse_response(line: &str) -> Result<Response, ProtoError> {
             .parse::<PlannerMode>()
             .map(Response::Planner)
             .map_err(err),
-        ["OK", "STATS", rest @ ..] if rest.len() == 12 || rest.len() == 16 => {
-            let plans = if rest.len() == 16 {
-                Some(parse_plan_tally(&rest[12..])?)
+        ["OK", "STATS", rest @ ..] if matches!(rest.len(), 12 | 15 | 16 | 19) => {
+            // The optional groups are label-addressed: field 12 starting
+            // with "plans_" means the plan tally is present; whatever
+            // remains (3 fields) is the reactor extras.
+            let has_plans = rest.len() >= 16 && rest[12].starts_with("plans_");
+            if rest.len() == 16 && !has_plans {
+                return Err(err("16-field STATS must carry plan counters"));
+            }
+            if rest.len() == 15 && rest[12].starts_with("plans_") {
+                return Err(err("15-field STATS must carry reactor counters"));
+            }
+            let plans = if has_plans {
+                Some(parse_plan_tally(&rest[12..16])?)
+            } else {
+                None
+            };
+            let extras_at = if has_plans { 16 } else { 12 };
+            let extras = if rest.len() > extras_at {
+                Some(ServerExtras::parse(&rest[extras_at..])?)
             } else {
                 None
             };
@@ -605,6 +699,7 @@ pub fn parse_response(line: &str) -> Result<Response, ProtoError> {
                 conn: StatsSnapshot::parse(&rest[..6])?,
                 server: StatsSnapshot::parse(&rest[6..12])?,
                 plans,
+                extras,
             })
         }
         ["OK", "PONG"] => Ok(Response::Pong),
@@ -621,6 +716,632 @@ pub fn error_response(e: &KnMatchError) -> Response {
         kind: ErrorKind::of_error(e),
         message: e.to_string(),
     }
+}
+
+// ---------------------------------------------------------------------------
+// Binary frame codec
+// ---------------------------------------------------------------------------
+
+/// First byte of every binary frame. Text lines start with an ASCII verb
+/// (`K`, `F`, `E`, `B`, `D`, `P`, `S`, `Q`, `O`) or a digit, never 0xA7,
+/// so one sniffed byte routes each frame.
+pub const FRAME_MAGIC: u8 = 0xA7;
+
+/// Bytes before the payload: magic, kind, `len` as `u32` little-endian.
+pub const FRAME_HEADER_LEN: usize = 6;
+
+/// Largest accepted binary payload (64 MiB — a full [`MAX_BATCH`] of
+/// wide queries fits with headroom). Bigger frames are drained and
+/// answered with `ERR oversized`, like over-[`MAX_LINE`] text lines.
+pub const MAX_FRAME: usize = 64 * 1024 * 1024;
+
+/// Request frame kinds.
+const REQ_QUERY: u8 = 0x01;
+const REQ_BATCH: u8 = 0x02;
+const REQ_DEADLINE: u8 = 0x03;
+const REQ_FAILFAST: u8 = 0x04;
+const REQ_PLANNER: u8 = 0x05;
+const REQ_STATS: u8 = 0x06;
+const REQ_PING: u8 = 0x07;
+const REQ_QUIT: u8 = 0x08;
+const REQ_SHUTDOWN: u8 = 0x09;
+
+/// Response frame kinds (high bit set).
+const RESP_ANSWER: u8 = 0x81;
+const RESP_ERR: u8 = 0x82;
+const RESP_DONE: u8 = 0x83;
+const RESP_DEADLINE: u8 = 0x84;
+const RESP_FAILFAST: u8 = 0x85;
+const RESP_PLANNER: u8 = 0x86;
+const RESP_STATS: u8 = 0x87;
+const RESP_PONG: u8 = 0x88;
+const RESP_BYE: u8 = 0x89;
+const RESP_SHUTDOWN: u8 = 0x8A;
+
+/// Tags inside query and answer payloads.
+const TAG_KNM: u8 = 0x01;
+const TAG_FREQ: u8 = 0x02;
+const TAG_EPS: u8 = 0x03;
+
+/// `STATS` payload flag bits.
+const STATS_HAS_PLANS: u8 = 0x01;
+const STATS_HAS_EXTRAS: u8 = 0x02;
+
+/// A decoded binary request. Binary `BATCH` frames are self-contained
+/// (the queries travel inside the frame), unlike the text protocol where
+/// `BATCH <count>` announces follow-up lines — hence the distinct shape.
+#[derive(Debug, Clone, PartialEq)]
+pub enum BinRequest {
+    /// Every verb except `BATCH`, mapped onto the text [`Request`].
+    One(Request),
+    /// A self-contained batch: run as one engine batch, answered by one
+    /// response frame per query plus a `DONE` trailer frame.
+    Batch(Vec<BatchQuery>),
+}
+
+fn planner_code(mode: PlannerMode) -> u8 {
+    match mode {
+        PlannerMode::Auto => 0,
+        PlannerMode::Ad => 1,
+        PlannerMode::VaFile => 2,
+        PlannerMode::Scan => 3,
+        PlannerMode::IGrid => 4,
+    }
+}
+
+fn planner_from_code(code: u8) -> Result<PlannerMode, ProtoError> {
+    Ok(match code {
+        0 => PlannerMode::Auto,
+        1 => PlannerMode::Ad,
+        2 => PlannerMode::VaFile,
+        3 => PlannerMode::Scan,
+        4 => PlannerMode::IGrid,
+        other => return Err(err(format!("unknown planner code {other}"))),
+    })
+}
+
+fn error_code(kind: ErrorKind) -> u8 {
+    match kind {
+        ErrorKind::Parse => 0,
+        ErrorKind::Query => 1,
+        ErrorKind::Timeout => 2,
+        ErrorKind::Cancelled => 3,
+        ErrorKind::Oversized => 4,
+        ErrorKind::Busy => 5,
+        ErrorKind::Proto => 6,
+        ErrorKind::Shutdown => 7,
+    }
+}
+
+fn error_from_code(code: u8) -> Result<ErrorKind, ProtoError> {
+    Ok(match code {
+        0 => ErrorKind::Parse,
+        1 => ErrorKind::Query,
+        2 => ErrorKind::Timeout,
+        3 => ErrorKind::Cancelled,
+        4 => ErrorKind::Oversized,
+        5 => ErrorKind::Busy,
+        6 => ErrorKind::Proto,
+        7 => ErrorKind::Shutdown,
+        other => return Err(err(format!("unknown error code {other}"))),
+    })
+}
+
+fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_f64(out: &mut Vec<u8>, v: f64) {
+    put_u64(out, v.to_bits());
+}
+
+fn put_coords(out: &mut Vec<u8>, coords: &[f64]) {
+    put_u32(out, coords.len() as u32);
+    for &v in coords {
+        put_f64(out, v);
+    }
+}
+
+fn put_str(out: &mut Vec<u8>, s: &str) {
+    put_u32(out, s.len() as u32);
+    out.extend_from_slice(s.as_bytes());
+}
+
+fn put_entries(out: &mut Vec<u8>, entries: &[MatchEntry]) {
+    put_u32(out, entries.len() as u32);
+    for e in entries {
+        put_u32(out, e.pid);
+        put_f64(out, e.diff);
+    }
+}
+
+fn put_snapshot(out: &mut Vec<u8>, s: &StatsSnapshot) {
+    for v in [
+        s.queries,
+        s.errors,
+        s.timeouts,
+        s.bytes_in,
+        s.bytes_out,
+        s.connections,
+    ] {
+        put_u64(out, v);
+    }
+}
+
+fn put_query(out: &mut Vec<u8>, q: &BatchQuery) {
+    match q {
+        BatchQuery::KnMatch { query, k, n } => {
+            out.push(TAG_KNM);
+            put_u32(out, *k as u32);
+            put_u32(out, *n as u32);
+            put_coords(out, query);
+        }
+        BatchQuery::Frequent { query, k, n0, n1 } => {
+            out.push(TAG_FREQ);
+            put_u32(out, *k as u32);
+            put_u32(out, *n0 as u32);
+            put_u32(out, *n1 as u32);
+            put_coords(out, query);
+        }
+        BatchQuery::EpsMatch { query, eps, n } => {
+            out.push(TAG_EPS);
+            put_f64(out, *eps);
+            put_u32(out, *n as u32);
+            put_coords(out, query);
+        }
+    }
+}
+
+/// Bounded little-endian reader over one frame payload.
+struct Cur<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cur<'a> {
+    fn new(buf: &'a [u8]) -> Cur<'a> {
+        Cur { buf, pos: 0 }
+    }
+
+    fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], ProtoError> {
+        if self.remaining() < n {
+            return Err(err("truncated binary payload"));
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    fn u8(&mut self) -> Result<u8, ProtoError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u32(&mut self) -> Result<u32, ProtoError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    fn u64(&mut self) -> Result<u64, ProtoError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    fn f64(&mut self) -> Result<f64, ProtoError> {
+        Ok(f64::from_bits(self.u64()?))
+    }
+
+    fn coords(&mut self) -> Result<Vec<f64>, ProtoError> {
+        let n = self.u32()? as usize;
+        // The length claim must be covered by actual payload bytes before
+        // any allocation — a forged count cannot balloon memory.
+        if self.remaining() < n * 8 {
+            return Err(err("coordinate count exceeds payload"));
+        }
+        (0..n).map(|_| self.f64()).collect()
+    }
+
+    fn string(&mut self) -> Result<String, ProtoError> {
+        let n = self.u32()? as usize;
+        let bytes = self.take(n)?;
+        String::from_utf8(bytes.to_vec()).map_err(|_| err("non-UTF-8 string in binary frame"))
+    }
+
+    fn entries(&mut self) -> Result<Vec<MatchEntry>, ProtoError> {
+        let n = self.u32()? as usize;
+        if self.remaining() < n * 12 {
+            return Err(err("entry count exceeds payload"));
+        }
+        (0..n)
+            .map(|_| {
+                Ok(MatchEntry {
+                    pid: self.u32()?,
+                    diff: self.f64()?,
+                })
+            })
+            .collect()
+    }
+
+    fn snapshot(&mut self) -> Result<StatsSnapshot, ProtoError> {
+        Ok(StatsSnapshot {
+            queries: self.u64()?,
+            errors: self.u64()?,
+            timeouts: self.u64()?,
+            bytes_in: self.u64()?,
+            bytes_out: self.u64()?,
+            connections: self.u64()?,
+        })
+    }
+
+    fn query(&mut self) -> Result<BatchQuery, ProtoError> {
+        match self.u8()? {
+            TAG_KNM => Ok(BatchQuery::KnMatch {
+                k: self.u32()? as usize,
+                n: self.u32()? as usize,
+                query: self.coords()?,
+            }),
+            TAG_FREQ => Ok(BatchQuery::Frequent {
+                k: self.u32()? as usize,
+                n0: self.u32()? as usize,
+                n1: self.u32()? as usize,
+                query: self.coords()?,
+            }),
+            TAG_EPS => Ok(BatchQuery::EpsMatch {
+                eps: self.f64()?,
+                n: self.u32()? as usize,
+                query: self.coords()?,
+            }),
+            other => Err(err(format!("unknown query tag {other}"))),
+        }
+    }
+
+    fn done(self) -> Result<(), ProtoError> {
+        if self.pos == self.buf.len() {
+            Ok(())
+        } else {
+            Err(err("trailing bytes in binary payload"))
+        }
+    }
+}
+
+fn begin_frame(out: &mut Vec<u8>, kind: u8) -> usize {
+    out.push(FRAME_MAGIC);
+    out.push(kind);
+    out.extend_from_slice(&[0; 4]);
+    out.len()
+}
+
+fn end_frame(out: &mut [u8], body: usize) {
+    let len = (out.len() - body) as u32;
+    out[body - 4..body].copy_from_slice(&len.to_le_bytes());
+}
+
+/// Appends one single-query request frame (the binary `KNM`/`FREQ`/`EPS`).
+pub fn encode_query_frame(q: &BatchQuery, out: &mut Vec<u8>) {
+    let body = begin_frame(out, REQ_QUERY);
+    put_query(out, q);
+    end_frame(out, body);
+}
+
+/// Appends one self-contained binary `BATCH` frame carrying `queries`.
+pub fn encode_batch_frame(queries: &[BatchQuery], out: &mut Vec<u8>) {
+    let body = begin_frame(out, REQ_BATCH);
+    put_u32(out, queries.len() as u32);
+    for q in queries {
+        put_query(out, q);
+    }
+    end_frame(out, body);
+}
+
+/// Appends one request frame for any non-`BATCH` request.
+///
+/// # Errors
+///
+/// [`Request::Batch`] has no binary form (its count-only shape announces
+/// text lines); use [`encode_batch_frame`] instead.
+pub fn encode_request_frame(req: &Request, out: &mut Vec<u8>) -> Result<(), ProtoError> {
+    match req {
+        Request::Query(q) => encode_query_frame(q, out),
+        Request::Batch(_) => {
+            return Err(err(
+                "text BATCH header has no binary frame; use encode_batch_frame",
+            ))
+        }
+        Request::Deadline(ms) => {
+            let body = begin_frame(out, REQ_DEADLINE);
+            put_u64(out, *ms);
+            end_frame(out, body);
+        }
+        Request::FailFast(on) => {
+            let body = begin_frame(out, REQ_FAILFAST);
+            out.push(u8::from(*on));
+            end_frame(out, body);
+        }
+        Request::Planner(mode) => {
+            let body = begin_frame(out, REQ_PLANNER);
+            out.push(planner_code(*mode));
+            end_frame(out, body);
+        }
+        Request::Stats => {
+            let body = begin_frame(out, REQ_STATS);
+            end_frame(out, body);
+        }
+        Request::Ping => {
+            let body = begin_frame(out, REQ_PING);
+            end_frame(out, body);
+        }
+        Request::Quit => {
+            let body = begin_frame(out, REQ_QUIT);
+            end_frame(out, body);
+        }
+        Request::Shutdown => {
+            let body = begin_frame(out, REQ_SHUTDOWN);
+            end_frame(out, body);
+        }
+    }
+    Ok(())
+}
+
+/// Decodes a request frame's `kind` and `payload` (header already
+/// stripped by the frame reader).
+///
+/// # Errors
+///
+/// Unknown kinds, truncated or oversized payload claims, a batch count
+/// over [`MAX_BATCH`].
+pub fn decode_request_frame(kind: u8, payload: &[u8]) -> Result<BinRequest, ProtoError> {
+    let mut c = Cur::new(payload);
+    let req = match kind {
+        REQ_QUERY => BinRequest::One(Request::Query(c.query()?)),
+        REQ_BATCH => {
+            let count = c.u32()? as usize;
+            if count > MAX_BATCH {
+                return Err(err(format!("batch of {count} exceeds limit {MAX_BATCH}")));
+            }
+            // Each query costs at least its tag byte; reject forged counts
+            // before reserving anything.
+            if count > c.remaining() {
+                return Err(err("batch count exceeds payload"));
+            }
+            let mut queries = Vec::with_capacity(count);
+            for _ in 0..count {
+                queries.push(c.query()?);
+            }
+            BinRequest::Batch(queries)
+        }
+        REQ_DEADLINE => BinRequest::One(Request::Deadline(c.u64()?)),
+        REQ_FAILFAST => BinRequest::One(Request::FailFast(match c.u8()? {
+            0 => false,
+            1 => true,
+            other => return Err(err(format!("FAILFAST takes 0 or 1, got {other}"))),
+        })),
+        REQ_PLANNER => BinRequest::One(Request::Planner(planner_from_code(c.u8()?)?)),
+        REQ_STATS => BinRequest::One(Request::Stats),
+        REQ_PING => BinRequest::One(Request::Ping),
+        REQ_QUIT => BinRequest::One(Request::Quit),
+        REQ_SHUTDOWN => BinRequest::One(Request::Shutdown),
+        other => return Err(err(format!("unknown request frame kind {other:#04x}"))),
+    };
+    c.done()?;
+    Ok(req)
+}
+
+/// Appends one response frame.
+pub fn encode_response_frame(r: &Response, out: &mut Vec<u8>) {
+    match r {
+        Response::Answer(answer) => {
+            let body = begin_frame(out, RESP_ANSWER);
+            match answer {
+                BatchAnswer::KnMatch(res) => {
+                    out.push(TAG_KNM);
+                    put_u32(out, res.n as u32);
+                    put_entries(out, &res.entries);
+                }
+                BatchAnswer::EpsMatch(res) => {
+                    out.push(TAG_EPS);
+                    put_u32(out, res.n as u32);
+                    put_entries(out, &res.entries);
+                }
+                BatchAnswer::Frequent(res) => {
+                    out.push(TAG_FREQ);
+                    put_u32(out, res.range.0 as u32);
+                    put_u32(out, res.range.1 as u32);
+                    put_u32(out, res.entries.len() as u32);
+                    for e in &res.entries {
+                        put_u32(out, e.pid);
+                        put_u32(out, e.count);
+                    }
+                    put_u32(out, res.per_n.len() as u32);
+                    for level in &res.per_n {
+                        put_u32(out, level.n as u32);
+                        put_entries(out, &level.entries);
+                    }
+                }
+            }
+            end_frame(out, body);
+        }
+        Response::Error { kind, message } => {
+            let body = begin_frame(out, RESP_ERR);
+            out.push(error_code(*kind));
+            put_str(out, message);
+            end_frame(out, body);
+        }
+        Response::Done { ok, failed } => {
+            let body = begin_frame(out, RESP_DONE);
+            put_u64(out, *ok);
+            put_u64(out, *failed);
+            end_frame(out, body);
+        }
+        Response::Deadline(ms) => {
+            let body = begin_frame(out, RESP_DEADLINE);
+            put_u64(out, *ms);
+            end_frame(out, body);
+        }
+        Response::FailFast(on) => {
+            let body = begin_frame(out, RESP_FAILFAST);
+            out.push(u8::from(*on));
+            end_frame(out, body);
+        }
+        Response::Planner(mode) => {
+            let body = begin_frame(out, RESP_PLANNER);
+            out.push(planner_code(*mode));
+            end_frame(out, body);
+        }
+        Response::Stats {
+            conn,
+            server,
+            plans,
+            extras,
+        } => {
+            let body = begin_frame(out, RESP_STATS);
+            let mut flags = 0u8;
+            if plans.is_some() {
+                flags |= STATS_HAS_PLANS;
+            }
+            if extras.is_some() {
+                flags |= STATS_HAS_EXTRAS;
+            }
+            out.push(flags);
+            put_snapshot(out, conn);
+            put_snapshot(out, server);
+            if let Some(p) = plans {
+                for v in [p.ad, p.vafile, p.scan, p.igrid] {
+                    put_u64(out, v);
+                }
+            }
+            if let Some(x) = extras {
+                for v in [x.conns_peak, x.pipeline_depth_max, x.frames_binary] {
+                    put_u64(out, v);
+                }
+            }
+            end_frame(out, body);
+        }
+        Response::Pong => {
+            let body = begin_frame(out, RESP_PONG);
+            end_frame(out, body);
+        }
+        Response::Bye => {
+            let body = begin_frame(out, RESP_BYE);
+            end_frame(out, body);
+        }
+        Response::ShuttingDown => {
+            let body = begin_frame(out, RESP_SHUTDOWN);
+            end_frame(out, body);
+        }
+    }
+}
+
+/// Decodes a response frame's `kind` and `payload`.
+///
+/// # Errors
+///
+/// Unknown kinds or malformed payloads.
+pub fn decode_response_frame(kind: u8, payload: &[u8]) -> Result<Response, ProtoError> {
+    let mut c = Cur::new(payload);
+    let resp = match kind {
+        RESP_ANSWER => Response::Answer(match c.u8()? {
+            TAG_KNM => BatchAnswer::KnMatch(KnMatchResult {
+                n: c.u32()? as usize,
+                entries: c.entries()?,
+            }),
+            TAG_EPS => BatchAnswer::EpsMatch(KnMatchResult {
+                n: c.u32()? as usize,
+                entries: c.entries()?,
+            }),
+            TAG_FREQ => {
+                let range = (c.u32()? as usize, c.u32()? as usize);
+                let n_ranked = c.u32()? as usize;
+                if c.remaining() < n_ranked * 8 {
+                    return Err(err("ranked count exceeds payload"));
+                }
+                let entries = (0..n_ranked)
+                    .map(|_| {
+                        Ok(FrequentEntry {
+                            pid: c.u32()?,
+                            count: c.u32()?,
+                        })
+                    })
+                    .collect::<Result<Vec<_>, ProtoError>>()?;
+                let n_levels = c.u32()? as usize;
+                if c.remaining() < n_levels * 8 {
+                    return Err(err("level count exceeds payload"));
+                }
+                let per_n = (0..n_levels)
+                    .map(|_| {
+                        Ok(KnMatchResult {
+                            n: c.u32()? as usize,
+                            entries: c.entries()?,
+                        })
+                    })
+                    .collect::<Result<Vec<_>, ProtoError>>()?;
+                BatchAnswer::Frequent(FrequentResult {
+                    range,
+                    entries,
+                    per_n,
+                })
+            }
+            other => return Err(err(format!("unknown answer tag {other}"))),
+        }),
+        RESP_ERR => Response::Error {
+            kind: error_from_code(c.u8()?)?,
+            message: c.string()?,
+        },
+        RESP_DONE => Response::Done {
+            ok: c.u64()?,
+            failed: c.u64()?,
+        },
+        RESP_DEADLINE => Response::Deadline(c.u64()?),
+        RESP_FAILFAST => Response::FailFast(match c.u8()? {
+            0 => false,
+            1 => true,
+            other => return Err(err(format!("OK FAILFAST takes 0 or 1, got {other}"))),
+        }),
+        RESP_PLANNER => Response::Planner(planner_from_code(c.u8()?)?),
+        RESP_STATS => {
+            let flags = c.u8()?;
+            if flags & !(STATS_HAS_PLANS | STATS_HAS_EXTRAS) != 0 {
+                return Err(err(format!("unknown STATS flags {flags:#04x}")));
+            }
+            let conn = c.snapshot()?;
+            let server = c.snapshot()?;
+            let plans = if flags & STATS_HAS_PLANS != 0 {
+                Some(PlanTally {
+                    ad: c.u64()?,
+                    vafile: c.u64()?,
+                    scan: c.u64()?,
+                    igrid: c.u64()?,
+                })
+            } else {
+                None
+            };
+            let extras = if flags & STATS_HAS_EXTRAS != 0 {
+                Some(ServerExtras {
+                    conns_peak: c.u64()?,
+                    pipeline_depth_max: c.u64()?,
+                    frames_binary: c.u64()?,
+                })
+            } else {
+                None
+            };
+            Response::Stats {
+                conn,
+                server,
+                plans,
+                extras,
+            }
+        }
+        RESP_PONG => Response::Pong,
+        RESP_BYE => Response::Bye,
+        RESP_SHUTDOWN => Response::ShuttingDown,
+        other => return Err(err(format!("unknown response frame kind {other:#04x}"))),
+    };
+    c.done()?;
+    Ok(resp)
 }
 
 #[cfg(test)]
@@ -703,6 +1424,7 @@ mod tests {
                 },
                 server: StatsSnapshot::default(),
                 plans: None,
+                extras: None,
             },
             Response::Stats {
                 conn: StatsSnapshot::default(),
@@ -712,6 +1434,32 @@ mod tests {
                     vafile: 4,
                     scan: 2,
                     igrid: 0,
+                }),
+                extras: None,
+            },
+            Response::Stats {
+                conn: StatsSnapshot::default(),
+                server: StatsSnapshot::default(),
+                plans: None,
+                extras: Some(ServerExtras {
+                    conns_peak: 4096,
+                    pipeline_depth_max: 32,
+                    frames_binary: 900,
+                }),
+            },
+            Response::Stats {
+                conn: StatsSnapshot::default(),
+                server: StatsSnapshot::default(),
+                plans: Some(PlanTally {
+                    ad: 1,
+                    vafile: 2,
+                    scan: 3,
+                    igrid: 4,
+                }),
+                extras: Some(ServerExtras {
+                    conns_peak: 7,
+                    pipeline_depth_max: 8,
+                    frames_binary: 9,
                 }),
             },
             Response::Pong,
@@ -783,6 +1531,213 @@ mod tests {
         ] {
             assert_eq!(ErrorKind::from_token(kind.token()), Some(kind));
         }
+    }
+
+    /// Splits one encoded frame back into (kind, payload), checking the
+    /// header along the way — the tests' stand-in for the frame reader.
+    fn split_frame(bytes: &[u8]) -> (u8, &[u8]) {
+        assert_eq!(bytes[0], FRAME_MAGIC);
+        let len = u32::from_le_bytes(bytes[2..6].try_into().unwrap()) as usize;
+        assert_eq!(bytes.len(), FRAME_HEADER_LEN + len, "frame length header");
+        (bytes[1], &bytes[FRAME_HEADER_LEN..])
+    }
+
+    #[test]
+    fn binary_requests_roundtrip() {
+        let requests = [
+            Request::Query(BatchQuery::KnMatch {
+                query: vec![1.5, -0.0, f64::MIN_POSITIVE, 1.0 / 3.0],
+                k: 2,
+                n: 3,
+            }),
+            Request::Query(BatchQuery::Frequent {
+                query: vec![f64::NAN, 1e300],
+                k: 1,
+                n0: 1,
+                n1: 2,
+            }),
+            Request::Query(BatchQuery::EpsMatch {
+                query: vec![0.25],
+                eps: 0.125,
+                n: 1,
+            }),
+            Request::Deadline(250),
+            Request::FailFast(true),
+            Request::Planner(PlannerMode::IGrid),
+            Request::Stats,
+            Request::Ping,
+            Request::Quit,
+            Request::Shutdown,
+        ];
+        for req in requests {
+            let mut bytes = Vec::new();
+            encode_request_frame(&req, &mut bytes).unwrap();
+            let (kind, payload) = split_frame(&bytes);
+            let got = decode_request_frame(kind, payload).unwrap();
+            // NaN breaks PartialEq; compare the re-encoded bytes instead,
+            // which is the bit-exactness claim anyway.
+            let round = match got {
+                BinRequest::One(r) => {
+                    let mut b = Vec::new();
+                    encode_request_frame(&r, &mut b).unwrap();
+                    b
+                }
+                BinRequest::Batch(_) => unreachable!("no batch encoded"),
+            };
+            assert_eq!(round, bytes);
+        }
+    }
+
+    #[test]
+    fn binary_batch_roundtrips_bit_exactly() {
+        let queries = vec![
+            BatchQuery::KnMatch {
+                query: vec![0.1, 0.2, 0.3],
+                k: 4,
+                n: 2,
+            },
+            BatchQuery::EpsMatch {
+                query: vec![-0.0, f64::INFINITY],
+                eps: 1e-300,
+                n: 1,
+            },
+        ];
+        let mut bytes = Vec::new();
+        encode_batch_frame(&queries, &mut bytes);
+        let (kind, payload) = split_frame(&bytes);
+        match decode_request_frame(kind, payload).unwrap() {
+            BinRequest::Batch(got) => assert_eq!(got, queries),
+            other => panic!("expected batch, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn binary_responses_roundtrip() {
+        let responses = [
+            Response::Answer(BatchAnswer::KnMatch(KnMatchResult {
+                n: 2,
+                entries: vec![
+                    MatchEntry { pid: 3, diff: 0.5 },
+                    MatchEntry {
+                        pid: 7,
+                        diff: 1.0 / 3.0,
+                    },
+                ],
+            })),
+            Response::Answer(BatchAnswer::EpsMatch(KnMatchResult {
+                n: 1,
+                entries: Vec::new(),
+            })),
+            Response::Answer(BatchAnswer::Frequent(FrequentResult {
+                range: (1, 2),
+                entries: vec![FrequentEntry { pid: 4, count: 2 }],
+                per_n: vec![
+                    KnMatchResult {
+                        n: 1,
+                        entries: vec![MatchEntry { pid: 4, diff: 0.25 }],
+                    },
+                    KnMatchResult {
+                        n: 2,
+                        entries: Vec::new(),
+                    },
+                ],
+            })),
+            Response::Error {
+                kind: ErrorKind::Oversized,
+                message: "frame too large".into(),
+            },
+            Response::Done { ok: 3, failed: 1 },
+            Response::Deadline(0),
+            Response::FailFast(false),
+            Response::Planner(PlannerMode::Auto),
+            Response::Stats {
+                conn: StatsSnapshot {
+                    queries: 1,
+                    errors: 2,
+                    timeouts: 3,
+                    bytes_in: 4,
+                    bytes_out: 5,
+                    connections: 1,
+                },
+                server: StatsSnapshot::default(),
+                plans: Some(PlanTally {
+                    ad: 9,
+                    vafile: 8,
+                    scan: 7,
+                    igrid: 6,
+                }),
+                extras: Some(ServerExtras {
+                    conns_peak: 11,
+                    pipeline_depth_max: 12,
+                    frames_binary: 13,
+                }),
+            },
+            Response::Pong,
+            Response::Bye,
+            Response::ShuttingDown,
+        ];
+        for r in responses {
+            let mut bytes = Vec::new();
+            encode_response_frame(&r, &mut bytes);
+            let (kind, payload) = split_frame(&bytes);
+            assert_eq!(decode_response_frame(kind, payload).unwrap(), r);
+        }
+    }
+
+    #[test]
+    fn binary_decode_rejects_malice() {
+        // Unknown kinds.
+        assert!(decode_request_frame(0x7F, &[]).is_err());
+        assert!(decode_response_frame(0x20, &[]).is_err());
+        // Batch count claiming more queries than bytes.
+        let mut forged = Vec::new();
+        put_u32(&mut forged, 1_000_000);
+        assert!(decode_request_frame(REQ_BATCH, &forged).is_err());
+        // Coordinate count claiming more floats than bytes.
+        let mut coords = vec![TAG_KNM];
+        put_u32(&mut coords, 1);
+        put_u32(&mut coords, 1);
+        put_u32(&mut coords, u32::MAX);
+        assert!(decode_request_frame(REQ_QUERY, &coords).is_err());
+        // Trailing garbage after a well-formed payload.
+        let mut ping = Vec::new();
+        encode_request_frame(&Request::Ping, &mut ping).unwrap();
+        assert!(decode_request_frame(ping[1], &[0u8]).is_err());
+        // Truncated payloads at every length of a valid query frame.
+        let mut q = Vec::new();
+        encode_query_frame(
+            &BatchQuery::KnMatch {
+                query: vec![1.0, 2.0],
+                k: 1,
+                n: 1,
+            },
+            &mut q,
+        );
+        let (kind, payload) = split_frame(&q);
+        for cut in 0..payload.len() {
+            assert!(
+                decode_request_frame(kind, &payload[..cut]).is_err(),
+                "cut={cut}"
+            );
+        }
+    }
+
+    #[test]
+    fn stats_parse_accepts_every_field_shape() {
+        // 12, 15, 16 and 19 fields all parse; label prefixes disambiguate
+        // the 15- and 16-field shapes.
+        let base = Response::Stats {
+            conn: StatsSnapshot::default(),
+            server: StatsSnapshot::default(),
+            plans: None,
+            extras: None,
+        };
+        let line = format_response(&base);
+        assert_eq!(parse_response(&line).unwrap(), base);
+        // A 15-field line whose 13th field claims to be plans is rejected
+        // rather than misread.
+        let bad = format!("{line} plans_ad=1 plans_vafile=2 plans_scan=3");
+        assert!(parse_response(&bad).is_err());
     }
 
     #[test]

@@ -1,0 +1,999 @@
+//! The event-driven TCP front-end: nonblocking sockets multiplexed by
+//! `poll(2)`, request pipelining with strict per-connection response
+//! order, and a fixed executor pool running queries (DESIGN.md §13).
+//!
+//! ## Shape
+//!
+//! One reactor thread owns every socket. It accepts, reads, frames
+//! (text lines and binary frames interleave freely — see
+//! [`FrameBuf`]), and dispatches: control requests (`PING`, `STATS`,
+//! `DEADLINE`…) are answered inline; query and `BATCH` requests become
+//! jobs on a [`Condvar`] queue drained by `executors` worker threads,
+//! each calling [`BatchEngine::run_with`] and serializing the responses
+//! off the reactor thread. Completions return through a mutex-guarded
+//! vector plus a loopback *wake* socket (std has no pipes, but a
+//! loopback pair is the same one-byte doorbell), so a sleeping `poll`
+//! learns of finished work immediately.
+//!
+//! ## Ordering guarantee
+//!
+//! Every request occupies one [`SlotQueue`] slot in arrival order, and
+//! bytes leave strictly from the head — a pipelined client gets its
+//! responses in exactly the order it sent requests, even when the
+//! executor pool finishes them out of order. `DEADLINE`/`FAILFAST`/
+//! `PLANNER` are applied at parse time, so each pipelined batch runs
+//! under the options that preceded it in the stream.
+//!
+//! ## Drain
+//!
+//! [`ShutdownHandle::shutdown`] flips the flag and pokes the listener
+//! with a loopback connect; the listener becomes readable and `poll`
+//! returns immediately — no timeout rounds. The reactor then stops
+//! accepting and parsing, appends one `ERR shutdown` slot behind each
+//! connection's in-flight requests, flushes, and closes. Drain latency
+//! on idle connections is a handful of wakeups, not `poll_interval`
+//! multiples (the graceful-drain test budgets 10ms).
+
+use std::collections::VecDeque;
+use std::io::{self, Read, Write};
+use std::net::{Ipv4Addr, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::os::unix::io::AsRawFd;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread;
+use std::time::{Duration, Instant};
+
+use knmatch_core::{BatchEngine, BatchOptions, BatchOutcome, BatchQuery};
+
+use crate::conn::{FrameBuf, InFrame, SlotQueue, Wire};
+use crate::protocol::{
+    decode_request_frame, encode_response_frame, error_response, format_response, parse_query,
+    parse_request, BinRequest, ErrorKind, Request, Response, StatsSnapshot, MAX_BATCH, MAX_FRAME,
+    MAX_LINE,
+};
+use crate::server::{ServerConfig, Shared, ShutdownHandle};
+
+/// Most requests one connection may have in flight (slots occupied,
+/// responses unwritten) before the reactor stops reading from it —
+/// pipelining backpressure, not an error.
+pub const MAX_PIPELINE: usize = 1024;
+
+/// After this much drain time, a connection whose responses are all
+/// ready but unflushable (peer stopped reading) is closed anyway.
+/// Connections with queries still executing are always waited for.
+const DRAIN_FLUSH_GRACE: Duration = Duration::from_secs(2);
+
+/// The thinnest possible `poll(2)` binding. The workspace links no
+/// external crates, but std already links the platform C library on
+/// every unix target, so declaring the one symbol we need is fine —
+/// this module is the only `unsafe` in the crate, kept to a single
+/// syscall with a safe slice-in/slice-out wrapper.
+#[allow(unsafe_code)]
+mod sys {
+    use std::io;
+    use std::os::unix::io::RawFd;
+    use std::time::Duration;
+
+    /// Readable (or: a connection is ready to accept).
+    pub const POLLIN: i16 = 0x001;
+    /// Writable without blocking.
+    pub const POLLOUT: i16 = 0x004;
+    /// Error condition (always reported; never requested).
+    pub const POLLERR: i16 = 0x008;
+    /// Peer hung up (always reported; never requested).
+    pub const POLLHUP: i16 = 0x010;
+    /// Invalid fd (always reported; never requested).
+    pub const POLLNVAL: i16 = 0x020;
+
+    /// `struct pollfd` — identical layout on every unix libc.
+    #[repr(C)]
+    #[derive(Debug, Clone, Copy)]
+    pub struct PollFd {
+        /// The fd to watch.
+        pub fd: RawFd,
+        /// Requested events.
+        pub events: i16,
+        /// Kernel-reported events.
+        pub revents: i16,
+    }
+
+    /// `nfds_t`: `unsigned long` on linux libcs, `unsigned int` on the
+    /// BSD family.
+    #[cfg(any(target_os = "macos", target_os = "freebsd", target_os = "netbsd"))]
+    type NfdsT = u32;
+    #[cfg(not(any(target_os = "macos", target_os = "freebsd", target_os = "netbsd")))]
+    type NfdsT = std::ffi::c_ulong;
+
+    extern "C" {
+        #[link_name = "poll"]
+        fn c_poll(fds: *mut PollFd, nfds: NfdsT, timeout: i32) -> i32;
+    }
+
+    /// Waits until an fd in `fds` has events or `timeout` passes.
+    /// Returns the number of fds with `revents` set (0 on timeout or
+    /// `EINTR`, which callers treat as an idle tick).
+    ///
+    /// # Errors
+    ///
+    /// The syscall's errno, except `EINTR`.
+    pub fn poll(fds: &mut [PollFd], timeout: Duration) -> io::Result<usize> {
+        let ms = timeout.as_millis().min(i32::MAX as u128) as i32;
+        // SAFETY: `fds` is a valid exclusively-borrowed slice of
+        // `#[repr(C)]` structs matching `struct pollfd`; the kernel
+        // writes only within `fds.len()` entries' `revents` fields.
+        let rc = unsafe { c_poll(fds.as_mut_ptr(), fds.len() as NfdsT, ms) };
+        if rc < 0 {
+            let e = io::Error::last_os_error();
+            if e.kind() == io::ErrorKind::Interrupted {
+                return Ok(0);
+            }
+            return Err(e);
+        }
+        Ok(rc as usize)
+    }
+}
+
+/// One executor work unit: a request's query slots, snapshotted options,
+/// and the routing needed to land the serialized responses back in the
+/// right connection's slot.
+struct Job {
+    conn: usize,
+    gen: u64,
+    seq: u64,
+    wire: Wire,
+    trailer: bool,
+    opts: BatchOptions,
+    slots: Vec<Result<BatchQuery, Response>>,
+}
+
+/// An executed job: serialized response bytes plus the counter deltas
+/// the reactor applies on receipt.
+struct Completion {
+    conn: usize,
+    gen: u64,
+    seq: u64,
+    bytes: Vec<u8>,
+    queries: u64,
+    errors: u64,
+    timeouts: u64,
+}
+
+/// The executor pool's job queue (`Mutex<VecDeque>` + `Condvar`; closed
+/// flag ends the workers).
+struct JobQueue {
+    state: Mutex<(VecDeque<Job>, bool)>,
+    cv: Condvar,
+}
+
+impl JobQueue {
+    fn new() -> JobQueue {
+        JobQueue {
+            state: Mutex::new((VecDeque::new(), false)),
+            cv: Condvar::new(),
+        }
+    }
+
+    fn push(&self, job: Job) {
+        let mut s = self.state.lock().unwrap();
+        s.0.push_back(job);
+        drop(s);
+        self.cv.notify_one();
+    }
+
+    /// Blocks for the next job; `None` once closed and empty.
+    fn pop(&self) -> Option<Job> {
+        let mut s = self.state.lock().unwrap();
+        loop {
+            if let Some(job) = s.0.pop_front() {
+                return Some(job);
+            }
+            if s.1 {
+                return None;
+            }
+            s = self.cv.wait(s).unwrap();
+        }
+    }
+
+    fn close(&self) {
+        self.state.lock().unwrap().1 = true;
+        self.cv.notify_all();
+    }
+}
+
+/// The executors' doorbell into a sleeping `poll`: one byte down a
+/// loopback socket pair, deduplicated so a burst of completions costs
+/// one syscall.
+struct Waker {
+    tx: TcpStream,
+    pending: AtomicBool,
+}
+
+impl Waker {
+    fn wake(&self) {
+        if !self.pending.swap(true, Ordering::SeqCst) {
+            let _ = (&self.tx).write(&[1u8]);
+        }
+    }
+}
+
+/// A connected loopback pair standing in for `pipe(2)`: `rx` is the
+/// nonblocking read end the reactor polls, `tx` the write end executors
+/// signal. The accept is checked against the connecting socket's local
+/// address so a stray connection cannot hijack the doorbell.
+fn wake_pair() -> io::Result<(TcpStream, TcpStream)> {
+    let listener = TcpListener::bind((Ipv4Addr::LOCALHOST, 0))?;
+    let tx = TcpStream::connect(listener.local_addr()?)?;
+    let want = tx.local_addr()?;
+    let rx = loop {
+        let (rx, peer) = listener.accept()?;
+        if peer == want {
+            break rx;
+        }
+    };
+    rx.set_nonblocking(true)?;
+    tx.set_nodelay(true).ok();
+    Ok((rx, tx))
+}
+
+/// Serializes `resp` in the request's encoding.
+fn emit(resp: &Response, wire: Wire, out: &mut Vec<u8>) {
+    match wire {
+        Wire::Text => {
+            out.extend_from_slice(format_response(resp).as_bytes());
+            out.push(b'\n');
+        }
+        Wire::Binary => encode_response_frame(resp, out),
+    }
+}
+
+/// Executor thread body: run jobs until the queue closes.
+fn executor_loop<E: BatchEngine + Sync>(
+    engine: &E,
+    queue: &JobQueue,
+    completions: &Mutex<Vec<Completion>>,
+    waker: &Waker,
+) {
+    while let Some(job) = queue.pop() {
+        let comp = run_job(engine, job);
+        completions.lock().unwrap().push(comp);
+        waker.wake();
+    }
+}
+
+/// Runs one job's parseable slots as a single engine batch and
+/// serializes one response per slot (slot order), plus the `DONE`
+/// trailer for batches — the executor-side mirror of the blocking
+/// server's `run_and_respond`.
+fn run_job<E: BatchEngine + Sync>(engine: &E, job: Job) -> Completion {
+    let queries: Vec<BatchQuery> = job
+        .slots
+        .iter()
+        .filter_map(|s| s.as_ref().ok())
+        .cloned()
+        .collect();
+    let mut outcomes = engine.run_with(&queries, &job.opts).into_iter();
+    let mut bytes = Vec::new();
+    let (mut ok, mut failed, mut timeouts) = (0u64, 0u64, 0u64);
+    for slot in &job.slots {
+        let response = match slot {
+            Err(pre) => pre.clone(),
+            Ok(_) => match outcomes.next().expect("one outcome per parsed query") {
+                Ok(outcome) => Response::Answer(outcome.into_answer()),
+                Err(e) => error_response(&e),
+            },
+        };
+        match &response {
+            Response::Answer(_) => ok += 1,
+            Response::Error { kind, .. } => {
+                failed += 1;
+                if *kind == ErrorKind::Timeout {
+                    timeouts += 1;
+                }
+            }
+            _ => failed += 1,
+        }
+        emit(&response, job.wire, &mut bytes);
+    }
+    if job.trailer {
+        emit(&Response::Done { ok, failed }, job.wire, &mut bytes);
+    }
+    Completion {
+        conn: job.conn,
+        gen: job.gen,
+        seq: job.seq,
+        bytes,
+        queries: job.slots.len() as u64,
+        errors: failed,
+        timeouts,
+    }
+}
+
+/// A text `BATCH <count>` whose query lines are still streaming in.
+struct TextBatch {
+    remaining: usize,
+    slots: Vec<Result<BatchQuery, Response>>,
+}
+
+/// Reactor-side state of one connection.
+struct ConnState {
+    stream: TcpStream,
+    frames: FrameBuf,
+    queue: SlotQueue,
+    wbuf: Vec<u8>,
+    wpos: usize,
+    opts: BatchOptions,
+    stats: StatsSnapshot,
+    batch: Option<TextBatch>,
+    last_wire: Wire,
+    closing: bool,
+    gen: u64,
+}
+
+/// A `poll(2)`-driven server over one batch engine — the event-loop
+/// sibling of [`Server`](crate::Server), speaking the same protocol
+/// (plus binary frames) with the same shutdown and counter semantics.
+pub struct EventServer<E> {
+    engine: E,
+    listener: TcpListener,
+    cfg: ServerConfig,
+    shared: Arc<Shared>,
+}
+
+impl<E: BatchEngine + Sync> EventServer<E> {
+    /// Binds `addr` and wraps `engine`; serving starts with
+    /// [`serve`](EventServer::serve).
+    ///
+    /// # Errors
+    ///
+    /// Socket errors from bind/local-addr resolution.
+    pub fn bind<A: ToSocketAddrs>(
+        engine: E,
+        addr: A,
+        cfg: ServerConfig,
+    ) -> io::Result<EventServer<E>> {
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        Ok(EventServer {
+            engine,
+            listener,
+            cfg,
+            shared: Arc::new(Shared::new(addr)),
+        })
+    }
+
+    /// The bound address (with the ephemeral port resolved).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.shared.addr
+    }
+
+    /// A handle that stops this server from another thread.
+    pub fn handle(&self) -> ShutdownHandle {
+        ShutdownHandle(self.shared.clone())
+    }
+
+    /// Server-lifetime counters so far.
+    pub fn stats(&self) -> StatsSnapshot {
+        self.shared.totals.snapshot()
+    }
+
+    /// The served engine.
+    pub fn engine(&self) -> &E {
+        &self.engine
+    }
+
+    /// Runs the reactor until a `SHUTDOWN` request or a
+    /// [`ShutdownHandle`] stops it, then drains (see module docs) and
+    /// returns.
+    ///
+    /// # Errors
+    ///
+    /// Fatal listener/poll errors only; per-connection failures close
+    /// that connection.
+    pub fn serve(&self) -> io::Result<()> {
+        self.listener.set_nonblocking(true)?;
+        let (wake_rx, wake_tx) = wake_pair()?;
+        let waker = Waker {
+            tx: wake_tx,
+            pending: AtomicBool::new(false),
+        };
+        let queue = JobQueue::new();
+        let completions: Mutex<Vec<Completion>> = Mutex::new(Vec::new());
+        let executors = if self.cfg.executors == 0 {
+            thread::available_parallelism().map_or(1, |n| n.get())
+        } else {
+            self.cfg.executors
+        };
+        thread::scope(|scope| {
+            for _ in 0..executors {
+                scope.spawn(|| executor_loop(&self.engine, &queue, &completions, &waker));
+            }
+            let result = Reactor {
+                engine: &self.engine,
+                cfg: &self.cfg,
+                shared: &self.shared,
+                listener: &self.listener,
+                queue: &queue,
+                conns: Vec::new(),
+                free: Vec::new(),
+                live: 0,
+                next_gen: 0,
+                draining: false,
+                drain_since: None,
+            }
+            .run(&wake_rx, &waker, &completions);
+            queue.close();
+            result
+        })
+    }
+}
+
+struct Reactor<'a, E> {
+    engine: &'a E,
+    cfg: &'a ServerConfig,
+    shared: &'a Shared,
+    listener: &'a TcpListener,
+    queue: &'a JobQueue,
+    conns: Vec<Option<ConnState>>,
+    free: Vec<usize>,
+    live: usize,
+    next_gen: u64,
+    draining: bool,
+    drain_since: Option<Instant>,
+}
+
+impl<'a, E: BatchEngine + Sync> Reactor<'a, E> {
+    fn run(
+        mut self,
+        wake_rx: &TcpStream,
+        waker: &Waker,
+        completions: &Mutex<Vec<Completion>>,
+    ) -> io::Result<()> {
+        let mut pollfds: Vec<sys::PollFd> = Vec::new();
+        let mut targets: Vec<usize> = Vec::new();
+        let mut scratch = vec![0u8; 64 * 1024];
+        loop {
+            if !self.draining && self.shared.is_shutdown() {
+                self.begin_drain();
+            }
+            if self.draining && self.live == 0 {
+                return Ok(());
+            }
+
+            pollfds.clear();
+            targets.clear();
+            pollfds.push(sys::PollFd {
+                fd: wake_rx.as_raw_fd(),
+                events: sys::POLLIN,
+                revents: 0,
+            });
+            // The listener is always polled: over-limit connections must
+            // be accepted to receive their `ERR busy` (blocking-server
+            // semantics), and during drain the shutdown poke and
+            // stragglers are accepted and dropped.
+            pollfds.push(sys::PollFd {
+                fd: self.listener.as_raw_fd(),
+                events: sys::POLLIN,
+                revents: 0,
+            });
+            for (idx, slot) in self.conns.iter().enumerate() {
+                let Some(c) = slot else { continue };
+                let mut events = 0i16;
+                if !c.closing && c.queue.len() < MAX_PIPELINE {
+                    events |= sys::POLLIN;
+                }
+                if c.wpos < c.wbuf.len() {
+                    events |= sys::POLLOUT;
+                }
+                pollfds.push(sys::PollFd {
+                    fd: c.stream.as_raw_fd(),
+                    events,
+                    revents: 0,
+                });
+                targets.push(idx);
+            }
+
+            let timeout = if self.draining {
+                Duration::from_millis(5)
+            } else {
+                self.cfg.poll_interval
+            };
+            sys::poll(&mut pollfds, timeout)?;
+
+            // Doorbell first: drain the byte(s), re-arm, then take the
+            // completions — executors push before ringing, so everything
+            // signalled is visible now.
+            if pollfds[0].revents != 0 {
+                loop {
+                    match (&mut (&*wake_rx)).read(&mut scratch) {
+                        Ok(0) => break,
+                        Ok(_) => continue,
+                        Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                        Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                        Err(_) => break,
+                    }
+                }
+            }
+            waker.pending.store(false, Ordering::SeqCst);
+            let finished = std::mem::take(&mut *completions.lock().unwrap());
+            for comp in finished {
+                self.apply(comp);
+            }
+
+            if pollfds[1].revents != 0 {
+                self.accept_ready();
+            }
+
+            for (pf, &idx) in pollfds[2..].iter().zip(&targets) {
+                if pf.revents & (sys::POLLIN | sys::POLLERR | sys::POLLHUP | sys::POLLNVAL) != 0 {
+                    self.read_conn(idx, &mut scratch);
+                }
+            }
+
+            self.pump_all();
+        }
+    }
+
+    /// Shutdown observed: stop accepting and parsing, queue `ERR
+    /// shutdown` behind every connection's in-flight slots.
+    fn begin_drain(&mut self) {
+        self.draining = true;
+        self.drain_since = Some(Instant::now());
+        for slot in self.conns.iter_mut() {
+            let Some(c) = slot else { continue };
+            if c.closing {
+                continue;
+            }
+            c.batch = None;
+            let shutdown = Response::Error {
+                kind: ErrorKind::Shutdown,
+                message: "server draining".into(),
+            };
+            let mut bytes = Vec::new();
+            emit(&shutdown, c.last_wire, &mut bytes);
+            c.stats.errors += 1;
+            self.shared.totals.errors.fetch_add(1, Ordering::Relaxed);
+            c.queue.push_ready(bytes);
+            c.closing = true;
+        }
+    }
+
+    fn accept_ready(&mut self) {
+        loop {
+            let (stream, _) = match self.listener.accept() {
+                Ok(pair) => pair,
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                // A vanished client or transient error must not stop the
+                // server; the next tick retries.
+                Err(_) => break,
+            };
+            if self.draining || self.shared.is_shutdown() {
+                // Shutdown poke or a straggler (the flag may be set a
+                // tick before `begin_drain` runs): dropping it closes
+                // the socket; the server no longer serves, and the poke
+                // never pollutes the connection counters.
+                continue;
+            }
+            if self.shared.active.load(Ordering::SeqCst) >= self.cfg.max_connections {
+                self.reject_busy(stream);
+                continue;
+            }
+            if stream.set_nonblocking(true).is_err() {
+                continue;
+            }
+            stream.set_nodelay(true).ok();
+            let now_active = self.shared.active.fetch_add(1, Ordering::SeqCst) as u64 + 1;
+            self.shared
+                .totals
+                .connections
+                .fetch_add(1, Ordering::Relaxed);
+            self.shared
+                .totals
+                .conns_peak
+                .fetch_max(now_active, Ordering::Relaxed);
+            let gen = self.next_gen;
+            self.next_gen += 1;
+            let conn = ConnState {
+                stream,
+                frames: FrameBuf::new(),
+                queue: SlotQueue::new(),
+                wbuf: Vec::new(),
+                wpos: 0,
+                opts: BatchOptions::default(),
+                stats: StatsSnapshot {
+                    connections: 1,
+                    ..StatsSnapshot::default()
+                },
+                batch: None,
+                last_wire: Wire::Text,
+                closing: false,
+                gen,
+            };
+            self.live += 1;
+            match self.free.pop() {
+                Some(i) => self.conns[i] = Some(conn),
+                None => self.conns.push(Some(conn)),
+            }
+        }
+    }
+
+    /// Best-effort `ERR busy` on an over-limit accept, then close.
+    fn reject_busy(&self, mut stream: TcpStream) {
+        let mut bytes = Vec::new();
+        emit(
+            &Response::Error {
+                kind: ErrorKind::Busy,
+                message: "connection limit reached".into(),
+            },
+            Wire::Text,
+            &mut bytes,
+        );
+        // A fresh socket's send buffer is empty, so this one write lands
+        // (or the peer is gone; either way the connection closes).
+        if stream.write(&bytes).is_ok() {
+            self.shared
+                .totals
+                .bytes_out
+                .fetch_add(bytes.len() as u64, Ordering::Relaxed);
+        }
+        self.shared.totals.errors.fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn close_conn(&mut self, idx: usize) {
+        if self.conns[idx].take().is_some() {
+            self.free.push(idx);
+            self.live -= 1;
+            self.shared.active.fetch_sub(1, Ordering::SeqCst);
+        }
+    }
+
+    /// Lands an executor completion in its connection's slot (discarded
+    /// when the connection died first — `gen` guards slab reuse).
+    fn apply(&mut self, comp: Completion) {
+        let Some(c) = self.conns.get_mut(comp.conn).and_then(Option::as_mut) else {
+            return;
+        };
+        if c.gen != comp.gen {
+            return;
+        }
+        c.stats.queries += comp.queries;
+        c.stats.errors += comp.errors;
+        c.stats.timeouts += comp.timeouts;
+        let t = &self.shared.totals;
+        t.queries.fetch_add(comp.queries, Ordering::Relaxed);
+        t.errors.fetch_add(comp.errors, Ordering::Relaxed);
+        t.timeouts.fetch_add(comp.timeouts, Ordering::Relaxed);
+        c.queue.complete(comp.seq, comp.bytes);
+    }
+
+    /// Reads until `WouldBlock`, EOF, or backpressure, feeding the frame
+    /// decoder and dispatching complete frames.
+    fn read_conn(&mut self, idx: usize, scratch: &mut [u8]) {
+        loop {
+            let Some(c) = self.conns.get_mut(idx).and_then(Option::as_mut) else {
+                return;
+            };
+            if c.closing {
+                return;
+            }
+            match c.stream.read(scratch) {
+                Ok(0) => {
+                    // EOF: like the blocking server, a half-closed peer
+                    // ends the conversation (unwritten responses drop).
+                    self.close_conn(idx);
+                    return;
+                }
+                Ok(n) => {
+                    c.stats.bytes_in += n as u64;
+                    self.shared
+                        .totals
+                        .bytes_in
+                        .fetch_add(n as u64, Ordering::Relaxed);
+                    c.frames.extend(&scratch[..n]);
+                    self.dispatch_frames(idx);
+                    let Some(c) = self.conns.get_mut(idx).and_then(Option::as_mut) else {
+                        return;
+                    };
+                    if c.closing || c.queue.len() >= MAX_PIPELINE {
+                        return;
+                    }
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => return,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(_) => {
+                    self.close_conn(idx);
+                    return;
+                }
+            }
+        }
+    }
+
+    /// Drains every complete frame buffered on `idx`.
+    fn dispatch_frames(&mut self, idx: usize) {
+        loop {
+            let Some(c) = self.conns.get_mut(idx).and_then(Option::as_mut) else {
+                return;
+            };
+            if c.closing || c.queue.len() >= MAX_PIPELINE {
+                return;
+            }
+            let Some(frame) = c.frames.next_frame() else {
+                return;
+            };
+            self.dispatch_one(idx, frame);
+        }
+    }
+
+    fn dispatch_one(&mut self, idx: usize, frame: InFrame) {
+        match frame {
+            InFrame::Binary { kind, payload } => {
+                self.shared
+                    .totals
+                    .frames_binary
+                    .fetch_add(1, Ordering::Relaxed);
+                let c = self.conn_mut(idx);
+                if c.batch.is_some() {
+                    // A binary frame cannot be a text BATCH's query line.
+                    self.batch_slot(
+                        idx,
+                        Err(Response::Error {
+                            kind: ErrorKind::Parse,
+                            message: "binary frame inside a text BATCH".into(),
+                        }),
+                    );
+                    return;
+                }
+                c.last_wire = Wire::Binary;
+                match decode_request_frame(kind, &payload) {
+                    Err(e) => self.ready_error(idx, Wire::Binary, ErrorKind::Parse, e.0),
+                    Ok(BinRequest::One(req)) => self.handle_request(idx, req, Wire::Binary),
+                    Ok(BinRequest::Batch(queries)) => {
+                        let slots = queries.into_iter().map(Ok).collect();
+                        self.submit_job(idx, slots, true, Wire::Binary);
+                    }
+                }
+            }
+            InFrame::BinaryOversized => {
+                self.shared
+                    .totals
+                    .frames_binary
+                    .fetch_add(1, Ordering::Relaxed);
+                let oversized = Response::Error {
+                    kind: ErrorKind::Oversized,
+                    message: format!("binary frame exceeds {MAX_FRAME} bytes"),
+                };
+                if self.conn_mut(idx).batch.is_some() {
+                    self.batch_slot(idx, Err(oversized));
+                } else {
+                    self.conn_mut(idx).last_wire = Wire::Binary;
+                    self.ready_response(idx, Wire::Binary, &oversized);
+                }
+            }
+            InFrame::Text(line) => {
+                if self.conn_mut(idx).batch.is_some() {
+                    let slot = match parse_query(&line) {
+                        Ok(q) => Ok(q),
+                        Err(e) => Err(Response::Error {
+                            kind: ErrorKind::Parse,
+                            message: e.0,
+                        }),
+                    };
+                    self.batch_slot(idx, slot);
+                    return;
+                }
+                self.conn_mut(idx).last_wire = Wire::Text;
+                match parse_request(&line) {
+                    Err(e) => self.ready_error(idx, Wire::Text, ErrorKind::Parse, e.0),
+                    Ok(req) => self.handle_request(idx, req, Wire::Text),
+                }
+            }
+            InFrame::TextOversized => {
+                let oversized = Response::Error {
+                    kind: ErrorKind::Oversized,
+                    message: format!("request line exceeds {MAX_LINE} bytes"),
+                };
+                if self.conn_mut(idx).batch.is_some() {
+                    self.batch_slot(idx, Err(oversized));
+                } else {
+                    self.conn_mut(idx).last_wire = Wire::Text;
+                    self.ready_response(idx, Wire::Text, &oversized);
+                }
+            }
+        }
+    }
+
+    fn handle_request(&mut self, idx: usize, req: Request, wire: Wire) {
+        match req {
+            Request::Query(q) => self.submit_job(idx, vec![Ok(q)], false, wire),
+            Request::Batch(count) => {
+                if count > MAX_BATCH {
+                    self.ready_error(
+                        idx,
+                        wire,
+                        ErrorKind::Proto,
+                        format!("BATCH count {count} exceeds {MAX_BATCH}"),
+                    );
+                } else if count == 0 {
+                    self.submit_job(idx, Vec::new(), true, wire);
+                } else {
+                    self.conn_mut(idx).batch = Some(TextBatch {
+                        remaining: count,
+                        slots: Vec::with_capacity(count.min(1024)),
+                    });
+                }
+            }
+            Request::Deadline(ms) => {
+                let c = self.conn_mut(idx);
+                c.opts.deadline = (ms > 0).then(|| Duration::from_millis(ms));
+                self.ready_response(idx, wire, &Response::Deadline(ms));
+            }
+            Request::FailFast(on) => {
+                self.conn_mut(idx).opts.fail_fast = on;
+                self.ready_response(idx, wire, &Response::FailFast(on));
+            }
+            Request::Planner(mode) => {
+                self.conn_mut(idx).opts.planner = Some(mode);
+                self.ready_response(idx, wire, &Response::Planner(mode));
+            }
+            Request::Stats => {
+                let response = Response::Stats {
+                    conn: self.conn_mut(idx).stats,
+                    server: self.shared.totals.snapshot(),
+                    plans: self.engine.plan_counts(),
+                    extras: Some(self.shared.totals.extras()),
+                };
+                self.ready_response(idx, wire, &response);
+            }
+            Request::Ping => self.ready_response(idx, wire, &Response::Pong),
+            Request::Quit => {
+                self.ready_response(idx, wire, &Response::Bye);
+                self.conn_mut(idx).closing = true;
+            }
+            Request::Shutdown => {
+                self.ready_response(idx, wire, &Response::ShuttingDown);
+                self.conn_mut(idx).closing = true;
+                // Sets the flag; the reactor observes it at the top of
+                // the next tick and drains every other connection.
+                self.shared.request_shutdown();
+            }
+        }
+    }
+
+    /// Adds one slot to the open text batch, submitting the batch when
+    /// its last line arrived.
+    fn batch_slot(&mut self, idx: usize, slot: Result<BatchQuery, Response>) {
+        let c = self.conn_mut(idx);
+        let batch = c.batch.as_mut().expect("batch in progress");
+        batch.slots.push(slot);
+        batch.remaining -= 1;
+        if batch.remaining == 0 {
+            let batch = c.batch.take().expect("batch in progress");
+            let wire = c.last_wire;
+            self.submit_job(idx, batch.slots, true, wire);
+        }
+    }
+
+    fn submit_job(
+        &mut self,
+        idx: usize,
+        slots: Vec<Result<BatchQuery, Response>>,
+        trailer: bool,
+        wire: Wire,
+    ) {
+        let c = self.conns[idx].as_mut().expect("live connection");
+        let seq = c.queue.push_waiting();
+        self.note_depth(idx);
+        let c = self.conns[idx].as_ref().expect("live connection");
+        self.queue.push(Job {
+            conn: idx,
+            gen: c.gen,
+            seq,
+            wire,
+            trailer,
+            opts: c.opts.clone(),
+            slots,
+        });
+    }
+
+    /// Opens and completes a slot with a control response, tallying
+    /// error counters inline (the executor path tallies its own).
+    fn ready_response(&mut self, idx: usize, wire: Wire, resp: &Response) {
+        let mut bytes = Vec::new();
+        emit(resp, wire, &mut bytes);
+        if let Response::Error { kind, .. } = resp {
+            let c = self.conns[idx].as_mut().expect("live connection");
+            c.stats.errors += 1;
+            self.shared.totals.errors.fetch_add(1, Ordering::Relaxed);
+            if *kind == ErrorKind::Timeout {
+                c.stats.timeouts += 1;
+                self.shared.totals.timeouts.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        self.conns[idx]
+            .as_mut()
+            .expect("live connection")
+            .queue
+            .push_ready(bytes);
+        self.note_depth(idx);
+    }
+
+    fn ready_error(&mut self, idx: usize, wire: Wire, kind: ErrorKind, message: String) {
+        self.ready_response(idx, wire, &Response::Error { kind, message });
+    }
+
+    fn note_depth(&mut self, idx: usize) {
+        let depth = self.conns[idx]
+            .as_ref()
+            .expect("live connection")
+            .queue
+            .len() as u64;
+        self.shared
+            .totals
+            .pipeline_depth_max
+            .fetch_max(depth, Ordering::Relaxed);
+    }
+
+    fn conn_mut(&mut self, idx: usize) -> &mut ConnState {
+        self.conns[idx].as_mut().expect("live connection")
+    }
+
+    /// Moves ready head slots into write buffers, writes what the
+    /// sockets accept, and closes finished or hopeless connections.
+    fn pump_all(&mut self) {
+        let flush_expired = self
+            .drain_since
+            .is_some_and(|t| t.elapsed() > DRAIN_FLUSH_GRACE);
+        for idx in 0..self.conns.len() {
+            let Some(c) = self.conns[idx].as_mut() else {
+                continue;
+            };
+            let mut gone = false;
+            loop {
+                while c.wbuf.len() - c.wpos < 64 * 1024 {
+                    match c.queue.pop_ready() {
+                        Some(bytes) => {
+                            c.stats.bytes_out += bytes.len() as u64;
+                            self.shared
+                                .totals
+                                .bytes_out
+                                .fetch_add(bytes.len() as u64, Ordering::Relaxed);
+                            c.wbuf.extend_from_slice(&bytes);
+                        }
+                        None => break,
+                    }
+                }
+                if c.wpos == c.wbuf.len() {
+                    c.wbuf.clear();
+                    c.wpos = 0;
+                    if c.closing && c.queue.is_empty() {
+                        gone = true;
+                    }
+                    break;
+                }
+                match c.stream.write(&c.wbuf[c.wpos..]) {
+                    Ok(0) => {
+                        gone = true;
+                        break;
+                    }
+                    Ok(n) => c.wpos += n,
+                    Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                        // During drain, give up on peers that stopped
+                        // reading once every response is ready and the
+                        // grace period passed.
+                        if flush_expired && !c.queue.has_inflight() {
+                            gone = true;
+                        }
+                        break;
+                    }
+                    Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                    Err(_) => {
+                        gone = true;
+                        break;
+                    }
+                }
+            }
+            if gone {
+                self.close_conn(idx);
+            }
+        }
+    }
+}

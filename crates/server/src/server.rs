@@ -31,18 +31,25 @@ use knmatch_core::{BatchEngine, BatchOptions, BatchOutcome, BatchQuery};
 
 use crate::protocol::{
     error_response, format_response, parse_query, parse_request, ErrorKind, Request, Response,
-    StatsSnapshot, MAX_BATCH, MAX_LINE,
+    ServerExtras, StatsSnapshot, MAX_BATCH, MAX_LINE,
 };
 
-/// Tuning knobs of [`Server::bind`].
+/// Tuning knobs of [`Server::bind`] and
+/// [`EventServer::bind`](crate::EventServer::bind).
 #[derive(Debug, Clone)]
 pub struct ServerConfig {
     /// Concurrent connections served; the next accept is answered with
     /// `ERR busy` and closed.
     pub max_connections: usize,
     /// How often an idle connection handler wakes up to check the
-    /// shutdown flag (the socket read timeout). Bounds drain latency.
+    /// shutdown flag (the socket read timeout). Bounds drain latency for
+    /// the blocking server; the event loop uses it only as its poll
+    /// timeout backstop (its drain is wakeup-driven, not timeout-driven).
     pub poll_interval: Duration,
+    /// Executor threads the event-loop server runs queries on (0 = one
+    /// per available core). The blocking server ignores this — its
+    /// parallelism is the engine's worker count.
+    pub executors: usize,
 }
 
 impl Default for ServerConfig {
@@ -50,23 +57,27 @@ impl Default for ServerConfig {
         ServerConfig {
             max_connections: 64,
             poll_interval: Duration::from_millis(50),
+            executors: 0,
         }
     }
 }
 
 /// Monotone server-lifetime counters, updated live by every connection.
 #[derive(Debug, Default)]
-struct Counters {
-    queries: AtomicU64,
-    errors: AtomicU64,
-    timeouts: AtomicU64,
-    bytes_in: AtomicU64,
-    bytes_out: AtomicU64,
-    connections: AtomicU64,
+pub(crate) struct Counters {
+    pub(crate) queries: AtomicU64,
+    pub(crate) errors: AtomicU64,
+    pub(crate) timeouts: AtomicU64,
+    pub(crate) bytes_in: AtomicU64,
+    pub(crate) bytes_out: AtomicU64,
+    pub(crate) connections: AtomicU64,
+    pub(crate) conns_peak: AtomicU64,
+    pub(crate) pipeline_depth_max: AtomicU64,
+    pub(crate) frames_binary: AtomicU64,
 }
 
 impl Counters {
-    fn snapshot(&self) -> StatsSnapshot {
+    pub(crate) fn snapshot(&self) -> StatsSnapshot {
         StatsSnapshot {
             queries: self.queries.load(Ordering::Relaxed),
             errors: self.errors.load(Ordering::Relaxed),
@@ -76,27 +87,48 @@ impl Counters {
             connections: self.connections.load(Ordering::Relaxed),
         }
     }
+
+    pub(crate) fn extras(&self) -> ServerExtras {
+        ServerExtras {
+            conns_peak: self.conns_peak.load(Ordering::Relaxed),
+            pipeline_depth_max: self.pipeline_depth_max.load(Ordering::Relaxed),
+            frames_binary: self.frames_binary.load(Ordering::Relaxed),
+        }
+    }
 }
 
 /// State shared between the accept loop, connection handlers, and
-/// [`ShutdownHandle`]s.
+/// [`ShutdownHandle`]s. The event-loop server reuses it so both
+/// front-ends expose identical shutdown and counter semantics.
 #[derive(Debug)]
-struct Shared {
-    shutdown: AtomicBool,
-    active: AtomicUsize,
-    totals: Counters,
-    addr: SocketAddr,
+pub(crate) struct Shared {
+    pub(crate) shutdown: AtomicBool,
+    pub(crate) active: AtomicUsize,
+    pub(crate) totals: Counters,
+    pub(crate) addr: SocketAddr,
 }
 
 impl Shared {
-    /// Flips the shutdown flag and unblocks `accept` with a loopback
-    /// connect (ignored if the listener is already gone).
-    fn request_shutdown(&self) {
+    pub(crate) fn new(addr: SocketAddr) -> Shared {
+        Shared {
+            shutdown: AtomicBool::new(false),
+            active: AtomicUsize::new(0),
+            totals: Counters::default(),
+            addr,
+        }
+    }
+
+    /// Flips the shutdown flag and unblocks the accept path with a
+    /// loopback connect (ignored if the listener is already gone). For
+    /// the event loop the connect makes the listener readable, so `poll`
+    /// returns immediately — drain latency is wakeup-bound, not
+    /// timeout-bound.
+    pub(crate) fn request_shutdown(&self) {
         self.shutdown.store(true, Ordering::SeqCst);
         let _ = TcpStream::connect_timeout(&self.addr, Duration::from_millis(200));
     }
 
-    fn is_shutdown(&self) -> bool {
+    pub(crate) fn is_shutdown(&self) -> bool {
         self.shutdown.load(Ordering::SeqCst)
     }
 }
@@ -104,7 +136,7 @@ impl Shared {
 /// A clonable handle that stops a running [`Server::serve`] loop — the
 /// process's SIGTERM path calls this from any thread.
 #[derive(Debug, Clone)]
-pub struct ShutdownHandle(std::sync::Arc<Shared>);
+pub struct ShutdownHandle(pub(crate) std::sync::Arc<Shared>);
 
 impl ShutdownHandle {
     /// Initiates drain: stop accepting, let in-flight requests finish,
@@ -141,12 +173,7 @@ impl<E: BatchEngine + Sync> Server<E> {
             engine,
             listener,
             cfg,
-            shared: std::sync::Arc::new(Shared {
-                shutdown: AtomicBool::new(false),
-                active: AtomicUsize::new(0),
-                totals: Counters::default(),
-                addr,
-            }),
+            shared: std::sync::Arc::new(Shared::new(addr)),
         })
     }
 
@@ -196,8 +223,12 @@ impl<E: BatchEngine + Sync> Server<E> {
                     reject_busy(stream, shared);
                     continue;
                 }
-                shared.active.fetch_add(1, Ordering::SeqCst);
+                let now_active = shared.active.fetch_add(1, Ordering::SeqCst) as u64 + 1;
                 shared.totals.connections.fetch_add(1, Ordering::Relaxed);
+                shared
+                    .totals
+                    .conns_peak
+                    .fetch_max(now_active, Ordering::Relaxed);
                 let engine = &self.engine;
                 let cfg = &self.cfg;
                 scope.spawn(move || {
@@ -438,6 +469,9 @@ fn handle_connection<E: BatchEngine + Sync>(
                     conn: conn.stats,
                     server: shared.totals.snapshot(),
                     plans: engine.plan_counts(),
+                    // The blocking front-end neither pipelines nor speaks
+                    // binary; those extras stay 0 by construction.
+                    extras: Some(shared.totals.extras()),
                 };
                 conn.send(&response)?;
             }

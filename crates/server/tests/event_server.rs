@@ -1,0 +1,375 @@
+//! The event-loop server serves the same protocol as the blocking one:
+//! pipelined answers bit-identical to direct engine runs, strict
+//! response ordering, mixed text/binary connections, instant drain.
+#![cfg(unix)]
+
+use std::net::SocketAddr;
+use std::thread;
+use std::time::{Duration, Instant};
+
+use knmatch_core::{BatchEngine, BatchOutcome, BatchQuery, KnMatchError};
+use knmatch_data::uniform;
+use knmatch_server::{
+    Backend, Client, EngineConfig, ErrorKind, EventServer, Response, ServerConfig, StatsSnapshot,
+};
+
+struct ShutdownGuard(knmatch_server::ShutdownHandle);
+
+impl Drop for ShutdownGuard {
+    fn drop(&mut self) {
+        self.0.shutdown();
+    }
+}
+
+/// Binds an ephemeral-port event server over `engine`, runs `f` against
+/// it, shuts down, and returns the server's final counters.
+fn with_event_server<E, F>(engine: E, cfg: ServerConfig, f: F) -> StatsSnapshot
+where
+    E: BatchEngine + Sync,
+    F: FnOnce(SocketAddr),
+{
+    let server = EventServer::bind(engine, "127.0.0.1:0", cfg).expect("bind");
+    let addr = server.local_addr();
+    let handle = server.handle();
+    thread::scope(|s| {
+        let serving = s.spawn(|| server.serve().expect("serve"));
+        {
+            let _guard = ShutdownGuard(handle);
+            f(addr);
+        }
+        serving.join().expect("server thread");
+    });
+    server.stats()
+}
+
+/// The cross-check workload: all three query kinds plus two invalid
+/// slots (dimension mismatch, negative epsilon).
+fn workload(dims: usize) -> Vec<BatchQuery> {
+    let mut queries = Vec::new();
+    for i in 0..4 {
+        let v = 0.15 + 0.2 * i as f64;
+        queries.push(BatchQuery::KnMatch {
+            query: vec![v; dims],
+            k: 3,
+            n: 2,
+        });
+        queries.push(BatchQuery::Frequent {
+            query: vec![1.0 - v; dims],
+            k: 2,
+            n0: 1,
+            n1: dims,
+        });
+        queries.push(BatchQuery::EpsMatch {
+            query: vec![v; dims],
+            eps: 0.05,
+            n: 2,
+        });
+    }
+    queries.push(BatchQuery::KnMatch {
+        query: vec![0.5; dims + 1],
+        k: 1,
+        n: 1,
+    });
+    queries.push(BatchQuery::EpsMatch {
+        query: vec![0.5; dims],
+        eps: -1.0,
+        n: 1,
+    });
+    queries
+}
+
+fn expected_wire<O: BatchOutcome>(
+    direct: Vec<Result<O, KnMatchError>>,
+) -> Vec<Result<knmatch_core::BatchAnswer, (ErrorKind, String)>> {
+    direct
+        .into_iter()
+        .map(|r| match r {
+            Ok(o) => Ok(o.into_answer()),
+            Err(e) => Err((ErrorKind::of_error(&e), e.to_string())),
+        })
+        .collect()
+}
+
+fn temp_csv(tag: &str) -> (TempDir, String) {
+    let dir = std::env::temp_dir().join(format!("knmatch-event-{tag}-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let ds = uniform(200, 4, 0x5EED);
+    let csv = dir.join("data.csv");
+    knmatch_data::save_dataset(&csv, &ds).expect("write csv");
+    (TempDir(dir.clone()), csv.to_string_lossy().into_owned())
+}
+
+struct TempDir(std::path::PathBuf);
+
+impl Drop for TempDir {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.0);
+    }
+}
+
+/// Satellite 3's core claim: pipelined answers (text and binary) are
+/// bit-identical to direct `BatchEngine` runs at workers 1/2/4, and
+/// arrive strictly in submission order.
+#[test]
+fn pipelined_answers_bit_identical_at_every_worker_count() {
+    let (_dir, csv) = temp_csv("xcheck");
+    let queries = workload(4);
+    for workers in [1, 2, 4] {
+        let cfg = EngineConfig {
+            workers,
+            backend: Backend::Memory,
+            planner: None,
+        };
+        let engine = cfg.open(&csv).expect("open engine");
+        let expected = expected_wire(engine.run(&queries));
+
+        let stats = with_event_server(
+            engine,
+            ServerConfig {
+                executors: 2,
+                ..ServerConfig::default()
+            },
+            |addr| {
+                thread::scope(|s| {
+                    for binary in [false, true] {
+                        let queries = &queries;
+                        let expected = &expected;
+                        s.spawn(move || {
+                            let mut client = Client::connect(addr).expect("connect");
+                            client.set_binary(binary);
+                            client.ping().expect("ping");
+                            // Individually pipelined requests, depth 8.
+                            let answers = client.run_pipelined(queries, 8).expect("pipelined");
+                            assert_eq!(answers.len(), expected.len());
+                            for (got, want) in answers.iter().zip(expected) {
+                                match (got, want) {
+                                    (Ok(a), Ok(b)) => assert_eq!(a, b, "answer diverged"),
+                                    (Err(e), Err((kind, msg))) => {
+                                        assert_eq!(e.kind, *kind);
+                                        assert_eq!(&e.message, msg);
+                                    }
+                                    other => panic!("slot shape diverged: {other:?}"),
+                                }
+                            }
+                            // The same workload as one batch request.
+                            let reply = client.run_batch(queries).expect("batch");
+                            assert_eq!(reply.ok, 12, "workers={workers} binary={binary}");
+                            assert_eq!(reply.failed, 2);
+                            for (got, want) in reply.answers.iter().zip(expected) {
+                                match (got, want) {
+                                    (Ok(a), Ok(b)) => assert_eq!(a, b, "batch answer diverged"),
+                                    (Err(e), Err((kind, msg))) => {
+                                        assert_eq!(e.kind, *kind);
+                                        assert_eq!(&e.message, msg);
+                                    }
+                                    other => panic!("slot shape diverged: {other:?}"),
+                                }
+                            }
+                            client.quit().expect("quit");
+                        });
+                    }
+                });
+            },
+        );
+        assert_eq!(stats.connections, 2);
+        assert_eq!(stats.queries, 2 * 2 * queries.len() as u64);
+        assert_eq!(stats.errors, 2 * 2 * 2, "two invalid slots per pass");
+    }
+}
+
+/// One connection may switch encodings between requests; the server
+/// answers each request in the encoding it arrived in.
+#[test]
+fn text_and_binary_interleave_on_one_connection() {
+    let (_dir, csv) = temp_csv("mixed");
+    let engine = EngineConfig {
+        workers: 1,
+        backend: Backend::Memory,
+        planner: None,
+    }
+    .open(&csv)
+    .expect("open engine");
+    let q = BatchQuery::KnMatch {
+        query: vec![0.5; 4],
+        k: 2,
+        n: 2,
+    };
+    let direct = expected_wire(
+        EngineConfig {
+            workers: 1,
+            backend: Backend::Memory,
+            planner: None,
+        }
+        .open(&csv)
+        .expect("open")
+        .run(std::slice::from_ref(&q)),
+    );
+
+    with_event_server(engine, ServerConfig::default(), |addr| {
+        let mut client = Client::connect(addr).expect("connect");
+        for binary in [false, true, false, true] {
+            client.set_binary(binary);
+            client.ping().expect("ping");
+            let got = client.query(&q).expect("query").expect("answer");
+            match &direct[0] {
+                Ok(want) => assert_eq!(&got, want, "binary={binary}"),
+                Err(_) => panic!("healthy query failed"),
+            }
+            let reply = client.run_batch(std::slice::from_ref(&q)).expect("batch");
+            assert_eq!(reply.ok, 1);
+        }
+        // Empty batches stay legal in both encodings.
+        for binary in [false, true] {
+            client.set_binary(binary);
+            let reply = client.run_batch(&[]).expect("empty batch");
+            assert_eq!((reply.ok, reply.failed), (0, 0));
+        }
+        client.quit().expect("quit");
+    });
+}
+
+/// STATS grows the reactor extras (satellite 4): peak connections,
+/// deepest pipeline, and binary frame count all travel the text wire.
+#[test]
+fn stats_extras_report_reactor_counters() {
+    let (_dir, csv) = temp_csv("extras");
+    let engine = EngineConfig {
+        workers: 1,
+        backend: Backend::Memory,
+        planner: None,
+    }
+    .open(&csv)
+    .expect("open engine");
+    let queries: Vec<BatchQuery> = (0..16)
+        .map(|i| BatchQuery::KnMatch {
+            query: vec![0.1 + 0.05 * i as f64; 4],
+            k: 2,
+            n: 2,
+        })
+        .collect();
+
+    with_event_server(engine, ServerConfig::default(), |addr| {
+        let mut other = Client::connect(addr).expect("connect other");
+        other.ping().expect("ping");
+        let mut client = Client::connect(addr).expect("connect");
+        client.set_binary(true);
+        let answers = client.run_pipelined(&queries, 8).expect("pipelined");
+        assert_eq!(answers.len(), queries.len());
+        let (conn, server, _plans, extras) = client.stats_full().expect("stats");
+        assert_eq!(conn.queries, 16);
+        assert!(server.queries >= 16);
+        let extras = extras.expect("event server reports extras");
+        assert!(extras.conns_peak >= 2, "two clients were connected");
+        // The 16 queries went out in an 8-deep burst; the reactor parses
+        // the whole burst before executors can drain it.
+        assert!(
+            extras.pipeline_depth_max >= 4,
+            "burst should pipeline, got depth {}",
+            extras.pipeline_depth_max
+        );
+        // 16 query frames + the STATS frame itself, at least.
+        assert!(extras.frames_binary >= 17, "got {}", extras.frames_binary);
+        other.quit().expect("quit other");
+        client.quit().expect("quit");
+    });
+}
+
+/// Satellite 2: shutdown wakes every connection immediately — the drain
+/// completes in under 10ms even with idle pipelined clients parked on
+/// the server (the blocking server needed a `poll_interval` round trip
+/// per handler).
+#[test]
+fn graceful_drain_completes_under_ten_ms() {
+    let (_dir, csv) = temp_csv("drain");
+    let engine = EngineConfig {
+        workers: 1,
+        backend: Backend::Memory,
+        planner: None,
+    }
+    .open(&csv)
+    .expect("open engine");
+    let server = EventServer::bind(engine, "127.0.0.1:0", ServerConfig::default()).expect("bind");
+    let addr = server.local_addr();
+    let handle = server.handle();
+    thread::scope(|s| {
+        let serving = s.spawn(|| server.serve().expect("serve"));
+        let mut idle: Vec<Client> = (0..8)
+            .map(|_| {
+                let mut c = Client::connect(addr).expect("connect");
+                c.ping().expect("ping");
+                c
+            })
+            .collect();
+        let t0 = Instant::now();
+        handle.shutdown();
+        serving.join().expect("server thread");
+        let drained = t0.elapsed();
+        assert!(
+            drained < Duration::from_millis(10),
+            "drain took {drained:?}"
+        );
+        // Every parked client got the ERR shutdown farewell.
+        for c in idle.iter_mut() {
+            match c.recv_response().expect("farewell") {
+                Response::Error { kind, .. } => assert_eq!(kind, ErrorKind::Shutdown),
+                other => panic!("expected ERR shutdown, got {other:?}"),
+            }
+        }
+    });
+}
+
+/// Over-limit connections get `ERR busy` and a close, like the blocking
+/// server.
+#[test]
+fn connection_limit_rejects_with_busy() {
+    let (_dir, csv) = temp_csv("busy");
+    let engine = EngineConfig {
+        workers: 1,
+        backend: Backend::Memory,
+        planner: None,
+    }
+    .open(&csv)
+    .expect("open engine");
+    let stats = with_event_server(
+        engine,
+        ServerConfig {
+            max_connections: 1,
+            ..ServerConfig::default()
+        },
+        |addr| {
+            let mut first = Client::connect(addr).expect("connect");
+            first.ping().expect("ping");
+            let mut second = Client::connect(addr).expect("connect");
+            match second.recv_response().expect("busy line") {
+                Response::Error { kind, .. } => assert_eq!(kind, ErrorKind::Busy),
+                other => panic!("expected ERR busy, got {other:?}"),
+            }
+            drop(second);
+            first.ping().expect("ping after reject");
+            first.quit().expect("quit");
+        },
+    );
+    assert_eq!(stats.connections, 1, "the rejected socket is not counted");
+}
+
+/// A SHUTDOWN verb drains the server from the wire, and in-flight work
+/// still completes before the farewell.
+#[test]
+fn shutdown_verb_drains_from_the_wire() {
+    let (_dir, csv) = temp_csv("wire-shutdown");
+    let engine = EngineConfig {
+        workers: 1,
+        backend: Backend::Memory,
+        planner: None,
+    }
+    .open(&csv)
+    .expect("open engine");
+    let server = EventServer::bind(engine, "127.0.0.1:0", ServerConfig::default()).expect("bind");
+    let addr = server.local_addr();
+    thread::scope(|s| {
+        let serving = s.spawn(|| server.serve().expect("serve"));
+        let client = Client::connect(addr).expect("connect");
+        client.shutdown_server().expect("shutdown handshake");
+        serving.join().expect("server thread");
+    });
+}

@@ -248,3 +248,192 @@ fn connection_recovers_after_in_protocol_errors() {
         serving.join().expect("server thread");
     });
 }
+
+/// One malformed binary payload per round: unknown kinds, truncated
+/// frames, forged lengths and counts, magic followed by junk.
+#[cfg(unix)]
+fn binary_garbage(rng: &mut Rng64, round: usize) -> Vec<u8> {
+    use knmatch_server::protocol::encode_request_frame;
+    use knmatch_server::{Request, FRAME_MAGIC, MAX_FRAME};
+    match round % 6 {
+        // Unknown frame kind with a small random payload.
+        0 => {
+            let len = rng.range_usize(0..32);
+            let mut bytes = vec![FRAME_MAGIC, 0x7E];
+            bytes.extend_from_slice(&(len as u32).to_le_bytes());
+            bytes.extend((0..len).map(|_| (rng.next_u64() & 0xFF) as u8));
+            bytes
+        }
+        // A header declaring a frame over the cap; the server must
+        // answer ERR oversized without allocating the claimed bytes.
+        1 => {
+            let mut bytes = vec![FRAME_MAGIC, 0x02];
+            bytes.extend_from_slice(&((MAX_FRAME as u32) + 1).to_le_bytes());
+            bytes
+        }
+        // A valid query frame truncated mid-payload (the close after the
+        // bout leaves it forever incomplete).
+        2 => {
+            let mut frame = Vec::new();
+            encode_request_frame(
+                &Request::Query(BatchQuery::KnMatch {
+                    query: vec![0.1, 0.2, 0.3],
+                    k: 2,
+                    n: 1,
+                }),
+                &mut frame,
+            )
+            .expect("encode");
+            let cut = rng.range_usize(1..frame.len());
+            frame.truncate(cut);
+            frame
+        }
+        // Magic plus a plausible length over random junk: a complete
+        // frame whose payload does not decode.
+        3 => {
+            let len = rng.range_usize(1..64);
+            let mut bytes = vec![FRAME_MAGIC, 0x01];
+            bytes.extend_from_slice(&(len as u32).to_le_bytes());
+            bytes.extend((0..len).map(|_| (rng.next_u64() & 0xFF) as u8));
+            bytes
+        }
+        // A well-formed binary PING chased by text noise on the same
+        // stream: encodings interleave at frame granularity.
+        4 => {
+            let mut bytes = Vec::new();
+            encode_request_frame(&Request::Ping, &mut bytes).expect("encode");
+            bytes.extend_from_slice(b"??? not a verb ???\n");
+            bytes
+        }
+        // A batch frame whose count field lies (u32::MAX entries in a
+        // four-byte payload).
+        _ => {
+            let mut bytes = vec![FRAME_MAGIC, 0x02, 4, 0, 0, 0];
+            bytes.extend_from_slice(&u32::MAX.to_le_bytes());
+            bytes
+        }
+    }
+}
+
+/// The event-loop server under the same regime as the blocking one:
+/// seeded malformed *binary* frames (interleaved with text noise) never
+/// take it down, and correct answers keep flowing.
+#[cfg(unix)]
+#[test]
+fn event_server_survives_binary_garbage() {
+    let engine = build_engine();
+    let (probe, expected) = probe_and_expected(&engine);
+    let server = knmatch_server::EventServer::bind(engine, "127.0.0.1:0", ServerConfig::default())
+        .expect("bind");
+    let addr = server.local_addr();
+    let handle = server.handle();
+
+    thread::scope(|s| {
+        let serving = s.spawn(|| server.serve().expect("serve"));
+        {
+            let _guard = ShutdownGuard(handle);
+            let mut rng = seeded(SEED ^ 0xB1AA);
+
+            for round in 0..ROUNDS {
+                let mut attacker = Client::connect(addr).expect("connect attacker");
+                attacker
+                    .send_raw(&binary_garbage(&mut rng, round))
+                    .expect("send garbage");
+                drain(&mut attacker);
+                drop(attacker);
+
+                // Text garbage rounds hit the reactor's line path too.
+                let mut attacker = Client::connect(addr).expect("connect attacker");
+                attacker
+                    .send_raw(&garbage(&mut rng, round))
+                    .expect("send garbage");
+                drain(&mut attacker);
+                drop(attacker);
+
+                assert_healthy(addr, &probe, &expected, round);
+            }
+        }
+        serving.join().expect("server thread");
+    });
+    let stats = server.stats();
+    assert!(
+        stats.errors > 0,
+        "fuzz rounds should have drawn ERR responses"
+    );
+}
+
+/// Frames split at arbitrary syscall boundaries reassemble exactly: a
+/// mixed text/binary request stream delivered a few bytes at a time
+/// yields the same responses, in order, as one large write.
+#[cfg(unix)]
+#[test]
+fn split_writes_reassemble_across_syscall_boundaries() {
+    use knmatch_server::protocol::{encode_batch_frame, encode_request_frame, format_query};
+    use knmatch_server::Request;
+
+    let engine = build_engine();
+    let (probe, expected) = probe_and_expected(&engine);
+    let server = knmatch_server::EventServer::bind(engine, "127.0.0.1:0", ServerConfig::default())
+        .expect("bind");
+    let addr = server.local_addr();
+    let handle = server.handle();
+
+    thread::scope(|s| {
+        let serving = s.spawn(|| server.serve().expect("serve"));
+        let _guard = ShutdownGuard(handle);
+
+        // The whole conversation as one byte stream: binary PING, text
+        // PING, a binary batch of two probes, a text probe.
+        let mut stream = Vec::new();
+        encode_request_frame(&Request::Ping, &mut stream).expect("encode");
+        stream.extend_from_slice(b"PING\n");
+        encode_batch_frame(&[probe.clone(), probe.clone()], &mut stream);
+        stream.extend_from_slice(format_query(&probe).as_bytes());
+        stream.push(b'\n');
+
+        let mut client = Client::connect(addr).expect("connect");
+        client.set_timeout(Some(Duration::from_secs(30))).ok();
+        let mut rng = seeded(SEED ^ 0x5717);
+        let mut sent = 0;
+        let mut chunks = 0;
+        while sent < stream.len() {
+            let n = rng.range_usize(1..8).min(stream.len() - sent);
+            client
+                .send_raw(&stream[sent..sent + n])
+                .expect("send chunk");
+            sent += n;
+            chunks += 1;
+            if chunks % 8 == 0 {
+                // Give the reactor a chance to observe a partial frame.
+                thread::sleep(Duration::from_millis(1));
+            }
+        }
+
+        match client.recv_response().expect("binary pong") {
+            Response::Pong => {}
+            other => panic!("expected PONG, got {other:?}"),
+        }
+        match client.recv_response().expect("text pong") {
+            Response::Pong => {}
+            other => panic!("expected PONG, got {other:?}"),
+        }
+        for slot in 0..2 {
+            match client.recv_response().expect("batch slot") {
+                Response::Answer(a) => assert_eq!(a, expected, "slot {slot}"),
+                other => panic!("expected answer, got {other:?}"),
+            }
+        }
+        match client.recv_response().expect("trailer") {
+            Response::Done { ok, failed } => assert_eq!((ok, failed), (2, 0)),
+            other => panic!("expected DONE, got {other:?}"),
+        }
+        match client.recv_response().expect("text answer") {
+            Response::Answer(a) => assert_eq!(a, expected),
+            other => panic!("expected answer, got {other:?}"),
+        }
+        client.quit().expect("quit");
+
+        drop(_guard);
+        serving.join().expect("server thread");
+    });
+}

@@ -9,8 +9,12 @@
 #               against the sequential path on a real file, seconds-long)
 #   5. faults:  release-mode fault-injection stress (retry/panic paths
 #               under optimised timing) + fault_overhead --smoke
-#   6. server:  loopback serve/client smoke (ephemeral port, batch over
-#               the wire, graceful shutdown)
+#   6. pipeline: event-server pipelined cross-check in release (bit-
+#               identity at workers 1/2/4) + connection_scaling --smoke
+#               (256 concurrent connections over the reactor)
+#   7. server:  loopback serve/client smoke for both servers (ephemeral
+#               port, batch over the wire — binary+pipelined on the
+#               event loop — graceful shutdown)
 #
 # Usage: scripts/verify.sh
 set -euo pipefail
@@ -41,6 +45,14 @@ echo "==> planner cross-check (release)"
 # The randomized backend/planner-vs-oracle sweeps are an order of
 # magnitude faster optimised, so run them in release like CI does.
 cargo test --release -q -p knmatch-server --test planner_crosscheck
+
+echo "==> event-server pipelined cross-check (release)"
+# Pipelined ordering and the <10ms drain race are timing-sensitive;
+# release mode is where they are tightest.
+cargo test --release -q -p knmatch-server --test event_server
+
+echo "==> connection_scaling --smoke (256 connections)"
+./target/release/connection_scaling --smoke --out /tmp/BENCH_connections_smoke.json >/dev/null
 
 echo "==> fault_overhead --smoke"
 ./target/release/fault_overhead --smoke --out /tmp/BENCH_fault_overhead_smoke.json >/dev/null
@@ -79,5 +91,28 @@ wait "$SERVE_PID"
 SERVE_PID=""
 grep -q "shutdown complete" "$SMOKE_DIR/serve.log" \
   || { cat "$SMOKE_DIR/serve.log"; echo "server did not drain cleanly"; exit 1; }
+
+echo "==> event-loop smoke (serve --event-loop + binary pipelined client)"
+"$KNM" serve "$SMOKE_DIR/data.knm" --addr 127.0.0.1:0 --workers 2 \
+  --event-loop --executors 2 >"$SMOKE_DIR/event.log" 2>&1 &
+SERVE_PID=$!
+ADDR=""
+for _ in $(seq 1 100); do
+  ADDR=$(sed -n 's/^listening on \([0-9.:]*\) .*/\1/p' "$SMOKE_DIR/event.log")
+  [ -n "$ADDR" ] && break
+  kill -0 "$SERVE_PID" 2>/dev/null || { cat "$SMOKE_DIR/event.log"; echo "event server died during startup"; exit 1; }
+  sleep 0.1
+done
+[ -n "$ADDR" ] || { cat "$SMOKE_DIR/event.log"; echo "event server never reported its address"; exit 1; }
+"$KNM" client "$ADDR" --ping >/dev/null
+"$KNM" client "$ADDR" --queries "$SMOKE_DIR/queries.csv" -k 3 -n 2 \
+  --binary --pipeline 4 --stats \
+  | grep -q "4 ok / 0 failed" \
+  || { echo "pipelined binary batch did not return 4 ok / 0 failed"; exit 1; }
+"$KNM" client "$ADDR" --shutdown >/dev/null
+wait "$SERVE_PID"
+SERVE_PID=""
+grep -q "shutdown complete" "$SMOKE_DIR/event.log" \
+  || { cat "$SMOKE_DIR/event.log"; echo "event server did not drain cleanly"; exit 1; }
 
 echo "verify: OK"
