@@ -61,7 +61,7 @@ fn usage() -> &'static str {
      [--deadline-ms MS] [--fail-fast]\n  \
      knmatch serve <data.csv|db.knm> [--addr IP:PORT] [--workers W] \
      [--planner MODE | --shards <S|auto> | --disk [--pool-pages P] [--verify MODE]] \
-     [--max-conns N] [--event-loop [--executors E]]\n  \
+     [--max-conns N] [--event-loop [--executors E] [--reactor poll|epoll|auto]]\n  \
      knmatch client <host:port> (--queries <queries.csv> \
      (-k <K> -n <N> | -k <K> --frequent <N0> <N1> | --eps <E> -n <N>) \
      [--planner MODE] [--deadline-ms MS] [--fail-fast] [--binary] \
@@ -364,11 +364,13 @@ fn serve(args: &[String]) -> Result<String, String> {
     if event_loop {
         #[cfg(unix)]
         {
+            let reactor = server_cfg.reactor;
             let server = knmatch_server::EventServer::bind(engine, addr, server_cfg)
                 .map_err(|e| format!("bind {addr}: {e}"))?;
             println!(
-                "listening on {} (event loop, {}, {} points x {} dims)",
+                "listening on {} (event loop, reactor {}, {}, {} points x {} dims)",
                 server.local_addr(),
+                reactor,
                 cfg.describe(),
                 server.engine().cardinality(),
                 server.engine().dims(),
@@ -505,7 +507,7 @@ fn client(args: &[String]) -> Result<(String, bool), String> {
     )
     .expect("write to String");
     if args.iter().any(|a| a == "--stats") {
-        let (conn, server, plans) = c.stats_with_plans().map_err(|e| e.to_string())?;
+        let (conn, server, plans, extras) = c.stats_full().map_err(|e| e.to_string())?;
         writeln!(
             out,
             "connection: {} queries, {} errors, {} bytes in / {} bytes out",
@@ -523,6 +525,21 @@ fn client(args: &[String]) -> Result<(String, bool), String> {
                 out,
                 "plans: {} ad, {} vafile, {} scan, {} igrid",
                 p.ad, p.vafile, p.scan, p.igrid
+            )
+            .expect("write to String");
+        }
+        if let Some(x) = extras {
+            writeln!(
+                out,
+                "event loop: {} conns peak, depth {} max, {} binary frames, \
+                 reactor {} ({} iterations, {} events, {} writev calls)",
+                x.conns_peak,
+                x.pipeline_depth_max,
+                x.frames_binary,
+                x.reactor_backend,
+                x.poll_iterations,
+                x.events_dispatched,
+                x.writev_calls
             )
             .expect("write to String");
         }

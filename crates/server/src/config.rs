@@ -69,30 +69,42 @@ impl Default for EngineConfig {
 /// Parses the serving-side flags of `knmatch serve` into a
 /// [`ServerConfig`](crate::ServerConfig) plus whether the event-loop
 /// front-end was requested: `--max-conns N` (default 64),
-/// `--event-loop` (the `poll(2)` reactor, unix only), and
-/// `--executors E` (reactor worker threads, `0` = one per core).
+/// `--event-loop` (the reactor front-end, unix only), `--executors E`
+/// (reactor worker threads, `0` = one per core), and
+/// `--reactor <poll|epoll|auto>` (readiness backend, default `auto`:
+/// epoll on Linux, `poll(2)` elsewhere).
 ///
 /// # Errors
 ///
-/// Malformed numbers, or `--executors` without `--event-loop` (the
-/// blocking server's concurrency is one thread per connection).
+/// Malformed numbers or backend names, or `--executors` / `--reactor`
+/// without `--event-loop` (the blocking server's concurrency is one
+/// thread per connection; it has no readiness backend).
 pub fn server_config_from_args(args: &[String]) -> Result<(crate::ServerConfig, bool), String> {
     let max_connections = parse_num(
         flag_value(args, "--max-conns").unwrap_or("64"),
         "--max-conns",
     )?;
     let event_loop = args.iter().any(|a| a == "--event-loop");
-    if !event_loop && args.iter().any(|a| a == "--executors") {
-        return Err("--executors only applies to --event-loop".into());
+    if !event_loop {
+        for flag in ["--executors", "--reactor"] {
+            if args.iter().any(|a| a == flag) {
+                return Err(format!("{flag} only applies to --event-loop"));
+            }
+        }
     }
     let executors = parse_num(
         flag_value(args, "--executors").unwrap_or("0"),
         "--executors",
     )?;
+    let reactor = flag_value(args, "--reactor")
+        .map(str::parse)
+        .transpose()?
+        .unwrap_or_default();
     Ok((
         crate::ServerConfig {
             max_connections,
             executors,
+            reactor,
             ..crate::ServerConfig::default()
         },
         event_loop,
@@ -571,6 +583,31 @@ mod tests {
         assert!(EngineConfig::from_args(&argv("--planner fastest")).is_err());
         assert!(EngineConfig::from_args(&argv("--planner auto --disk")).is_err());
         assert!(EngineConfig::from_args(&argv("--planner auto --shards 2")).is_err());
+    }
+
+    #[test]
+    fn serve_flag_grammar() {
+        use crate::server::ReactorChoice;
+
+        let (cfg, event_loop) = server_config_from_args(&argv("--max-conns 128")).unwrap();
+        assert_eq!(cfg.max_connections, 128);
+        assert_eq!(cfg.reactor, ReactorChoice::Auto);
+        assert!(!event_loop);
+
+        let (cfg, event_loop) =
+            server_config_from_args(&argv("--event-loop --reactor poll --executors 2")).unwrap();
+        assert_eq!(cfg.reactor, ReactorChoice::Poll);
+        assert_eq!(cfg.executors, 2);
+        assert!(event_loop);
+
+        let (cfg, _) = server_config_from_args(&argv("--event-loop --reactor epoll")).unwrap();
+        assert_eq!(cfg.reactor, ReactorChoice::Epoll);
+        let (cfg, _) = server_config_from_args(&argv("--event-loop --reactor auto")).unwrap();
+        assert_eq!(cfg.reactor, ReactorChoice::Auto);
+
+        assert!(server_config_from_args(&argv("--reactor epoll")).is_err());
+        assert!(server_config_from_args(&argv("--executors 2")).is_err());
+        assert!(server_config_from_args(&argv("--event-loop --reactor kqueue")).is_err());
     }
 
     #[test]

@@ -1,6 +1,7 @@
 //! Per-connection plumbing for the event-loop server: an incremental
-//! frame decoder over a growable read buffer, and the ordered response
-//! slot queue that preserves request order under pipelining.
+//! frame decoder over a growable read buffer, the ordered response
+//! slot queue that preserves request order under pipelining, and the
+//! server-wide buffer pool behind the zero-copy write path.
 //!
 //! [`FrameBuf`] accepts bytes in whatever chunks `read(2)` produces and
 //! yields complete frames: text lines, binary frames (sniffed per frame
@@ -15,10 +16,130 @@
 //! when the executor pool finishes; bytes leave the connection strictly
 //! from the head of the queue. A later request can *execute* before an
 //! earlier one finishes but can never *respond* first.
+//!
+//! [`BufferPool`] recycles the two buffer species the reactor burns
+//! through: response frames ([`FrameRc`], reference-counted so one
+//! encoded frame can be queued on many connections — the drain farewell
+//! — and so a partially-written head stays alive while queued) and the
+//! plain read buffers behind [`FrameBuf`]. Responses are encoded once
+//! into a pooled frame and written straight out of it via `writev`;
+//! closed connections hand every buffer back, so steady-state
+//! connection churn allocates nothing.
 
 use std::collections::VecDeque;
+use std::sync::{Arc, Mutex};
 
 use crate::protocol::{FRAME_HEADER_LEN, FRAME_MAGIC, MAX_FRAME, MAX_LINE};
+
+/// A pooled response buffer. The bytes are written in place right after
+/// the frame leaves the pool (while the `Arc` is provably unshared) and
+/// are immutable from then on — every later holder only reads.
+#[derive(Debug, Default)]
+pub(crate) struct FrameBox {
+    pub(crate) bytes: Vec<u8>,
+}
+
+/// A reference-counted handle to one encoded response frame.
+pub(crate) type FrameRc = Arc<FrameBox>;
+
+/// Frames kept in the pool at most; beyond this, recycled frames are
+/// dropped to the allocator (bounds pool memory after a burst).
+const MAX_POOLED_FRAMES: usize = 16 * 1024;
+/// A recycled buffer keeping more capacity than this is dropped rather
+/// than pooled, so one huge answer cannot pin its footprint forever.
+const MAX_POOLED_CAPACITY: usize = 1 << 20;
+
+/// The server-wide buffer pool (executors and the reactor share it).
+#[derive(Debug, Default)]
+pub(crate) struct BufferPool {
+    frames: Mutex<Vec<FrameRc>>,
+    vecs: Mutex<Vec<Vec<u8>>>,
+}
+
+impl BufferPool {
+    pub(crate) fn new() -> BufferPool {
+        BufferPool::default()
+    }
+
+    /// Takes a frame (unshared, empty) and fills it with `fill` before
+    /// any clone can exist.
+    pub(crate) fn frame(&self, fill: impl FnOnce(&mut Vec<u8>)) -> FrameRc {
+        let mut frame = self
+            .frames
+            .lock()
+            .unwrap()
+            .pop()
+            .unwrap_or_else(|| Arc::new(FrameBox::default()));
+        let slot = Arc::get_mut(&mut frame).expect("pooled frame is unshared");
+        fill(&mut slot.bytes);
+        frame
+    }
+
+    /// Returns a frame to the pool if this was the last reference;
+    /// shared frames (another connection still queues them) are left to
+    /// their remaining holders.
+    pub(crate) fn recycle_frame(&self, mut frame: FrameRc) {
+        let Some(slot) = Arc::get_mut(&mut frame) else {
+            return;
+        };
+        if slot.bytes.capacity() > MAX_POOLED_CAPACITY {
+            return;
+        }
+        slot.bytes.clear();
+        let mut frames = self.frames.lock().unwrap();
+        if frames.len() < MAX_POOLED_FRAMES {
+            frames.push(frame);
+        }
+    }
+
+    /// Takes a plain (empty) byte buffer — the read-buffer species.
+    pub(crate) fn vec(&self) -> Vec<u8> {
+        self.vecs.lock().unwrap().pop().unwrap_or_default()
+    }
+
+    /// Returns a read buffer to the pool.
+    pub(crate) fn recycle_vec(&self, mut buf: Vec<u8>) {
+        if buf.capacity() > MAX_POOLED_CAPACITY {
+            return;
+        }
+        buf.clear();
+        let mut vecs = self.vecs.lock().unwrap();
+        if vecs.len() < MAX_POOLED_FRAMES {
+            vecs.push(buf);
+        }
+    }
+
+    /// Frames currently parked in the pool (tests).
+    #[cfg(test)]
+    pub(crate) fn pooled_frames(&self) -> usize {
+        self.frames.lock().unwrap().len()
+    }
+}
+
+/// Consumes `written` bytes from the front of a connection's outgoing
+/// frame queue after a (possibly partial) `writev`: fully-written head
+/// frames return to the pool, and `out_pos` lands mid-frame when the
+/// kernel stopped inside one — the resume invariant for the next
+/// vectored write (DESIGN.md §14).
+pub(crate) fn advance_written(
+    out: &mut VecDeque<FrameRc>,
+    out_pos: &mut usize,
+    mut written: usize,
+    pool: &BufferPool,
+) {
+    while written > 0 {
+        let head = out.front().expect("writev wrote beyond the queue");
+        let remaining = head.bytes.len() - *out_pos;
+        if written >= remaining {
+            written -= remaining;
+            *out_pos = 0;
+            pool.recycle_frame(out.pop_front().expect("head exists"));
+        } else {
+            *out_pos += written;
+            written = 0;
+        }
+    }
+}
 
 /// Which encoding a request arrived in — its response uses the same one.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -68,12 +189,24 @@ pub(crate) struct FrameBuf {
 }
 
 impl FrameBuf {
+    #[cfg(test)]
     pub(crate) fn new() -> FrameBuf {
+        FrameBuf::with_buf(Vec::new())
+    }
+
+    /// Builds the decoder over a recycled read buffer.
+    pub(crate) fn with_buf(mut buf: Vec<u8>) -> FrameBuf {
+        buf.clear();
         FrameBuf {
-            buf: Vec::new(),
+            buf,
             pos: 0,
             state: ScanState::Normal,
         }
+    }
+
+    /// Hands the read buffer back (connection closing) for pooling.
+    pub(crate) fn reclaim(self) -> Vec<u8> {
+        self.buf
     }
 
     /// Appends freshly read bytes, reclaiming consumed prefix space when
@@ -172,11 +305,11 @@ impl FrameBuf {
 }
 
 /// One response slot: `None` while the executor pool still owns the
-/// request, `Some(bytes)` once its serialized response is ready.
+/// request, `Some(frame)` once its serialized response is ready.
 #[derive(Debug)]
 struct Slot {
     seq: u64,
-    data: Option<Vec<u8>>,
+    data: Option<FrameRc>,
 }
 
 /// The per-connection ordered response queue (see module docs).
@@ -204,35 +337,44 @@ impl SlotQueue {
     }
 
     /// Opens and immediately completes a slot (control responses).
-    pub(crate) fn push_ready(&mut self, bytes: Vec<u8>) {
+    pub(crate) fn push_ready(&mut self, frame: FrameRc) {
         let seq = self.next_seq;
         self.next_seq += 1;
         self.slots.push_back(Slot {
             seq,
-            data: Some(bytes),
+            data: Some(frame),
         });
     }
 
     /// Completes the in-flight slot `seq`. Returns `false` when the slot
     /// no longer exists (connection already gone).
-    pub(crate) fn complete(&mut self, seq: u64, bytes: Vec<u8>) -> bool {
+    pub(crate) fn complete(&mut self, seq: u64, frame: FrameRc) -> bool {
         match self.slots.iter_mut().find(|s| s.seq == seq) {
             Some(slot) => {
-                slot.data = Some(bytes);
+                slot.data = Some(frame);
                 true
             }
             None => false,
         }
     }
 
-    /// Takes the head slot's bytes if — and only if — the head is ready.
+    /// Takes the head slot's frame if — and only if — the head is ready.
     /// Later ready slots stay queued behind an in-flight head; that is
     /// the ordering guarantee.
-    pub(crate) fn pop_ready(&mut self) -> Option<Vec<u8>> {
+    pub(crate) fn pop_ready(&mut self) -> Option<FrameRc> {
         if self.slots.front()?.data.is_some() {
             return self.slots.pop_front()?.data;
         }
         None
+    }
+
+    /// Drops every slot, recycling the ready frames (connection close).
+    pub(crate) fn recycle_into(&mut self, pool: &BufferPool) {
+        for slot in self.slots.drain(..) {
+            if let Some(frame) = slot.data {
+                pool.recycle_frame(frame);
+            }
+        }
     }
 
     /// Requests currently occupying slots (in flight or unwritten).
@@ -343,20 +485,79 @@ mod tests {
         assert_eq!(fb.next_frame(), Some(InFrame::Text("PING".into())));
     }
 
+    fn boxed(bytes: &[u8]) -> FrameRc {
+        Arc::new(FrameBox {
+            bytes: bytes.to_vec(),
+        })
+    }
+
+    fn popped(q: &mut SlotQueue) -> Option<Vec<u8>> {
+        q.pop_ready().map(|f| f.bytes.clone())
+    }
+
     #[test]
     fn slot_queue_releases_strictly_in_order() {
         let mut q = SlotQueue::new();
         let a = q.push_waiting();
-        q.push_ready(b"ctrl".to_vec());
+        q.push_ready(boxed(b"ctrl"));
         let b = q.push_waiting();
         // Later request finishes first: nothing can be written yet.
-        assert!(q.complete(b, b"second".to_vec()));
-        assert_eq!(q.pop_ready(), None);
-        assert!(q.complete(a, b"first".to_vec()));
-        assert_eq!(q.pop_ready(), Some(b"first".to_vec()));
-        assert_eq!(q.pop_ready(), Some(b"ctrl".to_vec()));
-        assert_eq!(q.pop_ready(), Some(b"second".to_vec()));
+        assert!(q.complete(b, boxed(b"second")));
+        assert_eq!(popped(&mut q), None);
+        assert!(q.complete(a, boxed(b"first")));
+        assert_eq!(popped(&mut q), Some(b"first".to_vec()));
+        assert_eq!(popped(&mut q), Some(b"ctrl".to_vec()));
+        assert_eq!(popped(&mut q), Some(b"second".to_vec()));
         assert!(q.is_empty());
-        assert!(!q.complete(99, Vec::new()));
+        assert!(!q.complete(99, boxed(b"")));
+    }
+
+    /// The partial-writev resume invariant: a short `writev` return may
+    /// stop anywhere — mid-frame, exactly on a frame boundary, or after
+    /// spanning several frames — and the queue/offset pair must land
+    /// exactly where the kernel stopped.
+    #[test]
+    fn advance_written_resumes_across_iovec_boundaries() {
+        let pool = BufferPool::new();
+        let mut out: VecDeque<FrameRc> = [&b"aaaaa"[..], &b"bbb"[..], &b"ccccccc"[..]]
+            .iter()
+            .map(|b| boxed(b))
+            .collect();
+        let mut pos = 0;
+
+        // Stop mid-second-frame: 5 (all of a) + 1 (into b).
+        advance_written(&mut out, &mut pos, 6, &pool);
+        assert_eq!(out.len(), 2);
+        assert_eq!(pos, 1);
+        assert_eq!(pool.pooled_frames(), 1, "frame a returned to the pool");
+
+        // Exactly finish the remainder of b.
+        advance_written(&mut out, &mut pos, 2, &pool);
+        assert_eq!(out.len(), 1);
+        assert_eq!(pos, 0);
+
+        // Span the final frame to completion.
+        advance_written(&mut out, &mut pos, 7, &pool);
+        assert!(out.is_empty());
+        assert_eq!(pos, 0);
+        assert_eq!(pool.pooled_frames(), 3, "every frame recycled");
+    }
+
+    /// Pool round trip: a recycled frame comes back cleared with its
+    /// capacity kept, and a frame that is still shared (the drain
+    /// farewell queued on several connections) is not stolen back.
+    #[test]
+    fn buffer_pool_recycles_unshared_frames_only() {
+        let pool = BufferPool::new();
+        let frame = pool.frame(|b| b.extend_from_slice(b"hello"));
+        let shared = frame.clone();
+        pool.recycle_frame(frame);
+        assert_eq!(pool.pooled_frames(), 0, "shared frame stays out");
+        assert_eq!(shared.bytes, b"hello");
+        pool.recycle_frame(shared);
+        assert_eq!(pool.pooled_frames(), 1);
+        let reused = pool.frame(|b| b.extend_from_slice(b"x"));
+        assert_eq!(reused.bytes, b"x", "recycled frame starts empty");
+        assert!(reused.bytes.capacity() >= 5, "capacity survives the pool");
     }
 }

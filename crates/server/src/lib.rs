@@ -3,7 +3,8 @@
 //! A std-only TCP front-end for batch k-n-match queries (DESIGN.md
 //! §11, §13): a newline-delimited text [`protocol`] with a compact
 //! binary frame alternative, a thread-per-connection [`Server`] and a
-//! `poll(2)`-driven pipelined [`EventServer`] (unix only) both written
+//! pipelined [`EventServer`] (unix only; readiness via `poll(2)` or
+//! Linux edge-triggered `epoll`) both written
 //! against the [`BatchEngine`](knmatch_core::BatchEngine) trait (so the
 //! in-memory, sharded and disk backends share one serving path), a
 //! blocking [`Client`] with a pipelined mode, and the [`EngineConfig`]
@@ -29,8 +30,9 @@
 //! ```
 
 #![warn(missing_docs)]
-// `deny` rather than `forbid`: the reactor's `poll(2)` binding is the
-// one narrowly-scoped `#[allow(unsafe_code)]` module in the crate.
+// `deny` rather than `forbid`: the reactor's `poll(2)`/`writev(2)` and
+// Linux `epoll(7)` bindings are the only narrowly-scoped
+// `#[allow(unsafe_code)]` modules in the crate.
 #![deny(unsafe_code)]
 
 pub mod client;
@@ -48,9 +50,9 @@ pub use config::{
 };
 pub use planner_engine::{PlannedEngine, PLAN_FRACTION_SAMPLE};
 pub use protocol::{
-    BinRequest, ErrorKind, ProtoError, Request, Response, ServerExtras, StatsSnapshot,
+    BinRequest, ErrorKind, ProtoError, ReactorKind, Request, Response, ServerExtras, StatsSnapshot,
     FRAME_HEADER_LEN, FRAME_MAGIC, MAX_BATCH, MAX_FRAME, MAX_LINE,
 };
 #[cfg(unix)]
 pub use reactor::{EventServer, MAX_PIPELINE};
-pub use server::{Server, ServerConfig, ShutdownHandle};
+pub use server::{ReactorChoice, Server, ServerConfig, ShutdownHandle};

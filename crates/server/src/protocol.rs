@@ -36,19 +36,21 @@
 //! OK DEADLINE <ms> | OK FAILFAST <0|1> | OK PLANNER <mode>
 //! OK PONG | OK BYE | OK SHUTDOWN
 //! OK STATS <conn six counters> <server six counters> [four plan counters]
-//!          [three reactor counters]
+//!          [three or seven reactor counters]
 //! DONE <ok> <failed>
 //! ERR <kind> <message...>
 //! ```
 //!
 //! The four plan counters (`plans_ad= plans_vafile= plans_scan=
 //! plans_igrid=`, server scope) report how the cost-based planner routed
-//! queries; servers without a planner-capable engine omit them. The three
+//! queries; servers without a planner-capable engine omit them. The
 //! reactor counters (`conns_peak= pipeline_depth_max= frames_binary=`,
 //! server scope) report the event-loop front-end's high-water marks;
-//! older servers omit them. Clients accept every combination — the
-//! labelled-field grammar makes the 12/15/16/19-field shapes
-//! self-describing.
+//! servers that also report their readiness backend append
+//! `reactor_backend= poll_iterations= events_dispatched= writev_calls=`.
+//! Older servers omit the last four or all seven. Clients accept every
+//! combination — the labelled-field grammar makes the
+//! 12/15/16/19/23-field shapes self-describing.
 //!
 //! ## Binary frames
 //!
@@ -235,6 +237,65 @@ impl StatsSnapshot {
     }
 }
 
+/// Which readiness backend a server's front-end is built on, reported in
+/// `STATS` so clients, tests and benches can label results per backend.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum ReactorKind {
+    /// No reactor: the blocking thread-per-connection front-end.
+    #[default]
+    None,
+    /// The portable `poll(2)` event loop.
+    Poll,
+    /// The Linux edge-triggered `epoll(7)` event loop.
+    Epoll,
+}
+
+impl ReactorKind {
+    /// Wire code carried by the binary `STATS` frame (and stored in the
+    /// server's atomic counter block).
+    pub(crate) fn code(self) -> u8 {
+        match self {
+            ReactorKind::None => 0,
+            ReactorKind::Poll => 1,
+            ReactorKind::Epoll => 2,
+        }
+    }
+
+    fn from_code(code: u8) -> Result<ReactorKind, ProtoError> {
+        Ok(match code {
+            0 => ReactorKind::None,
+            1 => ReactorKind::Poll,
+            2 => ReactorKind::Epoll,
+            other => return Err(err(format!("unknown reactor code {other}"))),
+        })
+    }
+}
+
+impl std::fmt::Display for ReactorKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            ReactorKind::None => "none",
+            ReactorKind::Poll => "poll",
+            ReactorKind::Epoll => "epoll",
+        })
+    }
+}
+
+impl std::str::FromStr for ReactorKind {
+    type Err = String;
+
+    fn from_str(s: &str) -> std::result::Result<Self, String> {
+        match s {
+            "none" => Ok(ReactorKind::None),
+            "poll" => Ok(ReactorKind::Poll),
+            "epoll" => Ok(ReactorKind::Epoll),
+            other => Err(format!(
+                "unknown reactor backend {other:?} (expected none|poll|epoll)"
+            )),
+        }
+    }
+}
+
 /// The server-scope reactor counters appended to `STATS` by front-ends
 /// that track them (the event-loop server; the blocking fallback reports
 /// `conns_peak` and zeroes for the pipelining fields).
@@ -247,35 +308,67 @@ pub struct ServerExtras {
     pub pipeline_depth_max: u64,
     /// Binary frames received (complete or oversized-drained).
     pub frames_binary: u64,
+    /// Readiness backend the front-end is running.
+    pub reactor_backend: ReactorKind,
+    /// Reactor loop iterations (wait syscalls issued).
+    pub poll_iterations: u64,
+    /// Readiness events handed to the loop across all iterations. Under
+    /// `epoll` this tracks the *active* set — `events_dispatched /
+    /// poll_iterations` stays proportional to ready connections, not
+    /// total connections.
+    pub events_dispatched: u64,
+    /// `writev(2)` calls issued by the vectored flush path.
+    pub writev_calls: u64,
 }
 
 impl ServerExtras {
     fn render(&self, out: &mut String) {
         let _ = write!(
             out,
-            "conns_peak={} pipeline_depth_max={} frames_binary={}",
-            self.conns_peak, self.pipeline_depth_max, self.frames_binary
+            "conns_peak={} pipeline_depth_max={} frames_binary={} \
+             reactor_backend={} poll_iterations={} events_dispatched={} writev_calls={}",
+            self.conns_peak,
+            self.pipeline_depth_max,
+            self.frames_binary,
+            self.reactor_backend,
+            self.poll_iterations,
+            self.events_dispatched,
+            self.writev_calls
         );
     }
 
     fn parse(fields: &[&str]) -> Result<ServerExtras, ProtoError> {
-        let labels = ["conns_peak", "pipeline_depth_max", "frames_binary"];
-        if fields.len() != labels.len() {
-            return Err(err("STATS extras need 3 counters"));
+        let labels = [
+            "conns_peak",
+            "pipeline_depth_max",
+            "frames_binary",
+            "reactor_backend",
+            "poll_iterations",
+            "events_dispatched",
+            "writev_calls",
+        ];
+        // Three fields is the legacy shape (pre-backend servers); the
+        // missing backend fields default to `none`/zero.
+        if fields.len() != 3 && fields.len() != labels.len() {
+            return Err(err("STATS extras need 3 or 7 counters"));
         }
-        let mut vals = [0u64; 3];
-        for (i, (field, label)) in fields.iter().zip(labels).enumerate() {
+        let mut extras = ServerExtras::default();
+        for (field, label) in fields.iter().zip(labels) {
             let v = field
                 .strip_prefix(label)
                 .and_then(|rest| rest.strip_prefix('='))
-                .ok_or_else(|| err(format!("expected {label}=<u64>, got {field:?}")))?;
-            vals[i] = parse_u64(v, label)?;
+                .ok_or_else(|| err(format!("expected {label}=<value>, got {field:?}")))?;
+            match label {
+                "conns_peak" => extras.conns_peak = parse_u64(v, label)?,
+                "pipeline_depth_max" => extras.pipeline_depth_max = parse_u64(v, label)?,
+                "frames_binary" => extras.frames_binary = parse_u64(v, label)?,
+                "reactor_backend" => extras.reactor_backend = v.parse().map_err(err)?,
+                "poll_iterations" => extras.poll_iterations = parse_u64(v, label)?,
+                "events_dispatched" => extras.events_dispatched = parse_u64(v, label)?,
+                _ => extras.writev_calls = parse_u64(v, label)?,
+            }
         }
-        Ok(ServerExtras {
-            conns_peak: vals[0],
-            pipeline_depth_max: vals[1],
-            frames_binary: vals[2],
-        })
+        Ok(extras)
     }
 }
 
@@ -673,13 +766,18 @@ pub fn parse_response(line: &str) -> Result<Response, ProtoError> {
             .parse::<PlannerMode>()
             .map(Response::Planner)
             .map_err(err),
-        ["OK", "STATS", rest @ ..] if matches!(rest.len(), 12 | 15 | 16 | 19) => {
+        ["OK", "STATS", rest @ ..] if matches!(rest.len(), 12 | 15 | 16 | 19 | 23) => {
             // The optional groups are label-addressed: field 12 starting
             // with "plans_" means the plan tally is present; whatever
-            // remains (3 fields) is the reactor extras.
+            // remains (3 or 7 fields) is the reactor extras. The check
+            // also disambiguates 19 fields, which is either plans plus
+            // legacy 3-field extras or no plans plus 7-field extras.
             let has_plans = rest.len() >= 16 && rest[12].starts_with("plans_");
             if rest.len() == 16 && !has_plans {
                 return Err(err("16-field STATS must carry plan counters"));
+            }
+            if rest.len() == 23 && !has_plans {
+                return Err(err("23-field STATS must carry plan counters"));
             }
             if rest.len() == 15 && rest[12].starts_with("plans_") {
                 return Err(err("15-field STATS must carry reactor counters"));
@@ -763,9 +861,12 @@ const TAG_KNM: u8 = 0x01;
 const TAG_FREQ: u8 = 0x02;
 const TAG_EPS: u8 = 0x03;
 
-/// `STATS` payload flag bits.
+/// `STATS` payload flag bits. `STATS_HAS_REACTOR` extends the extras
+/// group with the backend kind and its event counters; it never appears
+/// without `STATS_HAS_EXTRAS`.
 const STATS_HAS_PLANS: u8 = 0x01;
 const STATS_HAS_EXTRAS: u8 = 0x02;
+const STATS_HAS_REACTOR: u8 = 0x04;
 
 /// A decoded binary request. Binary `BATCH` frames are self-contained
 /// (the queries travel inside the frame), unlike the text protocol where
@@ -1204,7 +1305,7 @@ pub fn encode_response_frame(r: &Response, out: &mut Vec<u8>) {
                 flags |= STATS_HAS_PLANS;
             }
             if extras.is_some() {
-                flags |= STATS_HAS_EXTRAS;
+                flags |= STATS_HAS_EXTRAS | STATS_HAS_REACTOR;
             }
             out.push(flags);
             put_snapshot(out, conn);
@@ -1216,6 +1317,10 @@ pub fn encode_response_frame(r: &Response, out: &mut Vec<u8>) {
             }
             if let Some(x) = extras {
                 for v in [x.conns_peak, x.pipeline_depth_max, x.frames_binary] {
+                    put_u64(out, v);
+                }
+                out.push(x.reactor_backend.code());
+                for v in [x.poll_iterations, x.events_dispatched, x.writev_calls] {
                     put_u64(out, v);
                 }
             }
@@ -1304,8 +1409,11 @@ pub fn decode_response_frame(kind: u8, payload: &[u8]) -> Result<Response, Proto
         RESP_PLANNER => Response::Planner(planner_from_code(c.u8()?)?),
         RESP_STATS => {
             let flags = c.u8()?;
-            if flags & !(STATS_HAS_PLANS | STATS_HAS_EXTRAS) != 0 {
+            if flags & !(STATS_HAS_PLANS | STATS_HAS_EXTRAS | STATS_HAS_REACTOR) != 0 {
                 return Err(err(format!("unknown STATS flags {flags:#04x}")));
+            }
+            if flags & STATS_HAS_REACTOR != 0 && flags & STATS_HAS_EXTRAS == 0 {
+                return Err(err("STATS reactor group requires the extras group"));
             }
             let conn = c.snapshot()?;
             let server = c.snapshot()?;
@@ -1320,11 +1428,19 @@ pub fn decode_response_frame(kind: u8, payload: &[u8]) -> Result<Response, Proto
                 None
             };
             let extras = if flags & STATS_HAS_EXTRAS != 0 {
-                Some(ServerExtras {
+                let mut x = ServerExtras {
                     conns_peak: c.u64()?,
                     pipeline_depth_max: c.u64()?,
                     frames_binary: c.u64()?,
-                })
+                    ..ServerExtras::default()
+                };
+                if flags & STATS_HAS_REACTOR != 0 {
+                    x.reactor_backend = ReactorKind::from_code(c.u8()?)?;
+                    x.poll_iterations = c.u64()?;
+                    x.events_dispatched = c.u64()?;
+                    x.writev_calls = c.u64()?;
+                }
+                Some(x)
             } else {
                 None
             };
@@ -1445,6 +1561,10 @@ mod tests {
                     conns_peak: 4096,
                     pipeline_depth_max: 32,
                     frames_binary: 900,
+                    reactor_backend: ReactorKind::Epoll,
+                    poll_iterations: 120_000,
+                    events_dispatched: 480_000,
+                    writev_calls: 33_000,
                 }),
             },
             Response::Stats {
@@ -1460,6 +1580,10 @@ mod tests {
                     conns_peak: 7,
                     pipeline_depth_max: 8,
                     frames_binary: 9,
+                    reactor_backend: ReactorKind::Poll,
+                    poll_iterations: 10,
+                    events_dispatched: 11,
+                    writev_calls: 12,
                 }),
             },
             Response::Pong,
@@ -1670,6 +1794,10 @@ mod tests {
                     conns_peak: 11,
                     pipeline_depth_max: 12,
                     frames_binary: 13,
+                    reactor_backend: ReactorKind::Epoll,
+                    poll_iterations: 14,
+                    events_dispatched: 15,
+                    writev_calls: 16,
                 }),
             },
             Response::Pong,
@@ -1724,8 +1852,8 @@ mod tests {
 
     #[test]
     fn stats_parse_accepts_every_field_shape() {
-        // 12, 15, 16 and 19 fields all parse; label prefixes disambiguate
-        // the 15- and 16-field shapes.
+        // 12, 15, 16, 19 and 23 fields all parse; label prefixes
+        // disambiguate the 15-, 16- and 19-field shapes.
         let base = Response::Stats {
             conn: StatsSnapshot::default(),
             server: StatsSnapshot::default(),
@@ -1738,6 +1866,51 @@ mod tests {
         // rather than misread.
         let bad = format!("{line} plans_ad=1 plans_vafile=2 plans_scan=3");
         assert!(parse_response(&bad).is_err());
+        // A legacy 15-field line (three-counter extras from a pre-backend
+        // server) still parses; the backend fields default.
+        let legacy = format!("{line} conns_peak=4 pipeline_depth_max=2 frames_binary=1");
+        match parse_response(&legacy).unwrap() {
+            Response::Stats { extras, .. } => assert_eq!(
+                extras,
+                Some(ServerExtras {
+                    conns_peak: 4,
+                    pipeline_depth_max: 2,
+                    frames_binary: 1,
+                    ..ServerExtras::default()
+                })
+            ),
+            other => panic!("expected STATS, got {other:?}"),
+        }
+        // The 19-field shape stays ambiguous on count alone: plans plus
+        // legacy extras, or no plans plus full extras. Labels decide.
+        let plans_form = format!(
+            "{line} plans_ad=1 plans_vafile=2 plans_scan=3 plans_igrid=4 \
+             conns_peak=4 pipeline_depth_max=2 frames_binary=1"
+        );
+        match parse_response(&plans_form).unwrap() {
+            Response::Stats { plans, extras, .. } => {
+                assert!(plans.is_some());
+                assert_eq!(extras.unwrap().reactor_backend, ReactorKind::None);
+            }
+            other => panic!("expected STATS, got {other:?}"),
+        }
+        let backend_form = format!(
+            "{line} conns_peak=4 pipeline_depth_max=2 frames_binary=1 \
+             reactor_backend=epoll poll_iterations=5 events_dispatched=6 writev_calls=7"
+        );
+        match parse_response(&backend_form).unwrap() {
+            Response::Stats { plans, extras, .. } => {
+                assert!(plans.is_none());
+                assert_eq!(extras.unwrap().reactor_backend, ReactorKind::Epoll);
+            }
+            other => panic!("expected STATS, got {other:?}"),
+        }
+        // An unknown backend token is rejected, not defaulted.
+        let unknown = format!(
+            "{line} conns_peak=4 pipeline_depth_max=2 frames_binary=1 \
+             reactor_backend=kqueue poll_iterations=5 events_dispatched=6 writev_calls=7"
+        );
+        assert!(parse_response(&unknown).is_err());
     }
 
     #[test]

@@ -1,6 +1,8 @@
-//! The event-driven TCP front-end: nonblocking sockets multiplexed by
-//! `poll(2)`, request pipelining with strict per-connection response
-//! order, and a fixed executor pool running queries (DESIGN.md §13).
+//! The event-driven TCP front-end: nonblocking sockets multiplexed by a
+//! pluggable readiness backend (`poll(2)` everywhere, edge-triggered
+//! `epoll(7)` on Linux), request pipelining with strict per-connection
+//! response order, and a fixed executor pool running queries
+//! (DESIGN.md §13–14).
 //!
 //! ## Shape
 //!
@@ -12,8 +14,35 @@
 //! each calling [`BatchEngine::run_with`] and serializing the responses
 //! off the reactor thread. Completions return through a mutex-guarded
 //! vector plus a loopback *wake* socket (std has no pipes, but a
-//! loopback pair is the same one-byte doorbell), so a sleeping `poll`
+//! loopback pair is the same one-byte doorbell), so a sleeping wait
 //! learns of finished work immediately.
+//!
+//! ## Backends
+//!
+//! [`Poller`] hides the readiness mechanism behind one event-shaped
+//! API. The `poll(2)` backend keeps its fd array **incrementally** —
+//! connections register once and only interest changes touch the set —
+//! and is the portable correctness oracle. The Linux `epoll` backend
+//! registers each fd once, edge-triggered (`EPOLLIN | EPOLLOUT |
+//! EPOLLRDHUP | EPOLLET`), so interest never changes after registration
+//! and each iteration costs O(ready), not O(connections). Every event
+//! carries a slab token (`index << 32 | generation`); a recycled slot
+//! fails the generation check, so stale events never touch a new
+//! connection. Answers are bit-identical across backends by
+//! construction: the same encode path fills the same frames, and the
+//! [`SlotQueue`] releases them in the same order.
+//!
+//! ## Write path
+//!
+//! Responses are encoded **once**, by the executor (or inline for
+//! control responses), into pooled reference-counted frames
+//! ([`FrameRc`]). The reactor never copies response bytes again: ready
+//! frames move from the [`SlotQueue`] into the connection's outgoing
+//! frame queue and are flushed with `writev`, up to [`sys::MAX_IOV`]
+//! frames per call, resuming mid-frame after partial writes
+//! (`advance_written`). Closed connections hand their frames and read
+//! buffers back to the server-wide [`BufferPool`], so steady-state
+//! connection churn allocates nothing on this path.
 //!
 //! ## Ordering guarantee
 //!
@@ -27,17 +56,21 @@
 //! ## Drain
 //!
 //! [`ShutdownHandle::shutdown`] flips the flag and pokes the listener
-//! with a loopback connect; the listener becomes readable and `poll`
+//! with a loopback connect; the listener becomes readable and the wait
 //! returns immediately — no timeout rounds. The reactor then stops
 //! accepting and parsing, appends one `ERR shutdown` slot behind each
-//! connection's in-flight requests, flushes, and closes. Drain latency
-//! on idle connections is a handful of wakeups, not `poll_interval`
-//! multiples (the graceful-drain test budgets 10ms).
+//! connection's in-flight requests (one shared farewell frame per
+//! encoding — the refcounted pool's cheapest trick), flushes, and
+//! closes. Drain latency on idle connections is a handful of wakeups,
+//! not `poll_interval` multiples (the graceful-drain test budgets
+//! 10ms). While draining, every live connection is serviced each
+//! iteration — O(ready) would skip write-blocked peers whose
+//! flush-grace expiry must still be evaluated.
 
-use std::collections::VecDeque;
+use std::collections::{HashMap, VecDeque};
 use std::io::{self, Read, Write};
 use std::net::{Ipv4Addr, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
-use std::os::unix::io::AsRawFd;
+use std::os::unix::io::{AsRawFd, RawFd};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread;
@@ -45,13 +78,13 @@ use std::time::{Duration, Instant};
 
 use knmatch_core::{BatchEngine, BatchOptions, BatchOutcome, BatchQuery};
 
-use crate::conn::{FrameBuf, InFrame, SlotQueue, Wire};
+use crate::conn::{advance_written, BufferPool, FrameBuf, FrameRc, InFrame, SlotQueue, Wire};
 use crate::protocol::{
     decode_request_frame, encode_response_frame, error_response, format_response, parse_query,
-    parse_request, BinRequest, ErrorKind, Request, Response, StatsSnapshot, MAX_BATCH, MAX_FRAME,
-    MAX_LINE,
+    parse_request, BinRequest, ErrorKind, ReactorKind, Request, Response, StatsSnapshot, MAX_BATCH,
+    MAX_FRAME, MAX_LINE,
 };
-use crate::server::{ServerConfig, Shared, ShutdownHandle};
+use crate::server::{ReactorChoice, ServerConfig, Shared, ShutdownHandle};
 
 /// Most requests one connection may have in flight (slots occupied,
 /// responses unwritten) before the reactor stops reading from it —
@@ -63,11 +96,11 @@ pub const MAX_PIPELINE: usize = 1024;
 /// Connections with queries still executing are always waited for.
 const DRAIN_FLUSH_GRACE: Duration = Duration::from_secs(2);
 
-/// The thinnest possible `poll(2)` binding. The workspace links no
-/// external crates, but std already links the platform C library on
-/// every unix target, so declaring the one symbol we need is fine —
-/// this module is the only `unsafe` in the crate, kept to a single
-/// syscall with a safe slice-in/slice-out wrapper.
+/// The thinnest possible `poll(2)` / `writev(2)` binding. The workspace
+/// links no external crates, but std already links the platform C
+/// library on every unix target, so declaring the symbols we need is
+/// fine — this module and [`epoll`] are the only `unsafe` in the crate,
+/// each kept to single syscalls behind safe slice-in/slice-out wrappers.
 #[allow(unsafe_code)]
 mod sys {
     use std::io;
@@ -85,6 +118,11 @@ mod sys {
     /// Invalid fd (always reported; never requested).
     pub const POLLNVAL: i16 = 0x020;
 
+    /// Most frames one `writev` call gathers. Comfortably under every
+    /// platform's `IOV_MAX` (≥ 1024), and enough that a deep pipeline
+    /// still flushes in a handful of syscalls.
+    pub const MAX_IOV: usize = 64;
+
     /// `struct pollfd` — identical layout on every unix libc.
     #[repr(C)]
     #[derive(Debug, Clone, Copy)]
@@ -97,6 +135,16 @@ mod sys {
         pub revents: i16,
     }
 
+    /// `struct iovec` — `writev`'s gather descriptor. The C field is a
+    /// `void *`, but a const pointer has the same layout and `writev`
+    /// only reads.
+    #[repr(C)]
+    #[derive(Debug, Clone, Copy)]
+    struct IoVec {
+        base: *const u8,
+        len: usize,
+    }
+
     /// `nfds_t`: `unsigned long` on linux libcs, `unsigned int` on the
     /// BSD family.
     #[cfg(any(target_os = "macos", target_os = "freebsd", target_os = "netbsd"))]
@@ -107,6 +155,8 @@ mod sys {
     extern "C" {
         #[link_name = "poll"]
         fn c_poll(fds: *mut PollFd, nfds: NfdsT, timeout: i32) -> i32;
+        #[link_name = "writev"]
+        fn c_writev(fd: RawFd, iov: *const IoVec, iovcnt: i32) -> isize;
     }
 
     /// Waits until an fd in `fds` has events or `timeout` passes.
@@ -131,6 +181,401 @@ mod sys {
         }
         Ok(rc as usize)
     }
+
+    /// Gathers up to [`MAX_IOV`] buffers into one `writev(2)` call.
+    /// Returns the bytes written, which may stop anywhere — including
+    /// mid-buffer; the caller resumes from that exact offset.
+    ///
+    /// # Errors
+    ///
+    /// The syscall's errno (`WouldBlock` and `Interrupted` included —
+    /// the caller's flush loop handles both).
+    pub fn writev(fd: RawFd, bufs: &[&[u8]]) -> io::Result<usize> {
+        let mut iovs = [IoVec {
+            base: std::ptr::null(),
+            len: 0,
+        }; MAX_IOV];
+        let n = bufs.len().min(MAX_IOV);
+        for (iov, buf) in iovs.iter_mut().zip(&bufs[..n]) {
+            iov.base = buf.as_ptr();
+            iov.len = buf.len();
+        }
+        // SAFETY: every iovec points into one of the caller's live
+        // `bufs` slices, which outlive the call; the kernel only reads
+        // from them.
+        let rc = unsafe { c_writev(fd, iovs.as_ptr(), n as i32) };
+        if rc < 0 {
+            return Err(io::Error::last_os_error());
+        }
+        Ok(rc as usize)
+    }
+}
+
+/// The equally thin `epoll(7)` binding, Linux only (`poll` remains the
+/// portable oracle). Registration is edge-triggered and permanent:
+/// `epoll_ctl` runs once per fd lifetime, never per iteration.
+#[cfg(target_os = "linux")]
+#[allow(unsafe_code)]
+mod epoll {
+    use std::io;
+    use std::os::unix::io::RawFd;
+    use std::time::Duration;
+
+    /// Readable.
+    pub const EPOLLIN: u32 = 0x001;
+    /// Writable.
+    pub const EPOLLOUT: u32 = 0x004;
+    /// Error condition (always reported).
+    pub const EPOLLERR: u32 = 0x008;
+    /// Peer hung up (always reported).
+    pub const EPOLLHUP: u32 = 0x010;
+    /// Peer shut down its write half — with edge triggering this must
+    /// be requested explicitly or a half-close can go unnoticed.
+    pub const EPOLLRDHUP: u32 = 0x2000;
+    /// Edge-triggered: one event per readiness *transition*.
+    pub const EPOLLET: u32 = 1 << 31;
+
+    /// `epoll_ctl` ops.
+    pub const EPOLL_CTL_ADD: i32 = 1;
+    pub const EPOLL_CTL_DEL: i32 = 2;
+
+    const EPOLL_CLOEXEC: i32 = 0x80000;
+
+    /// `struct epoll_event`. The kernel ABI packs it on x86-64 only;
+    /// fields are copied out, never borrowed, so the unaligned layout
+    /// stays an implementation detail.
+    #[cfg_attr(target_arch = "x86_64", repr(C, packed))]
+    #[cfg_attr(not(target_arch = "x86_64"), repr(C))]
+    #[derive(Debug, Clone, Copy)]
+    pub struct EpollEvent {
+        /// Readiness bits.
+        pub events: u32,
+        /// The caller's token, returned verbatim.
+        pub data: u64,
+    }
+
+    extern "C" {
+        #[link_name = "epoll_create1"]
+        fn c_epoll_create1(flags: i32) -> i32;
+        #[link_name = "epoll_ctl"]
+        fn c_epoll_ctl(epfd: RawFd, op: i32, fd: RawFd, event: *mut EpollEvent) -> i32;
+        #[link_name = "epoll_wait"]
+        fn c_epoll_wait(epfd: RawFd, events: *mut EpollEvent, maxevents: i32, timeout: i32) -> i32;
+        #[link_name = "close"]
+        fn c_close(fd: i32) -> i32;
+    }
+
+    /// An owned epoll instance, closed on drop.
+    #[derive(Debug)]
+    pub struct EpollFd(RawFd);
+
+    impl EpollFd {
+        /// Creates the instance (`EPOLL_CLOEXEC`).
+        ///
+        /// # Errors
+        ///
+        /// The syscall's errno — `Auto` backend selection falls back to
+        /// `poll` on any failure.
+        pub fn new() -> io::Result<EpollFd> {
+            // SAFETY: plain syscall, no pointers.
+            let fd = unsafe { c_epoll_create1(EPOLL_CLOEXEC) };
+            if fd < 0 {
+                return Err(io::Error::last_os_error());
+            }
+            Ok(EpollFd(fd))
+        }
+
+        /// Adds or deletes `fd` from the interest set.
+        ///
+        /// # Errors
+        ///
+        /// The syscall's errno.
+        pub fn ctl(&self, op: i32, fd: RawFd, events: u32, data: u64) -> io::Result<()> {
+            let mut ev = EpollEvent { events, data };
+            // SAFETY: `ev` is a live `#[repr(C)]` value for the call's
+            // duration; `DEL` ignores the pointer.
+            let rc = unsafe { c_epoll_ctl(self.0, op, fd, &mut ev) };
+            if rc < 0 {
+                return Err(io::Error::last_os_error());
+            }
+            Ok(())
+        }
+
+        /// Waits for events, filling `buf` from the front. Returns the
+        /// count (0 on timeout or `EINTR`).
+        ///
+        /// # Errors
+        ///
+        /// The syscall's errno, except `EINTR`.
+        pub fn wait(&self, buf: &mut [EpollEvent], timeout: Duration) -> io::Result<usize> {
+            let ms = timeout.as_millis().min(i32::MAX as u128) as i32;
+            // SAFETY: `buf` is a valid exclusively-borrowed slice; the
+            // kernel writes at most `buf.len()` entries.
+            let rc = unsafe { c_epoll_wait(self.0, buf.as_mut_ptr(), buf.len() as i32, ms) };
+            if rc < 0 {
+                let e = io::Error::last_os_error();
+                if e.kind() == io::ErrorKind::Interrupted {
+                    return Ok(0);
+                }
+                return Err(e);
+            }
+            Ok(rc as usize)
+        }
+    }
+
+    impl Drop for EpollFd {
+        fn drop(&mut self) {
+            // SAFETY: the fd is owned by this value and still open.
+            unsafe { c_close(self.0) };
+        }
+    }
+}
+
+/// Token of the executor-doorbell socket.
+const TOKEN_WAKER: u64 = u64::MAX;
+/// Token of the listening socket.
+const TOKEN_LISTENER: u64 = u64::MAX - 1;
+
+/// Slab token of a connection: slot index in the high 32 bits, the
+/// generation's low half in the low 32. A recycled slot carries a new
+/// generation, so events from the previous occupant fail the check and
+/// never touch the new connection.
+fn conn_token(idx: usize, gen: u64) -> u64 {
+    ((idx as u64) << 32) | (gen & 0xFFFF_FFFF)
+}
+
+/// One readiness event, copied out of the backend before dispatch so
+/// slab mutation while handling events can't alias the backend's set.
+struct Event {
+    token: u64,
+    readable: bool,
+}
+
+/// The incremental `poll(2)` fd set: registration and interest updates
+/// touch single entries; nothing is rebuilt per iteration.
+struct PollSet {
+    fds: Vec<sys::PollFd>,
+    tokens: Vec<u64>,
+    index: HashMap<u64, usize>,
+}
+
+impl PollSet {
+    fn new() -> PollSet {
+        PollSet {
+            fds: Vec::new(),
+            tokens: Vec::new(),
+            index: HashMap::new(),
+        }
+    }
+
+    fn add(&mut self, fd: RawFd, token: u64, events: i16) {
+        self.index.insert(token, self.fds.len());
+        self.fds.push(sys::PollFd {
+            fd,
+            events,
+            revents: 0,
+        });
+        self.tokens.push(token);
+    }
+
+    fn set(&mut self, token: u64, events: i16) {
+        if let Some(&pos) = self.index.get(&token) {
+            self.fds[pos].events = events;
+        }
+    }
+
+    fn remove(&mut self, token: u64) {
+        let Some(pos) = self.index.remove(&token) else {
+            return;
+        };
+        self.fds.swap_remove(pos);
+        self.tokens.swap_remove(pos);
+        if pos < self.tokens.len() {
+            self.index.insert(self.tokens[pos], pos);
+        }
+    }
+}
+
+fn poll_events(read: bool, write: bool) -> i16 {
+    let mut events = 0i16;
+    if read {
+        events |= sys::POLLIN;
+    }
+    if write {
+        events |= sys::POLLOUT;
+    }
+    events
+}
+
+/// The epoll backend: one instance plus a reusable event buffer.
+#[cfg(target_os = "linux")]
+struct EpollSet {
+    ep: epoll::EpollFd,
+    buf: Vec<epoll::EpollEvent>,
+}
+
+/// The pluggable readiness backend. An enum, not a trait object: both
+/// variants are known at compile time and the per-event cost stays a
+/// jump, not a vtable load.
+enum Poller {
+    Poll(PollSet),
+    #[cfg(target_os = "linux")]
+    Epoll(EpollSet),
+}
+
+impl Poller {
+    /// Resolves a [`ReactorChoice`] to a live backend. `Auto` prefers
+    /// epoll and falls back to poll if the instance can't be created
+    /// (or the platform isn't Linux).
+    ///
+    /// # Errors
+    ///
+    /// `Epoll` requested off-Linux (`Unsupported`) or `epoll_create1`
+    /// failing.
+    fn new(choice: ReactorChoice) -> io::Result<Poller> {
+        match choice {
+            ReactorChoice::Poll => Ok(Poller::Poll(PollSet::new())),
+            ReactorChoice::Epoll => Poller::epoll(),
+            ReactorChoice::Auto => {
+                Ok(Poller::epoll().unwrap_or_else(|_| Poller::Poll(PollSet::new())))
+            }
+        }
+    }
+
+    #[cfg(target_os = "linux")]
+    fn epoll() -> io::Result<Poller> {
+        Ok(Poller::Epoll(EpollSet {
+            ep: epoll::EpollFd::new()?,
+            buf: vec![epoll::EpollEvent { events: 0, data: 0 }; 1024],
+        }))
+    }
+
+    #[cfg(not(target_os = "linux"))]
+    fn epoll() -> io::Result<Poller> {
+        Err(io::Error::new(
+            io::ErrorKind::Unsupported,
+            "epoll requires linux; use the poll or auto reactor",
+        ))
+    }
+
+    fn kind(&self) -> ReactorKind {
+        match self {
+            Poller::Poll(_) => ReactorKind::Poll,
+            #[cfg(target_os = "linux")]
+            Poller::Epoll(_) => ReactorKind::Epoll,
+        }
+    }
+
+    /// Registers a read-only fd (listener, doorbell).
+    ///
+    /// # Errors
+    ///
+    /// `epoll_ctl` failing (the poll backend cannot fail).
+    fn add_input(&mut self, fd: RawFd, token: u64) -> io::Result<()> {
+        match self {
+            Poller::Poll(p) => {
+                p.add(fd, token, sys::POLLIN);
+                Ok(())
+            }
+            #[cfg(target_os = "linux")]
+            Poller::Epoll(e) => e.ep.ctl(
+                epoll::EPOLL_CTL_ADD,
+                fd,
+                epoll::EPOLLIN | epoll::EPOLLET,
+                token,
+            ),
+        }
+    }
+
+    /// Registers a connection. Poll starts read-only (write interest
+    /// follows the flush state via [`Poller::set_interest`]); epoll
+    /// registers the full edge-triggered set once and never again.
+    ///
+    /// # Errors
+    ///
+    /// `epoll_ctl` failing.
+    fn add_conn(&mut self, fd: RawFd, token: u64) -> io::Result<()> {
+        match self {
+            Poller::Poll(p) => {
+                p.add(fd, token, poll_events(true, false));
+                Ok(())
+            }
+            #[cfg(target_os = "linux")]
+            Poller::Epoll(e) => e.ep.ctl(
+                epoll::EPOLL_CTL_ADD,
+                fd,
+                epoll::EPOLLIN | epoll::EPOLLOUT | epoll::EPOLLRDHUP | epoll::EPOLLET,
+                token,
+            ),
+        }
+    }
+
+    /// Updates level-triggered interest (poll). A no-op under epoll:
+    /// edge-triggered registration already covers both directions, and
+    /// the reactor's state machine ignores events it didn't ask for.
+    fn set_interest(&mut self, token: u64, read: bool, write: bool) {
+        match self {
+            Poller::Poll(p) => p.set(token, poll_events(read, write)),
+            #[cfg(target_os = "linux")]
+            Poller::Epoll(_) => {}
+        }
+    }
+
+    /// Deregisters a closing fd.
+    fn remove(&mut self, fd: RawFd, token: u64) {
+        match self {
+            Poller::Poll(p) => {
+                let _ = fd;
+                p.remove(token);
+            }
+            #[cfg(target_os = "linux")]
+            Poller::Epoll(e) => {
+                // Best-effort: closing the fd removes it anyway.
+                let _ = e.ep.ctl(epoll::EPOLL_CTL_DEL, fd, 0, 0);
+            }
+        }
+    }
+
+    /// Waits for readiness and copies the events out. Error/hangup
+    /// conditions fold into `readable` — the read path observes the
+    /// EOF or error and closes the connection.
+    ///
+    /// # Errors
+    ///
+    /// Fatal wait errors (`EINTR` is an empty round, not an error).
+    fn wait(&mut self, out: &mut Vec<Event>, timeout: Duration) -> io::Result<()> {
+        out.clear();
+        match self {
+            Poller::Poll(p) => {
+                // Stale revents would double-report after an EINTR round.
+                for pf in p.fds.iter_mut() {
+                    pf.revents = 0;
+                }
+                sys::poll(&mut p.fds, timeout)?;
+                for (pf, &token) in p.fds.iter().zip(&p.tokens) {
+                    if pf.revents == 0 {
+                        continue;
+                    }
+                    let readable = pf.revents
+                        & (sys::POLLIN | sys::POLLERR | sys::POLLHUP | sys::POLLNVAL)
+                        != 0;
+                    out.push(Event { token, readable });
+                }
+            }
+            #[cfg(target_os = "linux")]
+            Poller::Epoll(e) => {
+                let n = e.ep.wait(&mut e.buf, timeout)?;
+                for ev in &e.buf[..n] {
+                    let (events, token) = (ev.events, ev.data);
+                    let readable = events
+                        & (epoll::EPOLLIN | epoll::EPOLLERR | epoll::EPOLLHUP | epoll::EPOLLRDHUP)
+                        != 0;
+                    out.push(Event { token, readable });
+                }
+            }
+        }
+        Ok(())
+    }
 }
 
 /// One executor work unit: a request's query slots, snapshotted options,
@@ -146,13 +591,13 @@ struct Job {
     slots: Vec<Result<BatchQuery, Response>>,
 }
 
-/// An executed job: serialized response bytes plus the counter deltas
-/// the reactor applies on receipt.
+/// An executed job: the pooled frame holding its serialized responses
+/// plus the counter deltas the reactor applies on receipt.
 struct Completion {
     conn: usize,
     gen: u64,
     seq: u64,
-    bytes: Vec<u8>,
+    bytes: FrameRc,
     queries: u64,
     errors: u64,
     timeouts: u64,
@@ -200,7 +645,7 @@ impl JobQueue {
     }
 }
 
-/// The executors' doorbell into a sleeping `poll`: one byte down a
+/// The executors' doorbell into a sleeping wait: one byte down a
 /// loopback socket pair, deduplicated so a burst of completions costs
 /// one syscall.
 struct Waker {
@@ -252,19 +697,21 @@ fn executor_loop<E: BatchEngine + Sync>(
     queue: &JobQueue,
     completions: &Mutex<Vec<Completion>>,
     waker: &Waker,
+    pool: &BufferPool,
 ) {
     while let Some(job) = queue.pop() {
-        let comp = run_job(engine, job);
+        let comp = run_job(engine, job, pool);
         completions.lock().unwrap().push(comp);
         waker.wake();
     }
 }
 
 /// Runs one job's parseable slots as a single engine batch and
-/// serializes one response per slot (slot order), plus the `DONE`
-/// trailer for batches — the executor-side mirror of the blocking
-/// server's `run_and_respond`.
-fn run_job<E: BatchEngine + Sync>(engine: &E, job: Job) -> Completion {
+/// serializes one response per slot (slot order) into one pooled frame,
+/// plus the `DONE` trailer for batches — the executor-side mirror of
+/// the blocking server's `run_and_respond`. This is the only encode of
+/// these bytes; the reactor writes them straight from the frame.
+fn run_job<E: BatchEngine + Sync>(engine: &E, job: Job, pool: &BufferPool) -> Completion {
     let queries: Vec<BatchQuery> = job
         .slots
         .iter()
@@ -272,31 +719,32 @@ fn run_job<E: BatchEngine + Sync>(engine: &E, job: Job) -> Completion {
         .cloned()
         .collect();
     let mut outcomes = engine.run_with(&queries, &job.opts).into_iter();
-    let mut bytes = Vec::new();
     let (mut ok, mut failed, mut timeouts) = (0u64, 0u64, 0u64);
-    for slot in &job.slots {
-        let response = match slot {
-            Err(pre) => pre.clone(),
-            Ok(_) => match outcomes.next().expect("one outcome per parsed query") {
-                Ok(outcome) => Response::Answer(outcome.into_answer()),
-                Err(e) => error_response(&e),
-            },
-        };
-        match &response {
-            Response::Answer(_) => ok += 1,
-            Response::Error { kind, .. } => {
-                failed += 1;
-                if *kind == ErrorKind::Timeout {
-                    timeouts += 1;
+    let bytes = pool.frame(|out| {
+        for slot in &job.slots {
+            let response = match slot {
+                Err(pre) => pre.clone(),
+                Ok(_) => match outcomes.next().expect("one outcome per parsed query") {
+                    Ok(outcome) => Response::Answer(outcome.into_answer()),
+                    Err(e) => error_response(&e),
+                },
+            };
+            match &response {
+                Response::Answer(_) => ok += 1,
+                Response::Error { kind, .. } => {
+                    failed += 1;
+                    if *kind == ErrorKind::Timeout {
+                        timeouts += 1;
+                    }
                 }
+                _ => failed += 1,
             }
-            _ => failed += 1,
+            emit(&response, job.wire, out);
         }
-        emit(&response, job.wire, &mut bytes);
-    }
-    if job.trailer {
-        emit(&Response::Done { ok, failed }, job.wire, &mut bytes);
-    }
+        if job.trailer {
+            emit(&Response::Done { ok, failed }, job.wire, out);
+        }
+    });
     Completion {
         conn: job.conn,
         gen: job.gen,
@@ -319,19 +767,32 @@ struct ConnState {
     stream: TcpStream,
     frames: FrameBuf,
     queue: SlotQueue,
-    wbuf: Vec<u8>,
-    wpos: usize,
+    /// Ready frames staged for `writev`, head partially written up to
+    /// `out_pos`. Frames move here from `queue` without copying.
+    out: VecDeque<FrameRc>,
+    out_pos: usize,
     opts: BatchOptions,
     stats: StatsSnapshot,
     batch: Option<TextBatch>,
     last_wire: Wire,
     closing: bool,
+    /// Reading stopped on pipeline backpressure; bytes may be buffered
+    /// (socket or decoder) with no future edge to announce them. The
+    /// service loop resumes the read as soon as the queue has room.
+    read_paused: bool,
+    /// A readable event arrived for this service round.
+    ev_read: bool,
+    /// Already on this iteration's service list.
+    touched: bool,
+    /// Last interest told to the poll backend (read, write).
+    interest: (bool, bool),
     gen: u64,
 }
 
-/// A `poll(2)`-driven server over one batch engine — the event-loop
-/// sibling of [`Server`](crate::Server), speaking the same protocol
-/// (plus binary frames) with the same shutdown and counter semantics.
+/// An event-loop server over one batch engine — the reactor sibling of
+/// [`Server`](crate::Server), speaking the same protocol (plus binary
+/// frames) with the same shutdown and counter semantics, multiplexed by
+/// `poll(2)` or Linux `epoll` per [`ServerConfig::reactor`].
 pub struct EventServer<E> {
     engine: E,
     listener: TcpListener,
@@ -387,10 +848,16 @@ impl<E: BatchEngine + Sync> EventServer<E> {
     ///
     /// # Errors
     ///
-    /// Fatal listener/poll errors only; per-connection failures close
-    /// that connection.
+    /// Backend creation (`--reactor epoll` off-Linux is
+    /// [`io::ErrorKind::Unsupported`]) and fatal listener/wait errors;
+    /// per-connection failures close that connection.
     pub fn serve(&self) -> io::Result<()> {
         self.listener.set_nonblocking(true)?;
+        let poller = Poller::new(self.cfg.reactor)?;
+        self.shared
+            .totals
+            .reactor_backend
+            .store(poller.kind().code() as u64, Ordering::Relaxed);
         let (wake_rx, wake_tx) = wake_pair()?;
         let waker = Waker {
             tx: wake_tx,
@@ -398,6 +865,7 @@ impl<E: BatchEngine + Sync> EventServer<E> {
         };
         let queue = JobQueue::new();
         let completions: Mutex<Vec<Completion>> = Mutex::new(Vec::new());
+        let pool = BufferPool::new();
         let executors = if self.cfg.executors == 0 {
             thread::available_parallelism().map_or(1, |n| n.get())
         } else {
@@ -405,7 +873,7 @@ impl<E: BatchEngine + Sync> EventServer<E> {
         };
         thread::scope(|scope| {
             for _ in 0..executors {
-                scope.spawn(|| executor_loop(&self.engine, &queue, &completions, &waker));
+                scope.spawn(|| executor_loop(&self.engine, &queue, &completions, &waker, &pool));
             }
             let result = Reactor {
                 engine: &self.engine,
@@ -413,6 +881,8 @@ impl<E: BatchEngine + Sync> EventServer<E> {
                 shared: &self.shared,
                 listener: &self.listener,
                 queue: &queue,
+                pool: &pool,
+                poller,
                 conns: Vec::new(),
                 free: Vec::new(),
                 live: 0,
@@ -433,6 +903,8 @@ struct Reactor<'a, E> {
     shared: &'a Shared,
     listener: &'a TcpListener,
     queue: &'a JobQueue,
+    pool: &'a BufferPool,
+    poller: Poller,
     conns: Vec<Option<ConnState>>,
     free: Vec<usize>,
     live: usize,
@@ -448,8 +920,11 @@ impl<'a, E: BatchEngine + Sync> Reactor<'a, E> {
         waker: &Waker,
         completions: &Mutex<Vec<Completion>>,
     ) -> io::Result<()> {
-        let mut pollfds: Vec<sys::PollFd> = Vec::new();
-        let mut targets: Vec<usize> = Vec::new();
+        self.poller.add_input(wake_rx.as_raw_fd(), TOKEN_WAKER)?;
+        self.poller
+            .add_input(self.listener.as_raw_fd(), TOKEN_LISTENER)?;
+        let mut events: Vec<Event> = Vec::new();
+        let mut touched: Vec<usize> = Vec::new();
         let mut scratch = vec![0u8; 64 * 1024];
         loop {
             if !self.draining && self.shared.is_shutdown() {
@@ -459,50 +934,54 @@ impl<'a, E: BatchEngine + Sync> Reactor<'a, E> {
                 return Ok(());
             }
 
-            pollfds.clear();
-            targets.clear();
-            pollfds.push(sys::PollFd {
-                fd: wake_rx.as_raw_fd(),
-                events: sys::POLLIN,
-                revents: 0,
-            });
-            // The listener is always polled: over-limit connections must
-            // be accepted to receive their `ERR busy` (blocking-server
-            // semantics), and during drain the shutdown poke and
-            // stragglers are accepted and dropped.
-            pollfds.push(sys::PollFd {
-                fd: self.listener.as_raw_fd(),
-                events: sys::POLLIN,
-                revents: 0,
-            });
-            for (idx, slot) in self.conns.iter().enumerate() {
-                let Some(c) = slot else { continue };
-                let mut events = 0i16;
-                if !c.closing && c.queue.len() < MAX_PIPELINE {
-                    events |= sys::POLLIN;
-                }
-                if c.wpos < c.wbuf.len() {
-                    events |= sys::POLLOUT;
-                }
-                pollfds.push(sys::PollFd {
-                    fd: c.stream.as_raw_fd(),
-                    events,
-                    revents: 0,
-                });
-                targets.push(idx);
-            }
-
             let timeout = if self.draining {
                 Duration::from_millis(5)
             } else {
                 self.cfg.poll_interval
             };
-            sys::poll(&mut pollfds, timeout)?;
+            self.poller.wait(&mut events, timeout)?;
+            self.shared
+                .totals
+                .poll_iterations
+                .fetch_add(1, Ordering::Relaxed);
+            self.shared
+                .totals
+                .events_dispatched
+                .fetch_add(events.len() as u64, Ordering::Relaxed);
+
+            // Route events to their slots; work happens after the whole
+            // set is translated (dispatch may close or open slots).
+            touched.clear();
+            let mut saw_wake = false;
+            let mut saw_accept = false;
+            for ev in &events {
+                match ev.token {
+                    TOKEN_WAKER => saw_wake = true,
+                    TOKEN_LISTENER => saw_accept = true,
+                    token => {
+                        let idx = (token >> 32) as usize;
+                        let Some(c) = self.conns.get_mut(idx).and_then(Option::as_mut) else {
+                            continue;
+                        };
+                        if c.gen & 0xFFFF_FFFF != token & 0xFFFF_FFFF {
+                            // A previous occupant's stale event.
+                            continue;
+                        }
+                        if ev.readable {
+                            c.ev_read = true;
+                        }
+                        if !c.touched {
+                            c.touched = true;
+                            touched.push(idx);
+                        }
+                    }
+                }
+            }
 
             // Doorbell first: drain the byte(s), re-arm, then take the
             // completions — executors push before ringing, so everything
             // signalled is visible now.
-            if pollfds[0].revents != 0 {
+            if saw_wake {
                 loop {
                     match (&mut (&*wake_rx)).read(&mut scratch) {
                         Ok(0) => break,
@@ -516,43 +995,75 @@ impl<'a, E: BatchEngine + Sync> Reactor<'a, E> {
             waker.pending.store(false, Ordering::SeqCst);
             let finished = std::mem::take(&mut *completions.lock().unwrap());
             for comp in finished {
-                self.apply(comp);
-            }
-
-            if pollfds[1].revents != 0 {
-                self.accept_ready();
-            }
-
-            for (pf, &idx) in pollfds[2..].iter().zip(&targets) {
-                if pf.revents & (sys::POLLIN | sys::POLLERR | sys::POLLHUP | sys::POLLNVAL) != 0 {
-                    self.read_conn(idx, &mut scratch);
+                let idx = comp.conn;
+                if self.apply(comp) {
+                    let c = self.conns[idx].as_mut().expect("apply hit a live conn");
+                    if !c.touched {
+                        c.touched = true;
+                        touched.push(idx);
+                    }
                 }
             }
 
-            self.pump_all();
+            if saw_accept {
+                self.accept_ready();
+            }
+
+            if self.draining {
+                // O(ready) is suspended during drain: write-blocked
+                // peers produce no events, but their flush-grace expiry
+                // must still be evaluated every round.
+                for idx in 0..self.conns.len() {
+                    let Some(c) = self.conns[idx].as_mut() else {
+                        continue;
+                    };
+                    if !c.touched {
+                        c.touched = true;
+                        touched.push(idx);
+                    }
+                }
+            }
+
+            let flush_expired = self
+                .drain_since
+                .is_some_and(|t| t.elapsed() > DRAIN_FLUSH_GRACE);
+            for &idx in &touched {
+                self.service_conn(idx, &mut scratch, flush_expired);
+            }
         }
     }
 
     /// Shutdown observed: stop accepting and parsing, queue `ERR
-    /// shutdown` behind every connection's in-flight slots.
+    /// shutdown` behind every connection's in-flight slots. The
+    /// farewell is encoded once per wire encoding and shared across
+    /// connections by refcount.
     fn begin_drain(&mut self) {
         self.draining = true;
         self.drain_since = Some(Instant::now());
+        let pool = self.pool;
+        let shared = self.shared;
+        let shutdown = Response::Error {
+            kind: ErrorKind::Shutdown,
+            message: "server draining".into(),
+        };
+        let mut farewell: [Option<FrameRc>; 2] = [None, None];
         for slot in self.conns.iter_mut() {
             let Some(c) = slot else { continue };
             if c.closing {
                 continue;
             }
             c.batch = None;
-            let shutdown = Response::Error {
-                kind: ErrorKind::Shutdown,
-                message: "server draining".into(),
+            let wire = c.last_wire;
+            let which = match wire {
+                Wire::Text => 0,
+                Wire::Binary => 1,
             };
-            let mut bytes = Vec::new();
-            emit(&shutdown, c.last_wire, &mut bytes);
+            let frame = farewell[which]
+                .get_or_insert_with(|| pool.frame(|b| emit(&shutdown, wire, b)))
+                .clone();
             c.stats.errors += 1;
-            self.shared.totals.errors.fetch_add(1, Ordering::Relaxed);
-            c.queue.push_ready(bytes);
+            shared.totals.errors.fetch_add(1, Ordering::Relaxed);
+            c.queue.push_ready(frame);
             c.closing = true;
         }
     }
@@ -592,12 +1103,13 @@ impl<'a, E: BatchEngine + Sync> Reactor<'a, E> {
                 .fetch_max(now_active, Ordering::Relaxed);
             let gen = self.next_gen;
             self.next_gen += 1;
+            let fd = stream.as_raw_fd();
             let conn = ConnState {
                 stream,
-                frames: FrameBuf::new(),
+                frames: FrameBuf::with_buf(self.pool.vec()),
                 queue: SlotQueue::new(),
-                wbuf: Vec::new(),
-                wpos: 0,
+                out: VecDeque::new(),
+                out_pos: 0,
                 opts: BatchOptions::default(),
                 stats: StatsSnapshot {
                     connections: 1,
@@ -606,17 +1118,36 @@ impl<'a, E: BatchEngine + Sync> Reactor<'a, E> {
                 batch: None,
                 last_wire: Wire::Text,
                 closing: false,
+                read_paused: false,
+                ev_read: false,
+                touched: false,
+                interest: (true, false),
                 gen,
             };
             self.live += 1;
-            match self.free.pop() {
-                Some(i) => self.conns[i] = Some(conn),
-                None => self.conns.push(Some(conn)),
+            let idx = match self.free.pop() {
+                Some(i) => {
+                    self.conns[i] = Some(conn);
+                    i
+                }
+                None => {
+                    self.conns.push(Some(conn));
+                    self.conns.len() - 1
+                }
+            };
+            // Registered once; readiness already pending (a client that
+            // connected and wrote) surfaces on the next wait for both
+            // backends.
+            if self.poller.add_conn(fd, conn_token(idx, gen)).is_err() {
+                self.close_conn(idx);
             }
         }
     }
 
-    /// Best-effort `ERR busy` on an over-limit accept, then close.
+    /// Best-effort `ERR busy` on an over-limit accept, then close. The
+    /// socket was never registered, so a plain blocking-ish write is
+    /// fine: a fresh socket's send buffer is empty, so this one write
+    /// lands (or the peer is gone; either way the connection closes).
     fn reject_busy(&self, mut stream: TcpStream) {
         let mut bytes = Vec::new();
         emit(
@@ -627,8 +1158,6 @@ impl<'a, E: BatchEngine + Sync> Reactor<'a, E> {
             Wire::Text,
             &mut bytes,
         );
-        // A fresh socket's send buffer is empty, so this one write lands
-        // (or the peer is gone; either way the connection closes).
         if stream.write(&bytes).is_ok() {
             self.shared
                 .totals
@@ -638,8 +1167,18 @@ impl<'a, E: BatchEngine + Sync> Reactor<'a, E> {
         self.shared.totals.errors.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Tears a connection down: deregisters the fd and returns every
+    /// buffer — read buffer, staged frames, queued frames — to the pool
+    /// so steady-state connection churn allocates nothing.
     fn close_conn(&mut self, idx: usize) {
-        if self.conns[idx].take().is_some() {
+        if let Some(mut c) = self.conns[idx].take() {
+            self.poller
+                .remove(c.stream.as_raw_fd(), conn_token(idx, c.gen));
+            while let Some(frame) = c.out.pop_front() {
+                self.pool.recycle_frame(frame);
+            }
+            c.queue.recycle_into(self.pool);
+            self.pool.recycle_vec(c.frames.reclaim());
             self.free.push(idx);
             self.live -= 1;
             self.shared.active.fetch_sub(1, Ordering::SeqCst);
@@ -648,12 +1187,13 @@ impl<'a, E: BatchEngine + Sync> Reactor<'a, E> {
 
     /// Lands an executor completion in its connection's slot (discarded
     /// when the connection died first — `gen` guards slab reuse).
-    fn apply(&mut self, comp: Completion) {
+    /// Returns whether it landed, so the caller can service the conn.
+    fn apply(&mut self, comp: Completion) -> bool {
         let Some(c) = self.conns.get_mut(comp.conn).and_then(Option::as_mut) else {
-            return;
+            return false;
         };
         if c.gen != comp.gen {
-            return;
+            return false;
         }
         c.stats.queries += comp.queries;
         c.stats.errors += comp.errors;
@@ -662,7 +1202,69 @@ impl<'a, E: BatchEngine + Sync> Reactor<'a, E> {
         t.queries.fetch_add(comp.queries, Ordering::Relaxed);
         t.errors.fetch_add(comp.errors, Ordering::Relaxed);
         t.timeouts.fetch_add(comp.timeouts, Ordering::Relaxed);
-        c.queue.complete(comp.seq, comp.bytes);
+        c.queue.complete(comp.seq, comp.bytes)
+    }
+
+    /// Runs one touched connection through its read → flush cycle until
+    /// it makes no more progress: read any announced input, flush ready
+    /// frames, and resume a backpressure-paused read once the flush
+    /// frees pipeline room (edge-triggered backends get no second
+    /// readable event for bytes that already arrived). Ends by syncing
+    /// interest for the level-triggered backend.
+    fn service_conn(&mut self, idx: usize, scratch: &mut [u8], flush_expired: bool) {
+        loop {
+            let Some(c) = self.conns.get_mut(idx).and_then(Option::as_mut) else {
+                return;
+            };
+            c.touched = false;
+            let ev_read = std::mem::take(&mut c.ev_read);
+            if !c.closing {
+                if c.read_paused {
+                    if c.queue.len() < MAX_PIPELINE {
+                        c.read_paused = false;
+                        // Buffered frames first — they arrived before
+                        // whatever is still in the socket.
+                        self.dispatch_frames(idx);
+                        let Some(c) = self.conns.get_mut(idx).and_then(Option::as_mut) else {
+                            return;
+                        };
+                        if !c.closing && !c.read_paused {
+                            self.read_conn(idx, scratch);
+                        }
+                    }
+                } else if ev_read {
+                    self.read_conn(idx, scratch);
+                }
+            }
+            if !self.pump_conn(idx, flush_expired) {
+                return;
+            }
+            let Some(c) = self.conns.get_mut(idx).and_then(Option::as_mut) else {
+                return;
+            };
+            if !c.closing && c.read_paused && c.queue.len() < MAX_PIPELINE {
+                // The flush freed pipeline room; go read the rest.
+                continue;
+            }
+            break;
+        }
+        self.refresh_interest(idx);
+    }
+
+    /// Syncs the poll backend's level-triggered interest with the
+    /// connection's state (no-op under epoll). Read interest drops
+    /// while paused or closing; write interest follows staged frames.
+    fn refresh_interest(&mut self, idx: usize) {
+        let Some(c) = self.conns.get_mut(idx).and_then(Option::as_mut) else {
+            return;
+        };
+        let want = (!c.closing && !c.read_paused, !c.out.is_empty());
+        if want == c.interest {
+            return;
+        }
+        c.interest = want;
+        let token = conn_token(idx, c.gen);
+        self.poller.set_interest(token, want.0, want.1);
     }
 
     /// Reads until `WouldBlock`, EOF, or backpressure, feeding the frame
@@ -673,6 +1275,10 @@ impl<'a, E: BatchEngine + Sync> Reactor<'a, E> {
                 return;
             };
             if c.closing {
+                return;
+            }
+            if c.queue.len() >= MAX_PIPELINE {
+                c.read_paused = true;
                 return;
             }
             match c.stream.read(scratch) {
@@ -690,12 +1296,6 @@ impl<'a, E: BatchEngine + Sync> Reactor<'a, E> {
                         .fetch_add(n as u64, Ordering::Relaxed);
                     c.frames.extend(&scratch[..n]);
                     self.dispatch_frames(idx);
-                    let Some(c) = self.conns.get_mut(idx).and_then(Option::as_mut) else {
-                        return;
-                    };
-                    if c.closing || c.queue.len() >= MAX_PIPELINE {
-                        return;
-                    }
                 }
                 Err(e) if e.kind() == io::ErrorKind::WouldBlock => return,
                 Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
@@ -707,13 +1307,18 @@ impl<'a, E: BatchEngine + Sync> Reactor<'a, E> {
         }
     }
 
-    /// Drains every complete frame buffered on `idx`.
+    /// Drains every complete frame buffered on `idx`, pausing the read
+    /// side when the pipeline limit is reached.
     fn dispatch_frames(&mut self, idx: usize) {
         loop {
             let Some(c) = self.conns.get_mut(idx).and_then(Option::as_mut) else {
                 return;
             };
-            if c.closing || c.queue.len() >= MAX_PIPELINE {
+            if c.closing {
+                return;
+            }
+            if c.queue.len() >= MAX_PIPELINE {
+                c.read_paused = true;
                 return;
             }
             let Some(frame) = c.frames.next_frame() else {
@@ -894,11 +1499,11 @@ impl<'a, E: BatchEngine + Sync> Reactor<'a, E> {
         });
     }
 
-    /// Opens and completes a slot with a control response, tallying
-    /// error counters inline (the executor path tallies its own).
+    /// Opens and completes a slot with a control response encoded into
+    /// a pooled frame, tallying error counters inline (the executor
+    /// path tallies its own).
     fn ready_response(&mut self, idx: usize, wire: Wire, resp: &Response) {
-        let mut bytes = Vec::new();
-        emit(resp, wire, &mut bytes);
+        let frame = self.pool.frame(|bytes| emit(resp, wire, bytes));
         if let Response::Error { kind, .. } = resp {
             let c = self.conns[idx].as_mut().expect("live connection");
             c.stats.errors += 1;
@@ -912,7 +1517,7 @@ impl<'a, E: BatchEngine + Sync> Reactor<'a, E> {
             .as_mut()
             .expect("live connection")
             .queue
-            .push_ready(bytes);
+            .push_ready(frame);
         self.note_depth(idx);
     }
 
@@ -936,64 +1541,73 @@ impl<'a, E: BatchEngine + Sync> Reactor<'a, E> {
         self.conns[idx].as_mut().expect("live connection")
     }
 
-    /// Moves ready head slots into write buffers, writes what the
-    /// sockets accept, and closes finished or hopeless connections.
-    fn pump_all(&mut self) {
-        let flush_expired = self
-            .drain_since
-            .is_some_and(|t| t.elapsed() > DRAIN_FLUSH_GRACE);
-        for idx in 0..self.conns.len() {
-            let Some(c) = self.conns[idx].as_mut() else {
-                continue;
-            };
-            let mut gone = false;
-            loop {
-                while c.wbuf.len() - c.wpos < 64 * 1024 {
-                    match c.queue.pop_ready() {
-                        Some(bytes) => {
-                            c.stats.bytes_out += bytes.len() as u64;
-                            self.shared
-                                .totals
-                                .bytes_out
-                                .fetch_add(bytes.len() as u64, Ordering::Relaxed);
-                            c.wbuf.extend_from_slice(&bytes);
-                        }
-                        None => break,
-                    }
+    /// Flushes one connection: moves ready head frames from the slot
+    /// queue into the outgoing queue (no copy — the frames themselves
+    /// move) and gathers them into `writev` calls until the socket
+    /// blocks or everything is written. Partial writes resume exactly
+    /// where the kernel stopped, mid-frame included. Returns `false`
+    /// when the connection was closed.
+    fn pump_conn(&mut self, idx: usize, flush_expired: bool) -> bool {
+        let shared = self.shared;
+        let pool = self.pool;
+        let Some(c) = self.conns.get_mut(idx).and_then(Option::as_mut) else {
+            return false;
+        };
+        let mut gone = false;
+        loop {
+            while c.out.len() < sys::MAX_IOV {
+                let Some(frame) = c.queue.pop_ready() else {
+                    break;
+                };
+                if frame.bytes.is_empty() {
+                    pool.recycle_frame(frame);
+                    continue;
                 }
-                if c.wpos == c.wbuf.len() {
-                    c.wbuf.clear();
-                    c.wpos = 0;
-                    if c.closing && c.queue.is_empty() {
+                let len = frame.bytes.len() as u64;
+                c.stats.bytes_out += len;
+                shared.totals.bytes_out.fetch_add(len, Ordering::Relaxed);
+                c.out.push_back(frame);
+            }
+            if c.out.is_empty() {
+                if c.closing && c.queue.is_empty() {
+                    gone = true;
+                }
+                break;
+            }
+            let mut bufs: [&[u8]; sys::MAX_IOV] = [&[]; sys::MAX_IOV];
+            let mut n_bufs = 0;
+            for (i, frame) in c.out.iter().take(sys::MAX_IOV).enumerate() {
+                let start = if i == 0 { c.out_pos } else { 0 };
+                bufs[n_bufs] = &frame.bytes[start..];
+                n_bufs += 1;
+            }
+            shared.totals.writev_calls.fetch_add(1, Ordering::Relaxed);
+            match sys::writev(c.stream.as_raw_fd(), &bufs[..n_bufs]) {
+                Ok(0) => {
+                    gone = true;
+                    break;
+                }
+                Ok(n) => advance_written(&mut c.out, &mut c.out_pos, n, pool),
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                    // During drain, give up on peers that stopped
+                    // reading once every response is ready and the
+                    // grace period passed.
+                    if flush_expired && !c.queue.has_inflight() {
                         gone = true;
                     }
                     break;
                 }
-                match c.stream.write(&c.wbuf[c.wpos..]) {
-                    Ok(0) => {
-                        gone = true;
-                        break;
-                    }
-                    Ok(n) => c.wpos += n,
-                    Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
-                        // During drain, give up on peers that stopped
-                        // reading once every response is ready and the
-                        // grace period passed.
-                        if flush_expired && !c.queue.has_inflight() {
-                            gone = true;
-                        }
-                        break;
-                    }
-                    Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
-                    Err(_) => {
-                        gone = true;
-                        break;
-                    }
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(_) => {
+                    gone = true;
+                    break;
                 }
             }
-            if gone {
-                self.close_conn(idx);
-            }
         }
+        if gone {
+            self.close_conn(idx);
+            return false;
+        }
+        true
     }
 }

@@ -30,9 +30,49 @@ use std::time::Duration;
 use knmatch_core::{BatchEngine, BatchOptions, BatchOutcome, BatchQuery};
 
 use crate::protocol::{
-    error_response, format_response, parse_query, parse_request, ErrorKind, Request, Response,
-    ServerExtras, StatsSnapshot, MAX_BATCH, MAX_LINE,
+    error_response, format_response, parse_query, parse_request, ErrorKind, ReactorKind, Request,
+    Response, ServerExtras, StatsSnapshot, MAX_BATCH, MAX_LINE,
 };
+
+/// Which readiness backend the event-loop server should run. The
+/// blocking server ignores it. Defined on every platform so `ServerConfig`
+/// keeps one shape; only Linux can actually satisfy `Epoll`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum ReactorChoice {
+    /// `epoll` where the platform offers it, `poll(2)` everywhere else.
+    #[default]
+    Auto,
+    /// The portable `poll(2)` backend — the correctness oracle.
+    Poll,
+    /// The Linux edge-triggered `epoll(7)` backend; binding fails with
+    /// [`io::ErrorKind::Unsupported`] elsewhere.
+    Epoll,
+}
+
+impl std::fmt::Display for ReactorChoice {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            ReactorChoice::Auto => "auto",
+            ReactorChoice::Poll => "poll",
+            ReactorChoice::Epoll => "epoll",
+        })
+    }
+}
+
+impl std::str::FromStr for ReactorChoice {
+    type Err = String;
+
+    fn from_str(s: &str) -> std::result::Result<Self, String> {
+        match s {
+            "auto" => Ok(ReactorChoice::Auto),
+            "poll" => Ok(ReactorChoice::Poll),
+            "epoll" => Ok(ReactorChoice::Epoll),
+            other => Err(format!(
+                "unknown reactor {other:?} (expected poll|epoll|auto)"
+            )),
+        }
+    }
+}
 
 /// Tuning knobs of [`Server::bind`] and
 /// [`EventServer::bind`](crate::EventServer::bind).
@@ -50,6 +90,8 @@ pub struct ServerConfig {
     /// per available core). The blocking server ignores this — its
     /// parallelism is the engine's worker count.
     pub executors: usize,
+    /// Readiness backend for the event-loop server.
+    pub reactor: ReactorChoice,
 }
 
 impl Default for ServerConfig {
@@ -58,6 +100,7 @@ impl Default for ServerConfig {
             max_connections: 64,
             poll_interval: Duration::from_millis(50),
             executors: 0,
+            reactor: ReactorChoice::Auto,
         }
     }
 }
@@ -74,6 +117,11 @@ pub(crate) struct Counters {
     pub(crate) conns_peak: AtomicU64,
     pub(crate) pipeline_depth_max: AtomicU64,
     pub(crate) frames_binary: AtomicU64,
+    /// [`ReactorKind`] wire code; written once when a front-end starts.
+    pub(crate) reactor_backend: AtomicU64,
+    pub(crate) poll_iterations: AtomicU64,
+    pub(crate) events_dispatched: AtomicU64,
+    pub(crate) writev_calls: AtomicU64,
 }
 
 impl Counters {
@@ -93,6 +141,13 @@ impl Counters {
             conns_peak: self.conns_peak.load(Ordering::Relaxed),
             pipeline_depth_max: self.pipeline_depth_max.load(Ordering::Relaxed),
             frames_binary: self.frames_binary.load(Ordering::Relaxed),
+            reactor_backend: [ReactorKind::None, ReactorKind::Poll, ReactorKind::Epoll]
+                .into_iter()
+                .find(|k| k.code() as u64 == self.reactor_backend.load(Ordering::Relaxed))
+                .unwrap_or_default(),
+            poll_iterations: self.poll_iterations.load(Ordering::Relaxed),
+            events_dispatched: self.events_dispatched.load(Ordering::Relaxed),
+            writev_calls: self.writev_calls.load(Ordering::Relaxed),
         }
     }
 }

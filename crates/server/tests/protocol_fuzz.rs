@@ -14,12 +14,25 @@ use std::time::Duration;
 use knmatch_core::{BatchAnswer, BatchEngine, BatchOutcome, BatchQuery};
 use knmatch_data::rng::{seeded, Rng64};
 use knmatch_data::uniform;
+#[cfg(unix)]
+use knmatch_server::ReactorChoice;
 use knmatch_server::{
     Backend, Client, EngineConfig, ErrorKind, Response, Server, ServerConfig, MAX_LINE,
 };
 
 const SEED: u64 = 0x000F_0225_FA57;
 const ROUNDS: usize = 24;
+
+/// The readiness backends this host can run: `poll` everywhere, plus
+/// `epoll` on Linux.
+#[cfg(unix)]
+fn backends() -> Vec<ReactorChoice> {
+    if cfg!(target_os = "linux") {
+        vec![ReactorChoice::Poll, ReactorChoice::Epoll]
+    } else {
+        vec![ReactorChoice::Poll]
+    }
+}
 
 /// Fires shutdown when dropped, so an assertion failure inside the test
 /// body unblocks the scoped server thread instead of deadlocking the
@@ -317,49 +330,55 @@ fn binary_garbage(rng: &mut Rng64, round: usize) -> Vec<u8> {
 
 /// The event-loop server under the same regime as the blocking one:
 /// seeded malformed *binary* frames (interleaved with text noise) never
-/// take it down, and correct answers keep flowing.
+/// take it down, and correct answers keep flowing — under every
+/// readiness backend the host offers.
 #[cfg(unix)]
 #[test]
 fn event_server_survives_binary_garbage() {
-    let engine = build_engine();
-    let (probe, expected) = probe_and_expected(&engine);
-    let server = knmatch_server::EventServer::bind(engine, "127.0.0.1:0", ServerConfig::default())
-        .expect("bind");
-    let addr = server.local_addr();
-    let handle = server.handle();
+    for reactor in backends() {
+        let engine = build_engine();
+        let (probe, expected) = probe_and_expected(&engine);
+        let cfg = ServerConfig {
+            reactor,
+            ..ServerConfig::default()
+        };
+        let server = knmatch_server::EventServer::bind(engine, "127.0.0.1:0", cfg).expect("bind");
+        let addr = server.local_addr();
+        let handle = server.handle();
 
-    thread::scope(|s| {
-        let serving = s.spawn(|| server.serve().expect("serve"));
-        {
-            let _guard = ShutdownGuard(handle);
-            let mut rng = seeded(SEED ^ 0xB1AA);
+        thread::scope(|s| {
+            let serving = s.spawn(|| server.serve().expect("serve"));
+            {
+                let _guard = ShutdownGuard(handle);
+                let mut rng = seeded(SEED ^ 0xB1AA);
 
-            for round in 0..ROUNDS {
-                let mut attacker = Client::connect(addr).expect("connect attacker");
-                attacker
-                    .send_raw(&binary_garbage(&mut rng, round))
-                    .expect("send garbage");
-                drain(&mut attacker);
-                drop(attacker);
+                for round in 0..ROUNDS {
+                    let mut attacker = Client::connect(addr).expect("connect attacker");
+                    attacker
+                        .send_raw(&binary_garbage(&mut rng, round))
+                        .expect("send garbage");
+                    drain(&mut attacker);
+                    drop(attacker);
 
-                // Text garbage rounds hit the reactor's line path too.
-                let mut attacker = Client::connect(addr).expect("connect attacker");
-                attacker
-                    .send_raw(&garbage(&mut rng, round))
-                    .expect("send garbage");
-                drain(&mut attacker);
-                drop(attacker);
+                    // Text garbage rounds hit the reactor's line path too.
+                    let mut attacker = Client::connect(addr).expect("connect attacker");
+                    attacker
+                        .send_raw(&garbage(&mut rng, round))
+                        .expect("send garbage");
+                    drain(&mut attacker);
+                    drop(attacker);
 
-                assert_healthy(addr, &probe, &expected, round);
+                    assert_healthy(addr, &probe, &expected, round);
+                }
             }
-        }
-        serving.join().expect("server thread");
-    });
-    let stats = server.stats();
-    assert!(
-        stats.errors > 0,
-        "fuzz rounds should have drawn ERR responses"
-    );
+            serving.join().expect("server thread");
+        });
+        let stats = server.stats();
+        assert!(
+            stats.errors > 0,
+            "fuzz rounds should have drawn ERR responses under {reactor}"
+        );
+    }
 }
 
 /// Frames split at arbitrary syscall boundaries reassemble exactly: a
@@ -371,69 +390,152 @@ fn split_writes_reassemble_across_syscall_boundaries() {
     use knmatch_server::protocol::{encode_batch_frame, encode_request_frame, format_query};
     use knmatch_server::Request;
 
-    let engine = build_engine();
-    let (probe, expected) = probe_and_expected(&engine);
-    let server = knmatch_server::EventServer::bind(engine, "127.0.0.1:0", ServerConfig::default())
-        .expect("bind");
-    let addr = server.local_addr();
-    let handle = server.handle();
+    for reactor in backends() {
+        let engine = build_engine();
+        let (probe, expected) = probe_and_expected(&engine);
+        let cfg = ServerConfig {
+            reactor,
+            ..ServerConfig::default()
+        };
+        let server = knmatch_server::EventServer::bind(engine, "127.0.0.1:0", cfg).expect("bind");
+        let addr = server.local_addr();
+        let handle = server.handle();
 
-    thread::scope(|s| {
-        let serving = s.spawn(|| server.serve().expect("serve"));
-        let _guard = ShutdownGuard(handle);
+        thread::scope(|s| {
+            let serving = s.spawn(|| server.serve().expect("serve"));
+            let _guard = ShutdownGuard(handle);
 
-        // The whole conversation as one byte stream: binary PING, text
-        // PING, a binary batch of two probes, a text probe.
-        let mut stream = Vec::new();
-        encode_request_frame(&Request::Ping, &mut stream).expect("encode");
-        stream.extend_from_slice(b"PING\n");
-        encode_batch_frame(&[probe.clone(), probe.clone()], &mut stream);
-        stream.extend_from_slice(format_query(&probe).as_bytes());
-        stream.push(b'\n');
+            // The whole conversation as one byte stream: binary PING, text
+            // PING, a binary batch of two probes, a text probe.
+            let mut stream = Vec::new();
+            encode_request_frame(&Request::Ping, &mut stream).expect("encode");
+            stream.extend_from_slice(b"PING\n");
+            encode_batch_frame(&[probe.clone(), probe.clone()], &mut stream);
+            stream.extend_from_slice(format_query(&probe).as_bytes());
+            stream.push(b'\n');
 
-        let mut client = Client::connect(addr).expect("connect");
-        client.set_timeout(Some(Duration::from_secs(30))).ok();
-        let mut rng = seeded(SEED ^ 0x5717);
-        let mut sent = 0;
-        let mut chunks = 0;
-        while sent < stream.len() {
-            let n = rng.range_usize(1..8).min(stream.len() - sent);
-            client
-                .send_raw(&stream[sent..sent + n])
-                .expect("send chunk");
-            sent += n;
-            chunks += 1;
-            if chunks % 8 == 0 {
-                // Give the reactor a chance to observe a partial frame.
-                thread::sleep(Duration::from_millis(1));
+            let mut client = Client::connect(addr).expect("connect");
+            client.set_timeout(Some(Duration::from_secs(30))).ok();
+            let mut rng = seeded(SEED ^ 0x5717);
+            let mut sent = 0;
+            let mut chunks = 0;
+            while sent < stream.len() {
+                let n = rng.range_usize(1..8).min(stream.len() - sent);
+                client
+                    .send_raw(&stream[sent..sent + n])
+                    .expect("send chunk");
+                sent += n;
+                chunks += 1;
+                if chunks % 8 == 0 {
+                    // Give the reactor a chance to observe a partial frame.
+                    thread::sleep(Duration::from_millis(1));
+                }
             }
-        }
 
-        match client.recv_response().expect("binary pong") {
-            Response::Pong => {}
-            other => panic!("expected PONG, got {other:?}"),
-        }
-        match client.recv_response().expect("text pong") {
-            Response::Pong => {}
-            other => panic!("expected PONG, got {other:?}"),
-        }
-        for slot in 0..2 {
-            match client.recv_response().expect("batch slot") {
-                Response::Answer(a) => assert_eq!(a, expected, "slot {slot}"),
+            match client.recv_response().expect("binary pong") {
+                Response::Pong => {}
+                other => panic!("expected PONG, got {other:?}"),
+            }
+            match client.recv_response().expect("text pong") {
+                Response::Pong => {}
+                other => panic!("expected PONG, got {other:?}"),
+            }
+            for slot in 0..2 {
+                match client.recv_response().expect("batch slot") {
+                    Response::Answer(a) => assert_eq!(a, expected, "slot {slot}"),
+                    other => panic!("expected answer, got {other:?}"),
+                }
+            }
+            match client.recv_response().expect("trailer") {
+                Response::Done { ok, failed } => assert_eq!((ok, failed), (2, 0)),
+                other => panic!("expected DONE, got {other:?}"),
+            }
+            match client.recv_response().expect("text answer") {
+                Response::Answer(a) => assert_eq!(a, expected),
                 other => panic!("expected answer, got {other:?}"),
             }
-        }
-        match client.recv_response().expect("trailer") {
-            Response::Done { ok, failed } => assert_eq!((ok, failed), (2, 0)),
-            other => panic!("expected DONE, got {other:?}"),
-        }
-        match client.recv_response().expect("text answer") {
-            Response::Answer(a) => assert_eq!(a, expected),
-            other => panic!("expected answer, got {other:?}"),
-        }
-        client.quit().expect("quit");
+            client.quit().expect("quit");
 
-        drop(_guard);
-        serving.join().expect("server thread");
-    });
+            drop(_guard);
+            serving.join().expect("server thread");
+        });
+    }
+}
+
+/// The reverse split: a slow *reader*. Twenty large pipelined batches
+/// are sent while nothing is read, so the server's socket buffer fills
+/// and `writev` returns partial counts mid-iovec; the resumed flush must
+/// still deliver every response byte-exactly and in order.
+#[cfg(unix)]
+#[test]
+fn slow_reader_forces_partial_writev_resume() {
+    const BATCHES: usize = 20;
+
+    for reactor in backends() {
+        let engine = build_engine();
+        let queries: Vec<BatchQuery> = (0..100)
+            .map(|i| BatchQuery::KnMatch {
+                query: vec![
+                    0.005 * i as f64,
+                    1.0 - 0.005 * i as f64,
+                    0.3 + 0.003 * i as f64,
+                ],
+                k: 8,
+                n: 3,
+            })
+            .collect();
+        let expected: Vec<BatchAnswer> = engine
+            .run(&queries)
+            .into_iter()
+            .map(|r| r.expect("valid query").into_answer())
+            .collect();
+        let cfg = ServerConfig {
+            executors: 2,
+            reactor,
+            ..ServerConfig::default()
+        };
+        let server = knmatch_server::EventServer::bind(engine, "127.0.0.1:0", cfg).expect("bind");
+        let addr = server.local_addr();
+        let handle = server.handle();
+
+        thread::scope(|s| {
+            let serving = s.spawn(|| server.serve().expect("serve"));
+            let _guard = ShutdownGuard(handle);
+
+            let mut client = Client::connect(addr).expect("connect");
+            client.set_binary(true);
+            client.set_timeout(Some(Duration::from_secs(30))).ok();
+            for _ in 0..BATCHES {
+                client.send_batch(&queries).expect("send batch");
+            }
+            // Let the executors finish and the reactor hit WouldBlock
+            // against the unread socket before the first read.
+            thread::sleep(Duration::from_millis(100));
+            for batch in 0..BATCHES {
+                let reply = client.recv_batch(queries.len()).expect("recv batch");
+                assert_eq!(
+                    (reply.ok, reply.failed),
+                    (queries.len() as u64, 0),
+                    "batch {batch} under {reactor}"
+                );
+                for (slot, (got, want)) in reply.answers.iter().zip(&expected).enumerate() {
+                    assert_eq!(
+                        got.as_ref().expect("answer"),
+                        want,
+                        "batch {batch} slot {slot} under {reactor}"
+                    );
+                }
+            }
+            let (_, _, _, extras) = client.stats_full().expect("stats");
+            let extras = extras.expect("event server reports extras");
+            assert!(
+                extras.writev_calls > 0,
+                "responses must flush through writev under {reactor}"
+            );
+            client.quit().expect("quit");
+
+            drop(_guard);
+            serving.join().expect("server thread");
+        });
+    }
 }

@@ -10,11 +10,13 @@
 #   5. faults:  release-mode fault-injection stress (retry/panic paths
 #               under optimised timing) + fault_overhead --smoke
 #   6. pipeline: event-server pipelined cross-check in release (bit-
-#               identity at workers 1/2/4) + connection_scaling --smoke
-#               (256 concurrent connections over the reactor)
+#               identity at workers 1/2/4 and poll-vs-epoll byte
+#               identity on Linux) + connection_scaling --smoke
+#               (256 concurrent connections over both reactors)
 #   7. server:  loopback serve/client smoke for both servers (ephemeral
 #               port, batch over the wire — binary+pipelined on the
-#               event loop — graceful shutdown)
+#               event loop, once per reactor backend — graceful
+#               shutdown) + release-mode protocol fuzz
 #
 # Usage: scripts/verify.sh
 set -euo pipefail
@@ -92,27 +94,38 @@ SERVE_PID=""
 grep -q "shutdown complete" "$SMOKE_DIR/serve.log" \
   || { cat "$SMOKE_DIR/serve.log"; echo "server did not drain cleanly"; exit 1; }
 
-echo "==> event-loop smoke (serve --event-loop + binary pipelined client)"
-"$KNM" serve "$SMOKE_DIR/data.knm" --addr 127.0.0.1:0 --workers 2 \
-  --event-loop --executors 2 >"$SMOKE_DIR/event.log" 2>&1 &
-SERVE_PID=$!
-ADDR=""
-for _ in $(seq 1 100); do
-  ADDR=$(sed -n 's/^listening on \([0-9.:]*\) .*/\1/p' "$SMOKE_DIR/event.log")
-  [ -n "$ADDR" ] && break
-  kill -0 "$SERVE_PID" 2>/dev/null || { cat "$SMOKE_DIR/event.log"; echo "event server died during startup"; exit 1; }
-  sleep 0.1
+# Both readiness backends where the host offers them: poll everywhere,
+# edge-triggered epoll on Linux (elsewhere `--reactor epoll` refuses).
+REACTORS="poll"
+[ "$(uname)" = Linux ] && REACTORS="poll epoll"
+for REACTOR in $REACTORS; do
+  echo "==> event-loop smoke (serve --event-loop --reactor $REACTOR + binary pipelined client)"
+  "$KNM" serve "$SMOKE_DIR/data.knm" --addr 127.0.0.1:0 --workers 2 \
+    --event-loop --executors 2 --reactor "$REACTOR" >"$SMOKE_DIR/event.log" 2>&1 &
+  SERVE_PID=$!
+  ADDR=""
+  for _ in $(seq 1 100); do
+    ADDR=$(sed -n 's/^listening on \([0-9.:]*\) .*/\1/p' "$SMOKE_DIR/event.log")
+    [ -n "$ADDR" ] && break
+    kill -0 "$SERVE_PID" 2>/dev/null || { cat "$SMOKE_DIR/event.log"; echo "event server died during startup"; exit 1; }
+    sleep 0.1
+  done
+  [ -n "$ADDR" ] || { cat "$SMOKE_DIR/event.log"; echo "event server never reported its address"; exit 1; }
+  grep -q "reactor $REACTOR" "$SMOKE_DIR/event.log" \
+    || { cat "$SMOKE_DIR/event.log"; echo "event server did not report reactor $REACTOR"; exit 1; }
+  "$KNM" client "$ADDR" --ping >/dev/null
+  "$KNM" client "$ADDR" --queries "$SMOKE_DIR/queries.csv" -k 3 -n 2 \
+    --binary --pipeline 4 --stats \
+    | grep -q "4 ok / 0 failed" \
+    || { echo "pipelined binary batch did not return 4 ok / 0 failed"; exit 1; }
+  "$KNM" client "$ADDR" --shutdown >/dev/null
+  wait "$SERVE_PID"
+  SERVE_PID=""
+  grep -q "shutdown complete" "$SMOKE_DIR/event.log" \
+    || { cat "$SMOKE_DIR/event.log"; echo "event server did not drain cleanly"; exit 1; }
 done
-[ -n "$ADDR" ] || { cat "$SMOKE_DIR/event.log"; echo "event server never reported its address"; exit 1; }
-"$KNM" client "$ADDR" --ping >/dev/null
-"$KNM" client "$ADDR" --queries "$SMOKE_DIR/queries.csv" -k 3 -n 2 \
-  --binary --pipeline 4 --stats \
-  | grep -q "4 ok / 0 failed" \
-  || { echo "pipelined binary batch did not return 4 ok / 0 failed"; exit 1; }
-"$KNM" client "$ADDR" --shutdown >/dev/null
-wait "$SERVE_PID"
-SERVE_PID=""
-grep -q "shutdown complete" "$SMOKE_DIR/event.log" \
-  || { cat "$SMOKE_DIR/event.log"; echo "event server did not drain cleanly"; exit 1; }
+
+echo "==> protocol fuzz under both reactors (release)"
+cargo test --release -q -p knmatch-server --test protocol_fuzz
 
 echo "verify: OK"
