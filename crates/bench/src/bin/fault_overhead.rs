@@ -22,6 +22,13 @@
 //! but re-reads of verified pages skip the CRC. Wall-clock timing only
 //! (`std::time::Instant`), best-of-`reps` per pass, no external bench
 //! framework.
+//!
+//! A second section (unix only) prices the *network* fault hooks on the
+//! served path: the same workload pipelined over a loopback
+//! [`EventServer`](knmatch_server::EventServer) twice — once with no
+//! injector configured, once with a zero-rate injector installed, so
+//! the per-I/O hook rolls but never fires. Outside `--smoke` the
+//! disabled-hook cost must stay under 1% of baseline qps.
 
 use std::fmt::Write as _;
 use std::time::{Duration, Instant};
@@ -98,6 +105,104 @@ struct Mode {
 
 fn qps(queries: usize, wall: Duration) -> f64 {
     queries as f64 / wall.as_secs_f64()
+}
+
+/// Structural checksum over served answers — the equality witness
+/// between the with-hooks and without-hooks servers.
+#[cfg(unix)]
+fn digest_answers(answers: &[Result<BatchAnswer, knmatch_server::ServedError>]) -> u64 {
+    let mut sum = 0u64;
+    for a in answers {
+        let ids = match a.as_ref().expect("answer") {
+            BatchAnswer::KnMatch(r) | BatchAnswer::EpsMatch(r) => r.ids(),
+            BatchAnswer::Frequent(r) => r.ids(),
+        };
+        for (rank, pid) in ids.iter().enumerate() {
+            sum = sum
+                .wrapping_mul(0x100_0000_01B3)
+                .wrapping_add(*pid as u64 ^ ((rank as u64) << 32));
+        }
+    }
+    sum
+}
+
+/// Prices the disabled network fault hooks on the served path: two
+/// loopback event servers over identical in-memory engines — one with
+/// no injector, one with a zero-rate injector (the hooks roll per I/O
+/// but never fire) — measured with *interleaved* reps so machine drift
+/// hits both sides equally, best-of-`reps` each. Returns
+/// `(baseline_qps, hooks_qps)`.
+#[cfg(unix)]
+fn served_hook_qps(
+    ds: &knmatch_core::Dataset,
+    batch: &[BatchQuery],
+    reps: usize,
+    seed: u64,
+) -> (f64, f64) {
+    use knmatch_server::{
+        Backend, Client, EngineConfig, EventServer, NetFaultConfig, ServerConfig,
+    };
+    let build = |fault: Option<NetFaultConfig>| {
+        let engine = EngineConfig {
+            workers: std::thread::available_parallelism().map_or(1, |n| n.get()),
+            backend: Backend::Memory,
+            planner: None,
+        }
+        .build_in_memory(ds);
+        let scfg = ServerConfig {
+            executors: 1,
+            fault,
+            ..ServerConfig::default()
+        };
+        EventServer::bind(engine, "127.0.0.1:0", scfg).expect("bind")
+    };
+    let base = build(None);
+    let hooks = build(Some(NetFaultConfig {
+        seed,
+        ..NetFaultConfig::default()
+    }));
+    let handles = [base.handle(), hooks.handle()];
+    let mut best = [Duration::MAX; 2];
+    let mut digests = [0u64; 2];
+    std::thread::scope(|s| {
+        let serve_base = s.spawn(|| base.serve().expect("serve"));
+        let serve_hooks = s.spawn(|| hooks.serve().expect("serve"));
+        let mut clients = [
+            Client::connect(base.local_addr()).expect("connect"),
+            Client::connect(hooks.local_addr()).expect("connect"),
+        ];
+        for c in &mut clients {
+            c.set_binary(true);
+            let warm = c.run_batch(batch).expect("warm-up batch");
+            assert_eq!(warm.failed, 0);
+        }
+        // Three batches per timed window: a single ~3ms batch is inside
+        // scheduler jitter; ~10ms windows make the 1% budget meaningful.
+        for _ in 0..reps {
+            for (i, c) in clients.iter_mut().enumerate() {
+                let t = Instant::now();
+                for _ in 0..3 {
+                    let reply = c.run_batch(batch).expect("served batch");
+                    assert_eq!(reply.failed, 0, "no query may fail");
+                    digests[i] = digest_answers(&reply.answers);
+                }
+                best[i] = best[i].min(t.elapsed() / 3);
+            }
+        }
+        for c in clients {
+            c.quit().expect("quit");
+        }
+        for h in handles {
+            h.shutdown();
+        }
+        serve_base.join().expect("server thread");
+        serve_hooks.join().expect("server thread");
+    });
+    assert_eq!(
+        digests[0], digests[1],
+        "disabled fault hooks must not change answers"
+    );
+    (qps(batch.len(), best[0]), qps(batch.len(), best[1]))
 }
 
 fn digest_results(results: Vec<knmatch_core::Result<knmatch_storage::DiskBatchOutcome>>) -> u64 {
@@ -243,6 +348,18 @@ fn main() {
     // The recurring cost of the paranoid per-read policy.
     let always_pct = pct(always.steady, never.steady);
 
+    // Served path: the network fault hooks priced while disabled. A
+    // zero-rate injector still rolls the PRNG once per read and per
+    // flush, which is the entire always-on cost of the chaos plumbing.
+    #[cfg(unix)]
+    let served = {
+        let (base_qps, hooks_qps) = served_hook_qps(&ds, &batch, cfg.reps.max(9), cfg.seed);
+        let overhead_pct = (base_qps - hooks_qps) / base_qps * 100.0;
+        Some((base_qps, hooks_qps, overhead_pct))
+    };
+    #[cfg(not(unix))]
+    let served: Option<(f64, f64, f64)> = None;
+
     let mut json = String::from("{\n");
     let _ = writeln!(
         json,
@@ -271,7 +388,19 @@ fn main() {
         "  \"first_touch_overhead_pct\": {first_touch_pct:.2},"
     );
     let _ = writeln!(json, "  \"verify_always_overhead_pct\": {always_pct:.2},");
-    let _ = writeln!(json, "  \"checksum_overhead_pct\": {overhead_pct:.2}");
+    let _ = writeln!(json, "  \"checksum_overhead_pct\": {overhead_pct:.2},");
+    match served {
+        Some((base, hooks, pct)) => {
+            let _ = writeln!(
+                json,
+                "  \"served_fault_hooks\": {{\"baseline_qps\": {base:.1}, \
+                 \"hooks_disabled_qps\": {hooks:.1}, \"hook_overhead_pct\": {pct:.2}}}"
+            );
+        }
+        None => {
+            let _ = writeln!(json, "  \"served_fault_hooks\": null");
+        }
+    }
     json.push_str("}\n");
 
     std::fs::write(&cfg.out, &json).expect("write output file");
@@ -286,5 +415,11 @@ fn main() {
             overhead_pct < 10.0,
             "steady-state checksum overhead is {overhead_pct:.2}% (budget: 10%)"
         );
+        if let Some((_, _, hook_pct)) = served {
+            assert!(
+                hook_pct < 1.0,
+                "disabled fault hooks cost {hook_pct:.2}% served qps (budget: 1%)"
+            );
+        }
     }
 }

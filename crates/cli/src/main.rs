@@ -61,11 +61,13 @@ fn usage() -> &'static str {
      [--deadline-ms MS] [--fail-fast]\n  \
      knmatch serve <data.csv|db.knm> [--addr IP:PORT] [--workers W] \
      [--planner MODE | --shards <S|auto> | --disk [--pool-pages P] [--verify MODE]] \
-     [--max-conns N] [--event-loop [--executors E] [--reactor poll|epoll|auto]]\n  \
+     [--max-conns N] [--event-loop [--executors E] [--reactor poll|epoll|auto] \
+     [--idle-timeout-ms MS] [--max-inflight N]]\n  \
      knmatch client <host:port> (--queries <queries.csv> \
      (-k <K> -n <N> | -k <K> --frequent <N0> <N1> | --eps <E> -n <N>) \
      [--planner MODE] [--deadline-ms MS] [--fail-fast] [--binary] \
-     [--pipeline DEPTH] [--stats] | --ping | --shutdown)\n\
+     [--pipeline DEPTH] [--retries R [--backoff-ms MS]] [--timeout-ms MS] \
+     [--stats] | --ping | --shutdown)\n\
      \n\
      exit codes: 0 success; 1 usage or I/O error; 2 command ran but some \
      queries failed"
@@ -437,47 +439,119 @@ fn client(args: &[String]) -> Result<(String, bool), String> {
     let points: Vec<Vec<f64>> = qs.iter().map(|(_, p)| p.to_vec()).collect();
     let (queries, header) = build_queries(args, points)?;
 
-    let mut c = connect()?;
-    if args.iter().any(|a| a == "--binary") {
-        c.set_binary(true);
-    }
-    if let Some(ms) = flag_value(args, "--deadline-ms") {
-        let ms: u64 = parse_num(ms, "--deadline-ms")?;
-        if ms == 0 {
-            // On the wire DEADLINE 0 *clears* the deadline, the opposite
-            // of what `batch --deadline-ms 0` (fail everything) means.
-            return Err("client --deadline-ms must be > 0".into());
+    let binary = args.iter().any(|a| a == "--binary");
+    let fail_fast = args.iter().any(|a| a == "--fail-fast");
+    let want_stats = args.iter().any(|a| a == "--stats");
+    let deadline_ms = match flag_value(args, "--deadline-ms") {
+        Some(ms) => {
+            let ms: u64 = parse_num(ms, "--deadline-ms")?;
+            if ms == 0 {
+                // On the wire DEADLINE 0 *clears* the deadline, the opposite
+                // of what `batch --deadline-ms 0` (fail everything) means.
+                return Err("client --deadline-ms must be > 0".into());
+            }
+            Some(ms)
         }
-        c.set_deadline_ms(ms).map_err(|e| e.to_string())?;
-    }
-    if args.iter().any(|a| a == "--fail-fast") {
-        c.set_fail_fast(true).map_err(|e| e.to_string())?;
-    }
-    if let Some(mode) = flag_value(args, "--planner") {
-        let mode: knmatch_core::PlannerMode = mode.parse()?;
-        c.set_planner(mode).map_err(|e| e.to_string())?;
-    }
+        None => None,
+    };
+    let planner = flag_value(args, "--planner")
+        .map(|m| m.parse::<knmatch_core::PlannerMode>())
+        .transpose()?;
     let pipeline = flag_value(args, "--pipeline")
         .map(|d| parse_num(d, "--pipeline"))
         .transpose()?;
+    if pipeline == Some(0) {
+        return Err("--pipeline depth must be > 0".into());
+    }
+    let retries: u64 = parse_num(flag_value(args, "--retries").unwrap_or("0"), "--retries")?;
+    let timeout_ms: u64 = parse_num(
+        flag_value(args, "--timeout-ms").unwrap_or("0"),
+        "--timeout-ms",
+    )?;
+    let backoff_ms: u64 = parse_num(
+        flag_value(args, "--backoff-ms").unwrap_or("0"),
+        "--backoff-ms",
+    )?;
+    if retries == 0 && backoff_ms > 0 {
+        return Err("--backoff-ms only applies with --retries".into());
+    }
+
     let started = std::time::Instant::now();
-    let reply = match pipeline {
-        Some(depth) => {
-            if depth == 0 {
-                return Err("--pipeline depth must be > 0".into());
-            }
-            let answers = c
-                .run_pipelined(&queries, depth)
-                .map_err(|e| e.to_string())?;
-            let ok = answers.iter().filter(|a| a.is_ok()).count() as u64;
-            let failed = answers.len() as u64 - ok;
-            knmatch_server::BatchReply {
-                answers,
-                ok,
-                failed,
-            }
+    let (reply, stats, retries_used) = if retries > 0 {
+        if pipeline.is_some() {
+            return Err("--pipeline cannot be combined with --retries \
+                        (reconnect-and-replay resends whole batches)"
+                .into());
         }
-        None => c.run_batch(&queries).map_err(|e| e.to_string())?,
+        let mut policy = knmatch_server::RetryPolicy {
+            retries: retries as u32,
+            ..knmatch_server::RetryPolicy::default()
+        };
+        if timeout_ms > 0 {
+            policy.timeout = Some(std::time::Duration::from_millis(timeout_ms));
+        }
+        if backoff_ms > 0 {
+            policy.backoff_base = std::time::Duration::from_millis(backoff_ms);
+        }
+        let mut c = knmatch_server::RetryingClient::connect(addr, policy)
+            .map_err(|e| format!("connect {addr}: {e}"))?;
+        c.set_binary(binary);
+        if let Some(ms) = deadline_ms {
+            c.set_deadline_ms(ms);
+        }
+        if fail_fast {
+            c.set_fail_fast(true);
+        }
+        if let Some(mode) = planner {
+            c.set_planner(mode);
+        }
+        let reply = c.run_batch(&queries).map_err(|e| e.to_string())?;
+        let stats = if want_stats {
+            Some(c.stats_full().map_err(|e| e.to_string())?)
+        } else {
+            None
+        };
+        let used = c.retries_used();
+        c.close();
+        (reply, stats, used)
+    } else {
+        let mut c = connect()?;
+        c.set_binary(binary);
+        if timeout_ms > 0 {
+            c.set_timeout(Some(std::time::Duration::from_millis(timeout_ms)))
+                .map_err(|e| e.to_string())?;
+        }
+        if let Some(ms) = deadline_ms {
+            c.set_deadline_ms(ms).map_err(|e| e.to_string())?;
+        }
+        if fail_fast {
+            c.set_fail_fast(true).map_err(|e| e.to_string())?;
+        }
+        if let Some(mode) = planner {
+            c.set_planner(mode).map_err(|e| e.to_string())?;
+        }
+        let reply = match pipeline {
+            Some(depth) => {
+                let answers = c
+                    .run_pipelined(&queries, depth)
+                    .map_err(|e| e.to_string())?;
+                let ok = answers.iter().filter(|a| a.is_ok()).count() as u64;
+                let failed = answers.len() as u64 - ok;
+                knmatch_server::BatchReply {
+                    answers,
+                    ok,
+                    failed,
+                }
+            }
+            None => c.run_batch(&queries).map_err(|e| e.to_string())?,
+        };
+        let stats = if want_stats {
+            Some(c.stats_full().map_err(|e| e.to_string())?)
+        } else {
+            None
+        };
+        c.quit().map_err(|e| e.to_string())?;
+        (reply, stats, 0)
     };
     let elapsed = started.elapsed();
 
@@ -506,8 +580,10 @@ fn client(args: &[String]) -> Result<(String, bool), String> {
         },
     )
     .expect("write to String");
-    if args.iter().any(|a| a == "--stats") {
-        let (conn, server, plans, extras) = c.stats_full().map_err(|e| e.to_string())?;
+    if retries_used > 0 {
+        writeln!(out, "retried {retries_used} time(s)").expect("write to String");
+    }
+    if let Some((conn, server, plans, extras)) = stats {
         writeln!(
             out,
             "connection: {} queries, {} errors, {} bytes in / {} bytes out",
@@ -542,9 +618,14 @@ fn client(args: &[String]) -> Result<(String, bool), String> {
                 x.writev_calls
             )
             .expect("write to String");
+            writeln!(
+                out,
+                "robustness: {} evicted, {} shed, {} retries asked, {} deadline cancels",
+                x.conns_evicted, x.queries_shed, x.retries_observed, x.deadline_cancels
+            )
+            .expect("write to String");
         }
     }
-    c.quit().map_err(|e| e.to_string())?;
     Ok((out, reply.failed == 0))
 }
 
@@ -567,6 +648,7 @@ fn batch_options(args: &[String]) -> Result<BatchOptions, String> {
         deadline,
         fail_fast: args.iter().any(|a| a == "--fail-fast"),
         planner,
+        ..BatchOptions::default()
     })
 }
 

@@ -90,6 +90,12 @@ pub struct BatchOptions {
     /// [`KnMatchError::DeadlineExceeded`]; the rest of the batch is
     /// unaffected.
     pub deadline: Option<Duration>,
+    /// Absolute deadline stamped by a caller that queued the batch before
+    /// running it (the event-loop server stamps arrival time, so executor
+    /// queue wait counts against the budget). When both this and
+    /// [`deadline`](BatchOptions::deadline) are set, the earlier instant
+    /// wins.
+    pub deadline_at: Option<Instant>,
     /// When `true`, the first failing query trips a shared cancel flag and
     /// every query not yet finished gives up with
     /// [`KnMatchError::Cancelled`]. When `false` (default) each query
@@ -189,10 +195,14 @@ impl BatchOptions {
     /// shared cancel flag. Called once per batch so every query in the
     /// batch races the same clock.
     pub fn arm(&self) -> QueryControl {
+        // `checked_add` so an absurd duration means "no deadline"
+        // rather than a panic.
+        let relative = self.deadline.and_then(|d| Instant::now().checked_add(d));
         QueryControl {
-            // `checked_add` so an absurd duration means "no deadline"
-            // rather than a panic.
-            deadline: self.deadline.and_then(|d| Instant::now().checked_add(d)),
+            deadline: match (self.deadline_at, relative) {
+                (Some(a), Some(b)) => Some(a.min(b)),
+                (a, b) => a.or(b),
+            },
             cancel: if self.fail_fast {
                 Some(Arc::new(AtomicBool::new(false)))
             } else {

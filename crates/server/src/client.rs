@@ -10,15 +10,17 @@
 //! of requests in flight against the event-loop server.
 
 use std::io::{self, BufRead, BufReader, Read, Write};
-use std::net::{TcpStream, ToSocketAddrs};
+use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
+use std::thread;
 use std::time::Duration;
 
 use knmatch_core::{BatchAnswer, BatchQuery, PlanTally, PlannerMode};
+use knmatch_data::rng::Rng64;
 
 use crate::protocol::{
     decode_response_frame, encode_batch_frame, encode_request_frame, format_query, parse_response,
-    ErrorKind, ProtoError, Request, Response, ServerExtras, StatsSnapshot, FRAME_HEADER_LEN,
-    FRAME_MAGIC, MAX_FRAME,
+    retry_after_ms, ErrorKind, ProtoError, Request, Response, ServerExtras, StatsSnapshot,
+    FRAME_HEADER_LEN, FRAME_MAGIC, MAX_FRAME,
 };
 
 /// A failure reported by the server for one query (`ERR` line), as
@@ -189,6 +191,15 @@ impl Client {
             return Err(ClientError::Io(io::Error::new(
                 io::ErrorKind::UnexpectedEof,
                 "server closed the connection",
+            )));
+        }
+        if !line.ends_with('\n') {
+            // read_line only returns a newline-less line at EOF: the
+            // server died mid-response. Truncation is a transport
+            // failure (retryable), not a protocol one.
+            return Err(ClientError::Io(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "server closed the connection mid-response",
             )));
         }
         Ok(parse_response(line.trim_end_matches(['\n', '\r']))?)
@@ -478,5 +489,415 @@ impl Client {
     /// Socket errors, or `UnexpectedEof` when the server closed.
     pub fn recv_response(&mut self) -> Result<Response, ClientError> {
         self.recv()
+    }
+}
+
+/// How a [`RetryingClient`] reacts to transient failures: how many
+/// retries, how long to wait for each response, and the shape of the
+/// backoff between attempts.
+///
+/// Backoff is *decorrelated jitter*: each sleep is drawn uniformly from
+/// `[backoff_base, prev_sleep * 3]` and clamped to `backoff_cap`, so
+/// concurrent clients spread out instead of retrying in lockstep. When
+/// the server's error carried a `retry-after-ms` hint, the hint is a
+/// floor on the sleep. The jitter stream is seeded, so a given client
+/// replays the same sleeps run over run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Retries after the first attempt (0 disables retrying).
+    pub retries: u32,
+    /// Socket read timeout per response; a server stalled past this
+    /// surfaces as an [`ClientError::Io`] and is retried on a fresh
+    /// connection. `None` waits forever.
+    pub timeout: Option<Duration>,
+    /// Smallest sleep between attempts.
+    pub backoff_base: Duration,
+    /// Largest sleep between attempts.
+    pub backoff_cap: Duration,
+    /// Seed for the jitter stream.
+    pub seed: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            retries: 3,
+            timeout: Some(Duration::from_secs(10)),
+            backoff_base: Duration::from_millis(10),
+            backoff_cap: Duration::from_secs(2),
+            seed: 0x5EED,
+        }
+    }
+}
+
+/// A [`Client`] wrapper that rides out transient faults: socket errors
+/// reconnect and resend (safe because every request is a pure read),
+/// and `ERR overloaded` / `ERR busy` replies back off and retry,
+/// honouring the server's `retry-after-ms` hint as a floor.
+///
+/// Connection-scoped options (binary framing, `DEADLINE`, `FAILFAST`,
+/// `PLANNER`) are recorded here and replayed onto every fresh
+/// connection, so a mid-session reconnect is invisible to the caller.
+#[derive(Debug)]
+pub struct RetryingClient {
+    addr: SocketAddr,
+    policy: RetryPolicy,
+    conn: Option<Client>,
+    rng: Rng64,
+    prev_backoff: Duration,
+    retries_used: u64,
+    // Options replayed after every reconnect.
+    binary: bool,
+    deadline_ms: Option<u64>,
+    fail_fast: Option<bool>,
+    planner: Option<PlannerMode>,
+}
+
+impl RetryingClient {
+    /// Resolves `addr` and prepares a client; the first connection is
+    /// made lazily by the first request (so connect failures get the
+    /// retry loop too).
+    ///
+    /// # Errors
+    ///
+    /// Address resolution failures.
+    pub fn connect<A: ToSocketAddrs>(addr: A, policy: RetryPolicy) -> io::Result<RetryingClient> {
+        let addr = addr.to_socket_addrs()?.next().ok_or_else(|| {
+            io::Error::new(io::ErrorKind::InvalidInput, "address resolved to nothing")
+        })?;
+        Ok(RetryingClient {
+            addr,
+            policy,
+            conn: None,
+            rng: Rng64::new(policy.seed),
+            prev_backoff: Duration::ZERO,
+            retries_used: 0,
+            binary: false,
+            deadline_ms: None,
+            fail_fast: None,
+            planner: None,
+        })
+    }
+
+    /// Retries spent so far, across all requests.
+    pub fn retries_used(&self) -> u64 {
+        self.retries_used
+    }
+
+    /// Records the request encoding; applied immediately and replayed on
+    /// reconnect.
+    pub fn set_binary(&mut self, on: bool) {
+        self.binary = on;
+        if let Some(c) = self.conn.as_mut() {
+            c.set_binary(on);
+        }
+    }
+
+    /// Records the per-query deadline (0 clears); replayed on reconnect.
+    /// If a live connection refuses the roundtrip it is dropped and the
+    /// option takes effect on the next (replayed) connection.
+    pub fn set_deadline_ms(&mut self, ms: u64) {
+        self.deadline_ms = if ms == 0 { None } else { Some(ms) };
+        if let Some(c) = self.conn.as_mut() {
+            if c.set_deadline_ms(ms).is_err() {
+                self.conn = None;
+            }
+        }
+    }
+
+    /// Records fail-fast for later batches; replayed on reconnect.
+    pub fn set_fail_fast(&mut self, on: bool) {
+        self.fail_fast = Some(on);
+        if let Some(c) = self.conn.as_mut() {
+            if c.set_fail_fast(on).is_err() {
+                self.conn = None;
+            }
+        }
+    }
+
+    /// Records the planner mode; replayed on reconnect.
+    pub fn set_planner(&mut self, mode: PlannerMode) {
+        self.planner = Some(mode);
+        if let Some(c) = self.conn.as_mut() {
+            if c.set_planner(mode).is_err() {
+                self.conn = None;
+            }
+        }
+    }
+
+    fn ensure_conn(&mut self) -> Result<&mut Client, ClientError> {
+        if self.conn.is_none() {
+            let mut c = Client::connect(self.addr)?;
+            c.set_timeout(self.policy.timeout)?;
+            c.set_binary(self.binary);
+            if let Some(ms) = self.deadline_ms {
+                c.set_deadline_ms(ms)?;
+            }
+            if let Some(on) = self.fail_fast {
+                c.set_fail_fast(on)?;
+            }
+            if let Some(mode) = self.planner {
+                c.set_planner(mode)?;
+            }
+            self.conn = Some(c);
+        }
+        Ok(self.conn.as_mut().expect("just connected"))
+    }
+
+    /// The next decorrelated-jitter sleep, floored by the server's
+    /// `retry-after-ms` hint when one was given. Split from the sleep
+    /// itself so tests can pin the sequence.
+    fn next_backoff(&mut self, hint_ms: Option<u64>) -> Duration {
+        let base = self.policy.backoff_base;
+        let prev = self.prev_backoff.max(base);
+        let span = (prev * 3).saturating_sub(base);
+        let mut sleep = base + span.mul_f64(self.rng.next_f64());
+        sleep = sleep.min(self.policy.backoff_cap);
+        if let Some(ms) = hint_ms {
+            sleep = sleep.max(Duration::from_millis(ms));
+        }
+        self.prev_backoff = sleep;
+        sleep
+    }
+
+    fn backoff(&mut self, hint_ms: Option<u64>) {
+        let sleep = self.next_backoff(hint_ms);
+        if !sleep.is_zero() {
+            thread::sleep(sleep);
+        }
+    }
+
+    /// `true` when the reply is pure shed/busy noise worth retrying: at
+    /// least one answer and every answer an `overloaded`/`busy` error.
+    /// (The event loop sheds whole batches at admission, so a shed reply
+    /// is all-or-nothing; a mixed reply is real work and returned as-is.)
+    fn all_shed(reply: &BatchReply) -> bool {
+        !reply.answers.is_empty()
+            && reply.answers.iter().all(|a| {
+                matches!(
+                    a,
+                    Err(e) if matches!(e.kind, ErrorKind::Overloaded | ErrorKind::Busy)
+                )
+            })
+    }
+
+    /// The largest `retry-after-ms` hint across a shed reply's errors.
+    fn shed_hint(reply: &BatchReply) -> Option<u64> {
+        reply
+            .answers
+            .iter()
+            .filter_map(|a| a.as_ref().err())
+            .filter_map(|e| retry_after_ms(&e.message))
+            .max()
+    }
+
+    /// Runs `queries` as one batch, retrying transient failures per the
+    /// policy. Socket errors drop the connection and resend everything
+    /// on a fresh one — safe because queries never mutate server state.
+    ///
+    /// # Errors
+    ///
+    /// The final attempt's failure once retries are exhausted, or any
+    /// non-retryable failure (a protocol error, an unexpected response).
+    pub fn run_batch(&mut self, queries: &[BatchQuery]) -> Result<BatchReply, ClientError> {
+        let mut attempt = 0u32;
+        let mut hint: Option<u64> = None;
+        loop {
+            if attempt > 0 {
+                self.retries_used += 1;
+                self.backoff(hint.take());
+            }
+            let result = self.ensure_conn().and_then(|c| c.run_batch(queries));
+            match result {
+                Ok(reply) => {
+                    if attempt < self.policy.retries && Self::all_shed(&reply) {
+                        hint = Self::shed_hint(&reply);
+                        attempt += 1;
+                        continue;
+                    }
+                    return Ok(reply);
+                }
+                Err(ClientError::Io(_)) if attempt < self.policy.retries => {
+                    self.conn = None;
+                    attempt += 1;
+                }
+                Err(e) => {
+                    if matches!(e, ClientError::Io(_)) {
+                        self.conn = None;
+                    }
+                    return Err(e);
+                }
+            }
+        }
+    }
+
+    /// Runs one query with the same retry loop as
+    /// [`run_batch`](RetryingClient::run_batch).
+    ///
+    /// # Errors
+    ///
+    /// The final attempt's failure once retries are exhausted, or any
+    /// non-retryable failure.
+    pub fn query(
+        &mut self,
+        q: &BatchQuery,
+    ) -> Result<Result<BatchAnswer, ServedError>, ClientError> {
+        let mut attempt = 0u32;
+        let mut hint: Option<u64> = None;
+        loop {
+            if attempt > 0 {
+                self.retries_used += 1;
+                self.backoff(hint.take());
+            }
+            let result = self.ensure_conn().and_then(|c| c.query(q));
+            match result {
+                Ok(Err(e))
+                    if attempt < self.policy.retries
+                        && matches!(e.kind, ErrorKind::Overloaded | ErrorKind::Busy) =>
+                {
+                    hint = retry_after_ms(&e.message);
+                    if e.kind == ErrorKind::Busy {
+                        // Busy is a farewell: the server closes right
+                        // after sending it, so don't reuse the socket.
+                        self.conn = None;
+                    }
+                    attempt += 1;
+                }
+                Ok(answer) => return Ok(answer),
+                Err(ClientError::Io(_)) if attempt < self.policy.retries => {
+                    self.conn = None;
+                    attempt += 1;
+                }
+                Err(e) => {
+                    if matches!(e, ClientError::Io(_)) {
+                        self.conn = None;
+                    }
+                    return Err(e);
+                }
+            }
+        }
+    }
+
+    /// Fetches the server counters (no retry value in wrapping this, but
+    /// keeps harnesses on one client type).
+    ///
+    /// # Errors
+    ///
+    /// Transport failures or an unexpected response.
+    pub fn stats_full(
+        &mut self,
+    ) -> Result<
+        (
+            StatsSnapshot,
+            StatsSnapshot,
+            Option<PlanTally>,
+            Option<ServerExtras>,
+        ),
+        ClientError,
+    > {
+        self.ensure_conn().and_then(|c| c.stats_full())
+    }
+
+    /// Closes the connection if one is open (`QUIT` best-effort).
+    pub fn close(&mut self) {
+        if let Some(c) = self.conn.take() {
+            c.quit().ok();
+        }
+    }
+}
+
+#[cfg(test)]
+mod retry_tests {
+    use super::*;
+
+    fn policy() -> RetryPolicy {
+        RetryPolicy {
+            retries: 5,
+            timeout: None,
+            backoff_base: Duration::from_millis(10),
+            backoff_cap: Duration::from_millis(500),
+            seed: 42,
+        }
+    }
+
+    fn client(policy: RetryPolicy) -> RetryingClient {
+        RetryingClient::connect("127.0.0.1:1", policy).unwrap()
+    }
+
+    #[test]
+    fn backoff_is_deterministic_and_bounded() {
+        let mut a = client(policy());
+        let mut b = client(policy());
+        let mut prev = Duration::ZERO;
+        for _ in 0..32 {
+            let s = a.next_backoff(None);
+            assert_eq!(s, b.next_backoff(None), "seeded streams must agree");
+            assert!(s >= a.policy.backoff_base, "below base: {s:?}");
+            assert!(s <= a.policy.backoff_cap, "above cap: {s:?}");
+            // Decorrelated jitter: bounded by 3x the previous sleep.
+            let ceiling = (prev.max(a.policy.backoff_base) * 3).min(a.policy.backoff_cap);
+            assert!(s <= ceiling, "{s:?} above decorrelated ceiling {ceiling:?}");
+            prev = s;
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = client(policy());
+        let mut b = client(RetryPolicy {
+            seed: 43,
+            ..policy()
+        });
+        let same = (0..16)
+            .filter(|_| a.next_backoff(None) == b.next_backoff(None))
+            .count();
+        assert!(same < 16, "distinct seeds produced identical jitter");
+    }
+
+    #[test]
+    fn retry_after_hint_floors_the_sleep() {
+        let mut c = client(policy());
+        let s = c.next_backoff(Some(400));
+        assert!(s >= Duration::from_millis(400), "hint not honoured: {s:?}");
+        assert!(s <= c.policy.backoff_cap);
+        // The floored value feeds the next ceiling, so backoff keeps
+        // growing from the hint rather than collapsing back to base.
+        let next = c.next_backoff(None);
+        assert!(next <= Duration::from_millis(1200).min(c.policy.backoff_cap));
+    }
+
+    #[test]
+    fn all_shed_requires_unanimous_overload() {
+        let shed = |kind: ErrorKind| {
+            Err(ServedError {
+                kind,
+                message: crate::protocol::with_retry_after("server overloaded", 25),
+            })
+        };
+        let reply = BatchReply {
+            answers: vec![shed(ErrorKind::Overloaded), shed(ErrorKind::Busy)],
+            ok: 0,
+            failed: 2,
+        };
+        assert!(RetryingClient::all_shed(&reply));
+        assert_eq!(RetryingClient::shed_hint(&reply), Some(25));
+
+        let mixed = BatchReply {
+            answers: vec![
+                shed(ErrorKind::Overloaded),
+                Err(ServedError {
+                    kind: ErrorKind::Query,
+                    message: "k exceeds rows".into(),
+                }),
+            ],
+            ok: 0,
+            failed: 2,
+        };
+        assert!(!RetryingClient::all_shed(&mixed));
+        assert!(!RetryingClient::all_shed(&BatchReply {
+            answers: vec![],
+            ok: 0,
+            failed: 0,
+        }));
     }
 }

@@ -72,13 +72,17 @@ impl Default for EngineConfig {
 /// `--event-loop` (the reactor front-end, unix only), `--executors E`
 /// (reactor worker threads, `0` = one per core), and
 /// `--reactor <poll|epoll|auto>` (readiness backend, default `auto`:
-/// epoll on Linux, `poll(2)` elsewhere).
+/// epoll on Linux, `poll(2)` elsewhere), `--idle-timeout-ms N`
+/// (event loop only: evict connections idle for N ms, `0` = never, the
+/// default), and `--max-inflight N` (event loop only: shed queries with
+/// `ERR overloaded` once N are queued or running, `0` = auto).
 ///
 /// # Errors
 ///
-/// Malformed numbers or backend names, or `--executors` / `--reactor`
-/// without `--event-loop` (the blocking server's concurrency is one
-/// thread per connection; it has no readiness backend).
+/// Malformed numbers or backend names, or `--executors` / `--reactor` /
+/// `--idle-timeout-ms` / `--max-inflight` without `--event-loop` (the
+/// blocking server's concurrency is one thread per connection; it has
+/// no readiness backend and no shared queue to protect).
 pub fn server_config_from_args(args: &[String]) -> Result<(crate::ServerConfig, bool), String> {
     let max_connections = parse_num(
         flag_value(args, "--max-conns").unwrap_or("64"),
@@ -86,7 +90,12 @@ pub fn server_config_from_args(args: &[String]) -> Result<(crate::ServerConfig, 
     )?;
     let event_loop = args.iter().any(|a| a == "--event-loop");
     if !event_loop {
-        for flag in ["--executors", "--reactor"] {
+        for flag in [
+            "--executors",
+            "--reactor",
+            "--idle-timeout-ms",
+            "--max-inflight",
+        ] {
             if args.iter().any(|a| a == flag) {
                 return Err(format!("{flag} only applies to --event-loop"));
             }
@@ -100,11 +109,21 @@ pub fn server_config_from_args(args: &[String]) -> Result<(crate::ServerConfig, 
         .map(str::parse)
         .transpose()?
         .unwrap_or_default();
+    let idle_ms = parse_num(
+        flag_value(args, "--idle-timeout-ms").unwrap_or("0"),
+        "--idle-timeout-ms",
+    )?;
+    let max_inflight = parse_num(
+        flag_value(args, "--max-inflight").unwrap_or("0"),
+        "--max-inflight",
+    )?;
     Ok((
         crate::ServerConfig {
             max_connections,
             executors,
             reactor,
+            idle_timeout: (idle_ms > 0).then(|| std::time::Duration::from_millis(idle_ms as u64)),
+            max_inflight,
             ..crate::ServerConfig::default()
         },
         event_loop,

@@ -27,6 +27,7 @@
 //! connection churn allocates nothing.
 
 use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
 use crate::protocol::{FRAME_HEADER_LEN, FRAME_MAGIC, MAX_FRAME, MAX_LINE};
@@ -50,10 +51,19 @@ const MAX_POOLED_FRAMES: usize = 16 * 1024;
 const MAX_POOLED_CAPACITY: usize = 1 << 20;
 
 /// The server-wide buffer pool (executors and the reactor share it).
+///
+/// The `*_issued` / `*_returned` ledger counts every hand-out and every
+/// final-holder hand-back (including buffers the pool then drops for
+/// capacity), so a drained server can assert the no-leak invariant:
+/// issued equals returned.
 #[derive(Debug, Default)]
 pub(crate) struct BufferPool {
     frames: Mutex<Vec<FrameRc>>,
     vecs: Mutex<Vec<Vec<u8>>>,
+    frames_issued: AtomicU64,
+    frames_returned: AtomicU64,
+    vecs_issued: AtomicU64,
+    vecs_returned: AtomicU64,
 }
 
 impl BufferPool {
@@ -64,6 +74,7 @@ impl BufferPool {
     /// Takes a frame (unshared, empty) and fills it with `fill` before
     /// any clone can exist.
     pub(crate) fn frame(&self, fill: impl FnOnce(&mut Vec<u8>)) -> FrameRc {
+        self.frames_issued.fetch_add(1, Ordering::Relaxed);
         let mut frame = self
             .frames
             .lock()
@@ -77,11 +88,12 @@ impl BufferPool {
 
     /// Returns a frame to the pool if this was the last reference;
     /// shared frames (another connection still queues them) are left to
-    /// their remaining holders.
+    /// their remaining holders, whose final recycle settles the ledger.
     pub(crate) fn recycle_frame(&self, mut frame: FrameRc) {
         let Some(slot) = Arc::get_mut(&mut frame) else {
             return;
         };
+        self.frames_returned.fetch_add(1, Ordering::Relaxed);
         if slot.bytes.capacity() > MAX_POOLED_CAPACITY {
             return;
         }
@@ -94,11 +106,13 @@ impl BufferPool {
 
     /// Takes a plain (empty) byte buffer — the read-buffer species.
     pub(crate) fn vec(&self) -> Vec<u8> {
+        self.vecs_issued.fetch_add(1, Ordering::Relaxed);
         self.vecs.lock().unwrap().pop().unwrap_or_default()
     }
 
     /// Returns a read buffer to the pool.
     pub(crate) fn recycle_vec(&self, mut buf: Vec<u8>) {
+        self.vecs_returned.fetch_add(1, Ordering::Relaxed);
         if buf.capacity() > MAX_POOLED_CAPACITY {
             return;
         }
@@ -107,6 +121,18 @@ impl BufferPool {
         if vecs.len() < MAX_POOLED_FRAMES {
             vecs.push(buf);
         }
+    }
+
+    /// The leak ledger: `(frames_issued, frames_returned, vecs_issued,
+    /// vecs_returned)`. Balanced pairs after a drain mean every buffer
+    /// came home.
+    pub(crate) fn ledger(&self) -> (u64, u64, u64, u64) {
+        (
+            self.frames_issued.load(Ordering::Relaxed),
+            self.frames_returned.load(Ordering::Relaxed),
+            self.vecs_issued.load(Ordering::Relaxed),
+            self.vecs_returned.load(Ordering::Relaxed),
+        )
     }
 
     /// Frames currently parked in the pool (tests).
@@ -346,15 +372,16 @@ impl SlotQueue {
         });
     }
 
-    /// Completes the in-flight slot `seq`. Returns `false` when the slot
-    /// no longer exists (connection already gone).
-    pub(crate) fn complete(&mut self, seq: u64, frame: FrameRc) -> bool {
+    /// Completes the in-flight slot `seq`. When the slot no longer
+    /// exists (connection already gone) the frame is handed back so the
+    /// caller can recycle it.
+    pub(crate) fn complete(&mut self, seq: u64, frame: FrameRc) -> Result<(), FrameRc> {
         match self.slots.iter_mut().find(|s| s.seq == seq) {
             Some(slot) => {
                 slot.data = Some(frame);
-                true
+                Ok(())
             }
-            None => false,
+            None => Err(frame),
         }
     }
 
@@ -502,14 +529,15 @@ mod tests {
         q.push_ready(boxed(b"ctrl"));
         let b = q.push_waiting();
         // Later request finishes first: nothing can be written yet.
-        assert!(q.complete(b, boxed(b"second")));
+        assert!(q.complete(b, boxed(b"second")).is_ok());
         assert_eq!(popped(&mut q), None);
-        assert!(q.complete(a, boxed(b"first")));
+        assert!(q.complete(a, boxed(b"first")).is_ok());
         assert_eq!(popped(&mut q), Some(b"first".to_vec()));
         assert_eq!(popped(&mut q), Some(b"ctrl".to_vec()));
         assert_eq!(popped(&mut q), Some(b"second".to_vec()));
         assert!(q.is_empty());
-        assert!(!q.complete(99, boxed(b"")));
+        // A vanished slot hands the frame back for recycling.
+        assert!(q.complete(99, boxed(b"")).is_err());
     }
 
     /// The partial-writev resume invariant: a short `writev` return may

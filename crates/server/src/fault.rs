@@ -1,0 +1,394 @@
+//! Deterministic network fault injection for the served path.
+//!
+//! [`FaultInjector`] makes seeded per-I/O fault decisions and
+//! [`FaultTransport`] applies the read-side ones to any [`Read`]er, so
+//! the event loop's retry, resynchronisation, and overload machinery can
+//! be chaos-tested without a flaky network:
+//!
+//! * **short reads** — a wakeup delivers a single byte, tearing frames
+//!   and request lines across many reactor iterations;
+//! * **stalled reads** (slow-loris peers) — a wakeup is skipped entirely,
+//!   surfaced as a synthetic `WouldBlock` (the injected-`EAGAIN` case);
+//! * **short writes** — a flush transmits only a small prefix, tearing
+//!   reply frames mid-header;
+//! * **stalled writes** (delayed flushes) — pending replies stay queued
+//!   for another iteration;
+//! * **connection resets** — a read fails with `ConnectionReset`,
+//!   modelling a peer that vanished mid-conversation.
+//!
+//! Synthetic stalls and short reads consume a readiness edge without
+//! draining the socket, which an edge-triggered poller would never
+//! re-report — [`FaultTransport`] therefore records what it injected
+//! (`stalled`/`shortened`) so the reactor can schedule its own retry
+//! instead of waiting for an edge that will never come.
+//!
+//! Fault decisions come from a splitmix64 stream seeded by
+//! [`NetFaultConfig::seed`] and a global operation counter, exactly like
+//! the storage layer's fault store: a single-threaded run replays
+//! bit-identically, and since all I/O for one server runs on the one
+//! reactor thread, chaos runs are reproducible end to end.
+
+use std::io::{self, Read};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// What a [`FaultInjector`] injects, and how often.
+///
+/// All rates are probabilities in `0.0..=1.0`; the read-side rates
+/// (`reset_rate + stall_read_rate + short_read_rate`) and the write-side
+/// rates (`stall_write_rate + short_write_rate`) should each sum to at
+/// most 1 — beyond that the earlier fault kinds in that order win.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NetFaultConfig {
+    /// Seed of the fault-decision stream.
+    pub seed: u64,
+    /// Probability that a read delivers a single byte (torn frame).
+    pub short_read_rate: f64,
+    /// Probability that a read is skipped with a synthetic `WouldBlock`
+    /// (slow-loris peer / injected `EAGAIN`).
+    pub stall_read_rate: f64,
+    /// Probability that a flush transmits only a small prefix
+    /// (1–8 bytes) of the queued replies.
+    pub short_write_rate: f64,
+    /// Probability that a flush is skipped entirely (delayed flush).
+    pub stall_write_rate: f64,
+    /// Probability that a read fails with `ConnectionReset`, dropping
+    /// the connection mid-conversation.
+    pub reset_rate: f64,
+}
+
+impl NetFaultConfig {
+    /// The standard chaos mix at overall intensity `rate`: short
+    /// reads/writes at `rate`, stalls at half of it, resets at a tenth —
+    /// heavy enough to tear most frames at `rate = 0.3` while keeping
+    /// reconnect storms bounded.
+    pub fn mixed(seed: u64, rate: f64) -> Self {
+        NetFaultConfig {
+            seed,
+            short_read_rate: rate,
+            stall_read_rate: rate / 2.0,
+            short_write_rate: rate,
+            stall_write_rate: rate / 2.0,
+            reset_rate: rate / 10.0,
+        }
+    }
+}
+
+/// A read-side fault decision.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReadFault {
+    /// Read normally.
+    None,
+    /// Deliver a torn prefix (at most `max_bytes`, 1–64).
+    Short {
+        /// Byte budget for this read.
+        max_bytes: usize,
+    },
+    /// Skip this read (synthetic `WouldBlock`).
+    Stall,
+    /// Fail with `ConnectionReset`.
+    Reset,
+}
+
+/// A write-side fault decision.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WriteFault {
+    /// Flush normally.
+    None,
+    /// Transmit at most `max_bytes` (1–8) of the queued replies.
+    Short {
+        /// Byte budget for this flush.
+        max_bytes: usize,
+    },
+    /// Skip this flush entirely.
+    Stall,
+}
+
+/// splitmix64: the standard 64-bit finalising mix.
+fn mix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Seeded fault-decision source shared by every connection of one
+/// server; see the module docs for the failure menu.
+#[derive(Debug)]
+pub struct FaultInjector {
+    config: NetFaultConfig,
+    /// Global operation sequence number driving the decision stream.
+    seq: AtomicU64,
+    injected: AtomicU64,
+    short_reads: AtomicU64,
+    stalled_reads: AtomicU64,
+    short_writes: AtomicU64,
+    stalled_writes: AtomicU64,
+    resets: AtomicU64,
+}
+
+impl FaultInjector {
+    /// Builds an injector rolling against `config`.
+    pub fn new(config: NetFaultConfig) -> Self {
+        FaultInjector {
+            config,
+            seq: AtomicU64::new(0),
+            injected: AtomicU64::new(0),
+            short_reads: AtomicU64::new(0),
+            stalled_reads: AtomicU64::new(0),
+            short_writes: AtomicU64::new(0),
+            stalled_writes: AtomicU64::new(0),
+            resets: AtomicU64::new(0),
+        }
+    }
+
+    /// Total faults injected so far (all kinds).
+    pub fn injected(&self) -> u64 {
+        self.injected.load(Ordering::Relaxed)
+    }
+
+    /// Injected connection resets.
+    pub fn resets(&self) -> u64 {
+        self.resets.load(Ordering::Relaxed)
+    }
+
+    /// Injected short reads.
+    pub fn short_reads(&self) -> u64 {
+        self.short_reads.load(Ordering::Relaxed)
+    }
+
+    /// Injected read stalls.
+    pub fn stalled_reads(&self) -> u64 {
+        self.stalled_reads.load(Ordering::Relaxed)
+    }
+
+    /// Injected short writes.
+    pub fn short_writes(&self) -> u64 {
+        self.short_writes.load(Ordering::Relaxed)
+    }
+
+    /// Injected write stalls.
+    pub fn stalled_writes(&self) -> u64 {
+        self.stalled_writes.load(Ordering::Relaxed)
+    }
+
+    /// Uniform draw in `[0, 1)` from the seeded decision stream.
+    fn roll(&self) -> f64 {
+        let n = self.seq.fetch_add(1, Ordering::Relaxed);
+        // 53 random mantissa bits, the standard u64→f64 uniform.
+        (mix64(self.config.seed ^ mix64(n)) >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    fn note(&self, which: &AtomicU64) {
+        which.fetch_add(1, Ordering::Relaxed);
+        self.injected.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Rolls one read-side decision.
+    pub fn read_fault(&self) -> ReadFault {
+        let c = &self.config;
+        let roll = self.roll();
+        if roll < c.reset_rate {
+            self.note(&self.resets);
+            ReadFault::Reset
+        } else if roll < c.reset_rate + c.stall_read_rate {
+            self.note(&self.stalled_reads);
+            ReadFault::Stall
+        } else if roll < c.reset_rate + c.stall_read_rate + c.short_read_rate {
+            self.note(&self.short_reads);
+            // A second roll sizes the torn prefix: 1–64 bytes tears
+            // frames and lines apart while still letting multi-kilobyte
+            // requests through in a bounded number of read calls (a
+            // 1-byte tear would make the reset rate compound per byte,
+            // starving large batches at high fault rates).
+            ReadFault::Short {
+                max_bytes: 1 + (self.roll() * 64.0) as usize,
+            }
+        } else {
+            ReadFault::None
+        }
+    }
+
+    /// Rolls one write-side decision.
+    pub fn write_fault(&self) -> WriteFault {
+        let c = &self.config;
+        let roll = self.roll();
+        if roll < c.stall_write_rate {
+            self.note(&self.stalled_writes);
+            WriteFault::Stall
+        } else if roll < c.stall_write_rate + c.short_write_rate {
+            self.note(&self.short_writes);
+            // A second roll sizes the torn prefix: 1–8 bytes, enough to
+            // split both text lines and binary frame headers.
+            WriteFault::Short {
+                max_bytes: 1 + (self.roll() * 8.0) as usize,
+            }
+        } else {
+            WriteFault::None
+        }
+    }
+}
+
+/// A [`Read`]er wrapper applying one connection read's worth of
+/// injected faults, recording what it injected so edge-triggered
+/// callers can schedule their own retry (see the module docs).
+#[derive(Debug)]
+pub struct FaultTransport<'a, S> {
+    inner: &'a mut S,
+    injector: Option<&'a FaultInjector>,
+    /// Whether any read through this wrapper was a synthetic stall.
+    pub stalled: bool,
+    /// Whether any read through this wrapper was shortened.
+    pub shortened: bool,
+}
+
+impl<'a, S: Read> FaultTransport<'a, S> {
+    /// Wraps `inner`; `None` makes every read pass straight through.
+    pub fn new(inner: &'a mut S, injector: Option<&'a FaultInjector>) -> Self {
+        FaultTransport {
+            inner,
+            injector,
+            stalled: false,
+            shortened: false,
+        }
+    }
+}
+
+impl<S: Read> Read for FaultTransport<'_, S> {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        let Some(inj) = self.injector else {
+            return self.inner.read(buf);
+        };
+        match inj.read_fault() {
+            ReadFault::None => self.inner.read(buf),
+            ReadFault::Short { max_bytes } => {
+                self.shortened = true;
+                let cap = buf.len().min(max_bytes).max(1);
+                self.inner.read(&mut buf[..cap])
+            }
+            ReadFault::Stall => {
+                self.stalled = true;
+                Err(io::Error::new(
+                    io::ErrorKind::WouldBlock,
+                    "injected fault: stalled read",
+                ))
+            }
+            ReadFault::Reset => Err(io::Error::new(
+                io::ErrorKind::ConnectionReset,
+                "injected fault: connection reset",
+            )),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    #[test]
+    fn zero_rates_inject_nothing() {
+        let inj = FaultInjector::new(NetFaultConfig {
+            seed: 1,
+            ..NetFaultConfig::default()
+        });
+        for _ in 0..256 {
+            assert_eq!(inj.read_fault(), ReadFault::None);
+            assert_eq!(inj.write_fault(), WriteFault::None);
+        }
+        assert_eq!(inj.injected(), 0);
+    }
+
+    #[test]
+    fn seeded_runs_are_reproducible() {
+        let trace = |seed: u64| -> Vec<(ReadFault, WriteFault)> {
+            let inj = FaultInjector::new(NetFaultConfig::mixed(seed, 0.3));
+            (0..200)
+                .map(|_| (inj.read_fault(), inj.write_fault()))
+                .collect()
+        };
+        assert_eq!(trace(5), trace(5));
+        assert_ne!(trace(5), trace(6));
+    }
+
+    #[test]
+    fn mixed_rates_hit_every_fault_kind() {
+        let inj = FaultInjector::new(NetFaultConfig::mixed(0x5EED, 0.3));
+        for _ in 0..4000 {
+            inj.read_fault();
+            inj.write_fault();
+        }
+        assert!(inj.short_reads() > 0);
+        assert!(inj.stalled_reads() > 0);
+        assert!(inj.short_writes() > 0);
+        assert!(inj.stalled_writes() > 0);
+        assert!(inj.resets() > 0);
+        // 0.3 + 0.15 + 0.03 read-side: roughly half of the reads fault.
+        let read_faults = inj.short_reads() + inj.stalled_reads() + inj.resets();
+        assert!((1200..2600).contains(&read_faults), "{read_faults}");
+    }
+
+    #[test]
+    fn short_write_budget_stays_small() {
+        let cfg = NetFaultConfig {
+            seed: 9,
+            short_write_rate: 1.0,
+            ..NetFaultConfig::default()
+        };
+        let inj = FaultInjector::new(cfg);
+        for _ in 0..100 {
+            match inj.write_fault() {
+                WriteFault::Short { max_bytes } => {
+                    assert!((1..=8).contains(&max_bytes), "{max_bytes}")
+                }
+                other => panic!("expected Short, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn transport_applies_and_records_read_faults() {
+        // No injector: plain passthrough.
+        let mut src = Cursor::new(vec![7u8; 16]);
+        let mut t = FaultTransport::new(&mut src, None);
+        let mut buf = [0u8; 16];
+        assert_eq!(t.read(&mut buf).unwrap(), 16);
+        assert!(!t.stalled && !t.shortened);
+
+        // Short reads deliver a small torn prefix and set the flag.
+        let inj = FaultInjector::new(NetFaultConfig {
+            seed: 3,
+            short_read_rate: 1.0,
+            ..NetFaultConfig::default()
+        });
+        let mut src = Cursor::new(vec![7u8; 4096]);
+        let mut t = FaultTransport::new(&mut src, Some(&inj));
+        let mut big = [0u8; 4096];
+        let n = t.read(&mut big).unwrap();
+        assert!((1..=64).contains(&n), "torn prefix out of range: {n}");
+        assert!(t.shortened);
+
+        // Stalls surface as WouldBlock with the flag set.
+        let inj = FaultInjector::new(NetFaultConfig {
+            seed: 3,
+            stall_read_rate: 1.0,
+            ..NetFaultConfig::default()
+        });
+        let mut src = Cursor::new(vec![7u8; 4]);
+        let mut t = FaultTransport::new(&mut src, Some(&inj));
+        let err = t.read(&mut buf).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::WouldBlock);
+        assert!(t.stalled);
+
+        // Resets surface as ConnectionReset.
+        let inj = FaultInjector::new(NetFaultConfig {
+            seed: 3,
+            reset_rate: 1.0,
+            ..NetFaultConfig::default()
+        });
+        let mut src = Cursor::new(vec![7u8; 4]);
+        let mut t = FaultTransport::new(&mut src, Some(&inj));
+        let err = t.read(&mut buf).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::ConnectionReset);
+        assert_eq!(inj.resets(), 1);
+    }
+}

@@ -38,16 +38,18 @@
 pub mod client;
 pub mod config;
 pub(crate) mod conn;
+pub mod fault;
 pub mod planner_engine;
 pub mod protocol;
 #[cfg(unix)]
 pub mod reactor;
 pub mod server;
 
-pub use client::{BatchReply, Client, ClientError, ServedError};
+pub use client::{BatchReply, Client, ClientError, RetryPolicy, RetryingClient, ServedError};
 pub use config::{
     server_config_from_args, AnyEngine, AnyOutcome, Backend, EngineConfig, DEFAULT_POOL_PAGES,
 };
+pub use fault::{FaultInjector, FaultTransport, NetFaultConfig};
 pub use planner_engine::{PlannedEngine, PLAN_FRACTION_SAMPLE};
 pub use protocol::{
     BinRequest, ErrorKind, ProtoError, ReactorKind, Request, Response, ServerExtras, StatsSnapshot,

@@ -131,6 +131,10 @@ pub enum ErrorKind {
     Proto,
     /// The server is draining; the connection closes.
     Shutdown,
+    /// The server shed this query under load; the connection stays open
+    /// and the request may be retried (the message carries a
+    /// `retry-after-ms=<N>` hint, see [`retry_after_ms`]).
+    Overloaded,
 }
 
 impl ErrorKind {
@@ -145,6 +149,7 @@ impl ErrorKind {
             ErrorKind::Busy => "busy",
             ErrorKind::Proto => "proto",
             ErrorKind::Shutdown => "shutdown",
+            ErrorKind::Overloaded => "overloaded",
         }
     }
 
@@ -159,6 +164,7 @@ impl ErrorKind {
             "busy" => ErrorKind::Busy,
             "proto" => ErrorKind::Proto,
             "shutdown" => ErrorKind::Shutdown,
+            "overloaded" => ErrorKind::Overloaded,
             _ => return None,
         })
     }
@@ -171,6 +177,23 @@ impl ErrorKind {
             _ => ErrorKind::Query,
         }
     }
+}
+
+/// Appends a machine-readable retry hint to an `ERR busy`/`ERR
+/// overloaded` message. Old clients see plain prose; new clients pull
+/// the hint back out with [`retry_after_ms`] and use it as a backoff
+/// floor — the hint rides inside the message so the wire shape of `ERR`
+/// lines and frames is unchanged.
+pub fn with_retry_after(message: &str, ms: u64) -> String {
+    format!("{message}; retry-after-ms={ms}")
+}
+
+/// Extracts the `retry-after-ms=<N>` hint from an error message, if the
+/// server attached one (see [`with_retry_after`]).
+pub fn retry_after_ms(message: &str) -> Option<u64> {
+    message
+        .split_whitespace()
+        .find_map(|tok| tok.strip_prefix("retry-after-ms=")?.parse().ok())
 }
 
 /// One six-counter scope of a `STATS` response: queries answered, error
@@ -319,6 +342,21 @@ pub struct ServerExtras {
     pub events_dispatched: u64,
     /// `writev(2)` calls issued by the vectored flush path.
     pub writev_calls: u64,
+    /// Connections evicted by the per-connection idle timeout (slow or
+    /// stalled peers making no read/write progress).
+    pub conns_evicted: u64,
+    /// Queries answered `ERR overloaded` by the global in-flight budget
+    /// before their payload was parsed.
+    pub queries_shed: u64,
+    /// Retry-prompting replies issued — `ERR busy` and `ERR overloaded`
+    /// responses carrying a `retry-after-ms` hint. Each such reply tells
+    /// a well-behaved client to back off and retry, so the counter
+    /// tracks the retries the server asked for.
+    pub retries_observed: u64,
+    /// Jobs whose propagated absolute deadline had already expired when
+    /// an executor picked them up: every query in the job is answered
+    /// `ERR timeout` without touching the engine.
+    pub deadline_cancels: u64,
 }
 
 impl ServerExtras {
@@ -326,14 +364,19 @@ impl ServerExtras {
         let _ = write!(
             out,
             "conns_peak={} pipeline_depth_max={} frames_binary={} \
-             reactor_backend={} poll_iterations={} events_dispatched={} writev_calls={}",
+             reactor_backend={} poll_iterations={} events_dispatched={} writev_calls={} \
+             conns_evicted={} queries_shed={} retries_observed={} deadline_cancels={}",
             self.conns_peak,
             self.pipeline_depth_max,
             self.frames_binary,
             self.reactor_backend,
             self.poll_iterations,
             self.events_dispatched,
-            self.writev_calls
+            self.writev_calls,
+            self.conns_evicted,
+            self.queries_shed,
+            self.retries_observed,
+            self.deadline_cancels
         );
     }
 
@@ -346,11 +389,15 @@ impl ServerExtras {
             "poll_iterations",
             "events_dispatched",
             "writev_calls",
+            "conns_evicted",
+            "queries_shed",
+            "retries_observed",
+            "deadline_cancels",
         ];
-        // Three fields is the legacy shape (pre-backend servers); the
-        // missing backend fields default to `none`/zero.
-        if fields.len() != 3 && fields.len() != labels.len() {
-            return Err(err("STATS extras need 3 or 7 counters"));
+        // Three fields is the legacy shape (pre-backend servers), seven
+        // the pre-robustness one; missing fields default to `none`/zero.
+        if !matches!(fields.len(), 3 | 7) && fields.len() != labels.len() {
+            return Err(err("STATS extras need 3, 7 or 11 counters"));
         }
         let mut extras = ServerExtras::default();
         for (field, label) in fields.iter().zip(labels) {
@@ -365,7 +412,11 @@ impl ServerExtras {
                 "reactor_backend" => extras.reactor_backend = v.parse().map_err(err)?,
                 "poll_iterations" => extras.poll_iterations = parse_u64(v, label)?,
                 "events_dispatched" => extras.events_dispatched = parse_u64(v, label)?,
-                _ => extras.writev_calls = parse_u64(v, label)?,
+                "writev_calls" => extras.writev_calls = parse_u64(v, label)?,
+                "conns_evicted" => extras.conns_evicted = parse_u64(v, label)?,
+                "queries_shed" => extras.queries_shed = parse_u64(v, label)?,
+                "retries_observed" => extras.retries_observed = parse_u64(v, label)?,
+                _ => extras.deadline_cancels = parse_u64(v, label)?,
             }
         }
         Ok(extras)
@@ -766,18 +817,20 @@ pub fn parse_response(line: &str) -> Result<Response, ProtoError> {
             .parse::<PlannerMode>()
             .map(Response::Planner)
             .map_err(err),
-        ["OK", "STATS", rest @ ..] if matches!(rest.len(), 12 | 15 | 16 | 19 | 23) => {
+        ["OK", "STATS", rest @ ..] if matches!(rest.len(), 12 | 15 | 16 | 19 | 23 | 27) => {
             // The optional groups are label-addressed: field 12 starting
             // with "plans_" means the plan tally is present; whatever
-            // remains (3 or 7 fields) is the reactor extras. The check
-            // also disambiguates 19 fields, which is either plans plus
-            // legacy 3-field extras or no plans plus 7-field extras.
+            // remains (3, 7 or 11 fields) is the reactor extras. The
+            // check also disambiguates the ambiguous counts — 19 fields
+            // is plans plus legacy 3-field extras or no plans plus
+            // 7-field extras, and 23 is plans plus 7-field extras or no
+            // plans plus the full 11-field robustness shape.
             let has_plans = rest.len() >= 16 && rest[12].starts_with("plans_");
             if rest.len() == 16 && !has_plans {
                 return Err(err("16-field STATS must carry plan counters"));
             }
-            if rest.len() == 23 && !has_plans {
-                return Err(err("23-field STATS must carry plan counters"));
+            if rest.len() == 27 && !has_plans {
+                return Err(err("27-field STATS must carry plan counters"));
             }
             if rest.len() == 15 && rest[12].starts_with("plans_") {
                 return Err(err("15-field STATS must carry reactor counters"));
@@ -833,9 +886,11 @@ pub const FRAME_HEADER_LEN: usize = 6;
 /// answered with `ERR oversized`, like over-[`MAX_LINE`] text lines.
 pub const MAX_FRAME: usize = 64 * 1024 * 1024;
 
-/// Request frame kinds.
-const REQ_QUERY: u8 = 0x01;
-const REQ_BATCH: u8 = 0x02;
+/// Request frame kinds. `REQ_QUERY` / `REQ_BATCH` are crate-visible so
+/// the reactor's admission control can shed on the kind byte without
+/// decoding the payload.
+pub(crate) const REQ_QUERY: u8 = 0x01;
+pub(crate) const REQ_BATCH: u8 = 0x02;
 const REQ_DEADLINE: u8 = 0x03;
 const REQ_FAILFAST: u8 = 0x04;
 const REQ_PLANNER: u8 = 0x05;
@@ -862,11 +917,13 @@ const TAG_FREQ: u8 = 0x02;
 const TAG_EPS: u8 = 0x03;
 
 /// `STATS` payload flag bits. `STATS_HAS_REACTOR` extends the extras
-/// group with the backend kind and its event counters; it never appears
-/// without `STATS_HAS_EXTRAS`.
+/// group with the backend kind and its event counters, and
+/// `STATS_HAS_ROBUST` with the overload/eviction counters; neither
+/// appears without `STATS_HAS_EXTRAS`.
 const STATS_HAS_PLANS: u8 = 0x01;
 const STATS_HAS_EXTRAS: u8 = 0x02;
 const STATS_HAS_REACTOR: u8 = 0x04;
+const STATS_HAS_ROBUST: u8 = 0x08;
 
 /// A decoded binary request. Binary `BATCH` frames are self-contained
 /// (the queries travel inside the frame), unlike the text protocol where
@@ -911,6 +968,7 @@ fn error_code(kind: ErrorKind) -> u8 {
         ErrorKind::Busy => 5,
         ErrorKind::Proto => 6,
         ErrorKind::Shutdown => 7,
+        ErrorKind::Overloaded => 8,
     }
 }
 
@@ -924,6 +982,7 @@ fn error_from_code(code: u8) -> Result<ErrorKind, ProtoError> {
         5 => ErrorKind::Busy,
         6 => ErrorKind::Proto,
         7 => ErrorKind::Shutdown,
+        8 => ErrorKind::Overloaded,
         other => return Err(err(format!("unknown error code {other}"))),
     })
 }
@@ -1305,7 +1364,7 @@ pub fn encode_response_frame(r: &Response, out: &mut Vec<u8>) {
                 flags |= STATS_HAS_PLANS;
             }
             if extras.is_some() {
-                flags |= STATS_HAS_EXTRAS | STATS_HAS_REACTOR;
+                flags |= STATS_HAS_EXTRAS | STATS_HAS_REACTOR | STATS_HAS_ROBUST;
             }
             out.push(flags);
             put_snapshot(out, conn);
@@ -1321,6 +1380,14 @@ pub fn encode_response_frame(r: &Response, out: &mut Vec<u8>) {
                 }
                 out.push(x.reactor_backend.code());
                 for v in [x.poll_iterations, x.events_dispatched, x.writev_calls] {
+                    put_u64(out, v);
+                }
+                for v in [
+                    x.conns_evicted,
+                    x.queries_shed,
+                    x.retries_observed,
+                    x.deadline_cancels,
+                ] {
                     put_u64(out, v);
                 }
             }
@@ -1409,11 +1476,13 @@ pub fn decode_response_frame(kind: u8, payload: &[u8]) -> Result<Response, Proto
         RESP_PLANNER => Response::Planner(planner_from_code(c.u8()?)?),
         RESP_STATS => {
             let flags = c.u8()?;
-            if flags & !(STATS_HAS_PLANS | STATS_HAS_EXTRAS | STATS_HAS_REACTOR) != 0 {
+            let known = STATS_HAS_PLANS | STATS_HAS_EXTRAS | STATS_HAS_REACTOR | STATS_HAS_ROBUST;
+            if flags & !known != 0 {
                 return Err(err(format!("unknown STATS flags {flags:#04x}")));
             }
-            if flags & STATS_HAS_REACTOR != 0 && flags & STATS_HAS_EXTRAS == 0 {
-                return Err(err("STATS reactor group requires the extras group"));
+            if flags & (STATS_HAS_REACTOR | STATS_HAS_ROBUST) != 0 && flags & STATS_HAS_EXTRAS == 0
+            {
+                return Err(err("STATS reactor/robust groups require the extras group"));
             }
             let conn = c.snapshot()?;
             let server = c.snapshot()?;
@@ -1439,6 +1508,12 @@ pub fn decode_response_frame(kind: u8, payload: &[u8]) -> Result<Response, Proto
                     x.poll_iterations = c.u64()?;
                     x.events_dispatched = c.u64()?;
                     x.writev_calls = c.u64()?;
+                }
+                if flags & STATS_HAS_ROBUST != 0 {
+                    x.conns_evicted = c.u64()?;
+                    x.queries_shed = c.u64()?;
+                    x.retries_observed = c.u64()?;
+                    x.deadline_cancels = c.u64()?;
                 }
                 Some(x)
             } else {
@@ -1565,6 +1640,10 @@ mod tests {
                     poll_iterations: 120_000,
                     events_dispatched: 480_000,
                     writev_calls: 33_000,
+                    conns_evicted: 3,
+                    queries_shed: 41,
+                    retries_observed: 44,
+                    deadline_cancels: 5,
                 }),
             },
             Response::Stats {
@@ -1584,6 +1663,7 @@ mod tests {
                     poll_iterations: 10,
                     events_dispatched: 11,
                     writev_calls: 12,
+                    ..ServerExtras::default()
                 }),
             },
             Response::Pong,
@@ -1652,9 +1732,32 @@ mod tests {
             ErrorKind::Busy,
             ErrorKind::Proto,
             ErrorKind::Shutdown,
+            ErrorKind::Overloaded,
         ] {
             assert_eq!(ErrorKind::from_token(kind.token()), Some(kind));
+            assert_eq!(error_from_code(error_code(kind)).unwrap(), kind);
         }
+    }
+
+    #[test]
+    fn retry_after_hint_roundtrips_through_the_message() {
+        let msg = with_retry_after("server overloaded", 250);
+        assert_eq!(retry_after_ms(&msg), Some(250));
+        // The hint survives the text wire inside an ERR line.
+        let line = format_response(&Response::Error {
+            kind: ErrorKind::Overloaded,
+            message: msg.clone(),
+        });
+        match parse_response(&line).unwrap() {
+            Response::Error { kind, message } => {
+                assert_eq!(kind, ErrorKind::Overloaded);
+                assert_eq!(retry_after_ms(&message), Some(250));
+            }
+            other => panic!("expected ERR, got {other:?}"),
+        }
+        // Hint-free and malformed messages yield no hint.
+        assert_eq!(retry_after_ms("connection limit reached"), None);
+        assert_eq!(retry_after_ms("retry-after-ms=soon"), None);
     }
 
     /// Splits one encoded frame back into (kind, payload), checking the
@@ -1798,6 +1901,10 @@ mod tests {
                     poll_iterations: 14,
                     events_dispatched: 15,
                     writev_calls: 16,
+                    conns_evicted: 17,
+                    queries_shed: 18,
+                    retries_observed: 19,
+                    deadline_cancels: 20,
                 }),
             },
             Response::Pong,
@@ -1852,8 +1959,8 @@ mod tests {
 
     #[test]
     fn stats_parse_accepts_every_field_shape() {
-        // 12, 15, 16, 19 and 23 fields all parse; label prefixes
-        // disambiguate the 15-, 16- and 19-field shapes.
+        // 12, 15, 16, 19, 23 and 27 fields all parse; label prefixes
+        // disambiguate the 15-, 16-, 19- and 23-field shapes.
         let base = Response::Stats {
             conn: StatsSnapshot::default(),
             server: StatsSnapshot::default(),
@@ -1911,6 +2018,107 @@ mod tests {
              reactor_backend=kqueue poll_iterations=5 events_dispatched=6 writev_calls=7"
         );
         assert!(parse_response(&unknown).is_err());
+        // A pre-robustness 23-field line (plans plus 7-field extras)
+        // still parses; the robustness counters default to zero.
+        let legacy_23 = format!(
+            "{line} plans_ad=1 plans_vafile=2 plans_scan=3 plans_igrid=4 \
+             conns_peak=4 pipeline_depth_max=2 frames_binary=1 \
+             reactor_backend=poll poll_iterations=5 events_dispatched=6 writev_calls=7"
+        );
+        match parse_response(&legacy_23).unwrap() {
+            Response::Stats { plans, extras, .. } => {
+                assert!(plans.is_some());
+                let x = extras.unwrap();
+                assert_eq!(x.writev_calls, 7);
+                assert_eq!((x.conns_evicted, x.queries_shed), (0, 0));
+                assert_eq!((x.retries_observed, x.deadline_cancels), (0, 0));
+            }
+            other => panic!("expected STATS, got {other:?}"),
+        }
+        // 23 fields without plans is the no-plans robustness shape — the
+        // same count as the legacy plans form, split by the labels.
+        let robust_23 = format!(
+            "{line} conns_peak=4 pipeline_depth_max=2 frames_binary=1 \
+             reactor_backend=epoll poll_iterations=5 events_dispatched=6 writev_calls=7 \
+             conns_evicted=8 queries_shed=9 retries_observed=10 deadline_cancels=11"
+        );
+        match parse_response(&robust_23).unwrap() {
+            Response::Stats { plans, extras, .. } => {
+                assert!(plans.is_none());
+                let x = extras.unwrap();
+                assert_eq!(x.reactor_backend, ReactorKind::Epoll);
+                assert_eq!((x.conns_evicted, x.queries_shed), (8, 9));
+                assert_eq!((x.retries_observed, x.deadline_cancels), (10, 11));
+            }
+            other => panic!("expected STATS, got {other:?}"),
+        }
+        // The full 27-field shape must carry plans.
+        let full = Response::Stats {
+            conn: StatsSnapshot::default(),
+            server: StatsSnapshot::default(),
+            plans: Some(PlanTally {
+                ad: 1,
+                vafile: 2,
+                scan: 3,
+                igrid: 4,
+            }),
+            extras: Some(ServerExtras {
+                conns_evicted: 8,
+                queries_shed: 9,
+                retries_observed: 10,
+                deadline_cancels: 11,
+                ..ServerExtras::default()
+            }),
+        };
+        let full_line = format_response(&full);
+        assert_eq!(parse_response(&full_line).unwrap(), full);
+    }
+
+    /// Binary STATS frames from pre-robustness servers (extras group
+    /// without the `STATS_HAS_ROBUST` flag, or without the reactor
+    /// group) still decode; the missing counters default to zero.
+    #[test]
+    fn binary_stats_accepts_legacy_flag_combos() {
+        let conn = StatsSnapshot {
+            queries: 5,
+            ..StatsSnapshot::default()
+        };
+        let server = StatsSnapshot::default();
+        for reactor in [false, true] {
+            let mut payload = Vec::new();
+            let mut flags = STATS_HAS_EXTRAS;
+            if reactor {
+                flags |= STATS_HAS_REACTOR;
+            }
+            payload.push(flags);
+            put_snapshot(&mut payload, &conn);
+            put_snapshot(&mut payload, &server);
+            for v in [11u64, 12, 13] {
+                put_u64(&mut payload, v);
+            }
+            if reactor {
+                payload.push(ReactorKind::Poll.code());
+                for v in [14u64, 15, 16] {
+                    put_u64(&mut payload, v);
+                }
+            }
+            match decode_response_frame(RESP_STATS, &payload).unwrap() {
+                Response::Stats { extras, .. } => {
+                    let x = extras.unwrap();
+                    assert_eq!(x.conns_peak, 11);
+                    assert_eq!(x.writev_calls, if reactor { 16 } else { 0 });
+                    assert_eq!((x.conns_evicted, x.queries_shed), (0, 0));
+                    assert_eq!((x.retries_observed, x.deadline_cancels), (0, 0));
+                }
+                other => panic!("expected STATS, got {other:?}"),
+            }
+        }
+        // The robust group without the extras group stays rejected.
+        let mut bad = Vec::new();
+        bad.push(STATS_HAS_ROBUST);
+        put_snapshot(&mut bad, &conn);
+        put_snapshot(&mut bad, &server);
+        assert!(decode_response_frame(RESP_STATS, &bad).is_err());
     }
 
     #[test]

@@ -76,13 +76,14 @@ use std::sync::{Arc, Condvar, Mutex};
 use std::thread;
 use std::time::{Duration, Instant};
 
-use knmatch_core::{BatchEngine, BatchOptions, BatchOutcome, BatchQuery};
+use knmatch_core::{BatchEngine, BatchOptions, BatchOutcome, BatchQuery, KnMatchError};
 
 use crate::conn::{advance_written, BufferPool, FrameBuf, FrameRc, InFrame, SlotQueue, Wire};
+use crate::fault::{FaultInjector, FaultTransport, WriteFault};
 use crate::protocol::{
     decode_request_frame, encode_response_frame, error_response, format_response, parse_query,
-    parse_request, BinRequest, ErrorKind, ReactorKind, Request, Response, StatsSnapshot, MAX_BATCH,
-    MAX_FRAME, MAX_LINE,
+    parse_request, with_retry_after, BinRequest, ErrorKind, ReactorKind, Request, Response,
+    ServerExtras, StatsSnapshot, MAX_BATCH, MAX_FRAME, MAX_LINE, REQ_BATCH, REQ_QUERY,
 };
 use crate::server::{ReactorChoice, ServerConfig, Shared, ShutdownHandle};
 
@@ -95,6 +96,14 @@ pub const MAX_PIPELINE: usize = 1024;
 /// ready but unflushable (peer stopped reading) is closed anyway.
 /// Connections with queries still executing are always waited for.
 const DRAIN_FLUSH_GRACE: Duration = Duration::from_secs(2);
+
+/// The wait used when nothing has a deadline: one wakeup an hour is
+/// close enough to "sleep forever" while keeping the millisecond
+/// conversion comfortably in `poll`'s `i32` range. Every state change
+/// that matters arrives as an event — completions ring the waker,
+/// shutdown pokes the listener, peers make sockets readable — so an
+/// idle reactor genuinely sleeps instead of ticking `poll_interval`.
+const WAIT_FOREVER: Duration = Duration::from_secs(3600);
 
 /// The thinnest possible `poll(2)` / `writev(2)` binding. The workspace
 /// links no external crates, but std already links the platform C
@@ -588,6 +597,9 @@ struct Job {
     wire: Wire,
     trailer: bool,
     opts: BatchOptions,
+    /// Parseable (`Ok`) slots — this job's weight against the global
+    /// in-flight budget, released when its completion lands.
+    cost: u64,
     slots: Vec<Result<BatchQuery, Response>>,
 }
 
@@ -601,6 +613,11 @@ struct Completion {
     queries: u64,
     errors: u64,
     timeouts: u64,
+    /// The job's in-flight budget weight to release.
+    cost: u64,
+    /// Queries answered `deadline exceeded` without running because the
+    /// propagated absolute deadline had already passed at pickup.
+    cancels: u64,
 }
 
 /// The executor pool's job queue (`Mutex<VecDeque>` + `Condvar`; closed
@@ -712,18 +729,33 @@ fn executor_loop<E: BatchEngine + Sync>(
 /// the blocking server's `run_and_respond`. This is the only encode of
 /// these bytes; the reactor writes them straight from the frame.
 fn run_job<E: BatchEngine + Sync>(engine: &E, job: Job, pool: &BufferPool) -> Completion {
-    let queries: Vec<BatchQuery> = job
-        .slots
-        .iter()
-        .filter_map(|s| s.as_ref().ok())
-        .cloned()
-        .collect();
+    // A batch whose propagated absolute deadline passed while it queued
+    // is doomed: every query would fail the engine's deadline precheck
+    // anyway, so skip the engine and synthesize the same responses.
+    // (Queries the engine would have rejected for *validation* reasons
+    // report `deadline exceeded` instead on this path — an acceptable
+    // divergence, since which error an expired batch sees is inherently
+    // timing-dependent.)
+    let expired = job.opts.deadline_at.is_some_and(|at| Instant::now() >= at);
+    let queries: Vec<BatchQuery> = if expired {
+        Vec::new()
+    } else {
+        job.slots
+            .iter()
+            .filter_map(|s| s.as_ref().ok())
+            .cloned()
+            .collect()
+    };
     let mut outcomes = engine.run_with(&queries, &job.opts).into_iter();
-    let (mut ok, mut failed, mut timeouts) = (0u64, 0u64, 0u64);
+    let (mut ok, mut failed, mut timeouts, mut cancels) = (0u64, 0u64, 0u64, 0u64);
     let bytes = pool.frame(|out| {
         for slot in &job.slots {
             let response = match slot {
                 Err(pre) => pre.clone(),
+                Ok(_) if expired => {
+                    cancels += 1;
+                    error_response(&KnMatchError::DeadlineExceeded)
+                }
                 Ok(_) => match outcomes.next().expect("one outcome per parsed query") {
                     Ok(outcome) => Response::Answer(outcome.into_answer()),
                     Err(e) => error_response(&e),
@@ -753,6 +785,8 @@ fn run_job<E: BatchEngine + Sync>(engine: &E, job: Job, pool: &BufferPool) -> Co
         queries: job.slots.len() as u64,
         errors: failed,
         timeouts,
+        cost: job.cost,
+        cancels,
     }
 }
 
@@ -760,6 +794,10 @@ fn run_job<E: BatchEngine + Sync>(engine: &E, job: Job, pool: &BufferPool) -> Co
 struct TextBatch {
     remaining: usize,
     slots: Vec<Result<BatchQuery, Response>>,
+    /// The batch was admitted while the server was over its in-flight
+    /// budget: every arriving line is answered `ERR overloaded` without
+    /// being parsed (the cheap-reject path), keeping the stream in sync.
+    shed: bool,
 }
 
 /// Reactor-side state of one connection.
@@ -784,8 +822,14 @@ struct ConnState {
     ev_read: bool,
     /// Already on this iteration's service list.
     touched: bool,
+    /// Already on the fault-retry list: a synthetic fault consumed a
+    /// readiness edge that the kernel will never re-report.
+    fault_pending: bool,
     /// Last interest told to the poll backend (read, write).
     interest: (bool, bool),
+    /// Last read or write progress on the socket — the idle-eviction
+    /// clock.
+    last_activity: Instant,
     gen: u64,
 }
 
@@ -837,6 +881,12 @@ impl<E: BatchEngine + Sync> EventServer<E> {
         self.shared.totals.snapshot()
     }
 
+    /// The event-loop counters behind `STATS`'s reactor/robustness
+    /// extras (peak connections, shed/evicted/cancelled totals, …).
+    pub fn extras(&self) -> ServerExtras {
+        self.shared.totals.extras()
+    }
+
     /// The served engine.
     pub fn engine(&self) -> &E {
         &self.engine
@@ -871,7 +921,13 @@ impl<E: BatchEngine + Sync> EventServer<E> {
         } else {
             self.cfg.executors
         };
-        thread::scope(|scope| {
+        let fault = self.cfg.fault.map(FaultInjector::new);
+        let max_inflight = if self.cfg.max_inflight == 0 {
+            self.cfg.max_connections.saturating_mul(MAX_PIPELINE)
+        } else {
+            self.cfg.max_inflight
+        };
+        let result = thread::scope(|scope| {
             for _ in 0..executors {
                 scope.spawn(|| executor_loop(&self.engine, &queue, &completions, &waker, &pool));
             }
@@ -889,11 +945,32 @@ impl<E: BatchEngine + Sync> EventServer<E> {
                 next_gen: 0,
                 draining: false,
                 drain_since: None,
+                fault: fault.as_ref(),
+                fault_retry: Vec::new(),
+                inflight: 0,
+                max_inflight,
             }
             .run(&wake_rx, &waker, &completions);
             queue.close();
             result
-        })
+        });
+        // Executors are joined: recycle completions nobody collected
+        // (jobs of connections that died mid-drain outlive the reactor
+        // loop), then hold the pool to its no-leak invariant — every
+        // frame and read buffer ever issued came back. A clean drain
+        // that fails this check has lost buffers somewhere.
+        for comp in std::mem::take(&mut *completions.lock().unwrap()) {
+            pool.recycle_frame(comp.bytes);
+        }
+        if result.is_ok() {
+            let (fi, fr, vi, vr) = pool.ledger();
+            assert!(
+                fi == fr && vi == vr,
+                "buffer pool leak after drain: {fi} frames issued / {fr} returned, \
+                 {vi} read buffers issued / {vr} returned"
+            );
+        }
+        result
     }
 }
 
@@ -911,6 +988,20 @@ struct Reactor<'a, E> {
     next_gen: u64,
     draining: bool,
     drain_since: Option<Instant>,
+    /// Seeded chaos hooks (`ServerConfig::fault`); `None` costs one
+    /// branch per read/flush.
+    fault: Option<&'a FaultInjector>,
+    /// Connections owed a service round because a synthetic fault
+    /// consumed a readiness edge the kernel will never re-report
+    /// (deduplicated via [`ConnState::fault_pending`]). While non-empty
+    /// the wait timeout is zero.
+    fault_retry: Vec<usize>,
+    /// Parseable queries submitted to the executors and not yet
+    /// completed, across all connections.
+    inflight: usize,
+    /// Admission ceiling on `inflight`; queries past it are shed with
+    /// `ERR overloaded` before their payload is parsed.
+    max_inflight: usize,
 }
 
 impl<'a, E: BatchEngine + Sync> Reactor<'a, E> {
@@ -934,11 +1025,7 @@ impl<'a, E: BatchEngine + Sync> Reactor<'a, E> {
                 return Ok(());
             }
 
-            let timeout = if self.draining {
-                Duration::from_millis(5)
-            } else {
-                self.cfg.poll_interval
-            };
+            let timeout = self.wait_timeout();
             self.poller.wait(&mut events, timeout)?;
             self.shared
                 .totals
@@ -952,6 +1039,21 @@ impl<'a, E: BatchEngine + Sync> Reactor<'a, E> {
             // Route events to their slots; work happens after the whole
             // set is translated (dispatch may close or open slots).
             touched.clear();
+            // Fault retries first: a synthetic stall consumed a readiness
+            // edge the kernel will never re-report, so these connections
+            // are serviced unconditionally (`ev_read` forced — a retried
+            // read that finds nothing is a no-op).
+            for idx in std::mem::take(&mut self.fault_retry) {
+                let Some(c) = self.conns.get_mut(idx).and_then(Option::as_mut) else {
+                    continue;
+                };
+                c.fault_pending = false;
+                c.ev_read = true;
+                if !c.touched {
+                    c.touched = true;
+                    touched.push(idx);
+                }
+            }
             let mut saw_wake = false;
             let mut saw_accept = false;
             for ev in &events {
@@ -1029,6 +1131,68 @@ impl<'a, E: BatchEngine + Sync> Reactor<'a, E> {
                 .is_some_and(|t| t.elapsed() > DRAIN_FLUSH_GRACE);
             for &idx in &touched {
                 self.service_conn(idx, &mut scratch, flush_expired);
+            }
+
+            if !self.draining {
+                if let Some(idle) = self.cfg.idle_timeout {
+                    self.evict_idle(idle);
+                }
+            }
+        }
+    }
+
+    /// How long the next wait may sleep. Adaptive: pending fault
+    /// retries demand an immediate round, drain keeps its short tick
+    /// (write-blocked peers produce no events but their flush grace
+    /// must be re-evaluated), an armed idle timeout wakes exactly at
+    /// the earliest eviction deadline, and an idle reactor with none of
+    /// those sleeps until an event arrives instead of ticking
+    /// `poll_interval`.
+    fn wait_timeout(&self) -> Duration {
+        if !self.fault_retry.is_empty() {
+            return Duration::ZERO;
+        }
+        if self.draining {
+            return Duration::from_millis(5);
+        }
+        match self.next_idle_deadline() {
+            Some(at) => at
+                .saturating_duration_since(Instant::now())
+                .max(Duration::from_millis(1)),
+            None => WAIT_FOREVER,
+        }
+    }
+
+    /// The earliest instant any connection becomes evictable, when the
+    /// idle timeout is armed.
+    fn next_idle_deadline(&self) -> Option<Instant> {
+        let idle = self.cfg.idle_timeout?;
+        self.conns
+            .iter()
+            .flatten()
+            .filter_map(|c| c.last_activity.checked_add(idle))
+            .min()
+    }
+
+    /// Closes connections whose sockets made no progress for `idle` —
+    /// the slow-peer eviction path. A peer that is only waiting on our
+    /// own executors is never evicted: its socket goes quiet through no
+    /// fault of its own, and the pending completion will move bytes.
+    fn evict_idle(&mut self, idle: Duration) {
+        let now = Instant::now();
+        for idx in 0..self.conns.len() {
+            let Some(c) = self.conns[idx].as_ref() else {
+                continue;
+            };
+            if c.queue.has_inflight() {
+                continue;
+            }
+            if now.duration_since(c.last_activity) >= idle {
+                self.shared
+                    .totals
+                    .conns_evicted
+                    .fetch_add(1, Ordering::Relaxed);
+                self.close_conn(idx);
             }
         }
     }
@@ -1121,7 +1285,9 @@ impl<'a, E: BatchEngine + Sync> Reactor<'a, E> {
                 read_paused: false,
                 ev_read: false,
                 touched: false,
+                fault_pending: false,
                 interest: (true, false),
+                last_activity: Instant::now(),
                 gen,
             };
             self.live += 1;
@@ -1153,7 +1319,10 @@ impl<'a, E: BatchEngine + Sync> Reactor<'a, E> {
         emit(
             &Response::Error {
                 kind: ErrorKind::Busy,
-                message: "connection limit reached".into(),
+                message: with_retry_after(
+                    "connection limit reached",
+                    self.cfg.retry_after.as_millis() as u64,
+                ),
             },
             Wire::Text,
             &mut bytes,
@@ -1165,6 +1334,10 @@ impl<'a, E: BatchEngine + Sync> Reactor<'a, E> {
                 .fetch_add(bytes.len() as u64, Ordering::Relaxed);
         }
         self.shared.totals.errors.fetch_add(1, Ordering::Relaxed);
+        self.shared
+            .totals
+            .retries_observed
+            .fetch_add(1, Ordering::Relaxed);
     }
 
     /// Tears a connection down: deregisters the fd and returns every
@@ -1189,10 +1362,22 @@ impl<'a, E: BatchEngine + Sync> Reactor<'a, E> {
     /// when the connection died first — `gen` guards slab reuse).
     /// Returns whether it landed, so the caller can service the conn.
     fn apply(&mut self, comp: Completion) -> bool {
+        // The budget weight releases unconditionally — the executor work
+        // happened whether or not the connection survived it.
+        self.inflight = self.inflight.saturating_sub(comp.cost as usize);
+        if comp.cancels > 0 {
+            self.shared
+                .totals
+                .deadline_cancels
+                .fetch_add(comp.cancels, Ordering::Relaxed);
+        }
+        let pool = self.pool;
         let Some(c) = self.conns.get_mut(comp.conn).and_then(Option::as_mut) else {
+            pool.recycle_frame(comp.bytes);
             return false;
         };
         if c.gen != comp.gen {
+            pool.recycle_frame(comp.bytes);
             return false;
         }
         c.stats.queries += comp.queries;
@@ -1202,7 +1387,13 @@ impl<'a, E: BatchEngine + Sync> Reactor<'a, E> {
         t.queries.fetch_add(comp.queries, Ordering::Relaxed);
         t.errors.fetch_add(comp.errors, Ordering::Relaxed);
         t.timeouts.fetch_add(comp.timeouts, Ordering::Relaxed);
-        c.queue.complete(comp.seq, comp.bytes)
+        match c.queue.complete(comp.seq, comp.bytes) {
+            Ok(()) => true,
+            Err(frame) => {
+                pool.recycle_frame(frame);
+                false
+            }
+        }
     }
 
     /// Runs one touched connection through its read → flush cycle until
@@ -1281,7 +1472,17 @@ impl<'a, E: BatchEngine + Sync> Reactor<'a, E> {
                 c.read_paused = true;
                 return;
             }
-            match c.stream.read(scratch) {
+            // Faults route through the transport wrapper: short reads
+            // deliver one byte (the loop keeps draining, so no edge is
+            // lost — the decoder just sees torn input), stalls surface
+            // as a synthetic `WouldBlock` that must schedule a fault
+            // retry (data may remain with no future edge), resets close.
+            let (result, stalled) = {
+                let mut transport = FaultTransport::new(&mut c.stream, self.fault);
+                let result = transport.read(scratch);
+                (result, transport.stalled)
+            };
+            match result {
                 Ok(0) => {
                     // EOF: like the blocking server, a half-closed peer
                     // ends the conversation (unwritten responses drop).
@@ -1290,6 +1491,7 @@ impl<'a, E: BatchEngine + Sync> Reactor<'a, E> {
                 }
                 Ok(n) => {
                     c.stats.bytes_in += n as u64;
+                    c.last_activity = Instant::now();
                     self.shared
                         .totals
                         .bytes_in
@@ -1297,7 +1499,13 @@ impl<'a, E: BatchEngine + Sync> Reactor<'a, E> {
                     c.frames.extend(&scratch[..n]);
                     self.dispatch_frames(idx);
                 }
-                Err(e) if e.kind() == io::ErrorKind::WouldBlock => return,
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                    if stalled && !c.fault_pending {
+                        c.fault_pending = true;
+                        self.fault_retry.push(idx);
+                    }
+                    return;
+                }
                 Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
                 Err(_) => {
                     self.close_conn(idx);
@@ -1329,6 +1537,21 @@ impl<'a, E: BatchEngine + Sync> Reactor<'a, E> {
     }
 
     fn dispatch_one(&mut self, idx: usize, frame: InFrame) {
+        // A shed text BATCH consumes its lines unparsed: every arriving
+        // line (whatever its shape) is answered `ERR overloaded`, so the
+        // stream stays in sync at zero parse cost.
+        if self.conn_mut(idx).batch.as_ref().is_some_and(|b| b.shed) {
+            if matches!(frame, InFrame::Binary { .. } | InFrame::BinaryOversized) {
+                self.shared
+                    .totals
+                    .frames_binary
+                    .fetch_add(1, Ordering::Relaxed);
+            }
+            self.note_shed(1);
+            let resp = self.overloaded_response();
+            self.batch_slot(idx, Err(resp));
+            return;
+        }
         match frame {
             InFrame::Binary { kind, payload } => {
                 self.shared
@@ -1348,6 +1571,32 @@ impl<'a, E: BatchEngine + Sync> Reactor<'a, E> {
                     return;
                 }
                 c.last_wire = Wire::Binary;
+                // Admission control on the kind byte, before the payload
+                // is decoded: queries past the budget are shed; a binary
+                // batch reads only its count prefix and sheds whole.
+                if self.overloaded() {
+                    match kind {
+                        REQ_QUERY => {
+                            self.note_shed(1);
+                            let resp = self.overloaded_response();
+                            self.ready_response(idx, Wire::Binary, &resp);
+                            return;
+                        }
+                        REQ_BATCH if payload.len() >= 4 => {
+                            let count =
+                                u32::from_le_bytes(payload[..4].try_into().unwrap()) as usize;
+                            if count <= MAX_BATCH {
+                                self.note_shed(count as u64);
+                                let resp = self.overloaded_response();
+                                self.submit_job(idx, vec![Err(resp); count], true, Wire::Binary);
+                                return;
+                            }
+                            // Bogus count: fall through for the normal
+                            // decode error.
+                        }
+                        _ => {}
+                    }
+                }
                 match decode_request_frame(kind, &payload) {
                     Err(e) => self.ready_error(idx, Wire::Binary, ErrorKind::Parse, e.0),
                     Ok(BinRequest::One(req)) => self.handle_request(idx, req, Wire::Binary),
@@ -1386,6 +1635,16 @@ impl<'a, E: BatchEngine + Sync> Reactor<'a, E> {
                     return;
                 }
                 self.conn_mut(idx).last_wire = Wire::Text;
+                // Admission control on the verb, before the coordinates
+                // are parsed (control verbs always pass).
+                if self.overloaded()
+                    && matches!(line.split(' ').next(), Some("KNM" | "FREQ" | "EPS"))
+                {
+                    self.note_shed(1);
+                    let resp = self.overloaded_response();
+                    self.ready_response(idx, Wire::Text, &resp);
+                    return;
+                }
                 match parse_request(&line) {
                     Err(e) => self.ready_error(idx, Wire::Text, ErrorKind::Parse, e.0),
                     Ok(req) => self.handle_request(idx, req, Wire::Text),
@@ -1420,9 +1679,13 @@ impl<'a, E: BatchEngine + Sync> Reactor<'a, E> {
                 } else if count == 0 {
                     self.submit_job(idx, Vec::new(), true, wire);
                 } else {
+                    // Admission is decided at the header: a batch opened
+                    // past the budget sheds every line it announces.
+                    let shed = self.overloaded();
                     self.conn_mut(idx).batch = Some(TextBatch {
                         remaining: count,
                         slots: Vec::with_capacity(count.min(1024)),
+                        shed,
                     });
                 }
             }
@@ -1486,6 +1749,14 @@ impl<'a, E: BatchEngine + Sync> Reactor<'a, E> {
     ) {
         let c = self.conns[idx].as_mut().expect("live connection");
         let seq = c.queue.push_waiting();
+        let mut opts = c.opts.clone();
+        // Stamp arrival as the absolute deadline: executor queue wait
+        // counts against the budget, so a doomed batch cancels at
+        // pickup instead of burning an executor (`checked_add` — an
+        // absurd duration means "no deadline", mirroring `arm`).
+        opts.deadline_at = opts.deadline.and_then(|d| Instant::now().checked_add(d));
+        let cost = slots.iter().filter(|s| s.is_ok()).count() as u64;
+        self.inflight += cost as usize;
         self.note_depth(idx);
         let c = self.conns[idx].as_ref().expect("live connection");
         self.queue.push(Job {
@@ -1494,7 +1765,8 @@ impl<'a, E: BatchEngine + Sync> Reactor<'a, E> {
             seq,
             wire,
             trailer,
-            opts: c.opts.clone(),
+            opts,
+            cost,
             slots,
         });
     }
@@ -1541,6 +1813,27 @@ impl<'a, E: BatchEngine + Sync> Reactor<'a, E> {
         self.conns[idx].as_mut().expect("live connection")
     }
 
+    /// Whether the global in-flight budget is exhausted.
+    fn overloaded(&self) -> bool {
+        self.inflight >= self.max_inflight
+    }
+
+    /// The load-shedding reply: `ERR overloaded` carrying the backoff
+    /// hint, so well-behaved clients retry after [`ServerConfig::retry_after`].
+    fn overloaded_response(&self) -> Response {
+        Response::Error {
+            kind: ErrorKind::Overloaded,
+            message: with_retry_after("server overloaded", self.cfg.retry_after.as_millis() as u64),
+        }
+    }
+
+    /// Counts `n` shed queries; each shed reply carries a retry hint.
+    fn note_shed(&self, n: u64) {
+        let t = &self.shared.totals;
+        t.queries_shed.fetch_add(n, Ordering::Relaxed);
+        t.retries_observed.fetch_add(n, Ordering::Relaxed);
+    }
+
     /// Flushes one connection: moves ready head frames from the slot
     /// queue into the outgoing queue (no copy — the frames themselves
     /// move) and gathers them into `writev` calls until the socket
@@ -1550,11 +1843,27 @@ impl<'a, E: BatchEngine + Sync> Reactor<'a, E> {
     fn pump_conn(&mut self, idx: usize, flush_expired: bool) -> bool {
         let shared = self.shared;
         let pool = self.pool;
+        let fault = self.fault;
         let Some(c) = self.conns.get_mut(idx).and_then(Option::as_mut) else {
             return false;
         };
+        // One write-side fault decision per flush attempt, rolled only
+        // when there might be something to flush. A stall skips the
+        // flush entirely (delayed flush); a short write truncates it to
+        // a few head-frame bytes (torn reply). Both leave bytes pending
+        // with no future readiness edge under edge triggering, so both
+        // end on the fault-retry list.
+        let decision = match fault {
+            Some(inj) if !(c.out.is_empty() && c.queue.is_empty()) => inj.write_fault(),
+            _ => WriteFault::None,
+        };
+        let mut fault_stop = matches!(decision, WriteFault::Stall);
+        let budget = match decision {
+            WriteFault::Short { max_bytes } => Some(max_bytes),
+            _ => None,
+        };
         let mut gone = false;
-        loop {
+        while !fault_stop {
             while c.out.len() < sys::MAX_IOV {
                 let Some(frame) = c.queue.pop_ready() else {
                     break;
@@ -1576,10 +1885,18 @@ impl<'a, E: BatchEngine + Sync> Reactor<'a, E> {
             }
             let mut bufs: [&[u8]; sys::MAX_IOV] = [&[]; sys::MAX_IOV];
             let mut n_bufs = 0;
-            for (i, frame) in c.out.iter().take(sys::MAX_IOV).enumerate() {
-                let start = if i == 0 { c.out_pos } else { 0 };
-                bufs[n_bufs] = &frame.bytes[start..];
-                n_bufs += 1;
+            if let Some(cap) = budget {
+                // Torn write: at most `cap` bytes of the head frame.
+                let head = c.out.front().expect("out is non-empty");
+                let end = (c.out_pos + cap).min(head.bytes.len());
+                bufs[0] = &head.bytes[c.out_pos..end];
+                n_bufs = 1;
+            } else {
+                for (i, frame) in c.out.iter().take(sys::MAX_IOV).enumerate() {
+                    let start = if i == 0 { c.out_pos } else { 0 };
+                    bufs[n_bufs] = &frame.bytes[start..];
+                    n_bufs += 1;
+                }
             }
             shared.totals.writev_calls.fetch_add(1, Ordering::Relaxed);
             match sys::writev(c.stream.as_raw_fd(), &bufs[..n_bufs]) {
@@ -1587,7 +1904,14 @@ impl<'a, E: BatchEngine + Sync> Reactor<'a, E> {
                     gone = true;
                     break;
                 }
-                Ok(n) => advance_written(&mut c.out, &mut c.out_pos, n, pool),
+                Ok(n) => {
+                    c.last_activity = Instant::now();
+                    advance_written(&mut c.out, &mut c.out_pos, n, pool);
+                    if budget.is_some() {
+                        fault_stop = true;
+                        break;
+                    }
+                }
                 Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
                     // During drain, give up on peers that stopped
                     // reading once every response is ready and the
@@ -1607,6 +1931,10 @@ impl<'a, E: BatchEngine + Sync> Reactor<'a, E> {
         if gone {
             self.close_conn(idx);
             return false;
+        }
+        if fault_stop && !c.fault_pending {
+            c.fault_pending = true;
+            self.fault_retry.push(idx);
         }
         true
     }

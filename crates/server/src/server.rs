@@ -82,9 +82,11 @@ pub struct ServerConfig {
     /// `ERR busy` and closed.
     pub max_connections: usize,
     /// How often an idle connection handler wakes up to check the
-    /// shutdown flag (the socket read timeout). Bounds drain latency for
-    /// the blocking server; the event loop uses it only as its poll
-    /// timeout backstop (its drain is wakeup-driven, not timeout-driven).
+    /// shutdown flag (the socket read timeout). Blocking server only —
+    /// it bounds that server's drain latency. The event loop never
+    /// ticks: it sleeps until the next readiness event or the earliest
+    /// pending deadline (idle eviction, drain grace), whichever comes
+    /// first.
     pub poll_interval: Duration,
     /// Executor threads the event-loop server runs queries on (0 = one
     /// per available core). The blocking server ignores this — its
@@ -92,6 +94,27 @@ pub struct ServerConfig {
     pub executors: usize,
     /// Readiness backend for the event-loop server.
     pub reactor: ReactorChoice,
+    /// Per-connection idle timeout for the event-loop server: a
+    /// connection making no read or write progress for this long is
+    /// evicted (counted in `conns_evicted`). `None` (default) never
+    /// evicts — idle keepalive connections are legal.
+    pub idle_timeout: Option<Duration>,
+    /// Global in-flight query budget across all connections of the
+    /// event-loop server; queries past it are answered `ERR overloaded`
+    /// before their payload is parsed. `0` (default) sizes the budget
+    /// automatically as `max_connections` times the per-connection
+    /// pipeline cap — the bound the per-connection backpressure already
+    /// implied, now enforced globally.
+    pub max_inflight: usize,
+    /// The `retry-after-ms` hint attached to `ERR busy` and
+    /// `ERR overloaded` replies — how long a well-behaved client should
+    /// back off before retrying.
+    pub retry_after: Duration,
+    /// Seeded network fault injection on the event-loop server's
+    /// connection I/O (chaos testing). `None` (default) disables every
+    /// hook; the steady-state cost of the disabled hooks is one branch
+    /// per read/flush.
+    pub fault: Option<crate::fault::NetFaultConfig>,
 }
 
 impl Default for ServerConfig {
@@ -101,6 +124,10 @@ impl Default for ServerConfig {
             poll_interval: Duration::from_millis(50),
             executors: 0,
             reactor: ReactorChoice::Auto,
+            idle_timeout: None,
+            max_inflight: 0,
+            retry_after: Duration::from_millis(100),
+            fault: None,
         }
     }
 }
@@ -122,6 +149,10 @@ pub(crate) struct Counters {
     pub(crate) poll_iterations: AtomicU64,
     pub(crate) events_dispatched: AtomicU64,
     pub(crate) writev_calls: AtomicU64,
+    pub(crate) conns_evicted: AtomicU64,
+    pub(crate) queries_shed: AtomicU64,
+    pub(crate) retries_observed: AtomicU64,
+    pub(crate) deadline_cancels: AtomicU64,
 }
 
 impl Counters {
@@ -148,6 +179,10 @@ impl Counters {
             poll_iterations: self.poll_iterations.load(Ordering::Relaxed),
             events_dispatched: self.events_dispatched.load(Ordering::Relaxed),
             writev_calls: self.writev_calls.load(Ordering::Relaxed),
+            conns_evicted: self.conns_evicted.load(Ordering::Relaxed),
+            queries_shed: self.queries_shed.load(Ordering::Relaxed),
+            retries_observed: self.retries_observed.load(Ordering::Relaxed),
+            deadline_cancels: self.deadline_cancels.load(Ordering::Relaxed),
         }
     }
 }
@@ -275,7 +310,7 @@ impl<E: BatchEngine + Sync> Server<E> {
                     Err(_) => continue,
                 };
                 if shared.active.load(Ordering::SeqCst) >= self.cfg.max_connections {
-                    reject_busy(stream, shared);
+                    reject_busy(stream, shared, &self.cfg);
                     continue;
                 }
                 let now_active = shared.active.fetch_add(1, Ordering::SeqCst) as u64 + 1;
@@ -298,11 +333,15 @@ impl<E: BatchEngine + Sync> Server<E> {
     }
 }
 
-/// Answers an over-limit accept with `ERR busy` and closes it.
-fn reject_busy(stream: TcpStream, shared: &Shared) {
+/// Answers an over-limit accept with `ERR busy` (carrying the
+/// `retry-after-ms` backoff hint) and closes it.
+fn reject_busy(stream: TcpStream, shared: &Shared, cfg: &ServerConfig) {
     let line = format_response(&Response::Error {
         kind: ErrorKind::Busy,
-        message: "connection limit reached".into(),
+        message: crate::protocol::with_retry_after(
+            "connection limit reached",
+            cfg.retry_after.as_millis() as u64,
+        ),
     });
     let mut stream = stream;
     let _ = stream.set_write_timeout(Some(Duration::from_millis(200)));
@@ -313,6 +352,10 @@ fn reject_busy(stream: TcpStream, shared: &Shared) {
             .fetch_add(line.len() as u64 + 1, Ordering::Relaxed);
     }
     shared.totals.errors.fetch_add(1, Ordering::Relaxed);
+    shared
+        .totals
+        .retries_observed
+        .fetch_add(1, Ordering::Relaxed);
 }
 
 /// What one capped line read produced.

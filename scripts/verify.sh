@@ -13,6 +13,10 @@
 #               identity at workers 1/2/4 and poll-vs-epoll byte
 #               identity on Linux) + connection_scaling --smoke
 #               (256 concurrent connections over both reactors)
+#   6b. chaos:  network fault injection in release (fixed seeds):
+#               retrying clients vs torn/stalled/reset I/O at 1/10/30%
+#               fault rates on both reactors, plus shedding, idle
+#               eviction and deadline-cancel coverage
 #   7. server:  loopback serve/client smoke for both servers (ephemeral
 #               port, batch over the wire — binary+pipelined on the
 #               event loop, once per reactor backend — graceful
@@ -52,6 +56,13 @@ echo "==> event-server pipelined cross-check (release)"
 # Pipelined ordering and the <10ms drain race are timing-sensitive;
 # release mode is where they are tightest.
 cargo test --release -q -p knmatch-server --test event_server
+
+echo "==> chaos harness (release, fixed seeds, both reactors)"
+# Retrying clients against fault-injected servers (torn frames, short
+# writes, stalls, injected resets at 1/10/30%) must stay bit-identical
+# to direct engine runs; the server must drain with zero leaked pooled
+# buffers. Shedding, idle eviction and deadline cancellation ride along.
+cargo test --release -q -p knmatch-server --test chaos
 
 echo "==> connection_scaling --smoke (256 connections)"
 ./target/release/connection_scaling --smoke --out /tmp/BENCH_connections_smoke.json >/dev/null
@@ -118,6 +129,12 @@ for REACTOR in $REACTORS; do
     --binary --pipeline 4 --stats \
     | grep -q "4 ok / 0 failed" \
     || { echo "pipelined binary batch did not return 4 ok / 0 failed"; exit 1; }
+  # The resilient client path: bounded retries with backoff and a
+  # per-response timeout (no faults here, so it succeeds first try).
+  "$KNM" client "$ADDR" --queries "$SMOKE_DIR/queries.csv" -k 3 -n 2 \
+    --retries 3 --backoff-ms 5 --timeout-ms 2000 \
+    | grep -q "4 ok / 0 failed" \
+    || { echo "retrying client batch did not return 4 ok / 0 failed"; exit 1; }
   "$KNM" client "$ADDR" --shutdown >/dev/null
   wait "$SERVE_PID"
   SERVE_PID=""
