@@ -241,6 +241,7 @@ mod real {
             workers: cpus,
             backend: Backend::Memory,
             planner: None,
+            ..EngineConfig::default()
         }
         .build_in_memory(ds);
         let server = EventServer::bind(
@@ -367,6 +368,7 @@ mod real {
                 workers: cpus,
                 backend: Backend::Memory,
                 planner: None,
+                ..EngineConfig::default()
             }
             .build_in_memory(ds);
             let server = EventServer::bind(
@@ -511,6 +513,7 @@ mod real {
             workers: cpus,
             backend: Backend::Memory,
             planner: None,
+            ..EngineConfig::default()
         }
         .build_in_memory(&ds);
 

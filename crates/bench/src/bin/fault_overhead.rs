@@ -147,6 +147,7 @@ fn served_hook_qps(
             workers: std::thread::available_parallelism().map_or(1, |n| n.get()),
             backend: Backend::Memory,
             planner: None,
+            ..EngineConfig::default()
         }
         .build_in_memory(ds);
         let scfg = ServerConfig {

@@ -142,6 +142,7 @@ fn main() {
             workers,
             backend: Backend::Memory,
             planner: None,
+            ..EngineConfig::default()
         }
         .build_in_memory(&ds);
 
@@ -253,6 +254,7 @@ fn main() {
             workers: 1,
             backend: Backend::Memory,
             planner: None,
+            ..EngineConfig::default()
         }
         .build_in_memory(&ds);
         let answers: Vec<BatchAnswer> = engine

@@ -12,7 +12,9 @@
 //! knmatch batch data.csv --queries queries.csv -k 10 -n 4 --shards 4 --workers 4
 //! knmatch batch db.knm --queries queries.csv -k 10 -n 4 --disk --workers 4
 //! knmatch serve db.knm --addr 127.0.0.1:7878 --disk --workers 4
+//! knmatch serve data.csv --addr 127.0.0.1:7878 --mutable --merge-threshold 4096
 //! knmatch client 127.0.0.1:7878 --queries queries.csv -k 10 -n 4
+//! knmatch ingest 127.0.0.1:7878 --points new.csv --start-key 100000 --seal
 //! ```
 
 use std::fmt::Write as _;
@@ -60,14 +62,17 @@ fn usage() -> &'static str {
      --disk [--pool-pages P] [--verify never|first-read|always]] \
      [--deadline-ms MS] [--fail-fast]\n  \
      knmatch serve <data.csv|db.knm> [--addr IP:PORT] [--workers W] \
-     [--planner MODE | --shards <S|auto> | --disk [--pool-pages P] [--verify MODE]] \
+     [--planner MODE | --shards <S|auto> | --disk [--pool-pages P] [--verify MODE] | \
+     --mutable [--merge-threshold R]] \
      [--max-conns N] [--event-loop [--executors E] [--reactor poll|epoll|auto] \
      [--idle-timeout-ms MS] [--max-inflight N]]\n  \
      knmatch client <host:port> (--queries <queries.csv> \
      (-k <K> -n <N> | -k <K> --frequent <N0> <N1> | --eps <E> -n <N>) \
      [--planner MODE] [--deadline-ms MS] [--fail-fast] [--binary] \
      [--pipeline DEPTH] [--retries R [--backoff-ms MS]] [--timeout-ms MS] \
-     [--stats] | --ping | --shutdown)\n\
+     [--stats] | --ping | --shutdown)\n  \
+     knmatch ingest <host:port> --points <file.csv> [--start-key N] [--seal] \
+     [--binary] [--stats]\n\
      \n\
      exit codes: 0 success; 1 usage or I/O error; 2 command ran but some \
      queries failed"
@@ -89,6 +94,7 @@ fn run(args: &[String]) -> Result<(String, bool), String> {
         Some("batch") => batch(&args[1..]),
         Some("serve") => serve(&args[1..]).map(ok),
         Some("client") => client(&args[1..]),
+        Some("ingest") => ingest(&args[1..]),
         Some(other) => Err(format!("unknown command '{other}'")),
         None => Err("no command given".into()),
     }
@@ -264,6 +270,14 @@ fn batch(args: &[String]) -> Result<(String, bool), String> {
             engine.cardinality(),
             engine.dims(),
             engine.shard_count().unwrap_or(1),
+            engine.workers()
+        ),
+        AnyEngine::Versioned(_) => format!(
+            "{} queries ({header}) over {} points x {} dims (mutable versioned), \
+             {} worker(s)\n",
+            queries.len(),
+            engine.cardinality(),
+            engine.dims(),
             engine.workers()
         ),
         AnyEngine::Disk(_) => format!(
@@ -507,7 +521,7 @@ fn client(args: &[String]) -> Result<(String, bool), String> {
         }
         let reply = c.run_batch(&queries).map_err(|e| e.to_string())?;
         let stats = if want_stats {
-            Some(c.stats_full().map_err(|e| e.to_string())?)
+            Some(c.stats_report().map_err(|e| e.to_string())?)
         } else {
             None
         };
@@ -546,7 +560,7 @@ fn client(args: &[String]) -> Result<(String, bool), String> {
             None => c.run_batch(&queries).map_err(|e| e.to_string())?,
         };
         let stats = if want_stats {
-            Some(c.stats_full().map_err(|e| e.to_string())?)
+            Some(c.stats_report().map_err(|e| e.to_string())?)
         } else {
             None
         };
@@ -583,7 +597,8 @@ fn client(args: &[String]) -> Result<(String, bool), String> {
     if retries_used > 0 {
         writeln!(out, "retried {retries_used} time(s)").expect("write to String");
     }
-    if let Some((conn, server, plans, extras)) = stats {
+    if let Some(report) = stats {
+        let (conn, server) = (&report.conn, &report.server);
         writeln!(
             out,
             "connection: {} queries, {} errors, {} bytes in / {} bytes out",
@@ -596,7 +611,16 @@ fn client(args: &[String]) -> Result<(String, bool), String> {
             server.queries, server.errors, server.timeouts, server.connections
         )
         .expect("write to String");
-        if let Some(p) = plans {
+        if let Some(v) = report.version {
+            writeln!(
+                out,
+                "version: epoch {}, {} live, {} delta rows, {} run(s), {} tombstones, \
+                 {} writes, {} merges",
+                v.epoch, v.live, v.delta, v.runs, v.tombstones, v.writes, v.merges
+            )
+            .expect("write to String");
+        }
+        if let Some(p) = report.plans {
             writeln!(
                 out,
                 "plans: {} ad, {} vafile, {} scan, {} igrid",
@@ -604,7 +628,7 @@ fn client(args: &[String]) -> Result<(String, bool), String> {
             )
             .expect("write to String");
         }
-        if let Some(x) = extras {
+        if let Some(x) = report.extras {
             writeln!(
                 out,
                 "event loop: {} conns peak, depth {} max, {} binary frames, \
@@ -627,6 +651,81 @@ fn client(args: &[String]) -> Result<(String, bool), String> {
         }
     }
     Ok((out, reply.failed == 0))
+}
+
+/// Streams a CSV of points into a running `serve --mutable` instance:
+/// row `i` is inserted under key `--start-key + i` (an existing key is
+/// an upsert), `--seal` freezes the delta into a sorted run afterwards,
+/// `--binary` speaks compact frames, and `--stats` prints the server's
+/// version counters once the load drains. Per-key failures are reported
+/// inline and carried to the exit code, like `batch`.
+fn ingest(args: &[String]) -> Result<(String, bool), String> {
+    let addr = args.first().ok_or("ingest needs <host:port>")?;
+    let points_path = flag_value(args, "--points").ok_or("ingest needs --points <file.csv>")?;
+    let start_key: u32 = parse_num(
+        flag_value(args, "--start-key").unwrap_or("0"),
+        "--start-key",
+    )?;
+    let ds = knmatch_data::load_dataset(points_path).map_err(|e| e.to_string())?;
+
+    let mut c = Client::connect(addr).map_err(|e| format!("connect {addr}: {e}"))?;
+    c.set_binary(args.iter().any(|a| a == "--binary"));
+    let started = std::time::Instant::now();
+    let mut out = String::new();
+    let mut failures = 0usize;
+    let mut last_epoch = 0u64;
+    for (pid, point) in ds.iter() {
+        let key = start_key
+            .checked_add(pid)
+            .ok_or_else(|| format!("--start-key {start_key} overflows at row {pid}"))?;
+        match c.insert(key, point).map_err(|e| e.to_string())? {
+            Ok(epoch) => last_epoch = epoch,
+            Err(e) => {
+                failures += 1;
+                writeln!(out, "  key {key}: error: {e}").expect("write to String");
+            }
+        }
+    }
+    if args.iter().any(|a| a == "--seal") {
+        match c.seal().map_err(|e| e.to_string())? {
+            Ok(epoch) => {
+                last_epoch = epoch;
+                writeln!(out, "sealed delta at epoch {epoch}").expect("write to String");
+            }
+            Err(e) => {
+                failures += 1;
+                writeln!(out, "seal: error: {e}").expect("write to String");
+            }
+        }
+    }
+    let secs = started.elapsed().as_secs_f64();
+    writeln!(
+        out,
+        "{} inserted / {failures} failed into {addr} in {:.1} ms ({:.0} writes/s), epoch {last_epoch}",
+        ds.len() - failures.min(ds.len()),
+        secs * 1e3,
+        if secs > 0.0 {
+            ds.len() as f64 / secs
+        } else {
+            f64::INFINITY
+        },
+    )
+    .expect("write to String");
+    if args.iter().any(|a| a == "--stats") {
+        let report = c.stats_report().map_err(|e| e.to_string())?;
+        match report.version {
+            Some(v) => writeln!(
+                out,
+                "version: epoch {}, {} live, {} delta rows, {} run(s), {} tombstones, \
+                 {} writes, {} merges",
+                v.epoch, v.live, v.delta, v.runs, v.tombstones, v.writes, v.merges
+            ),
+            None => writeln!(out, "version: server is read-only"),
+        }
+        .expect("write to String");
+    }
+    c.quit().map_err(|e| e.to_string())?;
+    Ok((out, failures == 0))
 }
 
 /// Parses the batch-wide fault-handling flags: `--deadline-ms <MS>` gives
@@ -1500,6 +1599,121 @@ mod auto_plan_tests {
         .0;
         assert!(out.contains("planner chose"), "{out}");
         assert!(out.contains("appears"));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}
+
+#[cfg(test)]
+mod ingest_tests {
+    use super::*;
+
+    fn s(parts: &[&str]) -> Vec<String> {
+        parts.iter().map(|p| p.to_string()).collect()
+    }
+
+    /// `ingest` streams a CSV into a mutable server (keys offset by
+    /// `--start-key`), `--seal` freezes the delta, and both `ingest
+    /// --stats` and `client --stats` print the version counter line.
+    /// `serve` itself blocks until shutdown, so the server side binds
+    /// through the same [`EngineConfig`] grammar the command uses.
+    #[test]
+    fn ingest_streams_points_into_a_mutable_server() {
+        let dir = std::env::temp_dir().join(format!("knmatch-cli-ingest-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let data = dir.join("data.csv");
+        let extra = dir.join("extra.csv");
+        let queries = dir.join("queries.csv");
+        for (path, cardinality, seed) in [
+            (&data, "100", "42"),
+            (&extra, "20", "7"),
+            (&queries, "4", "9"),
+        ] {
+            run(&s(&[
+                "generate",
+                "--kind",
+                "uniform",
+                "--cardinality",
+                cardinality,
+                "--dims",
+                "4",
+                "--seed",
+                seed,
+                "--out",
+                path.to_str().unwrap(),
+            ]))
+            .unwrap();
+        }
+        let ds = knmatch_data::load_dataset(&data).unwrap();
+
+        let cfg = EngineConfig::from_args(&s(&["--mutable", "--merge-threshold", "8"])).unwrap();
+        let server = Server::bind(
+            cfg.build_in_memory(&ds),
+            "127.0.0.1:0",
+            knmatch_server::ServerConfig::default(),
+        )
+        .unwrap();
+        let addr = server.local_addr().to_string();
+        let handle = server.handle();
+        std::thread::scope(|sc| {
+            let serving = sc.spawn(|| server.serve().unwrap());
+            let (out, all_ok) = run(&s(&[
+                "ingest",
+                &addr,
+                "--points",
+                extra.to_str().unwrap(),
+                "--start-key",
+                "1000",
+                "--seal",
+                "--stats",
+            ]))
+            .unwrap();
+            assert!(all_ok, "{out}");
+            assert!(out.contains("20 inserted / 0 failed"), "{out}");
+            assert!(out.contains("sealed delta at epoch"), "{out}");
+            assert!(out.contains("version: epoch"), "{out}");
+            assert!(out.contains("120 live"), "{out}");
+
+            let (out, all_ok) = run(&s(&[
+                "client",
+                &addr,
+                "--queries",
+                queries.to_str().unwrap(),
+                "-k",
+                "3",
+                "-n",
+                "2",
+                "--stats",
+            ]))
+            .unwrap();
+            assert!(all_ok, "{out}");
+            assert!(out.contains("version: epoch"), "{out}");
+            handle.shutdown();
+            serving.join().unwrap();
+        });
+
+        // Against a read-only server every insert fails, the failures
+        // are itemised, and the all-ok flag clears for the exit code.
+        let server = Server::bind(
+            EngineConfig::default().build_in_memory(&ds),
+            "127.0.0.1:0",
+            knmatch_server::ServerConfig::default(),
+        )
+        .unwrap();
+        let addr = server.local_addr().to_string();
+        let handle = server.handle();
+        std::thread::scope(|sc| {
+            let serving = sc.spawn(|| server.serve().unwrap());
+            let (out, all_ok) =
+                run(&s(&["ingest", &addr, "--points", extra.to_str().unwrap()])).unwrap();
+            assert!(!all_ok);
+            assert!(out.contains("0 inserted / 20 failed"), "{out}");
+            assert!(out.contains("immutable"), "{out}");
+            handle.shutdown();
+            serving.join().unwrap();
+        });
+
+        assert!(run(&s(&["ingest"])).is_err());
+        assert!(run(&s(&["ingest", "127.0.0.1:1"])).is_err());
         std::fs::remove_dir_all(&dir).unwrap();
     }
 }

@@ -294,6 +294,13 @@ pub trait BatchEngine {
     fn plan_counts(&self) -> Option<PlanTally> {
         None
     }
+
+    /// The mutation surface, for engines that accept live writes. The
+    /// default (`None`) marks a read-only engine; servers reject the
+    /// write verbs when no writer is present.
+    fn writer(&self) -> Option<&dyn crate::versioned::VersionWriter> {
+        None
+    }
 }
 
 /// Records `result` against an armed control: a failed query trips the

@@ -69,6 +69,12 @@ pub enum KnMatchError {
         /// Rendered panic payload.
         message: String,
     },
+    /// A versioned-index write referenced a key that holds no live point
+    /// (see [`VersionWriter`](crate::VersionWriter)).
+    KeyNotFound {
+        /// The missing key.
+        key: crate::point::PointId,
+    },
 }
 
 impl fmt::Display for KnMatchError {
@@ -110,6 +116,9 @@ impl fmt::Display for KnMatchError {
             KnMatchError::Cancelled => write!(f, "query cancelled (batch fail-fast)"),
             KnMatchError::Storage { message } => write!(f, "storage failure: {message}"),
             KnMatchError::Panicked { message } => write!(f, "query panicked: {message}"),
+            KnMatchError::KeyNotFound { key } => {
+                write!(f, "key {key} holds no live point")
+            }
         }
     }
 }
@@ -163,6 +172,8 @@ mod tests {
         assert!(e.to_string().contains("dimension 2"));
         let e = KnMatchError::InvalidEpsilon { eps: -0.5 };
         assert!(e.to_string().contains("-0.5") && e.to_string().contains("epsilon"));
+        let e = KnMatchError::KeyNotFound { key: 42 };
+        assert!(e.to_string().contains("42"));
     }
 
     #[test]

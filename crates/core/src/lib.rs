@@ -68,6 +68,8 @@
 //!   point-id-sharded columns with an exact `(diff, pid)` merge;
 //! - [`stream`] — lazy ascending-difference answer iterator;
 //! - [`dynamic`] — insert/remove-capable index with stable keys;
+//! - [`versioned`] / [`VersionedIndex`] — epoch-versioned MVCC index:
+//!   delta + sealed runs + pinned snapshots, writers never block readers;
 //! - [`hybrid`] — mixed numeric/categorical/weighted schemas (footnote 1);
 //! - [`naive`] — full-scan reference algorithms;
 //! - [`knn`] / [`metrics`] — kNN baselines (L_p, Chebyshev, DPF);
@@ -107,6 +109,7 @@ pub mod skyline;
 pub mod source;
 pub mod stream;
 pub mod topk;
+pub mod versioned;
 
 pub use ad::{
     eps_n_match_ad, eps_n_match_ad_with, frequent_k_n_match_ad, frequent_k_n_match_ad_linear,
@@ -144,6 +147,10 @@ pub use sharded::{ShardedColumns, ShardedOutcome, ShardedQueryEngine};
 pub use skyline::skyline_wrt;
 pub use source::{SortedAccessSource, SortedEntry};
 pub use stream::NMatchStream;
+pub use versioned::{
+    EpochSnapshot, VersionStats, VersionWriter, VersionedEngine, VersionedIndex,
+    DEFAULT_MERGE_THRESHOLD,
+};
 
 impl FrequentResult {
     /// Whether `pid` is one of the ranked answers.

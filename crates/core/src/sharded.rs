@@ -390,8 +390,12 @@ fn offset_answer(answer: BatchAnswer, off: PointId) -> BatchAnswer {
 }
 
 /// Merges the per-shard outcomes of one query into the global answer plus
-/// the cost split.
-fn merge_shards(query: &BatchQuery, parts: Vec<(BatchAnswer, AdStats)>) -> ShardedOutcome {
+/// the cost split. Also used by the versioned index, whose sealed runs
+/// merge exactly like shards (keys play the role of global pids).
+pub(crate) fn merge_shards(
+    query: &BatchQuery,
+    parts: Vec<(BatchAnswer, AdStats)>,
+) -> ShardedOutcome {
     let per_shard: Vec<AdStats> = parts.iter().map(|(_, s)| *s).collect();
     let mut stats = AdStats::default();
     for s in &per_shard {

@@ -1,0 +1,1120 @@
+//! Epoch-versioned MVCC index: live ingestion served concurrently with
+//! queries (DESIGN.md §16).
+//!
+//! [`DynamicColumns`](crate::DynamicColumns) proved the ordered-insert
+//! column maintenance; this module promotes the idea to a proper
+//! multi-version index built from three pieces:
+//!
+//! - an in-memory **delta** of keyed rows, sorted by key, that receives
+//!   every insert and delete;
+//! - immutable **sealed runs** — each a [`SortedColumns`] built over a
+//!   key-sorted row block, plus a per-run tombstone list for points
+//!   deleted after sealing;
+//! - a monotonically increasing **epoch**, bumped by every logical
+//!   mutation.
+//!
+//! After each mutation the writer publishes an immutable
+//! [`EpochSnapshot`] view; readers pin one with
+//! [`VersionedIndex::snapshot`] (an `Arc` clone behind a briefly-held
+//! lock) and run the unchanged AD core against that frozen view for as
+//! long as they like. Writers never invalidate a pinned snapshot — they
+//! only publish newer ones — so **readers never block on writers** and a
+//! batch's answers are a pure function of the pinned epoch's live rows.
+//!
+//! ## Exactness across runs
+//!
+//! A query runs independently against every run and the results merge
+//! with the same exact `(diff, pid)` rule the sharded engine uses
+//! (DESIGN.md §9), with two twists:
+//!
+//! 1. **Keys are the global pids.** Every run is built with slot order =
+//!    ascending key order, so a run's local pid order is monotone in key
+//!    order and the per-run `(diff, local pid)` top-k equals the
+//!    `(diff, key)` top-k. Remapping local pids to keys therefore
+//!    preserves the canonical order and the cross-run merge stays exact
+//!    over the global key space.
+//! 2. **Tombstones inflate k.** A run with `t` tombstones answers a
+//!    k-n-match with `k' = min(run cardinality, k + t)`: the top-`k'`
+//!    entries minus at most `t` dead ones still contain the run's top-k
+//!    *live* points, so filtering tombstones after the per-run walk
+//!    loses nothing. Frequent queries inflate each per-n level the same
+//!    way; ε queries never truncate, so they only filter.
+//!
+//! ## Lifecycle
+//!
+//! The delta is rebuilt into a one-run [`SortedColumns`] on every
+//! mutation (cost `O(|delta| · d · log |delta|)`, bounded because the
+//! delta **auto-seals** into a run at `merge_threshold` rows). Sealing
+//! is O(1) — the freshly built delta run simply becomes immutable.
+//! [`VersionWriter::maintain`] compacts the run list (merging runs and
+//! dropping tombstoned rows) once it grows past the fanout or turns
+//! mostly dead; servers schedule it on their executor pools after
+//! writes. Compaction builds the merged run **outside** both locks and
+//! installs it only if the captured runs are still in place, folding in
+//! any tombstones that arrived mid-build — concurrent writers are never
+//! stalled by a merge, and a compacted view answers bit-identically to
+//! the uncompacted one at the same epoch.
+
+use std::sync::{Arc, Mutex, RwLock};
+
+use crate::ad::{validate_eps, validate_params, AdStats};
+use crate::columns::SortedColumns;
+use crate::engine::{
+    execute_batch_query, isolate_panic, note_outcome, run_batch, BatchAnswer, BatchEngine,
+    BatchOptions, BatchQuery,
+};
+use crate::error::{KnMatchError, Result};
+use crate::point::{validate_finite, Dataset, PointId};
+use crate::result::KnMatchResult;
+use crate::scratch::Scratch;
+use crate::sharded::{merge_shards, ShardedOutcome};
+
+/// Default number of delta rows that triggers an automatic seal.
+pub const DEFAULT_MERGE_THRESHOLD: usize = 1024;
+
+/// Sealed-run count past which [`VersionWriter::maintain`] compacts.
+const MAX_RUNS: usize = 8;
+
+/// A point-in-time summary of a versioned index, reported over the wire
+/// in `STATS` and by the `EPOCH` verb.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct VersionStats {
+    /// Version of the logical content; bumped by every insert/remove.
+    pub epoch: u64,
+    /// Live (non-tombstoned) points across the delta and all runs.
+    pub live: usize,
+    /// Rows currently in the unsealed delta.
+    pub delta_len: usize,
+    /// Sealed immutable runs.
+    pub runs: usize,
+    /// Tombstones across all sealed runs.
+    pub tombstones: usize,
+    /// Inserts accepted over the index lifetime.
+    pub inserts: u64,
+    /// Removes accepted over the index lifetime.
+    pub removes: u64,
+    /// Delta seals performed (explicit and automatic).
+    pub seals: u64,
+    /// Run compactions completed.
+    pub merges: u64,
+}
+
+/// The object-safe write surface of a versioned engine — what servers
+/// dispatch the `INSERT`/`DELETE`/`SEAL`/`EPOCH` verbs through (see
+/// [`BatchEngine::writer`]).
+pub trait VersionWriter: Sync {
+    /// Inserts (or updates) the point stored under `key`, returning the
+    /// new epoch.
+    ///
+    /// # Errors
+    ///
+    /// Rejects wrong-width or non-finite points; see [`KnMatchError`].
+    fn insert(&self, key: PointId, point: &[f64]) -> Result<u64>;
+
+    /// Removes the point stored under `key`, returning the new epoch.
+    ///
+    /// # Errors
+    ///
+    /// [`KnMatchError::KeyNotFound`] when `key` holds no live point.
+    fn remove(&self, key: PointId) -> Result<u64>;
+
+    /// Seals the current delta into an immutable run (a no-op on an
+    /// empty delta) and returns the current epoch.
+    ///
+    /// # Errors
+    ///
+    /// Infallible today; the `Result` keeps the wire surface uniform.
+    fn seal(&self) -> Result<u64>;
+
+    /// Whether [`VersionWriter::maintain`] would do work right now.
+    fn needs_maintenance(&self) -> bool;
+
+    /// Runs one maintenance step (compacting the run list) when due.
+    /// Returns whether a compaction was installed. Safe to call from a
+    /// background thread while reads and writes proceed.
+    ///
+    /// # Errors
+    ///
+    /// Propagates row-validation failures from the rebuild (unreachable
+    /// for rows that were accepted by [`VersionWriter::insert`]).
+    fn maintain(&self) -> Result<bool>;
+
+    /// The current epoch.
+    fn epoch(&self) -> u64;
+
+    /// Counters describing the index right now.
+    fn version_stats(&self) -> VersionStats;
+}
+
+/// A versioned engine: the mutation surface plus typed snapshot access.
+/// This is the API split the live-ingestion design rests on — queries
+/// run only against a [`Self::Snapshot`] (a frozen [`BatchEngine`]),
+/// never against the mutable index state itself.
+pub trait VersionedEngine: VersionWriter {
+    /// The frozen view queries run against.
+    type Snapshot: BatchEngine;
+
+    /// Pins the current epoch. The returned snapshot stays valid and
+    /// unchanged no matter how many writes land afterwards.
+    fn snapshot(&self) -> Self::Snapshot;
+}
+
+/// One immutable sealed run: rows in ascending key order, their sorted
+/// per-dimension columns, and the key list mapping local pids back to
+/// keys.
+#[derive(Debug)]
+struct SealedRun {
+    /// Keys in ascending order; index = the run-local pid.
+    keys: Vec<PointId>,
+    /// Row-major coordinates in the same order (kept for compaction and
+    /// oracle extraction).
+    coords: Vec<f64>,
+    /// The sorted-dimension organisation the AD core walks.
+    cols: SortedColumns,
+}
+
+impl SealedRun {
+    /// Builds a run from key-ascending rows. `keys` must be strictly
+    /// ascending and `coords.len() == keys.len() * dims`.
+    fn build(
+        keys: Vec<PointId>,
+        coords: Vec<f64>,
+        dims: usize,
+        workers: usize,
+    ) -> Result<Arc<Self>> {
+        debug_assert!(keys.windows(2).all(|w| w[0] < w[1]));
+        let mut ds = Dataset::with_capacity(dims, keys.len())?;
+        for row in coords.chunks_exact(dims) {
+            ds.push(row)?;
+        }
+        let cols = SortedColumns::build_with_workers(&ds, workers);
+        Ok(Arc::new(SealedRun { keys, coords, cols }))
+    }
+
+    fn len(&self) -> usize {
+        self.keys.len()
+    }
+}
+
+/// A run plus the tombstones that apply to it in one frozen view.
+#[derive(Debug, Clone)]
+struct SnapRun {
+    run: Arc<SealedRun>,
+    /// Keys deleted from this run, ascending. Empty for the delta run.
+    tombs: Arc<Vec<PointId>>,
+}
+
+impl SnapRun {
+    fn live(&self) -> usize {
+        self.run.len() - self.tombs.len()
+    }
+}
+
+/// The immutable payload behind one published epoch.
+#[derive(Debug)]
+struct ViewInner {
+    dims: usize,
+    epoch: u64,
+    live: usize,
+    runs: Vec<SnapRun>,
+}
+
+/// A frozen, queryable view of a [`VersionedIndex`] at one epoch.
+///
+/// Cloning is an `Arc` clone; every clone pins the same version. The
+/// snapshot implements [`BatchEngine`] with the sharded outcome type —
+/// each run behaves like a shard and per-run [`AdStats`] ride along.
+#[derive(Debug, Clone)]
+pub struct EpochSnapshot {
+    inner: Arc<ViewInner>,
+    workers: usize,
+}
+
+impl EpochSnapshot {
+    /// The epoch this snapshot pins.
+    pub fn epoch(&self) -> u64 {
+        self.inner.epoch
+    }
+
+    /// Live points visible in this snapshot.
+    pub fn live(&self) -> usize {
+        self.inner.live
+    }
+
+    /// Dimensionality of the indexed space.
+    pub fn dims(&self) -> usize {
+        self.inner.dims
+    }
+
+    /// Runs (sealed + delta) this snapshot reads.
+    pub fn run_count(&self) -> usize {
+        self.inner.runs.len()
+    }
+
+    /// Every live `(key, row)` in ascending key order — the from-scratch
+    /// rebuild oracle's input: building a [`SortedColumns`] over exactly
+    /// these rows and mapping its dense pids through the key list must
+    /// reproduce this snapshot's answers bit-identically.
+    pub fn live_rows(&self) -> Vec<(PointId, Vec<f64>)> {
+        let dims = self.inner.dims;
+        let mut rows: Vec<(PointId, Vec<f64>)> = Vec::with_capacity(self.inner.live);
+        for sr in &self.inner.runs {
+            for (i, &key) in sr.run.keys.iter().enumerate() {
+                if sr.tombs.binary_search(&key).is_err() {
+                    rows.push((key, sr.run.coords[i * dims..(i + 1) * dims].to_vec()));
+                }
+            }
+        }
+        rows.sort_unstable_by_key(|&(key, _)| key);
+        rows
+    }
+
+    fn validate(&self, query: &BatchQuery) -> Result<()> {
+        let d = self.inner.dims;
+        let c = self.inner.live;
+        match query {
+            BatchQuery::KnMatch { query, k, n } => validate_params(query, d, c, *k, *n, *n),
+            BatchQuery::Frequent { query, k, n0, n1 } => validate_params(query, d, c, *k, *n0, *n1),
+            BatchQuery::EpsMatch { query, eps, n } => {
+                validate_params(query, d, c, 1, *n, *n)?;
+                validate_eps(*eps)
+            }
+        }
+    }
+
+    /// Runs `query` against run `ri` with `k` inflated by the run's
+    /// tombstone count, then remaps local pids to keys and filters the
+    /// dead entries — the per-run half of the exactness argument above.
+    fn run_run(
+        &self,
+        query: &BatchQuery,
+        ri: usize,
+        scratch: &mut Scratch,
+    ) -> Result<(BatchAnswer, AdStats)> {
+        let sr = &self.inner.runs[ri];
+        let card = sr.run.len();
+        let t = sr.tombs.len();
+        let local = match query {
+            BatchQuery::KnMatch { query, k, n } => BatchQuery::KnMatch {
+                query: query.clone(),
+                k: (k + t).min(card),
+                n: *n,
+            },
+            BatchQuery::Frequent { query, k, n0, n1 } => BatchQuery::Frequent {
+                query: query.clone(),
+                k: (k + t).min(card),
+                n0: *n0,
+                n1: *n1,
+            },
+            BatchQuery::EpsMatch { .. } => query.clone(),
+        };
+        isolate_panic(|| {
+            let mut view: &SortedColumns = &sr.run.cols;
+            let (answer, stats) = execute_batch_query(&mut view, &local, scratch)?;
+            Ok((globalise(answer, sr, query), stats))
+        })
+    }
+}
+
+/// Remaps a per-run answer's local pids to keys, drops tombstoned
+/// entries and re-truncates k-bounded lists to the caller's `k`.
+/// Key remapping is monotone (keys ascend with local pid), so the
+/// canonical `(diff, pid)` order survives untouched.
+fn globalise(answer: BatchAnswer, sr: &SnapRun, query: &BatchQuery) -> BatchAnswer {
+    let remap = |r: &mut KnMatchResult, truncate: Option<usize>| {
+        for e in &mut r.entries {
+            e.pid = sr.run.keys[e.pid as usize];
+        }
+        if !sr.tombs.is_empty() {
+            r.entries
+                .retain(|e| sr.tombs.binary_search(&e.pid).is_err());
+        }
+        if let Some(k) = truncate {
+            r.entries.truncate(k);
+        }
+    };
+    match answer {
+        BatchAnswer::KnMatch(mut r) => {
+            let k = match query {
+                BatchQuery::KnMatch { k, .. } => Some(*k),
+                _ => None,
+            };
+            remap(&mut r, k);
+            BatchAnswer::KnMatch(r)
+        }
+        BatchAnswer::EpsMatch(mut r) => {
+            remap(&mut r, None);
+            BatchAnswer::EpsMatch(r)
+        }
+        BatchAnswer::Frequent(mut f) => {
+            let k = match query {
+                BatchQuery::Frequent { k, .. } => Some(*k),
+                _ => None,
+            };
+            for lvl in &mut f.per_n {
+                remap(lvl, k);
+            }
+            // The ranked entries are recomputed by the cross-run merge
+            // from the per-n sets; a per-run ranking is meaningless.
+            f.entries.clear();
+            BatchAnswer::Frequent(f)
+        }
+    }
+}
+
+impl BatchEngine for EpochSnapshot {
+    type Outcome = ShardedOutcome;
+
+    fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Runs the batch against this frozen view: every `(query, run)`
+    /// pair is an independent task on the claim-chunk pool, and per-run
+    /// answers merge with the exact `(diff, key)` rule.
+    fn run_with(&self, queries: &[BatchQuery], opts: &BatchOptions) -> Vec<Result<ShardedOutcome>> {
+        let r_count = self.inner.runs.len();
+        let validity: Vec<Result<()>> = queries.iter().map(|q| self.validate(q)).collect();
+        let mut tasks = Vec::new();
+        for (qi, v) in validity.iter().enumerate() {
+            if v.is_ok() {
+                tasks.extend((0..r_count).map(|r| (qi, r)));
+            }
+        }
+        let control = opts.arm();
+        let outs = run_batch(
+            self.workers,
+            tasks.len(),
+            || control.scratch(),
+            |scratch, t| {
+                let (qi, r) = tasks[t];
+                let out = self.run_run(&queries[qi], r, scratch);
+                note_outcome(&control, &out);
+                out
+            },
+        );
+        let mut outs = outs.into_iter();
+        validity
+            .into_iter()
+            .enumerate()
+            .map(|(qi, v)| {
+                v.and_then(|()| {
+                    let mut parts = Vec::with_capacity(r_count);
+                    let mut first_err = None;
+                    for part in outs.by_ref().take(r_count) {
+                        match part {
+                            Ok(x) => parts.push(x),
+                            Err(e) => {
+                                first_err.get_or_insert(e);
+                            }
+                        }
+                    }
+                    match first_err {
+                        Some(e) => Err(e),
+                        None => Ok(merge_shards(&queries[qi], parts)),
+                    }
+                })
+            })
+            .collect()
+    }
+}
+
+/// Mutable writer-side state, guarded by one mutex. Holding it never
+/// blocks readers — they only touch the published view.
+#[derive(Debug)]
+struct WriterState {
+    epoch: u64,
+    /// Delta keys, ascending.
+    delta_keys: Vec<PointId>,
+    /// Delta rows, row-major, parallel to `delta_keys`.
+    delta_coords: Vec<f64>,
+    /// Sealed runs, oldest first.
+    runs: Vec<SnapRun>,
+    inserts: u64,
+    removes: u64,
+    seals: u64,
+    merges: u64,
+}
+
+impl WriterState {
+    fn delta_len(&self) -> usize {
+        self.delta_keys.len()
+    }
+
+    fn live(&self) -> usize {
+        self.delta_len() + self.runs.iter().map(SnapRun::live).sum::<usize>()
+    }
+
+    fn tombstones(&self) -> usize {
+        self.runs.iter().map(|r| r.tombs.len()).sum()
+    }
+
+    /// Whether `key` is live in some sealed run; returns the run index.
+    fn find_in_runs(&self, key: PointId) -> Option<usize> {
+        self.runs.iter().position(|sr| {
+            sr.run.keys.binary_search(&key).is_ok() && sr.tombs.binary_search(&key).is_err()
+        })
+    }
+
+    /// Adds `key` to run `ri`'s tombstones (clone-on-write: pinned
+    /// snapshots keep the old list).
+    fn tombstone(&mut self, ri: usize, key: PointId) {
+        let mut tombs: Vec<PointId> = self.runs[ri].tombs.as_ref().clone();
+        let pos = tombs.binary_search(&key).unwrap_err();
+        tombs.insert(pos, key);
+        self.runs[ri].tombs = Arc::new(tombs);
+    }
+}
+
+/// The epoch-versioned MVCC index: delta + sealed runs + published
+/// snapshots. All methods take `&self`; writes serialise on an internal
+/// mutex while readers pin immutable [`EpochSnapshot`]s.
+///
+/// # Examples
+///
+/// ```
+/// use knmatch_core::{
+///     BatchEngine, BatchOutcome, BatchQuery, VersionWriter, VersionedEngine, VersionedIndex,
+/// };
+///
+/// let idx = VersionedIndex::new(2, 1, 4).unwrap();
+/// for (key, row) in [(10, [0.1, 0.9]), (20, [0.5, 0.4]), (30, [0.9, 0.2])] {
+///     idx.insert(key, &row).unwrap();
+/// }
+/// let pinned = idx.snapshot();
+/// idx.remove(20).unwrap();
+/// // The pinned snapshot still sees key 20; a fresh one does not.
+/// assert_eq!(pinned.live(), 3);
+/// assert_eq!(idx.snapshot().live(), 2);
+/// let q = BatchQuery::KnMatch { query: vec![0.5, 0.5], k: 1, n: 2 };
+/// let got = pinned.run(&[q]).remove(0).unwrap();
+/// let knmatch_core::BatchAnswer::KnMatch(r) = got.answer() else { unreachable!() };
+/// assert_eq!(r.ids(), vec![20]);
+/// ```
+#[derive(Debug)]
+pub struct VersionedIndex {
+    dims: usize,
+    workers: usize,
+    merge_threshold: usize,
+    writer: Mutex<WriterState>,
+    published: RwLock<Arc<ViewInner>>,
+}
+
+impl VersionedIndex {
+    /// An empty index over `dims` dimensions. `workers` drives both
+    /// snapshot query parallelism and run builds; `merge_threshold` (≥ 1,
+    /// see [`DEFAULT_MERGE_THRESHOLD`]) bounds the delta before it
+    /// auto-seals.
+    ///
+    /// # Errors
+    ///
+    /// [`KnMatchError::ZeroDimensions`] when `dims == 0`.
+    pub fn new(dims: usize, workers: usize, merge_threshold: usize) -> Result<Self> {
+        if dims == 0 {
+            return Err(KnMatchError::ZeroDimensions);
+        }
+        let state = WriterState {
+            epoch: 0,
+            delta_keys: Vec::new(),
+            delta_coords: Vec::new(),
+            runs: Vec::new(),
+            inserts: 0,
+            removes: 0,
+            seals: 0,
+            merges: 0,
+        };
+        let view = Arc::new(ViewInner {
+            dims,
+            epoch: 0,
+            live: 0,
+            runs: Vec::new(),
+        });
+        Ok(VersionedIndex {
+            dims,
+            workers: workers.max(1),
+            merge_threshold: merge_threshold.max(1),
+            writer: Mutex::new(state),
+            published: RwLock::new(view),
+        })
+    }
+
+    /// Seeds an index from a dataset as one sealed run, with keys equal
+    /// to the dataset's pids — a served static file becomes epoch 0 of a
+    /// live index.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`VersionedIndex::new`] validation; the dataset may be
+    /// empty (the index simply starts with no runs).
+    pub fn from_dataset(ds: &Dataset, workers: usize, merge_threshold: usize) -> Result<Self> {
+        let idx = Self::new(ds.dims(), workers, merge_threshold)?;
+        if !ds.is_empty() {
+            let keys: Vec<PointId> = (0..ds.len() as PointId).collect();
+            let run = SealedRun::build(keys, ds.as_flat().to_vec(), ds.dims(), idx.workers)?;
+            {
+                let mut w = idx.lock_writer();
+                w.runs.push(SnapRun {
+                    run,
+                    tombs: Arc::new(Vec::new()),
+                });
+                idx.publish(&w);
+            }
+        }
+        Ok(idx)
+    }
+
+    /// Dimensionality of the indexed space.
+    pub fn dims(&self) -> usize {
+        self.dims
+    }
+
+    /// Live points in the current epoch.
+    pub fn live(&self) -> usize {
+        self.published.read().expect("published lock poisoned").live
+    }
+
+    /// The delta size that triggers an automatic seal.
+    pub fn merge_threshold(&self) -> usize {
+        self.merge_threshold
+    }
+
+    fn lock_writer(&self) -> std::sync::MutexGuard<'_, WriterState> {
+        self.writer.lock().expect("writer lock poisoned")
+    }
+
+    /// Builds and publishes the view for the writer's current state.
+    /// Only the delta run is (re)built; sealed runs are shared by `Arc`.
+    fn publish(&self, w: &WriterState) {
+        let mut runs: Vec<SnapRun> = w.runs.clone();
+        if !w.delta_keys.is_empty() {
+            let run = SealedRun::build(
+                w.delta_keys.clone(),
+                w.delta_coords.clone(),
+                self.dims,
+                self.workers,
+            )
+            .expect("delta rows were validated on insert");
+            runs.push(SnapRun {
+                run,
+                tombs: Arc::new(Vec::new()),
+            });
+        }
+        let live = runs.iter().map(SnapRun::live).sum();
+        let view = Arc::new(ViewInner {
+            dims: self.dims,
+            epoch: w.epoch,
+            live,
+            runs,
+        });
+        *self.published.write().expect("published lock poisoned") = view;
+    }
+
+    /// Moves the delta into a sealed run. O(1): the published view has
+    /// already built the delta's columns; this rebuilds them once more
+    /// only because the writer keeps raw rows (cheap relative to the
+    /// mutation that filled the delta).
+    fn seal_locked(&self, w: &mut WriterState) -> Result<()> {
+        if w.delta_keys.is_empty() {
+            return Ok(());
+        }
+        let keys = std::mem::take(&mut w.delta_keys);
+        let coords = std::mem::take(&mut w.delta_coords);
+        let run = SealedRun::build(keys, coords, self.dims, self.workers)?;
+        w.runs.push(SnapRun {
+            run,
+            tombs: Arc::new(Vec::new()),
+        });
+        w.seals += 1;
+        Ok(())
+    }
+
+    /// One compaction pass: merge every sealed run into a single run,
+    /// dropping tombstoned rows. The expensive rebuild happens outside
+    /// both locks; installation re-checks that the captured runs are
+    /// still current and folds in tombstones that landed mid-build.
+    fn compact(&self) -> Result<bool> {
+        // Capture the sealed runs under the lock, then let writers go.
+        let captured: Vec<SnapRun> = {
+            let w = self.lock_writer();
+            if w.runs.len() <= 1 && w.tombstones() == 0 {
+                return Ok(false);
+            }
+            w.runs.clone()
+        };
+        let dims = self.dims;
+        let mut rows: Vec<(PointId, usize, usize)> = Vec::new(); // (key, run, slot)
+        for (ri, sr) in captured.iter().enumerate() {
+            for (i, &key) in sr.run.keys.iter().enumerate() {
+                if sr.tombs.binary_search(&key).is_err() {
+                    rows.push((key, ri, i));
+                }
+            }
+        }
+        rows.sort_unstable_by_key(|&(key, _, _)| key);
+        let mut keys = Vec::with_capacity(rows.len());
+        let mut coords = Vec::with_capacity(rows.len() * dims);
+        for (key, ri, i) in rows {
+            keys.push(key);
+            coords.extend_from_slice(&captured[ri].run.coords[i * dims..(i + 1) * dims]);
+        }
+        let merged = if keys.is_empty() {
+            None
+        } else {
+            Some(SealedRun::build(keys, coords, dims, self.workers)?)
+        };
+
+        let mut w = self.lock_writer();
+        // Writers only append runs and swap tombstone lists, so the
+        // captured runs are current iff the prefix still holds the same
+        // sealed blocks (tombstones may differ — folded in below).
+        if w.runs.len() < captured.len()
+            || !captured
+                .iter()
+                .zip(&w.runs)
+                .all(|(a, b)| Arc::ptr_eq(&a.run, &b.run))
+        {
+            return Ok(false); // racing compactions; the next pass retries
+        }
+        let mut tombs: Vec<PointId> = Vec::new();
+        if let Some(merged) = &merged {
+            for (cap, cur) in captured.iter().zip(&w.runs) {
+                for &key in cur.tombs.iter() {
+                    // Tombstones added after capture refer to rows the
+                    // merge included live; carry them over.
+                    if cap.tombs.binary_search(&key).is_err()
+                        && merged.keys.binary_search(&key).is_ok()
+                    {
+                        tombs.push(key);
+                    }
+                }
+            }
+            tombs.sort_unstable();
+        }
+        let tail: Vec<SnapRun> = w.runs[captured.len()..].to_vec();
+        w.runs = match merged {
+            Some(run) => {
+                let mut v = vec![SnapRun {
+                    run,
+                    tombs: Arc::new(tombs),
+                }];
+                v.extend(tail);
+                v
+            }
+            None => tail,
+        };
+        w.merges += 1;
+        self.publish(&w);
+        Ok(true)
+    }
+
+    fn stats_locked(w: &WriterState) -> VersionStats {
+        VersionStats {
+            epoch: w.epoch,
+            live: w.live(),
+            delta_len: w.delta_len(),
+            runs: w.runs.len(),
+            tombstones: w.tombstones(),
+            inserts: w.inserts,
+            removes: w.removes,
+            seals: w.seals,
+            merges: w.merges,
+        }
+    }
+}
+
+impl VersionWriter for VersionedIndex {
+    fn insert(&self, key: PointId, point: &[f64]) -> Result<u64> {
+        if point.len() != self.dims {
+            return Err(KnMatchError::DimensionMismatch {
+                expected: self.dims,
+                actual: point.len(),
+            });
+        }
+        validate_finite(point)?;
+        let mut w = self.lock_writer();
+        match w.delta_keys.binary_search(&key) {
+            Ok(i) => {
+                // Re-insert inside the delta: overwrite in place.
+                w.delta_coords[i * self.dims..(i + 1) * self.dims].copy_from_slice(point);
+            }
+            Err(i) => {
+                // Updating a sealed key tombstones the old version.
+                if let Some(ri) = w.find_in_runs(key) {
+                    w.tombstone(ri, key);
+                }
+                w.delta_keys.insert(i, key);
+                let at = i * self.dims;
+                w.delta_coords.splice(at..at, point.iter().copied());
+            }
+        }
+        w.epoch += 1;
+        w.inserts += 1;
+        if w.delta_len() >= self.merge_threshold {
+            self.seal_locked(&mut w)?;
+        }
+        self.publish(&w);
+        Ok(w.epoch)
+    }
+
+    fn remove(&self, key: PointId) -> Result<u64> {
+        let mut w = self.lock_writer();
+        if let Ok(i) = w.delta_keys.binary_search(&key) {
+            w.delta_keys.remove(i);
+            let at = i * self.dims;
+            w.delta_coords.drain(at..at + self.dims);
+        } else if let Some(ri) = w.find_in_runs(key) {
+            w.tombstone(ri, key);
+        } else {
+            return Err(KnMatchError::KeyNotFound { key });
+        }
+        w.epoch += 1;
+        w.removes += 1;
+        self.publish(&w);
+        Ok(w.epoch)
+    }
+
+    fn seal(&self) -> Result<u64> {
+        let mut w = self.lock_writer();
+        let had_delta = !w.delta_keys.is_empty();
+        self.seal_locked(&mut w)?;
+        if had_delta {
+            self.publish(&w);
+        }
+        Ok(w.epoch)
+    }
+
+    fn needs_maintenance(&self) -> bool {
+        let w = self.lock_writer();
+        let sealed: usize = w.runs.iter().map(|r| r.run.len()).sum();
+        w.runs.len() > MAX_RUNS
+            || (w.runs.len() > 1 && w.tombstones() * 2 > sealed)
+            || (w.runs.len() == 1 && w.tombstones() * 2 > sealed && sealed > 0)
+    }
+
+    fn maintain(&self) -> Result<bool> {
+        if !self.needs_maintenance() {
+            return Ok(false);
+        }
+        self.compact()
+    }
+
+    fn epoch(&self) -> u64 {
+        self.lock_writer().epoch
+    }
+
+    fn version_stats(&self) -> VersionStats {
+        Self::stats_locked(&self.lock_writer())
+    }
+}
+
+impl VersionedEngine for VersionedIndex {
+    type Snapshot = EpochSnapshot;
+
+    fn snapshot(&self) -> EpochSnapshot {
+        let inner = self
+            .published
+            .read()
+            .expect("published lock poisoned")
+            .clone();
+        EpochSnapshot {
+            inner,
+            workers: self.workers,
+        }
+    }
+}
+
+impl BatchEngine for VersionedIndex {
+    type Outcome = ShardedOutcome;
+
+    fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Pins the current epoch and runs the whole batch against it — one
+    /// batch never observes a torn mix of versions.
+    fn run_with(&self, queries: &[BatchQuery], opts: &BatchOptions) -> Vec<Result<ShardedOutcome>> {
+        self.snapshot().run_with(queries, opts)
+    }
+
+    fn writer(&self) -> Option<&dyn VersionWriter> {
+        Some(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ad::{eps_n_match_ad, frequent_k_n_match_ad, k_n_match_ad};
+    use crate::engine::BatchOutcome;
+
+    fn rows4() -> Vec<(PointId, Vec<f64>)> {
+        vec![
+            (10, vec![0.4, 1.0, 1.0]),
+            (20, vec![2.8, 5.5, 2.0]),
+            (30, vec![6.5, 7.8, 5.0]),
+            (40, vec![9.0, 9.0, 9.0]),
+            (50, vec![3.5, 1.5, 8.0]),
+        ]
+    }
+
+    fn filled(threshold: usize) -> VersionedIndex {
+        let idx = VersionedIndex::new(3, 2, threshold).unwrap();
+        for (key, row) in rows4() {
+            idx.insert(key, &row).unwrap();
+        }
+        idx
+    }
+
+    /// Answers from the snapshot must equal a from-scratch build over its
+    /// live rows, with oracle pids mapped through the key list.
+    fn assert_matches_oracle(snap: &EpochSnapshot, queries: &[BatchQuery]) {
+        let rows = snap.live_rows();
+        if rows.is_empty() {
+            return;
+        }
+        let keys: Vec<PointId> = rows.iter().map(|&(k, _)| k).collect();
+        let data: Vec<Vec<f64>> = rows.into_iter().map(|(_, r)| r).collect();
+        let mut cols = SortedColumns::from_rows(&data).unwrap();
+        let outs = snap.run(queries);
+        for (q, out) in queries.iter().zip(outs) {
+            let got = out.unwrap().into_answer();
+            let want = match q {
+                BatchQuery::KnMatch { query, k, n } => {
+                    BatchAnswer::KnMatch(k_n_match_ad(&mut cols, query, *k, *n).unwrap().0)
+                }
+                BatchQuery::Frequent { query, k, n0, n1 } => BatchAnswer::Frequent(
+                    frequent_k_n_match_ad(&mut cols, query, *k, *n0, *n1)
+                        .unwrap()
+                        .0,
+                ),
+                BatchQuery::EpsMatch { query, eps, n } => {
+                    BatchAnswer::EpsMatch(eps_n_match_ad(&mut cols, query, *eps, *n).unwrap().0)
+                }
+            };
+            assert_eq!(got, remap_oracle(want, &keys), "query {q:?}");
+        }
+    }
+
+    /// Maps an oracle answer's dense pids onto keys. The map is monotone,
+    /// so entry order is untouched.
+    fn remap_oracle(a: BatchAnswer, keys: &[PointId]) -> BatchAnswer {
+        let map = |r: &mut KnMatchResult| {
+            for e in &mut r.entries {
+                e.pid = keys[e.pid as usize];
+            }
+        };
+        match a {
+            BatchAnswer::KnMatch(mut r) => {
+                map(&mut r);
+                BatchAnswer::KnMatch(r)
+            }
+            BatchAnswer::EpsMatch(mut r) => {
+                map(&mut r);
+                BatchAnswer::EpsMatch(r)
+            }
+            BatchAnswer::Frequent(mut f) => {
+                for lvl in &mut f.per_n {
+                    map(lvl);
+                }
+                for e in &mut f.entries {
+                    e.pid = keys[e.pid as usize];
+                }
+                BatchAnswer::Frequent(f)
+            }
+        }
+    }
+
+    fn sample_queries() -> Vec<BatchQuery> {
+        vec![
+            BatchQuery::KnMatch {
+                query: vec![3.0, 7.0, 4.0],
+                k: 2,
+                n: 2,
+            },
+            BatchQuery::Frequent {
+                query: vec![3.0, 7.0, 4.0],
+                k: 2,
+                n0: 1,
+                n1: 3,
+            },
+            BatchQuery::EpsMatch {
+                query: vec![3.0, 7.0, 4.0],
+                eps: 1.6,
+                n: 2,
+            },
+        ]
+    }
+
+    #[test]
+    fn insert_then_query_matches_oracle() {
+        for threshold in [1, 2, 100] {
+            let idx = filled(threshold);
+            assert_eq!(idx.live(), 5);
+            assert_matches_oracle(&idx.snapshot(), &sample_queries());
+        }
+    }
+
+    #[test]
+    fn pinned_snapshot_survives_writes_and_compaction() {
+        let idx = filled(2);
+        let pinned = idx.snapshot();
+        let epoch = pinned.epoch();
+        idx.remove(30).unwrap();
+        idx.insert(60, &[1.0, 2.0, 3.0]).unwrap();
+        idx.insert(10, &[5.0, 5.0, 5.0]).unwrap(); // update
+        while idx.compact().unwrap() {}
+        assert_eq!(pinned.epoch(), epoch);
+        assert_eq!(pinned.live(), 5);
+        assert_matches_oracle(&pinned, &sample_queries());
+        let fresh = idx.snapshot();
+        assert_eq!(fresh.live(), 5); // -30, +60
+        assert_matches_oracle(&fresh, &sample_queries());
+    }
+
+    #[test]
+    fn removes_and_tombstones_stay_exact() {
+        let idx = filled(2); // small threshold: rows land in sealed runs
+        idx.remove(20).unwrap();
+        idx.remove(50).unwrap();
+        let snap = idx.snapshot();
+        assert_eq!(snap.live(), 3);
+        assert_matches_oracle(&snap, &sample_queries());
+        // k can now reference the smaller live set only.
+        let q = BatchQuery::KnMatch {
+            query: vec![0.0, 0.0, 0.0],
+            k: 4,
+            n: 1,
+        };
+        assert!(matches!(
+            snap.run(&[q]).remove(0).unwrap_err(),
+            KnMatchError::InvalidK { cardinality: 3, .. }
+        ));
+    }
+
+    #[test]
+    fn updates_reroute_answers() {
+        let idx = filled(2);
+        // Move key 40 on top of the query point; it must dominate.
+        idx.insert(40, &[3.0, 7.0, 4.0]).unwrap();
+        let snap = idx.snapshot();
+        let q = BatchQuery::KnMatch {
+            query: vec![3.0, 7.0, 4.0],
+            k: 1,
+            n: 3,
+        };
+        let out = snap.run(std::slice::from_ref(&q)).remove(0).unwrap();
+        let BatchAnswer::KnMatch(answer) = out.into_answer() else {
+            panic!("kn query must yield a kn answer");
+        };
+        assert_eq!(answer.ids(), vec![40]);
+        assert_eq!(answer.epsilon(), 0.0);
+        assert_matches_oracle(&snap, &[q]);
+    }
+
+    #[test]
+    fn seal_and_compaction_preserve_the_epoch_answers() {
+        let idx = filled(100); // everything still in the delta
+        let before = idx.snapshot();
+        idx.seal().unwrap();
+        let sealed = idx.snapshot();
+        assert_eq!(before.epoch(), sealed.epoch());
+        let queries = sample_queries();
+        let a = before.run(&queries);
+        let b = sealed.run(&queries);
+        for (x, y) in a.into_iter().zip(b) {
+            assert_eq!(x.unwrap().answer(), y.unwrap().answer());
+        }
+        // Compaction after deletes keeps answers identical too.
+        idx.remove(40).unwrap();
+        let pre = idx.snapshot();
+        assert!(idx.compact().unwrap());
+        let post = idx.snapshot();
+        assert_eq!(pre.epoch(), post.epoch());
+        let a = pre.run(&queries);
+        let b = post.run(&queries);
+        for (x, y) in a.into_iter().zip(b) {
+            assert_eq!(x.unwrap().answer(), y.unwrap().answer());
+        }
+        assert_eq!(post.run_count(), 1);
+        assert_eq!(idx.version_stats().tombstones, 0);
+    }
+
+    #[test]
+    fn from_dataset_seeds_identity_keys() {
+        let ds = crate::paper::fig3_dataset();
+        let idx = VersionedIndex::from_dataset(&ds, 2, 4).unwrap();
+        assert_eq!(idx.live(), 5);
+        assert_eq!(idx.epoch(), 0);
+        let snap = idx.snapshot();
+        assert_matches_oracle(&snap, &sample_queries());
+        // Key space continues past the seed.
+        idx.insert(5, &[1.0, 1.0, 1.0]).unwrap();
+        idx.remove(0).unwrap();
+        assert_matches_oracle(&idx.snapshot(), &sample_queries());
+    }
+
+    #[test]
+    fn auto_seal_and_maintenance_counters() {
+        let idx = filled(2);
+        let stats = idx.version_stats();
+        assert_eq!(stats.inserts, 5);
+        assert!(stats.seals >= 2, "threshold 2 must have auto-sealed");
+        assert!(stats.delta_len < 2);
+        // Deleting most sealed rows makes maintenance due.
+        idx.remove(10).unwrap();
+        idx.remove(20).unwrap();
+        idx.remove(30).unwrap();
+        assert!(idx.needs_maintenance());
+        assert!(idx.maintain().unwrap());
+        let after = idx.version_stats();
+        assert_eq!(after.merges, 1);
+        assert_eq!(after.tombstones, 0);
+        assert_eq!(after.live, 2);
+        assert_matches_oracle(&idx.snapshot(), &sample_queries());
+    }
+
+    #[test]
+    fn errors() {
+        assert!(matches!(
+            VersionedIndex::new(0, 1, 4).unwrap_err(),
+            KnMatchError::ZeroDimensions
+        ));
+        let idx = VersionedIndex::new(2, 1, 4).unwrap();
+        assert!(matches!(
+            idx.insert(1, &[1.0]).unwrap_err(),
+            KnMatchError::DimensionMismatch { .. }
+        ));
+        assert!(matches!(
+            idx.insert(1, &[1.0, f64::NAN]).unwrap_err(),
+            KnMatchError::NonFiniteValue { dim: 1 }
+        ));
+        assert!(matches!(
+            idx.remove(7).unwrap_err(),
+            KnMatchError::KeyNotFound { key: 7 }
+        ));
+        // Empty index: queries fail validation, not execution.
+        let q = BatchQuery::KnMatch {
+            query: vec![0.0, 0.0],
+            k: 1,
+            n: 1,
+        };
+        assert!(matches!(
+            idx.snapshot().run(&[q]).remove(0).unwrap_err(),
+            KnMatchError::EmptyDataset
+        ));
+        // Removing the last row returns to the empty state cleanly.
+        idx.insert(3, &[0.5, 0.5]).unwrap();
+        idx.remove(3).unwrap();
+        assert_eq!(idx.live(), 0);
+    }
+
+    #[test]
+    fn writer_hook_exposes_the_mutation_surface() {
+        let idx = filled(4);
+        let w = BatchEngine::writer(&idx).expect("versioned index is writable");
+        let before = w.epoch();
+        w.insert(99, &[1.0, 2.0, 3.0]).unwrap();
+        assert_eq!(w.epoch(), before + 1);
+        assert_eq!(w.version_stats().live, 6);
+    }
+}

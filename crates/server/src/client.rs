@@ -19,8 +19,8 @@ use knmatch_data::rng::Rng64;
 
 use crate::protocol::{
     decode_response_frame, encode_batch_frame, encode_request_frame, format_query, parse_response,
-    retry_after_ms, ErrorKind, ProtoError, Request, Response, ServerExtras, StatsSnapshot,
-    FRAME_HEADER_LEN, FRAME_MAGIC, MAX_FRAME,
+    render_coords, retry_after_ms, ErrorKind, ProtoError, Request, Response, ServerExtras,
+    StatsSnapshot, VersionCounters, FRAME_HEADER_LEN, FRAME_MAGIC, MAX_FRAME,
 };
 
 /// A failure reported by the server for one query (`ERR` line), as
@@ -87,6 +87,106 @@ pub struct BatchReply {
     pub ok: u64,
     /// The `DONE` trailer's failure count.
     pub failed: u64,
+}
+
+/// The complete `STATS` reply, one field per optional counter group.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StatsReport {
+    /// This connection's counters.
+    pub conn: StatsSnapshot,
+    /// Server-lifetime counters.
+    pub server: StatsSnapshot,
+    /// Server-lifetime plan-choice counters, present when the served
+    /// engine has a cost-based planner.
+    pub plans: Option<PlanTally>,
+    /// Reactor and robustness counters, present on servers that track
+    /// them.
+    pub extras: Option<ServerExtras>,
+    /// Version counters, present when the served engine is mutable.
+    pub version: Option<VersionCounters>,
+}
+
+/// The `OK EPOCH` reply: a point-in-time view of a mutable engine's
+/// version state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EpochInfo {
+    /// Current epoch (bumped by every publishing write).
+    pub epoch: u64,
+    /// Live points at that epoch.
+    pub live: u64,
+    /// Rows in the unsealed write delta.
+    pub delta: u64,
+    /// Sealed immutable runs.
+    pub runs: u64,
+}
+
+/// Every per-request knob the clients expose, in one struct: what used
+/// to be scattered across [`Client::set_binary`] /
+/// [`Client::set_deadline_ms`] / [`Client::set_fail_fast`] /
+/// [`Client::set_planner`], the `run_batch` / `run_pipelined` split,
+/// and [`RetryingClient`]'s policy. [`Client::run`] and the one-call
+/// [`run_with_options`] consume it; the older methods remain as thin
+/// wrappers over specific corners of this struct.
+///
+/// Every field defaults to `None` — "leave the connection as it is, run
+/// one plain batch, don't retry".
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct RequestOptions {
+    /// `Some(on)` switches the request encoding before running;
+    /// `None` keeps the connection's current setting.
+    pub binary: Option<bool>,
+    /// `Some(depth)` submits individually pipelined requests with at
+    /// most `depth` in flight; `None` submits one `BATCH`.
+    pub pipeline: Option<usize>,
+    /// `Some(ms)` sets the per-query deadline first (0 clears it).
+    pub deadline_ms: Option<u64>,
+    /// `Some(on)` toggles fail-fast for the batch first.
+    pub fail_fast: Option<bool>,
+    /// `Some(mode)` sets the planner route first.
+    pub planner: Option<PlannerMode>,
+    /// `Some(policy)` rides out transient faults by reconnecting,
+    /// backing off and resending. Honoured by [`run_with_options`] and
+    /// [`RetryingClient`]; a lone [`Client::run`] cannot reconnect and
+    /// ignores it.
+    pub retry: Option<RetryPolicy>,
+}
+
+impl RequestOptions {
+    /// Sets the request encoding.
+    pub fn binary(mut self, on: bool) -> Self {
+        self.binary = Some(on);
+        self
+    }
+
+    /// Pipelines individual requests with at most `depth` in flight.
+    pub fn pipeline(mut self, depth: usize) -> Self {
+        self.pipeline = Some(depth);
+        self
+    }
+
+    /// Sets the per-query deadline (0 clears it).
+    pub fn deadline_ms(mut self, ms: u64) -> Self {
+        self.deadline_ms = Some(ms);
+        self
+    }
+
+    /// Toggles batch fail-fast.
+    pub fn fail_fast(mut self, on: bool) -> Self {
+        self.fail_fast = Some(on);
+        self
+    }
+
+    /// Sets the planner route.
+    pub fn planner(mut self, mode: PlannerMode) -> Self {
+        self.planner = Some(mode);
+        self
+    }
+
+    /// Retries transient faults under `policy`.
+    pub fn retry(mut self, policy: RetryPolicy) -> Self {
+        self.retry = Some(policy);
+        self
+    }
 }
 
 /// One connection to a `knmatch serve` process.
@@ -156,6 +256,14 @@ impl Client {
             Request::Ping => "PING".into(),
             Request::Quit => "QUIT".into(),
             Request::Shutdown => "SHUTDOWN".into(),
+            Request::Insert { key, point } => {
+                let mut line = format!("INSERT {key} ");
+                render_coords(&mut line, point);
+                line
+            }
+            Request::Delete(key) => format!("DELETE {key}"),
+            Request::Epoch => "EPOCH".into(),
+            Request::Seal => "SEAL".into(),
         };
         self.send_line(&line)
     }
@@ -290,18 +398,43 @@ impl Client {
         }
     }
 
-    /// Runs `queries` as individually pipelined requests with at most
-    /// `depth` in flight, returning the per-query results in submission
-    /// order (the servers guarantee response order, see DESIGN.md §13).
+    /// Runs `queries` with every knob drawn from `opts`: applies the
+    /// connection-scoped options it carries (binary framing, deadline,
+    /// fail-fast, planner — each only when `Some`), then submits the
+    /// whole slice — as one `BATCH` by default, or as individually
+    /// pipelined requests when [`RequestOptions::pipeline`] is set (the
+    /// servers guarantee response order, see DESIGN.md §13; the
+    /// pipelined path has no `DONE` trailer, so `ok`/`failed` are
+    /// counted client-side).
+    ///
+    /// [`RequestOptions::retry`] is ignored here — a lone connection
+    /// cannot reconnect. Use [`run_with_options`] or a
+    /// [`RetryingClient`] for the retry loop.
     ///
     /// # Errors
     ///
     /// Transport failures or an out-of-shape response stream.
-    pub fn run_pipelined(
+    pub fn run(
         &mut self,
         queries: &[BatchQuery],
-        depth: usize,
-    ) -> Result<Vec<Result<BatchAnswer, ServedError>>, ClientError> {
+        opts: &RequestOptions,
+    ) -> Result<BatchReply, ClientError> {
+        if let Some(on) = opts.binary {
+            self.set_binary(on);
+        }
+        if let Some(ms) = opts.deadline_ms {
+            self.set_deadline_ms(ms)?;
+        }
+        if let Some(on) = opts.fail_fast {
+            self.set_fail_fast(on)?;
+        }
+        if let Some(mode) = opts.planner {
+            self.set_planner(mode)?;
+        }
+        let Some(depth) = opts.pipeline else {
+            self.send_batch(queries)?;
+            return self.recv_batch(queries.len());
+        };
         let depth = depth.max(1);
         let mut answers = Vec::with_capacity(queries.len());
         let mut sent = 0;
@@ -323,19 +456,42 @@ impl Client {
                 other => return Err(ClientError::Unexpected(format!("{other:?}"))),
             }
         }
-        Ok(answers)
+        let ok = answers.iter().filter(|a| a.is_ok()).count() as u64;
+        let failed = answers.len() as u64 - ok;
+        Ok(BatchReply {
+            answers,
+            ok,
+            failed,
+        })
+    }
+
+    /// Runs `queries` as individually pipelined requests with at most
+    /// `depth` in flight, returning the per-query results in submission
+    /// order. Thin wrapper over [`run`](Client::run) with
+    /// [`RequestOptions::pipeline`] set.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures or an out-of-shape response stream.
+    pub fn run_pipelined(
+        &mut self,
+        queries: &[BatchQuery],
+        depth: usize,
+    ) -> Result<Vec<Result<BatchAnswer, ServedError>>, ClientError> {
+        self.run(queries, &RequestOptions::default().pipeline(depth))
+            .map(|reply| reply.answers)
     }
 
     /// Submits `queries` as one `BATCH`, pipelining all query lines in a
     /// single write, and collects the per-query responses plus the `DONE`
-    /// trailer.
+    /// trailer. Thin wrapper over [`run`](Client::run) with default
+    /// options.
     ///
     /// # Errors
     ///
     /// Transport failures or an out-of-shape response stream.
     pub fn run_batch(&mut self, queries: &[BatchQuery]) -> Result<BatchReply, ClientError> {
-        self.send_batch(queries)?;
-        self.recv_batch(queries.len())
+        self.run(queries, &RequestOptions::default())
     }
 
     /// Writes `queries` as one batch request without waiting for the
@@ -414,9 +570,9 @@ impl Client {
             .map(|(conn, server, plans, _)| (conn, server, plans))
     }
 
-    /// The full `STATS` response: connection and server counters, the
-    /// plan tally, and the reactor extras (`None` from servers that
-    /// predate them).
+    /// The full `STATS` response minus the version counters — a thin
+    /// wrapper over [`stats_report`](Client::stats_report) kept for the
+    /// tuple-shaped call sites.
     ///
     /// # Errors
     ///
@@ -433,6 +589,19 @@ impl Client {
         ),
         ClientError,
     > {
+        self.stats_report()
+            .map(|r| (r.conn, r.server, r.plans, r.extras))
+    }
+
+    /// The complete `STATS` response as one [`StatsReport`]: connection
+    /// and server counters, the plan tally, the reactor extras, and the
+    /// version counters (each optional group `None` when the server does
+    /// not track it).
+    ///
+    /// # Errors
+    ///
+    /// Transport failures or an unexpected response.
+    pub fn stats_report(&mut self) -> Result<StatsReport, ClientError> {
         self.send_request(&Request::Stats)?;
         match self.recv()? {
             Response::Stats {
@@ -440,7 +609,93 @@ impl Client {
                 server,
                 plans,
                 extras,
-            } => Ok((conn, server, plans, extras)),
+                version,
+            } => Ok(StatsReport {
+                conn,
+                server,
+                plans,
+                extras,
+                version,
+            }),
+            other => Err(ClientError::Unexpected(format!("{other:?}"))),
+        }
+    }
+
+    /// Upserts one point under `key` (`INSERT` — mutable servers only),
+    /// returning the post-write epoch or the server-reported error.
+    ///
+    /// Writes go through a plain [`Client`] on purpose: they are not
+    /// resend-safe, so [`RetryingClient`] does not wrap them.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures or an unexpected response.
+    pub fn insert(
+        &mut self,
+        key: u32,
+        point: &[f64],
+    ) -> Result<Result<u64, ServedError>, ClientError> {
+        self.send_request(&Request::Insert {
+            key,
+            point: point.to_vec(),
+        })?;
+        match self.recv()? {
+            Response::Inserted(epoch) => Ok(Ok(epoch)),
+            Response::Error { kind, message } => Ok(Err(ServedError { kind, message })),
+            other => Err(ClientError::Unexpected(format!("{other:?}"))),
+        }
+    }
+
+    /// Removes the point under `key` (`DELETE` — mutable servers only),
+    /// returning the post-write epoch or the server-reported error.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures or an unexpected response.
+    pub fn delete(&mut self, key: u32) -> Result<Result<u64, ServedError>, ClientError> {
+        self.send_request(&Request::Delete(key))?;
+        match self.recv()? {
+            Response::Deleted(epoch) => Ok(Ok(epoch)),
+            Response::Error { kind, message } => Ok(Err(ServedError { kind, message })),
+            other => Err(ClientError::Unexpected(format!("{other:?}"))),
+        }
+    }
+
+    /// Fetches the mutable engine's version state (`EPOCH`).
+    ///
+    /// # Errors
+    ///
+    /// Transport failures or an unexpected response.
+    pub fn epoch(&mut self) -> Result<Result<EpochInfo, ServedError>, ClientError> {
+        self.send_request(&Request::Epoch)?;
+        match self.recv()? {
+            Response::Epoch {
+                epoch,
+                live,
+                delta,
+                runs,
+            } => Ok(Ok(EpochInfo {
+                epoch,
+                live,
+                delta,
+                runs,
+            })),
+            Response::Error { kind, message } => Ok(Err(ServedError { kind, message })),
+            other => Err(ClientError::Unexpected(format!("{other:?}"))),
+        }
+    }
+
+    /// Seals the mutable engine's write delta into an immutable run
+    /// (`SEAL`), returning the epoch after the seal.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures or an unexpected response.
+    pub fn seal(&mut self) -> Result<Result<u64, ServedError>, ClientError> {
+        self.send_request(&Request::Seal)?;
+        match self.recv()? {
+            Response::Sealed(epoch) => Ok(Ok(epoch)),
+            Response::Error { kind, message } => Ok(Err(ServedError { kind, message })),
             other => Err(ClientError::Unexpected(format!("{other:?}"))),
         }
     }
@@ -798,10 +1053,70 @@ impl RetryingClient {
         self.ensure_conn().and_then(|c| c.stats_full())
     }
 
+    /// Fetches the full counter report, version group included (no
+    /// retry value in wrapping this, but keeps harnesses on one client
+    /// type).
+    ///
+    /// # Errors
+    ///
+    /// Transport failures or an unexpected response.
+    pub fn stats_report(&mut self) -> Result<StatsReport, ClientError> {
+        self.ensure_conn().and_then(Client::stats_report)
+    }
+
     /// Closes the connection if one is open (`QUIT` best-effort).
     pub fn close(&mut self) {
         if let Some(c) = self.conn.take() {
             c.quit().ok();
+        }
+    }
+}
+
+/// Connects to `addr` and runs `queries` with every knob drawn from
+/// `opts` — the one-call front-end over [`Client`] and
+/// [`RetryingClient`].
+///
+/// With [`RequestOptions::retry`] set, transient faults reconnect, back
+/// off and resend the whole batch; [`RequestOptions::pipeline`] is
+/// ignored on that path (a reconnect mid-window would re-run requests
+/// whose responses were already consumed, so retrying only resends
+/// all-or-nothing batches). Without `retry`, this is one plain
+/// [`Client::run`]. Either way the connection is closed politely before
+/// returning an answer.
+///
+/// # Errors
+///
+/// Connect failures, transport failures, or an out-of-shape response
+/// stream (after the retry budget, when one was given).
+pub fn run_with_options<A: ToSocketAddrs>(
+    addr: A,
+    queries: &[BatchQuery],
+    opts: &RequestOptions,
+) -> Result<BatchReply, ClientError> {
+    match opts.retry {
+        Some(policy) => {
+            let mut c = RetryingClient::connect(addr, policy)?;
+            if let Some(on) = opts.binary {
+                c.set_binary(on);
+            }
+            if let Some(ms) = opts.deadline_ms {
+                c.set_deadline_ms(ms);
+            }
+            if let Some(on) = opts.fail_fast {
+                c.set_fail_fast(on);
+            }
+            if let Some(mode) = opts.planner {
+                c.set_planner(mode);
+            }
+            let reply = c.run_batch(queries)?;
+            c.close();
+            Ok(reply)
+        }
+        None => {
+            let mut c = Client::connect(addr)?;
+            let reply = c.run(queries, opts)?;
+            c.quit().ok();
+            Ok(reply)
         }
     }
 }

@@ -12,7 +12,7 @@ use std::sync::Arc;
 use knmatch_core::{
     AdStats, BatchAnswer, BatchEngine, BatchOptions, BatchOutcome, BatchQuery, Dataset, PlanTally,
     PlannerMode, QueryEngine, Result as CoreResult, ShardedColumns, ShardedOutcome,
-    ShardedQueryEngine, SortedColumns,
+    ShardedQueryEngine, SortedColumns, VersionedIndex, DEFAULT_MERGE_THRESHOLD,
 };
 use knmatch_storage::{
     DiskBatchOutcome, DiskDatabase, DiskQueryEngine, FileStore, IoStats, VerifyMode, MAGIC,
@@ -52,6 +52,12 @@ pub struct EngineConfig {
     /// only) with `mode` as the default route; `None` keeps the plain
     /// single-backend engines.
     pub planner: Option<PlannerMode>,
+    /// Builds the epoch-versioned [`VersionedIndex`] instead of a
+    /// read-only engine, enabling the `INSERT`/`DELETE`/`EPOCH`/`SEAL`
+    /// verbs (in-memory only).
+    pub mutable: bool,
+    /// Delta rows before the versioned index auto-seals (mutable only).
+    pub merge_threshold: usize,
 }
 
 impl Default for EngineConfig {
@@ -60,7 +66,92 @@ impl Default for EngineConfig {
             workers: available_cpus(),
             backend: Backend::Memory,
             planner: None,
+            mutable: false,
+            merge_threshold: DEFAULT_MERGE_THRESHOLD,
         }
+    }
+}
+
+/// Step-by-step construction of an [`EngineConfig`] with the conflict
+/// rules checked once, in [`build`](EngineConfigBuilder::build) — the
+/// same validation whether the knobs came from CLI flags
+/// ([`EngineConfig::from_args`] is a thin parse over this) or from code.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct EngineConfigBuilder {
+    workers: Option<usize>,
+    backend: Option<Backend>,
+    planner: Option<PlannerMode>,
+    mutable: bool,
+    merge_threshold: Option<usize>,
+}
+
+impl EngineConfigBuilder {
+    /// Sets the batch worker count (clamped to ≥ 1).
+    pub fn workers(mut self, workers: usize) -> Self {
+        self.workers = Some(workers.max(1));
+        self
+    }
+
+    /// Sets the backend (default [`Backend::Memory`]).
+    pub fn backend(mut self, backend: Backend) -> Self {
+        self.backend = Some(backend);
+        self
+    }
+
+    /// Routes queries through the cost-based planner.
+    pub fn planner(mut self, mode: PlannerMode) -> Self {
+        self.planner = Some(mode);
+        self
+    }
+
+    /// Builds the mutable, epoch-versioned index.
+    pub fn mutable(mut self, on: bool) -> Self {
+        self.mutable = on;
+        self
+    }
+
+    /// Sets the versioned index's auto-seal threshold (clamped to ≥ 1;
+    /// implies nothing on its own — only read when `mutable` is set).
+    pub fn merge_threshold(mut self, rows: usize) -> Self {
+        self.merge_threshold = Some(rows.max(1));
+        self
+    }
+
+    /// Validates the combination and produces the config.
+    ///
+    /// # Errors
+    ///
+    /// The backend conflicts [`EngineConfig::from_args`] documents:
+    /// planner with disk/sharded backends, mutable with
+    /// disk/sharded/planner (the versioned index is its own in-memory
+    /// organisation), or a merge threshold without mutable.
+    pub fn build(self) -> Result<EngineConfig, String> {
+        let backend = self.backend.unwrap_or(Backend::Memory);
+        if self.planner.is_some() && backend != Backend::Memory {
+            return Err("--planner routes between the in-memory backends; \
+                        it cannot be combined with --disk or --shards"
+                .into());
+        }
+        if self.mutable && backend != Backend::Memory {
+            return Err("--mutable builds the in-memory versioned index; \
+                        it cannot be combined with --disk or --shards"
+                .into());
+        }
+        if self.mutable && self.planner.is_some() {
+            return Err("--mutable serves the versioned index directly; \
+                        it cannot be combined with --planner"
+                .into());
+        }
+        if self.merge_threshold.is_some() && !self.mutable {
+            return Err("--merge-threshold only applies to --mutable".into());
+        }
+        Ok(EngineConfig {
+            workers: self.workers.unwrap_or_else(available_cpus),
+            backend,
+            planner: self.planner,
+            mutable: self.mutable,
+            merge_threshold: self.merge_threshold.unwrap_or(DEFAULT_MERGE_THRESHOLD),
+        })
     }
 }
 
@@ -148,11 +239,18 @@ fn parse_num(s: &str, what: &str) -> Result<usize, String> {
 }
 
 impl EngineConfig {
+    /// Starts a builder with every knob at its default.
+    pub fn builder() -> EngineConfigBuilder {
+        EngineConfigBuilder::default()
+    }
+
     /// Parses the shared backend flags out of a CLI argument list:
     /// `--workers W`, `--shards <S|auto>`, `--disk`, `--pool-pages P`,
     /// `--verify <never|first-read|always>`,
-    /// `--planner <auto|ad|vafile|scan|igrid>`. Unrelated flags are
-    /// ignored (the caller owns the rest of its grammar).
+    /// `--planner <auto|ad|vafile|scan|igrid>`, `--mutable`,
+    /// `--merge-threshold N`. Unrelated flags are ignored (the caller
+    /// owns the rest of its grammar). Flag parsing lands in an
+    /// [`EngineConfigBuilder`], which owns the conflict rules.
     ///
     /// `--shards auto` means one shard per available CPU, and any shard
     /// count collapses to 1 on a single-CPU host (intra-query parallelism
@@ -161,14 +259,16 @@ impl EngineConfig {
     /// # Errors
     ///
     /// Malformed numbers or modes, `--shards` combined with `--disk`,
-    /// `--pool-pages` / `--verify` without `--disk`, or `--planner`
-    /// combined with `--disk` / `--shards` (the planner routes between
-    /// the in-memory backends).
+    /// `--pool-pages` / `--verify` without `--disk`,
+    /// `--merge-threshold` without `--mutable`, or `--planner` /
+    /// `--mutable` combined with `--disk` / `--shards` (both are
+    /// in-memory organisations; see
+    /// [`build`](EngineConfigBuilder::build)).
     pub fn from_args(args: &[String]) -> Result<EngineConfig, String> {
-        let workers = match flag_value(args, "--workers") {
-            Some(w) => parse_num(w, "--workers")?.max(1),
-            None => available_cpus(),
-        };
+        let mut builder = EngineConfig::builder();
+        if let Some(w) = flag_value(args, "--workers") {
+            builder = builder.workers(parse_num(w, "--workers")?);
+        }
         let disk = args.iter().any(|a| a == "--disk");
         let shards = flag_value(args, "--shards")
             .map(|s| match s {
@@ -183,13 +283,14 @@ impl EngineConfig {
                         it cannot be combined with --disk"
                 .into());
         }
-        let planner = flag_value(args, "--planner")
-            .map(|m| m.parse::<PlannerMode>())
-            .transpose()?;
-        if planner.is_some() && (disk || shards.is_some()) {
-            return Err("--planner routes between the in-memory backends; \
-                        it cannot be combined with --disk or --shards"
-                .into());
+        if let Some(mode) = flag_value(args, "--planner") {
+            builder = builder.planner(mode.parse::<PlannerMode>()?);
+        }
+        if args.iter().any(|a| a == "--mutable") {
+            builder = builder.mutable(true);
+        }
+        if let Some(rows) = flag_value(args, "--merge-threshold") {
+            builder = builder.merge_threshold(parse_num(rows, "--merge-threshold")?);
         }
         if !disk {
             for flag in ["--pool-pages", "--verify"] {
@@ -198,7 +299,7 @@ impl EngineConfig {
                 }
             }
         }
-        let backend = if disk {
+        if disk {
             let pool_pages = match flag_value(args, "--pool-pages") {
                 Some(p) => parse_num(p, "--pool-pages")?.max(1),
                 None => DEFAULT_POOL_PAGES,
@@ -214,28 +315,29 @@ impl EngineConfig {
                     ))
                 }
             };
-            Backend::Disk { pool_pages, verify }
+            builder = builder.backend(Backend::Disk { pool_pages, verify });
         } else if let Some(s) = shards {
-            Backend::Sharded(s.max(1))
-        } else {
-            Backend::Memory
-        };
-        Ok(EngineConfig {
-            workers,
-            backend,
-            planner,
-        })
+            builder = builder.backend(Backend::Sharded(s.max(1)));
+        }
+        builder.build()
     }
 
     /// One-line human description, e.g. `"disk (256 pool pages), 4 worker(s)"`.
     ///
     /// See also [`server_config_from_args`] for the serving-side flags.
     pub fn describe(&self) -> String {
-        let backend = match (self.backend, self.planner) {
-            (Backend::Memory, Some(mode)) => format!("planned ({mode}), in-memory"),
-            (Backend::Memory, None) => "in-memory".to_string(),
-            (Backend::Sharded(s), _) => format!("{s} shard(s), in-memory"),
-            (Backend::Disk { pool_pages, .. }, _) => format!("disk ({pool_pages} pool pages)"),
+        let backend = if self.mutable {
+            format!(
+                "mutable versioned (seal at {} rows), in-memory",
+                self.merge_threshold
+            )
+        } else {
+            match (self.backend, self.planner) {
+                (Backend::Memory, Some(mode)) => format!("planned ({mode}), in-memory"),
+                (Backend::Memory, None) => "in-memory".to_string(),
+                (Backend::Sharded(s), _) => format!("{s} shard(s), in-memory"),
+                (Backend::Disk { pool_pages, .. }, _) => format!("disk ({pool_pages} pool pages)"),
+            }
         };
         format!("{backend}, {} worker(s)", self.workers)
     }
@@ -293,6 +395,15 @@ impl EngineConfig {
     /// (workload generators, tests). A `Disk` backend falls back to the
     /// plain in-memory engine — there is no file to read.
     pub fn build_in_memory(&self, ds: &Dataset) -> AnyEngine {
+        if self.mutable {
+            // The builder rejects mutable+disk/shards/planner, and every
+            // dataset that reaches here was validated non-empty with
+            // ≥ 1 dimension — `from_dataset` cannot fail on it.
+            return AnyEngine::Versioned(
+                VersionedIndex::from_dataset(ds, self.workers, self.merge_threshold)
+                    .expect("validated dataset"),
+            );
+        }
         match (self.backend, self.planner) {
             (Backend::Sharded(s), _) => AnyEngine::Sharded(ShardedQueryEngine::with_workers(
                 Arc::new(ShardedColumns::build_with_workers(ds, s, self.workers)),
@@ -323,16 +434,20 @@ pub enum AnyEngine {
     Sharded(ShardedQueryEngine),
     /// The disk engine over a database file.
     Disk(DiskQueryEngine<FileStore>),
+    /// The mutable epoch-versioned in-memory engine.
+    Versioned(VersionedIndex),
 }
 
 impl AnyEngine {
-    /// Points served by this engine.
+    /// Points served by this engine (for the versioned engine: live
+    /// points at the current epoch).
     pub fn cardinality(&self) -> usize {
         match self {
             AnyEngine::Memory(e) => e.columns().cardinality(),
             AnyEngine::Planned(e) => e.columns().cardinality(),
             AnyEngine::Sharded(e) => e.columns().cardinality(),
             AnyEngine::Disk(e) => e.columns().cardinality(),
+            AnyEngine::Versioned(e) => e.live(),
         }
     }
 
@@ -343,6 +458,7 @@ impl AnyEngine {
             AnyEngine::Planned(e) => e.columns().dims(),
             AnyEngine::Sharded(e) => e.columns().dims(),
             AnyEngine::Disk(e) => e.columns().dims(),
+            AnyEngine::Versioned(e) => e.dims(),
         }
     }
 
@@ -436,6 +552,7 @@ impl BatchEngine for AnyEngine {
             AnyEngine::Planned(e) => e.workers(),
             AnyEngine::Sharded(e) => e.workers(),
             AnyEngine::Disk(e) => e.workers(),
+            AnyEngine::Versioned(e) => e.workers(),
         }
     }
 
@@ -461,12 +578,27 @@ impl BatchEngine for AnyEngine {
                 .into_iter()
                 .map(|r| r.map(AnyOutcome::Disk))
                 .collect(),
+            // Versioned runs merge per-run partials with the sharded
+            // merge (runs play the role of shards), so the outcome type
+            // is shared too.
+            AnyEngine::Versioned(e) => e
+                .run_with(queries, opts)
+                .into_iter()
+                .map(|r| r.map(AnyOutcome::Sharded))
+                .collect(),
         }
     }
 
     fn plan_counts(&self) -> Option<PlanTally> {
         match self {
             AnyEngine::Planned(e) => e.plan_counts(),
+            _ => None,
+        }
+    }
+
+    fn writer(&self) -> Option<&dyn knmatch_core::VersionWriter> {
+        match self {
+            AnyEngine::Versioned(e) => Some(e),
             _ => None,
         }
     }
@@ -540,18 +672,22 @@ mod tests {
         for cfg in [
             EngineConfig {
                 workers: 2,
-                backend: Backend::Memory,
-                planner: None,
+                ..EngineConfig::default()
             },
             EngineConfig {
                 workers: 2,
-                backend: Backend::Memory,
                 planner: Some(PlannerMode::Auto),
+                ..EngineConfig::default()
             },
             EngineConfig {
                 workers: 2,
                 backend: Backend::Sharded(2),
-                planner: None,
+                ..EngineConfig::default()
+            },
+            EngineConfig {
+                workers: 2,
+                mutable: true,
+                ..EngineConfig::default()
             },
         ] {
             let e = cfg.build_in_memory(&ds);
@@ -574,13 +710,13 @@ mod tests {
                 pool_pages: 64,
                 verify: VerifyMode::FirstRead,
             },
-            planner: None,
+            ..EngineConfig::default()
         };
         assert!(c.describe().contains("disk"));
         let c = EngineConfig {
             workers: 2,
             backend: Backend::Sharded(3),
-            planner: None,
+            ..EngineConfig::default()
         };
         assert!(c.describe().contains("3 shard(s)"));
         let c = EngineConfig {
@@ -588,6 +724,12 @@ mod tests {
             ..EngineConfig::default()
         };
         assert!(c.describe().contains("planned (vafile)"));
+        let c = EngineConfig {
+            mutable: true,
+            merge_threshold: 77,
+            ..EngineConfig::default()
+        };
+        assert!(c.describe().contains("mutable") && c.describe().contains("77"));
     }
 
     #[test]
@@ -630,6 +772,85 @@ mod tests {
     }
 
     #[test]
+    fn builder_owns_the_conflict_rules() {
+        let c = EngineConfig::builder()
+            .workers(3)
+            .mutable(true)
+            .merge_threshold(16)
+            .build()
+            .unwrap();
+        assert!(c.mutable);
+        assert_eq!(c.merge_threshold, 16);
+        assert_eq!(c.workers, 3);
+        assert_eq!(c.backend, Backend::Memory);
+
+        // Unset knobs keep their defaults.
+        let c = EngineConfig::builder().build().unwrap();
+        assert_eq!(c, EngineConfig::default());
+
+        // Mutable is its own in-memory organisation.
+        assert!(EngineConfig::builder()
+            .mutable(true)
+            .backend(Backend::Sharded(2))
+            .build()
+            .is_err());
+        assert!(EngineConfig::builder()
+            .mutable(true)
+            .backend(Backend::Disk {
+                pool_pages: 8,
+                verify: VerifyMode::Never,
+            })
+            .build()
+            .is_err());
+        assert!(EngineConfig::builder()
+            .mutable(true)
+            .planner(PlannerMode::Auto)
+            .build()
+            .is_err());
+        // The threshold only means something on a mutable engine.
+        assert!(EngineConfig::builder().merge_threshold(8).build().is_err());
+    }
+
+    #[test]
+    fn mutable_flag_grammar() {
+        let c = EngineConfig::from_args(&argv("--mutable --merge-threshold 32")).unwrap();
+        assert!(c.mutable);
+        assert_eq!(c.merge_threshold, 32);
+
+        let c = EngineConfig::from_args(&argv("--mutable")).unwrap();
+        assert_eq!(c.merge_threshold, DEFAULT_MERGE_THRESHOLD);
+
+        assert!(EngineConfig::from_args(&argv("--merge-threshold 32")).is_err());
+        assert!(EngineConfig::from_args(&argv("--mutable --disk")).is_err());
+        assert!(EngineConfig::from_args(&argv("--mutable --shards 2")).is_err());
+        assert!(EngineConfig::from_args(&argv("--mutable --planner auto")).is_err());
+        assert!(EngineConfig::from_args(&argv("--mutable --merge-threshold many")).is_err());
+    }
+
+    #[test]
+    fn versioned_engine_exposes_a_writer() {
+        let ds = knmatch_core::paper::fig3_dataset();
+        let cfg = EngineConfig {
+            workers: 2,
+            mutable: true,
+            ..EngineConfig::default()
+        };
+        let e = cfg.build_in_memory(&ds);
+        assert_eq!(e.cardinality(), ds.len());
+        assert_eq!(e.dims(), ds.dims());
+        let w = e.writer().expect("mutable engine has a writer");
+        let epoch = w.insert(100, &vec![1.0; ds.dims()]).unwrap();
+        assert!(epoch > 0);
+        assert_eq!(e.cardinality(), ds.len() + 1);
+
+        // Read-only engines expose none.
+        assert!(EngineConfig::default()
+            .build_in_memory(&ds)
+            .writer()
+            .is_none());
+    }
+
+    #[test]
     fn shards_auto_and_single_cpu_clamp() {
         let c = EngineConfig::from_args(&argv("--shards auto")).unwrap();
         let cpus = std::thread::available_parallelism().map_or(1, |n| n.get());
@@ -643,8 +864,8 @@ mod tests {
         let ds = knmatch_core::paper::fig3_dataset();
         let cfg = EngineConfig {
             workers: 1,
-            backend: Backend::Memory,
             planner: Some(PlannerMode::Auto),
+            ..EngineConfig::default()
         };
         let e = cfg.build_in_memory(&ds);
         assert_eq!(e.plan_counts(), Some(PlanTally::default()));

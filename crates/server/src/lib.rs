@@ -45,15 +45,19 @@ pub mod protocol;
 pub mod reactor;
 pub mod server;
 
-pub use client::{BatchReply, Client, ClientError, RetryPolicy, RetryingClient, ServedError};
+pub use client::{
+    run_with_options, BatchReply, Client, ClientError, EpochInfo, RequestOptions, RetryPolicy,
+    RetryingClient, ServedError, StatsReport,
+};
 pub use config::{
-    server_config_from_args, AnyEngine, AnyOutcome, Backend, EngineConfig, DEFAULT_POOL_PAGES,
+    server_config_from_args, AnyEngine, AnyOutcome, Backend, EngineConfig, EngineConfigBuilder,
+    DEFAULT_POOL_PAGES,
 };
 pub use fault::{FaultInjector, FaultTransport, NetFaultConfig};
 pub use planner_engine::{PlannedEngine, PLAN_FRACTION_SAMPLE};
 pub use protocol::{
     BinRequest, ErrorKind, ProtoError, ReactorKind, Request, Response, ServerExtras, StatsSnapshot,
-    FRAME_HEADER_LEN, FRAME_MAGIC, MAX_BATCH, MAX_FRAME, MAX_LINE,
+    VersionCounters, FRAME_HEADER_LEN, FRAME_MAGIC, MAX_BATCH, MAX_FRAME, MAX_LINE,
 };
 #[cfg(unix)]
 pub use reactor::{EventServer, MAX_PIPELINE};

@@ -25,6 +25,10 @@
 //! PING                           liveness probe
 //! QUIT                           close this connection
 //! SHUTDOWN                       drain and stop the whole server
+//! INSERT <key> <v,v,...>         upsert one point (mutable engines only)
+//! DELETE <key>                   remove one point (mutable engines only)
+//! EPOCH                          current version counters
+//! SEAL                           seal the write delta into a run
 //! ```
 //!
 //! ## Responses
@@ -35,22 +39,25 @@
 //! OK FREQ <n0> <n1> <pid:count,...|-> <n=pid:diff,...;...|->
 //! OK DEADLINE <ms> | OK FAILFAST <0|1> | OK PLANNER <mode>
 //! OK PONG | OK BYE | OK SHUTDOWN
-//! OK STATS <conn six counters> <server six counters> [four plan counters]
-//!          [three or seven reactor counters]
+//! OK INSERT <epoch> | OK DELETE <epoch> | OK SEAL <epoch>
+//! OK EPOCH <epoch> <live> <delta> <runs>
+//! OK STATS <conn six counters> <server six counters> [optional groups]
 //! DONE <ok> <failed>
 //! ERR <kind> <message...>
 //! ```
 //!
-//! The four plan counters (`plans_ad= plans_vafile= plans_scan=
-//! plans_igrid=`, server scope) report how the cost-based planner routed
-//! queries; servers without a planner-capable engine omit them. The
-//! reactor counters (`conns_peak= pipeline_depth_max= frames_binary=`,
-//! server scope) report the event-loop front-end's high-water marks;
-//! servers that also report their readiness backend append
-//! `reactor_backend= poll_iterations= events_dispatched= writev_calls=`.
-//! Older servers omit the last four or all seven. Clients accept every
-//! combination — the labelled-field grammar makes the
-//! 12/15/16/19/23-field shapes self-describing.
+//! A `STATS` line is twelve mandatory labelled counters (the connection
+//! and server scopes) followed by optional labelled groups, each
+//! declared once in [`STATS_GROUPS`](self) and rendered/parsed/encoded
+//! from that single table: the four plan counters (`plans_ad= …`,
+//! cost-based planner routing), the reactor extras (`conns_peak= …`,
+//! split into the legacy three-counter group, the backend group and the
+//! robustness group so lines from older servers still parse), and the
+//! version counters of a mutable engine (`epoch= live= delta= runs=
+//! tombstones= writes= merges=`). Groups are self-describing through
+//! their leading label, so every historical field count
+//! (12/15/16/19/23/27) and the new version-bearing shapes parse with
+//! the same walk.
 //!
 //! ## Binary frames
 //!
@@ -359,68 +366,352 @@ pub struct ServerExtras {
     pub deadline_cancels: u64,
 }
 
-impl ServerExtras {
-    fn render(&self, out: &mut String) {
-        let _ = write!(
-            out,
-            "conns_peak={} pipeline_depth_max={} frames_binary={} \
-             reactor_backend={} poll_iterations={} events_dispatched={} writev_calls={} \
-             conns_evicted={} queries_shed={} retries_observed={} deadline_cancels={}",
-            self.conns_peak,
-            self.pipeline_depth_max,
-            self.frames_binary,
-            self.reactor_backend,
-            self.poll_iterations,
-            self.events_dispatched,
-            self.writev_calls,
-            self.conns_evicted,
-            self.queries_shed,
-            self.retries_observed,
-            self.deadline_cancels
-        );
+/// The version counters of a mutable (epoch-versioned) engine, appended
+/// to `STATS` by servers running one (see `knmatch serve --mutable`).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct VersionCounters {
+    /// Current epoch (bumped by every insert/delete).
+    pub epoch: u64,
+    /// Live points visible at the current epoch.
+    pub live: u64,
+    /// Rows in the unsealed write delta.
+    pub delta: u64,
+    /// Sealed immutable runs.
+    pub runs: u64,
+    /// Tombstones across all sealed runs.
+    pub tombstones: u64,
+    /// Writes accepted (inserts plus deletes) over the engine lifetime.
+    pub writes: u64,
+    /// Run compactions completed.
+    pub merges: u64,
+}
+
+impl From<knmatch_core::VersionStats> for VersionCounters {
+    fn from(s: knmatch_core::VersionStats) -> Self {
+        VersionCounters {
+            epoch: s.epoch,
+            live: s.live as u64,
+            delta: s.delta_len as u64,
+            runs: s.runs as u64,
+            tombstones: s.tombstones as u64,
+            writes: s.inserts + s.removes,
+            merges: s.merges,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The STATS field table
+// ---------------------------------------------------------------------------
+//
+// Every *optional* group of a STATS response — its text labels, its
+// binary flag bit, its field order — is declared once here. The text
+// renderer, text parser, binary encoder and binary decoder all walk
+// this table, so a new group (like the version counters) is one table
+// entry plus its flag constant, and the four codecs cannot drift.
+
+/// The flattened payload of a `STATS` response while it is being
+/// rendered or parsed: every group's fields at rest, plus a presence
+/// bitmask using the binary flag bits.
+#[derive(Debug, Default)]
+struct StatsBody {
+    conn: StatsSnapshot,
+    server: StatsSnapshot,
+    present: u8,
+    plans: PlanTally,
+    extras: ServerExtras,
+    version: VersionCounters,
+}
+
+/// How one labelled field reads and writes its slot in [`StatsBody`].
+enum FieldKind {
+    /// A plain `u64` counter (`label=<u64>` in text, LE `u64` in binary).
+    Counter {
+        get: fn(&StatsBody) -> u64,
+        set: fn(&mut StatsBody, u64),
+    },
+    /// The reactor-backend token (`label=<none|poll|epoll>` in text, one
+    /// code byte in binary).
+    Backend {
+        get: fn(&StatsBody) -> ReactorKind,
+        set: fn(&mut StatsBody, ReactorKind),
+    },
+}
+
+/// One labelled field of a `STATS` group.
+struct StatsField {
+    label: &'static str,
+    kind: FieldKind,
+}
+
+/// One optional `STATS` group: its binary flag bit, the flags that must
+/// accompany it, and its fields in wire order. A group's presence on the
+/// text wire is announced by its first field's label.
+struct StatsGroup {
+    flag: u8,
+    requires: u8,
+    fields: &'static [StatsField],
+}
+
+const fn counter(
+    label: &'static str,
+    get: fn(&StatsBody) -> u64,
+    set: fn(&mut StatsBody, u64),
+) -> StatsField {
+    StatsField {
+        label,
+        kind: FieldKind::Counter { get, set },
+    }
+}
+
+/// Every optional group, in wire order. The extras split into three
+/// groups (legacy counters, backend, robustness) purely so lines and
+/// frames from older servers — which omit the later groups — still
+/// parse; all three land in one [`ServerExtras`].
+const STATS_GROUPS: &[StatsGroup] = &[
+    StatsGroup {
+        flag: STATS_HAS_PLANS,
+        requires: 0,
+        fields: &[
+            counter("plans_ad", |b| b.plans.ad, |b, v| b.plans.ad = v),
+            counter(
+                "plans_vafile",
+                |b| b.plans.vafile,
+                |b, v| b.plans.vafile = v,
+            ),
+            counter("plans_scan", |b| b.plans.scan, |b, v| b.plans.scan = v),
+            counter("plans_igrid", |b| b.plans.igrid, |b, v| b.plans.igrid = v),
+        ],
+    },
+    StatsGroup {
+        flag: STATS_HAS_EXTRAS,
+        requires: 0,
+        fields: &[
+            counter(
+                "conns_peak",
+                |b| b.extras.conns_peak,
+                |b, v| b.extras.conns_peak = v,
+            ),
+            counter(
+                "pipeline_depth_max",
+                |b| b.extras.pipeline_depth_max,
+                |b, v| b.extras.pipeline_depth_max = v,
+            ),
+            counter(
+                "frames_binary",
+                |b| b.extras.frames_binary,
+                |b, v| b.extras.frames_binary = v,
+            ),
+        ],
+    },
+    StatsGroup {
+        flag: STATS_HAS_REACTOR,
+        requires: STATS_HAS_EXTRAS,
+        fields: &[
+            StatsField {
+                label: "reactor_backend",
+                kind: FieldKind::Backend {
+                    get: |b| b.extras.reactor_backend,
+                    set: |b, v| b.extras.reactor_backend = v,
+                },
+            },
+            counter(
+                "poll_iterations",
+                |b| b.extras.poll_iterations,
+                |b, v| b.extras.poll_iterations = v,
+            ),
+            counter(
+                "events_dispatched",
+                |b| b.extras.events_dispatched,
+                |b, v| b.extras.events_dispatched = v,
+            ),
+            counter(
+                "writev_calls",
+                |b| b.extras.writev_calls,
+                |b, v| b.extras.writev_calls = v,
+            ),
+        ],
+    },
+    StatsGroup {
+        flag: STATS_HAS_ROBUST,
+        requires: STATS_HAS_EXTRAS,
+        fields: &[
+            counter(
+                "conns_evicted",
+                |b| b.extras.conns_evicted,
+                |b, v| b.extras.conns_evicted = v,
+            ),
+            counter(
+                "queries_shed",
+                |b| b.extras.queries_shed,
+                |b, v| b.extras.queries_shed = v,
+            ),
+            counter(
+                "retries_observed",
+                |b| b.extras.retries_observed,
+                |b, v| b.extras.retries_observed = v,
+            ),
+            counter(
+                "deadline_cancels",
+                |b| b.extras.deadline_cancels,
+                |b, v| b.extras.deadline_cancels = v,
+            ),
+        ],
+    },
+    StatsGroup {
+        flag: STATS_HAS_VERSION,
+        requires: 0,
+        fields: &[
+            counter("epoch", |b| b.version.epoch, |b, v| b.version.epoch = v),
+            counter("live", |b| b.version.live, |b, v| b.version.live = v),
+            counter("delta", |b| b.version.delta, |b, v| b.version.delta = v),
+            counter("runs", |b| b.version.runs, |b, v| b.version.runs = v),
+            counter(
+                "tombstones",
+                |b| b.version.tombstones,
+                |b, v| b.version.tombstones = v,
+            ),
+            counter("writes", |b| b.version.writes, |b, v| b.version.writes = v),
+            counter("merges", |b| b.version.merges, |b, v| b.version.merges = v),
+        ],
+    },
+];
+
+/// Every flag bit claimed by some group — the mask unknown binary flags
+/// are checked against.
+const STATS_KNOWN_FLAGS: u8 = {
+    let mut mask = 0u8;
+    let mut i = 0;
+    while i < STATS_GROUPS.len() {
+        mask |= STATS_GROUPS[i].flag;
+        i += 1;
+    }
+    mask
+};
+
+impl StatsBody {
+    /// Flattens a [`Response::Stats`]'s fields. A present extras value
+    /// always announces all three extras groups — the renderers emit
+    /// every field they know; only *parsers* tolerate elision.
+    fn from_parts(
+        conn: &StatsSnapshot,
+        server: &StatsSnapshot,
+        plans: &Option<PlanTally>,
+        extras: &Option<ServerExtras>,
+        version: &Option<VersionCounters>,
+    ) -> StatsBody {
+        let mut body = StatsBody {
+            conn: *conn,
+            server: *server,
+            ..StatsBody::default()
+        };
+        if let Some(p) = plans {
+            body.present |= STATS_HAS_PLANS;
+            body.plans = *p;
+        }
+        if let Some(x) = extras {
+            body.present |= STATS_HAS_EXTRAS | STATS_HAS_REACTOR | STATS_HAS_ROBUST;
+            body.extras = *x;
+        }
+        if let Some(v) = version {
+            body.present |= STATS_HAS_VERSION;
+            body.version = *v;
+        }
+        body
     }
 
-    fn parse(fields: &[&str]) -> Result<ServerExtras, ProtoError> {
-        let labels = [
-            "conns_peak",
-            "pipeline_depth_max",
-            "frames_binary",
-            "reactor_backend",
-            "poll_iterations",
-            "events_dispatched",
-            "writev_calls",
-            "conns_evicted",
-            "queries_shed",
-            "retries_observed",
-            "deadline_cancels",
-        ];
-        // Three fields is the legacy shape (pre-backend servers), seven
-        // the pre-robustness one; missing fields default to `none`/zero.
-        if !matches!(fields.len(), 3 | 7) && fields.len() != labels.len() {
-            return Err(err("STATS extras need 3, 7 or 11 counters"));
+    /// Rebuilds the [`Response::Stats`] option fields. Partially present
+    /// extras groups (legacy senders) collapse into one [`ServerExtras`]
+    /// with the missing counters at their defaults.
+    fn into_response(self) -> Response {
+        Response::Stats {
+            conn: self.conn,
+            server: self.server,
+            plans: (self.present & STATS_HAS_PLANS != 0).then_some(self.plans),
+            extras: (self.present & STATS_HAS_EXTRAS != 0).then_some(self.extras),
+            version: (self.present & STATS_HAS_VERSION != 0).then_some(self.version),
         }
-        let mut extras = ServerExtras::default();
-        for (field, label) in fields.iter().zip(labels) {
-            let v = field
-                .strip_prefix(label)
-                .and_then(|rest| rest.strip_prefix('='))
-                .ok_or_else(|| err(format!("expected {label}=<value>, got {field:?}")))?;
-            match label {
-                "conns_peak" => extras.conns_peak = parse_u64(v, label)?,
-                "pipeline_depth_max" => extras.pipeline_depth_max = parse_u64(v, label)?,
-                "frames_binary" => extras.frames_binary = parse_u64(v, label)?,
-                "reactor_backend" => extras.reactor_backend = v.parse().map_err(err)?,
-                "poll_iterations" => extras.poll_iterations = parse_u64(v, label)?,
-                "events_dispatched" => extras.events_dispatched = parse_u64(v, label)?,
-                "writev_calls" => extras.writev_calls = parse_u64(v, label)?,
-                "conns_evicted" => extras.conns_evicted = parse_u64(v, label)?,
-                "queries_shed" => extras.queries_shed = parse_u64(v, label)?,
-                "retries_observed" => extras.retries_observed = parse_u64(v, label)?,
-                _ => extras.deadline_cancels = parse_u64(v, label)?,
+    }
+}
+
+/// Renders the whole `STATS` payload (after `OK STATS `) from the table.
+fn render_stats_text(out: &mut String, body: &StatsBody) {
+    body.conn.render(out);
+    out.push(' ');
+    body.server.render(out);
+    for group in STATS_GROUPS {
+        if body.present & group.flag == 0 {
+            continue;
+        }
+        for field in group.fields {
+            match field.kind {
+                FieldKind::Counter { get, .. } => {
+                    let _ = write!(out, " {}={}", field.label, get(body));
+                }
+                FieldKind::Backend { get, .. } => {
+                    let _ = write!(out, " {}={}", field.label, get(body));
+                }
             }
         }
-        Ok(extras)
     }
+}
+
+/// Parses the fields after `OK STATS`: twelve mandatory counters, then
+/// the optional groups in table order, each announced by its leading
+/// label. Leftover fields that announce no group are an error, as is a
+/// group whose prerequisites are absent.
+fn parse_stats_text(rest: &[&str]) -> Result<Response, ProtoError> {
+    if rest.len() < 12 {
+        return Err(err("STATS needs at least 12 counters"));
+    }
+    let mut body = StatsBody {
+        conn: StatsSnapshot::parse(&rest[..6])?,
+        server: StatsSnapshot::parse(&rest[6..12])?,
+        ..StatsBody::default()
+    };
+    let mut i = 12;
+    for group in STATS_GROUPS {
+        let lead = group.fields[0].label;
+        let announced = rest
+            .get(i)
+            .and_then(|f| f.split_once('='))
+            .is_some_and(|(label, _)| label == lead);
+        if !announced {
+            continue;
+        }
+        if body.present & group.requires != group.requires {
+            return Err(err(format!(
+                "STATS group led by {lead}= requires an absent earlier group"
+            )));
+        }
+        if rest.len() - i < group.fields.len() {
+            return Err(err(format!(
+                "STATS group led by {lead}= needs {} fields",
+                group.fields.len()
+            )));
+        }
+        for field in group.fields {
+            let v = rest[i]
+                .strip_prefix(field.label)
+                .and_then(|r| r.strip_prefix('='))
+                .ok_or_else(|| {
+                    err(format!(
+                        "expected {}=<value>, got {:?}",
+                        field.label, rest[i]
+                    ))
+                })?;
+            match field.kind {
+                FieldKind::Counter { set, .. } => set(&mut body, parse_u64(v, field.label)?),
+                FieldKind::Backend { set, .. } => set(&mut body, v.parse().map_err(err)?),
+            }
+            i += 1;
+        }
+        body.present |= group.flag;
+    }
+    if i != rest.len() {
+        return Err(err(format!("unexpected STATS field {:?}", rest[i])));
+    }
+    Ok(body.into_response())
 }
 
 /// A parsed request line.
@@ -446,9 +737,28 @@ pub enum Request {
     Quit,
     /// `SHUTDOWN`: drain and stop the server.
     Shutdown,
+    /// `INSERT <key> <coords>`: upsert one point under `key` (mutable
+    /// engines only; read-only servers answer `ERR query`).
+    Insert {
+        /// The key to store the point under.
+        key: u32,
+        /// The point's coordinates.
+        point: Vec<f64>,
+    },
+    /// `DELETE <key>`: remove the point under `key` (mutable engines
+    /// only).
+    Delete(u32),
+    /// `EPOCH`: report the mutable engine's version counters.
+    Epoch,
+    /// `SEAL`: seal the mutable engine's write delta into a run.
+    Seal,
 }
 
 /// A parsed response line.
+// One `Response` exists per line being encoded or decoded — it is
+// never stored in bulk — so the size of the rare `Stats` variant
+// (three optional counter groups) does not justify boxing it.
+#[allow(clippy::large_enum_variant)]
 #[derive(Debug, Clone, PartialEq)]
 pub enum Response {
     /// `OK KNM` / `OK EPS` / `OK FREQ`: a query answer.
@@ -485,6 +795,8 @@ pub enum Response {
         /// Server-lifetime reactor counters, present on servers that
         /// track them (absent only on pre-reactor servers).
         extras: Option<ServerExtras>,
+        /// Version counters, present when the served engine is mutable.
+        version: Option<VersionCounters>,
     },
     /// `OK PONG`.
     Pong,
@@ -492,25 +804,23 @@ pub enum Response {
     Bye,
     /// `OK SHUTDOWN` (server draining; connection closing).
     ShuttingDown,
-}
-
-/// Parses the four labelled plan counters of an extended `STATS` line.
-fn parse_plan_tally(fields: &[&str]) -> Result<PlanTally, ProtoError> {
-    let labels = ["plans_ad", "plans_vafile", "plans_scan", "plans_igrid"];
-    let mut vals = [0u64; 4];
-    for (i, (field, label)) in fields.iter().zip(labels).enumerate() {
-        let v = field
-            .strip_prefix(label)
-            .and_then(|rest| rest.strip_prefix('='))
-            .ok_or_else(|| err(format!("expected {label}=<u64>, got {field:?}")))?;
-        vals[i] = parse_u64(v, label)?;
-    }
-    Ok(PlanTally {
-        ad: vals[0],
-        vafile: vals[1],
-        scan: vals[2],
-        igrid: vals[3],
-    })
+    /// `OK INSERT <epoch>`: the insert landed; this is the new epoch.
+    Inserted(u64),
+    /// `OK DELETE <epoch>`: the delete landed; this is the new epoch.
+    Deleted(u64),
+    /// `OK EPOCH <epoch> <live> <delta> <runs>`.
+    Epoch {
+        /// Current epoch.
+        epoch: u64,
+        /// Live points at that epoch.
+        live: u64,
+        /// Rows in the unsealed write delta.
+        delta: u64,
+        /// Sealed immutable runs.
+        runs: u64,
+    },
+    /// `OK SEAL <epoch>`: the delta was sealed (current epoch echoed).
+    Sealed(u64),
 }
 
 fn parse_u64(s: &str, what: &str) -> Result<u64, ProtoError> {
@@ -560,6 +870,20 @@ pub fn parse_request(line: &str) -> Result<Request, ProtoError> {
         "PING" => Ok(Request::Ping),
         "QUIT" => Ok(Request::Quit),
         "SHUTDOWN" => Ok(Request::Shutdown),
+        "INSERT" => match rest.trim().split_once(' ') {
+            Some((key, coords)) => Ok(Request::Insert {
+                key: key.parse().map_err(|_| err(format!("bad key {key:?}")))?,
+                point: parse_coords(coords.trim())?,
+            }),
+            None => Err(err("INSERT takes <key> <coords>")),
+        },
+        "DELETE" => Ok(Request::Delete(
+            rest.trim()
+                .parse()
+                .map_err(|_| err(format!("bad key {:?}", rest.trim())))?,
+        )),
+        "EPOCH" => Ok(Request::Epoch),
+        "SEAL" => Ok(Request::Seal),
         "" => Err(err("empty request line")),
         other => Err(err(format!("unknown verb {other:?}"))),
     }
@@ -601,7 +925,7 @@ pub fn parse_query(line: &str) -> Result<BatchQuery, ProtoError> {
     }
 }
 
-fn render_coords(out: &mut String, coords: &[f64]) {
+pub(crate) fn render_coords(out: &mut String, coords: &[f64]) {
     for (i, v) in coords.iter().enumerate() {
         if i > 0 {
             out.push(',');
@@ -719,26 +1043,32 @@ pub fn format_response(r: &Response) -> String {
             server,
             plans,
             extras,
+            version,
         } => {
             out.push_str("OK STATS ");
-            conn.render(&mut out);
-            out.push(' ');
-            server.render(&mut out);
-            if let Some(p) = plans {
-                let _ = write!(
-                    out,
-                    " plans_ad={} plans_vafile={} plans_scan={} plans_igrid={}",
-                    p.ad, p.vafile, p.scan, p.igrid
-                );
-            }
-            if let Some(x) = extras {
-                out.push(' ');
-                x.render(&mut out);
-            }
+            let body = StatsBody::from_parts(conn, server, plans, extras, version);
+            render_stats_text(&mut out, &body);
         }
         Response::Pong => out.push_str("OK PONG"),
         Response::Bye => out.push_str("OK BYE"),
         Response::ShuttingDown => out.push_str("OK SHUTDOWN"),
+        Response::Inserted(epoch) => {
+            let _ = write!(out, "OK INSERT {epoch}");
+        }
+        Response::Deleted(epoch) => {
+            let _ = write!(out, "OK DELETE {epoch}");
+        }
+        Response::Epoch {
+            epoch,
+            live,
+            delta,
+            runs,
+        } => {
+            let _ = write!(out, "OK EPOCH {epoch} {live} {delta} {runs}");
+        }
+        Response::Sealed(epoch) => {
+            let _ = write!(out, "OK SEAL {epoch}");
+        }
     }
     out
 }
@@ -817,45 +1147,19 @@ pub fn parse_response(line: &str) -> Result<Response, ProtoError> {
             .parse::<PlannerMode>()
             .map(Response::Planner)
             .map_err(err),
-        ["OK", "STATS", rest @ ..] if matches!(rest.len(), 12 | 15 | 16 | 19 | 23 | 27) => {
-            // The optional groups are label-addressed: field 12 starting
-            // with "plans_" means the plan tally is present; whatever
-            // remains (3, 7 or 11 fields) is the reactor extras. The
-            // check also disambiguates the ambiguous counts — 19 fields
-            // is plans plus legacy 3-field extras or no plans plus
-            // 7-field extras, and 23 is plans plus 7-field extras or no
-            // plans plus the full 11-field robustness shape.
-            let has_plans = rest.len() >= 16 && rest[12].starts_with("plans_");
-            if rest.len() == 16 && !has_plans {
-                return Err(err("16-field STATS must carry plan counters"));
-            }
-            if rest.len() == 27 && !has_plans {
-                return Err(err("27-field STATS must carry plan counters"));
-            }
-            if rest.len() == 15 && rest[12].starts_with("plans_") {
-                return Err(err("15-field STATS must carry reactor counters"));
-            }
-            let plans = if has_plans {
-                Some(parse_plan_tally(&rest[12..16])?)
-            } else {
-                None
-            };
-            let extras_at = if has_plans { 16 } else { 12 };
-            let extras = if rest.len() > extras_at {
-                Some(ServerExtras::parse(&rest[extras_at..])?)
-            } else {
-                None
-            };
-            Ok(Response::Stats {
-                conn: StatsSnapshot::parse(&rest[..6])?,
-                server: StatsSnapshot::parse(&rest[6..12])?,
-                plans,
-                extras,
-            })
-        }
+        ["OK", "STATS", rest @ ..] if rest.len() >= 12 => parse_stats_text(rest),
         ["OK", "PONG"] => Ok(Response::Pong),
         ["OK", "BYE"] => Ok(Response::Bye),
         ["OK", "SHUTDOWN"] => Ok(Response::ShuttingDown),
+        ["OK", "INSERT", epoch] => Ok(Response::Inserted(parse_u64(epoch, "epoch")?)),
+        ["OK", "DELETE", epoch] => Ok(Response::Deleted(parse_u64(epoch, "epoch")?)),
+        ["OK", "EPOCH", epoch, live, delta, runs] => Ok(Response::Epoch {
+            epoch: parse_u64(epoch, "epoch")?,
+            live: parse_u64(live, "live")?,
+            delta: parse_u64(delta, "delta")?,
+            runs: parse_u64(runs, "runs")?,
+        }),
+        ["OK", "SEAL", epoch] => Ok(Response::Sealed(parse_u64(epoch, "epoch")?)),
         _ => Err(err(format!("unparseable response line {line:?}"))),
     }
 }
@@ -866,6 +1170,15 @@ pub fn error_response(e: &KnMatchError) -> Response {
     Response::Error {
         kind: ErrorKind::of_error(e),
         message: e.to_string(),
+    }
+}
+
+/// The `ERR` response every write verb earns on a read-only engine
+/// (one without a [`BatchEngine::writer`](knmatch_core::BatchEngine::writer)).
+pub fn immutable_engine_error() -> Response {
+    Response::Error {
+        kind: ErrorKind::Query,
+        message: "engine is immutable (serve with --mutable)".into(),
     }
 }
 
@@ -898,6 +1211,10 @@ const REQ_STATS: u8 = 0x06;
 const REQ_PING: u8 = 0x07;
 const REQ_QUIT: u8 = 0x08;
 const REQ_SHUTDOWN: u8 = 0x09;
+const REQ_INSERT: u8 = 0x0A;
+const REQ_DELETE: u8 = 0x0B;
+const REQ_EPOCH: u8 = 0x0C;
+const REQ_SEAL: u8 = 0x0D;
 
 /// Response frame kinds (high bit set).
 const RESP_ANSWER: u8 = 0x81;
@@ -910,6 +1227,10 @@ const RESP_STATS: u8 = 0x87;
 const RESP_PONG: u8 = 0x88;
 const RESP_BYE: u8 = 0x89;
 const RESP_SHUTDOWN: u8 = 0x8A;
+const RESP_INSERT: u8 = 0x8B;
+const RESP_DELETE: u8 = 0x8C;
+const RESP_EPOCH: u8 = 0x8D;
+const RESP_SEAL: u8 = 0x8E;
 
 /// Tags inside query and answer payloads.
 const TAG_KNM: u8 = 0x01;
@@ -924,6 +1245,7 @@ const STATS_HAS_PLANS: u8 = 0x01;
 const STATS_HAS_EXTRAS: u8 = 0x02;
 const STATS_HAS_REACTOR: u8 = 0x04;
 const STATS_HAS_ROBUST: u8 = 0x08;
+const STATS_HAS_VERSION: u8 = 0x10;
 
 /// A decoded binary request. Binary `BATCH` frames are self-contained
 /// (the queries travel inside the frame), unlike the text protocol where
@@ -1243,6 +1565,25 @@ pub fn encode_request_frame(req: &Request, out: &mut Vec<u8>) -> Result<(), Prot
             let body = begin_frame(out, REQ_SHUTDOWN);
             end_frame(out, body);
         }
+        Request::Insert { key, point } => {
+            let body = begin_frame(out, REQ_INSERT);
+            put_u32(out, *key);
+            put_coords(out, point);
+            end_frame(out, body);
+        }
+        Request::Delete(key) => {
+            let body = begin_frame(out, REQ_DELETE);
+            put_u32(out, *key);
+            end_frame(out, body);
+        }
+        Request::Epoch => {
+            let body = begin_frame(out, REQ_EPOCH);
+            end_frame(out, body);
+        }
+        Request::Seal => {
+            let body = begin_frame(out, REQ_SEAL);
+            end_frame(out, body);
+        }
     }
     Ok(())
 }
@@ -1285,6 +1626,13 @@ pub fn decode_request_frame(kind: u8, payload: &[u8]) -> Result<BinRequest, Prot
         REQ_PING => BinRequest::One(Request::Ping),
         REQ_QUIT => BinRequest::One(Request::Quit),
         REQ_SHUTDOWN => BinRequest::One(Request::Shutdown),
+        REQ_INSERT => BinRequest::One(Request::Insert {
+            key: c.u32()?,
+            point: c.coords()?,
+        }),
+        REQ_DELETE => BinRequest::One(Request::Delete(c.u32()?)),
+        REQ_EPOCH => BinRequest::One(Request::Epoch),
+        REQ_SEAL => BinRequest::One(Request::Seal),
         other => return Err(err(format!("unknown request frame kind {other:#04x}"))),
     };
     c.done()?;
@@ -1357,38 +1705,22 @@ pub fn encode_response_frame(r: &Response, out: &mut Vec<u8>) {
             server,
             plans,
             extras,
+            version,
         } => {
             let body = begin_frame(out, RESP_STATS);
-            let mut flags = 0u8;
-            if plans.is_some() {
-                flags |= STATS_HAS_PLANS;
-            }
-            if extras.is_some() {
-                flags |= STATS_HAS_EXTRAS | STATS_HAS_REACTOR | STATS_HAS_ROBUST;
-            }
-            out.push(flags);
-            put_snapshot(out, conn);
-            put_snapshot(out, server);
-            if let Some(p) = plans {
-                for v in [p.ad, p.vafile, p.scan, p.igrid] {
-                    put_u64(out, v);
+            let sb = StatsBody::from_parts(conn, server, plans, extras, version);
+            out.push(sb.present);
+            put_snapshot(out, &sb.conn);
+            put_snapshot(out, &sb.server);
+            for group in STATS_GROUPS {
+                if sb.present & group.flag == 0 {
+                    continue;
                 }
-            }
-            if let Some(x) = extras {
-                for v in [x.conns_peak, x.pipeline_depth_max, x.frames_binary] {
-                    put_u64(out, v);
-                }
-                out.push(x.reactor_backend.code());
-                for v in [x.poll_iterations, x.events_dispatched, x.writev_calls] {
-                    put_u64(out, v);
-                }
-                for v in [
-                    x.conns_evicted,
-                    x.queries_shed,
-                    x.retries_observed,
-                    x.deadline_cancels,
-                ] {
-                    put_u64(out, v);
+                for field in group.fields {
+                    match field.kind {
+                        FieldKind::Counter { get, .. } => put_u64(out, get(&sb)),
+                        FieldKind::Backend { get, .. } => out.push(get(&sb).code()),
+                    }
                 }
             }
             end_frame(out, body);
@@ -1403,6 +1735,33 @@ pub fn encode_response_frame(r: &Response, out: &mut Vec<u8>) {
         }
         Response::ShuttingDown => {
             let body = begin_frame(out, RESP_SHUTDOWN);
+            end_frame(out, body);
+        }
+        Response::Inserted(epoch) => {
+            let body = begin_frame(out, RESP_INSERT);
+            put_u64(out, *epoch);
+            end_frame(out, body);
+        }
+        Response::Deleted(epoch) => {
+            let body = begin_frame(out, RESP_DELETE);
+            put_u64(out, *epoch);
+            end_frame(out, body);
+        }
+        Response::Epoch {
+            epoch,
+            live,
+            delta,
+            runs,
+        } => {
+            let body = begin_frame(out, RESP_EPOCH);
+            for v in [*epoch, *live, *delta, *runs] {
+                put_u64(out, v);
+            }
+            end_frame(out, body);
+        }
+        Response::Sealed(epoch) => {
+            let body = begin_frame(out, RESP_SEAL);
+            put_u64(out, *epoch);
             end_frame(out, body);
         }
     }
@@ -1476,59 +1835,47 @@ pub fn decode_response_frame(kind: u8, payload: &[u8]) -> Result<Response, Proto
         RESP_PLANNER => Response::Planner(planner_from_code(c.u8()?)?),
         RESP_STATS => {
             let flags = c.u8()?;
-            let known = STATS_HAS_PLANS | STATS_HAS_EXTRAS | STATS_HAS_REACTOR | STATS_HAS_ROBUST;
-            if flags & !known != 0 {
+            if flags & !STATS_KNOWN_FLAGS != 0 {
                 return Err(err(format!("unknown STATS flags {flags:#04x}")));
             }
-            if flags & (STATS_HAS_REACTOR | STATS_HAS_ROBUST) != 0 && flags & STATS_HAS_EXTRAS == 0
-            {
-                return Err(err("STATS reactor/robust groups require the extras group"));
-            }
-            let conn = c.snapshot()?;
-            let server = c.snapshot()?;
-            let plans = if flags & STATS_HAS_PLANS != 0 {
-                Some(PlanTally {
-                    ad: c.u64()?,
-                    vafile: c.u64()?,
-                    scan: c.u64()?,
-                    igrid: c.u64()?,
-                })
-            } else {
-                None
-            };
-            let extras = if flags & STATS_HAS_EXTRAS != 0 {
-                let mut x = ServerExtras {
-                    conns_peak: c.u64()?,
-                    pipeline_depth_max: c.u64()?,
-                    frames_binary: c.u64()?,
-                    ..ServerExtras::default()
-                };
-                if flags & STATS_HAS_REACTOR != 0 {
-                    x.reactor_backend = ReactorKind::from_code(c.u8()?)?;
-                    x.poll_iterations = c.u64()?;
-                    x.events_dispatched = c.u64()?;
-                    x.writev_calls = c.u64()?;
+            for group in STATS_GROUPS {
+                if flags & group.flag != 0 && flags & group.requires != group.requires {
+                    return Err(err("STATS group present without its required group"));
                 }
-                if flags & STATS_HAS_ROBUST != 0 {
-                    x.conns_evicted = c.u64()?;
-                    x.queries_shed = c.u64()?;
-                    x.retries_observed = c.u64()?;
-                    x.deadline_cancels = c.u64()?;
-                }
-                Some(x)
-            } else {
-                None
-            };
-            Response::Stats {
-                conn,
-                server,
-                plans,
-                extras,
             }
+            let mut sb = StatsBody {
+                present: flags,
+                conn: c.snapshot()?,
+                server: c.snapshot()?,
+                ..StatsBody::default()
+            };
+            for group in STATS_GROUPS {
+                if flags & group.flag == 0 {
+                    continue;
+                }
+                for field in group.fields {
+                    match field.kind {
+                        FieldKind::Counter { set, .. } => set(&mut sb, c.u64()?),
+                        FieldKind::Backend { set, .. } => {
+                            set(&mut sb, ReactorKind::from_code(c.u8()?)?)
+                        }
+                    }
+                }
+            }
+            sb.into_response()
         }
         RESP_PONG => Response::Pong,
         RESP_BYE => Response::Bye,
         RESP_SHUTDOWN => Response::ShuttingDown,
+        RESP_INSERT => Response::Inserted(c.u64()?),
+        RESP_DELETE => Response::Deleted(c.u64()?),
+        RESP_EPOCH => Response::Epoch {
+            epoch: c.u64()?,
+            live: c.u64()?,
+            delta: c.u64()?,
+            runs: c.u64()?,
+        },
+        RESP_SEAL => Response::Sealed(c.u64()?),
         other => return Err(err(format!("unknown response frame kind {other:#04x}"))),
     };
     c.done()?;
@@ -1616,6 +1963,7 @@ mod tests {
                 server: StatsSnapshot::default(),
                 plans: None,
                 extras: None,
+                version: None,
             },
             Response::Stats {
                 conn: StatsSnapshot::default(),
@@ -1627,6 +1975,7 @@ mod tests {
                     igrid: 0,
                 }),
                 extras: None,
+                version: None,
             },
             Response::Stats {
                 conn: StatsSnapshot::default(),
@@ -1645,6 +1994,7 @@ mod tests {
                     retries_observed: 44,
                     deadline_cancels: 5,
                 }),
+                version: None,
             },
             Response::Stats {
                 conn: StatsSnapshot::default(),
@@ -1665,15 +2015,69 @@ mod tests {
                     writev_calls: 12,
                     ..ServerExtras::default()
                 }),
+                version: None,
+            },
+            Response::Stats {
+                conn: StatsSnapshot::default(),
+                server: StatsSnapshot::default(),
+                plans: None,
+                extras: None,
+                version: Some(VersionCounters {
+                    epoch: 31,
+                    live: 900,
+                    delta: 12,
+                    runs: 3,
+                    tombstones: 7,
+                    writes: 40,
+                    merges: 2,
+                }),
+            },
+            Response::Stats {
+                conn: StatsSnapshot::default(),
+                server: StatsSnapshot::default(),
+                plans: Some(PlanTally {
+                    ad: 1,
+                    vafile: 0,
+                    scan: 0,
+                    igrid: 0,
+                }),
+                extras: Some(ServerExtras::default()),
+                version: Some(VersionCounters {
+                    epoch: 5,
+                    ..VersionCounters::default()
+                }),
             },
             Response::Pong,
             Response::Bye,
             Response::ShuttingDown,
+            Response::Inserted(17),
+            Response::Deleted(18),
+            Response::Epoch {
+                epoch: 19,
+                live: 20,
+                delta: 21,
+                runs: 22,
+            },
+            Response::Sealed(23),
         ];
         for r in answers {
             let line = format_response(&r);
             assert_eq!(parse_response(&line).unwrap(), r, "line {line:?}");
         }
+    }
+
+    #[test]
+    fn write_verbs_parse() {
+        assert_eq!(
+            parse_request("INSERT 7 0.5,-1.25,3").unwrap(),
+            Request::Insert {
+                key: 7,
+                point: vec![0.5, -1.25, 3.0],
+            }
+        );
+        assert_eq!(parse_request("DELETE 9").unwrap(), Request::Delete(9));
+        assert_eq!(parse_request("EPOCH").unwrap(), Request::Epoch);
+        assert_eq!(parse_request("SEAL").unwrap(), Request::Seal);
     }
 
     #[test]
@@ -1795,6 +2199,13 @@ mod tests {
             Request::Ping,
             Request::Quit,
             Request::Shutdown,
+            Request::Insert {
+                key: 41,
+                point: vec![0.5, -1.5, 1.0 / 3.0],
+            },
+            Request::Delete(42),
+            Request::Epoch,
+            Request::Seal,
         ];
         for req in requests {
             let mut bytes = Vec::new();
@@ -1906,10 +2317,28 @@ mod tests {
                     retries_observed: 19,
                     deadline_cancels: 20,
                 }),
+                version: Some(VersionCounters {
+                    epoch: 21,
+                    live: 22,
+                    delta: 23,
+                    runs: 24,
+                    tombstones: 25,
+                    writes: 26,
+                    merges: 27,
+                }),
             },
             Response::Pong,
             Response::Bye,
             Response::ShuttingDown,
+            Response::Inserted(31),
+            Response::Deleted(32),
+            Response::Epoch {
+                epoch: 33,
+                live: 34,
+                delta: 35,
+                runs: 36,
+            },
+            Response::Sealed(37),
         ];
         for r in responses {
             let mut bytes = Vec::new();
@@ -1966,6 +2395,7 @@ mod tests {
             server: StatsSnapshot::default(),
             plans: None,
             extras: None,
+            version: None,
         };
         let line = format_response(&base);
         assert_eq!(parse_response(&line).unwrap(), base);
@@ -2069,9 +2499,49 @@ mod tests {
                 deadline_cancels: 11,
                 ..ServerExtras::default()
             }),
+            version: None,
         };
         let full_line = format_response(&full);
         assert_eq!(parse_response(&full_line).unwrap(), full);
+        // The version group composes with every earlier group and also
+        // stands alone after the mandatory twelve.
+        let versioned =
+            format!("{full_line} epoch=3 live=40 delta=5 runs=2 tombstones=1 writes=9 merges=1");
+        match parse_response(&versioned).unwrap() {
+            Response::Stats { version, plans, .. } => {
+                assert!(plans.is_some());
+                assert_eq!(
+                    version,
+                    Some(VersionCounters {
+                        epoch: 3,
+                        live: 40,
+                        delta: 5,
+                        runs: 2,
+                        tombstones: 1,
+                        writes: 9,
+                        merges: 1,
+                    })
+                );
+            }
+            other => panic!("expected STATS, got {other:?}"),
+        }
+        let lone = format!("{line} epoch=1 live=2 delta=3 runs=4 tombstones=0 writes=5 merges=0");
+        match parse_response(&lone).unwrap() {
+            Response::Stats {
+                plans,
+                extras,
+                version,
+                ..
+            } => {
+                assert!(plans.is_none() && extras.is_none());
+                assert_eq!(version.unwrap().live, 2);
+            }
+            other => panic!("expected STATS, got {other:?}"),
+        }
+        // A truncated version group is rejected, as is a trailing field
+        // that announces no group.
+        assert!(parse_response(&format!("{line} epoch=1 live=2")).is_err());
+        assert!(parse_response(&format!("{line} bogus=1")).is_err());
     }
 
     /// Binary STATS frames from pre-robustness servers (extras group
@@ -2136,6 +2606,12 @@ mod tests {
             "DEADLINE soon",
             "PLANNER fastest",
             "PLANNER",
+            "INSERT",
+            "INSERT 5",
+            "INSERT x 1,2",
+            "INSERT 5 1,abc",
+            "DELETE",
+            "DELETE x",
         ] {
             assert!(parse_request(line).is_err(), "line {line:?}");
         }

@@ -81,9 +81,10 @@ use knmatch_core::{BatchEngine, BatchOptions, BatchOutcome, BatchQuery, KnMatchE
 use crate::conn::{advance_written, BufferPool, FrameBuf, FrameRc, InFrame, SlotQueue, Wire};
 use crate::fault::{FaultInjector, FaultTransport, WriteFault};
 use crate::protocol::{
-    decode_request_frame, encode_response_frame, error_response, format_response, parse_query,
-    parse_request, with_retry_after, BinRequest, ErrorKind, ReactorKind, Request, Response,
-    ServerExtras, StatsSnapshot, MAX_BATCH, MAX_FRAME, MAX_LINE, REQ_BATCH, REQ_QUERY,
+    decode_request_frame, encode_response_frame, error_response, format_response,
+    immutable_engine_error, parse_query, parse_request, with_retry_after, BinRequest, ErrorKind,
+    ReactorKind, Request, Response, ServerExtras, StatsSnapshot, MAX_BATCH, MAX_FRAME, MAX_LINE,
+    REQ_BATCH, REQ_QUERY,
 };
 use crate::server::{ReactorChoice, ServerConfig, Shared, ShutdownHandle};
 
@@ -601,6 +602,12 @@ struct Job {
     /// in-flight budget, released when its completion lands.
     cost: u64,
     slots: Vec<Result<BatchQuery, Response>>,
+    /// Run the mutable engine's maintenance (run compaction) on the
+    /// executor instead of any queries — `slots` is empty and the
+    /// completion writes no bytes. Queued against the writing
+    /// connection, so the merge backpressures the writer while readers
+    /// keep executing on the other workers.
+    maintenance: bool,
 }
 
 /// An executed job: the pooled frame holding its serialized responses
@@ -729,6 +736,14 @@ fn executor_loop<E: BatchEngine + Sync>(
 /// the blocking server's `run_and_respond`. This is the only encode of
 /// these bytes; the reactor writes them straight from the frame.
 fn run_job<E: BatchEngine + Sync>(engine: &E, job: Job, pool: &BufferPool) -> Completion {
+    if job.maintenance {
+        // Off-reactor run compaction for mutable engines. Failures are
+        // deliberately swallowed: maintenance is best-effort and will be
+        // re-requested by the next write that finds it due.
+        if let Some(w) = engine.writer() {
+            let _ = w.maintain();
+        }
+    }
     // A batch whose propagated absolute deadline passed while it queued
     // is doomed: every query would fail the engine's deadline precheck
     // anyway, so skip the engine and synthesize the same responses.
@@ -1708,6 +1723,7 @@ impl<'a, E: BatchEngine + Sync> Reactor<'a, E> {
                     server: self.shared.totals.snapshot(),
                     plans: self.engine.plan_counts(),
                     extras: Some(self.shared.totals.extras()),
+                    version: self.engine.writer().map(|w| w.version_stats().into()),
                 };
                 self.ready_response(idx, wire, &response);
             }
@@ -1722,6 +1738,69 @@ impl<'a, E: BatchEngine + Sync> Reactor<'a, E> {
                 // Sets the flag; the reactor observes it at the top of
                 // the next tick and drains every other connection.
                 self.shared.request_shutdown();
+            }
+            // The write verbs run inline on the reactor thread: writes
+            // arriving on any number of connections are serialized by
+            // construction (one reactor), publish is a short lock + Arc
+            // swap, and in-flight snapshots keep answering at their
+            // pinned epoch. Only run *compaction* is pushed to the
+            // executor pool (see `submit_maintenance`).
+            Request::Insert { key, point } => {
+                let engine = self.engine;
+                match engine.writer() {
+                    None => self.ready_response(idx, wire, &immutable_engine_error()),
+                    Some(w) => {
+                        let response = match w.insert(key, &point) {
+                            Ok(epoch) => Response::Inserted(epoch),
+                            Err(e) => error_response(&e),
+                        };
+                        self.ready_response(idx, wire, &response);
+                        if w.needs_maintenance() {
+                            self.submit_maintenance(idx, wire);
+                        }
+                    }
+                }
+            }
+            Request::Delete(key) => {
+                let engine = self.engine;
+                match engine.writer() {
+                    None => self.ready_response(idx, wire, &immutable_engine_error()),
+                    Some(w) => {
+                        let response = match w.remove(key) {
+                            Ok(epoch) => Response::Deleted(epoch),
+                            Err(e) => error_response(&e),
+                        };
+                        self.ready_response(idx, wire, &response);
+                        if w.needs_maintenance() {
+                            self.submit_maintenance(idx, wire);
+                        }
+                    }
+                }
+            }
+            Request::Epoch => {
+                let response = match self.engine.writer() {
+                    None => immutable_engine_error(),
+                    Some(w) => {
+                        let s = w.version_stats();
+                        Response::Epoch {
+                            epoch: s.epoch,
+                            live: s.live as u64,
+                            delta: s.delta_len as u64,
+                            runs: s.runs as u64,
+                        }
+                    }
+                };
+                self.ready_response(idx, wire, &response);
+            }
+            Request::Seal => {
+                let response = match self.engine.writer() {
+                    None => immutable_engine_error(),
+                    Some(w) => match w.seal() {
+                        Ok(epoch) => Response::Sealed(epoch),
+                        Err(e) => error_response(&e),
+                    },
+                };
+                self.ready_response(idx, wire, &response);
             }
         }
     }
@@ -1768,6 +1847,28 @@ impl<'a, E: BatchEngine + Sync> Reactor<'a, E> {
             opts,
             cost,
             slots,
+            maintenance: false,
+        });
+    }
+
+    /// Schedules one maintenance step of the mutable engine on the
+    /// executor pool, sequenced on the writing connection's queue: the
+    /// reactor thread never merges runs, and readers on other
+    /// connections keep flowing while the merge builds. The completion
+    /// carries zero response bytes.
+    fn submit_maintenance(&mut self, idx: usize, wire: Wire) {
+        let c = self.conns[idx].as_mut().expect("live connection");
+        let seq = c.queue.push_waiting();
+        self.queue.push(Job {
+            conn: idx,
+            gen: c.gen,
+            seq,
+            wire,
+            trailer: false,
+            opts: BatchOptions::default(),
+            cost: 0,
+            slots: Vec::new(),
+            maintenance: true,
         });
     }
 

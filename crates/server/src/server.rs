@@ -30,8 +30,8 @@ use std::time::Duration;
 use knmatch_core::{BatchEngine, BatchOptions, BatchOutcome, BatchQuery};
 
 use crate::protocol::{
-    error_response, format_response, parse_query, parse_request, ErrorKind, ReactorKind, Request,
-    Response, ServerExtras, StatsSnapshot, MAX_BATCH, MAX_LINE,
+    error_response, format_response, immutable_engine_error, parse_query, parse_request, ErrorKind,
+    ReactorKind, Request, Response, ServerExtras, StatsSnapshot, MAX_BATCH, MAX_LINE,
 };
 
 /// Which readiness backend the event-loop server should run. The
@@ -570,6 +570,7 @@ fn handle_connection<E: BatchEngine + Sync>(
                     // The blocking front-end neither pipelines nor speaks
                     // binary; those extras stay 0 by construction.
                     extras: Some(shared.totals.extras()),
+                    version: engine.writer().map(|w| w.version_stats().into()),
                 };
                 conn.send(&response)?;
             }
@@ -583,6 +584,57 @@ fn handle_connection<E: BatchEngine + Sync>(
                 shared.request_shutdown();
                 break;
             }
+            Ok(Request::Insert { key, point }) => match engine.writer() {
+                None => conn.send(&immutable_engine_error())?,
+                Some(w) => {
+                    let response = match w.insert(key, &point) {
+                        Ok(epoch) => Response::Inserted(epoch),
+                        Err(e) => error_response(&e),
+                    };
+                    conn.send(&response)?;
+                    // Opportunistic maintenance on the writing thread:
+                    // readers only ever see published views, so a merge
+                    // here costs this connection latency, nobody else.
+                    if w.needs_maintenance() {
+                        let _ = w.maintain();
+                    }
+                }
+            },
+            Ok(Request::Delete(key)) => match engine.writer() {
+                None => conn.send(&immutable_engine_error())?,
+                Some(w) => {
+                    let response = match w.remove(key) {
+                        Ok(epoch) => Response::Deleted(epoch),
+                        Err(e) => error_response(&e),
+                    };
+                    conn.send(&response)?;
+                    if w.needs_maintenance() {
+                        let _ = w.maintain();
+                    }
+                }
+            },
+            Ok(Request::Epoch) => match engine.writer() {
+                None => conn.send(&immutable_engine_error())?,
+                Some(w) => {
+                    let s = w.version_stats();
+                    conn.send(&Response::Epoch {
+                        epoch: s.epoch,
+                        live: s.live as u64,
+                        delta: s.delta_len as u64,
+                        runs: s.runs as u64,
+                    })?;
+                }
+            },
+            Ok(Request::Seal) => match engine.writer() {
+                None => conn.send(&immutable_engine_error())?,
+                Some(w) => {
+                    let response = match w.seal() {
+                        Ok(epoch) => Response::Sealed(epoch),
+                        Err(e) => error_response(&e),
+                    };
+                    conn.send(&response)?;
+                }
+            },
         }
         conn.writer.flush()?;
     }

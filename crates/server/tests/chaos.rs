@@ -142,6 +142,7 @@ fn chaos_matrix_bit_identical_under_faults() {
                     workers,
                     backend: Backend::Memory,
                     planner: None,
+                    ..EngineConfig::default()
                 };
                 let engine = cfg.open(&csv).expect("open engine");
                 let expected = expected_wire(engine.run(&queries));

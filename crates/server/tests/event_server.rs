@@ -132,6 +132,7 @@ fn pipelined_answers_bit_identical_at_every_worker_count() {
             workers,
             backend: Backend::Memory,
             planner: None,
+            ..EngineConfig::default()
         };
         let engine = cfg.open(&csv).expect("open engine");
         let expected = expected_wire(engine.run(&queries));
@@ -199,6 +200,7 @@ fn text_and_binary_interleave_on_one_connection() {
         workers: 1,
         backend: Backend::Memory,
         planner: None,
+        ..EngineConfig::default()
     }
     .open(&csv)
     .expect("open engine");
@@ -212,6 +214,7 @@ fn text_and_binary_interleave_on_one_connection() {
             workers: 1,
             backend: Backend::Memory,
             planner: None,
+            ..EngineConfig::default()
         }
         .open(&csv)
         .expect("open")
@@ -250,6 +253,7 @@ fn stats_extras_report_reactor_counters() {
         workers: 1,
         backend: Backend::Memory,
         planner: None,
+        ..EngineConfig::default()
     }
     .open(&csv)
     .expect("open engine");
@@ -305,6 +309,7 @@ fn graceful_drain_completes_under_ten_ms() {
             workers: 1,
             backend: Backend::Memory,
             planner: None,
+            ..EngineConfig::default()
         }
         .open(&csv)
         .expect("open engine");
@@ -352,6 +357,7 @@ fn connection_limit_rejects_with_busy() {
         workers: 1,
         backend: Backend::Memory,
         planner: None,
+        ..EngineConfig::default()
     }
     .open(&csv)
     .expect("open engine");
@@ -386,6 +392,7 @@ fn shutdown_verb_drains_from_the_wire() {
         workers: 1,
         backend: Backend::Memory,
         planner: None,
+        ..EngineConfig::default()
     }
     .open(&csv)
     .expect("open engine");
@@ -489,6 +496,7 @@ fn poll_and_epoll_produce_byte_identical_streams() {
                     workers,
                     backend: Backend::Memory,
                     planner: None,
+                    ..EngineConfig::default()
                 }
                 .open(&csv)
                 .expect("open engine");
@@ -525,6 +533,7 @@ fn epoll_dispatch_tracks_active_set_not_connection_count() {
         workers: 1,
         backend: Backend::Memory,
         planner: None,
+        ..EngineConfig::default()
     }
     .open(&csv)
     .expect("open engine");

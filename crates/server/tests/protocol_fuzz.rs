@@ -51,6 +51,7 @@ fn build_engine() -> knmatch_server::AnyEngine {
         workers: 2,
         backend: Backend::Memory,
         planner: None,
+        ..EngineConfig::default()
     }
     .build_in_memory(&ds)
 }

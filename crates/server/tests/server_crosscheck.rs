@@ -103,6 +103,7 @@ fn check_backend(backend: Backend, path: &str) {
             workers,
             backend,
             planner: None,
+            ..EngineConfig::default()
         };
         let engine = cfg.open(path).expect("open engine");
         let expected = expected_wire(engine.run(&queries));
@@ -165,6 +166,7 @@ fn planned_backend_bit_identical_over_the_wire() {
             workers,
             backend: Backend::Memory,
             planner: Some(knmatch_core::PlannerMode::Auto),
+            ..EngineConfig::default()
         };
         let engine = cfg.open(&csv).expect("open engine");
         let expected = expected_wire(engine.run(&queries));
@@ -207,6 +209,7 @@ fn planless_engines_report_no_plans_over_the_wire() {
         workers: 1,
         backend: Backend::Memory,
         planner: None,
+        ..EngineConfig::default()
     }
     .open(&csv)
     .expect("open engine");
@@ -270,6 +273,7 @@ fn deadline_and_fail_fast_travel_the_wire() {
         workers: 2,
         backend: Backend::Memory,
         planner: None,
+        ..EngineConfig::default()
     };
     let engine = cfg.open(&csv).expect("open engine");
     let queries = workload(4);
@@ -298,6 +302,7 @@ fn deadline_and_fail_fast_travel_the_wire() {
                 workers: 2,
                 backend: Backend::Memory,
                 planner: None,
+                ..EngineConfig::default()
             }
             .open(&csv)
             .expect("open")
@@ -322,6 +327,7 @@ fn stats_verb_reports_both_scopes() {
         workers: 1,
         backend: Backend::Memory,
         planner: None,
+        ..EngineConfig::default()
     }
     .open(&csv)
     .expect("open engine");
@@ -355,6 +361,7 @@ fn connection_limit_rejects_with_busy() {
         workers: 1,
         backend: Backend::Memory,
         planner: None,
+        ..EngineConfig::default()
     }
     .open(&csv)
     .expect("open engine");

@@ -17,10 +17,15 @@
 #               retrying clients vs torn/stalled/reset I/O at 1/10/30%
 #               fault rates on both reactors, plus shedding, idle
 #               eviction and deadline-cancel coverage
+#   6c. mvcc:   versioned-index oracle crosscheck + mutable-serve
+#               suite in release (randomized interleaved writes vs a
+#               rebuild-from-scratch oracle; readers never block) +
+#               ingest_throughput --smoke
 #   7. server:  loopback serve/client smoke for both servers (ephemeral
 #               port, batch over the wire — binary+pipelined on the
 #               event loop, once per reactor backend — graceful
-#               shutdown) + release-mode protocol fuzz
+#               shutdown), a serve --mutable + ingest round trip, and
+#               release-mode protocol fuzz
 #
 # Usage: scripts/verify.sh
 set -euo pipefail
@@ -64,11 +69,22 @@ echo "==> chaos harness (release, fixed seeds, both reactors)"
 # buffers. Shedding, idle eviction and deadline cancellation ride along.
 cargo test --release -q -p knmatch-server --test chaos
 
+echo "==> versioned-index oracle crosscheck (release)"
+# Randomized interleaved insert/delete/seal/maintain against a
+# rebuild-from-scratch oracle; release mode covers far more steps.
+cargo test --release -q -p knmatch-core --test versioned_crosscheck
+
+echo "==> mutable serve suite (release, both front-ends)"
+cargo test --release -q -p knmatch-server --test mutable_serve
+
 echo "==> connection_scaling --smoke (256 connections)"
 ./target/release/connection_scaling --smoke --out /tmp/BENCH_connections_smoke.json >/dev/null
 
 echo "==> fault_overhead --smoke"
 ./target/release/fault_overhead --smoke --out /tmp/BENCH_fault_overhead_smoke.json >/dev/null
+
+echo "==> ingest_throughput --smoke"
+./target/release/ingest_throughput --smoke --out /tmp/BENCH_ingest_smoke.json >/dev/null
 
 echo "==> server smoke (serve + client over loopback)"
 SMOKE_DIR=$(mktemp -d)
@@ -104,6 +120,34 @@ wait "$SERVE_PID"
 SERVE_PID=""
 grep -q "shutdown complete" "$SMOKE_DIR/serve.log" \
   || { cat "$SMOKE_DIR/serve.log"; echo "server did not drain cleanly"; exit 1; }
+
+echo "==> mutable serve + ingest smoke (serve --mutable over loopback)"
+"$KNM" generate --kind uniform --out "$SMOKE_DIR/extra.csv" \
+  --cardinality 20 --dims 4 --seed 9 >/dev/null
+"$KNM" serve "$SMOKE_DIR/data.csv" --addr 127.0.0.1:0 --workers 2 \
+  --mutable --merge-threshold 64 >"$SMOKE_DIR/mutable.log" 2>&1 &
+SERVE_PID=$!
+ADDR=""
+for _ in $(seq 1 100); do
+  ADDR=$(sed -n 's/^listening on \([0-9.:]*\) .*/\1/p' "$SMOKE_DIR/mutable.log")
+  [ -n "$ADDR" ] && break
+  kill -0 "$SERVE_PID" 2>/dev/null || { cat "$SMOKE_DIR/mutable.log"; echo "mutable server died during startup"; exit 1; }
+  sleep 0.1
+done
+[ -n "$ADDR" ] || { cat "$SMOKE_DIR/mutable.log"; echo "mutable server never reported its address"; exit 1; }
+grep -q "mutable versioned" "$SMOKE_DIR/mutable.log" \
+  || { cat "$SMOKE_DIR/mutable.log"; echo "mutable server did not describe its engine"; exit 1; }
+"$KNM" ingest "$ADDR" --points "$SMOKE_DIR/extra.csv" --start-key 10000 --seal --stats \
+  | grep -q "20 inserted / 0 failed" \
+  || { echo "ingest did not report 20 inserted / 0 failed"; exit 1; }
+"$KNM" client "$ADDR" --queries "$SMOKE_DIR/queries.csv" -k 3 -n 2 --stats \
+  | grep -q "version: epoch" \
+  || { echo "client --stats did not print the version counter group"; exit 1; }
+"$KNM" client "$ADDR" --shutdown >/dev/null
+wait "$SERVE_PID"
+SERVE_PID=""
+grep -q "shutdown complete" "$SMOKE_DIR/mutable.log" \
+  || { cat "$SMOKE_DIR/mutable.log"; echo "mutable server did not drain cleanly"; exit 1; }
 
 # Both readiness backends where the host offers them: poll everywhere,
 # edge-triggered epoll on Linux (elsewhere `--reactor epoll` refuses).
